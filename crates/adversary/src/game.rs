@@ -1,0 +1,138 @@
+//! The adaptive-adversary game (paper §2, "Adversarially Robust
+//! Streaming").
+//!
+//! The adversary produces the stream one edge at a time; after every
+//! insertion the algorithm reports an output, and the next edge may depend
+//! on the whole transcript. The algorithm errs if *any* intermediate
+//! output is improper. [`run_game`] referees exactly that interaction,
+//! maintaining the ground-truth graph (which the algorithm never sees) and
+//! validating every output against it.
+
+use sc_graph::{Coloring, Edge, Graph};
+use sc_stream::StreamingColorer;
+
+/// An adaptive stream-generating adversary.
+pub trait Adversary {
+    /// Produces the next edge, given the algorithm's latest output and the
+    /// current ground-truth graph (the adversary knows its own insertions).
+    /// Returning `None` ends the game.
+    fn next_edge(&mut self, last_output: &Coloring, graph: &Graph) -> Option<Edge>;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Outcome of one adversarial game.
+#[derive(Debug, Clone)]
+pub struct GameReport {
+    /// Edges the adversary inserted.
+    pub rounds: usize,
+    /// Outputs that were improper for the graph-so-far (the paper's error
+    /// events; a robust algorithm with error `δ` should have none, w.h.p.).
+    pub improper_outputs: usize,
+    /// Round index (1-based) of the first improper output, if any.
+    pub first_failure_round: Option<usize>,
+    /// Maximum distinct colors over all outputs.
+    pub max_colors: usize,
+    /// The final adversarially built graph.
+    pub final_graph: Graph,
+}
+
+impl GameReport {
+    /// Whether the algorithm survived every query.
+    pub fn survived(&self) -> bool {
+        self.improper_outputs == 0
+    }
+}
+
+/// Referees a game between `colorer` and `adversary` on `n` vertices for
+/// at most `max_rounds` insertions.
+///
+/// The adversary sees each output *before* choosing the next edge —
+/// exactly the adaptive model. Every output is validated against the
+/// ground-truth graph.
+///
+/// # Example
+/// ```
+/// use sc_adversary::{run_game, MonochromaticAttacker};
+/// use streamcolor::RobustColorer;
+///
+/// let (n, delta) = (80, 8);
+/// let mut attacker = MonochromaticAttacker::new(n, delta, 1);
+/// let mut colorer = RobustColorer::new(n, delta, 2);
+/// let report = run_game(&mut colorer, &mut attacker, n, 200);
+/// assert!(report.survived(), "robust colorers withstand the feedback attack");
+/// ```
+pub fn run_game<C, A>(colorer: &mut C, adversary: &mut A, n: usize, max_rounds: usize) -> GameReport
+where
+    C: StreamingColorer + ?Sized,
+    A: Adversary + ?Sized,
+{
+    let mut graph = Graph::empty(n);
+    let mut improper = 0usize;
+    let mut first_failure = None;
+    let mut max_colors = 0usize;
+    let mut rounds = 0usize;
+
+    // Initial output (empty graph — everything is proper, but the
+    // adversary gets to see the coloring before its first move).
+    let mut output = colorer.query();
+
+    for round in 1..=max_rounds {
+        let Some(e) = adversary.next_edge(&output, &graph) else { break };
+        debug_assert!(
+            !graph.has_edge(e.u(), e.v()),
+            "adversary repeated edge {e} (streams are edge-insertion-only)"
+        );
+        graph.add_edge(e);
+        colorer.process(e);
+        rounds = round;
+
+        output = colorer.query();
+        max_colors = max_colors.max(output.num_distinct_colors());
+        if !output.is_proper_total(&graph) {
+            improper += 1;
+            if first_failure.is_none() {
+                first_failure = Some(round);
+            }
+        }
+    }
+
+    GameReport {
+        rounds,
+        improper_outputs: improper,
+        first_failure_round: first_failure,
+        max_colors,
+        final_graph: graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attackers::ObliviousReplay;
+    use sc_graph::generators;
+    use streamcolor::RobustColorer;
+
+    #[test]
+    fn replay_game_matches_oblivious_run() {
+        let g = generators::gnp_with_max_degree(40, 6, 0.4, 1);
+        let edges = generators::shuffled_edges(&g, 1);
+        let mut adversary = ObliviousReplay::new(edges.clone());
+        let mut colorer = RobustColorer::new(40, 6, 77);
+        let report = run_game(&mut colorer, &mut adversary, 40, 10_000);
+        assert_eq!(report.rounds, edges.len());
+        assert!(report.survived(), "robust colorer must survive a replay");
+        assert_eq!(report.final_graph.m(), g.m());
+    }
+
+    #[test]
+    fn game_stops_at_max_rounds() {
+        let g = generators::complete(20);
+        let mut adversary = ObliviousReplay::new(g.edges());
+        let mut colorer = RobustColorer::new(20, 19, 3);
+        let report = run_game(&mut colorer, &mut adversary, 20, 5);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.final_graph.m(), 5);
+    }
+}

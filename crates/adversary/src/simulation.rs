@@ -1,0 +1,144 @@
+//! Multi-trial adversarial simulations with summary statistics.
+//!
+//! Robustness claims are probabilistic ("error ≤ δ over the algorithm's
+//! randomness"), so single games prove little. [`run_trials`] repeats a
+//! game across independently seeded algorithm/adversary pairs and
+//! aggregates: break rate, failure-round distribution, palette extremes —
+//! the numbers experiments F3/F5 report.
+
+use crate::game::{run_game, Adversary, GameReport};
+use sc_stream::StreamingColorer;
+
+/// Aggregated outcome of repeated adversarial games.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials with at least one improper output.
+    pub broken: usize,
+    /// First-failure rounds of the broken trials, sorted ascending.
+    pub failure_rounds: Vec<usize>,
+    /// Largest palette observed across all trials.
+    pub max_colors: usize,
+    /// Smallest final-round count (games can end early if the adversary
+    /// saturates its budget).
+    pub min_rounds: usize,
+    /// Largest final-round count.
+    pub max_rounds: usize,
+}
+
+impl TrialSummary {
+    /// Fraction of trials broken, in `[0, 1]`.
+    pub fn break_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.broken as f64 / self.trials as f64
+        }
+    }
+
+    /// Median first-failure round among broken trials.
+    pub fn median_failure_round(&self) -> Option<usize> {
+        (!self.failure_rounds.is_empty())
+            .then(|| self.failure_rounds[self.failure_rounds.len() / 2])
+    }
+}
+
+/// Runs `trials` independent games. `make_colorer(t)` and
+/// `make_adversary(t)` build fresh, independently seeded parties for
+/// trial `t`.
+pub fn run_trials<C, A>(
+    n: usize,
+    max_rounds: usize,
+    trials: usize,
+    mut make_colorer: impl FnMut(u64) -> C,
+    mut make_adversary: impl FnMut(u64) -> A,
+) -> TrialSummary
+where
+    C: StreamingColorer,
+    A: Adversary,
+{
+    let mut broken = 0usize;
+    let mut failure_rounds = Vec::new();
+    let mut max_colors = 0usize;
+    let mut min_rounds = usize::MAX;
+    let mut max_rounds_seen = 0usize;
+    for t in 0..trials {
+        let mut colorer = make_colorer(t as u64);
+        let mut adversary = make_adversary(t as u64);
+        let r: GameReport = run_game(&mut colorer, &mut adversary, n, max_rounds);
+        max_colors = max_colors.max(r.max_colors);
+        min_rounds = min_rounds.min(r.rounds);
+        max_rounds_seen = max_rounds_seen.max(r.rounds);
+        if !r.survived() {
+            broken += 1;
+            failure_rounds.push(r.first_failure_round.unwrap());
+        }
+    }
+    failure_rounds.sort_unstable();
+    TrialSummary {
+        trials,
+        broken,
+        failure_rounds,
+        max_colors,
+        min_rounds: if trials == 0 { 0 } else { min_rounds },
+        max_rounds: max_rounds_seen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attackers::MonochromaticAttacker;
+    use streamcolor::{PaletteSparsification, RobustColorer};
+
+    #[test]
+    fn robust_trials_never_break() {
+        let n = 60;
+        let delta = 8;
+        let s = run_trials(
+            n,
+            2 * n,
+            4,
+            |t| RobustColorer::new(n, delta, 1000 + t),
+            |t| MonochromaticAttacker::new(n, delta, t),
+        );
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.broken, 0);
+        assert_eq!(s.break_rate(), 0.0);
+        assert_eq!(s.median_failure_round(), None);
+        assert!(s.max_colors > 0);
+        assert!(s.min_rounds <= s.max_rounds);
+    }
+
+    #[test]
+    fn fragile_trials_break_and_record_rounds() {
+        let n = 60;
+        let delta = 16;
+        let s = run_trials(
+            n,
+            n * delta,
+            5,
+            |t| PaletteSparsification::new(n, delta, 3, 70 + t),
+            |t| MonochromaticAttacker::new(n, delta, t),
+        );
+        assert!(s.broken > 0, "tiny lists must break under the attack");
+        assert!(s.break_rate() > 0.0);
+        let med = s.median_failure_round().unwrap();
+        assert!(med >= 1);
+        assert!(s.failure_rounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_trials_is_well_defined() {
+        let s = run_trials(
+            10,
+            10,
+            0,
+            |t| RobustColorer::new(10, 2, t),
+            |t| MonochromaticAttacker::new(10, 2, t),
+        );
+        assert_eq!(s.break_rate(), 0.0);
+        assert_eq!(s.min_rounds, 0);
+    }
+}

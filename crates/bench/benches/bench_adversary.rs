@@ -1,0 +1,32 @@
+//! Benches for the adversarial game: rounds/second of the monochromatic
+//! attack against each robust algorithm (every round = one insertion +
+//! one full query + one validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_adversary::{run_game, MonochromaticAttacker};
+use streamcolor::{RandEfficientColorer, RobustColorer};
+
+fn bench_attack_games(c: &mut Criterion) {
+    let n = 300;
+    let delta = 16;
+    let mut group = c.benchmark_group("attack_game_100_rounds");
+    group.sample_size(10);
+    group.bench_function("alg2", |b| {
+        b.iter(|| {
+            let mut adv = MonochromaticAttacker::new(n, delta, 1);
+            let mut colorer = RobustColorer::new(n, delta, 2);
+            run_game(&mut colorer, &mut adv, n, 100)
+        })
+    });
+    group.bench_function("alg3", |b| {
+        b.iter(|| {
+            let mut adv = MonochromaticAttacker::new(n, delta, 1);
+            let mut colorer = RandEfficientColorer::new(n, delta, 2);
+            run_game(&mut colorer, &mut adv, n, 100)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack_games);
+criterion_main!(benches);

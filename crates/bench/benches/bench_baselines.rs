@@ -1,0 +1,74 @@
+//! Benches for the non-robust baselines (BG18, BCG20, palette
+//! sparsification) and the offline subroutines new to this release
+//! (Brooks coloring, exact chromatic search, Turán vs Brooks).
+//!
+//! The interesting comparison: non-robust one-pass colorers process an
+//! edge with one hash + one list intersection, so they should sit within
+//! a small factor of each other and well above the robust colorers'
+//! fan-out (benched in `bench_robust`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_graph::{brooks_coloring, chromatic_number, generators};
+use sc_stream::StreamingColorer;
+use streamcolor::{Bcg20Colorer, Bg18Colorer, PaletteSparsification};
+
+fn bench_baseline_throughput(c: &mut Criterion) {
+    let n = 2000;
+    let delta = 32;
+    let g = generators::random_with_exact_max_degree(n, delta, 1);
+    let edges = generators::shuffled_edges(&g, 1);
+    let mut group = c.benchmark_group("baseline_process_stream");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("bg18", delta), |b| {
+        b.iter(|| {
+            let mut colorer = Bg18Colorer::new(n, delta as u64, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.bench_function(BenchmarkId::new("bcg20", delta), |b| {
+        b.iter(|| {
+            let mut colorer = Bcg20Colorer::new(n, delta, 0.5, 8, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.bench_function(BenchmarkId::new("palette-sparsification", delta), |b| {
+        b.iter(|| {
+            let mut colorer = PaletteSparsification::new(n, delta, 8, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.finish();
+}
+
+fn bench_offline_subroutines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_subroutines");
+    group.sample_size(10);
+
+    let sparse = generators::preferential_attachment(2000, 3, 60, 2);
+    group.bench_function("brooks_pa_2000", |b| {
+        b.iter(|| brooks_coloring(black_box(&sparse)))
+    });
+
+    let regular = generators::circulant(1001, 4);
+    group.bench_function("brooks_regular_1001", |b| {
+        b.iter(|| brooks_coloring(black_box(&regular)))
+    });
+
+    let small = generators::gnp_with_max_degree(40, 8, 0.3, 3);
+    group.bench_function("chromatic_exact_n40", |b| {
+        b.iter(|| chromatic_number(black_box(&small)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_throughput, bench_offline_subroutines);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenches for the hashing substrate: family evaluation throughput
+//! and prime search (the per-edge inner loops of every algorithm).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sc_hash::{
+    AffineFamily, MersenneAffine, OracleFn, PolynomialFamily, SplitMix64, TwoUniversalFamily,
+};
+
+fn bench_affine(c: &mut Criterion) {
+    let fam = AffineFamily::new(sc_hash::next_prime(1 << 20));
+    let h = fam.member(12345, 67890);
+    c.bench_function("affine_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1000u64 {
+                acc ^= h.eval(black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+/// The Mersenne field avoids hardware division; compare with
+/// `affine_eval` (generic mod-p) — the tournament's inner loop.
+fn bench_mersenne_affine(c: &mut Criterion) {
+    let h = MersenneAffine::new(12345, 67890);
+    c.bench_function("mersenne_affine_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1000u64 {
+                acc ^= h.eval(black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_two_universal(c: &mut Criterion) {
+    let fam = TwoUniversalFamily::for_domain(1 << 20, 64);
+    let h = fam.member(999);
+    c.bench_function("two_universal_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1000u64 {
+                acc ^= h.eval(black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_polynomial(c: &mut Criterion) {
+    let fam = PolynomialFamily::for_domain(1 << 20, 4096, 4);
+    let h = fam.sample(&mut SplitMix64::new(1));
+    c.bench_function("poly4_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1000u64 {
+                acc ^= h.eval(black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let f = OracleFn::new(7, 3, 4096);
+    c.bench_function("oracle_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1000u64 {
+                acc ^= f.eval(black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_prime_search(c: &mut Criterion) {
+    c.bench_function("prime_in_range_8nlogn", |b| {
+        b.iter(|| sc_hash::prime_in_range(black_box(8 * 4096 * 12), 16 * 4096 * 12))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_affine,
+    bench_mersenne_affine,
+    bench_two_universal,
+    bench_polynomial,
+    bench_oracle,
+    bench_prime_search
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benches for the robust colorers: edge-processing throughput and query
+//! latency (the two costs an adaptive deployment pays), plus the CGS22
+//! baseline for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_graph::generators;
+use sc_stream::StreamingColorer;
+use streamcolor::{Cgs22Colorer, RandEfficientColorer, RobustColorer};
+
+fn bench_process_throughput(c: &mut Criterion) {
+    let n = 2000;
+    let delta = 32;
+    let g = generators::random_with_exact_max_degree(n, delta, 1);
+    let edges = generators::shuffled_edges(&g, 1);
+    let mut group = c.benchmark_group("robust_process_stream");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("alg2", delta), |b| {
+        b.iter(|| {
+            let mut colorer = RobustColorer::new(n, delta, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg3", delta), |b| {
+        b.iter(|| {
+            let mut colorer = RandEfficientColorer::new(n, delta, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.bench_function(BenchmarkId::new("cgs22", delta), |b| {
+        b.iter(|| {
+            let mut colorer = Cgs22Colorer::new(n, delta, 7);
+            for &e in &edges {
+                colorer.process(black_box(e));
+            }
+            colorer
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let n = 2000;
+    let delta = 32;
+    let g = generators::random_with_exact_max_degree(n, delta, 2);
+    let edges = generators::shuffled_edges(&g, 2);
+    let mut group = c.benchmark_group("robust_query");
+    group.sample_size(10);
+
+    let mut alg2 = RobustColorer::new(n, delta, 9);
+    for &e in &edges {
+        alg2.process(e);
+    }
+    group.bench_function("alg2", |b| b.iter(|| alg2.query()));
+
+    let mut alg3 = RandEfficientColorer::new(n, delta, 9);
+    for &e in &edges {
+        alg3.process(e);
+    }
+    group.bench_function("alg3", |b| b.iter(|| alg3.query()));
+
+    let mut cgs = Cgs22Colorer::new(n, delta, 9);
+    for &e in &edges {
+        cgs.process(e);
+    }
+    group.bench_function("cgs22", |b| b.iter(|| cgs.query()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_process_throughput, bench_query_latency);
+criterion_main!(benches);

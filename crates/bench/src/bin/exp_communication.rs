@@ -1,0 +1,39 @@
+//! Experiment T3 — Corollary 3.11: the two-party communication protocol
+//! for `(∆+1)`-coloring in `O(n log⁴ n)` bits and `O(log ∆ log log ∆)`
+//! rounds.
+
+use sc_bench::{fmt_bits, Table};
+use sc_graph::generators;
+use streamcolor::det::communication::{split_edges, two_party_coloring};
+use streamcolor::DetConfig;
+
+fn main() {
+    println!("# T3: Corollary 3.11 — two-party (∆+1)-coloring protocol");
+    let mut table = Table::new(&[
+        "n", "∆", "rounds", "bits exchanged", "n·log⁴n bits", "ratio", "proper?",
+    ]);
+    for (n, delta) in [(512usize, 16usize), (1024, 16), (2048, 32)] {
+        let g = generators::random_with_exact_max_degree(n, delta, 7);
+        let (alice, bob) = split_edges(generators::shuffled_edges(&g, 2));
+        let t = two_party_coloring(n, delta, &alice, &bob, &DetConfig::default());
+        let ok = t.coloring.is_proper_total(&g) && t.coloring.palette_span() <= delta as u64 + 1;
+        assert!(ok);
+        let log_n = (n as f64).log2();
+        let budget = n as f64 * log_n.powi(4);
+        table.row(&[
+            &n,
+            &delta,
+            &t.rounds,
+            &fmt_bits(t.total_bits),
+            &fmt_bits(budget as u64),
+            &format!("{:.3}", t.total_bits as f64 / budget),
+            &ok,
+        ]);
+    }
+    table.print("T3: protocol transcripts");
+    println!(
+        "\nBoth quantities sit well inside Corollary 3.11's bounds; the interesting part \
+         (per the paper) is the round count — polyloglog in ∆ rather than the Θ(n)-round \
+         greedy simulation."
+    );
+}

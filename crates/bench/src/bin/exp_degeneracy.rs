@@ -1,0 +1,60 @@
+//! Experiment F9 — degeneracy-parameterized coloring on sparse graphs.
+//!
+//! The paper cites BCG20 twice: `(degeneracy+1)`-coloring is Algorithm 2's
+//! offline subroutine, and κ-based palettes motivate the degeneracy-vs-∆
+//! gap on sparse graphs. This experiment quantifies that gap: on skewed
+//! (preferential-attachment) workloads, κ ≪ ∆, so the BCG20-style
+//! `κ(1+ε)`-colorer uses a small fraction of ∆ colors while ∆-based
+//! single-pass algorithms cannot.
+
+use sc_bench::Table;
+use sc_graph::{brooks_bound, degeneracy_ordering, generators};
+use sc_stream::run_oblivious;
+use streamcolor::{Bcg20Colorer, Bg18Colorer, RobustColorer};
+
+fn main() {
+    let n = 2000usize;
+    println!("# F9: degeneracy vs ∆-based palettes (n = {n}, preferential attachment)");
+    let mut table = Table::new(&[
+        "attach k", "∆", "κ", "Brooks ∆-bound", "bcg20 colors", "bg18 colors", "alg2 colors",
+    ]);
+
+    for attach in [2usize, 3, 5] {
+        let cap = 40 * attach;
+        let g = generators::preferential_attachment(n, attach, cap, 11 + attach as u64);
+        let delta = g.max_degree();
+        let all: Vec<u32> = (0..n as u32).collect();
+        let kappa = degeneracy_ordering(&g, &all).degeneracy;
+        let edges = generators::shuffled_edges(&g, 7);
+
+        let mut bcg = Bcg20Colorer::for_graph(&g, 0.5, 3);
+        let c_bcg = run_oblivious(&mut bcg, edges.iter().copied());
+        assert!(c_bcg.is_proper_total(&g), "bcg20 must be proper");
+        assert_eq!(bcg.failures(), 0, "bcg20 completion failed");
+
+        let mut bg = Bg18Colorer::new(n, delta as u64, 5);
+        let c_bg = run_oblivious(&mut bg, edges.iter().copied());
+        assert!(c_bg.is_proper_total(&g));
+
+        let mut alg2 = RobustColorer::new(n, delta, 9);
+        let c_a2 = run_oblivious(&mut alg2, edges.iter().copied());
+        assert!(c_a2.is_proper_total(&g));
+
+        table.row(&[
+            &attach,
+            &delta,
+            &kappa,
+            &brooks_bound(&g),
+            &c_bcg.num_distinct_colors(),
+            &c_bg.num_distinct_colors(),
+            &c_a2.num_distinct_colors(),
+        ]);
+    }
+    table.print("F9: palette sizes on sparse skewed graphs");
+    println!(
+        "\nShape check: κ ≪ ∆ on these workloads, and the κ-parameterized \
+         palette (bcg20) stays near κ while the ∆-based single-pass palettes \
+         scale with ∆ (bg18 ≈ Õ(∆)) or poly(∆) (alg2, which buys robustness). \
+         This is the BCG20 separation the paper's related-work section invokes."
+    );
+}

@@ -1,0 +1,55 @@
+//! Experiments F1 + F6 — pass complexity of the deterministic algorithm.
+//!
+//! F1 (Theorem 1): passes grow like `O(log ∆ · log log ∆)` in ∆ and the
+//! palette never exceeds `∆+1`.
+//! F6: comparison against the `O(∆)`-pass batch-greedy baseline — the
+//! gap that is the theorem's whole point.
+
+use sc_bench::Table;
+use sc_graph::generators;
+use sc_stream::StoredStream;
+use streamcolor::{batch_greedy_coloring, deterministic_coloring, DetConfig};
+
+fn main() {
+    let n = 4096usize;
+    println!("# F1/F6: deterministic passes vs ∆ (n = {n})");
+    let mut table = Table::new(&[
+        "∆", "colors", "∆+1", "det passes", "log∆·loglog∆", "batch passes (F6)", "epochs",
+        "stages",
+    ]);
+    let mut ratio_track: Vec<f64> = Vec::new();
+
+    for delta in sc_bench::delta_sweep(4, 256) {
+        let g = generators::random_with_exact_max_degree(n, delta, 42 + delta as u64);
+        let stream = StoredStream::from_edges(generators::shuffled_edges(&g, 5));
+        let det = deterministic_coloring(&stream, n, delta, &DetConfig::default());
+        assert!(det.coloring.is_proper_total(&g), "∆ = {delta}");
+        assert!(det.coloring.palette_span() <= delta as u64 + 1);
+        assert!(!det.fallback_used);
+
+        let bg = batch_greedy_coloring(&stream, n, delta);
+        assert!(bg.coloring.is_proper_total(&g));
+
+        let log_d = (delta as f64).log2().max(1.0);
+        let predictor = log_d * log_d.log2().max(1.0);
+        ratio_track.push(det.passes as f64 / predictor);
+        table.row(&[
+            &delta,
+            &det.colors_used,
+            &(delta + 1),
+            &det.passes,
+            &format!("{predictor:.1}"),
+            &bg.passes,
+            &det.epochs,
+            &det.stages,
+        ]);
+    }
+    table.print("F1/F6: passes (deterministic vs batch-greedy)");
+
+    let max_ratio = ratio_track.iter().cloned().fold(0.0, f64::max);
+    let min_ratio = ratio_track.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "\npasses / (log∆·loglog∆) stays in [{min_ratio:.1}, {max_ratio:.1}] — bounded, \
+         as Theorem 1 predicts; batch-greedy grows linearly in ∆."
+    );
+}

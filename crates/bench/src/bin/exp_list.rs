@@ -1,0 +1,56 @@
+//! Experiment T2 — (deg+1)-list-coloring (Theorem 2): validity, passes,
+//! and space across list-universe regimes.
+
+use sc_bench::{fmt_bits, Table};
+use sc_graph::generators;
+use sc_stream::{StoredStream, StreamSource};
+use streamcolor::{list_coloring, Hknt22Colorer, ListConfig};
+
+fn main() {
+    let n = 1024usize;
+    println!("# T2: (deg+1)-list-coloring (n = {n})");
+    let mut table = Table::new(&[
+        "∆", "universe |C|", "valid?", "respects lists?", "passes", "epochs", "space",
+        "hknt22 valid?", "hknt22 space",
+    ]);
+
+    for delta in [8usize, 16, 32] {
+        for universe in [2 * delta as u64, (n * n / 64) as u64] {
+            let g = generators::random_with_exact_max_degree(n, delta, 17 + delta as u64);
+            let lists = generators::random_deg_plus_one_lists(&g, universe, 23);
+            let stream = StoredStream::from_graph_with_lists(&g, &lists);
+            let r = list_coloring(&stream, n, delta, universe, &ListConfig::default());
+            let valid = r.coloring.is_proper_total(&g);
+            let respects = r.coloring.respects_lists(&lists);
+            assert!(valid && respects, "∆ = {delta}, |C| = {universe}");
+
+            // The randomized single-pass comparator (HKNT22-style).
+            let mut hk = Hknt22Colorer::with_theory_lists(n, 31 + delta as u64);
+            for item in stream.pass() {
+                hk.process_item(&item);
+            }
+            let hc = hk.query();
+            let hk_valid = hc.is_proper_total(&g) && hc.respects_lists(&lists);
+
+            table.row(&[
+                &delta,
+                &universe,
+                &valid,
+                &respects,
+                &r.passes,
+                &r.epochs,
+                &fmt_bits(r.peak_space_bits),
+                &hk_valid,
+                &fmt_bits(hk.peak_space_bits()),
+            ]);
+        }
+    }
+    table.print("T2: list-coloring runs (Theorem 2 vs HKNT22-style single pass)");
+    println!(
+        "\nEvery Theorem 2 run produced a proper coloring drawn from the per-vertex \
+         lists, in a polylogarithmic number of passes — including the |C| = O(n²) \
+         universe regime. The randomized HKNT22-style comparator achieves the same \
+         in one pass (with error probability); Theorem 2's point is doing it with \
+         zero error and zero randomness."
+    );
+}

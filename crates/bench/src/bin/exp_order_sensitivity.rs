@@ -1,0 +1,70 @@
+//! Experiment F10 — arrival-order sensitivity.
+//!
+//! Every theorem promises correctness for edges "arriving in an adversarial
+//! order". This experiment fixes one graph and replays it under six
+//! arrival orders (natural, shuffled, hubs-first, hubs-last,
+//! vertex-contiguous, interleaved), checking that:
+//!
+//! * Theorem 1's colors stay at `∆+1` and its passes stay within the bound
+//!   for **every** order (determinism means order affects nothing but the
+//!   internal tournament outcomes);
+//! * Algorithm 2/3 remain proper and their palettes move only modestly
+//!   (order shifts which vertices are "fast" at query time, not
+//!   correctness).
+
+use sc_bench::Table;
+use sc_graph::generators;
+use sc_stream::{run_oblivious, StoredStream, StreamOrder};
+use streamcolor::{deterministic_coloring, DetConfig, RandEfficientColorer, RobustColorer};
+
+fn main() {
+    let (n, delta) = (1024usize, 32usize);
+    let g = generators::random_with_exact_max_degree(n, delta, 5);
+    println!("# F10: arrival-order sensitivity (n = {n}, ∆ = {}, m = {})", g.max_degree(), g.m());
+
+    let mut table = Table::new(&[
+        "order", "thm1 colors", "thm1 passes", "alg2 colors", "alg3 colors",
+    ]);
+    let mut det_pass_counts = Vec::new();
+
+    for order in StreamOrder::sweep(23) {
+        let edges = order.arrange(&g);
+        let stream = StoredStream::from_edges(edges.iter().copied());
+
+        let det = deterministic_coloring(&stream, n, delta, &DetConfig::default());
+        assert!(det.coloring.is_proper_total(&g), "{}: thm1 improper", order.label());
+        assert!(
+            det.coloring.palette_span() <= delta as u64 + 1,
+            "{}: thm1 palette exceeded ∆+1",
+            order.label()
+        );
+        det_pass_counts.push(det.passes);
+
+        let mut a2 = RobustColorer::new(n, delta, 7);
+        let c2 = run_oblivious(&mut a2, edges.iter().copied());
+        assert!(c2.is_proper_total(&g), "{}: alg2 improper", order.label());
+
+        let mut a3 = RandEfficientColorer::new(n, delta, 8);
+        let c3 = run_oblivious(&mut a3, edges.iter().copied());
+        assert!(c3.is_proper_total(&g), "{}: alg3 improper", order.label());
+
+        table.row(&[
+            &order.label(),
+            &det.colors_used,
+            &det.passes,
+            &c2.num_distinct_colors(),
+            &c3.num_distinct_colors(),
+        ]);
+    }
+    table.print("F10: six arrival orders, one graph");
+
+    let (lo, hi) = (
+        det_pass_counts.iter().min().expect("nonempty"),
+        det_pass_counts.iter().max().expect("nonempty"),
+    );
+    println!(
+        "\nShape check: all orders produce proper colorings; Theorem 1 stays at \
+         ≤ ∆+1 colors with passes in [{lo}, {hi}] — order changes tournament \
+         outcomes, never correctness or the pass-count regime."
+    );
+}

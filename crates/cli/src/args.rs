@@ -1,0 +1,189 @@
+//! A small, dependency-free argument parser.
+//!
+//! Grammar: `streamcolor <subcommand> [--flag value | --switch]…`.
+//! Every flag takes exactly one value except declared boolean switches.
+//! Unknown flags are errors (catching typos beats silently ignoring
+//! them), as are duplicate flags and missing required values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Convenience constructor used throughout the command modules.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed arguments: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional token).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    /// Flags that were consumed by a getter, for unknown-flag detection.
+    consumed: std::cell::RefCell<std::collections::BTreeSet<String>>,
+}
+
+impl Args {
+    /// Parses raw argv tokens (without the program name).
+    ///
+    /// `switches` lists boolean flags that take no value.
+    pub fn parse(tokens: &[String], switches: &[&str]) -> Result<Self, CliError> {
+        let mut it = tokens.iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| err("missing subcommand; try `streamcolor help`"))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(err(format!(
+                "expected a subcommand before flags, got {command:?}"
+            )));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(err(format!("unexpected positional argument {tok:?}")));
+            };
+            if name.is_empty() {
+                return Err(err("empty flag `--`"));
+            }
+            if flags.contains_key(name) {
+                return Err(err(format!("duplicate flag --{name}")));
+            }
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), String::from("true"));
+                continue;
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => return Err(err(format!("flag --{name} requires a value"))),
+            }
+        }
+        Ok(Self { command, flags, consumed: Default::default() })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.consumed.borrow_mut().insert(name.to_string());
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().insert(name.to_string());
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn parse_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        let raw = self.required(name)?;
+        raw.parse()
+            .map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}")))
+    }
+
+    /// A boolean switch (declared in `Args::parse`).
+    pub fn switch(&self, name: &str) -> bool {
+        self.optional(name) == Some("true")
+    }
+
+    /// Errors on any flag no getter asked about — call after all getters.
+    pub fn reject_unknown(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for name in self.flags.keys() {
+            if !consumed.contains(name) {
+                return Err(err(format!(
+                    "unknown flag --{name} for `{}`",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&toks("gen --n 100 --family gnp"), &[]).unwrap();
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.required("n").unwrap(), "100");
+        assert_eq!(a.optional("family"), Some("gnp"));
+        assert_eq!(a.optional("missing"), None);
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn missing_subcommand_and_flag_values() {
+        assert!(Args::parse(&[], &[]).is_err());
+        assert!(Args::parse(&toks("--n 5"), &[]).is_err());
+        let e = Args::parse(&toks("gen --n"), &[]).unwrap_err();
+        assert!(e.to_string().contains("requires a value"), "{e}");
+        let e = Args::parse(&toks("gen --n --m 3"), &[]).unwrap_err();
+        assert!(e.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse(&toks("color --quiet --n 5"), &["quiet"]).unwrap();
+        assert!(a.switch("quiet"));
+        assert_eq!(a.required("n").unwrap(), "5");
+        let b = Args::parse(&toks("color --n 5"), &["quiet"]).unwrap();
+        assert!(!b.switch("quiet"));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_flags() {
+        assert!(Args::parse(&toks("gen --n 1 --n 2"), &[]).is_err());
+        let a = Args::parse(&toks("gen --bogus 7"), &[]).unwrap();
+        let e = a.reject_unknown().unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn typed_getters() {
+        let a = Args::parse(&toks("gen --n 64 --p 0.5"), &[]).unwrap();
+        assert_eq!(a.parse_required::<usize>("n").unwrap(), 64);
+        assert_eq!(a.parse_or::<f64>("p", 0.1).unwrap(), 0.5);
+        assert_eq!(a.parse_or::<u64>("seed", 42).unwrap(), 42);
+        assert!(a.parse_required::<usize>("p").is_err(), "0.5 is not a usize");
+    }
+
+    #[test]
+    fn positional_after_subcommand_rejected() {
+        let e = Args::parse(&toks("gen extra"), &[]).unwrap_err();
+        assert!(e.to_string().contains("positional"));
+    }
+}

@@ -1,0 +1,168 @@
+//! `streamcolor attack` — run the adaptive-adversary game against a
+//! chosen victim and report survival.
+
+use crate::args::{err, Args, CliError};
+use sc_adversary::{
+    run_game, Adversary, BufferBoundaryAttacker, CliqueBuilder, GameReport,
+    LevelBoundaryAttacker, MonochromaticAttacker, RandomAdversary,
+};
+use sc_stream::StreamingColorer;
+use streamcolor::{
+    Bg18Colorer, Cgs22Colorer, PaletteSparsification, RandEfficientColorer, RobustColorer,
+};
+use std::io::Write;
+
+/// Victims selectable via `--victim`.
+pub const VICTIMS: &str = "robust | rand-efficient | cgs22 | ps | bg18";
+/// Adversaries selectable via `--adversary`.
+pub const ADVERSARIES: &str = "mono | random | clique | buffer | level";
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let n: usize = args.parse_or("n", 100)?;
+    let delta: usize = args.parse_or("delta", 10)?;
+    let rounds: usize = args.parse_or("rounds", n * delta / 2)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let victim = args.optional("victim").unwrap_or("robust").to_string();
+    let adversary = args.optional("adversary").unwrap_or("mono").to_string();
+    let lists: Option<usize> = match args.optional("lists") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| err(format!("flag --lists: cannot parse {raw:?}")))?,
+        ),
+    };
+    args.reject_unknown()?;
+
+    let mut colorer = make_victim(&victim, n, delta, seed, lists)?;
+    let mut attacker = make_adversary(&adversary, n, delta, seed ^ 0xA77AC)?;
+    let report = run_game(colorer.as_mut(), attacker.as_mut(), n, rounds);
+    print_report(out, &victim, &adversary, &report)?;
+    Ok(())
+}
+
+fn make_victim(
+    name: &str,
+    n: usize,
+    delta: usize,
+    seed: u64,
+    lists: Option<usize>,
+) -> Result<Box<dyn StreamingColorer>, CliError> {
+    Ok(match name {
+        "robust" => Box::new(RobustColorer::new(n, delta, seed)),
+        "rand-efficient" => Box::new(RandEfficientColorer::new(n, delta, seed)),
+        "cgs22" => Box::new(Cgs22Colorer::new(n, delta, seed)),
+        // `--lists` overrides the Θ(log n) theory sizing — handy for
+        // demonstrating the break threshold.
+        "ps" => match lists {
+            Some(k) => Box::new(PaletteSparsification::new(n, delta, k, seed)),
+            None => Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
+        },
+        "bg18" => Box::new(Bg18Colorer::new(n, delta as u64, seed)),
+        other => return Err(err(format!("unknown --victim {other:?}; one of: {VICTIMS}"))),
+    })
+}
+
+fn make_adversary(
+    name: &str,
+    n: usize,
+    delta: usize,
+    seed: u64,
+) -> Result<Box<dyn Adversary>, CliError> {
+    Ok(match name {
+        "mono" => Box::new(MonochromaticAttacker::new(n, delta, seed)),
+        "random" => Box::new(RandomAdversary::new(n, delta, seed)),
+        "clique" => Box::new(CliqueBuilder::new(n, delta)),
+        "buffer" => Box::new(BufferBoundaryAttacker::new(n, delta, n, seed)),
+        "level" => Box::new(LevelBoundaryAttacker::new(n, delta, seed)),
+        other => {
+            return Err(err(format!(
+                "unknown --adversary {other:?}; one of: {ADVERSARIES}"
+            )))
+        }
+    })
+}
+
+fn print_report(
+    out: &mut dyn Write,
+    victim: &str,
+    adversary: &str,
+    r: &GameReport,
+) -> Result<(), CliError> {
+    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
+        writeln!(o, "{k:<18} {v}").map_err(|e| err(e.to_string()))
+    };
+    w(out, "victim", &victim)?;
+    w(out, "adversary", &adversary)?;
+    w(out, "rounds played", &r.rounds)?;
+    w(out, "final edges", &r.final_graph.m())?;
+    w(out, "final max degree", &r.final_graph.max_degree())?;
+    w(out, "max colors seen", &r.max_colors)?;
+    w(out, "improper outputs", &r.improper_outputs)?;
+    match r.first_failure_round {
+        Some(round) => w(out, "verdict", &format!("BROKEN at round {round}"))?,
+        None => w(out, "verdict", &"survived")?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn robust_victims_survive() {
+        for victim in ["robust", "rand-efficient", "cgs22"] {
+            let text = run_str(&format!(
+                "attack --victim {victim} --adversary mono --n 50 --delta 6 --rounds 120"
+            ))
+            .unwrap();
+            assert!(text.contains("survived"), "victim {victim}: {text}");
+        }
+    }
+
+    #[test]
+    fn every_adversary_is_selectable() {
+        for adv in ["mono", "random", "clique", "buffer", "level"] {
+            let text = run_str(&format!(
+                "attack --victim robust --adversary {adv} --n 40 --delta 5 --rounds 60"
+            ))
+            .unwrap();
+            assert!(text.contains("rounds played"), "adversary {adv}: {text}");
+        }
+    }
+
+    #[test]
+    fn non_robust_victim_can_break() {
+        // Small sampled lists on palette sparsification: the mono attack
+        // breaks it within the budget for at least one seed.
+        let mut broke = false;
+        for seed in 0..6u64 {
+            let text = run_str(&format!(
+                "attack --victim ps --lists 4 --adversary mono --n 50 --delta 12 \
+                 --rounds 300 --seed {seed}"
+            ))
+            .unwrap();
+            if text.contains("BROKEN") {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "palette sparsification should break under the feedback attack");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(run_str("attack --victim nope").is_err());
+        assert!(run_str("attack --adversary nope").is_err());
+        assert!(run_str("attack --bogus 1").is_err());
+    }
+}

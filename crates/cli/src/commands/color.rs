@@ -1,0 +1,229 @@
+//! `streamcolor color` — run one of the paper's algorithms (or a
+//! baseline) on a workload and report palette / pass / space numbers.
+
+use crate::args::{err, Args, CliError};
+use crate::workload;
+use sc_graph::{Coloring, Graph};
+use sc_stream::{run_oblivious, StoredStream, StreamOrder, StreamingColorer};
+use streamcolor::{
+    batch_greedy_coloring, deterministic_coloring, offline_greedy, Bcg20Colorer, Bg18Colorer,
+    Cgs22Colorer, DetConfig, PaletteSparsification, RandEfficientColorer, RobustColorer,
+    RobustParams,
+};
+use std::io::Write;
+
+/// Algorithms selectable via `--algo`.
+pub const ALGOS: &str =
+    "det | batch | robust | auto | rand-efficient | cgs22 | bg18 | bcg20 | ps | greedy | brooks";
+
+/// One run's result, printed as an aligned report.
+struct RunResult {
+    algo: &'static str,
+    coloring: Coloring,
+    passes: Option<u64>,
+    space_bits: Option<u64>,
+}
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = workload::acquire(args)?;
+    workload::mark_flags_consumed(args);
+    let algo = args.optional("algo").unwrap_or("det").to_string();
+    let seed: u64 = args.parse_or("alg-seed", 7)?;
+    let beta: f64 = args.parse_or("beta", 0.0)?;
+    let order = parse_order(args.optional("order"), seed)?;
+    let out_coloring = args.optional("out-coloring").map(String::from);
+    args.reject_unknown()?;
+
+    let delta = g.max_degree();
+    let edges = order.arrange(&g);
+    let result = run_algo(&algo, &g, delta, &edges, seed, beta)?;
+
+    if let Some(path) = out_coloring {
+        let mut buf = Vec::new();
+        sc_graph::io::write_coloring(&result.coloring, &mut buf)
+            .map_err(|e| err(e.to_string()))?;
+        std::fs::write(&path, &buf).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+
+    let proper = result.coloring.is_proper_total(&g);
+    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
+        writeln!(o, "{k:<14} {v}").map_err(|e| err(e.to_string()))
+    };
+    w(out, "algorithm", &result.algo)?;
+    w(out, "order", &order.label())?;
+    w(out, "n", &g.n())?;
+    w(out, "m", &g.m())?;
+    w(out, "max degree", &delta)?;
+    w(out, "colors", &result.coloring.num_distinct_colors())?;
+    w(out, "proper", &proper)?;
+    if let Some(p) = result.passes {
+        w(out, "passes", &p)?;
+    }
+    if let Some(s) = result.space_bits {
+        w(out, "space (bits)", &s)?;
+    }
+    if !proper {
+        return Err(err("the produced coloring is IMPROPER (randomized failure?)"));
+    }
+    Ok(())
+}
+
+fn parse_order(raw: Option<&str>, seed: u64) -> Result<StreamOrder, CliError> {
+    Ok(match raw.unwrap_or("generated") {
+        "generated" => StreamOrder::AsGenerated,
+        "shuffled" => StreamOrder::Shuffled(seed),
+        "hubs-first" => StreamOrder::HubsFirst,
+        "hubs-last" => StreamOrder::HubsLast,
+        "vertex-contiguous" => StreamOrder::VertexContiguous,
+        "interleaved" => StreamOrder::Interleaved(seed),
+        other => {
+            return Err(err(format!(
+                "unknown --order {other:?} (generated | shuffled | hubs-first | hubs-last | \
+                 vertex-contiguous | interleaved)"
+            )))
+        }
+    })
+}
+
+fn run_algo(
+    algo: &str,
+    g: &Graph,
+    delta: usize,
+    edges: &[sc_graph::Edge],
+    seed: u64,
+    beta: f64,
+) -> Result<RunResult, CliError> {
+    let stream = StoredStream::from_edges(edges.iter().copied());
+    let one_pass = |mut c: Box<dyn StreamingColorer>| {
+        let coloring = run_oblivious(c.as_mut(), edges.iter().copied());
+        RunResult {
+            algo: c.name(),
+            coloring,
+            passes: Some(1),
+            space_bits: Some(c.peak_space_bits()),
+        }
+    };
+    Ok(match algo {
+        "det" => {
+            let r = deterministic_coloring(&stream, g.n(), delta, &DetConfig::default());
+            RunResult {
+                algo: "deterministic (Thm 1)",
+                coloring: r.coloring,
+                passes: Some(r.passes),
+                space_bits: Some(r.peak_space_bits),
+            }
+        }
+        "batch" => {
+            let r = batch_greedy_coloring(&stream, g.n(), delta.max(1));
+            RunResult {
+                algo: "batch-greedy (O(∆) passes)",
+                coloring: r.coloring,
+                passes: Some(r.passes),
+                space_bits: Some(r.peak_space_bits),
+            }
+        }
+        "robust" => {
+            let params = RobustParams::with_beta(g.n(), delta.max(1), beta);
+            one_pass(Box::new(RobustColorer::with_params(params, seed)))
+        }
+        // Auto dispatch: store-everything for small ∆ (the paper's
+        // ∆ = O(polylog n) fallback), Algorithm 2 otherwise.
+        "auto" => one_pass(Box::new(streamcolor::robust::auto_robust_colorer(
+            g.n(),
+            delta.max(1),
+            seed,
+        ))),
+        "rand-efficient" => one_pass(Box::new(RandEfficientColorer::new(g.n(), delta.max(1), seed))),
+        "cgs22" => one_pass(Box::new(Cgs22Colorer::new(g.n(), delta.max(1), seed))),
+        "bg18" => one_pass(Box::new(Bg18Colorer::new(g.n(), delta.max(1) as u64, seed))),
+        "bcg20" => one_pass(Box::new(Bcg20Colorer::for_graph(g, 0.5, seed))),
+        "ps" => one_pass(Box::new(PaletteSparsification::with_theory_lists(
+            g.n(),
+            delta,
+            seed,
+        ))),
+        "greedy" => RunResult {
+            algo: "offline greedy",
+            coloring: offline_greedy(g),
+            passes: None,
+            space_bits: None,
+        },
+        "brooks" => RunResult {
+            algo: "offline Brooks (∆ colors)",
+            coloring: sc_graph::brooks_coloring(g),
+            passes: None,
+            space_bits: None,
+        },
+        other => return Err(err(format!("unknown --algo {other:?}; one of: {ALGOS}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_reports() {
+        for algo in [
+            "det",
+            "batch",
+            "robust",
+            "auto",
+            "rand-efficient",
+            "cgs22",
+            "bg18",
+            "bcg20",
+            "ps",
+            "greedy",
+            "brooks",
+        ] {
+            let text = run_str(&format!(
+                "color --algo {algo} --family exact --n 80 --delta 8 --seed 3"
+            ))
+            .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
+            assert!(text.contains("proper         true"), "algo {algo}: {text}");
+            assert!(text.contains("colors"), "{text}");
+        }
+    }
+
+    #[test]
+    fn deterministic_reports_passes() {
+        let text = run_str("color --algo det --family gnp --n 64 --delta 6").unwrap();
+        assert!(text.contains("passes"), "{text}");
+        assert!(text.contains("space (bits)"), "{text}");
+    }
+
+    #[test]
+    fn orders_are_selectable() {
+        for order in ["shuffled", "hubs-first", "hubs-last", "vertex-contiguous", "interleaved"] {
+            let text = run_str(&format!(
+                "color --algo robust --family gnp --n 60 --delta 6 --order {order}"
+            ))
+            .unwrap();
+            assert!(text.contains(order), "{text}");
+        }
+        assert!(run_str("color --order sideways").is_err());
+    }
+
+    #[test]
+    fn beta_flag_feeds_the_tradeoff() {
+        let text =
+            run_str("color --algo robust --family exact --n 100 --delta 9 --beta 0.5").unwrap();
+        assert!(text.contains("proper         true"));
+    }
+
+    #[test]
+    fn unknown_algo_is_an_error() {
+        let e = run_str("color --algo quantum").unwrap_err();
+        assert!(e.to_string().contains("unknown --algo"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `streamcolor gen` — generate a workload graph and write it to a file
+//! or stdout.
+
+use crate::args::{err, Args, CliError};
+use crate::workload;
+use sc_graph::io;
+use std::io::Write;
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = workload::acquire(args)?;
+    workload::mark_flags_consumed(args);
+    let format = args.optional("format").unwrap_or("edgelist");
+    let dest = args.optional("out").map(String::from);
+    args.reject_unknown()?;
+
+    let mut buf = Vec::new();
+    match format {
+        "edgelist" => io::write_edge_list(&g, &mut buf),
+        "dimacs" => io::write_dimacs(&g, &mut buf),
+        other => return Err(err(format!("unknown --format {other:?} (edgelist | dimacs)"))),
+    }
+    .map_err(|e| err(format!("write failed: {e}")))?;
+
+    match dest {
+        Some(path) => {
+            std::fs::write(&path, &buf).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "wrote {} vertices / {} edges to {path}", g.n(), g.m())
+                .map_err(|e| err(e.to_string()))?;
+        }
+        None => out.write_all(&buf).map_err(|e| err(e.to_string()))?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn writes_edge_list_to_stdout() {
+        let text = run_str("gen --family cycle --n 5").unwrap();
+        assert!(text.starts_with("n 5\n"), "{text}");
+        assert_eq!(text.lines().count(), 6); // header + 5 edges
+    }
+
+    #[test]
+    fn writes_dimacs() {
+        let text = run_str("gen --family complete --n 4 --format dimacs").unwrap();
+        assert!(text.contains("p edge 4 6"), "{text}");
+    }
+
+    #[test]
+    fn rejects_unknown_format_and_flags() {
+        assert!(run_str("gen --format yaml").is_err());
+        assert!(run_str("gen --bogus 3").is_err());
+    }
+
+    #[test]
+    fn writes_to_file() {
+        let dir = std::env::temp_dir().join("streamcolor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen-out.txt");
+        let msg =
+            run_str(&format!("gen --family star --n 6 --out {}", path.display())).unwrap();
+        assert!(msg.contains("6 vertices / 5 edges"), "{msg}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("n 6\n"));
+    }
+}

@@ -1,0 +1,93 @@
+//! `streamcolor info` — structural report on a workload: sizes, degrees,
+//! degeneracy, connectivity, and coloring-relevant bounds.
+
+use crate::args::{err, Args, CliError};
+use crate::workload;
+use sc_graph::{
+    bipartition, brooks_bound, chromatic_number, connected_components, degeneracy_ordering,
+    greedy_clique,
+};
+use std::io::Write;
+
+/// Graphs up to this many vertices get an exact chromatic number.
+const CHROMATIC_LIMIT: usize = 64;
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = workload::acquire(args)?;
+    workload::mark_flags_consumed(args);
+    let want_chromatic = args.switch("chromatic");
+    args.reject_unknown()?;
+
+    let n = g.n();
+    let all: Vec<u32> = (0..n as u32).collect();
+    let info = degeneracy_ordering(&g, &all);
+    let comps = connected_components(&g);
+    let clique = greedy_clique(&g);
+
+    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
+        writeln!(o, "{k:<16} {v}").map_err(|e| err(e.to_string()))
+    };
+    w(out, "n", &n)?;
+    w(out, "m", &g.m())?;
+    w(out, "max degree ∆", &g.max_degree())?;
+    let avg = if n == 0 { 0.0 } else { 2.0 * g.m() as f64 / n as f64 };
+    w(out, "avg degree", &format!("{avg:.2}"))?;
+    w(out, "degeneracy κ", &info.degeneracy)?;
+    w(out, "components", &comps.len())?;
+    w(out, "bipartite", &bipartition(&g).is_some())?;
+    w(out, "clique ≥", &clique.len())?;
+    w(out, "Brooks bound", &brooks_bound(&g))?;
+    if want_chromatic {
+        if n > CHROMATIC_LIMIT {
+            return Err(err(format!(
+                "--chromatic is exact (exponential); limited to n ≤ {CHROMATIC_LIMIT}, got {n}"
+            )));
+        }
+        let (chi, _) = chromatic_number(&g);
+        w(out, "chromatic χ", &chi)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &["chromatic"]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn reports_structure_of_petersen() {
+        let text = run_str("info --family petersen").unwrap();
+        assert!(text.contains("n                10"), "{text}");
+        assert!(text.contains("m                15"));
+        assert!(text.contains("max degree ∆     3"));
+        assert!(text.contains("degeneracy κ     3"));
+        assert!(text.contains("bipartite        false"));
+        assert!(text.contains("Brooks bound     3"));
+    }
+
+    #[test]
+    fn chromatic_switch_works_on_small_graphs() {
+        let text = run_str("info --family complete --n 5 --chromatic").unwrap();
+        assert!(text.contains("chromatic χ      5"), "{text}");
+    }
+
+    #[test]
+    fn chromatic_switch_guards_large_graphs() {
+        let e = run_str("info --family gnp --n 500 --chromatic").unwrap_err();
+        assert!(e.to_string().contains("limited"));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        let text = run_str("info --family bipartite --n 20 --delta 5").unwrap();
+        assert!(text.contains("bipartite        true"), "{text}");
+    }
+}

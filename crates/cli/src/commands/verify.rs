@@ -1,0 +1,168 @@
+//! `streamcolor verify` — check an announced coloring against a graph in
+//! the vertex-arrival streaming model (the BBMU21 problem).
+
+use crate::args::{err, Args, CliError};
+use crate::workload;
+use sc_graph::io;
+use std::io::Write;
+use streamcolor::verify::{stream_from_coloring, ExactConflictCounter, SampledConflictEstimator};
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let g = workload::acquire(args)?;
+    workload::mark_flags_consumed(args);
+    let coloring_path = args.required("coloring")?.to_string();
+    let sample: Option<usize> = match args.optional("sample") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| err(format!("flag --sample: cannot parse {raw:?}")))?,
+        ),
+    };
+    let seed: u64 = args.parse_or("alg-seed", 1)?;
+    args.reject_unknown()?;
+
+    let text = std::fs::read_to_string(&coloring_path)
+        .map_err(|e| err(format!("cannot read {coloring_path}: {e}")))?;
+    let coloring =
+        io::read_coloring(text.as_bytes(), g.n()).map_err(|e| err(format!("{coloring_path}: {e}")))?;
+    if !coloring.is_total() {
+        return Err(err(format!(
+            "{coloring_path}: {} vertices are uncolored — verification needs a total coloring",
+            coloring.num_uncolored()
+        )));
+    }
+    let c_max = coloring.palette_span().max(1);
+    let order: Vec<u32> = (0..g.n() as u32).collect();
+    let stream = stream_from_coloring(&g, &coloring, &order);
+
+    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
+        writeln!(o, "{k:<18} {v}").map_err(|e| err(e.to_string()))
+    };
+    w(out, "n", &g.n())?;
+    w(out, "m", &g.m())?;
+    w(out, "colors announced", &coloring.num_distinct_colors())?;
+    match sample {
+        None => {
+            let mut counter = ExactConflictCounter::new(g.n(), c_max);
+            for a in &stream {
+                counter.process(a);
+            }
+            w(out, "mode", &"exact")?;
+            w(out, "conflicts", &counter.conflicts())?;
+            w(out, "space (bits)", &counter.space_bits())?;
+            w(out, "proper", &counter.is_proper())?;
+        }
+        Some(k) => {
+            let mut est = SampledConflictEstimator::new(g.n(), k, c_max, seed);
+            for a in &stream {
+                est.process(a);
+            }
+            w(out, "mode", &format!("sampled (k = {})", est.sample_size()))?;
+            w(out, "estimate", &format!("{:.1}", est.estimate()))?;
+            w(out, "visible conflicts", &est.visible_conflicts())?;
+            w(out, "space (bits)", &est.space_bits())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::{generators, greedy_complete, Coloring};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("streamcolor-cli-verify");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn verifies_proper_and_improper_colorings() {
+        let dir = tmpdir();
+        let g = generators::random_with_exact_max_degree(50, 6, 1);
+        let gpath = dir.join("v.txt");
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&gpath, &buf).unwrap();
+
+        let mut c = Coloring::empty(50);
+        greedy_complete(&g, &mut c);
+        let cpath = dir.join("good.col");
+        let mut cbuf = Vec::new();
+        io::write_coloring(&c, &mut cbuf).unwrap();
+        std::fs::write(&cpath, &cbuf).unwrap();
+        let text = run_str(&format!(
+            "verify --input {} --coloring {}",
+            gpath.display(),
+            cpath.display()
+        ))
+        .unwrap();
+        assert!(text.contains("proper             true"), "{text}");
+
+        // Corrupt one vertex to its neighbor's color.
+        let v = g.edges().next().unwrap();
+        c.unset(v.u());
+        c.set(v.u(), c.get(v.v()).unwrap());
+        let bad = dir.join("bad.col");
+        let mut bbuf = Vec::new();
+        io::write_coloring(&c, &mut bbuf).unwrap();
+        std::fs::write(&bad, &bbuf).unwrap();
+        let text = run_str(&format!(
+            "verify --input {} --coloring {}",
+            gpath.display(),
+            bad.display()
+        ))
+        .unwrap();
+        assert!(text.contains("proper             false"), "{text}");
+    }
+
+    #[test]
+    fn sampled_mode_reports_estimate() {
+        let dir = tmpdir();
+        let g = generators::complete(20);
+        let gpath = dir.join("k20.txt");
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&gpath, &buf).unwrap();
+        // All-same coloring: every edge conflicts.
+        let mono: String = (0..20).map(|v| format!("{v} 0\n")).collect();
+        let cpath = dir.join("mono.col");
+        std::fs::write(&cpath, mono).unwrap();
+        let text = run_str(&format!(
+            "verify --input {} --coloring {} --sample 20",
+            gpath.display(),
+            cpath.display()
+        ))
+        .unwrap();
+        assert!(text.contains("estimate           190.0"), "{text}");
+    }
+
+    #[test]
+    fn partial_coloring_is_rejected() {
+        let dir = tmpdir();
+        let g = generators::path(4);
+        let gpath = dir.join("p4.txt");
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&gpath, &buf).unwrap();
+        let cpath = dir.join("partial.col");
+        std::fs::write(&cpath, "0 1\n").unwrap();
+        let e = run_str(&format!(
+            "verify --input {} --coloring {}",
+            gpath.display(),
+            cpath.display()
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("uncolored"), "{e}");
+    }
+}

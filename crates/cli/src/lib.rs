@@ -1,0 +1,24 @@
+//! # `streamcolor-cli` — command-line front end
+//!
+//! A thin, dependency-free CLI over the `streamcolor` workspace:
+//! generate workloads, run any of the paper's algorithms or baselines,
+//! inspect graph structure, and referee adaptive-adversary games —
+//! without writing a Rust program.
+//!
+//! ```text
+//! streamcolor gen    --family exact --n 1000 --delta 32 --out g.txt
+//! streamcolor info   --input g.txt
+//! streamcolor color  --algo det --input g.txt
+//! streamcolor color  --algo robust --beta 0.5 --input g.txt
+//! streamcolor attack --victim ps --adversary mono --n 100 --delta 16
+//! ```
+//!
+//! All argument parsing is hand-rolled ([`args`]) to stay within the
+//! workspace's no-new-dependencies policy; see DESIGN.md §6.
+
+pub mod args;
+pub mod commands;
+pub mod workload;
+
+pub use args::{Args, CliError};
+pub use commands::{dispatch, HELP};

@@ -1,0 +1,15 @@
+use std::io::Write;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if tokens.is_empty() {
+        let _ = out.write_all(streamcolor_cli::HELP.as_bytes());
+        return;
+    }
+    if let Err(e) = streamcolor_cli::dispatch(&tokens, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

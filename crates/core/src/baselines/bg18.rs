@@ -1,0 +1,130 @@
+//! BG18-style randomized one-pass `O(∆)`-coloring (non-robust).
+//!
+//! Bera–Ghosh (2018) opened the streaming-coloring line with a
+//! semi-streaming `O(∆)`-coloring: hash every vertex into one of `∆`
+//! buckets, store only intra-bucket (monochromatic) edges — in
+//! expectation `m/∆ ≤ n/2` of them — and at query time color each bucket
+//! with its own fresh palette by greedy first-fit on the stored subgraph.
+//! Intra-bucket degrees are `O(log n / log log n)` w.h.p., so the total
+//! palette is `∆ · O(log n / log log n) = Õ(∆)` (and `O(∆)` with a larger
+//! bucket count).
+//!
+//! The paper quotes this algorithm twice: as the "quite simple
+//! single-pass randomized `O(∆)`-coloring" contrasting with the hardness
+//! of `(∆+1)` (§1.1), and implicitly as the structure its robust
+//! algorithms harden (the `h`-sketches of Algorithm 2 are exactly this
+//! bucket trick applied per epoch). Like palette sparsification it is
+//! **non-robust**: the bucket hash is fixed up front, so an adaptive
+//! adversary can flood one bucket.
+
+use crate::robust::sketch::{group_by_block, MonoSketch};
+use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
+use sc_hash::{OracleFn, SplitMix64};
+use sc_stream::{edge_bits, SpaceMeter, StreamingColorer};
+
+/// The BG18-style one-pass colorer.
+#[derive(Debug, Clone)]
+pub struct Bg18Colorer {
+    n: usize,
+    sketch: MonoSketch,
+    meter: SpaceMeter,
+}
+
+impl Bg18Colorer {
+    /// Creates the colorer with `buckets` hash buckets (use `≈ ∆` for the
+    /// `Õ(∆)`-color / `Õ(n)`-space point).
+    pub fn new(n: usize, buckets: u64, seed: u64) -> Self {
+        let f = OracleFn::new(SplitMix64::new(seed).fork(4).next_u64(), 0, buckets.max(1));
+        Self { n, sketch: MonoSketch::new(f), meter: SpaceMeter::new() }
+    }
+
+    /// Number of stored (intra-bucket) edges.
+    pub fn stored_edges(&self) -> usize {
+        self.sketch.len()
+    }
+}
+
+impl StreamingColorer for Bg18Colorer {
+    fn process(&mut self, e: Edge) {
+        assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        if self.sketch.offer(e) {
+            self.meter.charge(edge_bits(self.n));
+        }
+    }
+
+    fn query(&mut self) -> Coloring {
+        let mut coloring = Coloring::empty(self.n);
+        let mut offset = 0u64;
+        let g = Graph::from_edges(self.n, self.sketch.edges().iter().copied());
+        let all: Vec<u32> = (0..self.n as u32).collect();
+        for (_, members) in group_by_block(&self.sketch, &all) {
+            let span = greedy_color_in_order(&g, &mut coloring, &members, offset);
+            offset += span.max(1);
+        }
+        coloring
+    }
+
+    fn peak_space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "bg18-bucket"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::run_oblivious;
+
+    #[test]
+    fn proper_coloring_on_random_streams() {
+        for seed in 0..4u64 {
+            let g = generators::gnp_with_max_degree(120, 12, 0.4, seed);
+            let mut c = Bg18Colorer::new(120, 12, seed + 1);
+            let out = run_oblivious(&mut c, generators::shuffled_edges(&g, seed));
+            assert!(out.is_proper_total(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn palette_is_o_delta_not_delta_squared() {
+        let delta = 32usize;
+        let n = 800usize;
+        let g = generators::random_with_exact_max_degree(n, delta, 3);
+        let mut c = Bg18Colorer::new(n, delta as u64, 9);
+        let out = run_oblivious(&mut c, g.edges());
+        assert!(out.is_proper_total(&g));
+        let colors = out.num_distinct_colors();
+        assert!(
+            colors < 20 * delta,
+            "{colors} colors is not Õ(∆) for ∆ = {delta}"
+        );
+    }
+
+    #[test]
+    fn stores_about_m_over_delta_edges() {
+        let delta = 16usize;
+        let g = generators::gnp_with_max_degree(400, delta, 0.3, 5);
+        let mut c = Bg18Colorer::new(400, delta as u64, 2);
+        run_oblivious(&mut c, g.edges());
+        let expect = g.m() / delta;
+        assert!(
+            c.stored_edges() < 4 * expect + 40,
+            "stored {} vs expected ≈ {expect}",
+            c.stored_edges()
+        );
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_store_everything() {
+        let g = generators::complete(10);
+        let mut c = Bg18Colorer::new(10, 1, 1);
+        let out = run_oblivious(&mut c, g.edges());
+        assert!(out.is_proper_total(&g));
+        assert_eq!(c.stored_edges(), 45);
+        assert_eq!(out.num_distinct_colors(), 10);
+    }
+}

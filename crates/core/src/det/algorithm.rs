@@ -1,0 +1,317 @@
+//! The top-level deterministic `(∆+1)`-coloring driver
+//! (`DETERMINISTIC-COLORING`, paper lines 1–7; Theorem 1).
+//!
+//! Repeats epochs until `|U| ≤ n/∆`, then makes one final pass collecting
+//! every edge incident to `U` (at most `|U|·∆ ≤ n` of them) and greedily
+//! completes the coloring. Deterministic end to end: same stream ⇒ same
+//! coloring, bit for bit.
+
+use crate::det::config::DetConfig;
+use crate::det::epoch::{coloring_epoch, EpochOutcome};
+use sc_graph::{greedy_complete, Coloring, Graph, VertexId};
+use sc_stream::{color_bits, edge_bits, PassCounter, SpaceMeter, StreamSource};
+
+/// Full run report for Theorem 1 experiments.
+#[derive(Debug, Clone)]
+pub struct DetReport {
+    /// The final proper `(∆+1)`-coloring.
+    pub coloring: Coloring,
+    /// Streaming passes used (the `O(log ∆ · log log ∆)` quantity).
+    pub passes: u64,
+    /// Epochs run.
+    pub epochs: usize,
+    /// Total stages across epochs.
+    pub stages: usize,
+    /// Peak self-reported space in bits (the `O(n log² n)` quantity).
+    pub peak_space_bits: u64,
+    /// Distinct colors used.
+    pub colors_used: usize,
+    /// Per-epoch outcomes (F sizes, potential traces, …).
+    pub epoch_outcomes: Vec<EpochOutcome>,
+    /// Whether the safety fallback (batch-greedy completion) engaged.
+    pub fallback_used: bool,
+}
+
+/// Deterministically `(∆+1)`-colors the streamed graph.
+///
+/// `n` and `delta` describe the stream (the paper, as is standard, assumes
+/// `∆` is known; use [`max_degree_pass`] to measure it in one extra pass).
+///
+/// # Panics
+/// Panics if the stream contains an edge with endpoint `≥ n` or a vertex
+/// of degree `> delta`.
+pub fn deterministic_coloring<S: StreamSource + ?Sized>(
+    stream: &S,
+    n: usize,
+    delta: usize,
+    config: &DetConfig,
+) -> DetReport {
+    let counted = PassCounter::new(stream);
+    let mut meter = SpaceMeter::new();
+    // Persistent state: χ (n colors) + U membership (n bits).
+    meter.charge(n as u64 * color_bits(delta as u64 + 1) + n as u64);
+
+    let mut coloring = Coloring::empty(n);
+    let mut u_set: Vec<VertexId> = (0..n as u32).collect();
+    let mut epoch_outcomes = Vec::new();
+    let mut fallback_used = false;
+
+    if delta == 0 {
+        // Edgeless graph: one color, zero passes.
+        for x in 0..n as u32 {
+            coloring.set(x, 0);
+        }
+        u_set.clear();
+    }
+
+    // Epoch loop: until |U| ≤ n/∆ (equivalently |U|·∆ ≤ n).
+    let mut epochs = 0usize;
+    while !u_set.is_empty() && u_set.len() * delta > n {
+        if epochs >= config.max_epochs {
+            fallback_used = true;
+            break;
+        }
+        let out = coloring_epoch(
+            &counted, n, delta, &mut coloring, &mut u_set, config, &mut meter,
+        );
+        epoch_outcomes.push(out);
+        epochs += 1;
+    }
+
+    if fallback_used {
+        batch_greedy_completion(&counted, n, delta, &mut coloring, &mut u_set, &mut meter);
+    } else if !u_set.is_empty() {
+        // Final pass (lines 6–7): collect all edges incident to U.
+        let mut in_u = vec![false; n];
+        for &x in &u_set {
+            in_u[x as usize] = true;
+        }
+        let mut residual = Graph::empty(n);
+        for item in counted.pass() {
+            let Some(e) = item.as_edge() else { continue };
+            if in_u[e.u() as usize] || in_u[e.v() as usize] {
+                residual.add_edge(e);
+            }
+        }
+        meter.charge(residual.m() as u64 * edge_bits(n));
+        greedy_complete(&residual, &mut coloring);
+        meter.release(residual.m() as u64 * edge_bits(n));
+        u_set.clear();
+    }
+
+    let stages = epoch_outcomes.iter().map(|o| o.stages).sum();
+    DetReport {
+        colors_used: coloring.num_distinct_colors(),
+        coloring,
+        passes: counted.passes(),
+        epochs,
+        stages,
+        peak_space_bits: meter.peak_bits(),
+        epoch_outcomes,
+        fallback_used,
+    }
+}
+
+/// One extra pass computing the maximum degree of the streamed graph.
+pub fn max_degree_pass<S: StreamSource + ?Sized>(stream: &S, n: usize) -> usize {
+    let mut deg = vec![0usize; n];
+    for item in stream.pass() {
+        if let Some(e) = item.as_edge() {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+    }
+    deg.into_iter().max().unwrap_or(0)
+}
+
+/// Safety fallback: colors the residual `U` in batches of `⌈n/∆⌉` vertices,
+/// one pass each, storing only that batch's incident edges.
+///
+/// `O(∆)` passes in the worst case — the trivial multi-pass baseline — but
+/// only ever reached if `max_epochs` epochs failed to shrink `U`, which the
+/// theory rules out and we have never observed.
+fn batch_greedy_completion<S: StreamSource + ?Sized>(
+    stream: &S,
+    n: usize,
+    delta: usize,
+    coloring: &mut Coloring,
+    u_set: &mut Vec<VertexId>,
+    meter: &mut SpaceMeter,
+) {
+    let batch_size = (n / delta.max(1)).max(1);
+    while !u_set.is_empty() {
+        let batch: Vec<VertexId> =
+            u_set.iter().copied().take(batch_size).collect();
+        let mut in_batch = vec![false; n];
+        for &x in &batch {
+            in_batch[x as usize] = true;
+        }
+        let mut local = Graph::empty(n);
+        for item in stream.pass() {
+            let Some(e) = item.as_edge() else { continue };
+            if in_batch[e.u() as usize] || in_batch[e.v() as usize] {
+                local.add_edge(e);
+            }
+        }
+        meter.charge(local.m() as u64 * edge_bits(n));
+        sc_graph::greedy_color_in_order(&local, coloring, &batch, 0);
+        meter.release(local.m() as u64 * edge_bits(n));
+        u_set.retain(|&x| !in_batch[x as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::StoredStream;
+
+    fn check_run(g: &sc_graph::Graph, config: &DetConfig) -> DetReport {
+        let stream = StoredStream::from_graph(g);
+        let delta = g.max_degree();
+        let report = deterministic_coloring(&stream, g.n(), delta, config);
+        assert!(
+            report.coloring.is_proper_total(g),
+            "improper coloring on n={} ∆={delta}",
+            g.n()
+        );
+        assert!(
+            report.coloring.palette_span() <= delta as u64 + 1,
+            "used span {} > ∆+1 = {}",
+            report.coloring.palette_span(),
+            delta + 1
+        );
+        report
+    }
+
+    #[test]
+    fn colors_random_graphs_with_delta_plus_one() {
+        for seed in 0..4u64 {
+            let g = generators::gnp_with_max_degree(60, 8, 0.3, seed);
+            let r = check_run(&g, &DetConfig::default());
+            assert!(!r.fallback_used);
+        }
+    }
+
+    #[test]
+    fn colors_clique_exactly() {
+        let g = generators::complete(17);
+        let r = check_run(&g, &DetConfig::default());
+        assert_eq!(r.colors_used, 17, "K_17 needs all ∆+1 colors");
+    }
+
+    #[test]
+    fn colors_structured_graphs() {
+        check_run(&generators::cycle(31), &DetConfig::default());
+        check_run(&generators::star(40), &DetConfig::default());
+        check_run(&generators::complete_bipartite(10, 15), &DetConfig::default());
+        check_run(&generators::clique_union(4, 6), &DetConfig::default());
+    }
+
+    #[test]
+    fn edgeless_graph_zero_passes() {
+        let g = sc_graph::Graph::empty(12);
+        let stream = StoredStream::from_graph(&g);
+        let r = deterministic_coloring(&stream, 12, 0, &DetConfig::default());
+        assert!(r.coloring.is_proper_total(&g));
+        assert_eq!(r.colors_used, 1);
+        assert_eq!(r.passes, 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = sc_graph::Graph::from_edges(2, [sc_graph::Edge::new(0, 1)]);
+        let r = check_run(&g, &DetConfig::default());
+        assert_eq!(r.colors_used, 2);
+    }
+
+    #[test]
+    fn determinism_same_stream_same_coloring() {
+        let g = generators::gnp_with_max_degree(50, 7, 0.3, 11);
+        let stream = StoredStream::from_graph(&g);
+        let r1 = deterministic_coloring(&stream, 50, 7, &DetConfig::default());
+        let r2 = deterministic_coloring(&stream, 50, 7, &DetConfig::default());
+        assert_eq!(r1.coloring, r2.coloring);
+        assert_eq!(r1.passes, r2.passes);
+    }
+
+    #[test]
+    fn order_sensitivity_is_allowed_but_correctness_holds() {
+        // Different arrival orders may give different colorings, but both
+        // must be proper (∆+1)-colorings.
+        let g = generators::gnp_with_max_degree(40, 6, 0.4, 8);
+        let delta = g.max_degree();
+        let s1 = StoredStream::from_edges(generators::shuffled_edges(&g, 1));
+        let s2 = StoredStream::from_edges(generators::shuffled_edges(&g, 2));
+        let r1 = deterministic_coloring(&s1, 40, delta, &DetConfig::default());
+        let r2 = deterministic_coloring(&s2, 40, delta, &DetConfig::default());
+        assert!(r1.coloring.is_proper_total(&g));
+        assert!(r2.coloring.is_proper_total(&g));
+    }
+
+    #[test]
+    fn full_family_mode_on_tiny_instance() {
+        let g = generators::complete(5);
+        let r = check_run(&g, &DetConfig::theory());
+        assert_eq!(r.colors_used, 5);
+    }
+
+    #[test]
+    fn pass_count_is_logarithmic_not_linear() {
+        // For ∆ = 16 on n = 256, passes should be far below ∆ (the
+        // batch-greedy cost) — the whole point of Theorem 1.
+        let g = generators::random_with_exact_max_degree(256, 16, 5);
+        let r = check_run(&g, &DetConfig::default());
+        assert!(
+            r.passes < 6 * 16,
+            "{} passes is not polylogarithmic in spirit",
+            r.passes
+        );
+        assert!(!r.fallback_used);
+    }
+
+    #[test]
+    fn max_degree_pass_measures_correctly() {
+        let g = generators::random_with_exact_max_degree(64, 9, 2);
+        let stream = StoredStream::from_graph(&g);
+        assert_eq!(max_degree_pass(&stream, 64), 9);
+        assert_eq!(max_degree_pass(&StoredStream::new(vec![]), 5), 0);
+    }
+
+    #[test]
+    fn space_grows_quasilinearly() {
+        // Peak space for n = 256 should be well under the trivial m·log n
+        // of storing the whole graph when the graph is dense enough.
+        let g = generators::gnp_with_max_degree(256, 32, 0.5, 3);
+        let stream = StoredStream::from_graph(&g);
+        let r = deterministic_coloring(&stream, 256, g.max_degree(), &DetConfig::default());
+        assert!(r.coloring.is_proper_total(&g));
+        let n = 256u64;
+        let log_n = 8u64;
+        assert!(
+            r.peak_space_bits <= 64 * n * log_n * log_n,
+            "peak {} bits exceeds 64·n·log²n",
+            r.peak_space_bits
+        );
+    }
+
+    #[test]
+    fn fallback_engages_when_epoch_budget_is_zero() {
+        let g = generators::gnp_with_max_degree(30, 5, 0.4, 4);
+        let cfg = DetConfig { max_epochs: 0, ..DetConfig::default() };
+        let stream = StoredStream::from_graph(&g);
+        let r = deterministic_coloring(&stream, 30, 5, &cfg);
+        assert!(r.fallback_used);
+        assert!(r.coloring.is_proper_total(&g));
+        assert!(r.coloring.palette_span() <= 6);
+    }
+
+    #[test]
+    fn grid_size_variants_all_work() {
+        let g = generators::gnp_with_max_degree(40, 8, 0.35, 6);
+        for l in [2usize, 4, 32] {
+            let r = check_run(&g, &DetConfig::with_grid(l));
+            assert!(!r.fallback_used, "grid l={l} needed fallback");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The two-pass derandomized hash selection (Algorithm 1, lines 19–26).
+//!
+//! Given the stage tables (slacks + `g_w`), the algorithm must pick a hash
+//! `h⋆` from the Carter–Wegman family for which the tightened potential
+//! `Φ(U, χ, P_{h⋆})` is at most (roughly) the family average. It does so
+//! with **two** streaming passes:
+//!
+//! * pass 2 — split the family into parts (by multiplier `a`), accumulate
+//!   `Σ_{h ∈ part} Φ(P_h)` per part, keep the minimizing part;
+//! * pass 3 — accumulate `Φ(P_h)` for each member of that part, keep the
+//!   minimizer.
+//!
+//! `Φ(P_h) = Σ_{{u,v} ∈ E(G[U]), P_u = P_v, j_h(u) = j_h(v)}
+//!   (1/slack(u | P_{u,j}) + 1/slack(v | P_{v,j}))` where
+//! `j_h(x) = g_w(x, h(x))`, so each edge contributes to an accumulator in
+//! O(1) after two hash evaluations and two `g_w` lookups.
+//!
+//! The accumulators are `f64` (far exceeding the `(1 + 1/(8 log n))`
+//! relative precision the analysis grants each pass); the space meter
+//! charges them at the paper's `O(log n)` bits each.
+
+use crate::det::config::DerandStrategy;
+use crate::det::tables::StageTables;
+use sc_hash::affine::GridSubfamily;
+use sc_hash::{mulmod, AffineFamily, AffineHash};
+use sc_stream::{StreamSource, StreamItem};
+
+/// Result of a stage's hash selection.
+#[derive(Debug, Clone)]
+pub struct SelectedHash {
+    /// The chosen function `h⋆`.
+    pub hash: AffineHash,
+    /// `Φ(U, χ, P_{h⋆})` — exact, as accumulated in pass 3.
+    pub phi: f64,
+    /// Number of accumulators the wider pass used (space accounting).
+    pub accumulators: usize,
+}
+
+/// Runs passes 2 and 3 of a stage and returns the selected hash.
+///
+/// `group[x]` is a proposal-identity token: an edge `{u, v}` qualifies for
+/// the potential iff both endpoints are uncolored (`group[x] ≠ u64::MAX`)
+/// and `group[u] == group[v]` (i.e. `P_u = P_v`).
+pub fn select_hash<S: StreamSource + ?Sized>(
+    stream: &S,
+    group: &[u64],
+    tables: &StageTables,
+    strategy: DerandStrategy,
+) -> SelectedHash {
+    let p = tables.p();
+    let family = AffineFamily::new(p);
+    let grid: GridSubfamily = match strategy {
+        DerandStrategy::FullFamily => family.grid(p as usize),
+        DerandStrategy::Grid { l } => family.grid(l),
+    };
+
+    // ---- Pass 2: part sums. ----
+    let parts = grid.num_parts();
+    let mut part_sums = vec![0.0f64; parts];
+    for item in stream.pass() {
+        let Some((u, v)) = qualifying(&item, group) else { continue };
+        let du = tables.position(u).expect("grouped vertex must be uncolored");
+        let dv = tables.position(v).expect("grouped vertex must be uncolored");
+        for (pi, sum) in part_sums.iter_mut().enumerate() {
+            for h in grid.part(pi) {
+                *sum += phi_contribution(h, u, v, du, dv, tables);
+            }
+        }
+    }
+    let best_part = part_sums
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("family has at least one part");
+
+    // ---- Pass 3: members of the winning part. ----
+    let members: Vec<AffineHash> = grid.part(best_part).collect();
+    let mut member_sums = vec![0.0f64; members.len()];
+    for item in stream.pass() {
+        let Some((u, v)) = qualifying(&item, group) else { continue };
+        let du = tables.position(u).expect("grouped vertex must be uncolored");
+        let dv = tables.position(v).expect("grouped vertex must be uncolored");
+        for (mi, h) in members.iter().enumerate() {
+            member_sums[mi] += phi_contribution(*h, u, v, du, dv, tables);
+        }
+    }
+    let (best_member, &phi) = member_sums
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("part is nonempty");
+
+    SelectedHash {
+        hash: members[best_member],
+        phi,
+        accumulators: parts.max(members.len()),
+    }
+}
+
+/// The edge's contribution to `Φ(P_h)`, or 0 if `h` separates the
+/// endpoints' proposal patterns.
+#[inline]
+fn phi_contribution(
+    h: AffineHash,
+    u: u32,
+    v: u32,
+    du: usize,
+    dv: usize,
+    tables: &StageTables,
+) -> f64 {
+    let tu = (mulmod(h.a, u as u64, h.p) + h.b) % h.p;
+    let tv = (mulmod(h.a, v as u64, h.p) + h.b) % h.p;
+    let ju = tables.gw(du, tu);
+    let jv = tables.gw(dv, tv);
+    if ju == jv {
+        tables.inv_slack(du, ju) + tables.inv_slack(dv, jv)
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+fn qualifying(item: &StreamItem, group: &[u64]) -> Option<(u32, u32)> {
+    let e = item.as_edge()?;
+    let (u, v) = e.endpoints();
+    let gu = group[u as usize];
+    let gv = group[v as usize];
+    (gu != u64::MAX && gu == gv).then_some((u, v))
+}
+
+/// Computes `Φ(P_h)` exactly for a single `h` (testing / experiment F7).
+pub fn phi_of_hash<S: StreamSource + ?Sized>(
+    stream: &S,
+    group: &[u64],
+    tables: &StageTables,
+    h: AffineHash,
+) -> f64 {
+    let mut phi = 0.0;
+    for item in stream.pass() {
+        let Some((u, v)) = qualifying(&item, group) else { continue };
+        let du = tables.position(u).unwrap();
+        let dv = tables.position(v).unwrap();
+        phi += phi_contribution(h, u, v, du, dv, tables);
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::{generators, Graph};
+    use sc_stream::StoredStream;
+
+    /// Builds toy tables where every vertex has the same slack row.
+    fn uniform_tables(n: usize, u_set: &[u32], patterns: usize, p: u64) -> StageTables {
+        let slack: Vec<u64> = u_set.iter().flat_map(|_| vec![2u64; patterns]).collect();
+        StageTables::build(n, u_set, patterns, slack, p, 4)
+    }
+
+    fn group_all_same(n: usize, u_set: &[u32]) -> Vec<u64> {
+        let mut g = vec![u64::MAX; n];
+        for &x in u_set {
+            g[x as usize] = 7;
+        }
+        g
+    }
+
+    #[test]
+    fn selection_beats_family_average_on_small_instance() {
+        let g = generators::complete(8);
+        let stream = StoredStream::from_graph(&g);
+        let u_set: Vec<u32> = (0..8).collect();
+        let p = sc_hash::prime_in_range(257, 1 << 14).unwrap();
+        let tables = uniform_tables(8, &u_set, 4, p);
+        let group = group_all_same(8, &u_set);
+
+        let sel = select_hash(&stream, &group, &tables, DerandStrategy::Grid { l: 8 });
+        // Compute the grid average for comparison.
+        let fam = AffineFamily::new(p);
+        let grid = fam.grid(8);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for pi in 0..grid.num_parts() {
+            for h in grid.part(pi) {
+                total += phi_of_hash(&stream, &group, &tables, h);
+                count += 1;
+            }
+        }
+        let avg = total / count as f64;
+        assert!(
+            sel.phi <= avg + 1e-9,
+            "selected Φ = {} should not exceed grid average {avg}",
+            sel.phi
+        );
+        // Consistency: the reported phi matches an exact recomputation.
+        let recomputed = phi_of_hash(&stream, &group, &tables, sel.hash);
+        assert!((sel.phi - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_family_matches_exhaustive_minimum_of_its_parts() {
+        // Tiny instance so the p² tournament is feasible.
+        let g = generators::cycle(4);
+        let stream = StoredStream::from_graph(&g);
+        let u_set: Vec<u32> = (0..4).collect();
+        let p = 67u64; // small prime ≥ 8·4·2 = 64
+        let tables = uniform_tables(4, &u_set, 2, p);
+        let group = group_all_same(4, &u_set);
+
+        let sel = select_hash(&stream, &group, &tables, DerandStrategy::FullFamily);
+        // The tournament picks min-of(best part); verify it's ≤ the family
+        // average (the guarantee the analysis needs).
+        let fam = AffineFamily::new(p);
+        let mut total = 0.0;
+        for h in fam.iter_all() {
+            total += phi_of_hash(&stream, &group, &tables, h);
+        }
+        let avg = total / (p * p) as f64;
+        assert!(sel.phi <= avg + 1e-9, "{} > avg {avg}", sel.phi);
+    }
+
+    #[test]
+    fn separated_groups_contribute_nothing() {
+        // Two vertices in different groups: Φ must be 0 for every hash.
+        let g = Graph::from_edges(2, [sc_graph::Edge::new(0, 1)]);
+        let stream = StoredStream::from_graph(&g);
+        let p = 97u64;
+        let tables = uniform_tables(2, &[0, 1], 2, p);
+        let group = vec![1u64, 2u64];
+        let sel = select_hash(&stream, &group, &tables, DerandStrategy::Grid { l: 4 });
+        assert_eq!(sel.phi, 0.0);
+    }
+
+    #[test]
+    fn colored_vertices_are_excluded() {
+        let g = generators::complete(3);
+        let stream = StoredStream::from_graph(&g);
+        let p = 97u64;
+        // Only vertices 0 and 1 are uncolored.
+        let tables = uniform_tables(3, &[0, 1], 2, p);
+        let mut group = vec![5u64, 5u64, u64::MAX];
+        group[2] = u64::MAX;
+        let sel = select_hash(&stream, &group, &tables, DerandStrategy::Grid { l: 4 });
+        // Only edge (0,1) can contribute; Φ ∈ {0, 1.0} since slacks are 2.
+        assert!(sel.phi <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn accumulator_count_reported() {
+        let g = generators::cycle(5);
+        let stream = StoredStream::from_graph(&g);
+        let p = 211u64;
+        let tables = uniform_tables(5, &[0, 1, 2, 3, 4], 2, p);
+        let group = group_all_same(5, &[0, 1, 2, 3, 4]);
+        let sel = select_hash(&stream, &group, &tables, DerandStrategy::Grid { l: 6 });
+        assert_eq!(sel.accumulators, 6);
+    }
+}

@@ -1,0 +1,25 @@
+//! Theorem 1: deterministic semi-streaming `(∆+1)`-coloring in
+//! `O(log ∆ · log log ∆)` passes and `O(n log² n)` bits.
+//!
+//! Module layout follows the paper's §3:
+//! * [`subcube`] — proposal sets `P_x` as subcubes of `{0,1}^b` (§3.2);
+//! * [`tables`] — slack counters (eq. 1), weights (eq. 4) and the `g_w`
+//!   threshold map (Lemma 3.2);
+//! * [`derand`] — the two-pass tournament that picks a below-average hash
+//!   `h⋆` (lines 19–26);
+//! * [`epoch`] — `COLORING-EPOCH` (lines 8–33);
+//! * [`algorithm`] — the epoch loop and final greedy pass (lines 1–7).
+
+pub mod algorithm;
+pub mod communication;
+pub mod config;
+pub mod derand;
+pub mod epoch;
+pub mod subcube;
+pub mod tables;
+
+pub use algorithm::{deterministic_coloring, max_degree_pass, DetReport};
+pub use communication::{two_party_coloring, ProtocolTranscript};
+pub use config::{DerandStrategy, DetConfig};
+pub use epoch::EpochOutcome;
+pub use subcube::Subcube;

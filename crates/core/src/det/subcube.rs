@@ -1,0 +1,231 @@
+//! Subcube proposal sets for Algorithm 1.
+//!
+//! §3.2 of the paper: colors are `b`-bit vectors (`b = ⌈log₂(∆+1)⌉`) and
+//! each uncolored vertex's proposal set `P_x` is a **subcube** of `{0,1}^b`
+//! in which the lowest `fixed` bits have been pinned to a specific value.
+//! Stage `i` pins the next `k`-bit block (eq. 6). The representation is
+//! `O(log ∆)` bits per vertex, exactly as the space analysis (Lemma 3.9)
+//! requires.
+//!
+//! We index bits from the low end: after stage `i`, bits `0..i·k` are
+//! fixed. The color associated with bit-vector `a` is the integer with
+//! those bits (0-based palette `{0, …, 2^b − 1}`, of which `{0, …, ∆}`
+//! are the *valid* colors `L_x = [∆+1]`; cf. the paper's footnote 4 — a
+//! subcube may contain invalid colors, which simply carry zero slack).
+
+use sc_graph::Color;
+
+/// A subcube of `{0,1}^width` with the low `fixed` bits pinned to `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subcube {
+    width: u32,
+    fixed: u32,
+    value: u64,
+}
+
+impl Subcube {
+    /// The full cube `{0,1}^width` (no bits fixed).
+    pub fn full(width: u32) -> Self {
+        assert!(width <= 63, "color-space width {width} too large");
+        Self { width, fixed: 0, value: 0 }
+    }
+
+    /// Total bit width `b`.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of fixed (pinned) low bits.
+    #[inline]
+    pub fn fixed_bits(&self) -> u32 {
+        self.fixed
+    }
+
+    /// The pinned value of the low `fixed` bits.
+    #[inline]
+    pub fn fixed_value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of free bits remaining.
+    #[inline]
+    pub fn free_bits(&self) -> u32 {
+        self.width - self.fixed
+    }
+
+    /// Cardinality of the subcube (`2^free_bits`).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        1u64 << self.free_bits()
+    }
+
+    /// Subcubes are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether color `c` lies in the subcube.
+    #[inline]
+    pub fn contains(&self, c: Color) -> bool {
+        c < (1u64 << self.width) && (c & self.mask()) == self.value
+    }
+
+    /// The block index (pattern) of `c`'s next `block_width` bits above the
+    /// fixed prefix. Only meaningful when `self.contains(c)`.
+    #[inline]
+    pub fn block_of(&self, c: Color, block_width: u32) -> u64 {
+        debug_assert!(self.fixed + block_width <= self.width);
+        (c >> self.fixed) & ((1u64 << block_width) - 1)
+    }
+
+    /// The child subcube obtained by pinning the next `block_width` bits to
+    /// `pattern` — the `P_x ∩ Q^{(i)}_j` of eq. (6).
+    #[inline]
+    pub fn child(&self, block_width: u32, pattern: u64) -> Subcube {
+        debug_assert!(self.fixed + block_width <= self.width);
+        debug_assert!(pattern < (1u64 << block_width));
+        Subcube {
+            width: self.width,
+            fixed: self.fixed + block_width,
+            value: self.value | (pattern << self.fixed),
+        }
+    }
+
+    /// Whether all bits are fixed (the subcube is a single color).
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.fixed == self.width
+    }
+
+    /// The sole color of a singleton subcube.
+    ///
+    /// # Panics
+    /// Panics if the subcube is not a singleton.
+    #[inline]
+    pub fn singleton_color(&self) -> Color {
+        assert!(self.is_singleton(), "subcube still has {} free bits", self.free_bits());
+        self.value
+    }
+
+    /// `|P_x ∩ L_x|` for the palette `L_x = {0, …, limit}`: the number of
+    /// subcube members that are valid colors. O(1) arithmetic — this is
+    /// why Algorithm 1 needs no streaming pass for the `|T ∩ L_x|` term of
+    /// the slack (eq. 1).
+    pub fn count_at_most(&self, limit: Color) -> u64 {
+        if self.value > limit {
+            return 0;
+        }
+        // Members are value + t·2^fixed for t ∈ [0, 2^{free}).
+        let step = 1u64 << self.fixed;
+        let max_t = (limit - self.value) / step;
+        (max_t + 1).min(self.len())
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        (1u64 << self.fixed) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cube() {
+        let s = Subcube::full(4);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.free_bits(), 4);
+        for c in 0..16 {
+            assert!(s.contains(c));
+        }
+        assert!(!s.contains(16));
+        assert!(!s.is_singleton());
+    }
+
+    #[test]
+    fn child_pins_low_blocks_first() {
+        let s = Subcube::full(6).child(2, 0b11);
+        assert_eq!(s.fixed_bits(), 2);
+        assert_eq!(s.fixed_value(), 0b11);
+        assert!(s.contains(0b000011));
+        assert!(s.contains(0b101011));
+        assert!(!s.contains(0b000010));
+        let t = s.child(2, 0b01);
+        assert_eq!(t.fixed_bits(), 4);
+        assert_eq!(t.fixed_value(), 0b0111);
+        assert!(t.contains(0b10_0111));
+        assert!(!t.contains(0b10_1011));
+    }
+
+    #[test]
+    fn block_extraction() {
+        let s = Subcube::full(6).child(2, 0b10);
+        // color 0b01_11_10: fixed block = 10, next 2-bit block = 11.
+        assert_eq!(s.block_of(0b011110, 2), 0b11);
+        assert_eq!(s.block_of(0b010010, 2), 0b00);
+    }
+
+    #[test]
+    fn children_partition_the_parent() {
+        let s = Subcube::full(5).child(2, 0b01);
+        let kids: Vec<Subcube> = (0..4).map(|j| s.child(2, j)).collect();
+        for c in 0..32u64 {
+            let in_parent = s.contains(c);
+            let in_kids = kids.iter().filter(|k| k.contains(c)).count();
+            assert_eq!(in_kids, usize::from(in_parent), "color {c}");
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let mut s = Subcube::full(4);
+        s = s.child(2, 0b10);
+        s = s.child(2, 0b01);
+        assert!(s.is_singleton());
+        assert_eq!(s.singleton_color(), 0b0110);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.count_at_most(15), 1);
+        assert_eq!(s.count_at_most(5), 0); // 6 > 5
+    }
+
+    #[test]
+    #[should_panic(expected = "free bits")]
+    fn singleton_color_requires_singleton() {
+        Subcube::full(3).singleton_color();
+    }
+
+    #[test]
+    fn count_at_most_matches_enumeration() {
+        for fixed_pattern in 0..4u64 {
+            let s = Subcube::full(5).child(2, fixed_pattern);
+            for limit in 0..40u64 {
+                let expect = (0..32u64).filter(|&c| s.contains(c) && c <= limit).count() as u64;
+                assert_eq!(
+                    s.count_at_most(limit),
+                    expect,
+                    "pattern {fixed_pattern} limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_at_most_full_cube() {
+        let s = Subcube::full(4);
+        assert_eq!(s.count_at_most(8), 9); // colors 0..=8
+        assert_eq!(s.count_at_most(100), 16); // capped at cube size
+        assert_eq!(s.count_at_most(0), 1);
+    }
+
+    #[test]
+    fn width_zero_cube_is_singleton_zero() {
+        // ∆ = 0 gives b = 0: the one-color palette.
+        let s = Subcube::full(0);
+        assert!(s.is_singleton());
+        assert_eq!(s.singleton_color(), 0);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-stage tables: slack values, proposal weights, and the `g_w` map of
+//! Lemma 3.2.
+//!
+//! After pass 1 of a stage, the algorithm holds, for each uncolored vertex
+//! `x` and each pattern `j ∈ {0,1}^bw`, the slack `slack(x | P_x ∩ Q_j)`
+//! (eq. 1). These integers determine the weights `w_{x,j}` (eq. 4) and,
+//! via Lemma 3.2, a threshold function `g_w : U × [p] → {0,1}^bw` with
+//! `|g_w^{-1}(x, j)|/p ≤ w_{x,j}(1 + 1/(8 log n))`.
+//!
+//! The construction is exact integer arithmetic: with `L = ⌈log₂ n⌉` and
+//! `S_x = Σ_j slack(x | P_x ∩ Q_j)`, pattern `j` receives
+//! `⌊p · s_{x,j} · (8L + 1) / (S_x · 8L)⌋` consecutive entries of `[p]`.
+//! Lemma A.3's argument (every nonzero `w ≥ 1/n`, `p ≥ 8 n L`) guarantees
+//! the blocks cover all of `[p]`; evaluation is a binary search over the
+//! per-vertex prefix sums.
+
+/// Dense per-stage tables for the uncolored set `U`.
+#[derive(Debug, Clone)]
+pub struct StageTables {
+    /// Number of patterns `2^bw` for this stage.
+    num_patterns: usize,
+    /// `pos[x]` = dense index of vertex `x` in `U`, or `u32::MAX`.
+    pos: Vec<u32>,
+    /// Slack values, `|U| × num_patterns`, row-major by dense index.
+    slack: Vec<u64>,
+    /// Prefix sums of `g_w` block sizes, `|U| × (num_patterns + 1)`.
+    gw_cum: Vec<u64>,
+    /// The hash range `p`.
+    p: u64,
+}
+
+impl StageTables {
+    /// Builds the tables from raw slack values.
+    ///
+    /// `u_set` lists the uncolored vertices (dense order); `slack` is
+    /// `|U| × num_patterns` row-major; `p` is the prime hash range;
+    /// `log_n = max(1, ⌈log₂ n⌉)`.
+    ///
+    /// # Panics
+    /// Panics if some vertex has all-zero slack row (violates the
+    /// invariant `Σ_j slack ≥ slack(x | P_x) ≥ 1` of Lemmas 3.4/3.6 — an
+    /// algorithm bug, not an input condition).
+    pub fn build(
+        n: usize,
+        u_set: &[u32],
+        num_patterns: usize,
+        slack: Vec<u64>,
+        p: u64,
+        log_n: u64,
+    ) -> Self {
+        assert_eq!(slack.len(), u_set.len() * num_patterns);
+        let mut pos = vec![u32::MAX; n];
+        for (i, &x) in u_set.iter().enumerate() {
+            pos[x as usize] = i as u32;
+        }
+        let mut gw_cum = Vec::with_capacity(u_set.len() * (num_patterns + 1));
+        let eight_l = 8 * log_n;
+        for (i, &x) in u_set.iter().enumerate() {
+            let row = &slack[i * num_patterns..(i + 1) * num_patterns];
+            let total: u64 = row.iter().sum();
+            assert!(total >= 1, "vertex {x} has zero total slack (invariant violation)");
+            let mut cum = 0u64;
+            gw_cum.push(0);
+            for &s in row {
+                // ⌊p · s · (8L + 1) / (total · 8L)⌋ in exact u128 arithmetic.
+                let block = (p as u128 * s as u128 * (eight_l as u128 + 1))
+                    / (total as u128 * eight_l as u128);
+                cum = cum.saturating_add(block as u64);
+                gw_cum.push(cum);
+            }
+            debug_assert!(
+                cum >= p,
+                "g_w blocks cover only {cum} < p = {p} entries (Lemma A.3 violated)"
+            );
+        }
+        Self { num_patterns, pos, slack, gw_cum, p }
+    }
+
+    /// Number of patterns for this stage.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The hash range `p`.
+    #[inline]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Dense index of vertex `x`, if uncolored.
+    #[inline]
+    pub fn position(&self, x: u32) -> Option<usize> {
+        let p = self.pos[x as usize];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
+    /// `slack(x | P_x ∩ Q_j)` by dense index.
+    #[inline]
+    pub fn slack_at(&self, dense: usize, j: usize) -> u64 {
+        self.slack[dense * self.num_patterns + j]
+    }
+
+    /// Evaluates `g_w(x, t)` by dense index: the pattern whose threshold
+    /// block contains `t ∈ [0, p)`.
+    ///
+    /// If the blocks over-cover `[p]` this is the standard construction;
+    /// if `t` falls beyond the last block (cannot happen when Lemma A.3's
+    /// preconditions hold, kept as a defensive clamp), the last pattern
+    /// with positive slack is returned, preserving the `slack ≥ 1`
+    /// invariant of Lemma 3.6.
+    pub fn gw(&self, dense: usize, t: u64) -> usize {
+        debug_assert!(t < self.p);
+        let base = dense * (self.num_patterns + 1);
+        let cum = &self.gw_cum[base..base + self.num_patterns + 1];
+        // Find smallest j with cum[j+1] > t.
+        let mut lo = 0usize;
+        let mut hi = self.num_patterns;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cum[mid + 1] > t {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        if lo < self.num_patterns {
+            debug_assert!(self.slack_at(dense, lo) > 0, "g_w chose a zero-slack pattern");
+            return lo;
+        }
+        // Defensive clamp: last positive-slack pattern.
+        (0..self.num_patterns)
+            .rev()
+            .find(|&j| self.slack_at(dense, j) > 0)
+            .expect("total slack ≥ 1 guarantees a positive pattern")
+    }
+
+    /// `Φ`-style reciprocal slack `1/slack(x | P_x ∩ Q_j)` used by the
+    /// tournament accumulators; `j` must have positive slack.
+    #[inline]
+    pub fn inv_slack(&self, dense: usize, j: usize) -> f64 {
+        1.0 / self.slack_at(dense, j) as f64
+    }
+
+    /// Number of uncolored vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.slack.len() / self.num_patterns.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_tables() -> StageTables {
+        // 2 vertices, 4 patterns, p = 1000, L = 4.
+        // v0 slacks: [1, 3, 0, 4]  total 8
+        // v5 slacks: [2, 0, 0, 2]  total 4
+        StageTables::build(6, &[0, 5], 4, vec![1, 3, 0, 4, 2, 0, 0, 2], 1000, 4)
+    }
+
+    #[test]
+    fn positions() {
+        let t = simple_tables();
+        assert_eq!(t.position(0), Some(0));
+        assert_eq!(t.position(5), Some(1));
+        assert_eq!(t.position(3), None);
+        assert_eq!(t.num_vertices(), 2);
+        assert_eq!(t.num_patterns(), 4);
+    }
+
+    #[test]
+    fn slack_lookup() {
+        let t = simple_tables();
+        assert_eq!(t.slack_at(0, 1), 3);
+        assert_eq!(t.slack_at(1, 3), 2);
+        assert_eq!(t.inv_slack(0, 3), 0.25);
+    }
+
+    #[test]
+    fn gw_blocks_proportional_to_weights() {
+        let t = simple_tables();
+        // Count pattern frequencies over all of [p].
+        let mut counts = [0u64; 4];
+        for tt in 0..1000u64 {
+            counts[t.gw(0, tt)] += 1;
+        }
+        // Weights 1/8, 3/8, 0, 4/8 → roughly 125, 375, 0, 500 (with the
+        // (1 + 1/32) inflation, earlier patterns get slightly more).
+        assert_eq!(counts[2], 0, "zero-slack pattern must never be chosen");
+        assert!(counts[0] >= 125 && counts[0] <= 135, "{counts:?}");
+        assert!(counts[1] >= 375 && counts[1] <= 390, "{counts:?}");
+        assert!(counts[3] > 450, "{counts:?}");
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn gw_coverage_lemma_a3() {
+        // Lemma A.3 bound check: |g_w^{-1}(x,j)|/p ≤ w_{x,j}(1 + 1/(8L)).
+        let t = simple_tables();
+        let weights = [1.0 / 8.0, 3.0 / 8.0, 0.0, 4.0 / 8.0];
+        let mut counts = [0u64; 4];
+        for tt in 0..1000u64 {
+            counts[t.gw(0, tt)] += 1;
+        }
+        for j in 0..4 {
+            let frac = counts[j] as f64 / 1000.0;
+            assert!(
+                frac <= weights[j] * (1.0 + 1.0 / 32.0) + 1e-9,
+                "pattern {j}: {frac} > bound"
+            );
+        }
+    }
+
+    #[test]
+    fn gw_respects_second_vertex_weights() {
+        let t = simple_tables();
+        let mut counts = [0u64; 4];
+        for tt in 0..1000u64 {
+            counts[t.gw(1, tt)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+        // Equal weights halves.
+        assert!(counts[0] > 450 && counts[3] > 430, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total slack")]
+    fn rejects_zero_slack_row() {
+        StageTables::build(2, &[0], 2, vec![0, 0], 100, 3);
+    }
+
+    #[test]
+    fn single_pattern_always_chosen() {
+        let t = StageTables::build(1, &[0], 1, vec![5], 64, 2);
+        for tt in 0..64 {
+            assert_eq!(t.gw(0, tt), 0);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Theorem 2: deterministic semi-streaming `(deg+1)`-list-coloring in
+//! `O(log ∆ · log log ∆)` passes and `O(n log² n)` bits.
+//!
+//! * [`partition`] — the adaptive 2-universal partitions of Lemma 3.10;
+//! * [`algorithm`] — the list-coloring epochs (adaptive stages + singleton
+//!   last stage) and driver.
+
+pub mod algorithm;
+pub mod partition;
+
+pub use algorithm::{list_coloring, ListConfig, ListReport};
+pub use partition::PartitionSearch;

@@ -1,0 +1,398 @@
+//! Algorithm 2: adversarially robust `O(∆^{5/2})`-coloring in
+//! semi-streaming space (Theorem 3), generalized to the `β` tradeoff of
+//! Corollary 4.7.
+//!
+//! Structure (paper §4.1–4.2):
+//! * a **buffer** `B` of the current epoch's edges (capacity `n·∆^β`);
+//! * `∆^{1−β}` **epoch sketches** `h_i : V → [∆^{2−2β}]`; the `h_i`-sketch
+//!   receives every edge inserted *before* epoch `i`, so at query time
+//!   `A_curr ∪ B` contains all intra-block edges among **slow** vertices;
+//! * `∆^{(1−β)/2}` **level sketches** `g_ℓ : V → [∆^{3(1−β)/2}]`; an edge
+//!   goes to every `g_ℓ` with `ℓ` strictly above both endpoints' current
+//!   levels, so `C_ℓ ∪ B` contains all intra-block edges among **fast**
+//!   level-`ℓ` vertices (the pigeonhole argument of Lemma 4.6);
+//! * at query: slow vertices are (degree+1)-colored per `h_curr`-block;
+//!   fast vertices are (degeneracy+1)-colored per `(ℓ, g_ℓ)`-block
+//!   (Lemma 4.5 bounds that degeneracy by `O(∆^{(1+β)/2})`); every block
+//!   uses a fresh palette.
+//!
+//! Robustness comes from the sketches never *consulting* a function that
+//! the algorithm's past outputs could have revealed: `h_i` only sees edges
+//! from epochs `< i`, and `g_ℓ` only sees edges inserted while both
+//! endpoints were below level `ℓ`.
+
+use crate::robust::params::RobustParams;
+use crate::robust::sketch::{group_by_block, MonoSketch};
+use sc_graph::{degeneracy_coloring, greedy_color_in_order, Coloring, Edge, Graph};
+use sc_hash::{OracleFn, SplitMix64};
+use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+
+/// The robust streaming colorer of Theorem 3 / Corollary 4.7.
+#[derive(Debug, Clone)]
+pub struct RobustColorer {
+    params: RobustParams,
+    /// Per-vertex degree counters `d(v)`.
+    degrees: Vec<u64>,
+    /// `h_i` sketches, index `i−1`.
+    h_sketches: Vec<MonoSketch>,
+    /// `g_ℓ` sketches, index `ℓ−1`.
+    g_sketches: Vec<MonoSketch>,
+    /// Current epoch's buffer `B`.
+    buffer: Vec<Edge>,
+    /// Current epoch (1-based).
+    curr: usize,
+    meter: SpaceMeter,
+}
+
+impl RobustColorer {
+    /// Creates the colorer with Theorem 3 parameters (`β = 0`).
+    pub fn new(n: usize, delta: usize, seed: u64) -> Self {
+        Self::with_params(RobustParams::theorem3(n, delta), seed)
+    }
+
+    /// Creates the colorer with explicit (possibly `β`-traded) parameters.
+    pub fn with_params(params: RobustParams, seed: u64) -> Self {
+        let h_seed = SplitMix64::new(seed).fork(1).next_u64();
+        let g_seed = SplitMix64::new(seed).fork(2).next_u64();
+        let h_sketches = (0..params.num_epochs)
+            .map(|i| MonoSketch::new(OracleFn::new(h_seed, i as u64, params.h_range)))
+            .collect();
+        let g_sketches = (0..params.num_levels)
+            .map(|l| MonoSketch::new(OracleFn::new(g_seed, l as u64, params.g_range)))
+            .collect();
+        let mut meter = SpaceMeter::new();
+        // Persistent: n degree counters + epoch/buffer counters. Oracle
+        // randomness is charged to the oracle, per Theorem 3's model.
+        meter.charge(params.n as u64 * counter_bits(params.delta as u64) + 128);
+        Self {
+            params,
+            degrees: vec![0; params.n],
+            h_sketches,
+            g_sketches,
+            buffer: Vec::new(),
+            curr: 1,
+            meter,
+        }
+    }
+
+    /// The parameter set in force.
+    pub fn params(&self) -> &RobustParams {
+        &self.params
+    }
+
+    /// Current epoch number (diagnostics).
+    pub fn current_epoch(&self) -> usize {
+        self.curr
+    }
+
+    /// Total edges currently stored across all sketches and the buffer —
+    /// the `Õ(n)` quantity of Lemma 4.4.
+    pub fn stored_edges(&self) -> usize {
+        self.buffer.len()
+            + self.h_sketches.iter().map(MonoSketch::len).sum::<usize>()
+            + self.g_sketches.iter().map(MonoSketch::len).sum::<usize>()
+    }
+
+    /// The union of one level sketch's edges with the buffer — the edge
+    /// set `C_ℓ ∪ B` whose fast-block degeneracy Lemma 4.5 bounds by
+    /// `O(∆^{(1+β)/2})`. Diagnostic for experiment F8.
+    pub fn level_edge_set(&self, level: usize) -> Vec<Edge> {
+        assert!((1..=self.params.num_levels).contains(&level));
+        self.g_sketches[level - 1]
+            .edges()
+            .iter()
+            .chain(self.buffer.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Per-vertex totals `Σ_i d_{A_i}(v)` over the epoch sketches — the
+    /// quantity Lemma 4.3 bounds by `O(log n)` w.h.p.
+    pub fn h_sketch_degree_totals(&self) -> Vec<u64> {
+        sketch_degree_totals(self.params.n, &self.h_sketches)
+    }
+
+    /// Per-vertex totals `Σ_ℓ d_{C_ℓ}(v)` over the level sketches — the
+    /// quantity Lemma 4.2 bounds by `O(log n)` w.h.p.
+    pub fn g_sketch_degree_totals(&self) -> Vec<u64> {
+        sketch_degree_totals(self.params.n, &self.g_sketches)
+    }
+
+    /// The current stream degree `d(v)` of a vertex (diagnostics).
+    pub fn degree_of(&self, v: u32) -> u64 {
+        self.degrees[v as usize]
+    }
+
+    /// The `g_ℓ`-block of a vertex (diagnostics; `level` is 1-based).
+    pub fn g_block_of(&self, level: usize, v: u32) -> u64 {
+        assert!((1..=self.params.num_levels).contains(&level));
+        self.g_sketches[level - 1].block_of(v)
+    }
+
+    /// Buffer degrees `deg_B(v)` — the fast/slow split key of line 18.
+    pub fn buffer_degrees(&self) -> Vec<u64> {
+        let mut deg_b = vec![0u64; self.params.n];
+        for e in &self.buffer {
+            deg_b[e.u() as usize] += 1;
+            deg_b[e.v() as usize] += 1;
+        }
+        deg_b
+    }
+}
+
+fn sketch_degree_totals(n: usize, sketches: &[MonoSketch]) -> Vec<u64> {
+    let mut totals = vec![0u64; n];
+    for s in sketches {
+        for e in s.edges() {
+            totals[e.u() as usize] += 1;
+            totals[e.v() as usize] += 1;
+        }
+    }
+    totals
+}
+
+impl StreamingColorer for RobustColorer {
+    fn process(&mut self, e: Edge) {
+        let n = self.params.n;
+        assert!((e.v() as usize) < n, "edge {e} out of range for n = {n}");
+        let eb = edge_bits(n);
+
+        // Lines 10–12: rotate the buffer when full.
+        if self.buffer.len() == self.params.buffer_capacity {
+            self.meter.release(self.buffer.len() as u64 * eb);
+            self.buffer.clear();
+            self.curr += 1;
+            assert!(
+                self.curr <= self.params.num_epochs,
+                "epoch overflow: the stream exceeded the n·∆/2 edge budget implied by ∆ = {}",
+                self.params.delta
+            );
+        }
+        self.buffer.push(e);
+        self.meter.charge(eb);
+
+        // Line 13: degree counters.
+        let (u, v) = e.endpoints();
+        self.degrees[u as usize] += 1;
+        self.degrees[v as usize] += 1;
+
+        // Lines 14–15: h_i sketches for future epochs only.
+        for i in self.curr..self.params.num_epochs {
+            if self.h_sketches[i].offer(e) {
+                self.meter.charge(eb);
+            }
+        }
+
+        // Lines 16–17: g_ℓ sketches for levels strictly above both
+        // endpoints' levels at insertion time.
+        let lvl = self
+            .params
+            .level_of(self.degrees[u as usize].max(self.degrees[v as usize]));
+        for l in lvl..self.params.num_levels {
+            if self.g_sketches[l].offer(e) {
+                self.meter.charge(eb);
+            }
+        }
+    }
+
+    fn query(&mut self) -> Coloring {
+        let n = self.params.n;
+        let mut coloring = Coloring::empty(n);
+        let mut offset: u64 = 0;
+
+        // Lines 18–19: fast/slow split by buffer degree.
+        let mut deg_b = vec![0u64; n];
+        for e in &self.buffer {
+            deg_b[e.u() as usize] += 1;
+            deg_b[e.v() as usize] += 1;
+        }
+        let fast: Vec<u32> =
+            (0..n as u32).filter(|&v| deg_b[v as usize] > self.params.fast_threshold).collect();
+        let slow: Vec<u32> =
+            (0..n as u32).filter(|&v| deg_b[v as usize] <= self.params.fast_threshold).collect();
+
+        // Lines 20–22: slow vertices, per h_curr-block, on A_curr ∪ B.
+        let h_curr = &self.h_sketches[self.curr - 1];
+        let mut is_slow = vec![false; n];
+        for &v in &slow {
+            is_slow[v as usize] = true;
+        }
+        let mut g_slow = Graph::empty(n);
+        for e in h_curr.edges().iter().chain(self.buffer.iter()) {
+            if is_slow[e.u() as usize]
+                && is_slow[e.v() as usize]
+                && h_curr.block_of(e.u()) == h_curr.block_of(e.v())
+            {
+                g_slow.add_edge(*e);
+            }
+        }
+        for (_, members) in group_by_block(h_curr, &slow) {
+            let span = greedy_color_in_order(&g_slow, &mut coloring, &members, offset);
+            offset += span.max(1);
+        }
+
+        // Lines 23–26: fast vertices, per (level, g_ℓ-block), on C_ℓ ∪ B.
+        for l in 1..=self.params.num_levels {
+            let level_fast: Vec<u32> = fast
+                .iter()
+                .copied()
+                .filter(|&w| self.params.level_of(self.degrees[w as usize]) == l)
+                .collect();
+            if level_fast.is_empty() {
+                continue;
+            }
+            let g_l = &self.g_sketches[l - 1];
+            let mut in_level = vec![false; n];
+            for &v in &level_fast {
+                in_level[v as usize] = true;
+            }
+            let mut g_fast = Graph::empty(n);
+            for e in g_l.edges().iter().chain(self.buffer.iter()) {
+                if in_level[e.u() as usize]
+                    && in_level[e.v() as usize]
+                    && g_l.block_of(e.u()) == g_l.block_of(e.v())
+                {
+                    g_fast.add_edge(*e);
+                }
+            }
+            for (_, members) in group_by_block(g_l, &level_fast) {
+                let span = degeneracy_coloring(&g_fast, &mut coloring, &members, offset);
+                offset += span.max(1);
+            }
+        }
+
+        debug_assert!(coloring.is_total(), "query must color every vertex");
+        coloring
+    }
+
+    fn peak_space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "robust-alg2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::run_oblivious;
+
+    fn check_oblivious(n: usize, delta: usize, seed: u64) -> (Coloring, sc_graph::Graph) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
+        let mut colorer = RobustColorer::new(n, delta, seed ^ 0xABCD);
+        let coloring = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed));
+        (coloring, g)
+    }
+
+    #[test]
+    fn proper_coloring_on_random_streams() {
+        for seed in 0..4u64 {
+            let (coloring, g) = check_oblivious(60, 8, seed);
+            assert!(coloring.is_proper_total(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn color_count_within_delta_5_2_bound() {
+        let (coloring, g) = check_oblivious(200, 16, 1);
+        assert!(coloring.is_proper_total(&g));
+        let bound = (16f64).powf(2.5) * 4.0; // generous constant
+        assert!(
+            (coloring.num_distinct_colors() as f64) < bound,
+            "{} colors exceeds 4·∆^2.5 = {bound}",
+            coloring.num_distinct_colors()
+        );
+    }
+
+    #[test]
+    fn mid_stream_queries_are_proper_for_prefixes() {
+        let g = generators::gnp_with_max_degree(50, 6, 0.5, 7);
+        let edges = generators::shuffled_edges(&g, 7);
+        let mut colorer = RobustColorer::new(50, 6, 99);
+        let mut prefix = Graph::empty(50);
+        for (i, &e) in edges.iter().enumerate() {
+            colorer.process(e);
+            prefix.add_edge(e);
+            if i % 7 == 0 {
+                let c = colorer.query();
+                assert!(
+                    c.is_proper_total(&prefix),
+                    "query after {} edges is improper",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_rotation_across_epochs() {
+        // Force several epochs with a small buffer via β parameters.
+        // Shrinking the buffer forces rotations; epochs must scale to keep
+        // the capacity·epochs ≥ |stream| contract.
+        let params = RobustParams {
+            buffer_capacity: 10,
+            num_epochs: 64,
+            ..RobustParams::theorem3(40, 12)
+        };
+        let g = generators::gnp_with_max_degree(40, 12, 0.6, 3);
+        assert!(g.m() > 30, "need enough edges to rotate: {}", g.m());
+        let mut colorer = RobustColorer::with_params(params, 5);
+        let coloring = run_oblivious(&mut colorer, generators::shuffled_edges(&g, 3));
+        assert!(colorer.current_epoch() > 1, "buffer never rotated");
+        assert!(coloring.is_proper_total(&g));
+    }
+
+    #[test]
+    fn beta_variants_all_proper() {
+        let g = generators::gnp_with_max_degree(80, 9, 0.4, 2);
+        for beta in [0.0, 0.25, 1.0 / 3.0, 0.5] {
+            let params = RobustParams::with_beta(80, 9, beta);
+            let mut colorer = RobustColorer::with_params(params, 17);
+            let coloring = run_oblivious(&mut colorer, generators::shuffled_edges(&g, 2));
+            assert!(coloring.is_proper_total(&g), "β = {beta}");
+        }
+    }
+
+    #[test]
+    fn space_stays_near_linear() {
+        let (_, g) = check_oblivious(150, 12, 4);
+        let mut colorer = RobustColorer::new(150, 12, 4 ^ 0xABCD);
+        run_oblivious(&mut colorer, generators::shuffled_edges(&g, 4));
+        // Stored edges should be O(n log n)-ish, not Θ(m·∆).
+        assert!(
+            colorer.stored_edges() <= 20 * 150,
+            "stored {} edges",
+            colorer.stored_edges()
+        );
+        assert!(colorer.peak_space_bits() > 0);
+    }
+
+    #[test]
+    fn empty_graph_query() {
+        let mut colorer = RobustColorer::new(10, 4, 1);
+        let c = colorer.query();
+        assert!(c.is_total());
+        assert!(c.is_proper_total(&Graph::empty(10)));
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let g = generators::gnp_with_max_degree(40, 6, 0.5, 9);
+        let edges = generators::shuffled_edges(&g, 9);
+        let mut c1 = RobustColorer::new(40, 6, 123);
+        let mut c2 = RobustColorer::new(40, 6, 123);
+        let r1 = run_oblivious(&mut c1, edges.iter().copied());
+        let r2 = run_oblivious(&mut c2, edges.iter().copied());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut colorer = RobustColorer::new(5, 3, 0);
+        colorer.process(Edge::new(0, 9));
+    }
+}

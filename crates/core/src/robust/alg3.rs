@@ -1,0 +1,331 @@
+//! Algorithm 3: randomness-efficient adversarially robust
+//! `O(∆³)`-coloring (Theorem 4).
+//!
+//! Unlike Algorithm 2, whose random functions need `Õ(n∆)` oracle bits,
+//! this algorithm's entire randomness is `∆ · P` hash functions drawn from
+//! a **4-independent** family (`P = ⌈10 log n⌉`), i.e. `O(∆ log² n)` bits
+//! stored in working memory — the space bound *includes* the random bits.
+//!
+//! Per epoch `i` (buffer of `n` edges) it keeps `P` candidate sketches
+//! `D_{i,j}` of `h_{i,j}`-monochromatic edges, each capped at `7n/∆` edges
+//! and **invalidated to ⊥ on overflow**. Lemma 4.8 (a Chebyshev argument
+//! powered by 4-independence) shows each candidate overflows with
+//! probability `≤ 1/2` on any fixed prefix, so some `D_{curr,j}` survives
+//! w.h.p. The query greedily `(∆+1)`-colors `D_{curr,k} ∪ B` and outputs
+//! the pair `(χ(y), h_{curr,k}(y)) ∈ [∆+1] × [ℓ²]` — any monochromatic
+//! edge under the pair coloring would have to be `h_{curr,k}`-mono *and*
+//! missing from `D_{curr,k} ∪ B`, which cannot happen for a valid `k`.
+
+use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
+use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64};
+use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+
+/// The randomness-efficient robust colorer of Theorem 4.
+#[derive(Debug, Clone)]
+pub struct RandEfficientColorer {
+    n: usize,
+    delta: usize,
+    /// `ℓ = 2^⌊log ∆⌋`; hash range is `ℓ²`.
+    ell: u64,
+    /// Candidates per epoch, `P = ⌈10 log n⌉`.
+    p_copies: usize,
+    /// Cap `⌈7n/∆⌉` on each `D_{i,j}`.
+    cap: usize,
+    /// `h_{i,j}`, row-major `[epoch][copy]`.
+    hashes: Vec<PolynomialHash>,
+    /// `D_{i,j}`; `None` = ⊥ (invalidated).
+    d_sets: Vec<Option<Vec<Edge>>>,
+    buffer: Vec<Edge>,
+    curr: usize,
+    num_epochs: usize,
+    meter: SpaceMeter,
+    /// Queries that found every `D_{curr,j} = ⊥` (the `1/poly(n)` failure
+    /// event of Lemma 4.8); such queries fall back to coloring `B` alone
+    /// and may be improper.
+    failures: u64,
+}
+
+impl RandEfficientColorer {
+    /// Creates the colorer for an `n`-vertex stream with degree bound `∆`.
+    pub fn new(n: usize, delta: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let delta = delta.max(1);
+        let log_n = (n.max(2) as f64).log2();
+        let p_copies = (10.0 * log_n).ceil() as usize;
+        let ell = 1u64 << (delta as u64).ilog2(); // greatest power of 2 ≤ ∆
+        let range = ell * ell;
+        let num_epochs = delta; // at most n∆/2 edges / n per buffer
+        let cap = (7 * n).div_ceil(delta).max(1);
+        let family = PolynomialFamily::for_domain(n as u64, range, 4);
+        let mut rng = SplitMix64::new(seed);
+        let mut meter = SpaceMeter::new();
+        let hashes: Vec<PolynomialHash> = (0..num_epochs * p_copies)
+            .map(|_| {
+                meter.charge(family.bits_per_sample()); // randomness IS space here
+                family.sample(&mut rng)
+            })
+            .collect();
+        let d_sets = vec![Some(Vec::new()); num_epochs * p_copies];
+        meter.charge(128); // curr + buffer counters
+        Self {
+            n,
+            delta,
+            ell,
+            p_copies,
+            cap,
+            hashes,
+            d_sets,
+            buffer: Vec::new(),
+            curr: 1,
+            num_epochs,
+            meter,
+            failures: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, epoch_1based: usize, j: usize) -> usize {
+        (epoch_1based - 1) * self.p_copies + j
+    }
+
+    /// Number of all-⊥ query failures so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// `P`, the candidates per epoch.
+    pub fn copies(&self) -> usize {
+        self.p_copies
+    }
+
+    /// The cap `⌈7n/∆⌉` after which a candidate set is invalidated.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Current epoch number (1-based).
+    pub fn current_epoch(&self) -> usize {
+        self.curr
+    }
+
+    /// Number of epochs provisioned (`∆`).
+    pub fn num_epochs(&self) -> usize {
+        self.num_epochs
+    }
+
+    /// Sizes of the candidate sets `D_{epoch,j}` (`None` = ⊥) — the
+    /// concentration Lemma 4.8 argues about. `epoch` is 1-based.
+    pub fn candidate_sizes(&self, epoch: usize) -> Vec<Option<usize>> {
+        assert!((1..=self.num_epochs).contains(&epoch));
+        (0..self.p_copies)
+            .map(|j| self.d_sets[self.idx(epoch, j)].as_ref().map(Vec::len))
+            .collect()
+    }
+
+    /// Total edges stored across buffers and candidate sets.
+    pub fn stored_edges(&self) -> usize {
+        self.buffer.len()
+            + self
+                .d_sets
+                .iter()
+                .map(|d| d.as_ref().map_or(0, Vec::len))
+                .sum::<usize>()
+    }
+}
+
+impl StreamingColorer for RandEfficientColorer {
+    fn process(&mut self, e: Edge) {
+        assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        let eb = edge_bits(self.n);
+
+        // Lines 6–7: epoch rotation.
+        if self.buffer.len() == self.n {
+            self.meter.release(self.buffer.len() as u64 * eb);
+            self.buffer.clear();
+            self.curr += 1;
+            assert!(
+                self.curr <= self.num_epochs,
+                "epoch overflow: stream exceeded the n·∆/2 edge budget"
+            );
+        }
+        self.buffer.push(e);
+        self.meter.charge(eb);
+
+        // Lines 9–14: feed the candidate sketches of future epochs.
+        let (u, v) = e.endpoints();
+        for i in (self.curr + 1)..=self.num_epochs {
+            for j in 0..self.p_copies {
+                let h = &self.hashes[self.idx(i, j)];
+                if h.eval(u as u64) != h.eval(v as u64) {
+                    continue;
+                }
+                let slot = self.idx(i, j);
+                match &mut self.d_sets[slot] {
+                    Some(d) if d.len() < self.cap => {
+                        d.push(e);
+                        self.meter.charge(eb);
+                    }
+                    Some(d) => {
+                        // Overflow: wipe to ⊥ (lines 13–14).
+                        self.meter.release(d.len() as u64 * eb);
+                        self.d_sets[slot] = None;
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn query(&mut self) -> Coloring {
+        // Line 15: first surviving candidate.
+        let k = (0..self.p_copies).find(|&j| self.d_sets[self.idx(self.curr, j)].is_some());
+        let (edges, h): (Vec<Edge>, Option<&PolynomialHash>) = match k {
+            Some(j) => {
+                let d = self.d_sets[self.idx(self.curr, j)].as_ref().unwrap();
+                (
+                    d.iter().chain(self.buffer.iter()).copied().collect(),
+                    Some(&self.hashes[self.idx(self.curr, j)]),
+                )
+            }
+            None => {
+                // All candidates invalidated — the low-probability failure
+                // event. Color what we can see (the buffer alone).
+                self.failures += 1;
+                (self.buffer.clone(), None)
+            }
+        };
+
+        // Line 16: greedy (∆+1)-coloring χ of the stored subgraph.
+        let g = Graph::from_edges(self.n, edges);
+        let mut chi = Coloring::empty(self.n);
+        let order: Vec<u32> = (0..self.n as u32).collect();
+        greedy_color_in_order(&g, &mut chi, &order, 0);
+
+        // Line 17: output pair (χ(y), h(y)) encoded as χ(y)·ℓ² + h(y).
+        let range = self.ell * self.ell;
+        let mut out = Coloring::empty(self.n);
+        for y in 0..self.n as u32 {
+            let chi_y = chi.get(y).expect("greedy colored everything");
+            let second = h.map_or(0, |h| h.eval(y as u64));
+            out.set(y, chi_y * range + second);
+        }
+        out
+    }
+
+    fn peak_space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+            + self.n as u64 * counter_bits(self.delta as u64) // deg-free: no counters needed, but charge χ scratch
+    }
+
+    fn name(&self) -> &'static str {
+        "robust-alg3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::run_oblivious;
+
+    #[test]
+    fn proper_coloring_on_random_streams() {
+        for seed in 0..3u64 {
+            let g = generators::gnp_with_max_degree(50, 8, 0.5, seed);
+            let mut colorer = RandEfficientColorer::new(50, 8, seed + 77);
+            let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed));
+            assert!(c.is_proper_total(&g), "seed {seed}");
+            assert_eq!(colorer.failures(), 0);
+        }
+    }
+
+    #[test]
+    fn palette_within_delta_cubed() {
+        let g = generators::gnp_with_max_degree(120, 16, 0.5, 2);
+        let mut colorer = RandEfficientColorer::new(120, 16, 5);
+        let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, 2));
+        assert!(c.is_proper_total(&g));
+        // Palette is [∆+1] × [ℓ²] with ℓ ≤ ∆.
+        let bound = (16u64 + 1) * 16 * 16;
+        assert!(c.palette_span() <= bound, "span {} > (∆+1)∆²", c.palette_span());
+    }
+
+    #[test]
+    fn pair_encoding_separates_hash_blocks() {
+        // Any two vertices with different h values must differ mod ℓ².
+        let g = generators::complete(12);
+        let mut colorer = RandEfficientColorer::new(12, 11, 3);
+        let c = run_oblivious(&mut colorer, g.edges());
+        assert!(c.is_proper_total(&g));
+        let range = colorer.ell * colorer.ell;
+        assert!(range >= 64); // ℓ = 8 for ∆ = 11
+        for v in 0..12u32 {
+            assert!(c.get(v).unwrap() < (11 + 1) * range + range);
+        }
+    }
+
+    #[test]
+    fn mid_stream_queries_proper() {
+        let g = generators::gnp_with_max_degree(40, 6, 0.5, 11);
+        let edges = generators::shuffled_edges(&g, 11);
+        let mut colorer = RandEfficientColorer::new(40, 6, 13);
+        let mut prefix = Graph::empty(40);
+        for (i, &e) in edges.iter().enumerate() {
+            colorer.process(e);
+            prefix.add_edge(e);
+            if i % 9 == 0 {
+                let c = colorer.query();
+                assert!(c.is_proper_total(&prefix), "after {} edges", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_caps_are_enforced() {
+        let g = generators::gnp_with_max_degree(60, 10, 0.5, 4);
+        let mut colorer = RandEfficientColorer::new(60, 10, 21);
+        run_oblivious(&mut colorer, generators::shuffled_edges(&g, 4));
+        for d in colorer.d_sets.iter().flatten() {
+            assert!(d.len() <= colorer.cap);
+        }
+    }
+
+    #[test]
+    fn space_includes_randomness() {
+        let colorer = RandEfficientColorer::new(100, 8, 1);
+        // ∆·P hash functions at 4 coefficients each must be charged.
+        let min_random_bits = (colorer.num_epochs * colorer.p_copies) as u64 * 4;
+        assert!(colorer.peak_space_bits() > min_random_bits);
+    }
+
+    #[test]
+    fn determinism_in_seed() {
+        let g = generators::gnp_with_max_degree(30, 5, 0.5, 8);
+        let edges = generators::shuffled_edges(&g, 8);
+        let mut a = RandEfficientColorer::new(30, 5, 55);
+        let mut b = RandEfficientColorer::new(30, 5, 55);
+        assert_eq!(
+            run_oblivious(&mut a, edges.iter().copied()),
+            run_oblivious(&mut b, edges.iter().copied())
+        );
+    }
+
+    #[test]
+    fn query_on_empty_stream() {
+        let mut colorer = RandEfficientColorer::new(8, 3, 9);
+        let c = colorer.query();
+        assert!(c.is_total());
+    }
+
+    #[test]
+    fn delta_one_graphs() {
+        // A perfect matching: ∆ = 1 exercises ℓ = 1.
+        let mut g = Graph::empty(10);
+        for i in 0..5u32 {
+            g.add_edge(Edge::new(2 * i, 2 * i + 1));
+        }
+        let mut colorer = RandEfficientColorer::new(10, 1, 2);
+        let c = run_oblivious(&mut colorer, g.edges());
+        assert!(c.is_proper_total(&g));
+    }
+}

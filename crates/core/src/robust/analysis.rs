@@ -1,0 +1,249 @@
+//! Empirical verification of the robust algorithms' concentration lemmas.
+//!
+//! The paper's robust space and color bounds all rest on three
+//! concentration claims:
+//!
+//! * **Lemmas 4.2 / 4.3** — every vertex has `Σ_ℓ d_{C_ℓ}(v) = O(log n)`
+//!   and `Σ_i d_{A_i}(v) = O(log n)` w.h.p., even against adaptive
+//!   adversaries (this is what keeps total storage at `Õ(n)`).
+//! * **Lemma 4.5** — each fast block induced on `C_ℓ ∪ B` has degeneracy
+//!   `O(∆^{(1+β)/2})` (this is what caps the per-block palettes).
+//! * **Lemma 4.8** — each `D_{i,j}` of Algorithm 3 stays under `7n/∆` with
+//!   probability `≥ 1/2`, so w.h.p. some candidate survives per epoch.
+//!
+//! This module measures all three on live colorer states; experiment F8
+//! and the failure-injection tests consume it.
+
+use crate::robust::alg2::RobustColorer;
+use crate::robust::alg3::RandEfficientColorer;
+use sc_graph::{degeneracy_ordering, Graph};
+
+/// Summary statistics of a per-vertex quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Concentration {
+    /// Largest per-vertex value.
+    pub max: u64,
+    /// Mean over all vertices.
+    pub mean: f64,
+    /// 99th-percentile value.
+    pub p99: u64,
+}
+
+impl Concentration {
+    /// Computes the summary of a per-vertex series.
+    pub fn of(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return Self { max: 0, mean: 0.0, p99: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let max = *sorted.last().expect("nonempty");
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        let p99 = sorted[(sorted.len() - 1) * 99 / 100];
+        Self { max, mean, p99 }
+    }
+}
+
+impl std::fmt::Display for Concentration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "max {} / p99 {} / mean {:.2}", self.max, self.p99, self.mean)
+    }
+}
+
+/// The Lemma 4.2 / 4.3 measurements for a live Algorithm 2 state.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchConcentration {
+    /// `Σ_i d_{A_i}(v)` over epoch sketches (Lemma 4.3).
+    pub h_totals: Concentration,
+    /// `Σ_ℓ d_{C_ℓ}(v)` over level sketches (Lemma 4.2).
+    pub g_totals: Concentration,
+}
+
+/// Measures per-vertex sketch-degree totals of a live Algorithm 2 state.
+pub fn sketch_concentration(colorer: &RobustColorer) -> SketchConcentration {
+    SketchConcentration {
+        h_totals: Concentration::of(&colorer.h_sketch_degree_totals()),
+        g_totals: Concentration::of(&colorer.g_sketch_degree_totals()),
+    }
+}
+
+/// One fast block's measured degeneracy (Lemma 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastBlockDegeneracy {
+    /// Level `ℓ` (1-based).
+    pub level: usize,
+    /// `g_ℓ`-block id.
+    pub block: u64,
+    /// Number of fast vertices in the block.
+    pub size: usize,
+    /// Degeneracy of the block induced on `C_ℓ ∪ B`.
+    pub degeneracy: usize,
+}
+
+/// Measures the degeneracy of every nonempty fast block of a live
+/// Algorithm 2 state — Lemma 4.5 bounds each by `O(∆^{(1+β)/2})`.
+pub fn fast_block_degeneracies(colorer: &RobustColorer) -> Vec<FastBlockDegeneracy> {
+    let params = colorer.params();
+    let deg_b = colorer.buffer_degrees();
+    let fast: Vec<u32> = (0..params.n as u32)
+        .filter(|&v| deg_b[v as usize] > params.fast_threshold)
+        .collect();
+    let mut out = Vec::new();
+    for level in 1..=params.num_levels {
+        let level_fast: Vec<u32> = fast
+            .iter()
+            .copied()
+            .filter(|&w| params.level_of(colorer.degree_of(w)) == level)
+            .collect();
+        if level_fast.is_empty() {
+            continue;
+        }
+        let edges = colorer.level_edge_set(level);
+        let mut by_block: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        for &w in &level_fast {
+            by_block.entry(colorer.g_block_of(level, w)).or_default().push(w);
+        }
+        for (block, members) in by_block {
+            let g = Graph::from_edge_subset(params.n, edges.iter().copied(), &members);
+            let info = degeneracy_ordering(&g, &members);
+            out.push(FastBlockDegeneracy {
+                level,
+                block,
+                size: members.len(),
+                degeneracy: info.degeneracy,
+            });
+        }
+    }
+    out
+}
+
+/// The Lemma 4.8 census of Algorithm 3's candidate sets for one epoch.
+#[derive(Debug, Clone)]
+pub struct CandidateCensus {
+    /// Epoch measured (1-based).
+    pub epoch: usize,
+    /// Number of still-valid candidates (`D ≠ ⊥`).
+    pub valid: usize,
+    /// Number of invalidated candidates.
+    pub wiped: usize,
+    /// Sizes of the valid candidates.
+    pub sizes: Vec<usize>,
+    /// The invalidation cap `⌈7n/∆⌉`.
+    pub cap: usize,
+}
+
+impl CandidateCensus {
+    /// Fraction of candidates that survived — Lemma 4.8 promises `≥ 1/2`
+    /// in expectation per candidate, so `≈ P/2` survivors.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.valid + self.wiped;
+        if total == 0 {
+            return 1.0;
+        }
+        self.valid as f64 / total as f64
+    }
+}
+
+/// Measures the candidate sets of the colorer's **current** epoch.
+pub fn candidate_census(colorer: &RandEfficientColorer) -> CandidateCensus {
+    let epoch = colorer.current_epoch();
+    let sizes_raw = colorer.candidate_sizes(epoch);
+    let sizes: Vec<usize> = sizes_raw.iter().filter_map(|s| *s).collect();
+    let wiped = sizes_raw.iter().filter(|s| s.is_none()).count();
+    CandidateCensus { epoch, valid: sizes.len(), wiped, sizes, cap: colorer.cap() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::{run_oblivious, StreamingColorer};
+
+    #[test]
+    fn concentration_summary_math() {
+        let c = Concentration::of(&[1, 2, 3, 4, 100]);
+        assert_eq!(c.max, 100);
+        // Index formula ⌊(n−1)·99/100⌋ lands on the 4th of 5 entries.
+        assert_eq!(c.p99, 4);
+        assert!((c.mean - 22.0).abs() < 1e-9);
+        let empty = Concentration::of(&[]);
+        assert_eq!(empty.max, 0);
+        assert_eq!(format!("{c}"), "max 100 / p99 4 / mean 22.00");
+        // On a long uniform series p99 ≈ max.
+        let long: Vec<u64> = (0..1000).collect();
+        assert_eq!(Concentration::of(&long).p99, 989);
+    }
+
+    #[test]
+    fn sketch_degrees_stay_logarithmic() {
+        // Lemmas 4.2/4.3: after a full ∆-bounded stream, per-vertex sketch
+        // degree totals should be O(log n) — far below ∆.
+        let (n, delta) = (300usize, 24usize);
+        let g = generators::random_with_exact_max_degree(n, delta, 5);
+        let mut colorer = crate::RobustColorer::new(n, delta, 77);
+        run_oblivious(&mut colorer, generators::shuffled_edges(&g, 5));
+        let sc = sketch_concentration(&colorer);
+        let log_n = (n as f64).log2();
+        assert!(
+            (sc.h_totals.max as f64) <= 8.0 * log_n,
+            "h-sketch degrees not concentrated: {}",
+            sc.h_totals
+        );
+        assert!(
+            (sc.g_totals.max as f64) <= 8.0 * log_n,
+            "g-sketch degrees not concentrated: {}",
+            sc.g_totals
+        );
+    }
+
+    #[test]
+    fn fast_block_degeneracy_is_o_sqrt_delta() {
+        // Drive many edges into few vertices late in an epoch to create
+        // fast vertices, then check Lemma 4.5's bound.
+        let (n, delta) = (200usize, 36usize);
+        let g = generators::random_with_exact_max_degree(n, delta, 9);
+        let mut colorer = crate::RobustColorer::new(n, delta, 3);
+        for e in generators::shuffled_edges(&g, 1) {
+            colorer.process(e);
+        }
+        let blocks = fast_block_degeneracies(&colorer);
+        let bound = 4.0 * (delta as f64).sqrt() + 8.0 * (n as f64).log2();
+        for b in &blocks {
+            assert!(
+                (b.degeneracy as f64) <= bound,
+                "level {} block {} degeneracy {} exceeds O(√∆) bound {bound}",
+                b.level,
+                b.block,
+                b.degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn alg3_candidates_mostly_survive() {
+        let (n, delta) = (250usize, 16usize);
+        let g = generators::random_with_exact_max_degree(n, delta, 2);
+        let mut colorer = crate::RandEfficientColorer::new(n, delta, 8);
+        run_oblivious(&mut colorer, generators::shuffled_edges(&g, 4));
+        let census = candidate_census(&colorer);
+        assert!(census.valid >= 1, "Lemma 4.8: some candidate must survive");
+        assert!(
+            census.survival_rate() >= 0.5,
+            "survival {} below the Lemma 4.8 expectation",
+            census.survival_rate()
+        );
+        for &s in &census.sizes {
+            assert!(s <= census.cap, "valid candidate exceeds the cap");
+        }
+    }
+
+    #[test]
+    fn census_on_fresh_colorer_is_all_valid_and_empty() {
+        let colorer = crate::RandEfficientColorer::new(50, 8, 1);
+        let census = candidate_census(&colorer);
+        assert_eq!(census.epoch, 1);
+        assert_eq!(census.wiped, 0);
+        assert!(census.sizes.iter().all(|&s| s == 0));
+        assert_eq!(census.survival_rate(), 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! §4: adversarially robust single-pass coloring.
+//!
+//! * [`params`] — the β-generalized parameter derivations (Cor 4.7);
+//! * [`sketch`] — `f`-sketches (store `f`-monochromatic edges);
+//! * [`alg2`] — Algorithm 2: `O(∆^{5/2})` colors, `Õ(n)` space + oracle
+//!   randomness (Theorem 3);
+//! * [`alg3`] — Algorithm 3: `O(∆³)` colors, `Õ(n)` space *including*
+//!   randomness (Theorem 4);
+//! * [`analysis`] — live measurement of the concentration lemmas
+//!   (4.2/4.3, 4.5, 4.8) that power the space and color bounds.
+
+pub mod alg2;
+pub mod alg3;
+pub mod analysis;
+pub mod store_all;
+pub mod params;
+pub mod sketch;
+
+pub use alg2::RobustColorer;
+pub use alg3::RandEfficientColorer;
+pub use analysis::{
+    candidate_census, fast_block_degeneracies, sketch_concentration, CandidateCensus,
+    Concentration, FastBlockDegeneracy, SketchConcentration,
+};
+pub use params::RobustParams;
+pub use sketch::MonoSketch;
+pub use store_all::{auto_robust_colorer, AutoRobust, StoreAllColorer};

@@ -1,0 +1,155 @@
+//! `f`-sketches: the storage primitive of the robust algorithms.
+//!
+//! §4.1 of the paper: "for a function `f` we call the underlying sketch of
+//! the algorithm, which receives edges of the graph and stores it only if
+//! it is `f`-monochromatic, as an `f`-sketch." The `f`-blocks (color
+//! classes of `f`) partition `V`; intra-block edges are exactly the
+//! `f`-monochromatic ones, so a sketch holds every intra-block edge of the
+//! substream it processed.
+
+use sc_graph::Edge;
+use sc_hash::OracleFn;
+
+/// Stores the `f`-monochromatic edges among those offered to it.
+#[derive(Debug, Clone)]
+pub struct MonoSketch {
+    f: OracleFn,
+    edges: Vec<Edge>,
+}
+
+impl MonoSketch {
+    /// A sketch over the coloring function `f`.
+    pub fn new(f: OracleFn) -> Self {
+        Self { f, edges: Vec::new() }
+    }
+
+    /// The block (color under `f`) of vertex `v`.
+    #[inline]
+    pub fn block_of(&self, v: u32) -> u64 {
+        self.f.eval(v as u64)
+    }
+
+    /// Offers an edge; stores it iff it is `f`-monochromatic. Returns
+    /// whether it was stored.
+    #[inline]
+    pub fn offer(&mut self, e: Edge) -> bool {
+        if self.f.eval(e.u() as u64) == self.f.eval(e.v() as u64) {
+            self.edges.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The stored edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The range of `f` (number of blocks).
+    #[inline]
+    pub fn num_blocks(&self) -> u64 {
+        self.f.range()
+    }
+}
+
+/// Groups `vertices` by their sketch block, returning only nonempty
+/// groups as `(block, members)` pairs, sorted by block id.
+///
+/// Query time in Algorithm 2 iterates blocks; grouping nonempty ones keeps
+/// that `O(|V| log |V|)` instead of `O(∆²)` when most blocks are empty.
+pub fn group_by_block(sketch: &MonoSketch, vertices: &[u32]) -> Vec<(u64, Vec<u32>)> {
+    let mut tagged: Vec<(u64, u32)> =
+        vertices.iter().map(|&v| (sketch.block_of(v), v)).collect();
+    tagged.sort_unstable();
+    let mut out: Vec<(u64, Vec<u32>)> = Vec::new();
+    for (b, v) in tagged {
+        match out.last_mut() {
+            Some((block, members)) if *block == b => members.push(v),
+            _ => out.push((b, vec![v])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(range: u64) -> MonoSketch {
+        MonoSketch::new(OracleFn::new(42, 7, range))
+    }
+
+    #[test]
+    fn stores_only_monochromatic_edges() {
+        let mut s = sketch(4);
+        let mut stored = 0;
+        let mut total = 0;
+        for u in 0..30u32 {
+            for v in (u + 1)..30 {
+                total += 1;
+                let mono = s.block_of(u) == s.block_of(v);
+                assert_eq!(s.offer(Edge::new(u, v)), mono);
+                stored += usize::from(mono);
+            }
+        }
+        assert_eq!(s.len(), stored);
+        assert!(stored > 0, "range 4 over 30 vertices must have collisions");
+        assert!(stored < total);
+        // Every stored edge really is monochromatic.
+        for e in s.edges() {
+            assert_eq!(s.block_of(e.u()), s.block_of(e.v()));
+        }
+    }
+
+    #[test]
+    fn block_of_is_stable() {
+        let s = sketch(16);
+        for v in 0..100u32 {
+            assert_eq!(s.block_of(v), s.block_of(v));
+            assert!(s.block_of(v) < 16);
+        }
+    }
+
+    #[test]
+    fn grouping_partitions_the_vertex_set() {
+        let s = sketch(4);
+        let vertices: Vec<u32> = (0..50).collect();
+        let groups = group_by_block(&s, &vertices);
+        let total: usize = groups.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 50);
+        for (b, members) in &groups {
+            assert!(!members.is_empty());
+            for &v in members {
+                assert_eq!(s.block_of(v), *b);
+            }
+        }
+        // Blocks sorted and distinct.
+        let ids: Vec<u64> = groups.iter().map(|(b, _)| *b).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = sketch(8);
+        assert!(s.is_empty());
+        assert_eq!(s.num_blocks(), 8);
+        assert!(group_by_block(&s, &[]).is_empty());
+    }
+}

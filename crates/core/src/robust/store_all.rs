@@ -1,0 +1,163 @@
+//! The store-everything fallback for small `∆` (paper §4, preamble).
+//!
+//! "We also assume that `∆ = Ω(log² n)`; if `∆` is smaller, we can store
+//! the entire graph in semi-streaming space and then color it optimally."
+//! A graph of maximum degree `∆` has at most `n∆/2` edges, so for
+//! `∆ = O(log² n)` storing them all costs `O(n log² n · log n)` bits —
+//! semi-streaming — and greedy gives the optimal-palette `(∆+1)`-coloring.
+//! Trivially robust (deterministic given the stream; no randomness for the
+//! adversary to learn).
+//!
+//! [`auto_robust_colorer`] packages the paper's complete recipe: this
+//! fallback when [`RobustParams::store_all_fallback`] holds, Algorithm 2
+//! otherwise.
+
+use crate::robust::alg2::RobustColorer;
+use crate::robust::params::RobustParams;
+use sc_graph::{greedy_complete, Coloring, Edge, Graph};
+use sc_stream::{edge_bits, SpaceMeter, StreamingColorer};
+
+/// Stores every edge; queries greedily `(∆+1)`-color the stored graph.
+#[derive(Debug, Clone)]
+pub struct StoreAllColorer {
+    n: usize,
+    edges: Vec<Edge>,
+    meter: SpaceMeter,
+}
+
+impl StoreAllColorer {
+    /// Creates the colorer on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new(), meter: SpaceMeter::new() }
+    }
+
+    /// Number of stored edges.
+    pub fn stored_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl StreamingColorer for StoreAllColorer {
+    fn process(&mut self, e: Edge) {
+        assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        self.edges.push(e);
+        self.meter.charge(edge_bits(self.n));
+    }
+
+    fn query(&mut self) -> Coloring {
+        let g = Graph::from_edges(self.n, self.edges.iter().copied());
+        let mut c = Coloring::empty(self.n);
+        greedy_complete(&g, &mut c);
+        c
+    }
+
+    fn peak_space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "store-all"
+    }
+}
+
+/// Either side of the paper's small-`∆` dichotomy.
+pub enum AutoRobust {
+    /// `∆ < log² n`: store everything, color optimally.
+    StoreAll(StoreAllColorer),
+    /// Otherwise: Algorithm 2.
+    Alg2(Box<RobustColorer>),
+}
+
+/// The complete Theorem 3 recipe: picks the fallback exactly when the
+/// paper's `∆ = Ω(log² n)` assumption fails.
+pub fn auto_robust_colorer(n: usize, delta: usize, seed: u64) -> AutoRobust {
+    let params = RobustParams::theorem3(n, delta);
+    if params.store_all_fallback() {
+        AutoRobust::StoreAll(StoreAllColorer::new(n))
+    } else {
+        AutoRobust::Alg2(Box::new(RobustColorer::with_params(params, seed)))
+    }
+}
+
+impl StreamingColorer for AutoRobust {
+    fn process(&mut self, e: Edge) {
+        match self {
+            AutoRobust::StoreAll(c) => c.process(e),
+            AutoRobust::Alg2(c) => c.process(e),
+        }
+    }
+
+    fn query(&mut self) -> Coloring {
+        match self {
+            AutoRobust::StoreAll(c) => c.query(),
+            AutoRobust::Alg2(c) => c.query(),
+        }
+    }
+
+    fn peak_space_bits(&self) -> u64 {
+        match self {
+            AutoRobust::StoreAll(c) => c.peak_space_bits(),
+            AutoRobust::Alg2(c) => c.peak_space_bits(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AutoRobust::StoreAll(_) => "auto(store-all)",
+            AutoRobust::Alg2(_) => "auto(alg2)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+    use sc_stream::run_oblivious;
+
+    #[test]
+    fn store_all_gives_optimal_palette() {
+        let g = generators::gnp_with_max_degree(100, 5, 0.3, 1);
+        let mut c = StoreAllColorer::new(100);
+        let out = run_oblivious(&mut c, g.edges());
+        assert!(out.is_proper_total(&g));
+        assert!(out.palette_span() <= g.max_degree() as u64 + 1);
+        assert_eq!(c.stored_edges(), g.m());
+    }
+
+    #[test]
+    fn auto_picks_store_all_for_tiny_delta() {
+        // n = 4096 ⇒ log²n = 144; ∆ = 8 falls below.
+        let auto = auto_robust_colorer(4096, 8, 1);
+        assert_eq!(auto.name(), "auto(store-all)");
+    }
+
+    #[test]
+    fn auto_picks_alg2_for_large_delta() {
+        let auto = auto_robust_colorer(256, 100, 1);
+        assert_eq!(auto.name(), "auto(alg2)");
+    }
+
+    #[test]
+    fn auto_colorer_works_both_sides() {
+        for (n, delta) in [(300usize, 4usize), (120, 64)] {
+            let g = generators::gnp_with_max_degree(n, delta, 0.5, 2);
+            let mut auto = auto_robust_colorer(n, delta, 3);
+            let out = run_oblivious(&mut auto, generators::shuffled_edges(&g, 2));
+            assert!(out.is_proper_total(&g), "n={n} ∆={delta}");
+        }
+    }
+
+    #[test]
+    fn store_all_is_robust_under_attack() {
+        // Deterministic ⇒ robust: mid-stream queries always proper.
+        let g = generators::gnp_with_max_degree(50, 6, 0.5, 3);
+        let mut c = StoreAllColorer::new(50);
+        let mut prefix = Graph::empty(50);
+        for e in g.edges() {
+            c.process(e);
+            prefix.add_edge(e);
+            assert!(c.query().is_proper_total(&prefix));
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Conflict counting/estimation over vertex-arrival streams.
+
+use sc_graph::{Color, Coloring, Graph, VertexId};
+use sc_hash::SplitMix64;
+use sc_stream::{color_bits, counter_bits, SpaceMeter};
+
+/// One vertex-arrival token: a vertex, its announced color, and its edges
+/// to previously arrived vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexArrival {
+    /// The arriving vertex.
+    pub v: VertexId,
+    /// Its announced color.
+    pub color: Color,
+    /// Neighbors among vertices that arrived earlier.
+    pub back_edges: Vec<VertexId>,
+}
+
+/// Serializes a colored graph as a vertex-arrival stream in the given
+/// vertex order (each vertex lists only neighbors earlier in the order).
+///
+/// # Panics
+/// Panics if `coloring` is not total on `g` or `order` is not a
+/// permutation of the vertices.
+pub fn stream_from_coloring(g: &Graph, coloring: &Coloring, order: &[VertexId]) -> Vec<VertexArrival> {
+    assert_eq!(order.len(), g.n(), "order must cover every vertex");
+    let mut position = vec![usize::MAX; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        assert_eq!(position[v as usize], usize::MAX, "duplicate vertex {v} in order");
+        position[v as usize] = i;
+    }
+    order
+        .iter()
+        .map(|&v| VertexArrival {
+            v,
+            color: coloring.get(v).expect("coloring must be total"),
+            back_edges: g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| position[u as usize] < position[v as usize])
+                .collect(),
+        })
+        .collect()
+}
+
+/// Exact monochromatic-edge counter: stores every announced color
+/// (`O(n log|C|)` bits — the semi-streaming exact upper bound).
+///
+/// # Examples
+/// ```
+/// use sc_graph::{generators, greedy_complete, Coloring};
+/// use streamcolor::verify::{stream_from_coloring, ExactConflictCounter};
+///
+/// let g = generators::cycle(6);
+/// let mut coloring = Coloring::empty(6);
+/// greedy_complete(&g, &mut coloring);
+///
+/// let order: Vec<u32> = (0..6).collect();
+/// let mut counter = ExactConflictCounter::new(6, 2);
+/// for arrival in stream_from_coloring(&g, &coloring, &order) {
+///     counter.process(&arrival);
+/// }
+/// assert!(counter.is_proper());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactConflictCounter {
+    colors: Vec<Option<Color>>,
+    conflicts: u64,
+    meter: SpaceMeter,
+}
+
+impl ExactConflictCounter {
+    /// Creates the counter for `n` vertices with palette bound `c_max`.
+    pub fn new(n: usize, c_max: Color) -> Self {
+        let mut meter = SpaceMeter::new();
+        meter.charge(n as u64 * color_bits(c_max.max(1)) + 64);
+        Self { colors: vec![None; n], conflicts: 0, meter }
+    }
+
+    /// Processes one arrival.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range vertex, a repeated arrival, or a back
+    /// edge to a vertex that has not arrived (malformed stream).
+    pub fn process(&mut self, a: &VertexArrival) {
+        assert!((a.v as usize) < self.colors.len(), "vertex {} out of range", a.v);
+        assert!(self.colors[a.v as usize].is_none(), "vertex {} arrived twice", a.v);
+        for &u in &a.back_edges {
+            let cu = self.colors[u as usize]
+                .unwrap_or_else(|| panic!("back edge to unseen vertex {u}"));
+            if cu == a.color {
+                self.conflicts += 1;
+            }
+        }
+        self.colors[a.v as usize] = Some(a.color);
+    }
+
+    /// Monochromatic edges seen so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Whether the announced coloring is (so far) proper.
+    pub fn is_proper(&self) -> bool {
+        self.conflicts == 0
+    }
+
+    /// Model-accounted space.
+    pub fn space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+    }
+}
+
+/// Sampled conflict estimator: stores colors only for a seeded sample of
+/// `k` vertices and scales visible conflicts by `n/k`.
+///
+/// An edge `{u, v}` (with `v` arriving later) is *visible* when `u` is in
+/// the sample, which happens with probability `k/n`; scaling the visible
+/// conflict count by `n/k` is therefore unbiased. Concentration gives
+/// relative error `≈ √(n/(k·m_mono))` — a `(1±ε)` estimate once the true
+/// count `m_mono` is `Ω(n/(k ε²))`, matching the BBMU21 regime where only
+/// large conflict counts are estimable in small space.
+#[derive(Debug, Clone)]
+pub struct SampledConflictEstimator {
+    n: usize,
+    /// Sampled vertices' colors (`None` until they arrive).
+    sample_colors: std::collections::HashMap<VertexId, Option<Color>>,
+    visible_conflicts: u64,
+    meter: SpaceMeter,
+}
+
+impl SampledConflictEstimator {
+    /// Creates the estimator with a seeded uniform sample of `k` vertices.
+    pub fn new(n: usize, k: usize, c_max: Color, seed: u64) -> Self {
+        let k = k.clamp(1, n.max(1));
+        let mut rng = SplitMix64::new(seed);
+        let mut sample = std::collections::HashMap::with_capacity(k);
+        while sample.len() < k {
+            sample.insert(rng.below(n as u64) as VertexId, None);
+        }
+        let mut meter = SpaceMeter::new();
+        meter.charge(k as u64 * (color_bits(c_max.max(1)) + counter_bits(n as u64)) + 64);
+        Self { n, sample_colors: sample, visible_conflicts: 0, meter }
+    }
+
+    /// Number of sampled vertices.
+    pub fn sample_size(&self) -> usize {
+        self.sample_colors.len()
+    }
+
+    /// Processes one arrival.
+    pub fn process(&mut self, a: &VertexArrival) {
+        for &u in &a.back_edges {
+            if let Some(Some(cu)) = self.sample_colors.get(&u) {
+                if *cu == a.color {
+                    self.visible_conflicts += 1;
+                }
+            }
+        }
+        if let Some(slot) = self.sample_colors.get_mut(&a.v) {
+            assert!(slot.is_none(), "vertex {} arrived twice", a.v);
+            *slot = Some(a.color);
+        }
+    }
+
+    /// The scaled estimate of the number of monochromatic edges.
+    pub fn estimate(&self) -> f64 {
+        self.visible_conflicts as f64 * self.n as f64 / self.sample_size() as f64
+    }
+
+    /// Conflicts visible through the sample (diagnostics).
+    pub fn visible_conflicts(&self) -> u64 {
+        self.visible_conflicts
+    }
+
+    /// Model-accounted space.
+    pub fn space_bits(&self) -> u64 {
+        self.meter.peak_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::{generators, Coloring};
+
+    /// A coloring with a known number of planted conflicts: proper greedy
+    /// coloring, then recolor `bad` vertices to a neighbor's color.
+    fn planted(g: &Graph, bad: usize, seed: u64) -> (Coloring, u64) {
+        let mut c = sc_graph::Coloring::empty(g.n());
+        sc_graph::greedy_complete(g, &mut c);
+        let mut rng = SplitMix64::new(seed);
+        let mut changed = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while changed.len() < bad && attempts < 50 * bad {
+            attempts += 1;
+            let v = rng.below(g.n() as u64) as VertexId;
+            if changed.contains(&v) || g.degree(v) == 0 {
+                continue;
+            }
+            // Only corrupt vertices whose neighborhood is untouched, so
+            // the conflict count is exactly the sum of per-vertex clashes.
+            if g.neighbors(v).iter().any(|u| changed.contains(u)) {
+                continue;
+            }
+            let u = g.neighbors(v)[rng.below(g.degree(v) as u64) as usize];
+            c.unset(v);
+            c.set(v, c.get(u).expect("total"));
+            changed.insert(v);
+        }
+        // Ground truth by brute force.
+        let truth = g
+            .edges()
+            .filter(|e| c.get(e.u()) == c.get(e.v()))
+            .count() as u64;
+        (c, truth)
+    }
+
+    fn arrival_order(n: usize, seed: u64) -> Vec<VertexId> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        order
+    }
+
+    #[test]
+    fn exact_counter_matches_brute_force() {
+        let g = generators::gnp_with_max_degree(120, 10, 0.3, 1);
+        let (coloring, truth) = planted(&g, 15, 2);
+        assert!(truth > 0);
+        for order_seed in 0..3u64 {
+            let stream =
+                stream_from_coloring(&g, &coloring, &arrival_order(g.n(), order_seed));
+            let mut counter = ExactConflictCounter::new(g.n(), 11);
+            for a in &stream {
+                counter.process(a);
+            }
+            assert_eq!(counter.conflicts(), truth, "order seed {order_seed}");
+            assert!(!counter.is_proper());
+        }
+    }
+
+    #[test]
+    fn proper_coloring_verifies_clean() {
+        let g = generators::random_with_exact_max_degree(100, 8, 3);
+        let mut c = Coloring::empty(100);
+        sc_graph::greedy_complete(&g, &mut c);
+        let stream = stream_from_coloring(&g, &c, &arrival_order(100, 5));
+        let mut counter = ExactConflictCounter::new(100, 9);
+        for a in &stream {
+            counter.process(a);
+        }
+        assert!(counter.is_proper());
+        assert_eq!(counter.conflicts(), 0);
+    }
+
+    #[test]
+    fn full_sample_estimator_is_exact() {
+        let g = generators::gnp_with_max_degree(80, 8, 0.3, 4);
+        let (coloring, truth) = planted(&g, 10, 5);
+        let stream = stream_from_coloring(&g, &coloring, &arrival_order(80, 1));
+        let mut est = SampledConflictEstimator::new(80, 80, 9, 7);
+        for a in &stream {
+            est.process(a);
+        }
+        assert_eq!(est.sample_size(), 80);
+        assert!((est.estimate() - truth as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_estimate_concentrates() {
+        // Many conflicts + a decent sample: averaged relative error over
+        // seeds should be modest (the (1±ε) regime).
+        let g = generators::gnp_with_max_degree(600, 20, 0.2, 6);
+        let (coloring, truth) = planted(&g, 150, 7);
+        assert!(truth >= 100, "need many conflicts, got {truth}");
+        let stream = stream_from_coloring(&g, &coloring, &arrival_order(600, 2));
+        let mut rel_errors = Vec::new();
+        for seed in 0..10u64 {
+            let mut est = SampledConflictEstimator::new(600, 200, 21, seed);
+            for a in &stream {
+                est.process(a);
+            }
+            rel_errors.push((est.estimate() - truth as f64).abs() / truth as f64);
+        }
+        let mean: f64 = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+        assert!(mean < 0.35, "mean relative error {mean:.3} too large");
+    }
+
+    #[test]
+    fn estimator_space_is_sublinear() {
+        let exact = ExactConflictCounter::new(10_000, 100);
+        let est = SampledConflictEstimator::new(10_000, 100, 100, 1);
+        assert!(est.space_bits() * 10 < exact.space_bits(),
+            "sampled {} vs exact {}", est.space_bits(), exact.space_bits());
+    }
+
+    #[test]
+    fn malformed_streams_panic() {
+        let g = generators::path(3);
+        let mut c = Coloring::empty(3);
+        sc_graph::greedy_complete(&g, &mut c);
+        let mut counter = ExactConflictCounter::new(3, 2);
+        // Back edge to a vertex that has not arrived.
+        let bad = VertexArrival { v: 0, color: 0, back_edges: vec![2] };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            counter.process(&bad);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stream_serialization_covers_each_edge_once() {
+        let g = generators::complete(7);
+        let mut c = Coloring::empty(7);
+        sc_graph::greedy_complete(&g, &mut c);
+        let stream = stream_from_coloring(&g, &c, &arrival_order(7, 3));
+        let total: usize = stream.iter().map(|a| a.back_edges.len()).sum();
+        assert_eq!(total, g.m());
+    }
+}

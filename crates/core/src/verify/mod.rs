@@ -1,0 +1,28 @@
+//! Streaming verification of vertex colorings (the BBMU21 problem).
+//!
+//! The paper's related work cites Bhattacharya–Bishnu–Mishra–Upasana
+//! (ITCS 2021): in the **vertex-arrival** model, each vertex arrives with
+//! its color and its edges to earlier vertices, and the task is to decide
+//! whether the announced coloring is proper. Exact verification in `o(n)`
+//! space is impossible, so they study the relaxation of estimating the
+//! number of *conflicting* (monochromatic) edges to a `(1±ε)` factor.
+//!
+//! This module implements the model and both regimes:
+//!
+//! * [`ExactConflictCounter`] — the `O(n log|C|)`-space exact counter
+//!   (the semi-streaming upper bound the hardness result is measured
+//!   against);
+//! * [`SampledConflictEstimator`] — an `O(k log|C|)`-space estimator that
+//!   stores the colors of `k` sampled vertices and scales up the
+//!   conflicts it can see, unbiased with relative error `≈ 1/√(εm_mono)`.
+//!
+//! The robust colorers' adversarial game uses exact properness checks
+//! offline; this module is the *streaming-native* answer to the same
+//! question, closing the loop on the last related-work problem family the
+//! paper surveys.
+
+pub mod conflict;
+
+pub use conflict::{
+    stream_from_coloring, ExactConflictCounter, SampledConflictEstimator, VertexArrival,
+};

@@ -1,0 +1,238 @@
+//! Exact chromatic number for small graphs.
+//!
+//! The streaming algorithms target palettes measured against `∆`; to put
+//! their palette sizes in context, experiments also report the true
+//! chromatic number `χ(G)` on small instances. This module provides an
+//! exact branch-and-bound solver: a greedy clique gives the lower bound, a
+//! degeneracy-greedy coloring the upper bound, and a DSATUR-ordered
+//! backtracking search closes the gap.
+//!
+//! Worst-case exponential, as it must be — keep `n` in the hundreds and
+//! the graphs sparse, which is all the experiment harness needs.
+
+use crate::coloring::{Color, Coloring};
+use crate::edge::VertexId;
+use crate::graph::Graph;
+
+/// A greedily grown clique (vertices, largest-degree-first seeding).
+///
+/// `|clique|` is a lower bound on `χ(G)`. Deterministic; linear-ish time.
+pub fn greedy_clique(g: &Graph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut best: Vec<VertexId> = Vec::new();
+    // Seed from each of the top-degree vertices; keep the largest clique.
+    for &seed in order.iter().take(8.min(order.len())) {
+        let mut clique = vec![seed];
+        for &v in &order {
+            if v != seed && clique.iter().all(|&c| g.has_edge(c, v)) {
+                clique.push(v);
+            }
+        }
+        if clique.len() > best.len() {
+            best = clique;
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+/// Is `g` properly colorable with `k` colors? If so, returns a witness.
+///
+/// DSATUR-style backtracking: always branch on the uncolored vertex with
+/// the most distinctly-colored neighbors (ties: higher degree), and prune
+/// symmetric branches by never using more than one "fresh" color per node.
+pub fn k_colorable(g: &Graph, k: usize) -> Option<Coloring> {
+    let n = g.n();
+    if k == 0 {
+        return if g.n() == 0 { Some(Coloring::empty(0)) } else { None };
+    }
+    if n == 0 {
+        return Some(Coloring::empty(0));
+    }
+    let mut assigned: Vec<Option<u32>> = vec![None; n];
+    // sat_mask[v] = bitset of colors used in N(v); k ≤ 64 enforced below.
+    assert!(k <= 64, "k_colorable supports palettes up to 64 colors (got {k})");
+    let mut sat_mask: Vec<u64> = vec![0; n];
+    let full: u64 = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+
+    fn pick(g: &Graph, assigned: &[Option<u32>], sat_mask: &[u64]) -> Option<VertexId> {
+        let mut best: Option<(u32, usize, VertexId)> = None; // (sat, deg, v)
+        for v in g.vertices() {
+            if assigned[v as usize].is_some() {
+                continue;
+            }
+            let key = (sat_mask[v as usize].count_ones(), g.degree(v), v);
+            if best.is_none_or(|b| (key.0, key.1) > (b.0, b.1)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    fn solve(
+        g: &Graph,
+        k: usize,
+        full: u64,
+        assigned: &mut [Option<u32>],
+        sat_mask: &mut [u64],
+        max_used: u32,
+    ) -> bool {
+        let Some(v) = pick(g, assigned, sat_mask) else {
+            return true; // everything colored
+        };
+        if sat_mask[v as usize] == full {
+            return false; // no color available: dead end
+        }
+        // Symmetry breaking: colors > max_used are interchangeable, so try
+        // at most one of them.
+        let cap = (max_used + 1).min(k as u32 - 1);
+        for c in 0..=cap {
+            if sat_mask[v as usize] & (1 << c) != 0 {
+                continue;
+            }
+            assigned[v as usize] = Some(c);
+            let mut touched: Vec<VertexId> = Vec::new();
+            for &y in g.neighbors(v) {
+                if assigned[y as usize].is_none() && sat_mask[y as usize] & (1 << c) == 0 {
+                    sat_mask[y as usize] |= 1 << c;
+                    touched.push(y);
+                }
+            }
+            if solve(g, k, full, assigned, sat_mask, max_used.max(c)) {
+                return true;
+            }
+            for y in touched {
+                sat_mask[y as usize] &= !(1 << c);
+            }
+            assigned[v as usize] = None;
+        }
+        false
+    }
+
+    if solve(g, k, full, &mut assigned, &mut sat_mask, 0) {
+        let mut coloring = Coloring::empty(n);
+        for (v, c) in assigned.iter().enumerate() {
+            coloring.set(v as VertexId, c.expect("search returned total") as Color);
+        }
+        Some(coloring)
+    } else {
+        None
+    }
+}
+
+/// The exact chromatic number of `g` with an optimal witness coloring.
+///
+/// Runs `k_colorable` upward from the greedy-clique lower bound, stopping
+/// at the degeneracy-greedy upper bound (which always succeeds).
+///
+/// # Examples
+/// ```
+/// use sc_graph::{chromatic_number, generators};
+///
+/// // The Grötzsch graph: triangle-free yet χ = 4.
+/// let g = generators::mycielski(&generators::cycle(5));
+/// let (chi, witness) = chromatic_number(&g);
+/// assert_eq!(chi, 4);
+/// assert!(witness.is_proper_total(&g));
+/// ```
+pub fn chromatic_number(g: &Graph) -> (usize, Coloring) {
+    if g.n() == 0 {
+        return (0, Coloring::empty(0));
+    }
+    if g.m() == 0 {
+        let mut c = Coloring::empty(g.n());
+        for v in g.vertices() {
+            c.set(v, 0);
+        }
+        return (1, c);
+    }
+    let lower = greedy_clique(g).len().max(2);
+    let all: Vec<VertexId> = g.vertices().collect();
+    let mut upper_coloring = Coloring::empty(g.n());
+    crate::degeneracy::degeneracy_coloring(g, &mut upper_coloring, &all, 0);
+    let upper = upper_coloring.num_distinct_colors();
+    debug_assert!(upper_coloring.is_proper_total(g));
+    for k in lower..upper {
+        if let Some(witness) = k_colorable(g, k) {
+            debug_assert!(witness.is_proper_total(g));
+            return (k, witness);
+        }
+    }
+    (upper, upper_coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn chromatic_of_structured_families() {
+        assert_eq!(chromatic_number(&generators::complete(5)).0, 5);
+        assert_eq!(chromatic_number(&generators::cycle(6)).0, 2);
+        assert_eq!(chromatic_number(&generators::cycle(7)).0, 3);
+        assert_eq!(chromatic_number(&generators::star(9)).0, 2);
+        assert_eq!(chromatic_number(&generators::complete_bipartite(4, 5)).0, 2);
+        assert_eq!(chromatic_number(&generators::path(6)).0, 2);
+    }
+
+    #[test]
+    fn chromatic_of_trivial_graphs() {
+        assert_eq!(chromatic_number(&Graph::empty(0)).0, 0);
+        assert_eq!(chromatic_number(&Graph::empty(5)).0, 1);
+    }
+
+    #[test]
+    fn witness_is_proper_and_optimal() {
+        let g = generators::gnp_with_max_degree(30, 8, 0.3, 11);
+        let (chi, witness) = chromatic_number(&g);
+        assert!(witness.is_proper_total(&g));
+        assert_eq!(witness.num_distinct_colors(), chi);
+        assert!(k_colorable(&g, chi.saturating_sub(1)).is_none() || chi == 1);
+    }
+
+    #[test]
+    fn clique_lower_bound_is_a_clique() {
+        let g = generators::gnp_with_max_degree(40, 10, 0.4, 5);
+        let q = greedy_clique(&g);
+        for i in 0..q.len() {
+            for j in i + 1..q.len() {
+                assert!(g.has_edge(q[i], q[j]), "not a clique: {:?}", q);
+            }
+        }
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn k_colorable_boundary() {
+        let g = generators::complete(4);
+        assert!(k_colorable(&g, 3).is_none());
+        let w = k_colorable(&g, 4).unwrap();
+        assert!(w.is_proper_total(&g));
+        // Odd cycle: 2 colors impossible, 3 fine.
+        let c = generators::cycle(9);
+        assert!(k_colorable(&c, 2).is_none());
+        assert!(k_colorable(&c, 3).is_some());
+    }
+
+    #[test]
+    fn mycielski_increments_chromatic_number() {
+        // χ(Mycielski(G)) = χ(G) + 1 while staying triangle-free from C5.
+        let c5 = generators::cycle(5);
+        let m = generators::mycielski(&c5);
+        assert_eq!(chromatic_number(&c5).0, 3);
+        assert_eq!(chromatic_number(&m).0, 4);
+    }
+
+    #[test]
+    fn chromatic_at_most_degeneracy_plus_one() {
+        for seed in 0..3u64 {
+            let g = generators::preferential_attachment(40, 2, 12, seed);
+            let (chi, _) = chromatic_number(&g);
+            let all: Vec<VertexId> = g.vertices().collect();
+            let info = crate::degeneracy::degeneracy_ordering(&g, &all);
+            assert!(chi <= info.degeneracy + 1, "χ = {chi} > κ+1 = {}", info.degeneracy + 1);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Connectivity machinery: union-find, connected components, bipartiteness
+//! and biconnected components.
+//!
+//! Brooks' theorem (`crate::brooks`) needs connected and biconnected
+//! decompositions, the chromatic solver prunes per component, and several
+//! experiments report per-component structure of generated workloads.
+
+use crate::edge::{Edge, VertexId};
+use crate::graph::Graph;
+
+/// Disjoint-set union with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, …, {n−1}`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving keeps trees shallow
+    /// without recursion).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`. Returns whether they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// The connected components of `g`, each a sorted vertex list; components
+/// are ordered by smallest member.
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.union(e.u(), e.v());
+    }
+    let mut by_root: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for v in g.vertices() {
+        by_root.entry(uf.find(v)).or_default().push(v);
+    }
+    let mut comps: Vec<Vec<VertexId>> = by_root.into_values().collect();
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Whether `g` is connected (the empty graph and `n = 1` count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).len() == 1
+}
+
+/// If `g` is bipartite, returns a 2-coloring sides vector (`side[v] ∈
+/// {0, 1}`); otherwise `None` (an odd cycle exists).
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut side = vec![u8::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for s in g.vertices() {
+        if side[s as usize] != u8::MAX {
+            continue;
+        }
+        side[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(x) = queue.pop_front() {
+            for &y in g.neighbors(x) {
+                if side[y as usize] == u8::MAX {
+                    side[y as usize] = 1 - side[x as usize];
+                    queue.push_back(y);
+                } else if side[y as usize] == side[x as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Biconnected components ("blocks") of `g`, as edge lists, via the
+/// classical Hopcroft–Tarjan lowpoint DFS (implemented iteratively so deep
+/// paths do not overflow the stack).
+///
+/// Also returns the set of cut vertices. Every edge appears in exactly one
+/// block; a bridge forms a 2-vertex block by itself.
+pub fn biconnected_components(g: &Graph) -> (Vec<Vec<Edge>>, Vec<VertexId>) {
+    let n = g.n();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; else discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0u32;
+    let mut blocks: Vec<Vec<Edge>> = Vec::new();
+    let mut edge_stack: Vec<Edge> = Vec::new();
+
+    // Iterative DFS frame: (vertex, parent, next-neighbor-index, child count
+    // for the root cut-vertex rule).
+    for root in g.vertices() {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(VertexId, Option<VertexId>, usize)> = vec![(root, None, 0)];
+        let mut root_children = 0usize;
+        timer += 1;
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        while let Some(&mut (x, parent, ref mut idx)) = stack.last_mut() {
+            if *idx < g.degree(x) {
+                let y = g.neighbors(x)[*idx];
+                *idx += 1;
+                if disc[y as usize] == 0 {
+                    // Tree edge: descend.
+                    edge_stack.push(Edge::new(x, y));
+                    timer += 1;
+                    disc[y as usize] = timer;
+                    low[y as usize] = timer;
+                    if x == root {
+                        root_children += 1;
+                    }
+                    stack.push((y, Some(x), 0));
+                } else if Some(y) != parent && disc[y as usize] < disc[x as usize] {
+                    // Back edge to an ancestor.
+                    edge_stack.push(Edge::new(x, y));
+                    low[x as usize] = low[x as usize].min(disc[y as usize]);
+                }
+            } else {
+                // Done with x: propagate lowpoint to parent, emit block.
+                stack.pop();
+                if let Some(p) = parent {
+                    low[p as usize] = low[p as usize].min(low[x as usize]);
+                    if low[x as usize] >= disc[p as usize] {
+                        // p separates x's subtree: pop the block.
+                        let mut block = Vec::new();
+                        let cut_edge = Edge::new(p, x);
+                        while let Some(e) = edge_stack.pop() {
+                            block.push(e);
+                            if e == cut_edge {
+                                break;
+                            }
+                        }
+                        blocks.push(block);
+                        if p != root {
+                            is_cut[p as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root as usize] = true;
+        }
+    }
+
+    let cuts = (0..n as VertexId).filter(|&v| is_cut[v as usize]).collect();
+    (blocks, cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_size(4), 1);
+    }
+
+    #[test]
+    fn components_of_disjoint_cliques() {
+        let g = generators::clique_union(3, 4);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2, 3]);
+        assert_eq!(comps[2], vec![8, 9, 10, 11]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&generators::cycle(5)));
+    }
+
+    #[test]
+    fn empty_and_single_vertex_are_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn bipartition_detects_odd_cycles() {
+        assert!(bipartition(&generators::cycle(4)).is_some());
+        assert!(bipartition(&generators::cycle(5)).is_none());
+        assert!(bipartition(&generators::complete(3)).is_none());
+        let g = generators::complete_bipartite(3, 4);
+        let side = bipartition(&g).unwrap();
+        for e in g.edges() {
+            assert_ne!(side[e.u() as usize], side[e.v() as usize]);
+        }
+    }
+
+    #[test]
+    fn bipartition_handles_disconnected_graphs() {
+        let g = generators::clique_union(4, 2); // disjoint edges
+        let side = bipartition(&g).unwrap();
+        for e in g.edges() {
+            assert_ne!(side[e.u() as usize], side[e.v() as usize]);
+        }
+    }
+
+    #[test]
+    fn blocks_of_two_triangles_sharing_a_vertex() {
+        // Bowtie: triangles {0,1,2} and {2,3,4} share cut vertex 2.
+        let g = Graph::from_edges(
+            5,
+            [
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(0, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 4),
+                Edge::new(2, 4),
+            ],
+        );
+        let (blocks, cuts) = biconnected_components(&g);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(cuts, vec![2]);
+        let mut sizes: Vec<usize> = blocks.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn every_edge_in_exactly_one_block() {
+        let g = generators::gnp_with_max_degree(60, 8, 0.2, 3);
+        let (blocks, _) = biconnected_components(&g);
+        let mut seen = std::collections::HashSet::new();
+        for b in &blocks {
+            for &e in b {
+                assert!(seen.insert(e), "edge {e} in two blocks");
+            }
+        }
+        assert_eq!(seen.len(), g.m());
+    }
+
+    #[test]
+    fn bridge_is_its_own_block() {
+        let g = generators::path(4);
+        let (blocks, cuts) = biconnected_components(&g);
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+        assert_eq!(cuts, vec![1, 2]);
+    }
+
+    #[test]
+    fn biconnected_graph_is_one_block_no_cuts() {
+        let g = generators::cycle(7);
+        let (blocks, cuts) = biconnected_components(&g);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 7);
+        assert!(cuts.is_empty());
+        let k = generators::complete(6);
+        let (blocks, cuts) = biconnected_components(&k);
+        assert_eq!(blocks.len(), 1);
+        assert!(cuts.is_empty());
+    }
+
+    #[test]
+    fn blocks_cover_isolated_free_graph_across_components() {
+        let g = generators::clique_union(2, 3);
+        let (blocks, cuts) = biconnected_components(&g);
+        assert_eq!(blocks.len(), 2);
+        assert!(cuts.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Degeneracy ordering and `(degeneracy+1)`-coloring.
+//!
+//! Definition 4.1 of the paper: the degeneracy `κ` of `G` is the least
+//! value such that every induced subgraph has a vertex of degree `≤ κ`;
+//! greedily coloring in reverse order of repeated minimum-degree removal
+//! (the Matula–Beck ordering) yields a proper `(κ+1)`-coloring.
+//!
+//! Algorithm 2 uses exactly this on the fast-vertex blocks: Lemma 4.5
+//! shows those blocks have degeneracy `O(√∆)` (on the stored edge set), so
+//! `(degeneracy+1)`-coloring them costs only `O(√∆)` fresh colors each.
+//!
+//! The implementation is the standard linear-time bucket queue.
+
+use crate::coloring::{Color, Coloring};
+use crate::edge::VertexId;
+use crate::graph::Graph;
+
+/// Result of a degeneracy computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegeneracyInfo {
+    /// The degeneracy `κ`.
+    pub degeneracy: usize,
+    /// Vertices in removal order (each has `≤ κ` neighbors among the
+    /// vertices *after* it in this order).
+    pub order: Vec<VertexId>,
+}
+
+/// Computes the degeneracy and a degeneracy ordering of the subgraph of
+/// `g` induced by `targets` (O(n + m) bucket queue).
+pub fn degeneracy_ordering(g: &Graph, targets: &[VertexId]) -> DegeneracyInfo {
+    let n = g.n();
+    let mut in_set = vec![false; n];
+    for &v in targets {
+        in_set[v as usize] = true;
+    }
+    // Current degrees within the (shrinking) induced subgraph.
+    let mut deg = vec![0usize; n];
+    let mut max_deg = 0usize;
+    for &v in targets {
+        let d = g.neighbors(v).iter().filter(|&&y| in_set[y as usize]).count();
+        deg[v as usize] = d;
+        max_deg = max_deg.max(d);
+    }
+    // Bucket queue: buckets[d] holds vertices with current degree d.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for &v in targets {
+        buckets[deg[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(targets.len());
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    while order.len() < targets.len() {
+        // Find the lowest nonempty bucket; cursor only needs to back up by
+        // one per removal (degrees drop by at most 1 per removed neighbor).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        debug_assert!(cursor < buckets.len(), "bucket queue exhausted early");
+        let v = loop {
+            match buckets[cursor].pop() {
+                // Skip stale entries (vertex moved to a lower bucket or was
+                // removed since being pushed here).
+                Some(v) if !removed[v as usize] && deg[v as usize] == cursor => break v,
+                Some(_) => continue,
+                None => {
+                    cursor += 1;
+                    while cursor < buckets.len() && buckets[cursor].is_empty() {
+                        cursor += 1;
+                    }
+                    debug_assert!(cursor < buckets.len());
+                }
+            }
+        };
+        degeneracy = degeneracy.max(cursor);
+        removed[v as usize] = true;
+        order.push(v);
+        for &y in g.neighbors(v) {
+            if in_set[y as usize] && !removed[y as usize] {
+                let d = deg[y as usize];
+                deg[y as usize] = d - 1;
+                buckets[d - 1].push(y);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    DegeneracyInfo { degeneracy, order }
+}
+
+/// `(degeneracy+1)`-colors the subgraph of `g` induced by `targets`,
+/// extending `coloring` with fresh colors from `offset..`.
+///
+/// Returns the number of colors used. Reverse degeneracy order guarantees
+/// each vertex sees `≤ κ` already-colored neighbors, so the span is
+/// `≤ κ + 1`.
+pub fn degeneracy_coloring(
+    g: &Graph,
+    coloring: &mut Coloring,
+    targets: &[VertexId],
+    offset: Color,
+) -> u64 {
+    let info = degeneracy_ordering(g, targets);
+    let reverse: Vec<VertexId> = info.order.iter().rev().copied().collect();
+    let span = crate::greedy::greedy_color_in_order(g, coloring, &reverse, offset);
+    debug_assert!(
+        span <= info.degeneracy as u64 + 1,
+        "degeneracy coloring used {span} > κ+1 = {} colors",
+        info.degeneracy + 1
+    );
+    span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::generators;
+
+    fn all_vertices(g: &Graph) -> Vec<VertexId> {
+        (0..g.n() as VertexId).collect()
+    }
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        // A star: center 0 with 5 leaves.
+        let g = generators::star(6);
+        let info = degeneracy_ordering(&g, &all_vertices(&g));
+        assert_eq!(info.degeneracy, 1);
+        assert_eq!(info.order.len(), 6);
+    }
+
+    #[test]
+    fn clique_has_degeneracy_n_minus_one() {
+        let g = generators::complete(5);
+        let info = degeneracy_ordering(&g, &all_vertices(&g));
+        assert_eq!(info.degeneracy, 4);
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = generators::cycle(7);
+        let info = degeneracy_ordering(&g, &all_vertices(&g));
+        assert_eq!(info.degeneracy, 2);
+    }
+
+    #[test]
+    fn empty_graph_degeneracy_zero() {
+        let g = Graph::empty(4);
+        let info = degeneracy_ordering(&g, &all_vertices(&g));
+        assert_eq!(info.degeneracy, 0);
+        assert_eq!(info.order.len(), 4);
+    }
+
+    #[test]
+    fn ordering_property_holds() {
+        // Each vertex has ≤ κ neighbors later in the order.
+        let g = generators::gnp_with_max_degree(60, 10, 0.2, 5);
+        let targets = all_vertices(&g);
+        let info = degeneracy_ordering(&g, &targets);
+        let pos: std::collections::HashMap<VertexId, usize> =
+            info.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (i, &v) in info.order.iter().enumerate() {
+            let later = g.neighbors(v).iter().filter(|&&y| pos[&y] > i).count();
+            assert!(
+                later <= info.degeneracy,
+                "vertex {v} has {later} later neighbors > κ = {}",
+                info.degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn degeneracy_on_subset_only() {
+        // Kite: triangle {0,1,2} plus pendant 3; restrict to {0, 3}.
+        let g = Graph::from_edges(
+            4,
+            [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2), Edge::new(2, 3)],
+        );
+        let info = degeneracy_ordering(&g, &[0, 3]);
+        assert_eq!(info.degeneracy, 0); // 0 and 3 are not adjacent
+        assert_eq!(info.order.len(), 2);
+    }
+
+    #[test]
+    fn coloring_uses_kappa_plus_one() {
+        let g = generators::complete_bipartite(8, 8); // κ = 8, but χ = 2
+        let mut c = Coloring::empty(16);
+        let span = degeneracy_coloring(&g, &mut c, &all_vertices(&g), 0);
+        assert!(c.is_proper_total(&g));
+        assert!(span <= 9);
+    }
+
+    #[test]
+    fn coloring_with_offset_is_fresh() {
+        let g = generators::cycle(5);
+        let mut c = Coloring::empty(5);
+        let span = degeneracy_coloring(&g, &mut c, &all_vertices(&g), 50);
+        assert!(c.is_proper_total(&g));
+        assert!(span <= 3); // odd cycle: κ+1 = 3
+        assert!(c.assignments().all(|(_, col)| col >= 50));
+    }
+
+    #[test]
+    fn planar_like_sparse_graph_low_degeneracy() {
+        // A 2-degenerate "fan": path + one apex connected to all.
+        let mut g = Graph::empty(10);
+        for i in 0..8u32 {
+            g.add_edge(Edge::new(i, i + 1));
+        }
+        for i in 0..9u32 {
+            g.add_edge(Edge::new(i, 9));
+        }
+        let info = degeneracy_ordering(&g, &all_vertices(&g));
+        assert_eq!(info.degeneracy, 2);
+        let mut c = Coloring::empty(10);
+        let span = degeneracy_coloring(&g, &mut c, &all_vertices(&g), 0);
+        assert!(span <= 3);
+        assert!(c.is_proper_total(&g));
+    }
+
+    #[test]
+    fn random_graph_degeneracy_at_most_max_degree() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_with_max_degree(50, 12, 0.25, seed);
+            let info = degeneracy_ordering(&g, &all_vertices(&g));
+            assert!(info.degeneracy <= g.max_degree());
+            let mut c = Coloring::empty(50);
+            degeneracy_coloring(&g, &mut c, &all_vertices(&g), 0);
+            assert!(c.is_proper_total(&g));
+        }
+    }
+}

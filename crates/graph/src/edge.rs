@@ -1,0 +1,134 @@
+//! Edge and vertex-id primitives.
+
+/// Vertex identifier. Graphs with up to `2^32 − 1` vertices are supported;
+/// `u32` halves the memory traffic of adjacency structures versus `usize`
+/// (the perf-book "smaller integers" idiom).
+pub type VertexId = u32;
+
+/// An undirected edge, stored in normalized form (`u < v`).
+///
+/// Normalization makes `Edge` values canonical: equality, hashing, and
+/// dedup all work structurally, and every algorithm in the workspace can
+/// assume `u() < v()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates a normalized edge between two **distinct** endpoints.
+    ///
+    /// # Panics
+    /// Panics on a self-loop — proper colorings cannot exist for graphs
+    /// with self-loops, so they are rejected at construction.
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert!(a != b, "self-loop ({a}, {a}) is not a valid edge");
+        if a < b {
+            Self { u: a, v: b }
+        } else {
+            Self { u: b, v: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a tuple `(u, v)` with `u < v`.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Whether `x` is an endpoint.
+    #[inline]
+    pub fn touches(&self, x: VertexId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    #[inline]
+    fn from((a, b): (VertexId, VertexId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(0, 1).endpoints(), (0, 1));
+        assert_eq!(Edge::new(9, 3).endpoints(), (3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Edge::new(4, 4);
+    }
+
+    #[test]
+    fn touches_and_other() {
+        let e = Edge::new(7, 3);
+        assert!(e.touches(3));
+        assert!(e.touches(7));
+        assert!(!e.touches(5));
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        Edge::new(1, 2).other(3);
+    }
+
+    #[test]
+    fn tuple_conversion_and_ordering() {
+        let e: Edge = (9u32, 1u32).into();
+        assert_eq!(e.endpoints(), (1, 9));
+        let mut edges = vec![Edge::new(2, 3), Edge::new(0, 5), Edge::new(2, 1)];
+        edges.sort();
+        assert_eq!(edges, vec![Edge::new(0, 5), Edge::new(1, 2), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Edge::new(4, 1).to_string(), "(1, 4)");
+    }
+}

@@ -1,0 +1,483 @@
+//! Reproducible graph generators.
+//!
+//! Every generator is deterministic in its seed (via `rand::StdRng`), so
+//! experiments and failing tests are replayable. The families mirror the
+//! paper's motivating workloads (databases/scheduling interference graphs:
+//! sparse random, bounded-degree, bipartite) plus the structured extremes
+//! (cliques, cycles, stars) that exercise boundary behaviour.
+
+use crate::edge::{Edge, VertexId};
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            g.add_edge(Edge::new(u, v));
+        }
+    }
+    g
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        g.add_edge(Edge::new(i as VertexId, ((i + 1) % n) as VertexId));
+    }
+    g
+}
+
+/// The path `P_n`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        g.add_edge(Edge::new((i - 1) as VertexId, i as VertexId));
+    }
+    g
+}
+
+/// A star: vertex 0 joined to all others.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n as VertexId {
+        g.add_edge(Edge::new(0, v));
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (side A = `0..a`, side B = `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a as VertexId {
+        for v in a as VertexId..(a + b) as VertexId {
+            g.add_edge(Edge::new(u, v));
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` **capped at maximum degree** `max_deg`: edges are
+/// sampled in random order and an edge is kept only if both endpoints are
+/// below the cap. This gives a ∆-bounded random graph — the canonical
+/// input family for ∆-based coloring experiments.
+pub fn gnp_with_max_degree(n: usize, max_deg: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<Edge> = Vec::new();
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if rng.gen_bool(p) {
+                candidates.push(Edge::new(u, v));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+    let mut g = Graph::empty(n);
+    for e in candidates {
+        if g.degree(e.u()) < max_deg && g.degree(e.v()) < max_deg {
+            g.add_edge(e);
+        }
+    }
+    g
+}
+
+/// A random graph with **exactly** max degree `delta` (when feasible):
+/// takes a ∆-capped random graph and plants one vertex of full degree.
+///
+/// Experiments that sweep ∆ use this so the x-axis is the realized ∆,
+/// not just a cap.
+pub fn random_with_exact_max_degree(n: usize, delta: usize, seed: u64) -> Graph {
+    assert!(delta < n, "need ∆ < n");
+    let density = (2.0 * delta as f64 / n as f64).min(0.8);
+    let mut g = gnp_with_max_degree(n, delta, density, seed);
+    // Plant: raise vertex 0 to degree exactly delta.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut others: Vec<VertexId> = (1..n as VertexId).collect();
+    others.shuffle(&mut rng);
+    for v in others {
+        if g.degree(0) >= delta {
+            break;
+        }
+        if g.degree(v) < delta {
+            g.add_edge(Edge::new(0, v));
+        }
+    }
+    g
+}
+
+/// A disjoint union of `k` cliques of size `size` (χ = size; degeneracy =
+/// size − 1). Stresses the per-block recoloring paths.
+pub fn clique_union(k: usize, size: usize) -> Graph {
+    let mut g = Graph::empty(k * size);
+    for c in 0..k {
+        let base = (c * size) as VertexId;
+        for i in 0..size as VertexId {
+            for j in i + 1..size as VertexId {
+                g.add_edge(Edge::new(base + i, base + j));
+            }
+        }
+    }
+    g
+}
+
+/// A random bipartite graph with side sizes `a`, `b` and edge probability
+/// `p`, degree-capped at `max_deg`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, max_deg: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(a + b);
+    let mut candidates = Vec::new();
+    for u in 0..a as VertexId {
+        for v in a as VertexId..(a + b) as VertexId {
+            if rng.gen_bool(p) {
+                candidates.push(Edge::new(u, v));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+    for e in candidates {
+        if g.degree(e.u()) < max_deg && g.degree(e.v()) < max_deg {
+            g.add_edge(e);
+        }
+    }
+    g
+}
+
+/// A preferential-attachment ("power-law-ish") graph: each new vertex
+/// attaches to `k` existing vertices chosen proportionally to degree+1,
+/// capped at `max_deg`. Models skewed-degree interference graphs.
+pub fn preferential_attachment(n: usize, k: usize, max_deg: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    // Repeated-endpoint list for proportional sampling.
+    let mut endpoints: Vec<VertexId> = vec![0];
+    for v in 1..n as VertexId {
+        let mut attached = 0;
+        let mut attempts = 0;
+        while attached < k.min(v as usize) && attempts < 20 * k + 20 {
+            attempts += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v
+                && !g.has_edge(v, t)
+                && g.degree(t) < max_deg
+                && g.degree(v) < max_deg
+            {
+                g.add_edge(Edge::new(v, t));
+                endpoints.push(t);
+                attached += 1;
+            }
+        }
+        endpoints.push(v);
+    }
+    g
+}
+
+/// The Mycielski construction `M(g)`: `χ` increases by exactly 1 while the
+/// clique number stays put.
+///
+/// Vertices: originals `0..n`, shadows `n..2n`, apex `2n`. Edges: originals
+/// keep theirs; shadow `n+i` joins `N(i)`; the apex joins every shadow.
+/// Iterating from `K_2` yields triangle-free graphs of unbounded `χ` — the
+/// classical family separating `χ` from `ω`, used to sanity-check the
+/// chromatic solver and to stress palette-vs-χ reporting.
+pub fn mycielski(g: &Graph) -> Graph {
+    let n = g.n();
+    let mut out = Graph::empty(2 * n + 1);
+    for e in g.edges() {
+        out.add_edge(e);
+        out.add_edge(Edge::new(e.u(), n as VertexId + e.v()));
+        out.add_edge(Edge::new(e.v(), n as VertexId + e.u()));
+    }
+    let apex = (2 * n) as VertexId;
+    for i in 0..n as VertexId {
+        out.add_edge(Edge::new(n as VertexId + i, apex));
+    }
+    out
+}
+
+/// The Petersen graph: 10 vertices, 15 edges, 3-regular, `χ = 3`,
+/// girth 5. A classic worst case for naive coloring heuristics.
+pub fn petersen() -> Graph {
+    let mut g = Graph::empty(10);
+    for i in 0..5u32 {
+        g.add_edge(Edge::new(i, (i + 1) % 5)); // outer C5
+        g.add_edge(Edge::new(5 + i, 5 + (i + 2) % 5)); // inner pentagram
+        g.add_edge(Edge::new(i, 5 + i)); // spokes
+    }
+    g
+}
+
+/// The blow-up `g[K̄_t]`: each vertex becomes an independent set of `t`
+/// copies; copies are adjacent iff the originals were.
+///
+/// `χ` is preserved while `∆` scales by `t` — handy for growing `∆` along
+/// a sweep without changing the chromatic structure.
+pub fn blowup(g: &Graph, t: usize) -> Graph {
+    assert!(t >= 1, "blow-up factor must be ≥ 1");
+    let mut out = Graph::empty(g.n() * t);
+    for e in g.edges() {
+        for a in 0..t {
+            for b in 0..t {
+                out.add_edge(Edge::new(
+                    (e.u() as usize * t + a) as VertexId,
+                    (e.v() as usize * t + b) as VertexId,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A balanced complete `k`-partite graph ("Turán-style"): `k` sides of
+/// `size` vertices each; all inter-side pairs are edges. `χ = k`,
+/// `∆ = (k−1)·size`. The densest graph with its chromatic number.
+pub fn complete_multipartite(k: usize, size: usize) -> Graph {
+    let n = k * size;
+    let mut g = Graph::empty(n);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if (u as usize) / size != (v as usize) / size {
+                g.add_edge(Edge::new(u, v));
+            }
+        }
+    }
+    g
+}
+
+/// A ∆-regular "circulant" graph: vertex `i` joins `i ± 1, …, i ± ∆/2`
+/// (mod n). Regular graphs are Brooks' theorem's interesting regime.
+pub fn circulant(n: usize, half_degree: usize) -> Graph {
+    assert!(n > 2 * half_degree, "need n > 2·half_degree for simple circulant");
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        for d in 1..=half_degree {
+            g.add_edge(Edge::new(i as VertexId, ((i + d) % n) as VertexId));
+        }
+    }
+    g
+}
+
+/// The edges of `g` in a deterministic shuffled order (an "adversarial
+/// arrival order" for the static-stream experiments).
+pub fn shuffled_edges(g: &Graph, seed: u64) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = g.edges().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    edges
+}
+
+/// Random `(deg+1)` color lists over universe `[universe]` for each vertex
+/// of `g` — the input format of Theorem 2. Each list has exactly
+/// `deg(x) + 1` distinct colors.
+pub fn random_deg_plus_one_lists(g: &Graph, universe: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..g.n() as VertexId)
+        .map(|x| {
+            let need = g.degree(x) + 1;
+            assert!(
+                (universe as usize) >= need,
+                "universe {universe} too small for degree {}",
+                need - 1
+            );
+            let mut list = std::collections::HashSet::new();
+            while list.len() < need {
+                list.insert(rng.gen_range(0..universe));
+            }
+            let mut v: Vec<u64> = list.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(7);
+        assert_eq!(g.m(), 21);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn cycle_and_path() {
+        let c = cycle(5);
+        assert_eq!(c.m(), 5);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+        let p = path(5);
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn gnp_respects_degree_cap() {
+        let g = gnp_with_max_degree(100, 7, 0.5, 42);
+        assert!(g.max_degree() <= 7);
+        assert!(g.m() > 0);
+    }
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        let a = gnp_with_max_degree(50, 6, 0.3, 9);
+        let b = gnp_with_max_degree(50, 6, 0.3, 9);
+        assert_eq!(a, b);
+        let c = gnp_with_max_degree(50, 6, 0.3, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_max_degree_hits_target() {
+        for delta in [3usize, 8, 15] {
+            let g = random_with_exact_max_degree(60, delta, 7);
+            assert_eq!(g.max_degree(), delta, "∆ should be exactly {delta}");
+        }
+    }
+
+    #[test]
+    fn clique_union_shape() {
+        let g = clique_union(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 6);
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 4));
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn random_bipartite_no_intra_side_edges() {
+        let g = random_bipartite(20, 20, 0.4, 10, 3);
+        for e in g.edges() {
+            assert!(e.u() < 20 && e.v() >= 20, "edge {e} crosses wrongly");
+        }
+        assert!(g.max_degree() <= 10);
+    }
+
+    #[test]
+    fn preferential_attachment_connected_ish() {
+        let g = preferential_attachment(80, 2, 20, 11);
+        assert!(g.m() >= 80, "should attach ~2 edges per vertex, got {}", g.m());
+        assert!(g.max_degree() <= 20);
+    }
+
+    #[test]
+    fn shuffled_edges_is_permutation() {
+        let g = complete(6);
+        let s = shuffled_edges(&g, 1);
+        assert_eq!(s.len(), g.m());
+        let mut sorted = s.clone();
+        sorted.sort();
+        let mut orig: Vec<Edge> = g.edges().collect();
+        orig.sort();
+        assert_eq!(sorted, orig);
+        assert_eq!(shuffled_edges(&g, 1), s, "seed determinism");
+    }
+
+    #[test]
+    fn lists_have_deg_plus_one_distinct_colors() {
+        let g = gnp_with_max_degree(30, 6, 0.4, 2);
+        let lists = random_deg_plus_one_lists(&g, 100, 5);
+        for x in 0..30u32 {
+            let l = &lists[x as usize];
+            assert_eq!(l.len(), g.degree(x) + 1);
+            let mut d = l.clone();
+            d.dedup();
+            assert_eq!(d.len(), l.len(), "duplicate colors in list");
+            assert!(l.iter().all(|&c| c < 100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn lists_reject_tiny_universe() {
+        let g = complete(5);
+        random_deg_plus_one_lists(&g, 3, 0);
+    }
+
+    #[test]
+    fn mycielski_counts() {
+        // M(K2) = C5: 5 vertices, 5 edges.
+        let k2 = complete(2);
+        let m = mycielski(&k2);
+        assert_eq!(m.n(), 5);
+        assert_eq!(m.m(), 5);
+        assert!(m.vertices().all(|v| m.degree(v) == 2));
+        // M(C5) = Grötzsch graph: 11 vertices, 20 edges, ∆ = 4.
+        let g = mycielski(&cycle(5));
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.m(), 20);
+        assert_eq!(g.max_degree(), 5); // apex joins all 5 shadows
+    }
+
+    #[test]
+    fn petersen_is_three_regular() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        // Girth 5: no triangles.
+        for e in g.edges() {
+            for &w in g.neighbors(e.u()) {
+                assert!(!(w != e.v() && g.has_edge(w, e.v())), "triangle at {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn blowup_scales_degree_not_chromatic_structure() {
+        let g = blowup(&complete(3), 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 16);
+        assert!(g.vertices().all(|v| g.degree(v) == 8));
+        // Copies of the same original are non-adjacent.
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn complete_multipartite_structure() {
+        let g = complete_multipartite(3, 2);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 12); // K6 minus 3 disjoint edges
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn circulant_is_regular() {
+        let g = circulant(11, 3);
+        assert!(g.vertices().all(|v| g.degree(v) == 6));
+        assert_eq!(g.m(), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2·half_degree")]
+    fn circulant_rejects_overfull_degree() {
+        circulant(6, 3);
+    }
+}

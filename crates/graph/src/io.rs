@@ -1,0 +1,435 @@
+//! Graph (de)serialization: a plain edge-list format and the DIMACS
+//! `.col` coloring-benchmark format.
+//!
+//! The CLI and the experiment harness read workloads from disk in either
+//! format; both are line-oriented, so huge graphs stream through without
+//! materializing intermediate strings.
+//!
+//! **Edge-list format** — first non-comment line `n <vertices>`, then one
+//! `u v` pair per line, `#` starts a comment:
+//!
+//! ```text
+//! # triangle
+//! n 3
+//! 0 1
+//! 1 2
+//! 0 2
+//! ```
+//!
+//! **DIMACS `.col`** — `c` comment lines, one `p edge <n> <m>` problem
+//! line, then `e u v` lines with **1-based** vertex ids (converted to our
+//! 0-based [`VertexId`]s on read, and back on write).
+
+use crate::edge::{Edge, VertexId};
+use crate::graph::Graph;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing a graph file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that does not conform to the grammar; carries the 1-based
+    /// line number and a description.
+    Malformed { line: usize, what: String },
+    /// An edge endpoint `≥ n` (or `0` in 1-based DIMACS input).
+    VertexOutOfRange { line: usize, vertex: u64, n: usize },
+    /// A self-loop `u u`, which no proper coloring can satisfy.
+    SelfLoop { line: usize, vertex: u64 },
+    /// The header (`n …` / `p edge …`) is missing or appears twice.
+    BadHeader { line: usize, what: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, what } => {
+                write!(f, "line {line}: malformed input: {what}")
+            }
+            ParseError::VertexOutOfRange { line, vertex, n } => {
+                write!(f, "line {line}: vertex {vertex} out of range for n = {n}")
+            }
+            ParseError::SelfLoop { line, vertex } => {
+                write!(f, "line {line}: self-loop at vertex {vertex}")
+            }
+            ParseError::BadHeader { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseError> {
+    tok.parse::<u64>().map_err(|_| ParseError::Malformed {
+        line,
+        what: format!("expected an integer, got {tok:?}"),
+    })
+}
+
+/// Reads the plain edge-list format (see module docs). Duplicate edges are
+/// deduplicated, matching [`Graph::add_edge`] semantics.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut g: Option<Graph> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = content.split_whitespace().collect();
+        match (g.as_mut(), toks.as_slice()) {
+            (None, ["n", count]) => {
+                let n = parse_u64(count, lineno)?;
+                if n > VertexId::MAX as u64 {
+                    return Err(ParseError::BadHeader {
+                        line: lineno,
+                        what: format!("n = {n} exceeds the u32 vertex-id space"),
+                    });
+                }
+                g = Some(Graph::empty(n as usize));
+            }
+            (None, _) => {
+                return Err(ParseError::BadHeader {
+                    line: lineno,
+                    what: "first line must be the header `n <count>`".into(),
+                })
+            }
+            (Some(_), ["n", ..]) => {
+                return Err(ParseError::BadHeader {
+                    line: lineno,
+                    what: "duplicate `n` header".into(),
+                })
+            }
+            (Some(graph), [a, b]) => {
+                let (u, v) = (parse_u64(a, lineno)?, parse_u64(b, lineno)?);
+                let n = graph.n();
+                for &x in [u, v].iter() {
+                    if x >= n as u64 {
+                        return Err(ParseError::VertexOutOfRange { line: lineno, vertex: x, n });
+                    }
+                }
+                if u == v {
+                    return Err(ParseError::SelfLoop { line: lineno, vertex: u });
+                }
+                graph.add_edge(Edge::new(u as VertexId, v as VertexId));
+            }
+            (Some(_), _) => {
+                return Err(ParseError::Malformed {
+                    line: lineno,
+                    what: format!("expected `u v`, got {content:?}"),
+                })
+            }
+        }
+    }
+    g.ok_or(ParseError::BadHeader { line: 0, what: "empty input: no `n` header".into() })
+}
+
+/// Writes the plain edge-list format.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "n {}", g.n())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+/// Reads the DIMACS `.col` format (1-based vertex ids).
+///
+/// The `m` count on the problem line is advisory; the real edge count is
+/// whatever the `e` lines produce after deduplication.
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    let mut g: Option<Graph> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let content = line.trim();
+        if content.is_empty() || content.starts_with('c') {
+            continue;
+        }
+        let toks: Vec<&str> = content.split_whitespace().collect();
+        match (g.as_mut(), toks.as_slice()) {
+            (None, ["p", "edge" | "edges" | "col", n, _m]) => {
+                let n = parse_u64(n, lineno)?;
+                if n > VertexId::MAX as u64 {
+                    return Err(ParseError::BadHeader {
+                        line: lineno,
+                        what: format!("n = {n} exceeds the u32 vertex-id space"),
+                    });
+                }
+                g = Some(Graph::empty(n as usize));
+            }
+            (None, _) => {
+                return Err(ParseError::BadHeader {
+                    line: lineno,
+                    what: "expected problem line `p edge <n> <m>`".into(),
+                })
+            }
+            (Some(_), ["p", ..]) => {
+                return Err(ParseError::BadHeader {
+                    line: lineno,
+                    what: "duplicate problem line".into(),
+                })
+            }
+            (Some(graph), ["e", a, b]) => {
+                let (u, v) = (parse_u64(a, lineno)?, parse_u64(b, lineno)?);
+                let n = graph.n();
+                for &x in [u, v].iter() {
+                    if x == 0 || x > n as u64 {
+                        return Err(ParseError::VertexOutOfRange { line: lineno, vertex: x, n });
+                    }
+                }
+                if u == v {
+                    return Err(ParseError::SelfLoop { line: lineno, vertex: u });
+                }
+                graph.add_edge(Edge::new((u - 1) as VertexId, (v - 1) as VertexId));
+            }
+            (Some(_), _) => {
+                return Err(ParseError::Malformed {
+                    line: lineno,
+                    what: format!("expected `e u v`, got {content:?}"),
+                })
+            }
+        }
+    }
+    g.ok_or(ParseError::BadHeader { line: 0, what: "empty input: no problem line".into() })
+}
+
+/// Writes the DIMACS `.col` format (1-based vertex ids).
+pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "c written by streamcolor")?;
+    writeln!(w, "p edge {} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.u() + 1, e.v() + 1)?;
+    }
+    Ok(())
+}
+
+/// Reads a coloring file: one `vertex color` pair per line, `#` comments;
+/// vertices without a line stay uncolored.
+///
+/// `n` bounds the vertex ids (a graph file is normally read first).
+pub fn read_coloring<R: BufRead>(reader: R, n: usize) -> Result<crate::Coloring, ParseError> {
+    let mut coloring = crate::Coloring::empty(n);
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = content.split_whitespace().collect();
+        let [v, c] = toks.as_slice() else {
+            return Err(ParseError::Malformed {
+                line: lineno,
+                what: format!("expected `vertex color`, got {content:?}"),
+            });
+        };
+        let v = parse_u64(v, lineno)?;
+        let c = parse_u64(c, lineno)?;
+        if v >= n as u64 {
+            return Err(ParseError::VertexOutOfRange { line: lineno, vertex: v, n });
+        }
+        if coloring.is_colored(v as VertexId) {
+            return Err(ParseError::Malformed {
+                line: lineno,
+                what: format!("vertex {v} colored twice"),
+            });
+        }
+        coloring.set(v as VertexId, c);
+    }
+    Ok(coloring)
+}
+
+/// Writes a coloring as `vertex color` lines (uncolored vertices are
+/// omitted). Round-trips through [`read_coloring`].
+pub fn write_coloring<W: Write>(coloring: &crate::Coloring, mut w: W) -> std::io::Result<()> {
+    for (v, c) in coloring.assignments() {
+        writeln!(w, "{v} {c}")?;
+    }
+    Ok(())
+}
+
+/// Convenience: parse either format, sniffing from the first significant
+/// line (`p`/`c` ⇒ DIMACS, `n`/`#` ⇒ edge list).
+pub fn read_auto(text: &str) -> Result<Graph, ParseError> {
+    let first = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .unwrap_or("");
+    if first.starts_with('p') || first.starts_with('c') {
+        read_dimacs(text.as_bytes())
+    } else {
+        read_edge_list(text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Same vertex count and edge set (adjacency order may differ after a
+    /// round trip, and `Graph` equality is representation-sensitive).
+    fn assert_same_graph(a: &Graph, b: &Graph) {
+        assert_eq!(a.n(), b.n());
+        let mut ea: Vec<Edge> = a.edges().collect();
+        let mut eb: Vec<Edge> = b.edges().collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::gnp_with_max_degree(40, 6, 0.3, 7);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = generators::preferential_attachment(50, 2, 10, 1);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let back = read_dimacs(buf.as_slice()).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header comment\n\nn 3\n0 1  # inline comment\n\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::BadHeader { line: 1, .. }), "{err}");
+        let err = read_edge_list("".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn duplicate_header_is_an_error() {
+        let err = read_edge_list("n 3\nn 4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::BadHeader { line: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_and_self_loop_are_errors() {
+        let err = read_edge_list("n 3\n0 3\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, ParseError::VertexOutOfRange { line: 2, vertex: 3, n: 3 }),
+            "{err}"
+        );
+        let err = read_edge_list("n 3\n1 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::SelfLoop { line: 2, vertex: 1 }));
+    }
+
+    #[test]
+    fn malformed_tokens_are_errors() {
+        let err = read_edge_list("n 3\n0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+        let err = read_edge_list("n 3\n0 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn dimacs_one_based_conversion() {
+        let text = "c a triangle\np edge 3 3\ne 1 2\ne 2 3\ne 1 3\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_vertex() {
+        let err = read_dimacs("p edge 3 1\ne 0 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::VertexOutOfRange { vertex: 0, .. }));
+    }
+
+    #[test]
+    fn auto_sniffs_both_formats() {
+        let g = generators::cycle(5);
+        let mut el = Vec::new();
+        write_edge_list(&g, &mut el).unwrap();
+        let mut dc = Vec::new();
+        write_dimacs(&g, &mut dc).unwrap();
+        assert_same_graph(&read_auto(std::str::from_utf8(&el).unwrap()).unwrap(), &g);
+        assert_same_graph(&read_auto(std::str::from_utf8(&dc).unwrap()).unwrap(), &g);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_edge_list("n 2\n0 5\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains('5'), "{msg}");
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::empty(4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn coloring_round_trip() {
+        let g = generators::cycle(6);
+        let mut c = crate::Coloring::empty(6);
+        crate::greedy::greedy_complete(&g, &mut c);
+        let mut buf = Vec::new();
+        write_coloring(&c, &mut buf).unwrap();
+        let back = read_coloring(buf.as_slice(), 6).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn partial_colorings_keep_gaps() {
+        let text = "# partial\n0 5\n3 7\n";
+        let c = read_coloring(text.as_bytes(), 4).unwrap();
+        assert_eq!(c.get(0), Some(5));
+        assert_eq!(c.get(3), Some(7));
+        assert!(!c.is_colored(1));
+        assert_eq!(c.num_uncolored(), 2);
+    }
+
+    #[test]
+    fn coloring_errors() {
+        assert!(matches!(
+            read_coloring("9 1\n".as_bytes(), 4).unwrap_err(),
+            ParseError::VertexOutOfRange { vertex: 9, .. }
+        ));
+        assert!(matches!(
+            read_coloring("1 2\n1 3\n".as_bytes(), 4).unwrap_err(),
+            ParseError::Malformed { line: 2, .. }
+        ));
+        assert!(matches!(
+            read_coloring("1\n".as_bytes(), 4).unwrap_err(),
+            ParseError::Malformed { line: 1, .. }
+        ));
+    }
+}

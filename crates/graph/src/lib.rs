@@ -1,0 +1,47 @@
+//! # `sc-graph` — graph substrate for `streamcolor`
+//!
+//! Everything the streaming-coloring algorithms of
+//! Assadi–Chakrabarti–Ghosh–Stoeckl (PODS 2023) need from "classical"
+//! (offline) graph machinery:
+//!
+//! * [`Graph`] — a compact adjacency-list graph over `u32` vertex ids, with
+//!   induced-subgraph extraction (Algorithm 2 recolors induced blocks at
+//!   query time).
+//! * [`Coloring`] — partial/total colorings with properness validation
+//!   against a graph and against per-vertex color lists.
+//! * [`generators`] — reproducible random and structured graph families for
+//!   tests, examples and the experiment harness.
+//! * [`degeneracy`] — bucket-queue degeneracy ordering and
+//!   `(degeneracy+1)`-coloring (Definition 4.1 / line 26 of Algorithm 2).
+//! * [`greedy`] — first-fit greedy coloring, including the list variant the
+//!   end-of-algorithm completion passes use.
+//! * [`turan`] — the constructive Turán-type independent-set procedure of
+//!   Lemma 2.1 / A.1, which ends every epoch of Algorithm 1.
+
+pub mod brooks;
+pub mod chromatic;
+pub mod coloring;
+pub mod components;
+pub mod degeneracy;
+pub mod edge;
+pub mod generators;
+pub mod graph;
+pub mod greedy;
+pub mod io;
+pub mod stats;
+pub mod turan;
+pub mod validate;
+
+pub use brooks::{brooks_bound, brooks_coloring};
+pub use chromatic::{chromatic_number, greedy_clique, k_colorable};
+pub use coloring::{Color, Coloring};
+pub use components::{
+    biconnected_components, bipartition, connected_components, is_connected, UnionFind,
+};
+pub use degeneracy::{degeneracy_coloring, degeneracy_ordering, DegeneracyInfo};
+pub use edge::{Edge, VertexId};
+pub use graph::Graph;
+pub use greedy::{greedy_color_in_order, greedy_complete, greedy_list_color};
+pub use stats::GraphStats;
+pub use turan::turan_independent_set;
+pub use validate::{audit, audit_lists, Audit};

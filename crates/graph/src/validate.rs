@@ -1,0 +1,163 @@
+//! Detailed coloring audits.
+//!
+//! `Coloring::is_proper_total` answers yes/no; experiment harnesses and
+//! the adversarial game want *why not*: which edges are violated, how
+//! color classes are distributed, whether lists were honored per vertex.
+//! [`audit`] collects the full picture in one pass over the graph.
+
+use crate::coloring::{Color, Coloring};
+use crate::edge::Edge;
+use crate::graph::Graph;
+
+/// The result of a full coloring audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Audit {
+    /// Monochromatic edges (both endpoints colored identically).
+    pub violations: Vec<Edge>,
+    /// Edges with at least one uncolored endpoint.
+    pub uncolored_edges: Vec<Edge>,
+    /// Uncolored vertices.
+    pub uncolored_vertices: Vec<u32>,
+    /// Distinct colors used.
+    pub distinct_colors: usize,
+    /// Size of the largest color class.
+    pub largest_class: usize,
+}
+
+impl Audit {
+    /// Whether the coloring is a proper total coloring.
+    pub fn is_proper_total(&self) -> bool {
+        self.violations.is_empty()
+            && self.uncolored_edges.is_empty()
+            && self.uncolored_vertices.is_empty()
+    }
+
+    /// A human-readable verdict for logs and assertion messages.
+    pub fn verdict(&self) -> String {
+        if self.is_proper_total() {
+            format!(
+                "proper: {} colors, largest class {}",
+                self.distinct_colors, self.largest_class
+            )
+        } else {
+            format!(
+                "IMPROPER: {} monochromatic edges (first: {:?}), {} uncolored vertices",
+                self.violations.len(),
+                self.violations.first(),
+                self.uncolored_vertices.len()
+            )
+        }
+    }
+}
+
+/// Audits `coloring` against `g` in `O(n + m)`.
+pub fn audit(g: &Graph, coloring: &Coloring) -> Audit {
+    let mut violations = Vec::new();
+    let mut uncolored_edges = Vec::new();
+    for e in g.edges() {
+        match (coloring.get(e.u()), coloring.get(e.v())) {
+            (Some(a), Some(b)) if a == b => violations.push(e),
+            (Some(_), Some(_)) => {}
+            _ => uncolored_edges.push(e),
+        }
+    }
+    let uncolored_vertices = coloring.uncolored();
+    let mut classes: std::collections::HashMap<Color, usize> = std::collections::HashMap::new();
+    for (_, c) in coloring.assignments() {
+        *classes.entry(c).or_default() += 1;
+    }
+    Audit {
+        violations,
+        uncolored_edges,
+        uncolored_vertices,
+        distinct_colors: classes.len(),
+        largest_class: classes.values().copied().max().unwrap_or(0),
+    }
+}
+
+/// Audits list compliance: returns the vertices whose assigned color is
+/// not in their list.
+pub fn audit_lists(coloring: &Coloring, lists: &[Vec<Color>]) -> Vec<u32> {
+    coloring
+        .assignments()
+        .filter(|(x, c)| !lists[*x as usize].contains(c))
+        .map(|(x, _)| x)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn proper_coloring_audits_clean() {
+        let g = generators::cycle(6);
+        let mut c = Coloring::empty(6);
+        for x in 0..6u32 {
+            c.set(x, (x % 2) as u64);
+        }
+        let a = audit(&g, &c);
+        assert!(a.is_proper_total());
+        assert_eq!(a.distinct_colors, 2);
+        assert_eq!(a.largest_class, 3);
+        assert!(a.verdict().starts_with("proper"));
+    }
+
+    #[test]
+    fn monochromatic_edges_are_listed() {
+        let g = generators::complete(3);
+        let mut c = Coloring::empty(3);
+        c.set(0, 1);
+        c.set(1, 1);
+        c.set(2, 2);
+        let a = audit(&g, &c);
+        assert_eq!(a.violations, vec![Edge::new(0, 1)]);
+        assert!(!a.is_proper_total());
+        assert!(a.verdict().contains("IMPROPER"));
+    }
+
+    #[test]
+    fn uncolored_parts_are_reported() {
+        let g = generators::path(4);
+        let mut c = Coloring::empty(4);
+        c.set(0, 0);
+        let a = audit(&g, &c);
+        assert_eq!(a.uncolored_vertices, vec![1, 2, 3]);
+        assert_eq!(a.uncolored_edges.len(), 3);
+        assert!(!a.is_proper_total());
+    }
+
+    #[test]
+    fn audit_matches_is_proper_total_on_random_instances() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_with_max_degree(60, 8, 0.4, seed);
+            let mut c = Coloring::empty(60);
+            crate::greedy::greedy_complete(&g, &mut c);
+            let a = audit(&g, &c);
+            assert_eq!(a.is_proper_total(), c.is_proper_total(&g));
+            assert_eq!(a.distinct_colors, c.num_distinct_colors());
+        }
+    }
+
+    #[test]
+    fn list_audit_flags_offenders() {
+        let mut c = Coloring::empty(3);
+        c.set(0, 5);
+        c.set(1, 7);
+        let lists = vec![vec![5, 6], vec![5, 6], vec![1]];
+        assert_eq!(audit_lists(&c, &lists), vec![1]);
+        c.set(1, 6);
+        assert!(audit_lists(&c, &lists).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_audit() {
+        let g = Graph::empty(3);
+        let c = Coloring::empty(3);
+        let a = audit(&g, &c);
+        assert!(!a.is_proper_total()); // vertices uncolored
+        assert!(a.violations.is_empty());
+        assert_eq!(a.largest_class, 0);
+    }
+}

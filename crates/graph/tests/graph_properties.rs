@@ -1,0 +1,210 @@
+//! Property-based tests for the graph substrate: structural laws of
+//! graphs, colorings, degeneracy, greedy coloring and Turán sets under
+//! arbitrary generated inputs.
+
+use proptest::prelude::*;
+use sc_graph::{
+    degeneracy_coloring, degeneracy_ordering, generators, greedy_complete,
+    turan_independent_set, Coloring, Graph,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..60, 2usize..8, any::<u64>())
+        .prop_map(|(n, d, seed)| generators::gnp_with_max_degree(n, d, 0.4, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.m());
+    }
+
+    #[test]
+    fn induced_subgraph_monotone(g in arb_graph(), cut in 0usize..60) {
+        let keep: Vec<u32> = (0..g.n().min(cut) as u32).collect();
+        let h = g.induced(&keep);
+        prop_assert!(h.m() <= g.m());
+        for e in h.edges() {
+            prop_assert!(g.has_edge(e.u(), e.v()));
+            prop_assert!(keep.contains(&e.u()) && keep.contains(&e.v()));
+        }
+    }
+
+    #[test]
+    fn degeneracy_le_max_degree(g in arb_graph()) {
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        let info = degeneracy_ordering(&g, &all);
+        prop_assert!(info.degeneracy <= g.max_degree());
+        prop_assert_eq!(info.order.len(), g.n());
+        // Order is a permutation.
+        let mut sorted = info.order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), g.n());
+    }
+
+    #[test]
+    fn degeneracy_coloring_within_kappa_plus_one(g in arb_graph()) {
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        let kappa = degeneracy_ordering(&g, &all).degeneracy;
+        let mut c = Coloring::empty(g.n());
+        let span = degeneracy_coloring(&g, &mut c, &all, 0);
+        prop_assert!(c.is_proper_total(&g));
+        prop_assert!(span <= kappa as u64 + 1);
+    }
+
+    #[test]
+    fn greedy_within_delta_plus_one(g in arb_graph()) {
+        let mut c = Coloring::empty(g.n());
+        greedy_complete(&g, &mut c);
+        prop_assert!(c.is_proper_total(&g));
+        prop_assert!(c.palette_span() <= g.max_degree() as u64 + 1);
+    }
+
+    #[test]
+    fn turan_set_is_independent_and_large(g in arb_graph()) {
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        let is = turan_independent_set(&g, &all);
+        for (i, &u) in is.iter().enumerate() {
+            for &v in &is[i + 1..] {
+                prop_assert!(!g.has_edge(u, v));
+            }
+        }
+        prop_assert!(is.len() >= g.n() * g.n() / (2 * g.m() + g.n()));
+    }
+
+    #[test]
+    fn generators_respect_caps(n in 10usize..100, d in 1usize..12, seed in any::<u64>()) {
+        prop_assert!(generators::gnp_with_max_degree(n, d, 0.5, seed).max_degree() <= d);
+        prop_assert!(generators::random_bipartite(n/2, n/2, 0.4, d, seed).max_degree() <= d);
+        prop_assert!(generators::preferential_attachment(n, 2, d.max(2), seed).max_degree() <= d.max(2));
+    }
+
+    #[test]
+    fn shuffle_preserves_edge_multiset(g in arb_graph(), seed in any::<u64>()) {
+        let mut shuffled = generators::shuffled_edges(&g, seed);
+        shuffled.sort();
+        let mut orig: Vec<_> = g.edges().collect();
+        orig.sort();
+        prop_assert_eq!(shuffled, orig);
+    }
+}
+
+// ---- properties of the offline-theory modules (brooks / chromatic /
+// components / io) on arbitrary graphs ----
+
+use sc_graph::{
+    biconnected_components, bipartition, brooks_bound, brooks_coloring, connected_components,
+    greedy_clique, io, k_colorable,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn components_partition_the_vertex_set(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let mut seen: Vec<u32> = comps.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..g.n() as u32).collect();
+        prop_assert_eq!(seen, expect);
+        // No edge crosses components.
+        let mut comp_of = vec![usize::MAX; g.n()];
+        for (i, c) in comps.iter().enumerate() {
+            for &v in c {
+                comp_of[v as usize] = i;
+            }
+        }
+        for e in g.edges() {
+            prop_assert_eq!(comp_of[e.u() as usize], comp_of[e.v() as usize]);
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_edge_set(g in arb_graph()) {
+        let (blocks, cuts) = biconnected_components(&g);
+        let mut all: Vec<_> = blocks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut orig: Vec<_> = g.edges().collect();
+        orig.sort_unstable();
+        prop_assert_eq!(all.len(), orig.len());
+        prop_assert_eq!(all, orig);
+        // Cut vertices are a subset of the vertex set, sorted and distinct.
+        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(cuts.iter().all(|&v| (v as usize) < g.n()));
+    }
+
+    #[test]
+    fn bipartition_iff_no_odd_cycle_witness(g in arb_graph()) {
+        match bipartition(&g) {
+            Some(side) => {
+                for e in g.edges() {
+                    prop_assert_ne!(side[e.u() as usize], side[e.v() as usize]);
+                }
+            }
+            None => {
+                // Non-bipartite graphs need ≥ 3 colors.
+                prop_assert!(k_colorable(&g, 2).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn brooks_coloring_proper_within_bound(g in arb_graph()) {
+        let c = brooks_coloring(&g);
+        prop_assert!(c.is_proper_total(&g));
+        if g.n() > 0 {
+            prop_assert!(c.palette_span() <= brooks_bound(&g).max(1) as u64);
+        }
+    }
+
+    #[test]
+    fn clique_is_chromatic_lower_bound(g in arb_graph()) {
+        let q = greedy_clique(&g);
+        for (i, &u) in q.iter().enumerate() {
+            for &v in &q[i + 1..] {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        // q.len() colors are necessary: q.len()−1 cannot color the clique,
+        // hence not the graph.
+        if q.len() >= 2 {
+            prop_assert!(k_colorable(&g, q.len() - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn io_round_trip_is_identity_on_edge_sets(g in arb_graph()) {
+        let mut el = Vec::new();
+        io::write_edge_list(&g, &mut el).unwrap();
+        let b1 = io::read_edge_list(el.as_slice()).unwrap();
+        let mut dc = Vec::new();
+        io::write_dimacs(&g, &mut dc).unwrap();
+        let b2 = io::read_dimacs(dc.as_slice()).unwrap();
+        for back in [b1, b2] {
+            prop_assert_eq!(back.n(), g.n());
+            let mut a: Vec<_> = back.edges().collect();
+            let mut b: Vec<_> = g.edges().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mycielski_preserves_triangle_freeness(n in 4usize..9) {
+        // C_n for even n is triangle-free and bipartite; M(C_n) must stay
+        // triangle-free (the construction's defining property).
+        let base = generators::cycle(2 * n);
+        let m = generators::mycielski(&base);
+        for e in m.edges() {
+            for &w in m.neighbors(e.u()) {
+                prop_assert!(!(w != e.v() && m.has_edge(w, e.v())),
+                    "triangle through {} and {}", e, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Arithmetic in `F_p` for the Mersenne prime `p = 2⁶¹ − 1`.
+//!
+//! Algorithm 1's derandomization evaluates an affine hash for **every
+//! edge × every candidate function** in the tournament passes — the
+//! workspace's hottest loop. Generic `(a·z + b) mod p` costs a hardware
+//! division per evaluation; for a Mersenne modulus the reduction is two
+//! shifts and an add, which is why fingerprinting codebases standardize
+//! on `2⁶¹ − 1`. This module provides the fast field plus a drop-in
+//! pairwise-independent affine family over it; `bench_hash` measures the
+//! speedup against the generic [`crate::affine`] path.
+//!
+//! (The paper only needs `p = Θ(n log n)`; any prime `≥ n` keeps the
+//! Carter–Wegman guarantee, and using a fixed larger prime only shrinks
+//! collision probabilities.)
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const P61: u64 = (1 << 61) - 1;
+
+/// Reduces a 128-bit product to `[0, 2⁶¹ − 1)` using the Mersenne
+/// identity `2⁶¹ ≡ 1 (mod p)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into low 61 bits and the rest; fold twice (the first fold can
+    // leave a value up to ~2⁶⁷), then one conditional subtract.
+    let lo = (x as u64) & P61;
+    let hi = x >> 61;
+    let folded = lo as u128 + hi;
+    let lo2 = (folded as u64) & P61;
+    let hi2 = (folded >> 61) as u64;
+    let mut r = lo2 + hi2;
+    if r >= P61 {
+        r -= P61;
+    }
+    r
+}
+
+/// `a · b mod (2⁶¹ − 1)` without hardware division.
+#[inline]
+pub fn mul61(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+/// `a + b mod (2⁶¹ − 1)`.
+#[inline]
+pub fn add61(a: u64, b: u64) -> u64 {
+    let s = a + b; // both < 2⁶¹, no overflow in u64
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+/// An affine hash `z ↦ (a·z + b) mod (2⁶¹ − 1)` — pairwise independent
+/// over the fixed Mersenne field.
+///
+/// # Examples
+/// ```
+/// use sc_hash::{mulmod, MersenneAffine, P61};
+///
+/// let h = MersenneAffine::new(12345, 678);
+/// assert_eq!(h.eval(9), (mulmod(12345, 9, P61) + 678) % P61);
+/// assert!(h.eval_range(9, 100) < 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MersenneAffine {
+    /// Slope (reduced mod `P61`).
+    pub a: u64,
+    /// Intercept (reduced mod `P61`).
+    pub b: u64,
+}
+
+impl MersenneAffine {
+    /// Creates the hash, reducing the parameters.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self { a: a % P61, b: b % P61 }
+    }
+
+    /// Evaluates the hash.
+    #[inline]
+    pub fn eval(&self, z: u64) -> u64 {
+        add61(mul61(self.a, z % P61), self.b)
+    }
+
+    /// Evaluates and maps onto `[range]` by the fixed-point multiply
+    /// `(h · range) >> 61` — the bias is `≤ range/2⁶¹`, negligible for the
+    /// `range = poly(n)` uses in this workspace.
+    #[inline]
+    pub fn eval_range(&self, z: u64, range: u64) -> u64 {
+        ((self.eval(z) as u128 * range as u128) >> 61) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modp::{is_prime_u64, mulmod};
+    use crate::prf::SplitMix64;
+
+    #[test]
+    fn p61_is_prime() {
+        assert!(is_prime_u64(P61));
+    }
+
+    #[test]
+    fn mul61_matches_generic_mulmod() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..2000 {
+            let a = rng.below(P61);
+            let b = rng.below(P61);
+            assert_eq!(mul61(a, b), mulmod(a, b, P61), "a = {a}, b = {b}");
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(mul61(P61 - 1, P61 - 1), mulmod(P61 - 1, P61 - 1, P61));
+        assert_eq!(mul61(0, 12345), 0);
+        assert_eq!(mul61(1, P61 - 1), P61 - 1);
+        assert_eq!(add61(P61 - 1, 1), 0);
+        assert_eq!(add61(P61 - 1, P61 - 1), P61 - 2);
+        assert_eq!(reduce128((P61 as u128) * 2), 0);
+        assert_eq!(reduce128(u128::MAX >> 6), reduce128(reduce128(u128::MAX >> 6) as u128));
+    }
+
+    #[test]
+    fn reduce_is_canonical() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..2000 {
+            let x = (rng.next_u64() as u128) << 32 | rng.next_u64() as u128;
+            let r = reduce128(x);
+            assert!(r < P61);
+            assert_eq!(r as u128 % P61 as u128, x % P61 as u128);
+        }
+    }
+
+    #[test]
+    fn affine_eval_matches_definition() {
+        let h = MersenneAffine::new(12345, 67890);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let z = rng.below(P61);
+            let expect = (mulmod(12345, z, P61) + 67890) % P61;
+            assert_eq!(h.eval(z), expect);
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_near_uniform() {
+        // Empirical 2-universality: for fixed z1 ≠ z2 and range s, the
+        // collision rate over random (a, b) should be ≈ 1/s.
+        let mut rng = SplitMix64::new(4);
+        let s = 64u64;
+        let trials = 40_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = MersenneAffine::new(rng.next_u64(), rng.next_u64());
+            if h.eval_range(17, s) == h.eval_range(90_001, s) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / s as f64).abs() < 0.6 / s as f64,
+            "collision rate {rate:.5} vs expected {:.5}",
+            1.0 / s as f64
+        );
+    }
+
+    #[test]
+    fn eval_range_stays_in_range() {
+        let h = MersenneAffine::new(999, 7);
+        for z in 0..1000u64 {
+            assert!(h.eval_range(z, 10) < 10);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Simple tabulation hashing.
+//!
+//! Splits a 32-bit key into 4 bytes and XORs four random 256-entry tables:
+//! `h(x) = T₀[x₀] ⊕ T₁[x₁] ⊕ T₂[x₂] ⊕ T₃[x₃]`. Zobrist/Carter–Wegman
+//! classic; **3-independent** (not 4-independent), yet with Chernoff-style
+//! concentration far beyond its independence (Pătraşcu–Thorup 2012), and
+//! evaluates in a handful of cache hits — no multiplications.
+//!
+//! Included as the practitioner's alternative to the polynomial families:
+//! `bench_hash` compares their throughputs, and the robust colorers could
+//! swap it in wherever only collision statistics matter (not the exact
+//! 4-independence Lemma 4.8's variance computation uses — which is why
+//! Algorithm 3 itself keeps the polynomial family).
+
+use crate::prf::{uniform_below, SplitMix64};
+
+/// A simple (4-way, byte-indexed) tabulation hash `u32 → [range]`.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; 4]>,
+    range: u64,
+}
+
+impl TabulationHash {
+    /// Samples the four tables from a seeded generator.
+    pub fn new(seed: u64, range: u64) -> Self {
+        assert!(range >= 1);
+        let mut rng = SplitMix64::new(seed);
+        let mut tables = Box::new([[0u64; 256]; 4]);
+        for t in tables.iter_mut() {
+            for cell in t.iter_mut() {
+                *cell = rng.next_u64();
+            }
+        }
+        Self { tables, range }
+    }
+
+    /// Evaluates the hash.
+    #[inline]
+    pub fn eval(&self, x: u32) -> u64 {
+        let b = x.to_le_bytes();
+        let mixed = self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize];
+        uniform_below(mixed, self.range)
+    }
+
+    /// The range size.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Bits of randomness stored (4 × 256 × 64).
+    pub const RANDOMNESS_BITS: u64 = 4 * 256 * 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = TabulationHash::new(5, 1000);
+        let b = TabulationHash::new(5, 1000);
+        for x in 0..500u32 {
+            assert_eq!(a.eval(x), b.eval(x));
+        }
+        let c = TabulationHash::new(6, 1000);
+        let diff = (0..500u32).filter(|&x| a.eval(x) != c.eval(x)).count();
+        assert!(diff > 490);
+    }
+
+    #[test]
+    fn range_respected() {
+        let h = TabulationHash::new(1, 37);
+        for x in 0..10_000u32 {
+            assert!(h.eval(x) < 37);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let range = 16u64;
+        let h = TabulationHash::new(9, range);
+        let trials = 64_000u32;
+        let mut counts = vec![0u64; range as usize];
+        for x in 0..trials {
+            counts[h.eval(x) as usize] += 1;
+        }
+        let expected = trials as f64 / range as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "bucket {i} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn pairwise_collisions_near_uniform() {
+        let range = 64u64;
+        let trials = 8000u64;
+        let mut collisions = 0u64;
+        for seed in 0..trials {
+            let h = TabulationHash::new(seed, range);
+            if h.eval(123) == h.eval(45_678) {
+                collisions += 1;
+            }
+        }
+        let expected = trials / range;
+        assert!(
+            collisions > expected / 2 && collisions < expected * 2,
+            "{collisions} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn xor_structure_threewise() {
+        // Exhaustive check of 3-independence on a restricted projection
+        // is infeasible here; instead verify that keys differing in one
+        // byte produce (empirically) independent-looking outputs.
+        let h = TabulationHash::new(3, 1 << 30);
+        let base = h.eval(0x01020304);
+        let mut equal = 0;
+        for delta in 1..=255u32 {
+            if h.eval(0x01020304 ^ delta) == base {
+                equal += 1;
+            }
+        }
+        assert_eq!(equal, 0);
+    }
+}

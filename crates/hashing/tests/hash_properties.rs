@@ -1,0 +1,123 @@
+//! Property-based tests for the hashing substrate: algebraic laws of the
+//! modular arithmetic, structural guarantees of the families, and
+//! determinism of every seeded construction.
+
+use proptest::prelude::*;
+use sc_hash::{
+    is_prime_u64, mulmod, next_prime, powmod, prime_in_range, AffineFamily, OracleFn,
+    PolynomialFamily, SplitMix64, TabulationHash, TwoUniversalFamily,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mulmod_is_exact(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let expect = ((a as u128 * b as u128) % m as u128) as u64;
+        prop_assert_eq!(mulmod(a, b, m), expect);
+    }
+
+    #[test]
+    fn powmod_matches_repeated_multiplication(base in 0u64..1000, exp in 0u64..64, m in 2u64..100_000) {
+        let mut acc = 1u64 % m;
+        for _ in 0..exp {
+            acc = mulmod(acc, base % m, m);
+        }
+        prop_assert_eq!(powmod(base, exp, m), acc);
+    }
+
+    #[test]
+    fn next_prime_is_prime_and_minimal(n in 0u64..10_000_000) {
+        let p = next_prime(n);
+        prop_assert!(p >= n.max(2));
+        prop_assert!(is_prime_u64(p));
+        // No prime strictly between n and p (spot-check small gaps).
+        if p > n {
+            for q in n..p {
+                prop_assert!(!is_prime_u64(q));
+            }
+        }
+    }
+
+    #[test]
+    fn bertrand_interval_never_empty(n in 2u64..100_000, l in 1u64..32) {
+        prop_assert!(prime_in_range(8 * n * l, 16 * n * l).is_some());
+    }
+
+    #[test]
+    fn affine_hash_stays_in_range(a in 0u64..97, b in 0u64..97, z in any::<u64>()) {
+        let fam = AffineFamily::new(97);
+        let h = fam.member(a, b);
+        prop_assert!(h.eval(z) < 97);
+    }
+
+    #[test]
+    fn two_universal_member_index_roundtrip(idx in 0u128..(31 * 30)) {
+        let fam = TwoUniversalFamily::with_modulus(31, 5);
+        let h = fam.member(idx);
+        prop_assert!(h.a >= 1 && h.a < 31);
+        prop_assert!(h.b < 31);
+        // Lexicographic enumeration: recompute index.
+        let back = (h.a as u128 - 1) * 31 + h.b as u128;
+        prop_assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn polynomial_sampling_is_seed_deterministic(seed in any::<u64>()) {
+        let fam = PolynomialFamily::for_domain(1 << 16, 256, 4);
+        let h1 = fam.sample(&mut SplitMix64::new(seed));
+        let h2 = fam.sample(&mut SplitMix64::new(seed));
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn oracle_fn_consistent_and_ranged(seed in any::<u64>(), id in any::<u64>(), x in any::<u64>(), r in 1u64..1_000_000) {
+        let f = OracleFn::new(seed, id, r);
+        prop_assert!(f.eval(x) < r);
+        prop_assert_eq!(f.eval(x), f.eval(x));
+    }
+
+    #[test]
+    fn tabulation_ranged(seed in any::<u64>(), x in any::<u32>(), r in 1u64..1_000_000) {
+        let h = TabulationHash::new(seed, r);
+        prop_assert!(h.eval(x) < r);
+    }
+
+    #[test]
+    fn splitmix_fork_independence(seed in any::<u64>(), t1 in any::<u64>(), t2 in any::<u64>()) {
+        prop_assume!(t1 != t2);
+        let parent = SplitMix64::new(seed);
+        let mut a = parent.fork(t1);
+        let mut b = parent.fork(t2);
+        // Different tweaks should not produce identical first draws.
+        prop_assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
+
+// ---- Mersenne field laws ----
+
+use sc_hash::{add61, mul61, MersenneAffine, P61};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mersenne_mul_matches_generic(a in 0u64..P61, b in 0u64..P61) {
+        prop_assert_eq!(mul61(a, b), mulmod(a, b, P61));
+    }
+
+    #[test]
+    fn mersenne_field_laws(a in 0u64..P61, b in 0u64..P61, c in 0u64..P61) {
+        // Commutativity and distributivity.
+        prop_assert_eq!(mul61(a, b), mul61(b, a));
+        prop_assert_eq!(add61(a, b), add61(b, a));
+        prop_assert_eq!(mul61(a, add61(b, c)), add61(mul61(a, b), mul61(a, c)));
+    }
+
+    #[test]
+    fn mersenne_affine_range_mapping(a in any::<u64>(), b in any::<u64>(), z in any::<u64>(), r in 1u64..10_000) {
+        let h = MersenneAffine::new(a, b);
+        prop_assert!(h.eval(z) < P61);
+        prop_assert!(h.eval_range(z, r) < r);
+    }
+}

@@ -1,0 +1,101 @@
+//! The single-pass streaming-colorer interface.
+//!
+//! The adversarially robust setting (paper §4) is "inherently a single-pass
+//! setting": the algorithm consumes edge insertions one at a time and must
+//! be able to report a proper coloring of the graph-so-far *after any
+//! prefix*. [`StreamingColorer`] captures exactly that contract; the
+//! adversarial game driver in `sc-adversary` and the static-stream
+//! experiment harness both speak it.
+
+use sc_graph::Coloring;
+use sc_graph::Edge;
+
+/// A one-pass algorithm that maintains a colorable summary of an edge
+/// stream and can produce a proper coloring on demand.
+pub trait StreamingColorer {
+    /// Processes the next edge insertion.
+    fn process(&mut self, e: Edge);
+
+    /// Returns a coloring of all edges processed so far.
+    ///
+    /// For robust algorithms this must be proper with probability `≥ 1 − δ`
+    /// against *adaptive* streams; for non-robust baselines only against
+    /// oblivious ones.
+    fn query(&mut self) -> Coloring;
+
+    /// Self-reported peak space in bits (model accounting; see
+    /// [`crate::space`]).
+    fn peak_space_bits(&self) -> u64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Feeds a whole (oblivious) stream through a colorer, then queries once.
+///
+/// Returns the final coloring. The common harness path for static-stream
+/// experiments.
+pub fn run_oblivious<C: StreamingColorer + ?Sized>(
+    colorer: &mut C,
+    edges: impl IntoIterator<Item = Edge>,
+) -> Coloring {
+    for e in edges {
+        colorer.process(e);
+    }
+    colorer.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::{generators, Graph};
+
+    /// A toy store-everything colorer for exercising the trait machinery.
+    struct StoreAll {
+        n: usize,
+        edges: Vec<Edge>,
+    }
+
+    impl StreamingColorer for StoreAll {
+        fn process(&mut self, e: Edge) {
+            self.edges.push(e);
+        }
+        fn query(&mut self) -> Coloring {
+            let g = Graph::from_edges(self.n, self.edges.iter().copied());
+            let mut c = Coloring::empty(self.n);
+            sc_graph::greedy_complete(&g, &mut c);
+            c
+        }
+        fn peak_space_bits(&self) -> u64 {
+            self.edges.len() as u64 * crate::space::edge_bits(self.n)
+        }
+        fn name(&self) -> &'static str {
+            "store-all"
+        }
+    }
+
+    #[test]
+    fn run_oblivious_produces_proper_coloring() {
+        let g = generators::gnp_with_max_degree(30, 6, 0.3, 1);
+        let mut c = StoreAll { n: 30, edges: vec![] };
+        let coloring = run_oblivious(&mut c, g.edges());
+        assert!(coloring.is_proper_total(&g));
+        assert!(coloring.palette_span() <= g.max_degree() as u64 + 1);
+        assert_eq!(c.peak_space_bits(), g.m() as u64 * crate::space::edge_bits(30));
+        assert_eq!(c.name(), "store-all");
+    }
+
+    #[test]
+    fn query_mid_stream_is_allowed() {
+        let g = generators::cycle(6);
+        let edges: Vec<Edge> = g.edges().collect();
+        let mut c = StoreAll { n: 6, edges: vec![] };
+        c.process(edges[0]);
+        c.process(edges[1]);
+        let partial = c.query();
+        assert!(partial.is_total());
+        // Only the processed prefix must be properly colored.
+        let prefix = Graph::from_edges(6, edges[..2].iter().copied());
+        assert!(partial.is_proper_total(&prefix));
+    }
+}

@@ -1,0 +1,26 @@
+//! # `sc-stream` — streaming-model substrate for `streamcolor`
+//!
+//! Encodes the computational model of the paper so algorithms can be
+//! *measured* against their claimed complexities:
+//!
+//! * [`StreamSource`] / [`StoredStream`] — sequential multi-pass access to
+//!   a token stream (edges, and `(x, L_x)` color lists for Theorem 2).
+//! * [`PassCounter`] — counts passes for the `O(log ∆ log log ∆)` bound.
+//! * [`SpaceMeter`] — bit-level, self-reported space accounting for the
+//!   `O(n log² n)` / `Õ(n)` bounds.
+//! * [`StreamingColorer`] — the process/query contract of the single-pass
+//!   (robust) setting, shared by the adversarial game driver.
+
+pub mod colorer;
+pub mod order;
+pub mod source;
+pub mod space;
+pub mod token;
+pub mod trace;
+
+pub use colorer::{run_oblivious, StreamingColorer};
+pub use order::StreamOrder;
+pub use source::{PassCounter, StoredStream, StreamSource};
+pub use space::{color_bits, counter_bits, edge_bits, vertex_bits, SpaceMeter};
+pub use token::StreamItem;
+pub use trace::{TraceReport, TracingSource};

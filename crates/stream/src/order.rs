@@ -1,0 +1,221 @@
+//! Stream arrival-order policies.
+//!
+//! Theorems 1–4 all promise correctness for edges "arriving in an
+//! adversarial order", so the experiment harness must exercise *many*
+//! orders, not just the generator's. [`StreamOrder`] enumerates the
+//! orders the experiments sweep:
+//!
+//! * the natural generator order,
+//! * a seeded uniform shuffle,
+//! * hubs-first / hubs-last (sorted by endpoint degree — the classic
+//!   worst cases for greedy-flavored summaries),
+//! * vertex-contiguous ("all of `v`'s edges together", the arrival
+//!   pattern of vertex-arrival streams re-serialized as edges),
+//! * buffer-boundary adversarial: a permutation that maximizes buffer
+//!   churn for the robust algorithms' `n`-edge epochs by interleaving
+//!   distant endpoints.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sc_graph::{Edge, Graph};
+
+/// An edge arrival-order policy. All policies are deterministic given
+/// their parameters, so experiments are replayable.
+///
+/// # Examples
+/// ```
+/// use sc_graph::generators;
+/// use sc_stream::StreamOrder;
+///
+/// let g = generators::star(5);
+/// let edges = StreamOrder::Shuffled(7).arrange(&g);
+/// assert_eq!(edges.len(), g.m());
+/// // Same seed, same order — replayable experiments.
+/// assert_eq!(edges, StreamOrder::Shuffled(7).arrange(&g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Exactly the order `Graph::edges()` yields (ascending endpoint).
+    AsGenerated,
+    /// Seeded uniform shuffle.
+    Shuffled(u64),
+    /// Edges sorted by decreasing max endpoint degree: high-degree
+    /// ("hub") edges arrive first, front-loading the dense structure.
+    HubsFirst,
+    /// Hub edges arrive last: algorithms commit to summaries before the
+    /// dense structure appears.
+    HubsLast,
+    /// All edges incident to vertex 0 first, then vertex 1's remaining
+    /// edges, and so on (vertex-arrival order).
+    VertexContiguous,
+    /// Round-robin across vertex-contiguous runs: consecutive edges share
+    /// no endpoint whenever possible, maximizing working-set churn.
+    Interleaved(u64),
+}
+
+impl StreamOrder {
+    /// Materializes the edges of `g` in this order.
+    pub fn arrange(self, g: &Graph) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = g.edges().collect();
+        match self {
+            StreamOrder::AsGenerated => edges,
+            StreamOrder::Shuffled(seed) => {
+                edges.shuffle(&mut StdRng::seed_from_u64(seed));
+                edges
+            }
+            StreamOrder::HubsFirst => {
+                edges.sort_by_key(|e| {
+                    std::cmp::Reverse(g.degree(e.u()).max(g.degree(e.v())))
+                });
+                edges
+            }
+            StreamOrder::HubsLast => {
+                edges.sort_by_key(|e| g.degree(e.u()).max(g.degree(e.v())));
+                edges
+            }
+            StreamOrder::VertexContiguous => {
+                edges.sort_by_key(|e| (e.u(), e.v()));
+                edges
+            }
+            StreamOrder::Interleaved(seed) => interleave(g, seed),
+        }
+    }
+
+    /// A short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamOrder::AsGenerated => "generated",
+            StreamOrder::Shuffled(_) => "shuffled",
+            StreamOrder::HubsFirst => "hubs-first",
+            StreamOrder::HubsLast => "hubs-last",
+            StreamOrder::VertexContiguous => "vertex-contiguous",
+            StreamOrder::Interleaved(_) => "interleaved",
+        }
+    }
+
+    /// The standard sweep the experiments run: one of each policy.
+    pub fn sweep(seed: u64) -> Vec<StreamOrder> {
+        vec![
+            StreamOrder::AsGenerated,
+            StreamOrder::Shuffled(seed),
+            StreamOrder::HubsFirst,
+            StreamOrder::HubsLast,
+            StreamOrder::VertexContiguous,
+            StreamOrder::Interleaved(seed),
+        ]
+    }
+}
+
+/// Deals vertex-contiguous runs into rounds: take one edge per still-alive
+/// vertex bucket per round, in shuffled bucket order.
+fn interleave(g: &Graph, seed: u64) -> Vec<Edge> {
+    let mut buckets: Vec<Vec<Edge>> = vec![Vec::new(); g.n()];
+    for e in g.edges() {
+        buckets[e.u() as usize].push(e);
+    }
+    let mut bucket_order: Vec<usize> = (0..g.n()).collect();
+    bucket_order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut out = Vec::with_capacity(g.m());
+    let mut cursors = vec![0usize; g.n()];
+    let mut alive = true;
+    while alive {
+        alive = false;
+        for &b in &bucket_order {
+            if cursors[b] < buckets[b].len() {
+                out.push(buckets[b][cursors[b]]);
+                cursors[b] += 1;
+                alive = true;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+
+    fn is_permutation(g: &Graph, got: &[Edge]) -> bool {
+        let mut a: Vec<Edge> = g.edges().collect();
+        let mut b = got.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    #[test]
+    fn every_policy_is_a_permutation() {
+        let g = generators::gnp_with_max_degree(50, 8, 0.3, 3);
+        for policy in StreamOrder::sweep(7) {
+            let arranged = policy.arrange(&g);
+            assert!(is_permutation(&g, &arranged), "{} lost edges", policy.label());
+        }
+    }
+
+    #[test]
+    fn hubs_first_puts_max_degree_edge_first() {
+        let g = generators::star(10); // all edges touch the hub
+        let first = StreamOrder::HubsFirst.arrange(&g)[0];
+        assert!(first.touches(0));
+        // On a star+pendant graph the pendant edge must come last.
+        let mut g2 = generators::star(10);
+        g2.add_edge(Edge::new(8, 9));
+        let order = StreamOrder::HubsFirst.arrange(&g2);
+        assert_eq!(order.last().copied(), Some(Edge::new(8, 9)));
+        let rev = StreamOrder::HubsLast.arrange(&g2);
+        assert_eq!(rev.first().copied(), Some(Edge::new(8, 9)));
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_seed_sensitive() {
+        let g = generators::complete(8);
+        assert_eq!(
+            StreamOrder::Shuffled(1).arrange(&g),
+            StreamOrder::Shuffled(1).arrange(&g)
+        );
+        assert_ne!(
+            StreamOrder::Shuffled(1).arrange(&g),
+            StreamOrder::Shuffled(2).arrange(&g)
+        );
+    }
+
+    #[test]
+    fn vertex_contiguous_groups_by_lower_endpoint() {
+        let g = generators::gnp_with_max_degree(30, 6, 0.4, 5);
+        let order = StreamOrder::VertexContiguous.arrange(&g);
+        let us: Vec<u32> = order.iter().map(|e| e.u()).collect();
+        let mut sorted = us.clone();
+        sorted.sort_unstable();
+        assert_eq!(us, sorted);
+    }
+
+    #[test]
+    fn interleaved_spreads_consecutive_endpoints() {
+        let g = generators::complete(12);
+        let order = StreamOrder::Interleaved(3).arrange(&g);
+        assert!(is_permutation(&g, &order));
+        // Most consecutive pairs should not share a lower endpoint.
+        let sharing = order
+            .windows(2)
+            .filter(|w| w[0].u() == w[1].u())
+            .count();
+        assert!(sharing * 3 < order.len(), "{sharing} of {} pairs share", order.len());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            StreamOrder::sweep(0).into_iter().map(StreamOrder::label).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_streams() {
+        let g = Graph::empty(5);
+        for policy in StreamOrder::sweep(1) {
+            assert!(policy.arrange(&g).is_empty());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bit-level space accounting.
+//!
+//! Semi-streaming bounds are stated in **bits** (`O(n log² n)` for
+//! Algorithm 1, `Õ(n)` for Algorithms 2–3). Rust's actual heap usage is an
+//! implementation artifact (pointers, capacity slack), so algorithms
+//! *self-report* their information-theoretic state sizes through a
+//! [`SpaceMeter`]: counters, stored edges, hash accumulators, colorings,
+//! all charged at their model cost. Experiments F2/F4 read the resulting
+//! peak.
+//!
+//! The meter is deliberately simple: `charge`/`release` plus a running
+//! peak. Helper constructors encode the model costs of the recurring
+//! object kinds so call sites stay self-documenting.
+
+/// Tracks current and peak self-reported space in bits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpaceMeter {
+    current: u64,
+    peak: u64,
+}
+
+impl SpaceMeter {
+    /// A meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `bits` to the current footprint.
+    #[inline]
+    pub fn charge(&mut self, bits: u64) {
+        self.current += bits;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Releases `bits` (saturating: a release larger than the current
+    /// footprint clamps to zero rather than panicking, so accounting bugs
+    /// degrade to conservative peaks instead of crashes).
+    #[inline]
+    pub fn release(&mut self, bits: u64) {
+        self.current = self.current.saturating_sub(bits);
+    }
+
+    /// Current footprint in bits.
+    #[inline]
+    pub fn current_bits(&self) -> u64 {
+        self.current
+    }
+
+    /// Peak footprint in bits.
+    #[inline]
+    pub fn peak_bits(&self) -> u64 {
+        self.peak
+    }
+
+    /// Merges another meter's peak as if it ran concurrently on top of our
+    /// current footprint (used when a sub-phase keeps its own meter).
+    pub fn absorb_peak(&mut self, sub: &SpaceMeter) {
+        let combined = self.current + sub.peak_bits();
+        if combined > self.peak {
+            self.peak = combined;
+        }
+    }
+}
+
+/// Model cost of storing one edge of an `n`-vertex graph: `2⌈log₂ n⌉` bits.
+#[inline]
+pub fn edge_bits(n: usize) -> u64 {
+    2 * ceil_log2_usize(n)
+}
+
+/// Model cost of one counter holding values up to `max`: `⌈log₂(max+1)⌉` bits.
+#[inline]
+pub fn counter_bits(max: u64) -> u64 {
+    u64::from(64 - max.leading_zeros()).max(1)
+}
+
+/// Model cost of one vertex id: `⌈log₂ n⌉` bits.
+#[inline]
+pub fn vertex_bits(n: usize) -> u64 {
+    ceil_log2_usize(n)
+}
+
+/// Model cost of one color from a palette of size `k`: `⌈log₂ k⌉` bits.
+#[inline]
+pub fn color_bits(palette: u64) -> u64 {
+    counter_bits(palette.saturating_sub(1))
+}
+
+#[inline]
+fn ceil_log2_usize(n: usize) -> u64 {
+    if n <= 1 {
+        1
+    } else {
+        u64::from(64 - (n as u64 - 1).leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_track_peak() {
+        let mut m = SpaceMeter::new();
+        m.charge(100);
+        m.charge(50);
+        assert_eq!(m.current_bits(), 150);
+        assert_eq!(m.peak_bits(), 150);
+        m.release(120);
+        assert_eq!(m.current_bits(), 30);
+        assert_eq!(m.peak_bits(), 150);
+        m.charge(200);
+        assert_eq!(m.peak_bits(), 230);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut m = SpaceMeter::new();
+        m.charge(10);
+        m.release(1000);
+        assert_eq!(m.current_bits(), 0);
+        assert_eq!(m.peak_bits(), 10);
+    }
+
+    #[test]
+    fn absorb_peak_composes() {
+        let mut outer = SpaceMeter::new();
+        outer.charge(100);
+        let mut inner = SpaceMeter::new();
+        inner.charge(500);
+        inner.release(500);
+        outer.absorb_peak(&inner);
+        assert_eq!(outer.peak_bits(), 600);
+        assert_eq!(outer.current_bits(), 100);
+    }
+
+    #[test]
+    fn model_costs() {
+        assert_eq!(edge_bits(1024), 20);
+        assert_eq!(edge_bits(1025), 22);
+        assert_eq!(vertex_bits(2), 1);
+        assert_eq!(vertex_bits(1_000_000), 20);
+        assert_eq!(counter_bits(0), 1);
+        assert_eq!(counter_bits(1), 1);
+        assert_eq!(counter_bits(255), 8);
+        assert_eq!(counter_bits(256), 9);
+        assert_eq!(color_bits(1), 1);
+        assert_eq!(color_bits(257), 9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(edge_bits(0), 2);
+        assert_eq!(edge_bits(1), 2);
+        assert_eq!(vertex_bits(0), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Stream tokens.
+//!
+//! Theorem 2's input is "a stream consisting of, in any order, the edges of
+//! `G` and `(x, L_x)` pairs" — so a token is either an edge or a color
+//! list. Plain edge streams (Theorems 1, 3, 4) simply never contain
+//! [`StreamItem::ColorList`] tokens.
+
+use sc_graph::{Color, Edge, VertexId};
+
+/// One token of a (possibly list-annotated) graph stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// An edge insertion.
+    Edge(Edge),
+    /// The allowed-color list `L_x` for vertex `x`.
+    ColorList(VertexId, Vec<Color>),
+}
+
+impl StreamItem {
+    /// The edge, if this token is one.
+    #[inline]
+    pub fn as_edge(&self) -> Option<Edge> {
+        match self {
+            StreamItem::Edge(e) => Some(*e),
+            StreamItem::ColorList(..) => None,
+        }
+    }
+
+    /// The `(x, L_x)` pair, if this token is one.
+    #[inline]
+    pub fn as_color_list(&self) -> Option<(VertexId, &[Color])> {
+        match self {
+            StreamItem::Edge(_) => None,
+            StreamItem::ColorList(x, l) => Some((*x, l)),
+        }
+    }
+}
+
+impl From<Edge> for StreamItem {
+    #[inline]
+    fn from(e: Edge) -> Self {
+        StreamItem::Edge(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = StreamItem::Edge(Edge::new(1, 2));
+        assert_eq!(e.as_edge(), Some(Edge::new(1, 2)));
+        assert!(e.as_color_list().is_none());
+
+        let l = StreamItem::ColorList(3, vec![1, 4, 9]);
+        assert!(l.as_edge().is_none());
+        let (x, colors) = l.as_color_list().unwrap();
+        assert_eq!(x, 3);
+        assert_eq!(colors, &[1, 4, 9]);
+    }
+
+    #[test]
+    fn from_edge() {
+        let item: StreamItem = Edge::new(5, 2).into();
+        assert_eq!(item, StreamItem::Edge(Edge::new(2, 5)));
+    }
+}

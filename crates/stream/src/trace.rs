@@ -1,0 +1,132 @@
+//! Stream-access tracing — verifying that algorithms honor the streaming
+//! contract.
+//!
+//! A semi-streaming algorithm may only read its input in whole sequential
+//! passes. [`TracingSource`] wraps any [`StreamSource`] and records, per
+//! pass, how many tokens were actually pulled; [`TraceReport::all_passes_complete`]
+//! then certifies that no pass was abandoned midway (an abandoned pass in
+//! our harness would mean an algorithm extracted positional information —
+//! something the model forbids charging as "one pass").
+
+use crate::source::StreamSource;
+use crate::token::StreamItem;
+use std::cell::RefCell;
+
+/// Wraps a source and records consumption per pass.
+pub struct TracingSource<'a, S: StreamSource + ?Sized> {
+    inner: &'a S,
+    consumed: RefCell<Vec<usize>>,
+}
+
+impl<'a, S: StreamSource + ?Sized> TracingSource<'a, S> {
+    /// Wraps `inner` with an empty trace.
+    pub fn new(inner: &'a S) -> Self {
+        Self { inner, consumed: RefCell::new(Vec::new()) }
+    }
+
+    /// The trace so far.
+    pub fn report(&self) -> TraceReport {
+        TraceReport { per_pass: self.consumed.borrow().clone(), stream_len: self.inner.len() }
+    }
+}
+
+/// Consumption trace of a [`TracingSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Tokens consumed in each pass, in pass order.
+    pub per_pass: Vec<usize>,
+    /// The stream's length.
+    pub stream_len: usize,
+}
+
+impl TraceReport {
+    /// Number of passes started.
+    pub fn passes(&self) -> usize {
+        self.per_pass.len()
+    }
+
+    /// Whether every pass read the entire stream.
+    pub fn all_passes_complete(&self) -> bool {
+        self.per_pass.iter().all(|&c| c == self.stream_len)
+    }
+
+    /// Total tokens read across all passes.
+    pub fn total_tokens(&self) -> usize {
+        self.per_pass.iter().sum()
+    }
+}
+
+struct CountingIter<'a> {
+    inner: Box<dyn Iterator<Item = StreamItem> + 'a>,
+    counter: &'a RefCell<Vec<usize>>,
+    index: usize,
+}
+
+impl Iterator for CountingIter<'_> {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.counter.borrow_mut()[self.index] += 1;
+        }
+        item
+    }
+}
+
+impl<S: StreamSource + ?Sized> StreamSource for TracingSource<'_, S> {
+    fn pass(&self) -> Box<dyn Iterator<Item = StreamItem> + '_> {
+        let index = {
+            let mut consumed = self.consumed.borrow_mut();
+            consumed.push(0);
+            consumed.len() - 1
+        };
+        Box::new(CountingIter { inner: self.inner.pass(), counter: &self.consumed, index })
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StoredStream;
+    use sc_graph::generators;
+
+    #[test]
+    fn full_passes_are_recorded() {
+        let g = generators::cycle(8);
+        let s = StoredStream::from_graph(&g);
+        let t = TracingSource::new(&s);
+        let _: Vec<_> = t.pass().collect();
+        let _: Vec<_> = t.pass().collect();
+        let r = t.report();
+        assert_eq!(r.passes(), 2);
+        assert_eq!(r.per_pass, vec![8, 8]);
+        assert!(r.all_passes_complete());
+        assert_eq!(r.total_tokens(), 16);
+    }
+
+    #[test]
+    fn abandoned_pass_is_detected() {
+        let g = generators::complete(5);
+        let s = StoredStream::from_graph(&g);
+        let t = TracingSource::new(&s);
+        let _first_three: Vec<_> = t.pass().take(3).collect();
+        let r = t.report();
+        assert_eq!(r.per_pass, vec![3]);
+        assert!(!r.all_passes_complete());
+    }
+
+    #[test]
+    fn empty_stream_traces() {
+        let s = StoredStream::new(vec![]);
+        let t = TracingSource::new(&s);
+        let _: Vec<_> = t.pass().collect();
+        let r = t.report();
+        assert!(r.all_passes_complete());
+        assert_eq!(r.total_tokens(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the streaming substrate: pass/space accounting
+//! laws under arbitrary usage patterns.
+
+use proptest::prelude::*;
+use sc_graph::generators;
+use sc_stream::{PassCounter, SpaceMeter, StoredStream, StreamSource, TracingSource};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pass_counter_counts_every_pass(n in 3usize..30, passes in 0usize..10) {
+        let g = generators::cycle(n);
+        let s = StoredStream::from_graph(&g);
+        let pc = PassCounter::new(&s);
+        for _ in 0..passes {
+            prop_assert_eq!(pc.pass().count(), n);
+        }
+        prop_assert_eq!(pc.passes(), passes as u64);
+    }
+
+    #[test]
+    fn space_meter_peak_is_max_prefix(charges in prop::collection::vec(0u64..10_000, 1..50)) {
+        let mut m = SpaceMeter::new();
+        let mut current = 0u64;
+        let mut peak = 0u64;
+        for (i, &c) in charges.iter().enumerate() {
+            if i % 3 == 2 {
+                m.release(c);
+                current = current.saturating_sub(c);
+            } else {
+                m.charge(c);
+                current += c;
+                peak = peak.max(current);
+            }
+            prop_assert_eq!(m.current_bits(), current);
+            prop_assert_eq!(m.peak_bits(), peak);
+        }
+    }
+
+    #[test]
+    fn tracing_source_counts_partial_reads(n in 4usize..40, take in 0usize..50) {
+        let g = generators::path(n);
+        let s = StoredStream::from_graph(&g);
+        let t = TracingSource::new(&s);
+        let read: Vec<_> = t.pass().take(take).collect();
+        let r = t.report();
+        prop_assert_eq!(r.per_pass[0], read.len());
+        prop_assert_eq!(r.all_passes_complete(), read.len() == s.len());
+    }
+}
+
+// ---- arrival-order policy laws ----
+
+use sc_graph::generators as gens;
+use sc_stream::StreamOrder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_order_is_a_permutation(
+        n in 10usize..60,
+        d in 2usize..8,
+        gseed in any::<u64>(),
+        oseed in any::<u64>(),
+    ) {
+        let g = gens::gnp_with_max_degree(n, d, 0.4, gseed);
+        let mut orig: Vec<_> = g.edges().collect();
+        orig.sort_unstable();
+        for order in StreamOrder::sweep(oseed) {
+            let mut arranged = order.arrange(&g);
+            arranged.sort_unstable();
+            prop_assert_eq!(&arranged, &orig, "{} is not a permutation", order.label());
+        }
+    }
+
+    #[test]
+    fn hub_orders_are_reverses_in_rank(
+        n in 10usize..50,
+        d in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // hubs-first and hubs-last sort by the same key in opposite
+        // directions: the multiset of key-sequences must be reversed.
+        let g = gens::gnp_with_max_degree(n, d, 0.4, seed);
+        let key = |e: &sc_graph::Edge| g.degree(e.u()).max(g.degree(e.v()));
+        let first: Vec<usize> = StreamOrder::HubsFirst.arrange(&g).iter().map(key).collect();
+        let mut last: Vec<usize> = StreamOrder::HubsLast.arrange(&g).iter().map(key).collect();
+        last.reverse();
+        prop_assert_eq!(first, last);
+    }
+}

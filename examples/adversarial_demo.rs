@@ -1,0 +1,52 @@
+//! The adaptive-adversary separation, live.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_demo
+//! ```
+//!
+//! Pits the monochromatic feedback attacker against (a) the non-robust
+//! palette-sparsification colorer and (b) the paper's robust Algorithm 2,
+//! printing the round at which the non-robust algorithm first emits an
+//! improper coloring — the behaviour that motivates the entire
+//! adversarially-robust model.
+
+use sc_adversary::{run_game, MonochromaticAttacker};
+use streamcolor::{PaletteSparsification, RobustColorer};
+
+fn main() {
+    let n = 500;
+    let delta = 40;
+    let rounds = n * delta / 4;
+    println!("attack arena: n = {n}, degree budget ∆ = {delta}, up to {rounds} insertions\n");
+
+    // (a) Non-robust: palette sparsification with Θ(log n) lists.
+    let mut adversary = MonochromaticAttacker::new(n, delta, 7);
+    let mut victim = PaletteSparsification::new(n, delta, 8, 99);
+    let report = run_game(&mut victim, &mut adversary, n, rounds);
+    match report.first_failure_round {
+        Some(r) => println!(
+            "palette sparsification: BROKEN at round {r} ({} improper outputs of {} rounds; \
+             {} completion failures)",
+            report.improper_outputs,
+            report.rounds,
+            victim.failures()
+        ),
+        None => println!(
+            "palette sparsification survived {} rounds (try a larger ∆/list ratio)",
+            report.rounds
+        ),
+    }
+
+    // (b) Robust: Algorithm 2 under the same attack.
+    let mut adversary = MonochromaticAttacker::new(n, delta, 7);
+    let mut robust = RobustColorer::new(n, delta, 99);
+    let report = run_game(&mut robust, &mut adversary, n, rounds);
+    assert!(report.survived());
+    println!(
+        "robust Algorithm 2:     survived all {} rounds, max {} colors (bound ≈ ∆^2.5 = {:.0})",
+        report.rounds,
+        report.max_colors,
+        (delta as f64).powf(2.5)
+    );
+    println!("\nThe separation: adaptivity breaks oblivious guarantees; robustness costs colors.");
+}

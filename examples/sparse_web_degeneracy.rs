@@ -1,0 +1,83 @@
+//! Coloring a skewed "web-graph" stream: degeneracy beats ∆, robustness
+//! costs poly(∆).
+//!
+//! ```sh
+//! cargo run --release --example sparse_web_degeneracy
+//! ```
+//!
+//! Web/social graphs have a few huge hubs (∆ large) but shallow cores
+//! (degeneracy κ small). This example streams a preferential-attachment
+//! graph through three one-pass colorers and contrasts their palettes:
+//!
+//! * **BCG20-style** `κ(1+ε)`-colorer — smallest palette, but *non-robust*
+//!   (its sampled lists are fixed up front);
+//! * **BG18-style** `Õ(∆)`-colorer — simple and ∆-bounded, also non-robust;
+//! * **Algorithm 2** (`O(∆^{5/2})`) — the price of withstanding an
+//!   *adaptive* stream, per the paper's `Ω(∆²)` robust lower bound.
+//!
+//! Then it replays the adaptive-adversary game to show the cheap palettes
+//! are not robust: the feedback attack breaks the BCG20-style colorer
+//! while Algorithm 2 survives.
+
+use sc_adversary::{run_game, MonochromaticAttacker};
+use sc_graph::{degeneracy_ordering, generators};
+use sc_stream::run_oblivious;
+use streamcolor::{Bcg20Colorer, Bg18Colorer, RobustColorer};
+
+fn main() {
+    let n = 3000usize;
+    let g = generators::preferential_attachment(n, 3, 150, 9);
+    let delta = g.max_degree();
+    let all: Vec<u32> = (0..n as u32).collect();
+    let kappa = degeneracy_ordering(&g, &all).degeneracy;
+    println!(
+        "web graph: {n} pages, {} links, ∆ = {delta} (hubs), κ = {kappa} (core depth)",
+        g.m()
+    );
+
+    let edges = generators::shuffled_edges(&g, 4);
+
+    let mut bcg = Bcg20Colorer::for_graph(&g, 0.5, 1);
+    let c1 = run_oblivious(&mut bcg, edges.iter().copied());
+    assert!(c1.is_proper_total(&g));
+    println!("  bcg20 (κ-based, non-robust):  {:>5} colors", c1.num_distinct_colors());
+
+    let mut bg = Bg18Colorer::new(n, delta as u64, 2);
+    let c2 = run_oblivious(&mut bg, edges.iter().copied());
+    assert!(c2.is_proper_total(&g));
+    println!("  bg18  (∆-based, non-robust):  {:>5} colors", c2.num_distinct_colors());
+
+    let mut a2 = RobustColorer::new(n, delta, 3);
+    let c3 = run_oblivious(&mut a2, edges.iter().copied());
+    assert!(c3.is_proper_total(&g));
+    println!("  alg2  (robust, O(∆^2.5)):     {:>5} colors", c3.num_distinct_colors());
+
+    // Now the adaptive game: a crawler that chooses which links to reveal
+    // next based on the colorings we publish (e.g. a SEO adversary).
+    println!("\nadaptive stream (feedback attack, degree budget 24):");
+    let (an, adelta, rounds) = (300usize, 24usize, 2400usize);
+
+    let mut victim = Bcg20Colorer::new(an, adelta, 0.5, 4, 5);
+    let mut attacker = MonochromaticAttacker::new(an, adelta, 6);
+    let r = run_game(&mut victim, &mut attacker, an, rounds);
+    println!(
+        "  bcg20 small lists: {}",
+        match r.first_failure_round {
+            Some(round) => format!("BROKEN at round {round} (improper timetable published)"),
+            None => "survived (lucky seed — rerun with another)".into(),
+        }
+    );
+
+    let mut robust = RobustColorer::new(an, adelta, 7);
+    let mut attacker = MonochromaticAttacker::new(an, adelta, 6);
+    let r = run_game(&mut robust, &mut attacker, an, rounds);
+    assert!(r.survived(), "Algorithm 2 must survive the feedback attack");
+    println!(
+        "  alg2 robust:       survived all {} rounds (max {} colors)",
+        r.rounds, r.max_colors
+    );
+    println!(
+        "\nmoral: κ-palettes are ideal for fixed crawls; pay the poly(∆) palette \
+         only when the stream can react to your outputs."
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the adversarial game: robustness of the paper's
+//! algorithms under adaptive attacks, and the separation from non-robust
+//! baselines (the empirical content of the §1 trichotomy).
+
+use sc_adversary::{
+    run_game, CliqueBuilder, MonochromaticAttacker, ObliviousReplay, RandomAdversary,
+};
+use sc_graph::generators;
+use streamcolor::{
+    Cgs22Colorer, PaletteSparsification, RandEfficientColorer, RobustColorer, TrivialColorer,
+};
+
+#[test]
+fn all_robust_algorithms_survive_monochromatic_attack() {
+    let n = 200usize;
+    let delta = 12usize;
+    let rounds = 3 * n;
+    for seed in 0..3u64 {
+        let mut a2 = MonochromaticAttacker::new(n, delta, seed);
+        let mut c2 = RobustColorer::new(n, delta, 100 + seed);
+        assert!(run_game(&mut c2, &mut a2, n, rounds).survived(), "alg2 seed {seed}");
+
+        let mut a3 = MonochromaticAttacker::new(n, delta, seed);
+        let mut c3 = RandEfficientColorer::new(n, delta, 200 + seed);
+        assert!(run_game(&mut c3, &mut a3, n, rounds).survived(), "alg3 seed {seed}");
+
+        let mut ac = MonochromaticAttacker::new(n, delta, seed);
+        let mut cc = Cgs22Colorer::new(n, delta, 300 + seed);
+        assert!(run_game(&mut cc, &mut ac, n, rounds).survived(), "cgs22 seed {seed}");
+    }
+}
+
+#[test]
+fn deterministic_trivial_is_robust_by_definition() {
+    let n = 100usize;
+    let mut adv = MonochromaticAttacker::new(n, 8, 1);
+    let mut t = TrivialColorer::new(n);
+    let r = run_game(&mut t, &mut adv, n, 500);
+    assert!(r.survived());
+}
+
+#[test]
+fn palette_sparsification_survives_oblivious_but_not_adaptive() {
+    let n = 200usize;
+    let delta = 16usize;
+
+    // Oblivious: fine.
+    let g = generators::gnp_with_max_degree(n, delta, 0.4, 9);
+    let mut obl = ObliviousReplay::new(generators::shuffled_edges(&g, 9));
+    let mut ps = PaletteSparsification::with_theory_lists(n, delta, 5);
+    let r = run_game(&mut ps, &mut obl, n, 10 * n);
+    assert!(r.survived(), "oblivious replay should succeed w.h.p.");
+
+    // Adaptive with small lists: broken in at least one of a few trials.
+    let mut broken = false;
+    for seed in 0..6u64 {
+        let mut adv = MonochromaticAttacker::new(n, delta, seed);
+        let mut ps = PaletteSparsification::new(n, delta, 4, seed + 60);
+        let r = run_game(&mut ps, &mut adv, n, n * delta);
+        if !r.survived() {
+            broken = true;
+            break;
+        }
+    }
+    assert!(broken, "adaptive attack should break small-list sparsification");
+}
+
+#[test]
+fn attack_respects_the_degree_budget() {
+    let n = 150usize;
+    let delta = 10usize;
+    let mut adv = MonochromaticAttacker::new(n, delta, 4);
+    let mut c = RobustColorer::new(n, delta, 4);
+    let r = run_game(&mut c, &mut adv, n, 2000);
+    assert!(r.final_graph.max_degree() <= delta);
+}
+
+#[test]
+fn clique_builder_forces_full_palettes() {
+    let n = 120usize;
+    let delta = 5usize;
+    let mut adv = CliqueBuilder::new(n, delta);
+    let mut c = RobustColorer::new(n, delta, 8);
+    let r = run_game(&mut c, &mut adv, n, 10_000);
+    assert!(r.survived());
+    // Disjoint (∆+1)-cliques need at least ∆+1 colors.
+    assert!(r.max_colors > delta);
+    assert_eq!(r.final_graph.max_degree(), delta);
+}
+
+#[test]
+fn random_adversary_is_no_worse_than_oblivious() {
+    let n = 150usize;
+    let delta = 8usize;
+    for seed in 0..2u64 {
+        let mut adv = RandomAdversary::new(n, delta, seed);
+        let mut c2 = RobustColorer::new(n, delta, 70 + seed);
+        assert!(run_game(&mut c2, &mut adv, n, 3 * n).survived());
+
+        let mut adv = RandomAdversary::new(n, delta, seed);
+        let mut c3 = RandEfficientColorer::new(n, delta, 80 + seed);
+        assert!(run_game(&mut c3, &mut adv, n, 3 * n).survived());
+    }
+}
+
+#[test]
+fn attack_against_beta_traded_variants() {
+    use streamcolor::RobustParams;
+    let n = 150usize;
+    let delta = 9usize;
+    for &beta in &[0.25, 0.5] {
+        let mut adv = MonochromaticAttacker::new(n, delta, 3);
+        let params = RobustParams::with_beta(n, delta, beta);
+        let mut c = RobustColorer::with_params(params, 33);
+        let r = run_game(&mut c, &mut adv, n, 3 * n);
+        assert!(r.survived(), "β = {beta}");
+    }
+}

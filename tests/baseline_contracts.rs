@@ -1,0 +1,190 @@
+//! Contract tests for every baseline colorer: proper colorings across
+//! graph families, arrival orders, and seeds; palette ordering between
+//! parameterizations; and honest failure reporting.
+
+use sc_graph::{degeneracy_ordering, generators, Graph};
+use sc_stream::{run_oblivious, StreamOrder, StreamingColorer};
+use streamcolor::{
+    Bcg20Colorer, Bg18Colorer, Cgs22Colorer, Hknt22Colorer, PaletteSparsification,
+    RandEfficientColorer, RobustColorer,
+};
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", generators::gnp_with_max_degree(150, 12, 0.3, seed)),
+        ("exact", generators::random_with_exact_max_degree(150, 12, seed)),
+        ("pa", generators::preferential_attachment(150, 2, 24, seed)),
+        ("cliques", generators::clique_union(10, 8)),
+        ("bipartite", generators::random_bipartite(70, 80, 0.2, 12, seed)),
+        ("star", generators::star(120)),
+    ]
+}
+
+/// Builds each one-pass colorer for a given (n, ∆, seed).
+fn one_pass_colorers(g: &Graph, seed: u64) -> Vec<Box<dyn StreamingColorer>> {
+    let n = g.n();
+    let delta = g.max_degree().max(1);
+    vec![
+        Box::new(RobustColorer::new(n, delta, seed)),
+        Box::new(RandEfficientColorer::new(n, delta, seed)),
+        Box::new(Cgs22Colorer::new(n, delta, seed)),
+        Box::new(Bg18Colorer::new(n, delta as u64, seed)),
+        Box::new(Bcg20Colorer::for_graph(g, 0.5, seed)),
+        Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
+    ]
+}
+
+/// Every one-pass colorer is proper on every family (oblivious streams).
+#[test]
+fn every_colorer_proper_on_every_family() {
+    for (name, g) in families(3) {
+        for mut colorer in one_pass_colorers(&g, 11) {
+            let c = run_oblivious(colorer.as_mut(), generators::shuffled_edges(&g, 5));
+            assert!(
+                c.is_proper_total(&g),
+                "{} improper on {name}",
+                colorer.name()
+            );
+        }
+    }
+}
+
+/// Arrival order never affects properness (it may shift palettes).
+#[test]
+fn order_insensitive_properness() {
+    let g = generators::random_with_exact_max_degree(120, 10, 7);
+    for order in StreamOrder::sweep(13) {
+        for mut colorer in one_pass_colorers(&g, 19) {
+            let c = run_oblivious(colorer.as_mut(), order.arrange(&g));
+            assert!(
+                c.is_proper_total(&g),
+                "{} improper under {}",
+                colorer.name(),
+                order.label()
+            );
+        }
+    }
+}
+
+/// Space-accounting sanity: every colorer reports nonzero peak space that
+/// is far below storing the full stream for dense-enough graphs.
+#[test]
+fn space_reports_are_sane() {
+    let g = generators::random_with_exact_max_degree(400, 24, 1);
+    let full_graph_bits = g.m() as u64 * 64;
+    for mut colorer in one_pass_colorers(&g, 5) {
+        run_oblivious(colorer.as_mut(), generators::shuffled_edges(&g, 2));
+        let bits = colorer.peak_space_bits();
+        assert!(bits > 0, "{} reported zero space", colorer.name());
+        assert!(
+            bits < 4 * full_graph_bits,
+            "{} reported {bits} bits — worse than storing everything",
+            colorer.name()
+        );
+    }
+}
+
+/// Palette ordering on sparse skewed graphs: κ-based ≤ Õ(∆)-based ≤
+/// poly(∆)-robust (the motivating hierarchy).
+#[test]
+fn palette_hierarchy_on_sparse_graphs() {
+    let g = generators::preferential_attachment(800, 2, 60, 4);
+    let delta = g.max_degree();
+    let all: Vec<u32> = (0..g.n() as u32).collect();
+    let kappa = degeneracy_ordering(&g, &all).degeneracy;
+    assert!(kappa < delta / 4, "workload must be skewed (κ = {kappa}, ∆ = {delta})");
+    let edges = generators::shuffled_edges(&g, 8);
+
+    let mut bcg = Bcg20Colorer::for_graph(&g, 0.5, 2);
+    let c_k = run_oblivious(&mut bcg, edges.iter().copied());
+    let mut bg = Bg18Colorer::new(g.n(), delta as u64, 3);
+    let c_d = run_oblivious(&mut bg, edges.iter().copied());
+    let mut a2 = RobustColorer::new(g.n(), delta, 4);
+    let c_r = run_oblivious(&mut a2, edges.iter().copied());
+    for (c, gname) in [(&c_k, "bcg20"), (&c_d, "bg18"), (&c_r, "alg2")] {
+        assert!(c.is_proper_total(&g), "{gname}");
+    }
+    assert!(
+        c_k.num_distinct_colors() < c_d.num_distinct_colors(),
+        "κ-palette ({}) should beat Õ(∆)-palette ({})",
+        c_k.num_distinct_colors(),
+        c_d.num_distinct_colors()
+    );
+    assert!(
+        c_d.num_distinct_colors() < c_r.num_distinct_colors(),
+        "Õ(∆)-palette ({}) should beat the robust poly(∆)-palette ({})",
+        c_d.num_distinct_colors(),
+        c_r.num_distinct_colors()
+    );
+}
+
+/// HKNT22 list sparsification: proper and list-respecting on both list
+/// orders, across seeds.
+#[test]
+fn hknt22_contract() {
+    use sc_stream::{StoredStream, StreamItem, StreamSource};
+    for seed in 0..3u64 {
+        let g = generators::gnp_with_max_degree(100, 9, 0.3, seed);
+        let lists = generators::random_deg_plus_one_lists(&g, 300, seed + 40);
+        // Lists before edges and lists after edges.
+        let mut first: Vec<StreamItem> = lists
+            .iter()
+            .enumerate()
+            .map(|(x, l)| StreamItem::ColorList(x as u32, l.clone()))
+            .collect();
+        let edge_items: Vec<StreamItem> = g.edges().map(StreamItem::Edge).collect();
+        let mut after = edge_items.clone();
+        after.extend(first.clone());
+        first.extend(edge_items);
+
+        for (label, items) in [("lists-first", first), ("lists-last", after)] {
+            let mut c = Hknt22Colorer::with_theory_lists(100, seed + 7);
+            for item in StoredStream::new(items.clone()).pass() {
+                c.process_item(&item);
+            }
+            let out = c.query();
+            assert!(out.is_proper_total(&g), "{label} seed {seed}");
+            assert!(out.respects_lists(&lists), "{label} seed {seed}");
+            assert_eq!(c.failures(), 0, "{label} seed {seed}");
+        }
+    }
+}
+
+/// Failure honesty: deliberately under-provisioned baselines report
+/// failures and produce detectably improper colorings — never silent
+/// corruption.
+#[test]
+fn failures_are_loud_not_silent() {
+    let g = generators::complete(24);
+    let edges: Vec<_> = g.edges().collect();
+
+    let mut ps = PaletteSparsification::new(24, 23, 1, 1);
+    let c = run_oblivious(&mut ps, edges.iter().copied());
+    assert!(ps.failures() > 0);
+    assert!(c.monochromatic_edge(&g).is_some(), "break must be visible in the output");
+
+    let mut bcg = Bcg20Colorer::new(24, 2, 0.0, 1, 2);
+    let c = run_oblivious(&mut bcg, edges.iter().copied());
+    assert!(bcg.failures() > 0);
+    assert!(!c.is_proper_total(&g));
+}
+
+/// Determinism-by-seed: same seed ⇒ identical coloring; different seed ⇒
+/// (almost surely) different internal choices for the randomized colorers.
+#[test]
+fn seed_reproducibility() {
+    let g = generators::random_with_exact_max_degree(90, 8, 2);
+    let edges = generators::shuffled_edges(&g, 3);
+    for make in [
+        |s: u64| -> Box<dyn StreamingColorer> { Box::new(RobustColorer::new(90, 8, s)) },
+        |s: u64| -> Box<dyn StreamingColorer> { Box::new(RandEfficientColorer::new(90, 8, s)) },
+        |s: u64| -> Box<dyn StreamingColorer> { Box::new(Cgs22Colorer::new(90, 8, s)) },
+        |s: u64| -> Box<dyn StreamingColorer> { Box::new(Bg18Colorer::new(90, 8, s)) },
+    ] {
+        let mut a = make(42);
+        let mut b = make(42);
+        let ca = run_oblivious(a.as_mut(), edges.iter().copied());
+        let cb = run_oblivious(b.as_mut(), edges.iter().copied());
+        assert_eq!(ca, cb, "{} not seed-deterministic", a.name());
+    }
+}

@@ -1,0 +1,308 @@
+//! Edge-case and failure-injection tests across the whole stack:
+//! degenerate graph shapes, boundary parameters, buffer-boundary streams,
+//! and input-contract violations (which must fail loudly, not silently).
+
+use sc_graph::{generators, Coloring, Edge, Graph};
+use sc_stream::{run_oblivious, StoredStream, StreamingColorer};
+use streamcolor::robust::{auto_robust_colorer, StoreAllColorer};
+use streamcolor::{
+    batch_greedy_coloring, deterministic_coloring, list_coloring, Bg18Colorer, DetConfig,
+    ListConfig, RandEfficientColorer, RobustColorer, RobustParams,
+};
+
+// ---------- degenerate shapes ----------
+
+#[test]
+fn one_vertex_universe() {
+    let stream = StoredStream::new(vec![]);
+    let r = deterministic_coloring(&stream, 1, 0, &DetConfig::default());
+    assert!(r.coloring.is_proper_total(&Graph::empty(1)));
+
+    let mut alg2 = RobustColorer::new(1, 1, 0);
+    assert!(alg2.query().is_total());
+    let mut alg3 = RandEfficientColorer::new(1, 1, 0);
+    assert!(alg3.query().is_total());
+}
+
+#[test]
+fn two_vertices_one_edge_everywhere() {
+    let g = Graph::from_edges(2, [Edge::new(0, 1)]);
+    let stream = StoredStream::from_graph(&g);
+
+    let det = deterministic_coloring(&stream, 2, 1, &DetConfig::default());
+    assert!(det.coloring.is_proper_total(&g));
+
+    let bg = batch_greedy_coloring(&stream, 2, 1);
+    assert!(bg.coloring.is_proper_total(&g));
+
+    for seed in 0..3 {
+        let mut a2 = RobustColorer::new(2, 1, seed);
+        assert!(run_oblivious(&mut a2, g.edges()).is_proper_total(&g));
+        let mut a3 = RandEfficientColorer::new(2, 1, seed);
+        assert!(run_oblivious(&mut a3, g.edges()).is_proper_total(&g));
+        let mut bg18 = Bg18Colorer::new(2, 1, seed);
+        assert!(run_oblivious(&mut bg18, g.edges()).is_proper_total(&g));
+    }
+}
+
+#[test]
+fn delta_equal_n_minus_one_clique() {
+    // The extreme ∆: every algorithm must still deliver.
+    let n = 12usize;
+    let g = generators::complete(n);
+    let stream = StoredStream::from_graph(&g);
+    let det = deterministic_coloring(&stream, n, n - 1, &DetConfig::default());
+    assert!(det.coloring.is_proper_total(&g));
+    assert_eq!(det.colors_used, n);
+
+    let mut a2 = RobustColorer::new(n, n - 1, 1);
+    assert!(run_oblivious(&mut a2, g.edges()).is_proper_total(&g));
+    let mut a3 = RandEfficientColorer::new(n, n - 1, 1);
+    assert!(run_oblivious(&mut a3, g.edges()).is_proper_total(&g));
+}
+
+#[test]
+fn declared_delta_larger_than_actual() {
+    // Algorithms may be run with a loose ∆ bound; correctness must hold
+    // (palettes are then measured against the declared bound).
+    let g = generators::cycle(20); // actual ∆ = 2
+    let stream = StoredStream::from_graph(&g);
+    let det = deterministic_coloring(&stream, 20, 10, &DetConfig::default());
+    assert!(det.coloring.is_proper_total(&g));
+    assert!(det.coloring.palette_span() <= 11);
+
+    let mut a2 = RobustColorer::new(20, 10, 2);
+    assert!(run_oblivious(&mut a2, g.edges()).is_proper_total(&g));
+}
+
+// ---------- buffer-boundary streams ----------
+
+#[test]
+fn stream_length_exactly_at_buffer_boundaries() {
+    // Robust algorithms rotate buffers at exactly `capacity` edges; feed
+    // streams whose length is 1 below, exactly at, and 1 above multiples
+    // of the capacity (= n for alg2/alg3 at β = 0).
+    let n = 24usize;
+    let delta = 10usize;
+    let g = generators::gnp_with_max_degree(n, delta, 0.9, 3);
+    let edges: Vec<Edge> = generators::shuffled_edges(&g, 3);
+    assert!(edges.len() > 2 * n, "need multiple buffer rotations");
+    for cut in [n - 1, n, n + 1, 2 * n - 1, 2 * n] {
+        let prefix: Vec<Edge> = edges.iter().copied().take(cut).collect();
+        let prefix_graph = Graph::from_edges(n, prefix.iter().copied());
+        let mut a2 = RobustColorer::new(n, delta, 5);
+        let c2 = run_oblivious(&mut a2, prefix.iter().copied());
+        assert!(c2.is_proper_total(&prefix_graph), "alg2 cut = {cut}");
+        let mut a3 = RandEfficientColorer::new(n, delta, 5);
+        let c3 = run_oblivious(&mut a3, prefix.iter().copied());
+        assert!(c3.is_proper_total(&prefix_graph), "alg3 cut = {cut}");
+    }
+}
+
+#[test]
+fn queries_straddling_a_rotation() {
+    let n = 16usize;
+    let delta = 8usize;
+    let g = generators::gnp_with_max_degree(n, delta, 0.9, 1);
+    let edges: Vec<Edge> = generators::shuffled_edges(&g, 1);
+    let mut a2 = RobustColorer::new(n, delta, 9);
+    let mut prefix = Graph::empty(n);
+    for (i, &e) in edges.iter().enumerate() {
+        a2.process(e);
+        prefix.add_edge(e);
+        // Query densely around the first rotation point.
+        if (n - 3..n + 3).contains(&i) || i % 5 == 0 {
+            assert!(a2.query().is_proper_total(&prefix), "query after edge {i}");
+        }
+    }
+}
+
+// ---------- parameter boundaries ----------
+
+#[test]
+fn robust_params_level_boundaries_are_exact() {
+    let p = RobustParams::theorem3(100, 64); // √∆ = 8
+    // Degrees exactly at multiples of the threshold.
+    for (d, expected) in [(1u64, 1usize), (8, 1), (9, 2), (16, 2), (17, 3), (64, 8)] {
+        assert_eq!(p.level_of(d), expected, "degree {d}");
+    }
+}
+
+#[test]
+fn store_all_colorer_handles_every_shape() {
+    for g in [
+        generators::complete(8),
+        generators::star(15),
+        Graph::empty(5),
+        generators::clique_union(3, 4),
+    ] {
+        let mut c = StoreAllColorer::new(g.n());
+        let out = run_oblivious(&mut c, g.edges());
+        assert!(out.is_proper_total(&g));
+        assert!(out.palette_span() <= g.max_degree() as u64 + 1);
+    }
+}
+
+#[test]
+fn auto_dispatch_boundary() {
+    // log²(1024) = 100: ∆ = 99 → store-all; ∆ = 101 → alg2.
+    assert_eq!(auto_robust_colorer(1024, 99, 0).name(), "auto(store-all)");
+    assert_eq!(auto_robust_colorer(1024, 101, 0).name(), "auto(alg2)");
+}
+
+// ---------- determinism under replays ----------
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let g = generators::gnp_with_max_degree(64, 7, 0.4, 6);
+    let stream = StoredStream::from_graph(&g);
+    let runs: Vec<Coloring> = (0..3)
+        .map(|_| deterministic_coloring(&stream, 64, 7, &DetConfig::default()).coloring)
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+
+    let lists = generators::random_deg_plus_one_lists(&g, 50, 2);
+    let lstream = StoredStream::from_graph_with_lists(&g, &lists);
+    let l1 = list_coloring(&lstream, 64, 7, 50, &ListConfig::default());
+    let l2 = list_coloring(&lstream, 64, 7, 50, &ListConfig::default());
+    assert_eq!(l1.coloring, l2.coloring);
+}
+
+// ---------- contract violations fail loudly ----------
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn robust_rejects_oversized_vertex_ids() {
+    let mut c = RobustColorer::new(4, 2, 0);
+    c.process(Edge::new(1, 7));
+}
+
+#[test]
+#[should_panic(expected = "epoch overflow")]
+fn robust_rejects_budget_violations() {
+    // ∆ = 1 promises ≤ n/2 edges; a clique stream breaks the promise and
+    // must be rejected rather than silently miscolored.
+    let g = generators::complete(20);
+    let mut c = RobustColorer::new(20, 1, 0);
+    for e in g.edges() {
+        c.process(e);
+    }
+}
+
+#[test]
+#[should_panic(expected = "self-loop")]
+fn edges_reject_self_loops() {
+    let _ = Edge::new(3, 3);
+}
+
+// ---------- new-module boundary behaviour ----------
+
+mod new_module_edges {
+    use super::*;
+    use sc_graph::{
+        bipartition, brooks_bound, brooks_coloring, chromatic_number, connected_components,
+        io, k_colorable,
+    };
+    use streamcolor::verify::{stream_from_coloring, ExactConflictCounter};
+    use streamcolor::{Bcg20Colorer, Hknt22Colorer};
+
+    #[test]
+    fn offline_theory_on_empty_and_singleton_graphs() {
+        let empty = Graph::empty(0);
+        assert_eq!(chromatic_number(&empty).0, 0);
+        assert_eq!(brooks_bound(&empty), 0);
+        assert!(brooks_coloring(&empty).is_total());
+        assert_eq!(connected_components(&empty).len(), 0);
+        assert!(bipartition(&empty).is_some());
+
+        let single = Graph::empty(1);
+        assert_eq!(chromatic_number(&single).0, 1);
+        assert_eq!(brooks_bound(&single), 1);
+        let c = brooks_coloring(&single);
+        assert!(c.is_proper_total(&single));
+    }
+
+    #[test]
+    fn k_colorable_zero_and_overflow_palettes() {
+        let g = generators::complete(3);
+        assert!(k_colorable(&g, 0).is_none());
+        assert!(k_colorable(&Graph::empty(0), 0).is_some());
+        assert!(k_colorable(&g, 64).is_some(), "k = 64 must be supported");
+        let r = std::panic::catch_unwind(|| k_colorable(&g, 65));
+        assert!(r.is_err(), "k > 64 must be rejected loudly");
+    }
+
+    #[test]
+    fn verify_on_empty_graph_and_isolated_vertices() {
+        let g = Graph::empty(5);
+        let mut c = Coloring::empty(5);
+        for v in 0..5 {
+            c.set(v, 0); // same color everywhere is fine with no edges
+        }
+        let order: Vec<u32> = (0..5).collect();
+        let stream = stream_from_coloring(&g, &c, &order);
+        let mut counter = ExactConflictCounter::new(5, 1);
+        for a in &stream {
+            counter.process(a);
+        }
+        assert!(counter.is_proper());
+    }
+
+    #[test]
+    fn bcg20_on_edgeless_and_single_edge_graphs() {
+        let g = Graph::empty(10);
+        let mut c = Bcg20Colorer::new(10, 0, 0.5, 4, 1);
+        let out = run_oblivious(&mut c, g.edges());
+        assert!(out.is_proper_total(&g));
+        assert_eq!(c.failures(), 0);
+
+        let mut g2 = Graph::empty(2);
+        g2.add_edge(Edge::new(0, 1));
+        let mut c2 = Bcg20Colorer::for_graph(&g2, 0.0, 2);
+        let out2 = run_oblivious(&mut c2, g2.edges());
+        assert!(out2.is_proper_total(&g2));
+    }
+
+    #[test]
+    fn hknt22_with_singleton_lists_on_isolated_vertices() {
+        // deg 0 ⇒ lists of size 1 are legal and must succeed.
+        let g = Graph::empty(4);
+        let mut c = Hknt22Colorer::new(4, 3, 5);
+        for x in 0..4u32 {
+            c.process_item(&sc_stream::StreamItem::ColorList(x, vec![x as u64]));
+        }
+        let out = c.query();
+        assert_eq!(c.failures(), 0);
+        assert!(out.is_total());
+        assert!(out.is_proper_total(&g));
+    }
+
+    #[test]
+    fn io_rejects_truncated_and_binary_garbage() {
+        assert!(io::read_edge_list("n".as_bytes()).is_err());
+        assert!(io::read_dimacs("p edge".as_bytes()).is_err());
+        assert!(io::read_auto("\u{0}\u{1}\u{2}").is_err());
+        // Whitespace-only input has no header.
+        assert!(io::read_auto("   \n\t\n").is_err());
+    }
+
+    #[test]
+    fn stream_orders_on_single_edge_graphs() {
+        let mut g = Graph::empty(2);
+        g.add_edge(Edge::new(0, 1));
+        for order in sc_stream::StreamOrder::sweep(3) {
+            assert_eq!(order.arrange(&g), vec![Edge::new(0, 1)], "{}", order.label());
+        }
+    }
+
+    #[test]
+    fn brooks_on_two_vertex_graph_uses_two_colors() {
+        let mut g = Graph::empty(2);
+        g.add_edge(Edge::new(0, 1));
+        // K2 is a clique: Brooks bound is 2, not ∆ = 1.
+        assert_eq!(brooks_bound(&g), 2);
+        let c = brooks_coloring(&g);
+        assert!(c.is_proper_total(&g));
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-module integration tests for the offline graph machinery the
+//! streaming algorithms lean on: Brooks coloring, exact chromatic
+//! numbers, connectivity, I/O round trips, and their interaction with the
+//! streaming layer's arrival orders.
+
+use sc_graph::{
+    bipartition, brooks_bound, brooks_coloring, chromatic_number, connected_components,
+    degeneracy_ordering, generators, greedy_clique, io, Graph,
+};
+use sc_stream::{StoredStream, StreamOrder};
+use streamcolor::{deterministic_coloring, DetConfig};
+
+/// χ(G) sandwich: clique ≤ χ ≤ Brooks bound ≤ ∆+1, with every witness
+/// proper, across families.
+#[test]
+fn chromatic_sandwich_across_families() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("petersen", generators::petersen()),
+        ("grötzsch", generators::mycielski(&generators::cycle(5))),
+        ("gnp", generators::gnp_with_max_degree(40, 7, 0.3, 1)),
+        ("bipartite", generators::random_bipartite(15, 15, 0.4, 8, 2)),
+        ("multipartite", generators::complete_multipartite(3, 4)),
+        ("pa", generators::preferential_attachment(35, 2, 10, 3)),
+    ];
+    for (name, g) in &graphs {
+        let (chi, witness) = chromatic_number(g);
+        assert!(witness.is_proper_total(g), "{name}: χ witness improper");
+        assert_eq!(witness.num_distinct_colors(), chi, "{name}");
+        let clique = greedy_clique(g).len();
+        assert!(clique <= chi, "{name}: clique {clique} > χ {chi}");
+        if g.m() > 0 {
+            let bb = brooks_bound(g);
+            assert!(chi <= bb, "{name}: χ {chi} > Brooks {bb}");
+            assert!(bb <= g.max_degree() + 1, "{name}");
+            let bc = brooks_coloring(g);
+            assert!(bc.is_proper_total(g), "{name}: Brooks coloring improper");
+            assert!(bc.palette_span() as usize <= bb, "{name}");
+        }
+    }
+}
+
+/// The known chromatic numbers of the new structured generators.
+#[test]
+fn structured_family_chromatic_numbers() {
+    assert_eq!(chromatic_number(&generators::petersen()).0, 3);
+    assert_eq!(chromatic_number(&generators::complete_multipartite(4, 3)).0, 4);
+    assert_eq!(chromatic_number(&generators::blowup(&generators::cycle(5), 3)).0, 3);
+    // Iterated Mycielski: χ grows by one per step, triangle-free from C5.
+    let mut g = generators::cycle(5);
+    for expect in [4usize, 5] {
+        g = generators::mycielski(&g);
+        assert_eq!(chromatic_number(&g).0, expect);
+    }
+}
+
+/// I/O round trips compose with the coloring pipeline: write → read →
+/// color gives the same palette bound as coloring the original.
+#[test]
+fn io_round_trip_preserves_coloring_behaviour() {
+    let g = generators::random_with_exact_max_degree(120, 10, 5);
+    let mut buf = Vec::new();
+    io::write_dimacs(&g, &mut buf).unwrap();
+    let g2 = io::read_dimacs(buf.as_slice()).unwrap();
+    assert_eq!(g.n(), g2.n());
+    assert_eq!(g.m(), g2.m());
+    assert_eq!(g.max_degree(), g2.max_degree());
+
+    let stream = StoredStream::from_graph(&g2);
+    let report = deterministic_coloring(&stream, g2.n(), g2.max_degree(), &DetConfig::default());
+    assert!(report.coloring.is_proper_total(&g), "coloring of the reread graph must fit the original");
+    assert!(report.coloring.palette_span() <= 11);
+}
+
+/// Components and bipartition agree with generator structure, and survive
+/// the stream order policies (orders are permutations, so rebuilt graphs
+/// are identical as edge sets).
+#[test]
+fn components_survive_all_stream_orders() {
+    let g = generators::clique_union(4, 5); // 4 components of 5
+    for order in StreamOrder::sweep(9) {
+        let rebuilt = Graph::from_edges(g.n(), order.arrange(&g));
+        let comps = connected_components(&rebuilt);
+        assert_eq!(comps.len(), 4, "{}", order.label());
+        assert!(comps.iter().all(|c| c.len() == 5));
+    }
+    assert!(bipartition(&generators::random_bipartite(20, 25, 0.3, 6, 1)).is_some());
+}
+
+/// Degeneracy ordering invariant: each vertex has ≤ κ neighbors after it.
+#[test]
+fn degeneracy_ordering_invariant_on_random_graphs() {
+    for seed in 0..4u64 {
+        let g = generators::preferential_attachment(80, 3, 20, seed);
+        let all: Vec<u32> = (0..80u32).collect();
+        let info = degeneracy_ordering(&g, &all);
+        let pos: std::collections::HashMap<u32, usize> =
+            info.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for &v in &info.order {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&y| pos[&y] > pos[&v])
+                .count();
+            assert!(
+                later <= info.degeneracy,
+                "vertex {v} has {later} later neighbors > κ = {}",
+                info.degeneracy
+            );
+        }
+    }
+}
+
+/// Brooks on every family the generators produce, including regular and
+/// block-decomposed shapes.
+#[test]
+fn brooks_is_proper_and_within_bound_everywhere() {
+    let graphs: Vec<Graph> = vec![
+        generators::complete(7),
+        generators::cycle(11),
+        generators::cycle(12),
+        generators::star(30),
+        generators::petersen(),
+        generators::circulant(15, 3),
+        generators::blowup(&generators::complete(3), 4),
+        generators::complete_multipartite(4, 3),
+        generators::clique_union(3, 5),
+        generators::preferential_attachment(60, 2, 15, 1),
+        generators::gnp_with_max_degree(70, 9, 0.3, 2),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        let c = brooks_coloring(g);
+        assert!(c.is_proper_total(g), "graph #{i} improper");
+        assert!(
+            c.palette_span() as usize <= brooks_bound(g).max(1),
+            "graph #{i}: span {} > bound {}",
+            c.palette_span(),
+            brooks_bound(g)
+        );
+    }
+}
+
+/// Exact chromatic number on a DIMACS-serialized instance matches the
+/// original (end-to-end file pipeline).
+#[test]
+fn chromatic_agrees_across_serialization() {
+    let g = generators::mycielski(&generators::cycle(5)); // Grötzsch, χ = 4
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = io::read_edge_list(buf.as_slice()).unwrap();
+    assert_eq!(chromatic_number(&g).0, 4);
+    assert_eq!(chromatic_number(&g2).0, 4);
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the core invariants:
+//! every algorithm, on arbitrary ∆-bounded random graphs and arrival
+//! orders, produces a proper coloring within its palette bound; the
+//! supporting structures (slack tables, subcubes, Turán sets) obey their
+//! defining laws on arbitrary inputs.
+
+use proptest::prelude::*;
+use sc_graph::{generators, turan_independent_set, Coloring, Edge, Graph};
+use sc_stream::{run_oblivious, StoredStream};
+use streamcolor::det::Subcube;
+use streamcolor::{
+    deterministic_coloring, list_coloring, DetConfig, ListConfig, RandEfficientColorer,
+    RobustColorer,
+};
+
+/// Strategy: a ∆-bounded random graph described by (n, ∆, density-seed).
+fn graph_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (8usize..80, 2usize..10, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn det_coloring_always_proper_and_tight((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let stream = StoredStream::from_edges(generators::shuffled_edges(&g, seed ^ 1));
+        let r = deterministic_coloring(&stream, n, delta, &DetConfig::default());
+        prop_assert!(r.coloring.is_proper_total(&g));
+        prop_assert!(r.coloring.palette_span() <= delta as u64 + 1);
+    }
+
+    #[test]
+    fn robust_alg2_always_proper((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let mut colorer = RobustColorer::new(n, delta, seed ^ 2);
+        let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed ^ 3));
+        prop_assert!(c.is_proper_total(&g));
+    }
+
+    #[test]
+    fn robust_alg3_always_proper((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let mut colorer = RandEfficientColorer::new(n, delta, seed ^ 4);
+        let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed ^ 5));
+        prop_assert!(c.is_proper_total(&g));
+        prop_assert!(c.palette_span() <= (delta as u64 + 1) * (delta as u64).pow(2).max(1));
+    }
+
+    #[test]
+    fn list_coloring_always_proper_and_list_respecting(
+        (n, delta, seed) in (8usize..50, 2usize..7, any::<u64>())
+    ) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let universe = 6 * delta as u64;
+        let lists = generators::random_deg_plus_one_lists(&g, universe, seed ^ 6);
+        let stream = StoredStream::from_graph_with_lists(&g, &lists);
+        let r = list_coloring(&stream, n, delta, universe, &ListConfig::default());
+        prop_assert!(r.coloring.is_proper_total(&g));
+        prop_assert!(r.coloring.respects_lists(&lists));
+    }
+
+    #[test]
+    fn turan_always_meets_bound((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
+        let all: Vec<u32> = (0..n as u32).collect();
+        let is = turan_independent_set(&g, &all);
+        // Independence.
+        for (i, &u) in is.iter().enumerate() {
+            for &v in &is[i + 1..] {
+                prop_assert!(!g.has_edge(u, v));
+            }
+        }
+        // Caro–Wei size bound.
+        let bound = n * n / (2 * g.m() + n);
+        prop_assert!(is.len() >= bound);
+    }
+
+    #[test]
+    fn subcube_laws(width in 1u32..16, pattern_bits in 1u32..4, seed in any::<u64>()) {
+        let bw = pattern_bits.min(width);
+        let full = Subcube::full(width);
+        let pattern = seed % (1u64 << bw);
+        let child = full.child(bw, pattern);
+        // Child size halves per fixed bit.
+        prop_assert_eq!(child.len(), 1u64 << (width - bw));
+        // Membership consistency on a sample of colors.
+        for i in 0..64u64 {
+            let c = (seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15))) % (1u64 << width);
+            if child.contains(c) {
+                prop_assert!(full.contains(c));
+                prop_assert_eq!(full.block_of(c, bw), pattern);
+            }
+        }
+        // count_at_most is monotone and bounded.
+        let mut prev = 0;
+        for limit in (0..(1u64 << width)).step_by(7) {
+            let cnt = child.count_at_most(limit);
+            prop_assert!(cnt >= prev);
+            prop_assert!(cnt <= child.len());
+            prev = cnt;
+        }
+    }
+
+    #[test]
+    fn coloring_extend_disjoint_is_union(n in 2usize..40, seed in any::<u64>()) {
+        let mut a = Coloring::empty(n);
+        let mut b = Coloring::empty(n);
+        for x in 0..n {
+            match (seed >> (x % 60)) & 3 {
+                0 => a.set(x as u32, x as u64),
+                1 => b.set(x as u32, 100 + x as u64),
+                _ => {}
+            }
+        }
+        let before_a = a.assignments().count();
+        let before_b = b.assignments().count();
+        a.extend_disjoint(&b);
+        prop_assert_eq!(a.assignments().count(), before_a + before_b);
+    }
+
+    #[test]
+    fn graph_from_edges_is_simple(edges in prop::collection::vec((0u32..30, 0u32..30), 0..200)) {
+        let valid: Vec<Edge> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(a, b))
+            .collect();
+        let g = Graph::from_edges(30, valid.iter().copied());
+        // m equals the number of distinct normalized edges.
+        let distinct: std::collections::HashSet<_> = valid.iter().collect();
+        prop_assert_eq!(g.m(), distinct.len());
+        // Degree sums to 2m.
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.m());
+    }
+}
+
+// ---- new-module properties: verification, baselines, analysis ----
+
+use streamcolor::verify::{stream_from_coloring, ExactConflictCounter};
+use streamcolor::{Bcg20Colorer, Bg18Colorer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact vertex-arrival conflict counter agrees with brute force
+    /// for arbitrary (possibly improper) announced colorings and orders.
+    #[test]
+    fn conflict_counter_matches_brute_force(
+        (n, delta, seed) in graph_params(),
+        palette in 2u64..6,
+    ) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        // Announce an arbitrary (improper) coloring.
+        let mut c = Coloring::empty(n);
+        for v in 0..n as u32 {
+            c.set(v, (v as u64 * 2654435761 + seed) % palette);
+        }
+        let truth = g.edges().filter(|e| c.get(e.u()) == c.get(e.v())).count() as u64;
+        let order: Vec<u32> = (0..n as u32).rev().collect();
+        let stream = stream_from_coloring(&g, &c, &order);
+        let mut counter = ExactConflictCounter::new(n, palette);
+        for a in &stream {
+            counter.process(a);
+        }
+        prop_assert_eq!(counter.conflicts(), truth);
+        prop_assert_eq!(counter.is_proper(), truth == 0);
+    }
+
+    /// BG18 and BCG20 are proper on arbitrary ∆-bounded random streams.
+    #[test]
+    fn new_baselines_always_proper((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let edges = generators::shuffled_edges(&g, seed ^ 5);
+
+        let mut bg = Bg18Colorer::new(n, delta as u64, seed ^ 6);
+        let c = run_oblivious(&mut bg, edges.iter().copied());
+        prop_assert!(c.is_proper_total(&g));
+
+        let mut bcg = Bcg20Colorer::for_graph(&g, 1.0, seed ^ 7);
+        let c = run_oblivious(&mut bcg, edges.iter().copied());
+        prop_assert!(c.is_proper_total(&g));
+        prop_assert_eq!(bcg.failures(), 0);
+    }
+
+    /// Algorithm 3's candidate census: caps respected and the survival
+    /// guarantee of Lemma 4.8 holds on arbitrary oblivious streams.
+    #[test]
+    fn alg3_census_invariants((n, delta, seed) in graph_params()) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+        let mut colorer = RandEfficientColorer::new(n, delta, seed ^ 9);
+        run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed ^ 10));
+        let census = streamcolor::robust::candidate_census(&colorer);
+        prop_assert!(census.valid >= 1, "all candidates wiped");
+        for &s in &census.sizes {
+            prop_assert!(s <= census.cap);
+        }
+    }
+}

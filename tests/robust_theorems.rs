@@ -1,0 +1,145 @@
+//! Integration tests for Theorems 3–4 and Corollary 4.7: the robust
+//! colorers under oblivious streams, mid-stream queries, β tradeoffs, and
+//! color/space bound checks.
+
+use sc_graph::{generators, Graph};
+use sc_stream::{run_oblivious, StreamingColorer};
+use streamcolor::{Cgs22Colorer, RandEfficientColorer, RobustColorer, RobustParams};
+
+#[test]
+fn alg2_grid_of_instances() {
+    for n in [80usize, 250] {
+        for delta in [6usize, 16] {
+            for seed in 0..2u64 {
+                let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+                let mut colorer = RobustColorer::new(n, delta, seed * 31 + 1);
+                let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed));
+                assert!(c.is_proper_total(&g), "alg2 n={n} ∆={delta} seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn alg3_grid_of_instances() {
+    for n in [80usize, 250] {
+        for delta in [6usize, 16] {
+            for seed in 0..2u64 {
+                let g = generators::gnp_with_max_degree(n, delta, 0.4, seed);
+                let mut colorer = RandEfficientColorer::new(n, delta, seed * 17 + 2);
+                let c = run_oblivious(&mut colorer, generators::shuffled_edges(&g, seed));
+                assert!(c.is_proper_total(&g), "alg3 n={n} ∆={delta} seed={seed}");
+                assert_eq!(colorer.failures(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn color_bounds_hold_with_constants() {
+    let n = 500usize;
+    let delta = 25usize;
+    let g = generators::random_with_exact_max_degree(n, delta, 5);
+    let edges = generators::shuffled_edges(&g, 5);
+
+    let mut alg2 = RobustColorer::new(n, delta, 1);
+    let c2 = run_oblivious(&mut alg2, edges.iter().copied());
+    assert!(c2.is_proper_total(&g));
+    assert!(
+        (c2.num_distinct_colors() as f64) <= 4.0 * (delta as f64).powf(2.5),
+        "alg2 used {} colors",
+        c2.num_distinct_colors()
+    );
+
+    let mut alg3 = RandEfficientColorer::new(n, delta, 2);
+    let c3 = run_oblivious(&mut alg3, edges.iter().copied());
+    assert!(c3.is_proper_total(&g));
+    // Palette is literally [∆+1] × [ℓ²] ⊆ [(∆+1)∆²].
+    assert!(c3.palette_span() <= (delta as u64 + 1) * (delta as u64) * (delta as u64));
+
+    let mut cgs = Cgs22Colorer::new(n, delta, 3);
+    let cc = run_oblivious(&mut cgs, edges.iter().copied());
+    assert!(cc.is_proper_total(&g));
+}
+
+#[test]
+fn beta_sweep_tradeoff_shape() {
+    // More space (larger β) should never cost dramatically more colors;
+    // the trend across the sweep is downward.
+    let n = 600usize;
+    let delta = 36usize;
+    let g = generators::random_with_exact_max_degree(n, delta, 8);
+    let edges = generators::shuffled_edges(&g, 8);
+    let mut colors = Vec::new();
+    for &beta in &[0.0, 0.25, 0.5] {
+        let params = RobustParams::with_beta(n, delta, beta);
+        let mut colorer = RobustColorer::with_params(params, 9);
+        let c = run_oblivious(&mut colorer, edges.iter().copied());
+        assert!(c.is_proper_total(&g), "β = {beta}");
+        colors.push(c.num_distinct_colors());
+    }
+    assert!(
+        colors[2] <= colors[0],
+        "β = 1/2 ({}) should use no more colors than β = 0 ({})",
+        colors[2],
+        colors[0]
+    );
+}
+
+#[test]
+fn space_is_near_linear_not_linear_in_m() {
+    let n = 400usize;
+    let delta = 32usize;
+    let g = generators::random_with_exact_max_degree(n, delta, 3);
+    let m = g.m();
+    let mut alg2 = RobustColorer::new(n, delta, 4);
+    run_oblivious(&mut alg2, generators::shuffled_edges(&g, 3));
+    // Stored edges ≤ buffer (n) + Õ(n) sketch edges, well below m.
+    assert!(alg2.stored_edges() < m, "{} stored vs m = {m}", alg2.stored_edges());
+    assert!(alg2.stored_edges() <= 30 * n);
+
+    let mut alg3 = RandEfficientColorer::new(n, delta, 5);
+    run_oblivious(&mut alg3, generators::shuffled_edges(&g, 3));
+    assert!(alg3.stored_edges() <= 40 * n, "{} stored", alg3.stored_edges());
+}
+
+#[test]
+fn every_prefix_is_properly_colored() {
+    // The robust contract: a proper coloring after *every* insertion.
+    let n = 120usize;
+    let delta = 9usize;
+    let g = generators::gnp_with_max_degree(n, delta, 0.4, 6);
+    let edges = generators::shuffled_edges(&g, 6);
+    let mut alg2 = RobustColorer::new(n, delta, 7);
+    let mut alg3 = RandEfficientColorer::new(n, delta, 8);
+    let mut prefix = Graph::empty(n);
+    for &e in &edges {
+        alg2.process(e);
+        alg3.process(e);
+        prefix.add_edge(e);
+        assert!(alg2.query().is_proper_total(&prefix));
+        assert!(alg3.query().is_proper_total(&prefix));
+    }
+}
+
+#[test]
+fn structured_streams() {
+    // Clique unions arriving clique-by-clique stress block recoloring;
+    // bipartite bursts stress the level machinery.
+    let delta = 7usize;
+    let g1 = generators::clique_union(12, delta + 1);
+    let mut c1 = RobustColorer::new(g1.n(), delta, 10);
+    let out1 = run_oblivious(&mut c1, g1.edges());
+    assert!(out1.is_proper_total(&g1));
+
+    let g2 = generators::complete_bipartite(20, 20);
+    let mut c2 = RandEfficientColorer::new(40, 20, 11);
+    let out2 = run_oblivious(&mut c2, g2.edges());
+    assert!(out2.is_proper_total(&g2));
+}
+
+#[test]
+fn store_all_fallback_detection() {
+    assert!(RobustParams::theorem3(100_000, 8).store_all_fallback());
+    assert!(!RobustParams::theorem3(100, 64).store_all_fallback());
+}

@@ -1,0 +1,85 @@
+//! Contract tests: the algorithms really are streaming algorithms.
+//!
+//! Uses `TracingSource` to certify that every pass Algorithm 1 / the
+//! list-colorer starts is consumed to the end (the model's definition of a
+//! pass), cross-checks pass counters, and audits outputs through the
+//! diagnostic layers (`audit`, `GraphStats`).
+
+use sc_graph::{audit, audit_lists, generators, GraphStats};
+use sc_stream::{StoredStream, StreamSource, TracingSource};
+use streamcolor::{deterministic_coloring, list_coloring, DetConfig, ListConfig};
+
+#[test]
+fn det_algorithm_reads_whole_passes_only() {
+    let g = generators::gnp_with_max_degree(120, 8, 0.3, 1);
+    let stored = StoredStream::from_graph(&g);
+    let traced = TracingSource::new(&stored);
+    let r = deterministic_coloring(&traced, 120, 8, &DetConfig::default());
+    assert!(r.coloring.is_proper_total(&g));
+    let trace = traced.report();
+    assert!(trace.all_passes_complete(), "a pass was abandoned: {:?}", trace.per_pass);
+    assert_eq!(trace.passes() as u64, r.passes, "trace and counter disagree");
+    // Total tokens read = passes × stream length.
+    assert_eq!(trace.total_tokens(), trace.passes() * stored.len());
+}
+
+#[test]
+fn list_algorithm_reads_whole_passes_only() {
+    let g = generators::gnp_with_max_degree(60, 5, 0.4, 2);
+    let lists = generators::random_deg_plus_one_lists(&g, 40, 3);
+    let stored = StoredStream::from_graph_with_lists(&g, &lists);
+    let traced = TracingSource::new(&stored);
+    let r = list_coloring(&traced, 60, 5, 40, &ListConfig::default());
+    assert!(r.coloring.is_proper_total(&g));
+    let trace = traced.report();
+    assert!(trace.all_passes_complete());
+    assert_eq!(trace.passes() as u64, r.passes);
+}
+
+#[test]
+fn audit_layer_agrees_with_checkers() {
+    let g = generators::random_with_exact_max_degree(150, 12, 4);
+    let stream = StoredStream::from_graph(&g);
+    let r = deterministic_coloring(&stream, 150, 12, &DetConfig::default());
+    let a = audit(&g, &r.coloring);
+    assert!(a.is_proper_total());
+    assert!(a.violations.is_empty());
+    assert_eq!(a.distinct_colors, r.colors_used);
+    assert!(a.largest_class >= 150 / 13, "pigeonhole on ∆+1 classes");
+    assert!(a.verdict().starts_with("proper"));
+}
+
+#[test]
+fn list_audit_layer_agrees() {
+    let g = generators::gnp_with_max_degree(50, 6, 0.4, 5);
+    let lists = generators::random_deg_plus_one_lists(&g, 48, 6);
+    let stream = StoredStream::from_graph_with_lists(&g, &lists);
+    let r = list_coloring(&stream, 50, 6, 48, &ListConfig::default());
+    assert!(audit_lists(&r.coloring, &lists).is_empty());
+    assert!(audit(&g, &r.coloring).is_proper_total());
+}
+
+#[test]
+fn stats_describe_experiment_workloads() {
+    let g = generators::random_with_exact_max_degree(500, 24, 9);
+    let s = GraphStats::of(&g);
+    assert_eq!(s.max_degree, 24);
+    assert_eq!(s.n, 500);
+    assert_eq!(s.m, g.m());
+    // The generator targets ~∆/2 mean degree around its density cap.
+    assert!(s.mean_degree > 2.0);
+    assert!(s.degree_percentile(100.0) == 24);
+}
+
+#[test]
+fn replaying_a_traced_stream_is_stable() {
+    // The tracing wrapper must not perturb the algorithm's behavior.
+    let g = generators::gnp_with_max_degree(80, 7, 0.35, 8);
+    let stored = StoredStream::from_graph(&g);
+    let plain = deterministic_coloring(&stored, 80, 7, &DetConfig::default());
+    let traced_src = TracingSource::new(&stored);
+    let traced = deterministic_coloring(&traced_src, 80, 7, &DetConfig::default());
+    assert_eq!(plain.coloring, traced.coloring);
+    assert_eq!(plain.passes, traced.passes);
+    assert_eq!(plain.peak_space_bits, traced.peak_space_bits);
+}

@@ -1,0 +1,159 @@
+//! Integration tests for Theorem 1: the deterministic multi-pass
+//! `(∆+1)`-coloring, validated across a grid of graph families, sizes,
+//! degree bounds and arrival orders, with its complexity claims checked
+//! quantitatively.
+
+use sc_graph::{generators, Graph};
+use sc_stream::StoredStream;
+use streamcolor::{deterministic_coloring, DetConfig};
+
+fn check(g: &Graph, cfg: &DetConfig) -> streamcolor::DetReport {
+    let delta = g.max_degree();
+    let stream = StoredStream::from_graph(g);
+    let r = deterministic_coloring(&stream, g.n(), delta, cfg);
+    assert!(r.coloring.is_proper_total(g), "improper (n={}, ∆={delta})", g.n());
+    assert!(
+        r.coloring.palette_span() <= delta as u64 + 1,
+        "palette {} exceeds ∆+1 = {}",
+        r.coloring.palette_span(),
+        delta + 1
+    );
+    r
+}
+
+#[test]
+fn grid_of_random_graphs() {
+    for n in [64usize, 200, 500] {
+        for delta in [4usize, 12, 31] {
+            for seed in 0..2u64 {
+                let g = generators::gnp_with_max_degree(n, delta, 0.3, seed);
+                let r = check(&g, &DetConfig::default());
+                assert!(!r.fallback_used, "n={n} ∆={delta} seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn structured_extremes() {
+    check(&generators::complete(33), &DetConfig::default());
+    check(&generators::cycle(101), &DetConfig::default());
+    check(&generators::star(300), &DetConfig::default());
+    check(&generators::path(257), &DetConfig::default());
+    check(&generators::complete_bipartite(31, 64), &DetConfig::default());
+    check(&generators::clique_union(10, 9), &DetConfig::default());
+    check(&generators::preferential_attachment(300, 3, 40, 5), &DetConfig::default());
+}
+
+#[test]
+fn arrival_order_invariance_of_correctness() {
+    let g = generators::gnp_with_max_degree(150, 10, 0.3, 3);
+    for seed in 0..5u64 {
+        let stream = StoredStream::from_edges(generators::shuffled_edges(&g, seed));
+        let r = deterministic_coloring(&stream, 150, g.max_degree(), &DetConfig::default());
+        assert!(r.coloring.is_proper_total(&g), "order seed {seed}");
+    }
+}
+
+#[test]
+fn pass_bound_log_delta_loglog_delta() {
+    // Quantitative shape: passes / (log∆·loglog∆) bounded by a modest
+    // constant across a ∆ sweep at fixed n.
+    let n = 1024usize;
+    for delta in [8usize, 16, 32, 64] {
+        let g = generators::random_with_exact_max_degree(n, delta, delta as u64);
+        let stream = StoredStream::from_graph(&g);
+        let r = deterministic_coloring(&stream, n, delta, &DetConfig::default());
+        assert!(r.coloring.is_proper_total(&g));
+        let log_d = (delta as f64).log2();
+        let bound = 16.0 * log_d * log_d.log2().max(1.0) + 8.0;
+        assert!(
+            (r.passes as f64) <= bound,
+            "∆={delta}: {} passes > 16·log∆·loglog∆ + 8 = {bound:.0}",
+            r.passes
+        );
+    }
+}
+
+#[test]
+fn space_bound_n_log_squared() {
+    for n in [256usize, 1024] {
+        let g = generators::gnp_with_max_degree(n, 16, 0.2, 9);
+        let stream = StoredStream::from_graph(&g);
+        let r = deterministic_coloring(&stream, n, g.max_degree(), &DetConfig::default());
+        let log_n = (n as f64).log2();
+        let bound = 64.0 * n as f64 * log_n * log_n;
+        assert!(
+            (r.peak_space_bits as f64) <= bound,
+            "n={n}: {} bits > 64·n·log²n",
+            r.peak_space_bits
+        );
+    }
+}
+
+#[test]
+fn epoch_progress_matches_lemma_3_8() {
+    // Every epoch shrinks |U| to ≤ 2/3|U| when |F| ≤ |U| holds.
+    let g = generators::gnp_with_max_degree(400, 16, 0.2, 4);
+    let stream = StoredStream::from_graph(&g);
+    let r = deterministic_coloring(&stream, 400, g.max_degree(), &DetConfig::default());
+    for out in &r.epoch_outcomes {
+        if !out.f_bound_violated {
+            assert!(
+                out.committed * 3 >= out.u_size,
+                "epoch committed {} of {} (< 1/3)",
+                out.committed,
+                out.u_size
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_graphs_and_degenerate_cases() {
+    // n = 1, no edges.
+    let stream = StoredStream::new(vec![]);
+    let r = deterministic_coloring(&stream, 1, 0, &DetConfig::default());
+    assert!(r.coloring.is_total());
+
+    // Single edge, two vertices.
+    let g = Graph::from_edges(2, [sc_graph::Edge::new(0, 1)]);
+    check(&g, &DetConfig::default());
+
+    // Perfect matching (∆ = 1).
+    let mut pm = Graph::empty(20);
+    for i in 0..10u32 {
+        pm.add_edge(sc_graph::Edge::new(2 * i, 2 * i + 1));
+    }
+    let r = check(&pm, &DetConfig::default());
+    assert!(r.coloring.palette_span() <= 2);
+
+    // Isolated vertices mixed with a clique.
+    let mut g = generators::complete(6);
+    for _ in 0..4 {
+        g = Graph::from_edges(10, g.edges());
+    }
+    check(&g, &DetConfig::default());
+}
+
+#[test]
+fn full_family_theory_mode_small() {
+    // The paper-verbatim tournament, feasible only for tiny n.
+    for n in [4usize, 6] {
+        let g = generators::complete(n);
+        let r = check(&g, &DetConfig::theory());
+        assert_eq!(r.colors_used, n);
+    }
+}
+
+#[test]
+fn duplicate_edges_in_stream_are_tolerated() {
+    // Streams may repeat an edge; the algorithm must not break.
+    let g = generators::cycle(12);
+    let mut edges: Vec<_> = g.edges().collect();
+    let dup = edges.clone();
+    edges.extend(dup);
+    let stream = StoredStream::from_edges(edges);
+    let r = deterministic_coloring(&stream, 12, 4, &DetConfig::default());
+    assert!(r.coloring.is_proper_total(&g));
+}

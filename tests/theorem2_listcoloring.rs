@@ -1,0 +1,132 @@
+//! Integration tests for Theorem 2: `(deg+1)`-list-coloring across list
+//! regimes, universes, and token interleavings.
+
+use sc_graph::{generators, Color, Graph};
+use sc_stream::{StoredStream, StreamItem};
+use streamcolor::{list_coloring, ListConfig};
+
+fn check(g: &Graph, lists: &[Vec<Color>], universe: u64) -> streamcolor::ListReport {
+    let stream = StoredStream::from_graph_with_lists(g, lists);
+    let r = list_coloring(&stream, g.n(), g.max_degree(), universe, &ListConfig::default());
+    assert!(r.coloring.is_proper_total(g), "improper");
+    assert!(r.coloring.respects_lists(lists), "list violation");
+    r
+}
+
+#[test]
+fn grid_of_random_instances() {
+    for n in [50usize, 150] {
+        for delta in [4usize, 10] {
+            for seed in 0..2u64 {
+                let g = generators::gnp_with_max_degree(n, delta, 0.3, seed);
+                let universe = (4 * delta) as u64;
+                let lists = generators::random_deg_plus_one_lists(&g, universe, seed + 7);
+                check(&g, &lists, universe);
+            }
+        }
+    }
+}
+
+#[test]
+fn quadratic_universe() {
+    let n = 80usize;
+    let g = generators::gnp_with_max_degree(n, 8, 0.3, 1);
+    let universe = (n * n) as u64; // the theorem's |C| = O(n²)
+    let lists = generators::random_deg_plus_one_lists(&g, universe, 3);
+    check(&g, &lists, universe);
+}
+
+#[test]
+fn oversized_lists_are_fine() {
+    // Lists larger than deg+1 only make the problem easier.
+    let g = generators::gnp_with_max_degree(60, 6, 0.4, 2);
+    let lists: Vec<Vec<Color>> = (0..60u64)
+        .map(|x| (0..20u64).map(|i| (x * 31 + i * 7) % 500).collect::<Vec<_>>())
+        .map(|mut l| {
+            l.sort_unstable();
+            l.dedup();
+            l
+        })
+        .collect();
+    check(&g, &lists, 500);
+}
+
+#[test]
+fn exactly_tight_lists_on_cliques() {
+    // K_k with identical lists of size k: forced to use all of them.
+    for k in [5usize, 9] {
+        let g = generators::complete(k);
+        let lists: Vec<Vec<Color>> = (0..k).map(|_| (10..10 + k as u64).collect()).collect();
+        let r = check(&g, &lists, 10 + k as u64);
+        assert_eq!(r.coloring.num_distinct_colors(), k);
+    }
+}
+
+#[test]
+fn heterogeneous_degrees_and_lists() {
+    // Star: center has a big list, leaves tiny disjoint-ish lists.
+    let n = 60usize;
+    let g = generators::star(n);
+    let mut lists: Vec<Vec<Color>> = Vec::new();
+    lists.push((0..n as u64).collect()); // center, deg n−1
+    for x in 1..n as u64 {
+        lists.push(vec![x % 7, 100 + x % 5]); // leaves, deg 1
+    }
+    check(&g, &lists, 200);
+}
+
+#[test]
+fn token_interleavings() {
+    let g = generators::gnp_with_max_degree(40, 5, 0.4, 6);
+    let lists = generators::random_deg_plus_one_lists(&g, 60, 8);
+    let edges: Vec<_> = g.edges().collect();
+
+    // Lists after edges; lists interleaved every other token; lists first.
+    let mut orders: Vec<Vec<StreamItem>> = Vec::new();
+    let mut after: Vec<StreamItem> = edges.iter().map(|&e| StreamItem::Edge(e)).collect();
+    after.extend(
+        lists.iter().enumerate().map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())),
+    );
+    orders.push(after);
+
+    let mut interleaved = Vec::new();
+    let mut ei = edges.iter();
+    for (x, l) in lists.iter().enumerate() {
+        interleaved.push(StreamItem::ColorList(x as u32, l.clone()));
+        if let Some(&e) = ei.next() {
+            interleaved.push(StreamItem::Edge(e));
+        }
+    }
+    interleaved.extend(ei.map(|&e| StreamItem::Edge(e)));
+    orders.push(interleaved);
+
+    for items in orders {
+        let stream = StoredStream::new(items);
+        let r = list_coloring(&stream, 40, g.max_degree(), 60, &ListConfig::default());
+        assert!(r.coloring.is_proper_total(&g));
+        assert!(r.coloring.respects_lists(&lists));
+    }
+}
+
+#[test]
+fn matches_theorem1_when_lists_are_the_palette() {
+    // With L_x = [∆+1] the guarantees coincide with Theorem 1's.
+    let g = generators::gnp_with_max_degree(100, 7, 0.3, 4);
+    let delta = g.max_degree();
+    let palette: Vec<Color> = (0..=delta as u64).collect();
+    let lists: Vec<Vec<Color>> = (0..100).map(|_| palette.clone()).collect();
+    let r = check(&g, &lists, delta as u64 + 1);
+    assert!(r.coloring.palette_span() <= delta as u64 + 1);
+}
+
+#[test]
+fn passes_stay_polylogarithmic() {
+    let n = 512usize;
+    let g = generators::random_with_exact_max_degree(n, 16, 11);
+    let lists = generators::random_deg_plus_one_lists(&g, 64, 12);
+    let r = check(&g, &lists, 64);
+    // Very generous polylog budget; the point is ≪ ∆ passes per epoch-free
+    // methods and ≪ m.
+    assert!(r.passes < 400, "{} passes is not polylogarithmic-ish", r.passes);
+    assert!(!r.fallback_used);
+}
