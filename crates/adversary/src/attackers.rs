@@ -60,11 +60,7 @@ impl Adversary for RandomAdversary {
         for _ in 0..4 * self.n {
             let u = self.rng.below(self.n as u64) as VertexId;
             let v = self.rng.below(self.n as u64) as VertexId;
-            if u != v
-                && !g.has_edge(u, v)
-                && g.degree(u) < self.delta
-                && g.degree(v) < self.delta
-            {
+            if u != v && !g.has_edge(u, v) && g.degree(u) < self.delta && g.degree(v) < self.delta {
                 return Some(Edge::new(u, v));
             }
         }
@@ -101,11 +97,7 @@ impl MonochromaticAttacker {
         for _ in 0..4 * self.n {
             let u = self.rng.below(self.n as u64) as VertexId;
             let v = self.rng.below(self.n as u64) as VertexId;
-            if u != v
-                && !g.has_edge(u, v)
-                && g.degree(u) < self.delta
-                && g.degree(v) < self.delta
-            {
+            if u != v && !g.has_edge(u, v) && g.degree(u) < self.delta && g.degree(v) < self.delta {
                 return Some(Edge::new(u, v));
             }
         }
@@ -116,8 +108,10 @@ impl MonochromaticAttacker {
 impl Adversary for MonochromaticAttacker {
     fn next_edge(&mut self, last: &Coloring, g: &Graph) -> Option<Edge> {
         // Bucket vertices by color, keeping only those with budget.
-        let mut by_color: std::collections::HashMap<u64, Vec<VertexId>> =
-            std::collections::HashMap::new();
+        // BTreeMap: iteration is color-ordered, so the attack is
+        // deterministic per seed (HashMap order is seeded per thread).
+        let mut by_color: std::collections::BTreeMap<u64, Vec<VertexId>> =
+            std::collections::BTreeMap::new();
         for x in 0..self.n as VertexId {
             if g.degree(x) >= self.delta {
                 continue;
@@ -126,9 +120,9 @@ impl Adversary for MonochromaticAttacker {
                 by_color.entry(c).or_default().push(x);
             }
         }
-        // Largest color class first: most pairs to choose from.
-        let mut classes: Vec<&Vec<VertexId>> =
-            by_color.values().filter(|v| v.len() >= 2).collect();
+        // Largest color class first: most pairs to choose from. The
+        // stable sort keeps ties in color order (BTreeMap iteration).
+        let mut classes: Vec<&Vec<VertexId>> = by_color.values().filter(|v| v.len() >= 2).collect();
         classes.sort_by_key(|v| std::cmp::Reverse(v.len()));
         for class in classes {
             // Prefer the pair with the most remaining budget, breaking
@@ -199,7 +193,6 @@ impl Adversary for CliqueBuilder {
         "clique-builder"
     }
 }
-
 
 /// Targets epoch boundaries: floods one vertex pair's neighborhoods with
 /// edges in bursts sized to straddle the algorithms' buffer capacity.
@@ -298,9 +291,10 @@ impl LevelBoundaryAttacker {
 impl Adversary for LevelBoundaryAttacker {
     fn next_edge(&mut self, last: &Coloring, g: &Graph) -> Option<Edge> {
         // Among same-colored budget-respecting pairs, prefer those where an
-        // endpoint is 1 edge from a level boundary.
-        let mut by_color: std::collections::HashMap<u64, Vec<VertexId>> =
-            std::collections::HashMap::new();
+        // endpoint is 1 edge from a level boundary. BTreeMap: color-ordered
+        // iteration keeps equal-gap winners deterministic per seed.
+        let mut by_color: std::collections::BTreeMap<u64, Vec<VertexId>> =
+            std::collections::BTreeMap::new();
         for x in 0..self.n as VertexId {
             if g.degree(x) >= self.delta {
                 continue;
@@ -309,7 +303,8 @@ impl Adversary for LevelBoundaryAttacker {
                 by_color.entry(c).or_default().push(x);
             }
         }
-        let mut best: Option<(u64, Edge)> = None; // (score: min gap, edge)
+        // Best = (min gap to a level boundary, edge).
+        let mut best: Option<(u64, Edge)> = None;
         for class in by_color.values() {
             for (i, &u) in class.iter().enumerate() {
                 for &v in class.iter().skip(i + 1) {
@@ -343,7 +338,9 @@ impl Adversary for LevelBoundaryAttacker {
 mod tests {
     use super::*;
     use crate::game::run_game;
-    use streamcolor::{Cgs22Colorer, PaletteSparsification, RandEfficientColorer, RobustColorer, TrivialColorer};
+    use streamcolor::{
+        Cgs22Colorer, PaletteSparsification, RandEfficientColorer, RobustColorer, TrivialColorer,
+    };
 
     #[test]
     fn random_adversary_respects_budget() {

@@ -9,7 +9,7 @@
 //! validating every output against it.
 
 use sc_graph::{Coloring, Edge, Graph};
-use sc_stream::StreamingColorer;
+use sc_stream::{EngineConfig, EngineSession, StreamingColorer};
 
 /// An adaptive stream-generating adversary.
 pub trait Adversary {
@@ -74,9 +74,15 @@ where
     let mut max_colors = 0usize;
     let mut rounds = 0usize;
 
+    // The game is the engine's checkpoint loop made interactive: every
+    // round pushes one edge and observes the prefix. Per-edge chunking is
+    // forced by the model — the adversary sees each output before its
+    // next move.
+    let mut session = EngineSession::new(colorer, EngineConfig::per_edge());
+
     // Initial output (empty graph — everything is proper, but the
     // adversary gets to see the coloring before its first move).
-    let mut output = colorer.query();
+    let mut output: Coloring = session.observe().coloring;
 
     for round in 1..=max_rounds {
         let Some(e) = adversary.next_edge(&output, &graph) else { break };
@@ -85,11 +91,12 @@ where
             "adversary repeated edge {e} (streams are edge-insertion-only)"
         );
         graph.add_edge(e);
-        colorer.process(e);
+        session.push(e);
         rounds = round;
 
-        output = colorer.query();
-        max_colors = max_colors.max(output.num_distinct_colors());
+        let observed = session.observe();
+        max_colors = max_colors.max(observed.colors);
+        output = observed.coloring;
         if !output.is_proper_total(&graph) {
             improper += 1;
             if first_failure.is_none() {

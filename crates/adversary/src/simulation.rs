@@ -44,6 +44,37 @@ impl TrialSummary {
     }
 }
 
+/// Aggregates finished game reports into a [`TrialSummary`] (shared by
+/// the sequential [`run_trials`] here and the parallel trial sweeps in
+/// `sc-engine`).
+pub fn summarize(reports: impl IntoIterator<Item = GameReport>) -> TrialSummary {
+    let mut trials = 0usize;
+    let mut broken = 0usize;
+    let mut failure_rounds = Vec::new();
+    let mut max_colors = 0usize;
+    let mut min_rounds = usize::MAX;
+    let mut max_rounds_seen = 0usize;
+    for r in reports {
+        trials += 1;
+        max_colors = max_colors.max(r.max_colors);
+        min_rounds = min_rounds.min(r.rounds);
+        max_rounds_seen = max_rounds_seen.max(r.rounds);
+        if !r.survived() {
+            broken += 1;
+            failure_rounds.push(r.first_failure_round.expect("broken game has a failure round"));
+        }
+    }
+    failure_rounds.sort_unstable();
+    TrialSummary {
+        trials,
+        broken,
+        failure_rounds,
+        max_colors,
+        min_rounds: if trials == 0 { 0 } else { min_rounds },
+        max_rounds: max_rounds_seen,
+    }
+}
+
 /// Runs `trials` independent games. `make_colorer(t)` and
 /// `make_adversary(t)` build fresh, independently seeded parties for
 /// trial `t`.
@@ -58,32 +89,11 @@ where
     C: StreamingColorer,
     A: Adversary,
 {
-    let mut broken = 0usize;
-    let mut failure_rounds = Vec::new();
-    let mut max_colors = 0usize;
-    let mut min_rounds = usize::MAX;
-    let mut max_rounds_seen = 0usize;
-    for t in 0..trials {
+    summarize((0..trials).map(|t| {
         let mut colorer = make_colorer(t as u64);
         let mut adversary = make_adversary(t as u64);
-        let r: GameReport = run_game(&mut colorer, &mut adversary, n, max_rounds);
-        max_colors = max_colors.max(r.max_colors);
-        min_rounds = min_rounds.min(r.rounds);
-        max_rounds_seen = max_rounds_seen.max(r.rounds);
-        if !r.survived() {
-            broken += 1;
-            failure_rounds.push(r.first_failure_round.unwrap());
-        }
-    }
-    failure_rounds.sort_unstable();
-    TrialSummary {
-        trials,
-        broken,
-        failure_rounds,
-        max_colors,
-        min_rounds: if trials == 0 { 0 } else { min_rounds },
-        max_rounds: max_rounds_seen,
-    }
+        run_game(&mut colorer, &mut adversary, n, max_rounds)
+    }))
 }
 
 #[cfg(test)]

@@ -54,19 +54,14 @@ fn bench_offline_subroutines(c: &mut Criterion) {
     group.sample_size(10);
 
     let sparse = generators::preferential_attachment(2000, 3, 60, 2);
-    group.bench_function("brooks_pa_2000", |b| {
-        b.iter(|| brooks_coloring(black_box(&sparse)))
-    });
+    group.bench_function("brooks_pa_2000", |b| b.iter(|| brooks_coloring(black_box(&sparse))));
 
     let regular = generators::circulant(1001, 4);
-    group.bench_function("brooks_regular_1001", |b| {
-        b.iter(|| brooks_coloring(black_box(&regular)))
-    });
+    group
+        .bench_function("brooks_regular_1001", |b| b.iter(|| brooks_coloring(black_box(&regular))));
 
     let small = generators::gnp_with_max_degree(40, 8, 0.3, 3);
-    group.bench_function("chromatic_exact_n40", |b| {
-        b.iter(|| chromatic_number(black_box(&small)))
-    });
+    group.bench_function("chromatic_exact_n40", |b| b.iter(|| chromatic_number(black_box(&small))));
     group.finish();
 }
 

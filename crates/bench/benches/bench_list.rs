@@ -17,9 +17,7 @@ fn bench_list_runs(c: &mut Criterion) {
         let lists = generators::random_deg_plus_one_lists(&g, 4 * delta as u64, 5);
         let stream = StoredStream::from_graph_with_lists(&g, &lists);
         group.bench_with_input(BenchmarkId::new("n256", delta), &delta, |b, &delta| {
-            b.iter(|| {
-                list_coloring(&stream, n, delta, 4 * delta as u64, &ListConfig::default())
-            })
+            b.iter(|| list_coloring(&stream, n, delta, 4 * delta as u64, &ListConfig::default()))
         });
     }
     group.finish();

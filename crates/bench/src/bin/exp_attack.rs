@@ -6,67 +6,49 @@
 //! correctness argument only holds for oblivious streams, gets broken
 //! (improper outputs) once the adversary drains its per-vertex sampled
 //! lists; Algorithms 2 and 3 survive every query.
+//!
+//! Each (victim, ∆) cell is a declarative [`AttackScenario`] whose trials
+//! `sc-engine`'s [`Runner`] plays in parallel across workers.
 
-use sc_adversary::{run_game, MonochromaticAttacker};
 use sc_bench::Table;
-
-use streamcolor::{PaletteSparsification, RandEfficientColorer, RobustColorer};
+use sc_engine::{AdversarySpec, AttackScenario, ColorerSpec, Runner};
 
 fn main() {
     let n = 1000usize;
-    let trials = 10u64;
+    let trials = 10usize;
     println!("# F5: adaptive attack — non-robust vs robust (n = {n}, {trials} trials each)");
-    let mut table = Table::new(&[
-        "algorithm", "∆", "broken trials", "median failure round", "max colors seen",
-    ]);
+    let runner = Runner::default();
+    let mut table =
+        Table::new(&["algorithm", "∆", "broken trials", "median failure round", "max colors seen"]);
+
+    // (label, victim, seed, must_survive)
+    let victims: Vec<(&str, ColorerSpec, u64, bool)> = vec![
+        // Palette sparsification with small sampled lists (breakable
+        // because the adversary adapts).
+        (
+            "palette-spars (non-robust)",
+            ColorerSpec::PaletteSparsification { lists: Some(6) },
+            100,
+            false,
+        ),
+        ("robust ∆^2.5 [Thm 3]", ColorerSpec::Robust { beta: None }, 300, true),
+        ("robust ∆^3 [Thm 4]", ColorerSpec::RandEfficient, 500, true),
+    ];
 
     for delta in [32usize, 64] {
         let rounds = n * delta / 4;
-
-        // Palette sparsification with Θ(log n)-sized lists (the theory
-        // sizing — still breakable because the adversary adapts).
-        let mut broken = 0u64;
-        let mut failure_rounds = Vec::new();
-        let mut max_colors = 0usize;
-        for t in 0..trials {
-            let mut adv = MonochromaticAttacker::new(n, delta, 100 + t);
-            let mut ps = PaletteSparsification::new(n, delta, 8, 200 + t);
-            let r = run_game(&mut ps, &mut adv, n, rounds);
-            max_colors = max_colors.max(r.max_colors);
-            if !r.survived() {
-                broken += 1;
-                failure_rounds.push(r.first_failure_round.unwrap());
+        for (label, victim, seed, must_survive) in &victims {
+            let scenario =
+                AttackScenario::new(victim.clone(), AdversarySpec::Monochromatic, n, delta)
+                    .with_rounds(rounds)
+                    .with_seed(*seed);
+            let s = runner.run_attack_trials(&scenario, trials);
+            let median = s.median_failure_round().map_or("—".to_string(), |r| r.to_string());
+            table.row(&[label, &delta, &s.broken, &median, &s.max_colors]);
+            if *must_survive {
+                assert_eq!(s.broken, 0, "{label} must survive the feedback attack");
             }
         }
-        failure_rounds.sort_unstable();
-        let median = failure_rounds
-            .get(failure_rounds.len() / 2)
-            .map_or("—".to_string(), |r| r.to_string());
-        table.row(&[&"palette-spars (non-robust)", &delta, &broken, &median, &max_colors]);
-
-        // Algorithm 2.
-        let mut broken2 = 0u64;
-        let mut mc2 = 0usize;
-        for t in 0..trials {
-            let mut adv = MonochromaticAttacker::new(n, delta, 300 + t);
-            let mut alg = RobustColorer::new(n, delta, 400 + t);
-            let r = run_game(&mut alg, &mut adv, n, rounds);
-            mc2 = mc2.max(r.max_colors);
-            broken2 += u64::from(!r.survived());
-        }
-        table.row(&[&"robust ∆^2.5 [Thm 3]", &delta, &broken2, &"—", &mc2]);
-
-        // Algorithm 3.
-        let mut broken3 = 0u64;
-        let mut mc3 = 0usize;
-        for t in 0..trials {
-            let mut adv = MonochromaticAttacker::new(n, delta, 500 + t);
-            let mut alg = RandEfficientColorer::new(n, delta, 600 + t);
-            let r = run_game(&mut alg, &mut adv, n, rounds);
-            mc3 = mc3.max(r.max_colors);
-            broken3 += u64::from(!r.survived());
-        }
-        table.row(&[&"robust ∆^3 [Thm 4]", &delta, &broken3, &"—", &mc3]);
     }
 
     table.print("F5: attack outcomes");

@@ -9,9 +9,8 @@ use streamcolor::DetConfig;
 
 fn main() {
     println!("# T3: Corollary 3.11 — two-party (∆+1)-coloring protocol");
-    let mut table = Table::new(&[
-        "n", "∆", "rounds", "bits exchanged", "n·log⁴n bits", "ratio", "proper?",
-    ]);
+    let mut table =
+        Table::new(&["n", "∆", "rounds", "bits exchanged", "n·log⁴n bits", "ratio", "proper?"]);
     for (n, delta) in [(512usize, 16usize), (1024, 16), (2048, 32)] {
         let g = generators::random_with_exact_max_degree(n, delta, 7);
         let (alice, bob) = split_edges(generators::shuffled_edges(&g, 2));

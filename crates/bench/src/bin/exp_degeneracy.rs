@@ -16,7 +16,13 @@ fn main() {
     let n = 2000usize;
     println!("# F9: degeneracy vs ∆-based palettes (n = {n}, preferential attachment)");
     let mut table = Table::new(&[
-        "attach k", "∆", "κ", "Brooks ∆-bound", "bcg20 colors", "bg18 colors", "alg2 colors",
+        "attach k",
+        "∆",
+        "κ",
+        "Brooks ∆-bound",
+        "bcg20 colors",
+        "bg18 colors",
+        "alg2 colors",
     ]);
 
     for attach in [2usize, 3, 5] {

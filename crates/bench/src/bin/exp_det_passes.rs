@@ -14,7 +14,13 @@ fn main() {
     let n = 4096usize;
     println!("# F1/F6: deterministic passes vs ∆ (n = {n})");
     let mut table = Table::new(&[
-        "∆", "colors", "∆+1", "det passes", "log∆·loglog∆", "batch passes (F6)", "epochs",
+        "∆",
+        "colors",
+        "∆+1",
+        "det passes",
+        "log∆·loglog∆",
+        "batch passes (F6)",
+        "epochs",
         "stages",
     ]);
     let mut ratio_track: Vec<f64> = Vec::new();

@@ -9,8 +9,7 @@ use streamcolor::{deterministic_coloring, DetConfig};
 fn main() {
     let delta = 32usize;
     println!("# F2: deterministic space vs n (∆ = {delta})");
-    let mut table =
-        Table::new(&["n", "peak space", "n·log²n bits", "peak / (n·log²n)", "passes"]);
+    let mut table = Table::new(&["n", "peak space", "n·log²n bits", "peak / (n·log²n)", "passes"]);
     let mut ratios = Vec::new();
 
     let mut n = 256usize;

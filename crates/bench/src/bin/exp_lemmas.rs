@@ -42,17 +42,14 @@ fn main() {
     // ---- Lemma 3.10 (partition quality). ----
     let mut t2 = Table::new(&["s", "mass before", "bound mass/√s", "best candidate cost"]);
     let universe = 4096u64;
-    let lists: Vec<Vec<u64>> = (0..400u64)
-        .map(|x| (0..17u64).map(|i| (x * 131 + i * 97) % universe).collect())
-        .collect();
+    let lists: Vec<Vec<u64>> =
+        (0..400u64).map(|x| (0..17u64).map(|i| (x * 131 + i * 97) % universe).collect()).collect();
     for s in [4u64, 16, 64] {
         let cands = candidate_partitions(universe, s, PartitionSearch::Sampled(16));
         let mut scratch = vec![0u32; s as usize];
         let best: u64 = cands
             .iter()
-            .map(|r| {
-                lists.iter().map(|l| partition_cost_for_list(r, l, &mut scratch)).sum::<u64>()
-            })
+            .map(|r| lists.iter().map(|l| partition_cost_for_list(r, l, &mut scratch)).sum::<u64>())
             .min()
             .unwrap();
         let mass = total_list_mass(&lists);
@@ -112,8 +109,13 @@ fn main() {
     // ---- Lemmas 4.2/4.3 (sketch-degree concentration), per-block
     // degeneracy, and the candidate census — via robust::analysis. ----
     let mut t5 = Table::new(&[
-        "∆", "8·log n", "Σ d_{A_i}(v) (max/p99/mean)", "Σ d_{C_ℓ}(v) (max/p99/mean)",
-        "fast blocks", "max block degen", "alg3 survivors",
+        "∆",
+        "8·log n",
+        "Σ d_{A_i}(v) (max/p99/mean)",
+        "Σ d_{C_ℓ}(v) (max/p99/mean)",
+        "fast blocks",
+        "max block degen",
+        "alg3 survivors",
     ]);
     for delta in [25usize, 100] {
         let gn = 900usize;

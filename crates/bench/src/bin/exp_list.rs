@@ -10,8 +10,15 @@ fn main() {
     let n = 1024usize;
     println!("# T2: (deg+1)-list-coloring (n = {n})");
     let mut table = Table::new(&[
-        "∆", "universe |C|", "valid?", "respects lists?", "passes", "epochs", "space",
-        "hknt22 valid?", "hknt22 space",
+        "∆",
+        "universe |C|",
+        "valid?",
+        "respects lists?",
+        "passes",
+        "epochs",
+        "space",
+        "hknt22 valid?",
+        "hknt22 space",
     ]);
 
     for delta in [8usize, 16, 32] {

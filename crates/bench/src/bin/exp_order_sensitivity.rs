@@ -3,7 +3,9 @@
 //! Every theorem promises correctness for edges "arriving in an adversarial
 //! order". This experiment fixes one graph and replays it under six
 //! arrival orders (natural, shuffled, hubs-first, hubs-last,
-//! vertex-contiguous, interleaved), checking that:
+//! vertex-contiguous, interleaved) as one declarative scenario grid — all
+//! 18 runs execute in parallel through `sc-engine`'s [`Runner`] — checking
+//! that:
 //!
 //! * Theorem 1's colors stay at `∆+1` and its passes stay within the bound
 //!   for **every** order (determinism means order affects nothing but the
@@ -13,48 +15,53 @@
 //!   correctness).
 
 use sc_bench::Table;
+use sc_engine::{ColorerSpec, Runner, Scenario, SourceSpec};
 use sc_graph::generators;
-use sc_stream::{run_oblivious, StoredStream, StreamOrder};
-use streamcolor::{deterministic_coloring, DetConfig, RandEfficientColorer, RobustColorer};
+use sc_stream::StreamOrder;
+use streamcolor::DetConfig;
 
 fn main() {
     let (n, delta) = (1024usize, 32usize);
     let g = generators::random_with_exact_max_degree(n, delta, 5);
     println!("# F10: arrival-order sensitivity (n = {n}, ∆ = {}, m = {})", g.max_degree(), g.m());
+    let source = SourceSpec::stored(g);
 
-    let mut table = Table::new(&[
-        "order", "thm1 colors", "thm1 passes", "alg2 colors", "alg3 colors",
-    ]);
+    let orders = StreamOrder::sweep(23);
+    let grid: Vec<Scenario> = orders
+        .iter()
+        .flat_map(|&order| {
+            let source = source.clone();
+            [
+                (ColorerSpec::Det(DetConfig::default()), 0u64),
+                (ColorerSpec::Robust { beta: None }, 7),
+                (ColorerSpec::RandEfficient, 8),
+            ]
+            .into_iter()
+            .map(move |(spec, seed)| {
+                Scenario::new(source.clone(), spec).with_order(order).with_seed(seed)
+            })
+        })
+        .collect();
+    let outcomes = Runner::default().run_all(&grid);
+
+    let mut table =
+        Table::new(&["order", "thm1 colors", "thm1 passes", "alg2 colors", "alg3 colors"]);
     let mut det_pass_counts = Vec::new();
 
-    for order in StreamOrder::sweep(23) {
-        let edges = order.arrange(&g);
-        let stream = StoredStream::from_edges(edges.iter().copied());
-
-        let det = deterministic_coloring(&stream, n, delta, &DetConfig::default());
-        assert!(det.coloring.is_proper_total(&g), "{}: thm1 improper", order.label());
+    for (i, order) in orders.iter().enumerate() {
+        let (det, a2, a3) = (&outcomes[3 * i], &outcomes[3 * i + 1], &outcomes[3 * i + 2]);
+        assert!(det.proper, "{}: thm1 improper", order.label());
         assert!(
             det.coloring.palette_span() <= delta as u64 + 1,
             "{}: thm1 palette exceeded ∆+1",
             order.label()
         );
-        det_pass_counts.push(det.passes);
+        assert!(a2.proper, "{}: alg2 improper", order.label());
+        assert!(a3.proper, "{}: alg3 improper", order.label());
+        let det_passes = det.passes.expect("multi-pass run reports passes");
+        det_pass_counts.push(det_passes);
 
-        let mut a2 = RobustColorer::new(n, delta, 7);
-        let c2 = run_oblivious(&mut a2, edges.iter().copied());
-        assert!(c2.is_proper_total(&g), "{}: alg2 improper", order.label());
-
-        let mut a3 = RandEfficientColorer::new(n, delta, 8);
-        let c3 = run_oblivious(&mut a3, edges.iter().copied());
-        assert!(c3.is_proper_total(&g), "{}: alg3 improper", order.label());
-
-        table.row(&[
-            &order.label(),
-            &det.colors_used,
-            &det.passes,
-            &c2.num_distinct_colors(),
-            &c3.num_distinct_colors(),
-        ]);
+        table.row(&[&order.label(), &det.colors, &det_passes, &a2.colors, &a3.colors]);
     }
     table.print("F10: six arrival orders, one graph");
 

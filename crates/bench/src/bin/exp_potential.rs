@@ -16,9 +16,8 @@ use streamcolor::{deterministic_coloring, DetConfig};
 fn main() {
     println!("# F7: potential traces and |F| bounds (Lemmas 3.5/3.7)");
     let n = 1024usize;
-    let mut table = Table::new(&[
-        "∆", "epoch", "|U|", "stages", "Φ_final", "2|U| bound", "|F|", "|F| ≤ |U|?",
-    ]);
+    let mut table =
+        Table::new(&["∆", "epoch", "|U|", "stages", "Φ_final", "2|U| bound", "|F|", "|F| ≤ |U|?"]);
     let mut violations = 0usize;
 
     for delta in [16usize, 64] {

@@ -12,52 +12,91 @@
 //! ∆^{5/2}-vs-∆³ separation is a worst-case guarantee, not a random-case
 //! one. The attack column reports the larger palettes an adaptive
 //! adversary forces.
+//!
+//! The oblivious sweeps and the adaptive games are all declarative
+//! scenarios executed by `sc-engine`'s [`Runner`] — the per-∆ grid runs
+//! in parallel across workers.
 
-use sc_adversary::{run_game, MonochromaticAttacker};
 use sc_bench::{loglog_slope, Table};
+use sc_engine::{AdversarySpec, AttackScenario, ColorerSpec, Runner, Scenario, SourceSpec};
 use sc_graph::generators;
-use sc_stream::run_oblivious;
-use streamcolor::{Cgs22Colorer, RandEfficientColorer, RobustColorer};
+use sc_stream::StreamOrder;
 
 fn main() {
     let n = 3000usize;
     println!("# F3: robust colors vs ∆ (n = {n})");
+    let runner = Runner::default();
     let mut table = Table::new(&[
-        "∆", "alg2 colors", "alg3 colors", "cgs22 colors", "∆^2.5", "∆^3",
-        "attacked colors (n=400)", "attack ok?",
+        "∆",
+        "alg2 colors",
+        "alg3 colors",
+        "cgs22 colors",
+        "∆^2.5",
+        "∆^3",
+        "attacked colors (n=400)",
+        "attack ok?",
     ]);
     let mut pts2 = Vec::new();
     let mut pts3 = Vec::new();
     let mut ptsc = Vec::new();
 
-    for delta in sc_bench::delta_sweep(8, 64) {
-        let g = generators::random_with_exact_max_degree(n, delta, 9 + delta as u64);
-        let edges = generators::shuffled_edges(&g, 4);
+    let deltas = sc_bench::delta_sweep(8, 64);
 
-        let mut alg2 = RobustColorer::new(n, delta, 21);
-        let c2 = run_oblivious(&mut alg2, edges.iter().copied());
-        assert!(c2.is_proper_total(&g));
-        let k2 = c2.num_distinct_colors();
+    // Oblivious sweeps: one scenario per (∆, algorithm), run in parallel.
+    let grid: Vec<Scenario> = deltas
+        .iter()
+        .flat_map(|&delta| {
+            // Materialize once per ∆; the three scenarios share the Arc.
+            let source = SourceSpec::stored(generators::random_with_exact_max_degree(
+                n,
+                delta,
+                9 + delta as u64,
+            ));
+            [
+                (ColorerSpec::Robust { beta: None }, 21u64),
+                (ColorerSpec::RandEfficient, 22),
+                (ColorerSpec::Cgs22, 23),
+            ]
+            .into_iter()
+            .map(move |(spec, seed)| {
+                Scenario::new(source.clone(), spec)
+                    .with_order(StreamOrder::Shuffled(4))
+                    .with_seed(seed)
+            })
+        })
+        .collect();
+    let outcomes = runner.run_all(&grid);
 
-        let mut alg3 = RandEfficientColorer::new(n, delta, 22);
-        let c3 = run_oblivious(&mut alg3, edges.iter().copied());
-        assert!(c3.is_proper_total(&g));
-        let k3 = c3.num_distinct_colors();
-
-        let mut cgs = Cgs22Colorer::new(n, delta, 23);
-        let cc = run_oblivious(&mut cgs, edges.iter().copied());
-        assert!(cc.is_proper_total(&g));
-        let kc = cc.num_distinct_colors();
+    for (i, &delta) in deltas.iter().enumerate() {
+        let (o2, o3, oc) = (&outcomes[3 * i], &outcomes[3 * i + 1], &outcomes[3 * i + 2]);
+        for o in [o2, o3, oc] {
+            assert!(o.proper, "{} improper at ∆ = {delta}", o.algo);
+        }
+        let (k2, k3, kc) = (o2.colors, o3.colors, oc.colors);
 
         // Adaptive games on a smaller instance (games query per edge):
         // robustness check + the palette an adaptive adversary forces.
         let an = 400.min(n);
-        let mut adv2 = MonochromaticAttacker::new(an, delta, 31);
-        let mut g2 = RobustColorer::new(an, delta, 32);
-        let r2 = run_game(&mut g2, &mut adv2, an, 4 * an);
-        let mut adv3 = MonochromaticAttacker::new(an, delta, 33);
-        let mut g3 = RandEfficientColorer::new(an, delta, 34);
-        let r3 = run_game(&mut g3, &mut adv3, an, 4 * an);
+        let r2 = runner.run_attack(
+            &AttackScenario::new(
+                ColorerSpec::Robust { beta: None },
+                AdversarySpec::Monochromatic,
+                an,
+                delta,
+            )
+            .with_rounds(4 * an)
+            .with_seed(31),
+        );
+        let r3 = runner.run_attack(
+            &AttackScenario::new(
+                ColorerSpec::RandEfficient,
+                AdversarySpec::Monochromatic,
+                an,
+                delta,
+            )
+            .with_rounds(4 * an)
+            .with_seed(33),
+        );
         let attack_ok = r2.survived() && r3.survived();
         let attacked_colors = r2.max_colors.max(r3.max_colors);
 
@@ -66,7 +105,7 @@ fn main() {
         ptsc.push((delta as f64, kc as f64));
         // The theorem envelopes must dominate the measurements.
         assert!((k2 as f64) <= 4.0 * (delta as f64).powf(2.5), "alg2 exceeded its envelope");
-        assert!(c3.palette_span() <= (delta as u64 + 1) * (delta as u64).pow(2).max(1));
+        assert!(o3.coloring.palette_span() <= (delta as u64 + 1) * (delta as u64).pow(2).max(1));
         table.row(&[
             &delta,
             &k2,

@@ -1,121 +1,155 @@
 //! Experiment T1 — the summary table: every algorithm and baseline on the
 //! same streams, reporting colors, passes, space, and theory bounds.
 //!
-//! Regenerates the paper's "contributions" table (§1.1) empirically.
+//! Regenerates the paper's "contributions" table (§1.1) empirically. All
+//! edge-stream algorithms run as a declarative scenario grid through
+//! `sc-engine`'s [`Runner`] (in parallel across workers); Theorem 2 runs
+//! separately because its input is an interleaved edge/color-list stream,
+//! not a pure edge stream.
+//!
+//! Also emits `BENCH_engine.json`: a machine-readable batched-vs-per-edge
+//! ingestion comparison, so successive PRs accumulate a perf trajectory.
 
 use sc_bench::{fmt_bits, Table};
+use sc_engine::{ColorerSpec, RunOutcome, Runner, Scenario, SourceSpec};
 use sc_graph::generators;
-use sc_stream::{run_oblivious, StoredStream, StreamingColorer};
-use streamcolor::{
-    batch_greedy_coloring, deterministic_coloring, list_coloring, Bcg20Colorer, Bg18Colorer,
-    Cgs22Colorer, DetConfig, ListConfig, PaletteSparsification, RandEfficientColorer,
-    RobustColorer, TrivialColorer,
-};
+use sc_stream::{EngineConfig, StreamOrder};
+use std::io::Write as _;
+use streamcolor::{list_coloring, DetConfig, ListConfig};
+
+fn scenario_grid(source: &SourceSpec) -> Vec<Scenario> {
+    let specs: Vec<(&str, ColorerSpec)> = vec![
+        ("det (∆+1) [Thm 1]", ColorerSpec::Det(DetConfig::default())),
+        ("robust ∆^2.5 [Thm 3]", ColorerSpec::Robust { beta: None }),
+        ("robust ∆^3 [Thm 4]", ColorerSpec::RandEfficient),
+        ("robust ∆^3 [CGS22]", ColorerSpec::Cgs22),
+        ("palette-spars [ACK19]", ColorerSpec::PaletteSparsification { lists: None }),
+        ("bucket Õ(∆) [BG18]", ColorerSpec::Bg18 { buckets: None }),
+        ("degeneracy κ(1+ε) [BCG20]", ColorerSpec::Bcg20 { epsilon: 0.5 }),
+        ("batch-greedy", ColorerSpec::BatchGreedy),
+        ("trivial n-coloring", ColorerSpec::Trivial),
+    ];
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, spec))| {
+            Scenario::new(source.clone(), spec)
+                .labeled(label)
+                .with_order(StreamOrder::Shuffled(1))
+                .with_seed(11 + i as u64)
+        })
+        .collect()
+}
 
 fn main() {
     let n = 2000usize;
     println!("# T1: algorithm summary (n = {n}, random ∆-bounded graphs)");
-    let mut table = Table::new(&[
-        "algorithm", "∆", "colors", "∆+1", "∆^2.5", "∆^3", "passes", "space",
-    ]);
+    let runner = Runner::default();
+    let mut table =
+        Table::new(&["algorithm", "∆", "colors", "∆+1", "∆^2.5", "∆^3", "passes", "space"]);
 
     for delta in [16usize, 64] {
-        let g = generators::random_with_exact_max_degree(n, delta, 7);
-        let edges = generators::shuffled_edges(&g, 1);
-        let stream = StoredStream::from_edges(edges.clone());
         let d1 = delta as u64 + 1;
         let d25 = (delta as f64).powf(2.5).round() as u64;
         let d3 = (delta as f64).powi(3) as u64;
 
-        // Theorem 1 (deterministic multi-pass).
-        let det = deterministic_coloring(&stream, n, delta, &DetConfig::default());
-        assert!(det.coloring.is_proper_total(&g));
-        table.row(&[
-            &"det (∆+1) [Thm 1]", &delta, &det.colors_used, &d1, &d25, &d3, &det.passes,
-            &fmt_bits(det.peak_space_bits),
-        ]);
+        // One materialized graph shared (via Arc) by the whole grid of
+        // edge-stream algorithms, which then runs in parallel.
+        let g = generators::random_with_exact_max_degree(n, delta, 7);
+        let source = SourceSpec::stored(g.clone());
+        let outcomes: Vec<RunOutcome> = runner.run_all(&scenario_grid(&source));
+        for o in &outcomes {
+            assert!(o.proper, "{} produced an improper coloring", o.label);
+            table.row(&[
+                &o.label,
+                &delta,
+                &o.colors,
+                &d1,
+                &d25,
+                &d3,
+                &o.passes.map_or("—".to_string(), |p| p.to_string()),
+                &o.space_bits.map_or("—".to_string(), fmt_bits),
+            ]);
+        }
 
-        // Theorem 2 (list coloring with L_x = [deg+1] random lists).
+        // Theorem 2 (list coloring): interleaved edge/list stream — the
+        // one input shape the edge-scenario grid cannot express.
         let lists = generators::random_deg_plus_one_lists(&g, 2 * delta as u64, 3);
-        let lstream = StoredStream::from_graph_with_lists(&g, &lists);
+        let lstream = sc_stream::StoredStream::from_graph_with_lists(&g, &lists);
         let lr = list_coloring(&lstream, n, delta, 2 * delta as u64, &ListConfig::default());
         assert!(lr.coloring.is_proper_total(&g) && lr.coloring.respects_lists(&lists));
         table.row(&[
-            &"list (deg+1) [Thm 2]", &delta, &lr.coloring.num_distinct_colors(), &d1, &d25,
-            &d3, &lr.passes, &fmt_bits(lr.peak_space_bits),
-        ]);
-
-        // Theorem 3 (robust ∆^{5/2}).
-        let mut alg2 = RobustColorer::new(n, delta, 11);
-        let c2 = run_oblivious(&mut alg2, edges.iter().copied());
-        assert!(c2.is_proper_total(&g));
-        table.row(&[
-            &"robust ∆^2.5 [Thm 3]", &delta, &c2.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(alg2.peak_space_bits()),
-        ]);
-
-        // Theorem 4 (randomness-efficient ∆³).
-        let mut alg3 = RandEfficientColorer::new(n, delta, 12);
-        let c3 = run_oblivious(&mut alg3, edges.iter().copied());
-        assert!(c3.is_proper_total(&g));
-        table.row(&[
-            &"robust ∆^3 [Thm 4]", &delta, &c3.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(alg3.peak_space_bits()),
-        ]);
-
-        // CGS22 baseline.
-        let mut cgs = Cgs22Colorer::new(n, delta, 13);
-        let cc = run_oblivious(&mut cgs, edges.iter().copied());
-        assert!(cc.is_proper_total(&g));
-        table.row(&[
-            &"robust ∆^3 [CGS22]", &delta, &cc.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(cgs.peak_space_bits()),
-        ]);
-
-        // Palette sparsification (non-robust randomized).
-        let mut ps = PaletteSparsification::with_theory_lists(n, delta, 14);
-        let cp = run_oblivious(&mut ps, edges.iter().copied());
-        assert!(cp.is_proper_total(&g));
-        table.row(&[
-            &"palette-spars [ACK19]", &delta, &cp.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(ps.peak_space_bits()),
-        ]);
-
-        // BG18-style Õ(∆) bucket coloring (non-robust randomized).
-        let mut bg18 = Bg18Colorer::new(n, delta as u64, 15);
-        let cb = run_oblivious(&mut bg18, edges.iter().copied());
-        assert!(cb.is_proper_total(&g));
-        table.row(&[
-            &"bucket Õ(∆) [BG18]", &delta, &cb.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(bg18.peak_space_bits()),
-        ]);
-
-        // BCG20-style κ(1+ε) degeneracy coloring (non-robust randomized).
-        let mut bcg = Bcg20Colorer::for_graph(&g, 0.5, 16);
-        let ck = run_oblivious(&mut bcg, edges.iter().copied());
-        assert!(ck.is_proper_total(&g));
-        table.row(&[
-            &"degeneracy κ(1+ε) [BCG20]", &delta, &ck.num_distinct_colors(), &d1, &d25, &d3,
-            &1, &fmt_bits(bcg.peak_space_bits()),
-        ]);
-
-        // Batch greedy (O(∆) passes).
-        let bg = batch_greedy_coloring(&stream, n, delta);
-        assert!(bg.coloring.is_proper_total(&g));
-        table.row(&[
-            &"batch-greedy", &delta, &bg.coloring.num_distinct_colors(), &d1, &d25, &d3,
-            &bg.passes, &fmt_bits(bg.peak_space_bits),
-        ]);
-
-        // Trivial n-coloring.
-        let mut tr = TrivialColorer::new(n);
-        let ct = run_oblivious(&mut tr, edges.iter().copied());
-        table.row(&[
-            &"trivial n-coloring", &delta, &ct.num_distinct_colors(), &d1, &d25, &d3, &1,
-            &fmt_bits(0),
+            &"list (deg+1) [Thm 2]",
+            &delta,
+            &lr.coloring.num_distinct_colors(),
+            &d1,
+            &d25,
+            &d3,
+            &lr.passes,
+            &fmt_bits(lr.peak_space_bits),
         ]);
     }
 
     table.print("T1: colors / passes / space across all algorithms");
     println!("\nAll outputs validated as proper colorings of their input graphs.");
+
+    emit_engine_bench();
+}
+
+/// Times batched vs per-edge ingestion on one `gnp_with_max_degree`
+/// stream per algorithm and writes `BENCH_engine.json`.
+///
+/// Ingest-only: the graph is materialized and arranged once, the
+/// colorer is rebuilt per repetition, and only the `StreamEngine::run`
+/// call is inside the clock (no generation, no arranging). The median
+/// of several repetitions goes into the file so the cross-PR perf
+/// trajectory is stable.
+fn emit_engine_bench() {
+    use sc_stream::StreamEngine;
+
+    let (n, delta, reps) = (3000usize, 32usize, 5);
+    let g = generators::gnp_with_max_degree(n, delta, 0.4, 19);
+    let edges = StreamOrder::AsGenerated.arrange(&g);
+    let algos: Vec<(&str, ColorerSpec)> = vec![
+        ("alg2", ColorerSpec::Robust { beta: None }),
+        ("alg3", ColorerSpec::RandEfficient),
+        ("bg18", ColorerSpec::Bg18 { buckets: None }),
+        ("store_all", ColorerSpec::StoreAll),
+    ];
+    let median_ms = |config: &EngineConfig, spec: &ColorerSpec| -> (f64, sc_graph::Coloring) {
+        let engine = StreamEngine::new(config.clone());
+        let mut times: Vec<f64> = Vec::with_capacity(reps);
+        let mut coloring = None;
+        for _ in 0..reps {
+            let mut colorer = spec.build_streaming(n, delta, 5, Some(&g)).expect("streaming spec");
+            let report = engine.run(colorer.as_mut(), &edges);
+            times.push(report.elapsed.as_secs_f64() * 1e3);
+            coloring = Some(report.final_coloring);
+        }
+        times.sort_by(f64::total_cmp);
+        (times[times.len() / 2], coloring.expect("reps >= 1"))
+    };
+    let mut entries = Vec::new();
+    for (name, spec) in &algos {
+        let (per_edge_ms, c1) = median_ms(&EngineConfig::per_edge(), spec);
+        let (batched_ms, c2) = median_ms(&EngineConfig::batched(256), spec);
+        assert_eq!(c1, c2, "{name}: batching changed the coloring");
+        entries.push(format!(
+            "  {{\"algo\":\"{}\",\"n\":{},\"delta\":{},\"m\":{},\"per_edge_ms\":{:.3},\"batched_ms\":{:.3},\"chunk\":256,\"speedup\":{:.3}}}",
+            name,
+            n,
+            delta,
+            g.m(),
+            per_edge_ms,
+            batched_ms,
+            per_edge_ms / batched_ms.max(1e-9),
+        ));
+    }
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    let path = "BENCH_engine.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {path} (batched vs per-edge ingestion timings)"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    print!("{json}");
 }

@@ -1,41 +1,56 @@
 //! Experiment F4 — the colors/space tradeoff of Corollary 4.7.
 //!
-//! Sweeps `β ∈ {0, ¼, ⅓, ½}` and reports measured colors and measured
-//! space against the predicted `O(∆^{(5−3β)/2})` colors in `O(n∆^β)`
-//! space, including the two headline points:
+//! Sweeps `β ∈ {0, ¼, ⅓, ½}` as a declarative scenario grid (executed in
+//! parallel by `sc-engine`'s [`Runner`]) and reports measured colors and
+//! measured space against the predicted `O(∆^{(5−3β)/2})` colors in
+//! `O(n∆^β)` space, including the two headline points:
 //! * `β = ⅓`: `O(∆²)` colors in `O(n∆^{1/3})` space (improves CGS22's
 //!   `O(∆²)` @ `O(n√∆)`),
 //! * `β = ½`: `O(∆^{7/4})` colors in `O(n√∆)` space.
 
 use sc_bench::{fmt_bits, Table};
+use sc_engine::{ColorerSpec, Runner, Scenario, SourceSpec};
 use sc_graph::generators;
-use sc_stream::{run_oblivious, StreamingColorer};
-use streamcolor::{RobustColorer, RobustParams};
+use sc_stream::StreamOrder;
+use streamcolor::RobustParams;
 
 fn main() {
     let n = 2000usize;
     println!("# F4: Corollary 4.7 tradeoff (n = {n})");
+    let runner = Runner::default();
+    let betas = [0.0, 0.25, 1.0 / 3.0, 0.5];
     for delta in [64usize, 256] {
-        let g = generators::random_with_exact_max_degree(n, delta, 5);
-        let edges = generators::shuffled_edges(&g, 8);
+        // Materialize once per ∆; the β sweep shares the Arc.
+        let source = SourceSpec::stored(generators::random_with_exact_max_degree(n, delta, 5));
+        let grid: Vec<_> = betas
+            .iter()
+            .map(|&beta| {
+                Scenario::new(source.clone(), ColorerSpec::Robust { beta: Some(beta) })
+                    .with_order(StreamOrder::Shuffled(8))
+                    .with_seed(77)
+            })
+            .collect();
+        let outcomes = runner.run_all(&grid);
+
         let mut table = Table::new(&[
-            "β", "colors", "bound ∆^((5-3β)/2)", "stored edges", "buffer cap", "space",
+            "β",
+            "colors",
+            "bound ∆^((5-3β)/2)",
+            "buffer cap",
+            "space",
             "space bound n·∆^β",
         ]);
         let mut prev_colors = usize::MAX;
-        for &beta in &[0.0, 0.25, 1.0 / 3.0, 0.5] {
+        for (&beta, o) in betas.iter().zip(&outcomes) {
+            assert!(o.proper, "β = {beta}");
             let params = RobustParams::with_beta(n, delta, beta);
-            let mut colorer = RobustColorer::with_params(params, 77);
-            let c = run_oblivious(&mut colorer, edges.iter().copied());
-            assert!(c.is_proper_total(&g), "β = {beta}");
-            let colors = c.num_distinct_colors();
+            let colors = o.colors;
             table.row(&[
                 &format!("{beta:.3}"),
                 &colors,
                 &(params.color_bound(beta).round() as u64),
-                &colorer.stored_edges(),
                 &params.buffer_capacity,
-                &fmt_bits(colorer.peak_space_bits()),
+                &fmt_bits(o.space_bits.expect("streaming runs report space")),
                 &((n as f64 * (delta as f64).powf(beta)).round() as u64 * 32),
             ]);
             // The tradeoff shape: more space (larger β) ⇒ fewer colors.

@@ -137,10 +137,8 @@ mod tests {
 
     #[test]
     fn slope_of_exact_power_law() {
-        let pts: Vec<(f64, f64)> = [2.0f64, 4.0, 8.0, 16.0]
-            .iter()
-            .map(|&x| (x, x.powf(2.5)))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            [2.0f64, 4.0, 8.0, 16.0].iter().map(|&x| (x, x.powf(2.5))).collect();
         assert!((loglog_slope(&pts) - 2.5).abs() < 1e-9);
     }
 

@@ -41,14 +41,10 @@ impl Args {
     /// `switches` lists boolean flags that take no value.
     pub fn parse(tokens: &[String], switches: &[&str]) -> Result<Self, CliError> {
         let mut it = tokens.iter().peekable();
-        let command = it
-            .next()
-            .ok_or_else(|| err("missing subcommand; try `streamcolor help`"))?
-            .clone();
+        let command =
+            it.next().ok_or_else(|| err("missing subcommand; try `streamcolor help`"))?.clone();
         if command.starts_with("--") {
-            return Err(err(format!(
-                "expected a subcommand before flags, got {command:?}"
-            )));
+            return Err(err(format!("expected a subcommand before flags, got {command:?}")));
         }
         let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
@@ -94,17 +90,16 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.optional(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}")))
+            }
         }
     }
 
     /// A required parsed flag.
     pub fn parse_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
         let raw = self.required(name)?;
-        raw.parse()
-            .map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}")))
+        raw.parse().map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}")))
     }
 
     /// A boolean switch (declared in `Args::parse`).
@@ -117,10 +112,7 @@ impl Args {
         let consumed = self.consumed.borrow();
         for name in self.flags.keys() {
             if !consumed.contains(name) {
-                return Err(err(format!(
-                    "unknown flag --{name} for `{}`",
-                    self.command
-                )));
+                return Err(err(format!("unknown flag --{name} for `{}`", self.command)));
             }
         }
         Ok(())

@@ -1,15 +1,13 @@
 //! `streamcolor attack` — run the adaptive-adversary game against a
 //! chosen victim and report survival.
+//!
+//! The flags parse into a declarative [`AttackScenario`] refereed by
+//! `sc-engine`'s [`Runner`] (which routes the per-round prefix queries
+//! through the stream engine's checkpoint API). `--trials N` repeats the
+//! game across independently seeded parties in parallel.
 
 use crate::args::{err, Args, CliError};
-use sc_adversary::{
-    run_game, Adversary, BufferBoundaryAttacker, CliqueBuilder, GameReport,
-    LevelBoundaryAttacker, MonochromaticAttacker, RandomAdversary,
-};
-use sc_stream::StreamingColorer;
-use streamcolor::{
-    Bg18Colorer, Cgs22Colorer, PaletteSparsification, RandEfficientColorer, RobustColorer,
-};
+use sc_engine::{AdversarySpec, AttackScenario, ColorerSpec, Runner};
 use std::io::Write;
 
 /// Victims selectable via `--victim`.
@@ -23,87 +21,79 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let delta: usize = args.parse_or("delta", 10)?;
     let rounds: usize = args.parse_or("rounds", n * delta / 2)?;
     let seed: u64 = args.parse_or("seed", 1)?;
+    let trials: usize = args.parse_or("trials", 1)?;
     let victim = args.optional("victim").unwrap_or("robust").to_string();
     let adversary = args.optional("adversary").unwrap_or("mono").to_string();
     let lists: Option<usize> = match args.optional("lists") {
         None => None,
-        Some(raw) => Some(
-            raw.parse()
-                .map_err(|_| err(format!("flag --lists: cannot parse {raw:?}")))?,
-        ),
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| err(format!("flag --lists: cannot parse {raw:?}")))?)
+        }
     };
     args.reject_unknown()?;
 
-    let mut colorer = make_victim(&victim, n, delta, seed, lists)?;
-    let mut attacker = make_adversary(&adversary, n, delta, seed ^ 0xA77AC)?;
-    let report = run_game(colorer.as_mut(), attacker.as_mut(), n, rounds);
-    print_report(out, &victim, &adversary, &report)?;
+    let scenario =
+        AttackScenario::new(parse_victim(&victim, lists)?, parse_adversary(&adversary)?, n, delta)
+            .with_rounds(rounds)
+            .with_seed(seed);
+
+    let runner = Runner::default();
+    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
+        writeln!(o, "{k:<18} {v}").map_err(|e| err(e.to_string()))
+    };
+    if trials <= 1 {
+        let r = runner.run_attack(&scenario);
+        w(out, "victim", &victim)?;
+        w(out, "adversary", &adversary)?;
+        w(out, "rounds played", &r.rounds)?;
+        w(out, "final edges", &r.final_graph.m())?;
+        w(out, "final max degree", &r.final_graph.max_degree())?;
+        w(out, "max colors seen", &r.max_colors)?;
+        w(out, "improper outputs", &r.improper_outputs)?;
+        match r.first_failure_round {
+            Some(round) => w(out, "verdict", &format!("BROKEN at round {round}"))?,
+            None => w(out, "verdict", &"survived")?,
+        }
+    } else {
+        let s = runner.run_attack_trials(&scenario, trials);
+        w(out, "victim", &victim)?;
+        w(out, "adversary", &adversary)?;
+        w(out, "trials", &s.trials)?;
+        w(out, "broken trials", &s.broken)?;
+        w(out, "break rate", &format!("{:.2}", s.break_rate()))?;
+        match s.median_failure_round() {
+            Some(round) => w(out, "median failure", &round)?,
+            None => w(out, "median failure", &"—")?,
+        }
+        w(out, "max colors seen", &s.max_colors)?;
+        let verdict = if s.broken == 0 { "survived all trials" } else { "BROKEN" };
+        w(out, "verdict", &verdict)?;
+    }
     Ok(())
 }
 
-fn make_victim(
-    name: &str,
-    n: usize,
-    delta: usize,
-    seed: u64,
-    lists: Option<usize>,
-) -> Result<Box<dyn StreamingColorer>, CliError> {
+fn parse_victim(name: &str, lists: Option<usize>) -> Result<ColorerSpec, CliError> {
     Ok(match name {
-        "robust" => Box::new(RobustColorer::new(n, delta, seed)),
-        "rand-efficient" => Box::new(RandEfficientColorer::new(n, delta, seed)),
-        "cgs22" => Box::new(Cgs22Colorer::new(n, delta, seed)),
+        "robust" => ColorerSpec::Robust { beta: None },
+        "rand-efficient" => ColorerSpec::RandEfficient,
+        "cgs22" => ColorerSpec::Cgs22,
         // `--lists` overrides the Θ(log n) theory sizing — handy for
         // demonstrating the break threshold.
-        "ps" => match lists {
-            Some(k) => Box::new(PaletteSparsification::new(n, delta, k, seed)),
-            None => Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
-        },
-        "bg18" => Box::new(Bg18Colorer::new(n, delta as u64, seed)),
+        "ps" => ColorerSpec::PaletteSparsification { lists },
+        "bg18" => ColorerSpec::Bg18 { buckets: None },
         other => return Err(err(format!("unknown --victim {other:?}; one of: {VICTIMS}"))),
     })
 }
 
-fn make_adversary(
-    name: &str,
-    n: usize,
-    delta: usize,
-    seed: u64,
-) -> Result<Box<dyn Adversary>, CliError> {
+fn parse_adversary(name: &str) -> Result<AdversarySpec, CliError> {
     Ok(match name {
-        "mono" => Box::new(MonochromaticAttacker::new(n, delta, seed)),
-        "random" => Box::new(RandomAdversary::new(n, delta, seed)),
-        "clique" => Box::new(CliqueBuilder::new(n, delta)),
-        "buffer" => Box::new(BufferBoundaryAttacker::new(n, delta, n, seed)),
-        "level" => Box::new(LevelBoundaryAttacker::new(n, delta, seed)),
-        other => {
-            return Err(err(format!(
-                "unknown --adversary {other:?}; one of: {ADVERSARIES}"
-            )))
-        }
+        "mono" => AdversarySpec::Monochromatic,
+        "random" => AdversarySpec::Random,
+        "clique" => AdversarySpec::CliqueBuilder,
+        "buffer" => AdversarySpec::BufferBoundary { buffer: None },
+        "level" => AdversarySpec::LevelBoundary,
+        other => return Err(err(format!("unknown --adversary {other:?}; one of: {ADVERSARIES}"))),
     })
-}
-
-fn print_report(
-    out: &mut dyn Write,
-    victim: &str,
-    adversary: &str,
-    r: &GameReport,
-) -> Result<(), CliError> {
-    let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
-        writeln!(o, "{k:<18} {v}").map_err(|e| err(e.to_string()))
-    };
-    w(out, "victim", &victim)?;
-    w(out, "adversary", &adversary)?;
-    w(out, "rounds played", &r.rounds)?;
-    w(out, "final edges", &r.final_graph.m())?;
-    w(out, "final max degree", &r.final_graph.max_degree())?;
-    w(out, "max colors seen", &r.max_colors)?;
-    w(out, "improper outputs", &r.improper_outputs)?;
-    match r.first_failure_round {
-        Some(round) => w(out, "verdict", &format!("BROKEN at round {round}"))?,
-        None => w(out, "verdict", &"survived")?,
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -157,6 +147,17 @@ mod tests {
             }
         }
         assert!(broke, "palette sparsification should break under the feedback attack");
+    }
+
+    #[test]
+    fn multi_trial_sweeps_aggregate() {
+        let text = run_str(
+            "attack --victim ps --lists 3 --adversary mono --n 50 --delta 12 \
+             --rounds 400 --trials 4 --seed 70",
+        )
+        .unwrap();
+        assert!(text.contains("trials             4"), "{text}");
+        assert!(text.contains("break rate"), "{text}");
     }
 
     #[test]

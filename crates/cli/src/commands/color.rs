@@ -1,69 +1,63 @@
 //! `streamcolor color` — run one of the paper's algorithms (or a
 //! baseline) on a workload and report palette / pass / space numbers.
+//!
+//! The flags parse into a declarative [`Scenario`] executed by
+//! `sc-engine`'s [`Runner`] — the same path every experiment binary uses,
+//! so there is no CLI-private harness loop to drift out of sync.
 
 use crate::args::{err, Args, CliError};
 use crate::workload;
-use sc_graph::{Coloring, Graph};
-use sc_stream::{run_oblivious, StoredStream, StreamOrder, StreamingColorer};
-use streamcolor::{
-    batch_greedy_coloring, deterministic_coloring, offline_greedy, Bcg20Colorer, Bg18Colorer,
-    Cgs22Colorer, DetConfig, PaletteSparsification, RandEfficientColorer, RobustColorer,
-    RobustParams,
-};
+use sc_engine::{ColorerSpec, Runner, Scenario};
+use sc_stream::{EngineConfig, StreamOrder};
 use std::io::Write;
+use streamcolor::DetConfig;
 
 /// Algorithms selectable via `--algo`.
 pub const ALGOS: &str =
     "det | batch | robust | auto | rand-efficient | cgs22 | bg18 | bcg20 | ps | greedy | brooks";
 
-/// One run's result, printed as an aligned report.
-struct RunResult {
-    algo: &'static str,
-    coloring: Coloring,
-    passes: Option<u64>,
-    space_bits: Option<u64>,
-}
-
 /// Runs the subcommand.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let g = workload::acquire(args)?;
+    let source = workload::acquire_spec(args)?;
     workload::mark_flags_consumed(args);
     let algo = args.optional("algo").unwrap_or("det").to_string();
     let seed: u64 = args.parse_or("alg-seed", 7)?;
     let beta: f64 = args.parse_or("beta", 0.0)?;
+    let chunk: usize = args.parse_or("chunk", 256)?;
     let order = parse_order(args.optional("order"), seed)?;
     let out_coloring = args.optional("out-coloring").map(String::from);
     args.reject_unknown()?;
 
-    let delta = g.max_degree();
-    let edges = order.arrange(&g);
-    let result = run_algo(&algo, &g, delta, &edges, seed, beta)?;
+    let scenario = Scenario::new(source, parse_spec(&algo, beta)?)
+        .with_order(order)
+        .with_seed(seed)
+        .with_engine(EngineConfig::batched(chunk));
+    let outcome = Runner::default().run(&scenario);
 
     if let Some(path) = out_coloring {
         let mut buf = Vec::new();
-        sc_graph::io::write_coloring(&result.coloring, &mut buf)
+        sc_graph::io::write_coloring(&outcome.coloring, &mut buf)
             .map_err(|e| err(e.to_string()))?;
         std::fs::write(&path, &buf).map_err(|e| err(format!("cannot write {path}: {e}")))?;
     }
 
-    let proper = result.coloring.is_proper_total(&g);
     let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
         writeln!(o, "{k:<14} {v}").map_err(|e| err(e.to_string()))
     };
-    w(out, "algorithm", &result.algo)?;
+    w(out, "algorithm", &outcome.algo)?;
     w(out, "order", &order.label())?;
-    w(out, "n", &g.n())?;
-    w(out, "m", &g.m())?;
-    w(out, "max degree", &delta)?;
-    w(out, "colors", &result.coloring.num_distinct_colors())?;
-    w(out, "proper", &proper)?;
-    if let Some(p) = result.passes {
+    w(out, "n", &outcome.n)?;
+    w(out, "m", &outcome.m)?;
+    w(out, "max degree", &outcome.delta)?;
+    w(out, "colors", &outcome.colors)?;
+    w(out, "proper", &outcome.proper)?;
+    if let Some(p) = outcome.passes {
         w(out, "passes", &p)?;
     }
-    if let Some(s) = result.space_bits {
+    if let Some(s) = outcome.space_bits {
         w(out, "space (bits)", &s)?;
     }
-    if !proper {
+    if !outcome.proper {
         return Err(err("the produced coloring is IMPROPER (randomized failure?)"));
     }
     Ok(())
@@ -86,75 +80,21 @@ fn parse_order(raw: Option<&str>, seed: u64) -> Result<StreamOrder, CliError> {
     })
 }
 
-fn run_algo(
-    algo: &str,
-    g: &Graph,
-    delta: usize,
-    edges: &[sc_graph::Edge],
-    seed: u64,
-    beta: f64,
-) -> Result<RunResult, CliError> {
-    let stream = StoredStream::from_edges(edges.iter().copied());
-    let one_pass = |mut c: Box<dyn StreamingColorer>| {
-        let coloring = run_oblivious(c.as_mut(), edges.iter().copied());
-        RunResult {
-            algo: c.name(),
-            coloring,
-            passes: Some(1),
-            space_bits: Some(c.peak_space_bits()),
-        }
-    };
+fn parse_spec(algo: &str, beta: f64) -> Result<ColorerSpec, CliError> {
     Ok(match algo {
-        "det" => {
-            let r = deterministic_coloring(&stream, g.n(), delta, &DetConfig::default());
-            RunResult {
-                algo: "deterministic (Thm 1)",
-                coloring: r.coloring,
-                passes: Some(r.passes),
-                space_bits: Some(r.peak_space_bits),
-            }
-        }
-        "batch" => {
-            let r = batch_greedy_coloring(&stream, g.n(), delta.max(1));
-            RunResult {
-                algo: "batch-greedy (O(∆) passes)",
-                coloring: r.coloring,
-                passes: Some(r.passes),
-                space_bits: Some(r.peak_space_bits),
-            }
-        }
-        "robust" => {
-            let params = RobustParams::with_beta(g.n(), delta.max(1), beta);
-            one_pass(Box::new(RobustColorer::with_params(params, seed)))
-        }
+        "det" => ColorerSpec::Det(DetConfig::default()),
+        "batch" => ColorerSpec::BatchGreedy,
+        "robust" => ColorerSpec::Robust { beta: Some(beta) },
         // Auto dispatch: store-everything for small ∆ (the paper's
         // ∆ = O(polylog n) fallback), Algorithm 2 otherwise.
-        "auto" => one_pass(Box::new(streamcolor::robust::auto_robust_colorer(
-            g.n(),
-            delta.max(1),
-            seed,
-        ))),
-        "rand-efficient" => one_pass(Box::new(RandEfficientColorer::new(g.n(), delta.max(1), seed))),
-        "cgs22" => one_pass(Box::new(Cgs22Colorer::new(g.n(), delta.max(1), seed))),
-        "bg18" => one_pass(Box::new(Bg18Colorer::new(g.n(), delta.max(1) as u64, seed))),
-        "bcg20" => one_pass(Box::new(Bcg20Colorer::for_graph(g, 0.5, seed))),
-        "ps" => one_pass(Box::new(PaletteSparsification::with_theory_lists(
-            g.n(),
-            delta,
-            seed,
-        ))),
-        "greedy" => RunResult {
-            algo: "offline greedy",
-            coloring: offline_greedy(g),
-            passes: None,
-            space_bits: None,
-        },
-        "brooks" => RunResult {
-            algo: "offline Brooks (∆ colors)",
-            coloring: sc_graph::brooks_coloring(g),
-            passes: None,
-            space_bits: None,
-        },
+        "auto" => ColorerSpec::Auto,
+        "rand-efficient" => ColorerSpec::RandEfficient,
+        "cgs22" => ColorerSpec::Cgs22,
+        "bg18" => ColorerSpec::Bg18 { buckets: None },
+        "bcg20" => ColorerSpec::Bcg20 { epsilon: 0.5 },
+        "ps" => ColorerSpec::PaletteSparsification { lists: None },
+        "greedy" => ColorerSpec::OfflineGreedy,
+        "brooks" => ColorerSpec::Brooks,
         other => return Err(err(format!("unknown --algo {other:?}; one of: {ALGOS}"))),
     })
 }
@@ -186,10 +126,9 @@ mod tests {
             "greedy",
             "brooks",
         ] {
-            let text = run_str(&format!(
-                "color --algo {algo} --family exact --n 80 --delta 8 --seed 3"
-            ))
-            .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
+            let text =
+                run_str(&format!("color --algo {algo} --family exact --n 80 --delta 8 --seed 3"))
+                    .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
             assert!(text.contains("proper         true"), "algo {algo}: {text}");
             assert!(text.contains("colors"), "{text}");
         }
@@ -219,6 +158,15 @@ mod tests {
         let text =
             run_str("color --algo robust --family exact --n 100 --delta 9 --beta 0.5").unwrap();
         assert!(text.contains("proper         true"));
+    }
+
+    #[test]
+    fn chunk_flag_controls_batching_without_changing_results() {
+        let base = "color --algo robust --family exact --n 90 --delta 8 --seed 4";
+        let a = run_str(&format!("{base} --chunk 1")).unwrap();
+        let b = run_str(&format!("{base} --chunk 64")).unwrap();
+        // Batched and per-edge ingestion must report identical results.
+        assert_eq!(a, b);
     }
 
     #[test]

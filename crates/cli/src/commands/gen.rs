@@ -69,8 +69,7 @@ mod tests {
         let dir = std::env::temp_dir().join("streamcolor-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("gen-out.txt");
-        let msg =
-            run_str(&format!("gen --family star --n 6 --out {}", path.display())).unwrap();
+        let msg = run_str(&format!("gen --family star --n 6 --out {}", path.display())).unwrap();
         assert!(msg.contains("6 vertices / 5 edges"), "{msg}");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("n 6\n"));

@@ -54,12 +54,8 @@ pub fn dispatch(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> 
         "info" => info::run(&args, out),
         "verify" => verify::run(&args, out),
         "attack" => attack::run(&args, out),
-        "help" | "--help" | "-h" => {
-            out.write_all(HELP.as_bytes()).map_err(|e| err(e.to_string()))
-        }
-        other => Err(err(format!(
-            "unknown subcommand {other:?}; try `streamcolor help`"
-        ))),
+        "help" | "--help" | "-h" => out.write_all(HELP.as_bytes()).map_err(|e| err(e.to_string())),
+        other => Err(err(format!("unknown subcommand {other:?}; try `streamcolor help`"))),
     }
 }
 
@@ -109,12 +105,9 @@ mod tests {
         ))
         .unwrap();
         assert!(color.contains("proper         true"), "{color}");
-        let verify = run_str(&format!(
-            "verify --input {} --coloring {}",
-            path.display(),
-            cpath.display()
-        ))
-        .unwrap();
+        let verify =
+            run_str(&format!("verify --input {} --coloring {}", path.display(), cpath.display()))
+                .unwrap();
         assert!(verify.contains("proper             true"), "{verify}");
         assert!(verify.contains("conflicts          0"), "{verify}");
     }

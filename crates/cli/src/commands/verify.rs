@@ -3,38 +3,39 @@
 
 use crate::args::{err, Args, CliError};
 use crate::workload;
+use sc_engine::{run_verify, VerifyMode, VerifyReport};
 use sc_graph::io;
 use std::io::Write;
-use streamcolor::verify::{stream_from_coloring, ExactConflictCounter, SampledConflictEstimator};
 
-/// Runs the subcommand.
+/// Runs the subcommand (the arrival-ingest loop lives in
+/// [`sc_engine::run_verify`], shared with the experiment harness).
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let g = workload::acquire(args)?;
     workload::mark_flags_consumed(args);
     let coloring_path = args.required("coloring")?.to_string();
     let sample: Option<usize> = match args.optional("sample") {
         None => None,
-        Some(raw) => Some(
-            raw.parse()
-                .map_err(|_| err(format!("flag --sample: cannot parse {raw:?}")))?,
-        ),
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| err(format!("flag --sample: cannot parse {raw:?}")))?)
+        }
     };
     let seed: u64 = args.parse_or("alg-seed", 1)?;
     args.reject_unknown()?;
 
     let text = std::fs::read_to_string(&coloring_path)
         .map_err(|e| err(format!("cannot read {coloring_path}: {e}")))?;
-    let coloring =
-        io::read_coloring(text.as_bytes(), g.n()).map_err(|e| err(format!("{coloring_path}: {e}")))?;
+    let coloring = io::read_coloring(text.as_bytes(), g.n())
+        .map_err(|e| err(format!("{coloring_path}: {e}")))?;
     if !coloring.is_total() {
         return Err(err(format!(
             "{coloring_path}: {} vertices are uncolored — verification needs a total coloring",
             coloring.num_uncolored()
         )));
     }
-    let c_max = coloring.palette_span().max(1);
-    let order: Vec<u32> = (0..g.n() as u32).collect();
-    let stream = stream_from_coloring(&g, &coloring, &order);
+    let mode = match sample {
+        None => VerifyMode::Exact,
+        Some(k) => VerifyMode::Sampled { k },
+    };
 
     let w = |o: &mut dyn Write, k: &str, v: &dyn std::fmt::Display| {
         writeln!(o, "{k:<18} {v}").map_err(|e| err(e.to_string()))
@@ -42,26 +43,18 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     w(out, "n", &g.n())?;
     w(out, "m", &g.m())?;
     w(out, "colors announced", &coloring.num_distinct_colors())?;
-    match sample {
-        None => {
-            let mut counter = ExactConflictCounter::new(g.n(), c_max);
-            for a in &stream {
-                counter.process(a);
-            }
+    match run_verify(&g, &coloring, mode, seed) {
+        VerifyReport::Exact { conflicts, space_bits, proper } => {
             w(out, "mode", &"exact")?;
-            w(out, "conflicts", &counter.conflicts())?;
-            w(out, "space (bits)", &counter.space_bits())?;
-            w(out, "proper", &counter.is_proper())?;
+            w(out, "conflicts", &conflicts)?;
+            w(out, "space (bits)", &space_bits)?;
+            w(out, "proper", &proper)?;
         }
-        Some(k) => {
-            let mut est = SampledConflictEstimator::new(g.n(), k, c_max, seed);
-            for a in &stream {
-                est.process(a);
-            }
-            w(out, "mode", &format!("sampled (k = {})", est.sample_size()))?;
-            w(out, "estimate", &format!("{:.1}", est.estimate()))?;
-            w(out, "visible conflicts", &est.visible_conflicts())?;
-            w(out, "space (bits)", &est.space_bits())?;
+        VerifyReport::Sampled { sample_size, estimate, visible_conflicts, space_bits } => {
+            w(out, "mode", &format!("sampled (k = {sample_size})"))?;
+            w(out, "estimate", &format!("{estimate:.1}"))?;
+            w(out, "visible conflicts", &visible_conflicts)?;
+            w(out, "space (bits)", &space_bits)?;
         }
     }
     Ok(())
@@ -101,12 +94,9 @@ mod tests {
         let mut cbuf = Vec::new();
         io::write_coloring(&c, &mut cbuf).unwrap();
         std::fs::write(&cpath, &cbuf).unwrap();
-        let text = run_str(&format!(
-            "verify --input {} --coloring {}",
-            gpath.display(),
-            cpath.display()
-        ))
-        .unwrap();
+        let text =
+            run_str(&format!("verify --input {} --coloring {}", gpath.display(), cpath.display()))
+                .unwrap();
         assert!(text.contains("proper             true"), "{text}");
 
         // Corrupt one vertex to its neighbor's color.
@@ -117,12 +107,9 @@ mod tests {
         let mut bbuf = Vec::new();
         io::write_coloring(&c, &mut bbuf).unwrap();
         std::fs::write(&bad, &bbuf).unwrap();
-        let text = run_str(&format!(
-            "verify --input {} --coloring {}",
-            gpath.display(),
-            bad.display()
-        ))
-        .unwrap();
+        let text =
+            run_str(&format!("verify --input {} --coloring {}", gpath.display(), bad.display()))
+                .unwrap();
         assert!(text.contains("proper             false"), "{text}");
     }
 
@@ -157,12 +144,9 @@ mod tests {
         std::fs::write(&gpath, &buf).unwrap();
         let cpath = dir.join("partial.col");
         std::fs::write(&cpath, "0 1\n").unwrap();
-        let e = run_str(&format!(
-            "verify --input {} --coloring {}",
-            gpath.display(),
-            cpath.display()
-        ))
-        .unwrap_err();
+        let e =
+            run_str(&format!("verify --input {} --coloring {}", gpath.display(), cpath.display()))
+                .unwrap_err();
         assert!(e.to_string().contains("uncolored"), "{e}");
     }
 }

@@ -1,58 +1,66 @@
 //! Workload acquisition shared by the CLI subcommands: either read a graph
-//! file (`--input`, edge-list or DIMACS, format auto-sniffed) or generate
-//! one from the `--family` flags.
+//! file (`--input`, edge-list or DIMACS, format auto-sniffed) or describe
+//! one of `sc-engine`'s generator families from the `--family` flags.
+//!
+//! The flags parse into a declarative [`SourceSpec`] so `color` (and any
+//! future scenario-driven command) hands the *description* to the
+//! [`Runner`](sc_engine::Runner) instead of a materialized graph;
+//! commands that need the graph itself ([`acquire`]) materialize it.
 
 use crate::args::{err, Args, CliError};
-use sc_graph::{generators, io, Graph};
+use sc_engine::{GraphFamily, SourceSpec};
+use sc_graph::{io, Graph};
+use std::sync::Arc;
 
 /// The generator families exposed on the command line.
 pub const FAMILIES: &str =
     "gnp | exact | pa | cycle | path | complete | star | clique-union | bipartite | petersen | circulant";
 
-/// Builds the input graph from `--input FILE` or `--family …` flags.
+/// Parses `--input FILE` or `--family …` flags into a graph source.
 ///
 /// Flags: `--n`, `--delta` (degree cap/target), `--p` (density), `--seed`,
 /// `--k`/`--size` (clique-union), `--a`/`--b` (bipartite sides).
-pub fn acquire(args: &Args) -> Result<Graph, CliError> {
+pub fn acquire_spec(args: &Args) -> Result<SourceSpec, CliError> {
     if let Some(path) = args.optional("input") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
-        return io::read_auto(&text).map_err(|e| err(format!("{path}: {e}")));
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let g = io::read_auto(&text).map_err(|e| err(format!("{path}: {e}")))?;
+        return Ok(SourceSpec::stored(g));
     }
     let family = args.optional("family").unwrap_or("gnp");
     let n: usize = args.parse_or("n", 256)?;
     let delta: usize = args.parse_or("delta", 8)?;
     let p: f64 = args.parse_or("p", 0.3)?;
     let seed: u64 = args.parse_or("seed", 1)?;
-    match family {
-        "gnp" => Ok(generators::gnp_with_max_degree(n, delta, p, seed)),
+    let family = match family {
+        "gnp" => GraphFamily::Gnp,
         "exact" => {
             if delta >= n {
                 return Err(err(format!("family exact needs --delta < --n ({delta} ≥ {n})")));
             }
-            Ok(generators::random_with_exact_max_degree(n, delta, seed))
+            GraphFamily::ExactDegree
         }
-        "pa" => Ok(generators::preferential_attachment(n, 2, delta, seed)),
+        "pa" => GraphFamily::PreferentialAttachment,
         "cycle" => {
             if n < 3 {
                 return Err(err("family cycle needs --n ≥ 3"));
             }
-            Ok(generators::cycle(n))
+            GraphFamily::Cycle
         }
-        "path" => Ok(generators::path(n)),
-        "complete" => Ok(generators::complete(n)),
-        "star" => Ok(generators::star(n)),
+        "path" => GraphFamily::Path,
+        "complete" => GraphFamily::Complete,
+        "star" => GraphFamily::Star,
         "clique-union" => {
             let k: usize = args.parse_or("k", 4)?;
             let size: usize = args.parse_or("size", delta + 1)?;
-            Ok(generators::clique_union(k, size))
+            GraphFamily::CliqueUnion { k, size }
         }
         "bipartite" => {
             let a: usize = args.parse_or("a", n / 2)?;
             let b: usize = args.parse_or("b", n - n / 2)?;
-            Ok(generators::random_bipartite(a, b, p, delta, seed))
+            GraphFamily::Bipartite { a, b }
         }
-        "petersen" => Ok(generators::petersen()),
+        "petersen" => GraphFamily::Petersen,
         "circulant" => {
             let half = (delta / 2).max(1);
             if n <= 2 * half {
@@ -61,10 +69,17 @@ pub fn acquire(args: &Args) -> Result<Graph, CliError> {
                     2 * half
                 )));
             }
-            Ok(generators::circulant(n, half))
+            GraphFamily::Circulant
         }
-        other => Err(err(format!("unknown --family {other:?}; one of: {FAMILIES}"))),
-    }
+        other => return Err(err(format!("unknown --family {other:?}; one of: {FAMILIES}"))),
+    };
+    Ok(SourceSpec::Family { family, n, delta, p, seed })
+}
+
+/// Builds the input graph from the workload flags (materializing a
+/// described family).
+pub fn acquire(args: &Args) -> Result<Arc<Graph>, CliError> {
+    Ok(acquire_spec(args)?.materialize())
 }
 
 /// Consumes the workload flags so `reject_unknown` stays accurate for
@@ -134,5 +149,13 @@ mod tests {
     fn exact_family_validates_delta() {
         let e = acquire(&args("gen --family exact --n 8 --delta 8")).unwrap_err();
         assert!(e.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn family_flags_become_declarative_specs() {
+        match acquire_spec(&args("color --family gnp --n 64 --delta 6 --seed 5")).unwrap() {
+            SourceSpec::Family { family: GraphFamily::Gnp, n: 64, delta: 6, seed: 5, .. } => {}
+            other => panic!("unexpected spec: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `crates/compat/README.md`).
+//!
+//! Implements the harness subset the workspace's benches use:
+//! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is adaptive-batch wall-clock
+//! timing: batches are grown until one batch exceeds ~2 ms, then
+//! `sample_size` batches are timed and the median per-iteration time is
+//! reported. Each result is also appended as a JSON line to
+//! `target/bench-results.jsonl` for machine consumption.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark's closure repeatedly under timing.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Self { batch: 1, samples: Vec::new(), target_samples }
+    }
+
+    /// Times `f`, auto-scaling the batch size, and records samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Grow the batch until one batch takes ≥ ~2 ms (or a cap, for
+        // very slow bodies).
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || self.batch >= 1 << 20 {
+                break;
+            }
+            self.batch *= 2;
+        }
+        let mut budget = Duration::from_millis(300);
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / self.batch as u32);
+            budget = budget.saturating_sub(elapsed);
+            if budget.is_zero() && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+
+    fn summarize(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        Some((sorted[0], median, *sorted.last().unwrap()))
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if let Some((min, median, max)) = b.summarize() {
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_duration(min),
+            format_duration(median),
+            format_duration(max)
+        );
+        append_json_line(name, min, median, max);
+    }
+}
+
+/// Best-effort machine-readable trail; failures are ignored (the bench
+/// output on stdout is the primary artifact).
+fn append_json_line(name: &str, min: Duration, median: Duration, max: Duration) {
+    let dir = std::path::Path::new("target");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join("bench-results.jsonl"))
+    {
+        let _ = writeln!(
+            f,
+            "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"max_ns\":{}}}",
+            name.replace('"', "'"),
+            min.as_nanos(),
+            median.as_nanos(),
+            max.as_nanos()
+        );
+    }
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), &b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into_id()), &b);
+        self
+    }
+
+    /// Ends the group (formatting no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5);
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 3u64 * 3));
+        g.bench_with_input(BenchmarkId::new("g", 4), &4u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

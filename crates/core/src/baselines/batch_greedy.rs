@@ -33,17 +33,16 @@ pub fn batch_greedy_coloring<S: StreamSource + ?Sized>(
     let batch_size = (n / delta.max(1)).max(1);
     let mut next = 0u32;
     while (next as usize) < n {
-        let batch: Vec<VertexId> =
-            (next..((next as usize + batch_size).min(n)) as u32).collect();
-        next = *batch.last().unwrap() + 1;
-        let mut in_batch = vec![false; n];
-        for &x in &batch {
-            in_batch[x as usize] = true;
-        }
+        let lo = next;
+        let hi = ((next as usize + batch_size).min(n)) as u32;
+        let batch: Vec<VertexId> = (lo..hi).collect();
+        next = hi;
+        // Batches are contiguous vertex ranges, so membership is a range
+        // check — no per-pass O(n) membership scratch.
         let mut local = Graph::empty(n);
         for item in counted.pass() {
             let Some(e) = item.as_edge() else { continue };
-            if in_batch[e.u() as usize] || in_batch[e.v() as usize] {
+            if (lo..hi).contains(&e.u()) || (lo..hi).contains(&e.v()) {
                 local.add_edge(e);
             }
         }
@@ -51,11 +50,7 @@ pub fn batch_greedy_coloring<S: StreamSource + ?Sized>(
         greedy_color_in_order(&local, &mut coloring, &batch, 0);
         meter.release(local.m() as u64 * edge_bits(n));
     }
-    BatchGreedyReport {
-        coloring,
-        passes: counted.passes(),
-        peak_space_bits: meter.peak_bits(),
-    }
+    BatchGreedyReport { coloring, passes: counted.passes(), peak_space_bits: meter.peak_bits() }
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@ pub struct Bcg20Colorer {
     conflict_edges: Vec<Edge>,
     meter: SpaceMeter,
     failures: u64,
+    /// Scratch bitset (one bit per palette color) for the batched path.
+    scratch: Vec<u64>,
 }
 
 impl Bcg20Colorer {
@@ -55,7 +57,8 @@ impl Bcg20Colorer {
             .collect();
         let mut meter = SpaceMeter::new();
         meter.charge(n as u64 * list_size as u64 * counter_bits(palette));
-        Self { n, palette, lists, conflict_edges: Vec::new(), meter, failures: 0 }
+        let scratch = vec![0u64; (palette as usize).div_ceil(64)];
+        Self { n, palette, lists, conflict_edges: Vec::new(), meter, failures: 0, scratch }
     }
 
     /// Convenience for experiments: computes the exact degeneracy of `g`
@@ -83,6 +86,43 @@ impl Bcg20Colorer {
         self.conflict_edges.len()
     }
 
+    /// Batched candidate census: decides `lists_intersect` for every
+    /// chunk edge, loading each distinct left endpoint's list into the
+    /// scratch bitset once per *group* of edges sharing it rather than
+    /// merge-scanning both lists per edge.
+    fn census(&mut self, edges: &[Edge]) -> Vec<bool> {
+        let mut keep = vec![false; edges.len()];
+        // Group by left endpoint, preserving nothing about order — the
+        // results are written back positionally, so the caller's stream
+        // order is untouched.
+        let mut by_u: Vec<u32> = (0..edges.len() as u32).collect();
+        by_u.sort_unstable_by_key(|&k| edges[k as usize].u());
+        let mut loaded: Option<u32> = None;
+        for &k in &by_u {
+            let e = edges[k as usize];
+            if loaded != Some(e.u()) {
+                if let Some(prev) = loaded {
+                    for &c in &self.lists[prev as usize] {
+                        self.scratch[(c / 64) as usize] &= !(1u64 << (c % 64));
+                    }
+                }
+                for &c in &self.lists[e.u() as usize] {
+                    self.scratch[(c / 64) as usize] |= 1u64 << (c % 64);
+                }
+                loaded = Some(e.u());
+            }
+            keep[k as usize] = self.lists[e.v() as usize]
+                .iter()
+                .any(|&c| self.scratch[(c / 64) as usize] & (1u64 << (c % 64)) != 0);
+        }
+        if let Some(prev) = loaded {
+            for &c in &self.lists[prev as usize] {
+                self.scratch[(c / 64) as usize] &= !(1u64 << (c % 64));
+            }
+        }
+        keep
+    }
+
     fn lists_intersect(&self, u: u32, v: u32) -> bool {
         let (a, b) = (&self.lists[u as usize], &self.lists[v as usize]);
         let (mut i, mut j) = (0, 0);
@@ -106,11 +146,21 @@ impl StreamingColorer for Bcg20Colorer {
         }
     }
 
+    fn process_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        }
+        let keep = self.census(edges);
+        let before = self.conflict_edges.len();
+        self.conflict_edges.extend(edges.iter().zip(&keep).filter(|(_, &k)| k).map(|(&e, _)| e));
+        let stored = (self.conflict_edges.len() - before) as u64;
+        self.meter.charge(stored * edge_bits(self.n));
+    }
+
     fn query(&mut self) -> Coloring {
         let g = Graph::from_edges(self.n, self.conflict_edges.iter().copied());
         let all: Vec<u32> = (0..self.n as u32).collect();
-        let order: Vec<u32> =
-            degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
+        let order: Vec<u32> = degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
         let mut coloring = Coloring::empty(self.n);
         for &x in &order {
             let taken: Vec<Color> =

@@ -17,7 +17,7 @@
 //! **non-robust**: the bucket hash is fixed up front, so an adaptive
 //! adversary can flood one bucket.
 
-use crate::robust::sketch::{group_by_block, MonoSketch};
+use crate::robust::sketch::{group_by_block, BlockMemo, MonoSketch};
 use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
 use sc_stream::{edge_bits, SpaceMeter, StreamingColorer};
@@ -28,6 +28,8 @@ pub struct Bg18Colorer {
     n: usize,
     sketch: MonoSketch,
     meter: SpaceMeter,
+    /// Per-chunk hash memo for the batched ingestion path.
+    memo: BlockMemo,
 }
 
 impl Bg18Colorer {
@@ -35,7 +37,7 @@ impl Bg18Colorer {
     /// `Õ(∆)`-color / `Õ(n)`-space point).
     pub fn new(n: usize, buckets: u64, seed: u64) -> Self {
         let f = OracleFn::new(SplitMix64::new(seed).fork(4).next_u64(), 0, buckets.max(1));
-        Self { n, sketch: MonoSketch::new(f), meter: SpaceMeter::new() }
+        Self { n, sketch: MonoSketch::new(f), meter: SpaceMeter::new(), memo: BlockMemo::new(n) }
     }
 
     /// Number of stored (intra-bucket) edges.
@@ -50,6 +52,14 @@ impl StreamingColorer for Bg18Colorer {
         if self.sketch.offer(e) {
             self.meter.charge(edge_bits(self.n));
         }
+    }
+
+    fn process_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        }
+        let stored = self.sketch.offer_batch(edges, &mut self.memo);
+        self.meter.charge(stored as u64 * edge_bits(self.n));
     }
 
     fn query(&mut self) -> Coloring {
@@ -98,10 +108,7 @@ mod tests {
         let out = run_oblivious(&mut c, g.edges());
         assert!(out.is_proper_total(&g));
         let colors = out.num_distinct_colors();
-        assert!(
-            colors < 20 * delta,
-            "{colors} colors is not Õ(∆) for ∆ = {delta}"
-        );
+        assert!(colors < 20 * delta, "{colors} colors is not Õ(∆) for ∆ = {delta}");
     }
 
     #[test]

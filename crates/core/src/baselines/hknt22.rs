@@ -65,8 +65,7 @@ impl Hknt22Colorer {
                     chosen.insert(list[self.rng.below(list.len() as u64) as usize]);
                 }
                 let sample: Vec<Color> = chosen.into_iter().collect();
-                self.meter
-                    .charge(sample.len() as u64 * counter_bits(u64::MAX));
+                self.meter.charge(sample.len() as u64 * counter_bits(u64::MAX));
                 self.samples[*x as usize] = Some(sample);
             }
             StreamItem::Edge(e) => {
@@ -89,8 +88,7 @@ impl Hknt22Colorer {
     pub fn query(&mut self) -> Coloring {
         let g = Graph::from_edges(self.n, self.conflict_edges.iter().copied());
         let all: Vec<u32> = (0..self.n as u32).collect();
-        let order: Vec<u32> =
-            degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
+        let order: Vec<u32> = degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
         let mut coloring = Coloring::empty(self.n);
         for &x in &order {
             let Some(sample) = self.samples[x as usize].as_ref() else {
@@ -184,10 +182,7 @@ mod tests {
         // Edges first, lists after: every edge must be stored.
         let mut items: Vec<StreamItem> = g.edges().map(StreamItem::Edge).collect();
         items.extend(
-            lists
-                .iter()
-                .enumerate()
-                .map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())),
+            lists.iter().enumerate().map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())),
         );
         let mut c = Hknt22Colorer::new(8, 4, 1);
         let out = run(&mut c, &StoredStream::new(items));

@@ -106,8 +106,7 @@ impl StreamingColorer for PaletteSparsification {
         let all: Vec<u32> = (0..self.n as u32).collect();
         // Color in reverse degeneracy order — each vertex then sees few
         // colored conflict neighbors, maximizing completion probability.
-        let order: Vec<u32> =
-            degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
+        let order: Vec<u32> = degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
         let mut coloring = Coloring::empty(self.n);
         for &x in &order {
             let taken: Vec<Color> =

@@ -71,9 +71,7 @@ pub fn deterministic_coloring<S: StreamSource + ?Sized>(
             fallback_used = true;
             break;
         }
-        let out = coloring_epoch(
-            &counted, n, delta, &mut coloring, &mut u_set, config, &mut meter,
-        );
+        let out = coloring_epoch(&counted, n, delta, &mut coloring, &mut u_set, config, &mut meter);
         epoch_outcomes.push(out);
         epochs += 1;
     }
@@ -140,8 +138,7 @@ fn batch_greedy_completion<S: StreamSource + ?Sized>(
 ) {
     let batch_size = (n / delta.max(1)).max(1);
     while !u_set.is_empty() {
-        let batch: Vec<VertexId> =
-            u_set.iter().copied().take(batch_size).collect();
+        let batch: Vec<VertexId> = u_set.iter().copied().take(batch_size).collect();
         let mut in_batch = vec![false; n];
         for &x in &batch {
             in_batch[x as usize] = true;
@@ -170,11 +167,7 @@ mod tests {
         let stream = StoredStream::from_graph(g);
         let delta = g.max_degree();
         let report = deterministic_coloring(&stream, g.n(), delta, config);
-        assert!(
-            report.coloring.is_proper_total(g),
-            "improper coloring on n={} ∆={delta}",
-            g.n()
-        );
+        assert!(report.coloring.is_proper_total(g), "improper coloring on n={} ∆={delta}", g.n());
         assert!(
             report.coloring.palette_span() <= delta as u64 + 1,
             "used span {} > ∆+1 = {}",
@@ -262,11 +255,7 @@ mod tests {
         // batch-greedy cost) — the whole point of Theorem 1.
         let g = generators::random_with_exact_max_degree(256, 16, 5);
         let r = check_run(&g, &DetConfig::default());
-        assert!(
-            r.passes < 6 * 16,
-            "{} passes is not polylogarithmic in spirit",
-            r.passes
-        );
+        assert!(r.passes < 6 * 16, "{} passes is not polylogarithmic in spirit", r.passes);
         assert!(!r.fallback_used);
     }
 

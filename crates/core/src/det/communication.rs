@@ -55,12 +55,7 @@ pub fn two_party_coloring(
     let rounds = 2 * report.passes;
     let total_bits = rounds * report.peak_space_bits;
 
-    ProtocolTranscript {
-        coloring: report.coloring,
-        rounds,
-        total_bits,
-        passes: report.passes,
-    }
+    ProtocolTranscript { coloring: report.coloring, rounds, total_bits, passes: report.passes }
 }
 
 /// Splits a graph's edges between Alice and Bob deterministically

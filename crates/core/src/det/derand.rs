@@ -23,7 +23,7 @@ use crate::det::config::DerandStrategy;
 use crate::det::tables::StageTables;
 use sc_hash::affine::GridSubfamily;
 use sc_hash::{mulmod, AffineFamily, AffineHash};
-use sc_stream::{StreamSource, StreamItem};
+use sc_stream::{StreamItem, StreamSource};
 
 /// Result of a stage's hash selection.
 #[derive(Debug, Clone)]
@@ -85,17 +85,10 @@ pub fn select_hash<S: StreamSource + ?Sized>(
             member_sums[mi] += phi_contribution(*h, u, v, du, dv, tables);
         }
     }
-    let (best_member, &phi) = member_sums
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .expect("part is nonempty");
+    let (best_member, &phi) =
+        member_sums.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("part is nonempty");
 
-    SelectedHash {
-        hash: members[best_member],
-        phi,
-        accumulators: parts.max(members.len()),
-    }
+    SelectedHash { hash: members[best_member], phi, accumulators: parts.max(members.len()) }
 }
 
 /// The edge's contribution to `Φ(P_h)`, or 0 if `h` separates the

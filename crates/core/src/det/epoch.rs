@@ -118,9 +118,8 @@ pub fn coloring_epoch<S: StreamSource + ?Sized>(
         let tables = StageTables::build(n, u_set, patterns, slack, p, log_n);
 
         // ---- Passes 2–3: tournament selection of h⋆. ----
-        let group: Vec<u64> = (0..n)
-            .map(|x| if in_u[x] { sub[x].fixed_value() } else { u64::MAX })
-            .collect();
+        let group: Vec<u64> =
+            (0..n).map(|x| if in_u[x] { sub[x].fixed_value() } else { u64::MAX }).collect();
         let SelectedHash { hash, phi, accumulators } =
             select_hash(stream, &group, &tables, config.derand);
         meter.charge(accumulators as u64 * 2 * log_n);
@@ -197,9 +196,7 @@ mod tests {
         let mut coloring = Coloring::empty(n);
         let mut u_set: Vec<VertexId> = (0..n as u32).collect();
         let mut meter = SpaceMeter::new();
-        let out = coloring_epoch(
-            &stream, n, delta, &mut coloring, &mut u_set, config, &mut meter,
-        );
+        let out = coloring_epoch(&stream, n, delta, &mut coloring, &mut u_set, config, &mut meter);
         (coloring, u_set, out)
     }
 
@@ -251,7 +248,13 @@ mod tests {
         let mut u_set: Vec<VertexId> = (0..10).collect();
         let mut meter = SpaceMeter::new();
         let out = coloring_epoch(
-            &stream, 10, 1, &mut coloring, &mut u_set, &DetConfig::default(), &mut meter,
+            &stream,
+            10,
+            1,
+            &mut coloring,
+            &mut u_set,
+            &DetConfig::default(),
+            &mut meter,
         );
         assert_eq!(out.f_size, 0);
         assert_eq!(out.committed, 10, "no conflicts ⇒ all commit");
@@ -292,7 +295,13 @@ mod tests {
         let mut u_set: Vec<VertexId> = (0..30).collect();
         let mut meter = SpaceMeter::new();
         coloring_epoch(
-            &stream, 30, 5, &mut coloring, &mut u_set, &DetConfig::default(), &mut meter,
+            &stream,
+            30,
+            5,
+            &mut coloring,
+            &mut u_set,
+            &DetConfig::default(),
+            &mut meter,
         );
         assert_eq!(meter.current_bits(), 0, "epoch must release all charges");
         assert!(meter.peak_bits() > 0);

@@ -203,11 +203,7 @@ mod tests {
             let s = Subcube::full(5).child(2, fixed_pattern);
             for limit in 0..40u64 {
                 let expect = (0..32u64).filter(|&c| s.contains(c) && c <= limit).count() as u64;
-                assert_eq!(
-                    s.count_at_most(limit),
-                    expect,
-                    "pattern {fixed_pattern} limit {limit}"
-                );
+                assert_eq!(s.count_at_most(limit), expect, "pattern {fixed_pattern} limit {limit}");
             }
         }
     }

@@ -206,10 +206,7 @@ mod tests {
         }
         for j in 0..4 {
             let frac = counts[j] as f64 / 1000.0;
-            assert!(
-                frac <= weights[j] * (1.0 + 1.0 / 32.0) + 1e-9,
-                "pattern {j}: {frac} > bound"
-            );
+            assert!(frac <= weights[j] * (1.0 + 1.0 / 32.0) + 1e-9, "pattern {j}: {frac} > bound");
         }
     }
 

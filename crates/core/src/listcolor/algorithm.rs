@@ -21,9 +21,7 @@
 use crate::det::config::{DerandStrategy, DetConfig};
 use crate::det::derand::select_hash;
 use crate::det::tables::StageTables;
-use crate::listcolor::partition::{
-    candidate_partitions, partition_cost_for_list, PartitionSearch,
-};
+use crate::listcolor::partition::{candidate_partitions, partition_cost_for_list, PartitionSearch};
 use sc_graph::{greedy_list_color, turan_independent_set, Color, Coloring, Graph, VertexId};
 use sc_hash::affine::GridSubfamily;
 use sc_hash::modp::ceil_log2;
@@ -117,9 +115,8 @@ pub fn list_coloring<S: StreamSource + ?Sized>(
             fallback_used = true;
             break;
         }
-        stages += list_epoch(
-            &counted, n, delta, universe, &mut coloring, &mut u_set, config, &mut meter,
-        );
+        stages +=
+            list_epoch(&counted, n, delta, universe, &mut coloring, &mut u_set, config, &mut meter);
         epochs += 1;
     }
 
@@ -147,9 +144,7 @@ pub fn list_coloring<S: StreamSource + ?Sized>(
             }
         }
         let stored: u64 = lists.iter().map(|l| l.len() as u64).sum();
-        meter.charge(
-            residual.m() as u64 * edge_bits(n) + stored * counter_bits(universe.max(1)),
-        );
+        meter.charge(residual.m() as u64 * edge_bits(n) + stored * counter_bits(universe.max(1)));
         for &x in &u_set {
             assert!(
                 !lists[x as usize].is_empty(),
@@ -158,9 +153,7 @@ pub fn list_coloring<S: StreamSource + ?Sized>(
         }
         greedy_list_color(&residual, &mut coloring, &u_set, &lists)
             .unwrap_or_else(|x| panic!("list of vertex {x} exhausted: |L_x| < deg(x)+1?"));
-        meter.release(
-            residual.m() as u64 * edge_bits(n) + stored * counter_bits(universe.max(1)),
-        );
+        meter.release(residual.m() as u64 * edge_bits(n) + stored * counter_bits(universe.max(1)));
         u_set.clear();
     }
 
@@ -207,10 +200,10 @@ fn list_epoch<S: StreamSource + ?Sized>(
 
     // P_x is implicit: the chosen cell per completed stage.
     let mut stage_hashes: Vec<TwoUniversalHash> = Vec::new();
-    let mut choices: Vec<Vec<u64>> = Vec::new(); // stage-major, n entries
+    // Stage-major, n entries per stage.
+    let mut choices: Vec<Vec<u64>> = Vec::new();
     // Proposal-identity tokens (P_u = P_v ⇔ same cell history).
-    let mut group: Vec<u64> =
-        (0..n).map(|x| if in_u[x] { 0 } else { u64::MAX }).collect();
+    let mut group: Vec<u64> = (0..n).map(|x| if in_u[x] { 0 } else { u64::MAX }).collect();
     meter.charge(u_size as u64 * 2 * log_n); // per-vertex cell history
 
     let in_px = |c: Color, x: usize, hs: &[TwoUniversalHash], ch: &[Vec<u64>]| -> bool {
@@ -254,24 +247,20 @@ fn list_epoch<S: StreamSource + ?Sized>(
         let r_star = if four_pass {
             // Paper-literal tournament: four more passes over the stream,
             // O(|F|^{1/4}) accumulators (Theorem 2's proof structure).
-            crate::listcolor::partition::four_pass_partition_selection(
-                universe,
-                s,
-                |feed| {
-                    for item in stream.pass() {
-                        let Some((x, l)) = item.as_color_list() else { continue };
-                        if !in_u[x as usize] {
-                            continue;
-                        }
-                        let eff: Vec<Color> = l
-                            .iter()
-                            .copied()
-                            .filter(|&c| in_px(c, x as usize, &stage_hashes, &choices))
-                            .collect();
-                        feed(&eff);
+            crate::listcolor::partition::four_pass_partition_selection(universe, s, |feed| {
+                for item in stream.pass() {
+                    let Some((x, l)) = item.as_color_list() else { continue };
+                    if !in_u[x as usize] {
+                        continue;
                     }
-                },
-            )
+                    let eff: Vec<Color> = l
+                        .iter()
+                        .copied()
+                        .filter(|&c| in_px(c, x as usize, &stage_hashes, &choices))
+                        .collect();
+                    feed(&eff);
+                }
+            })
         } else {
             let best = costs
                 .iter()
@@ -315,11 +304,8 @@ fn list_epoch<S: StreamSource + ?Sized>(
                 }
             }
         }
-        let slack: Vec<u64> = cnt_lx
-            .iter()
-            .zip(used.iter())
-            .map(|(&a, &u)| a.saturating_sub(u))
-            .collect();
+        let slack: Vec<u64> =
+            cnt_lx.iter().zip(used.iter()).map(|(&a, &u)| a.saturating_sub(u)).collect();
         let tables = StageTables::build(n, u_set, patterns, slack, p, log_n);
 
         // ---- Passes C–D: tournament for h⋆, then tighten P_x. ----
@@ -329,7 +315,8 @@ fn list_epoch<S: StreamSource + ?Sized>(
             let dense = tables.position(x).expect("uncolored");
             let j = tables.gw(dense, sel.hash.eval(x as u64)) as u64;
             row[x as usize] = j;
-            group[x as usize] = splitmix64(group[x as usize] ^ j.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            group[x as usize] =
+                splitmix64(group[x as usize] ^ j.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         }
         stage_hashes.push(r_star);
         choices.push(row);
@@ -558,10 +545,8 @@ mod tests {
     fn exhaustive_partition_search_tiny_universe() {
         let g = generators::cycle(12);
         let lists: Vec<Vec<Color>> = (0..12).map(|_| vec![0, 1, 2]).collect();
-        let cfg = ListConfig {
-            partition_search: PartitionSearch::Exhaustive,
-            ..ListConfig::default()
-        };
+        let cfg =
+            ListConfig { partition_search: PartitionSearch::Exhaustive, ..ListConfig::default() };
         run(&g, &lists, 3, &cfg);
     }
 
@@ -571,10 +556,8 @@ mod tests {
         // full family enumerable).
         let g = generators::cycle(14);
         let lists: Vec<Vec<Color>> = (0..14).map(|x| vec![x % 3, 3 + x % 2, 5]).collect();
-        let cfg = ListConfig {
-            partition_search: PartitionSearch::FourPass,
-            ..ListConfig::default()
-        };
+        let cfg =
+            ListConfig { partition_search: PartitionSearch::FourPass, ..ListConfig::default() };
         run(&g, &lists, 6, &cfg);
     }
 

@@ -97,7 +97,6 @@ pub fn total_list_mass(effective_lists: &[Vec<Color>]) -> u64 {
     effective_lists.iter().map(|l| (l.len() as u64).saturating_sub(1)).sum()
 }
 
-
 /// The paper-literal 4-pass tournament over the **full** 2-universal
 /// family (Theorem 2's proof): pass `r` splits the surviving index range
 /// into `⌈|F|^{1/4}⌉` parts and keeps the part with the smallest total
@@ -111,11 +110,7 @@ pub fn total_list_mass(effective_lists: &[Vec<Color>]) -> u64 {
 /// Time is `Θ(|F|)` work per token per pass (the model charges space, not
 /// time), so this is practical only for small universes; the sampled
 /// selection ([`PartitionSearch::Sampled`]) is the default.
-pub fn four_pass_partition_selection<F>(
-    universe: u64,
-    s: u64,
-    mut replay: F,
-) -> TwoUniversalHash
+pub fn four_pass_partition_selection<F>(universe: u64, s: u64, mut replay: F) -> TwoUniversalHash
 where
     F: FnMut(&mut dyn FnMut(&[Color])),
 {
@@ -219,29 +214,18 @@ mod tests {
     fn lemma_3_10_average_bound_exhaustive() {
         let universe = 32u64;
         let s = 4u64;
-        let lists: Vec<Vec<Color>> = vec![
-            vec![0, 1, 2, 3, 4, 5, 6, 7],
-            vec![8, 9, 10, 11],
-            vec![12, 20, 28, 30, 31],
-        ];
+        let lists: Vec<Vec<Color>> =
+            vec![vec![0, 1, 2, 3, 4, 5, 6, 7], vec![8, 9, 10, 11], vec![12, 20, 28, 30, 31]];
         let cands = candidate_partitions(universe, s, PartitionSearch::Exhaustive);
         let mut scratch = vec![0u32; s as usize];
         let total_cost: u64 = cands
             .iter()
-            .map(|r| {
-                lists
-                    .iter()
-                    .map(|l| partition_cost_for_list(r, l, &mut scratch))
-                    .sum::<u64>()
-            })
+            .map(|r| lists.iter().map(|l| partition_cost_for_list(r, l, &mut scratch)).sum::<u64>())
             .sum();
         let avg = total_cost as f64 / cands.len() as f64;
         let mass = total_list_mass(&lists) as f64;
         let bound = mass / (s as f64).sqrt();
-        assert!(
-            avg <= bound + 1e-9,
-            "family average {avg:.3} exceeds Lemma 3.10 bound {bound:.3}"
-        );
+        assert!(avg <= bound + 1e-9, "family average {avg:.3} exceeds Lemma 3.10 bound {bound:.3}");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! endpoints were below level `ℓ`.
 
 use crate::robust::params::RobustParams;
-use crate::robust::sketch::{group_by_block, MonoSketch};
+use crate::robust::sketch::{group_by_block, BlockMemo, MonoSketch};
 use sc_graph::{degeneracy_coloring, greedy_color_in_order, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
 use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
@@ -42,6 +42,8 @@ pub struct RobustColorer {
     /// Current epoch (1-based).
     curr: usize,
     meter: SpaceMeter,
+    /// Per-chunk hash memo for the batched ingestion path.
+    memo: BlockMemo,
 }
 
 impl RobustColorer {
@@ -72,6 +74,7 @@ impl RobustColorer {
             buffer: Vec::new(),
             curr: 1,
             meter,
+            memo: BlockMemo::new(params.n),
         }
     }
 
@@ -98,12 +101,7 @@ impl RobustColorer {
     /// `O(∆^{(1+β)/2})`. Diagnostic for experiment F8.
     pub fn level_edge_set(&self, level: usize) -> Vec<Edge> {
         assert!((1..=self.params.num_levels).contains(&level));
-        self.g_sketches[level - 1]
-            .edges()
-            .iter()
-            .chain(self.buffer.iter())
-            .copied()
-            .collect()
+        self.g_sketches[level - 1].edges().iter().chain(self.buffer.iter()).copied().collect()
     }
 
     /// Per-vertex totals `Σ_i d_{A_i}(v)` over the epoch sketches — the
@@ -138,6 +136,70 @@ impl RobustColorer {
         }
         deg_b
     }
+
+    /// Lines 10–12: clears the full buffer and advances the epoch.
+    fn rotate_buffer(&mut self) {
+        self.meter.release(self.buffer.len() as u64 * edge_bits(self.params.n));
+        self.buffer.clear();
+        self.curr += 1;
+        assert!(
+            self.curr <= self.params.num_epochs,
+            "epoch overflow: the stream exceeded the n·∆/2 edge budget implied by ∆ = {}",
+            self.params.delta
+        );
+    }
+
+    /// Batched ingestion of a run of edges that all land in the current
+    /// epoch (the caller guarantees the buffer has room, except in the
+    /// degenerate capacity-0 configuration where runs are single edges).
+    ///
+    /// Equivalent to per-edge [`StreamingColorer::process`] on the run:
+    /// every sketch receives the same edges in the same order, and since
+    /// all in-run meter events are charges, the meter's peak and current
+    /// values come out identical. The work is reorganized sketch-major so
+    /// one [`BlockMemo`] amortizes hashing over the chunk — each sketch
+    /// pays one hash per *distinct* endpoint instead of one per edge slot.
+    fn ingest_run(&mut self, run: &[Edge]) {
+        let n = self.params.n;
+        let eb = edge_bits(n);
+
+        // Per-edge state first: buffer, degree counters, and each edge's
+        // insertion-time level (lines 13 and 16 — levels depend on the
+        // running degrees, so this stays edge-major).
+        let mut levels: Vec<usize> = Vec::with_capacity(run.len());
+        self.buffer.reserve(run.len());
+        for &e in run {
+            assert!((e.v() as usize) < n, "edge {e} out of range for n = {n}");
+            self.buffer.push(e);
+            let (u, v) = e.endpoints();
+            self.degrees[u as usize] += 1;
+            self.degrees[v as usize] += 1;
+            levels
+                .push(self.params.level_of(self.degrees[u as usize].max(self.degrees[v as usize])));
+        }
+        let mut stored = run.len() as u64; // buffered edges
+
+        // Lines 14–15: h_i sketches for future epochs, sketch-major.
+        for i in self.curr..self.params.num_epochs {
+            stored += self.h_sketches[i].offer_batch(run, &mut self.memo) as u64;
+        }
+
+        // Lines 16–17: g_ℓ sketches; an edge goes to every level strictly
+        // above its insertion-time level.
+        for (l, sketch) in self.g_sketches.iter_mut().enumerate() {
+            self.memo.reset();
+            let f = *sketch.oracle();
+            for (k, &e) in run.iter().enumerate() {
+                if levels[k] <= l
+                    && self.memo.get(e.u(), |x| f.eval(x)) == self.memo.get(e.v(), |x| f.eval(x))
+                {
+                    sketch.push_mono(e);
+                    stored += 1;
+                }
+            }
+        }
+        self.meter.charge(stored * eb);
+    }
 }
 
 fn sketch_degree_totals(n: usize, sketches: &[MonoSketch]) -> Vec<u64> {
@@ -159,14 +221,7 @@ impl StreamingColorer for RobustColorer {
 
         // Lines 10–12: rotate the buffer when full.
         if self.buffer.len() == self.params.buffer_capacity {
-            self.meter.release(self.buffer.len() as u64 * eb);
-            self.buffer.clear();
-            self.curr += 1;
-            assert!(
-                self.curr <= self.params.num_epochs,
-                "epoch overflow: the stream exceeded the n·∆/2 edge budget implied by ∆ = {}",
-                self.params.delta
-            );
+            self.rotate_buffer();
         }
         self.buffer.push(e);
         self.meter.charge(eb);
@@ -185,13 +240,28 @@ impl StreamingColorer for RobustColorer {
 
         // Lines 16–17: g_ℓ sketches for levels strictly above both
         // endpoints' levels at insertion time.
-        let lvl = self
-            .params
-            .level_of(self.degrees[u as usize].max(self.degrees[v as usize]));
+        let lvl = self.params.level_of(self.degrees[u as usize].max(self.degrees[v as usize]));
         for l in lvl..self.params.num_levels {
             if self.g_sketches[l].offer(e) {
                 self.meter.charge(eb);
             }
+        }
+    }
+
+    fn process_batch(&mut self, edges: &[Edge]) {
+        let mut start = 0;
+        while start < edges.len() {
+            if self.buffer.len() == self.params.buffer_capacity {
+                self.rotate_buffer();
+            }
+            // Split the chunk at epoch boundaries so each run sees a
+            // fixed `curr` (matching the per-edge rotation points; the
+            // `max(1)` keeps degenerate capacity-0 configurations moving
+            // exactly as per-edge processing would).
+            let room = self.params.buffer_capacity.saturating_sub(self.buffer.len()).max(1);
+            let end = (start + room).min(edges.len());
+            self.ingest_run(&edges[start..end]);
+            start = end;
         }
     }
 
@@ -318,11 +388,7 @@ mod tests {
             prefix.add_edge(e);
             if i % 7 == 0 {
                 let c = colorer.query();
-                assert!(
-                    c.is_proper_total(&prefix),
-                    "query after {} edges is improper",
-                    i + 1
-                );
+                assert!(c.is_proper_total(&prefix), "query after {} edges is improper", i + 1);
             }
         }
     }
@@ -332,11 +398,8 @@ mod tests {
         // Force several epochs with a small buffer via β parameters.
         // Shrinking the buffer forces rotations; epochs must scale to keep
         // the capacity·epochs ≥ |stream| contract.
-        let params = RobustParams {
-            buffer_capacity: 10,
-            num_epochs: 64,
-            ..RobustParams::theorem3(40, 12)
-        };
+        let params =
+            RobustParams { buffer_capacity: 10, num_epochs: 64, ..RobustParams::theorem3(40, 12) };
         let g = generators::gnp_with_max_degree(40, 12, 0.6, 3);
         assert!(g.m() > 30, "need enough edges to rotate: {}", g.m());
         let mut colorer = RobustColorer::with_params(params, 5);
@@ -362,11 +425,7 @@ mod tests {
         let mut colorer = RobustColorer::new(150, 12, 4 ^ 0xABCD);
         run_oblivious(&mut colorer, generators::shuffled_edges(&g, 4));
         // Stored edges should be O(n log n)-ish, not Θ(m·∆).
-        assert!(
-            colorer.stored_edges() <= 20 * 150,
-            "stored {} edges",
-            colorer.stored_edges()
-        );
+        assert!(colorer.stored_edges() <= 20 * 150, "stored {} edges", colorer.stored_edges());
         assert!(colorer.peak_space_bits() > 0);
     }
 

@@ -16,6 +16,7 @@
 //! edge under the pair coloring would have to be `h_{curr,k}`-mono *and*
 //! missing from `D_{curr,k} ∪ B`, which cannot happen for a valid `k`.
 
+use crate::robust::sketch::BlockMemo;
 use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
 use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64};
 use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
@@ -39,6 +40,8 @@ pub struct RandEfficientColorer {
     curr: usize,
     num_epochs: usize,
     meter: SpaceMeter,
+    /// Per-chunk hash memo for the batched ingestion path.
+    memo: BlockMemo,
     /// Queries that found every `D_{curr,j} = ⊥` (the `1/poly(n)` failure
     /// event of Lemma 4.8); such queries fall back to coloring `B` alone
     /// and may be improper.
@@ -79,6 +82,7 @@ impl RandEfficientColorer {
             curr: 1,
             num_epochs,
             meter,
+            memo: BlockMemo::new(n),
             failures: 0,
         }
     }
@@ -117,19 +121,81 @@ impl RandEfficientColorer {
     /// concentration Lemma 4.8 argues about. `epoch` is 1-based.
     pub fn candidate_sizes(&self, epoch: usize) -> Vec<Option<usize>> {
         assert!((1..=self.num_epochs).contains(&epoch));
-        (0..self.p_copies)
-            .map(|j| self.d_sets[self.idx(epoch, j)].as_ref().map(Vec::len))
-            .collect()
+        (0..self.p_copies).map(|j| self.d_sets[self.idx(epoch, j)].as_ref().map(Vec::len)).collect()
     }
 
     /// Total edges stored across buffers and candidate sets.
     pub fn stored_edges(&self) -> usize {
         self.buffer.len()
-            + self
-                .d_sets
-                .iter()
-                .map(|d| d.as_ref().map_or(0, Vec::len))
-                .sum::<usize>()
+            + self.d_sets.iter().map(|d| d.as_ref().map_or(0, Vec::len)).sum::<usize>()
+    }
+
+    /// Lines 6–7: clears the full buffer and advances the epoch.
+    fn rotate_buffer(&mut self) {
+        self.meter.release(self.buffer.len() as u64 * edge_bits(self.n));
+        self.buffer.clear();
+        self.curr += 1;
+        assert!(
+            self.curr <= self.num_epochs,
+            "epoch overflow: stream exceeded the n·∆/2 edge budget"
+        );
+    }
+
+    /// Batched ingestion of a run of edges within one epoch.
+    ///
+    /// Candidate membership (`h_{i,j}`-monochromaticity) is a pure
+    /// function of the endpoints, so phase 1 computes it sketch-major
+    /// with one [`BlockMemo`] per slot — skipping slots that are already
+    /// `⊥`, which per-edge processing must re-check every time. Phase 2
+    /// replays insertions edge-major so the cap/invalidate state machine
+    /// and the space meter evolve exactly as per-edge processing: unlike
+    /// Algorithm 2's, this meter *releases* mid-run (overflow wipes), so
+    /// charge order matters for the reported peak.
+    fn ingest_run(&mut self, run: &[Edge]) {
+        let eb = edge_bits(self.n);
+        for &e in run {
+            assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        }
+
+        // Phase 1: per-edge lists of matching live slots.
+        let mut matches: Vec<Vec<u32>> = vec![Vec::new(); run.len()];
+        for i in (self.curr + 1)..=self.num_epochs {
+            for j in 0..self.p_copies {
+                let slot = self.idx(i, j);
+                if self.d_sets[slot].is_none() {
+                    continue; // ⊥ never revives; skip its hashing entirely
+                }
+                self.memo.reset();
+                let h = &self.hashes[slot];
+                for (k, &e) in run.iter().enumerate() {
+                    if self.memo.get(e.u(), |x| h.eval(x)) == self.memo.get(e.v(), |x| h.eval(x)) {
+                        matches[k].push(slot as u32);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: edge-major state replay (lines 6–14 semantics).
+        self.buffer.reserve(run.len());
+        for (k, &e) in run.iter().enumerate() {
+            self.buffer.push(e);
+            self.meter.charge(eb);
+            for &slot in &matches[k] {
+                let slot = slot as usize;
+                match &mut self.d_sets[slot] {
+                    Some(d) if d.len() < self.cap => {
+                        d.push(e);
+                        self.meter.charge(eb);
+                    }
+                    Some(d) => {
+                        // Overflow: wipe to ⊥ (lines 13–14).
+                        self.meter.release(d.len() as u64 * eb);
+                        self.d_sets[slot] = None;
+                    }
+                    None => {}
+                }
+            }
+        }
     }
 }
 
@@ -140,13 +206,7 @@ impl StreamingColorer for RandEfficientColorer {
 
         // Lines 6–7: epoch rotation.
         if self.buffer.len() == self.n {
-            self.meter.release(self.buffer.len() as u64 * eb);
-            self.buffer.clear();
-            self.curr += 1;
-            assert!(
-                self.curr <= self.num_epochs,
-                "epoch overflow: stream exceeded the n·∆/2 edge budget"
-            );
+            self.rotate_buffer();
         }
         self.buffer.push(e);
         self.meter.charge(eb);
@@ -173,6 +233,20 @@ impl StreamingColorer for RandEfficientColorer {
                     None => {}
                 }
             }
+        }
+    }
+
+    fn process_batch(&mut self, edges: &[Edge]) {
+        let mut start = 0;
+        while start < edges.len() {
+            if self.buffer.len() == self.n {
+                self.rotate_buffer();
+            }
+            // Split at epoch boundaries so each run sees a fixed `curr`.
+            let room = self.n.saturating_sub(self.buffer.len()).max(1);
+            let end = (start + room).min(edges.len());
+            self.ingest_run(&edges[start..end]);
+            start = end;
         }
     }
 
@@ -213,8 +287,8 @@ impl StreamingColorer for RandEfficientColorer {
     }
 
     fn peak_space_bits(&self) -> u64 {
-        self.meter.peak_bits()
-            + self.n as u64 * counter_bits(self.delta as u64) // deg-free: no counters needed, but charge χ scratch
+        self.meter.peak_bits() + self.n as u64 * counter_bits(self.delta as u64)
+        // deg-free: no counters needed, but charge χ scratch
     }
 
     fn name(&self) -> &'static str {

@@ -85,9 +85,8 @@ pub struct FastBlockDegeneracy {
 pub fn fast_block_degeneracies(colorer: &RobustColorer) -> Vec<FastBlockDegeneracy> {
     let params = colorer.params();
     let deg_b = colorer.buffer_degrees();
-    let fast: Vec<u32> = (0..params.n as u32)
-        .filter(|&v| deg_b[v as usize] > params.fast_threshold)
-        .collect();
+    let fast: Vec<u32> =
+        (0..params.n as u32).filter(|&v| deg_b[v as usize] > params.fast_threshold).collect();
     let mut out = Vec::new();
     for level in 1..=params.num_levels {
         let level_fast: Vec<u32> = fast

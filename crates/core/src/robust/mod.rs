@@ -12,9 +12,9 @@
 pub mod alg2;
 pub mod alg3;
 pub mod analysis;
-pub mod store_all;
 pub mod params;
 pub mod sketch;
+pub mod store_all;
 
 pub use alg2::RobustColorer;
 pub use alg3::RandEfficientColorer;

@@ -47,6 +47,25 @@ impl MonoSketch {
         &self.edges
     }
 
+    /// The underlying oracle function (batched paths hash through a
+    /// [`BlockMemo`] instead of calling [`MonoSketch::offer`]).
+    #[inline]
+    pub fn oracle(&self) -> &OracleFn {
+        &self.f
+    }
+
+    /// Stores an edge the caller has already checked is monochromatic
+    /// (via memoized evaluations of [`MonoSketch::oracle`]).
+    #[inline]
+    pub(crate) fn push_mono(&mut self, e: Edge) {
+        debug_assert_eq!(
+            self.block_of(e.u()),
+            self.block_of(e.v()),
+            "push_mono on a bichromatic edge"
+        );
+        self.edges.push(e);
+    }
+
     /// Number of stored edges.
     #[inline]
     pub fn len(&self) -> usize {
@@ -64,6 +83,65 @@ impl MonoSketch {
     pub fn num_blocks(&self) -> u64 {
         self.f.range()
     }
+
+    /// Offers a whole chunk, memoizing `f` through `memo` so each distinct
+    /// endpoint is hashed once per chunk instead of once per edge. Returns
+    /// the number of edges stored. Equivalent to offering the chunk's
+    /// edges one at a time, in order.
+    pub fn offer_batch(&mut self, edges: &[Edge], memo: &mut BlockMemo) -> usize {
+        memo.reset();
+        let f = self.f; // `OracleFn` is `Copy`; detach from `self.edges`.
+        let before = self.edges.len();
+        for &e in edges {
+            if memo.get(e.u(), |x| f.eval(x)) == memo.get(e.v(), |x| f.eval(x)) {
+                self.edges.push(e);
+            }
+        }
+        self.edges.len() - before
+    }
+}
+
+/// Per-chunk memo table for vertex-keyed hash evaluations.
+///
+/// The batched ingestion paths evaluate each sketch function at every
+/// endpoint of every chunk edge; a vertex of multiplicity `r` in the chunk
+/// would pay `r` evaluations. The memo caches by vertex id with
+/// generation stamping, so [`BlockMemo::reset`] is `O(1)` and a chunk pays
+/// one evaluation per *distinct* endpoint per sketch.
+#[derive(Debug, Clone)]
+pub struct BlockMemo {
+    vals: Vec<u64>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl BlockMemo {
+    /// A memo for vertex ids below `n`.
+    pub fn new(n: usize) -> Self {
+        Self { vals: vec![0; n], stamp: vec![0; n], generation: 0 }
+    }
+
+    /// Invalidates all cached values (constant time).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: stale stamps could alias, so clear.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// The cached value of `f(v)`, computing it on first use.
+    #[inline]
+    pub fn get(&mut self, v: u32, f: impl Fn(u64) -> u64) -> u64 {
+        let i = v as usize;
+        if self.stamp[i] != self.generation {
+            self.vals[i] = f(v as u64);
+            self.stamp[i] = self.generation;
+        }
+        self.vals[i]
+    }
 }
 
 /// Groups `vertices` by their sketch block, returning only nonempty
@@ -72,8 +150,7 @@ impl MonoSketch {
 /// Query time in Algorithm 2 iterates blocks; grouping nonempty ones keeps
 /// that `O(|V| log |V|)` instead of `O(∆²)` when most blocks are empty.
 pub fn group_by_block(sketch: &MonoSketch, vertices: &[u32]) -> Vec<(u64, Vec<u32>)> {
-    let mut tagged: Vec<(u64, u32)> =
-        vertices.iter().map(|&v| (sketch.block_of(v), v)).collect();
+    let mut tagged: Vec<(u64, u32)> = vertices.iter().map(|&v| (sketch.block_of(v), v)).collect();
     tagged.sort_unstable();
     let mut out: Vec<(u64, Vec<u32>)> = Vec::new();
     for (b, v) in tagged {

@@ -44,6 +44,14 @@ impl StreamingColorer for StoreAllColorer {
         self.meter.charge(edge_bits(self.n));
     }
 
+    fn process_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        }
+        self.edges.extend_from_slice(edges);
+        self.meter.charge(edges.len() as u64 * edge_bits(self.n));
+    }
+
     fn query(&mut self) -> Coloring {
         let g = Graph::from_edges(self.n, self.edges.iter().copied());
         let mut c = Coloring::empty(self.n);
@@ -84,6 +92,13 @@ impl StreamingColorer for AutoRobust {
         match self {
             AutoRobust::StoreAll(c) => c.process(e),
             AutoRobust::Alg2(c) => c.process(e),
+        }
+    }
+
+    fn process_batch(&mut self, edges: &[Edge]) {
+        match self {
+            AutoRobust::StoreAll(c) => c.process_batch(edges),
+            AutoRobust::Alg2(c) => c.process_batch(edges),
         }
     }
 

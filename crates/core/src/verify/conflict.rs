@@ -22,7 +22,11 @@ pub struct VertexArrival {
 /// # Panics
 /// Panics if `coloring` is not total on `g` or `order` is not a
 /// permutation of the vertices.
-pub fn stream_from_coloring(g: &Graph, coloring: &Coloring, order: &[VertexId]) -> Vec<VertexArrival> {
+pub fn stream_from_coloring(
+    g: &Graph,
+    coloring: &Coloring,
+    order: &[VertexId],
+) -> Vec<VertexArrival> {
     assert_eq!(order.len(), g.n(), "order must cover every vertex");
     let mut position = vec![usize::MAX; g.n()];
     for (i, &v) in order.iter().enumerate() {
@@ -87,8 +91,8 @@ impl ExactConflictCounter {
         assert!((a.v as usize) < self.colors.len(), "vertex {} out of range", a.v);
         assert!(self.colors[a.v as usize].is_none(), "vertex {} arrived twice", a.v);
         for &u in &a.back_edges {
-            let cu = self.colors[u as usize]
-                .unwrap_or_else(|| panic!("back edge to unseen vertex {u}"));
+            let cu =
+                self.colors[u as usize].unwrap_or_else(|| panic!("back edge to unseen vertex {u}"));
             if cu == a.color {
                 self.conflicts += 1;
             }
@@ -210,10 +214,7 @@ mod tests {
             changed.insert(v);
         }
         // Ground truth by brute force.
-        let truth = g
-            .edges()
-            .filter(|e| c.get(e.u()) == c.get(e.v()))
-            .count() as u64;
+        let truth = g.edges().filter(|e| c.get(e.u()) == c.get(e.v())).count() as u64;
         (c, truth)
     }
 
@@ -231,8 +232,7 @@ mod tests {
         let (coloring, truth) = planted(&g, 15, 2);
         assert!(truth > 0);
         for order_seed in 0..3u64 {
-            let stream =
-                stream_from_coloring(&g, &coloring, &arrival_order(g.n(), order_seed));
+            let stream = stream_from_coloring(&g, &coloring, &arrival_order(g.n(), order_seed));
             let mut counter = ExactConflictCounter::new(g.n(), 11);
             for a in &stream {
                 counter.process(a);
@@ -293,8 +293,12 @@ mod tests {
     fn estimator_space_is_sublinear() {
         let exact = ExactConflictCounter::new(10_000, 100);
         let est = SampledConflictEstimator::new(10_000, 100, 100, 1);
-        assert!(est.space_bits() * 10 < exact.space_bits(),
-            "sampled {} vs exact {}", est.space_bits(), exact.space_bits());
+        assert!(
+            est.space_bits() * 10 < exact.space_bits(),
+            "sampled {} vs exact {}",
+            est.space_bits(),
+            exact.space_bits()
+        );
     }
 
     #[test]

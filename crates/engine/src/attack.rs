@@ -1,0 +1,198 @@
+//! Adaptive-adversary games as declarative scenarios.
+
+use crate::parallel::par_map;
+use crate::runner::Runner;
+use crate::spec::ColorerSpec;
+use sc_adversary::{
+    summarize, Adversary, BufferBoundaryAttacker, CliqueBuilder, GameReport, LevelBoundaryAttacker,
+    MonochromaticAttacker, ObliviousReplay, RandomAdversary, TrialSummary,
+};
+use sc_graph::Edge;
+use std::sync::Arc;
+
+/// Which adversary generates the stream.
+#[derive(Debug, Clone)]
+pub enum AdversarySpec {
+    /// The monochromatic feedback attack (the paper's motivating break).
+    Monochromatic,
+    /// Uniform random non-duplicate insertions (harmless control).
+    Random,
+    /// Deterministic greedy clique building.
+    CliqueBuilder,
+    /// Targets epoch-buffer boundaries; `buffer = None` assumes `n`.
+    BufferBoundary {
+        /// The victim's assumed buffer capacity.
+        buffer: Option<usize>,
+    },
+    /// Targets level thresholds of Algorithm 2.
+    LevelBoundary,
+    /// Replays a fixed edge list (turns a game into an oblivious run).
+    Replay(Arc<Vec<Edge>>),
+}
+
+impl AdversarySpec {
+    /// Builds the boxed adversary.
+    pub fn build(&self, n: usize, delta: usize, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversarySpec::Monochromatic => Box::new(MonochromaticAttacker::new(n, delta, seed)),
+            AdversarySpec::Random => Box::new(RandomAdversary::new(n, delta, seed)),
+            AdversarySpec::CliqueBuilder => Box::new(CliqueBuilder::new(n, delta)),
+            AdversarySpec::BufferBoundary { buffer } => {
+                Box::new(BufferBoundaryAttacker::new(n, delta, buffer.unwrap_or(n), seed))
+            }
+            AdversarySpec::LevelBoundary => Box::new(LevelBoundaryAttacker::new(n, delta, seed)),
+            AdversarySpec::Replay(edges) => Box::new(ObliviousReplay::new(edges.iter().copied())),
+        }
+    }
+}
+
+/// One adaptive game: a victim, an adversary, and a budget.
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    /// Display label.
+    pub label: String,
+    /// The algorithm under attack (must be a streaming spec).
+    pub victim: ColorerSpec,
+    /// The stream generator.
+    pub adversary: AdversarySpec,
+    /// Vertices.
+    pub n: usize,
+    /// Degree budget the adversary respects.
+    pub delta: usize,
+    /// Maximum insertions.
+    pub rounds: usize,
+    /// Victim's seed.
+    pub victim_seed: u64,
+    /// Adversary's seed.
+    pub adversary_seed: u64,
+}
+
+impl AttackScenario {
+    /// A scenario with round budget `n·∆/2` and default seeds.
+    pub fn new(victim: ColorerSpec, adversary: AdversarySpec, n: usize, delta: usize) -> Self {
+        Self {
+            label: victim.label().to_string(),
+            victim,
+            adversary,
+            n,
+            delta,
+            rounds: n * delta / 2,
+            victim_seed: 1,
+            adversary_seed: 1 ^ 0xA77AC,
+        }
+    }
+
+    /// Sets the round budget.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets both seeds (adversary gets a tweaked copy).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.victim_seed = seed;
+        self.adversary_seed = seed ^ 0xA77AC;
+        self
+    }
+
+    /// The same scenario re-seeded for trial `t` (independent parties).
+    fn trial(&self, t: u64) -> AttackScenario {
+        let mut s = self.clone();
+        s.victim_seed = self.victim_seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
+        s.adversary_seed = self.adversary_seed.wrapping_add(t.wrapping_mul(0xC2B2_AE35));
+        s
+    }
+}
+
+impl Runner {
+    /// Referees one adaptive game.
+    pub fn run_attack(&self, scenario: &AttackScenario) -> GameReport {
+        let mut victim = scenario
+            .victim
+            .build_streaming(scenario.n, scenario.delta, scenario.victim_seed, None)
+            .expect("attack victims must be streaming colorers");
+        let mut adversary =
+            scenario.adversary.build(scenario.n, scenario.delta, scenario.adversary_seed);
+        sc_adversary::run_game(victim.as_mut(), adversary.as_mut(), scenario.n, scenario.rounds)
+    }
+
+    /// Runs `trials` independently seeded games in parallel and
+    /// aggregates them (games are independent across seeds, so this is
+    /// exactly [`sc_adversary::run_trials`] spread over the pool).
+    pub fn run_attack_trials(&self, scenario: &AttackScenario, trials: usize) -> TrialSummary {
+        let seeds: Vec<u64> = (0..trials as u64).collect();
+        let reports = par_map(self.threads, &seeds, |_, &t| self.run_attack(&scenario.trial(t)));
+        summarize(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_victims_survive_declarative_attacks() {
+        let runner = Runner::sequential();
+        for victim in [ColorerSpec::Robust { beta: None }, ColorerSpec::RandEfficient] {
+            let s = AttackScenario::new(victim, AdversarySpec::Monochromatic, 50, 6)
+                .with_rounds(120)
+                .with_seed(3);
+            let r = runner.run_attack(&s);
+            assert!(r.survived(), "{}", s.label);
+            assert!(r.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential_trials() {
+        let s = AttackScenario::new(
+            ColorerSpec::PaletteSparsification { lists: Some(3) },
+            AdversarySpec::Monochromatic,
+            60,
+            16,
+        )
+        .with_rounds(60 * 16)
+        .with_seed(70);
+        let seq = Runner::sequential().run_attack_trials(&s, 5);
+        let par = Runner::with_threads(4).run_attack_trials(&s, 5);
+        assert_eq!(seq.trials, par.trials);
+        assert_eq!(seq.broken, par.broken);
+        assert_eq!(seq.failure_rounds, par.failure_rounds);
+        assert_eq!(seq.max_colors, par.max_colors);
+        assert!(seq.broken > 0, "tiny lists must break under the attack");
+    }
+
+    #[test]
+    fn every_adversary_spec_builds_and_plays() {
+        let runner = Runner::sequential();
+        for adversary in [
+            AdversarySpec::Monochromatic,
+            AdversarySpec::Random,
+            AdversarySpec::CliqueBuilder,
+            AdversarySpec::BufferBoundary { buffer: None },
+            AdversarySpec::LevelBoundary,
+        ] {
+            let s = AttackScenario::new(ColorerSpec::Robust { beta: None }, adversary, 40, 5)
+                .with_rounds(60);
+            let r = runner.run_attack(&s);
+            assert!(r.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn replay_adversary_reproduces_oblivious_runs() {
+        let g = sc_graph::generators::gnp_with_max_degree(40, 6, 0.4, 1);
+        let edges: Vec<Edge> = sc_graph::generators::shuffled_edges(&g, 1);
+        let s = AttackScenario::new(
+            ColorerSpec::Robust { beta: None },
+            AdversarySpec::Replay(Arc::new(edges.clone())),
+            40,
+            6,
+        )
+        .with_rounds(10_000)
+        .with_seed(77);
+        let r = Runner::sequential().run_attack(&s);
+        assert_eq!(r.rounds, edges.len());
+        assert!(r.survived());
+    }
+}

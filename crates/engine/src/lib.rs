@@ -1,0 +1,47 @@
+//! # `sc-engine` — the declarative experiment layer
+//!
+//! Every harness in this workspace used to hand-roll the same loop:
+//! generate a graph, arrange its edges, feed a colorer, query, validate,
+//! report. This crate replaces those loops with one vocabulary:
+//!
+//! * [`SourceSpec`] / [`GraphFamily`] — *what graph* (a stored graph or a
+//!   reproducible generator family);
+//! * [`ColorerSpec`] — *which algorithm* (every streaming colorer,
+//!   multi-pass algorithm and offline comparator the workspace exposes);
+//! * [`Scenario`] — *one experiment*: source + arrival order + algorithm
+//!   + engine configuration (chunk size, checkpoint schedule) + seed;
+//! * [`Runner`] — *execution*: runs a scenario through the batched
+//!   [`StreamEngine`](sc_stream::StreamEngine), and runs independent
+//!   scenarios (repetition sweeps, parameter grids, adversary trials)
+//!   in parallel across threads — each colorer stays single-threaded, so
+//!   the streaming model's space accounting is untouched;
+//! * [`AttackScenario`] / [`AdversarySpec`] — adaptive-adversary games as
+//!   declarative scenarios, with parallel multi-trial sweeps;
+//! * [`verify`] — the BBMU21 coloring-verification runner.
+//!
+//! ```
+//! use sc_engine::{ColorerSpec, Runner, Scenario, SourceSpec};
+//!
+//! let scenario = Scenario::new(
+//!     SourceSpec::exact_degree(200, 12, 42),
+//!     ColorerSpec::Robust { beta: None },
+//! );
+//! let outcome = Runner::default().run(&scenario);
+//! assert!(outcome.proper);
+//! ```
+
+pub mod attack;
+pub mod parallel;
+pub mod runner;
+pub mod scenario;
+pub mod source;
+pub mod spec;
+pub mod verify;
+
+pub use attack::{AdversarySpec, AttackScenario};
+pub use parallel::par_map;
+pub use runner::{RunOutcome, Runner};
+pub use scenario::Scenario;
+pub use source::{GraphFamily, SourceSpec};
+pub use spec::ColorerSpec;
+pub use verify::{run_verify, VerifyMode, VerifyReport};

@@ -1,0 +1,84 @@
+//! Scoped-thread fan-out for independent work items.
+//!
+//! The environment has no network access to crates.io, so `rayon` is not
+//! available; this is the small slice of it the runner needs. Work items
+//! are claimed from a shared atomic cursor, so long and short items mix
+//! without static partitioning; results come back in input order.
+//! Each item runs entirely on one thread — colorers are never shared, so
+//! the streaming model's per-algorithm space accounting is untouched.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `threads` scoped threads, returning
+/// results in input order. `threads ≤ 1` (or a single item) runs inline.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new(items.iter().map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock().expect("worker panicked holding results")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("worker panicked holding results")
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// A default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(8, &items, |_, &x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_paths_match_parallel_paths() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            par_map(1, &items, |i, &x| x + i as u64),
+            par_map(4, &items, |i, &x| x + i as u64)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u64> = vec![];
+        assert!(par_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u64], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn uses_index_argument() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map(2, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Scenario execution.
+
+use crate::parallel::{default_threads, par_map};
+use crate::scenario::Scenario;
+use crate::spec::ColorerSpec;
+use sc_graph::Coloring;
+use sc_stream::{Checkpoint, StoredStream, StreamEngine};
+use std::time::{Duration, Instant};
+use streamcolor::{batch_greedy_coloring, deterministic_coloring, offline_greedy};
+
+/// What one scenario produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// The algorithm's self-reported name.
+    pub algo: String,
+    /// Vertices in the materialized graph.
+    pub n: usize,
+    /// Edges in the materialized graph.
+    pub m: usize,
+    /// Max degree of the materialized graph.
+    pub delta: usize,
+    /// The final coloring.
+    pub coloring: Coloring,
+    /// Whether the final coloring is proper for the whole graph.
+    pub proper: bool,
+    /// Distinct colors in the final coloring.
+    pub colors: usize,
+    /// Passes over the input (streaming: 1; offline comparators: none).
+    pub passes: Option<u64>,
+    /// Self-reported peak space in bits (model accounting; offline
+    /// comparators: none).
+    pub space_bits: Option<u64>,
+    /// Mid-stream checkpoints (streaming runs with a schedule).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Executes scenarios — one at a time or grids in parallel.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Worker threads for [`Runner::run_all`] /
+    /// [`Runner::run_attack_trials`](crate::attack) sweeps. Each scenario
+    /// still runs its colorer single-threaded.
+    pub threads: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self { threads: default_threads() }
+    }
+}
+
+impl Runner {
+    /// A sequential runner (also what `threads ≤ 1` degrades to).
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A runner with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// Runs one scenario to completion.
+    pub fn run(&self, scenario: &Scenario) -> RunOutcome {
+        let started = Instant::now();
+        let g = scenario.source.materialize();
+        let delta = g.max_degree();
+        let edges = scenario.order.arrange(&g);
+
+        let (algo, coloring, passes, space_bits, checkpoints) = if scenario.colorer.is_streaming() {
+            let mut colorer = scenario
+                .colorer
+                .build_streaming(g.n(), delta, scenario.seed, Some(&g))
+                .expect("streaming spec builds a colorer");
+            let report = StreamEngine::new(scenario.engine.clone()).run(colorer.as_mut(), &edges);
+            (
+                colorer.name().to_string(),
+                report.final_coloring,
+                Some(report.passes),
+                Some(report.peak_space_bits),
+                report.checkpoints,
+            )
+        } else {
+            let label = scenario.colorer.label().to_string();
+            match &scenario.colorer {
+                ColorerSpec::Det(config) => {
+                    let stream = StoredStream::from_edges(edges.iter().copied());
+                    let r = deterministic_coloring(&stream, g.n(), delta, config);
+                    (label, r.coloring, Some(r.passes), Some(r.peak_space_bits), Vec::new())
+                }
+                ColorerSpec::BatchGreedy => {
+                    let stream = StoredStream::from_edges(edges.iter().copied());
+                    let r = batch_greedy_coloring(&stream, g.n(), delta.max(1));
+                    (label, r.coloring, Some(r.passes), Some(r.peak_space_bits), Vec::new())
+                }
+                ColorerSpec::OfflineGreedy => (label, offline_greedy(&g), None, None, Vec::new()),
+                ColorerSpec::Brooks => {
+                    (label, sc_graph::brooks_coloring(&g), None, None, Vec::new())
+                }
+                streaming => unreachable!("{streaming:?} is a streaming spec"),
+            }
+        };
+
+        let proper = coloring.is_proper_total(&g);
+        let colors = coloring.num_distinct_colors();
+        RunOutcome {
+            label: scenario.label.clone(),
+            algo,
+            n: g.n(),
+            m: g.m(),
+            delta,
+            coloring,
+            proper,
+            colors,
+            passes,
+            space_bits,
+            checkpoints,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Runs independent scenarios across the worker pool, preserving
+    /// input order in the results.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<RunOutcome> {
+        par_map(self.threads, scenarios, |_, s| self.run(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceSpec;
+    use sc_graph::generators;
+    use sc_stream::{EngineConfig, QuerySchedule, StreamOrder};
+    use streamcolor::DetConfig;
+
+    #[test]
+    fn every_spec_runs_properly_through_the_runner() {
+        let runner = Runner::sequential();
+        let source = SourceSpec::exact_degree(80, 8, 3);
+        for colorer in [
+            ColorerSpec::Robust { beta: None },
+            ColorerSpec::Robust { beta: Some(0.5) },
+            ColorerSpec::Auto,
+            ColorerSpec::RandEfficient,
+            ColorerSpec::Cgs22,
+            ColorerSpec::Bg18 { buckets: None },
+            ColorerSpec::Bcg20 { epsilon: 0.5 },
+            ColorerSpec::PaletteSparsification { lists: None },
+            ColorerSpec::StoreAll,
+            ColorerSpec::Det(DetConfig::default()),
+            ColorerSpec::BatchGreedy,
+            ColorerSpec::OfflineGreedy,
+            ColorerSpec::Brooks,
+        ] {
+            let out = runner.run(&Scenario::new(source.clone(), colorer.clone()));
+            assert!(out.proper, "{:?} produced an improper coloring", colorer);
+            assert!(out.colors > 0);
+            assert_eq!(out.n, 80);
+            if colorer.is_streaming() {
+                assert_eq!(out.passes, Some(1));
+                assert!(out.space_bits.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_grid() {
+        let grid: Vec<Scenario> = (0..12)
+            .map(|seed| {
+                Scenario::new(SourceSpec::gnp(60, 6, 0.4, seed), ColorerSpec::Robust { beta: None })
+                    .with_seed(seed ^ 0xA5)
+                    .with_order(StreamOrder::Shuffled(seed))
+            })
+            .collect();
+        let seq: Vec<_> = Runner::sequential().run_all(&grid);
+        let par: Vec<_> = Runner::with_threads(4).run_all(&grid);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.coloring, b.coloring, "parallelism changed a result");
+            assert_eq!(a.space_bits, b.space_bits);
+            assert!(a.proper && b.proper);
+        }
+    }
+
+    #[test]
+    fn checkpoints_flow_into_outcomes() {
+        let g = generators::gnp_with_max_degree(50, 5, 0.5, 2);
+        let m = g.m();
+        let s = Scenario::new(SourceSpec::stored(g), ColorerSpec::StoreAll)
+            .with_engine(EngineConfig::batched(8))
+            .with_schedule(QuerySchedule::EveryEdges(10));
+        let out = Runner::sequential().run(&s);
+        assert_eq!(out.checkpoints.len(), m / 10);
+        assert!(out.proper);
+    }
+
+    #[test]
+    fn stored_sources_share_the_graph_across_a_grid() {
+        let g = generators::random_with_exact_max_degree(100, 9, 4);
+        let source = SourceSpec::stored(g);
+        let grid: Vec<Scenario> = StreamOrder::sweep(11)
+            .into_iter()
+            .map(|order| {
+                Scenario::new(source.clone(), ColorerSpec::RandEfficient).with_order(order)
+            })
+            .collect();
+        let outs = Runner::default().run_all(&grid);
+        assert_eq!(outs.len(), 6);
+        assert!(outs.iter().all(|o| o.proper));
+    }
+}

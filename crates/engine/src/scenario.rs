@@ -1,0 +1,94 @@
+//! The declarative experiment unit.
+
+use crate::source::SourceSpec;
+use crate::spec::ColorerSpec;
+use sc_stream::{EngineConfig, QuerySchedule, StreamOrder};
+
+/// One experiment: a graph source, an arrival order, an algorithm, an
+/// engine configuration and a seed.
+///
+/// Scenarios are plain data (`Clone + Send + Sync`), so parameter grids
+/// are built by mapping over vectors and handed to
+/// [`Runner::run_all`](crate::Runner::run_all) for parallel execution.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label carried into the outcome (defaults to the spec's).
+    pub label: String,
+    /// The input graph.
+    pub source: SourceSpec,
+    /// Edge arrival order.
+    pub order: StreamOrder,
+    /// The algorithm under test.
+    pub colorer: ColorerSpec,
+    /// Chunking and checkpoint schedule. Applies to single-pass
+    /// streaming specs only; multi-pass and offline specs own their
+    /// pass structure and produce no mid-stream checkpoints.
+    pub engine: EngineConfig,
+    /// Algorithm seed (independent of the source's generator seed).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with defaults: generated order, batched engine, final
+    /// query only, seed 7.
+    pub fn new(source: SourceSpec, colorer: ColorerSpec) -> Self {
+        Self {
+            label: colorer.label().to_string(),
+            source,
+            order: StreamOrder::AsGenerated,
+            colorer,
+            engine: EngineConfig::default(),
+            seed: 7,
+        }
+    }
+
+    /// Sets the display label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the arrival order.
+    pub fn with_order(mut self, order: StreamOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the algorithm seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Adds a mid-stream checkpoint schedule.
+    pub fn with_schedule(mut self, schedule: QuerySchedule) -> Self {
+        self.engine.schedule = schedule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let s = Scenario::new(SourceSpec::exact_degree(50, 5, 1), ColorerSpec::Auto)
+            .labeled("demo")
+            .with_order(StreamOrder::Shuffled(3))
+            .with_seed(9)
+            .with_engine(EngineConfig::batched(32))
+            .with_schedule(QuerySchedule::EveryEdges(10));
+        assert_eq!(s.label, "demo");
+        assert_eq!(s.order, StreamOrder::Shuffled(3));
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.engine.chunk_size, 32);
+        assert_eq!(s.engine.schedule, QuerySchedule::EveryEdges(10));
+    }
+}

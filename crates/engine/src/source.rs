@@ -1,0 +1,155 @@
+//! Declarative graph sources.
+
+use sc_graph::{generators, Graph};
+use std::sync::Arc;
+
+/// Where a scenario's graph comes from.
+#[derive(Debug, Clone)]
+pub enum SourceSpec {
+    /// An already-materialized graph (e.g. read from a file), shared
+    /// cheaply across scenarios.
+    Stored(Arc<Graph>),
+    /// A reproducible generator family; materialized per run.
+    Family {
+        /// The family to draw from.
+        family: GraphFamily,
+        /// Number of vertices.
+        n: usize,
+        /// Degree bound / target (family-dependent).
+        delta: usize,
+        /// Density parameter for the random families.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// The generator families scenarios can name (mirrors
+/// `sc_graph::generators`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphFamily {
+    /// `G(n, p)` with degrees capped at `delta`.
+    Gnp,
+    /// Random graph with *exactly* max degree `delta`.
+    ExactDegree,
+    /// Preferential attachment with degree cap `delta`.
+    PreferentialAttachment,
+    /// The `n`-cycle (requires `n ≥ 3`).
+    Cycle,
+    /// The `n`-path.
+    Path,
+    /// The complete graph `K_n`.
+    Complete,
+    /// The `n`-vertex star.
+    Star,
+    /// Disjoint union of `k` cliques of the given size.
+    CliqueUnion {
+        /// Number of cliques.
+        k: usize,
+        /// Vertices per clique.
+        size: usize,
+    },
+    /// Random bipartite with side sizes `a`, `b`.
+    Bipartite {
+        /// Left side size.
+        a: usize,
+        /// Right side size.
+        b: usize,
+    },
+    /// The Petersen graph.
+    Petersen,
+    /// Circulant graph with jumps `1..=delta/2`.
+    Circulant,
+}
+
+impl SourceSpec {
+    /// A stored-graph source.
+    pub fn stored(g: Graph) -> Self {
+        SourceSpec::Stored(Arc::new(g))
+    }
+
+    /// Shorthand: `G(n, p)` capped at `delta`.
+    pub fn gnp(n: usize, delta: usize, p: f64, seed: u64) -> Self {
+        SourceSpec::Family { family: GraphFamily::Gnp, n, delta, p, seed }
+    }
+
+    /// Shorthand: exactly max degree `delta`.
+    pub fn exact_degree(n: usize, delta: usize, seed: u64) -> Self {
+        SourceSpec::Family { family: GraphFamily::ExactDegree, n, delta, p: 0.3, seed }
+    }
+
+    /// Builds (or shares) the graph.
+    pub fn materialize(&self) -> Arc<Graph> {
+        match self {
+            SourceSpec::Stored(g) => Arc::clone(g),
+            SourceSpec::Family { family, n, delta, p, seed } => {
+                Arc::new(family.generate(*n, *delta, *p, *seed))
+            }
+        }
+    }
+}
+
+impl GraphFamily {
+    /// Generates a graph of this family (callers validate parameters;
+    /// precondition violations panic, as in `sc_graph::generators`).
+    pub fn generate(self, n: usize, delta: usize, p: f64, seed: u64) -> Graph {
+        match self {
+            GraphFamily::Gnp => generators::gnp_with_max_degree(n, delta, p, seed),
+            GraphFamily::ExactDegree => generators::random_with_exact_max_degree(n, delta, seed),
+            GraphFamily::PreferentialAttachment => {
+                generators::preferential_attachment(n, 2, delta, seed)
+            }
+            GraphFamily::Cycle => generators::cycle(n),
+            GraphFamily::Path => generators::path(n),
+            GraphFamily::Complete => generators::complete(n),
+            GraphFamily::Star => generators::star(n),
+            GraphFamily::CliqueUnion { k, size } => generators::clique_union(k, size),
+            GraphFamily::Bipartite { a, b } => generators::random_bipartite(a, b, p, delta, seed),
+            GraphFamily::Petersen => generators::petersen(),
+            GraphFamily::Circulant => generators::circulant(n, (delta / 2).max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_source_shares_one_graph() {
+        let spec = SourceSpec::stored(generators::complete(5));
+        let a = spec.materialize();
+        let b = spec.materialize();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.m(), 10);
+    }
+
+    #[test]
+    fn family_sources_are_reproducible() {
+        let spec = SourceSpec::gnp(60, 6, 0.4, 9);
+        let a = spec.materialize();
+        let b = spec.materialize();
+        assert_eq!(*a, *b);
+        assert!(a.max_degree() <= 6);
+    }
+
+    #[test]
+    fn every_family_generates() {
+        for family in [
+            GraphFamily::Gnp,
+            GraphFamily::ExactDegree,
+            GraphFamily::PreferentialAttachment,
+            GraphFamily::Cycle,
+            GraphFamily::Path,
+            GraphFamily::Complete,
+            GraphFamily::Star,
+            GraphFamily::CliqueUnion { k: 3, size: 4 },
+            GraphFamily::Bipartite { a: 10, b: 12 },
+            GraphFamily::Petersen,
+            GraphFamily::Circulant,
+        ] {
+            let g = family.generate(24, 4, 0.3, 1);
+            assert!(g.n() > 0, "{family:?} generated an empty graph");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Declarative algorithm selection.
+
+use sc_graph::Graph;
+use sc_stream::StreamingColorer;
+use streamcolor::robust::auto_robust_colorer;
+use streamcolor::{
+    Bcg20Colorer, Bg18Colorer, Cgs22Colorer, DetConfig, PaletteSparsification,
+    RandEfficientColorer, RobustColorer, RobustParams, StoreAllColorer, TrivialColorer,
+};
+
+/// Which algorithm a [`Scenario`](crate::Scenario) runs.
+///
+/// Streaming variants build a boxed [`StreamingColorer`] driven by the
+/// batched engine; multi-pass and offline variants are executed directly
+/// by the [`Runner`](crate::Runner) (they consume a whole
+/// [`StreamSource`](sc_stream::StreamSource) / graph rather than an edge
+/// feed).
+#[derive(Debug, Clone)]
+pub enum ColorerSpec {
+    /// Algorithm 2 (Theorem 3 / Corollary 4.7). `beta = None` is the
+    /// Theorem 3 point `β = 0`.
+    Robust {
+        /// The Corollary 4.7 space/colors tradeoff parameter.
+        beta: Option<f64>,
+    },
+    /// The paper's complete Theorem 3 recipe: store-all fallback for
+    /// small `∆`, Algorithm 2 otherwise.
+    Auto,
+    /// Algorithm 3 (Theorem 4).
+    RandEfficient,
+    /// CGS22-style sketch-switching robust baseline.
+    Cgs22,
+    /// BG18-style bucket coloring; `buckets = None` uses `∆`.
+    Bg18 {
+        /// Bucket count override.
+        buckets: Option<u64>,
+    },
+    /// BCG20-style degeneracy palettes (needs the materialized graph to
+    /// size its palette).
+    Bcg20 {
+        /// Palette slack `ε`.
+        epsilon: f64,
+    },
+    /// ACK19-style palette sparsification; `lists = None` uses the
+    /// `Θ(log n)` theory sizing.
+    PaletteSparsification {
+        /// Sampled-list size override.
+        lists: Option<usize>,
+    },
+    /// Store every edge, color optimally at query time.
+    StoreAll,
+    /// The trivial `n`-coloring.
+    Trivial,
+    /// Theorem 1: deterministic multi-pass `(∆+1)`-coloring.
+    Det(DetConfig),
+    /// The `O(∆)`-pass batch-greedy comparator.
+    BatchGreedy,
+    /// Offline first-fit greedy (not a streaming algorithm).
+    OfflineGreedy,
+    /// Offline Brooks `∆`-coloring (not a streaming algorithm).
+    Brooks,
+}
+
+impl ColorerSpec {
+    /// Whether this spec runs through the single-pass streaming engine.
+    pub fn is_streaming(&self) -> bool {
+        !matches!(
+            self,
+            ColorerSpec::Det(_)
+                | ColorerSpec::BatchGreedy
+                | ColorerSpec::OfflineGreedy
+                | ColorerSpec::Brooks
+        )
+    }
+
+    /// Builds the boxed streaming colorer for this spec, or `None` for
+    /// multi-pass / offline specs.
+    ///
+    /// # Panics
+    /// `Bcg20` panics without a materialized graph — its palette is sized
+    /// from the graph's degeneracy.
+    pub fn build_streaming(
+        &self,
+        n: usize,
+        delta: usize,
+        seed: u64,
+        graph: Option<&Graph>,
+    ) -> Option<Box<dyn StreamingColorer>> {
+        let delta = delta.max(1);
+        Some(match self {
+            ColorerSpec::Robust { beta } => match beta {
+                Some(b) => Box::new(RobustColorer::with_params(
+                    RobustParams::with_beta(n, delta, *b),
+                    seed,
+                )),
+                None => Box::new(RobustColorer::new(n, delta, seed)),
+            },
+            ColorerSpec::Auto => Box::new(auto_robust_colorer(n, delta, seed)),
+            ColorerSpec::RandEfficient => Box::new(RandEfficientColorer::new(n, delta, seed)),
+            ColorerSpec::Cgs22 => Box::new(Cgs22Colorer::new(n, delta, seed)),
+            ColorerSpec::Bg18 { buckets } => {
+                Box::new(Bg18Colorer::new(n, buckets.unwrap_or(delta as u64), seed))
+            }
+            ColorerSpec::Bcg20 { epsilon } => Box::new(Bcg20Colorer::for_graph(
+                graph.expect("ColorerSpec::Bcg20 needs a materialized graph"),
+                *epsilon,
+                seed,
+            )),
+            ColorerSpec::PaletteSparsification { lists } => match lists {
+                Some(k) => Box::new(PaletteSparsification::new(n, delta, *k, seed)),
+                None => Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
+            },
+            ColorerSpec::StoreAll => Box::new(StoreAllColorer::new(n)),
+            ColorerSpec::Trivial => Box::new(TrivialColorer::new(n)),
+            ColorerSpec::Det(_)
+            | ColorerSpec::BatchGreedy
+            | ColorerSpec::OfflineGreedy
+            | ColorerSpec::Brooks => return None,
+        })
+    }
+
+    /// A stable display label (streaming specs report the colorer's own
+    /// name once built; this one also covers the non-streaming specs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColorerSpec::Robust { .. } => "robust-alg2",
+            ColorerSpec::Auto => "auto-robust",
+            ColorerSpec::RandEfficient => "robust-alg3",
+            ColorerSpec::Cgs22 => "cgs22-sketch-switch",
+            ColorerSpec::Bg18 { .. } => "bg18-bucket",
+            ColorerSpec::Bcg20 { .. } => "bcg20-degeneracy",
+            ColorerSpec::PaletteSparsification { .. } => "palette-sparsification",
+            ColorerSpec::StoreAll => "store-all",
+            ColorerSpec::Trivial => "trivial",
+            ColorerSpec::Det(_) => "deterministic (Thm 1)",
+            ColorerSpec::BatchGreedy => "batch-greedy (O(∆) passes)",
+            ColorerSpec::OfflineGreedy => "offline greedy",
+            ColorerSpec::Brooks => "offline Brooks (∆ colors)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::generators;
+
+    #[test]
+    fn streaming_specs_build_and_name_themselves() {
+        let g = generators::gnp_with_max_degree(40, 5, 0.4, 1);
+        for spec in [
+            ColorerSpec::Robust { beta: None },
+            ColorerSpec::Robust { beta: Some(0.5) },
+            ColorerSpec::Auto,
+            ColorerSpec::RandEfficient,
+            ColorerSpec::Cgs22,
+            ColorerSpec::Bg18 { buckets: None },
+            ColorerSpec::Bcg20 { epsilon: 0.5 },
+            ColorerSpec::PaletteSparsification { lists: Some(6) },
+            ColorerSpec::StoreAll,
+            ColorerSpec::Trivial,
+        ] {
+            assert!(spec.is_streaming());
+            let colorer = spec.build_streaming(40, 5, 7, Some(&g)).unwrap();
+            assert!(!colorer.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn non_streaming_specs_do_not_build_colorers() {
+        for spec in [
+            ColorerSpec::Det(DetConfig::default()),
+            ColorerSpec::BatchGreedy,
+            ColorerSpec::OfflineGreedy,
+            ColorerSpec::Brooks,
+        ] {
+            assert!(!spec.is_streaming());
+            assert!(spec.build_streaming(10, 3, 1, None).is_none());
+            assert!(!spec.label().is_empty());
+        }
+    }
+}

@@ -30,11 +30,7 @@ use crate::graph::Graph;
 /// (size for a clique; 3 for an odd cycle; 2 for paths/even cycles;
 /// otherwise the component's max degree), and 1 for isolated vertices.
 pub fn brooks_bound(g: &Graph) -> usize {
-    connected_components(g)
-        .iter()
-        .map(|comp| component_bound(g, comp))
-        .max()
-        .unwrap_or(0)
+    connected_components(g).iter().map(|comp| component_bound(g, comp)).max().unwrap_or(0)
 }
 
 /// A proper coloring of `g` using at most [`brooks_bound`] colors.
@@ -126,11 +122,7 @@ fn color_component(g: &Graph, comp: &[VertexId], coloring: &mut Coloring) {
 /// Alternating coloring of a path or cycle component (`∆ ≤ 2`).
 fn color_path_or_cycle(g: &Graph, comp: &[VertexId], coloring: &mut Coloring) {
     // Start from an endpoint if one exists (path), else anywhere (cycle).
-    let start = comp
-        .iter()
-        .copied()
-        .find(|&v| g.degree(v) <= 1)
-        .unwrap_or(comp[0]);
+    let start = comp.iter().copied().find(|&v| g.degree(v) <= 1).unwrap_or(comp[0]);
     let mut walk = vec![start];
     let mut prev: Option<VertexId> = None;
     let mut cur = start;
@@ -211,11 +203,8 @@ fn greedy_within(
         if coloring.is_colored(v) {
             continue;
         }
-        let used: std::collections::HashSet<Color> = g
-            .neighbors(v)
-            .iter()
-            .filter_map(|&y| coloring.get(y))
-            .collect();
+        let used: std::collections::HashSet<Color> =
+            g.neighbors(v).iter().filter_map(|&y| coloring.get(y)).collect();
         let c = (0..palette)
             .find(|c| !used.contains(c))
             .unwrap_or_else(|| panic!("palette {palette} exhausted at vertex {v}"));
@@ -319,10 +308,8 @@ fn color_block(
     palette: Color,
     coloring: &mut Coloring,
 ) {
-    let precolored: Vec<(VertexId, Color)> = vertices
-        .iter()
-        .filter_map(|&v| coloring.get(v).map(|c| (v, c)))
-        .collect();
+    let precolored: Vec<(VertexId, Color)> =
+        vertices.iter().filter_map(|&v| coloring.get(v).map(|c| (v, c))).collect();
     debug_assert!(
         precolored.len() <= 1,
         "block-cut-tree BFS colors blocks one shared vertex at a time"

@@ -134,10 +134,7 @@ impl Coloring {
         assert_eq!(self.n(), other.n());
         for x in 0..self.n() {
             if let Some(c) = other.colors[x] {
-                assert!(
-                    self.colors[x].is_none(),
-                    "vertex {x} colored twice (extend_disjoint)"
-                );
+                assert!(self.colors[x].is_none(), "vertex {x} colored twice (extend_disjoint)");
                 self.colors[x] = Some(c);
             }
         }
@@ -145,10 +142,7 @@ impl Coloring {
 
     /// Iterator over `(vertex, color)` pairs for colored vertices.
     pub fn assignments(&self) -> impl Iterator<Item = (VertexId, Color)> + '_ {
-        self.colors
-            .iter()
-            .enumerate()
-            .filter_map(|(x, c)| c.map(|c| (x as VertexId, c)))
+        self.colors.iter().enumerate().filter_map(|(x, c)| c.map(|c| (x as VertexId, c)))
     }
 }
 

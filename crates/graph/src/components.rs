@@ -19,11 +19,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets `{0}, …, {n−1}`.
     pub fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Representative of `x`'s set (path halving keeps trees shallow
@@ -42,11 +38,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;

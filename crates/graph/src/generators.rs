@@ -161,11 +161,7 @@ pub fn preferential_attachment(n: usize, k: usize, max_deg: usize, seed: u64) ->
         while attached < k.min(v as usize) && attempts < 20 * k + 20 {
             attempts += 1;
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            if t != v
-                && !g.has_edge(v, t)
-                && g.degree(t) < max_deg
-                && g.degree(v) < max_deg
-            {
+            if t != v && !g.has_edge(v, t) && g.degree(t) < max_deg && g.degree(v) < max_deg {
                 g.add_edge(Edge::new(v, t));
                 endpoints.push(t);
                 attached += 1;

@@ -46,11 +46,7 @@ impl Graph {
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, e: Edge) -> bool {
         let (u, v) = e.endpoints();
-        assert!(
-            (v as usize) < self.n(),
-            "edge {e} out of range for n = {}",
-            self.n()
-        );
+        assert!((v as usize) < self.n(), "edge {e} out of range for n = {}", self.n());
         if self.adj[u as usize].contains(&v) {
             return false;
         }
@@ -235,10 +231,8 @@ mod tests {
 
     #[test]
     fn edges_iterator_yields_each_edge_once() {
-        let g = Graph::from_edges(
-            6,
-            (0..6u32).flat_map(|u| (u + 1..6).map(move |v| Edge::new(u, v))),
-        );
+        let g =
+            Graph::from_edges(6, (0..6u32).flat_map(|u| (u + 1..6).map(move |v| Edge::new(u, v))));
         assert_eq!(g.m(), 15);
         assert_eq!(g.edges().count(), 15);
         let set: std::collections::HashSet<_> = g.edges().collect();

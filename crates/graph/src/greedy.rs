@@ -83,8 +83,7 @@ pub fn greedy_list_color(
         if coloring.is_colored(x) {
             continue;
         }
-        let taken: Vec<Color> =
-            g.neighbors(x).iter().filter_map(|&y| coloring.get(y)).collect();
+        let taken: Vec<Color> = g.neighbors(x).iter().filter_map(|&y| coloring.get(y)).collect();
         match lists[x as usize].iter().find(|c| !taken.contains(c)) {
             Some(&c) => coloring.set(x, c),
             None => return Err(x),
@@ -174,9 +173,8 @@ mod tests {
     #[test]
     fn deg_plus_one_lists_always_suffice() {
         let g = generators::gnp_with_max_degree(40, 8, 0.3, 99);
-        let lists: Vec<Vec<Color>> = (0..40u32)
-            .map(|x| (0..=g.degree(x) as Color).map(|c| c * 3 + 17).collect())
-            .collect();
+        let lists: Vec<Vec<Color>> =
+            (0..40u32).map(|x| (0..=g.degree(x) as Color).map(|c| c * 3 + 17).collect()).collect();
         let order: Vec<VertexId> = (0..40).collect();
         let mut c = Coloring::empty(40);
         greedy_list_color(&g, &mut c, &order, &lists).unwrap();

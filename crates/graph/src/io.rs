@@ -268,11 +268,7 @@ pub fn write_coloring<W: Write>(coloring: &crate::Coloring, mut w: W) -> std::io
 /// Convenience: parse either format, sniffing from the first significant
 /// line (`p`/`c` ⇒ DIMACS, `n`/`#` ⇒ edge list).
 pub fn read_auto(text: &str) -> Result<Graph, ParseError> {
-    let first = text
-        .lines()
-        .map(str::trim)
-        .find(|l| !l.is_empty())
-        .unwrap_or("");
+    let first = text.lines().map(str::trim).find(|l| !l.is_empty()).unwrap_or("");
     if first.starts_with('p') || first.starts_with('c') {
         read_dimacs(text.as_bytes())
     } else {
@@ -339,10 +335,7 @@ mod tests {
     #[test]
     fn out_of_range_and_self_loop_are_errors() {
         let err = read_edge_list("n 3\n0 3\n".as_bytes()).unwrap_err();
-        assert!(
-            matches!(err, ParseError::VertexOutOfRange { line: 2, vertex: 3, n: 3 }),
-            "{err}"
-        );
+        assert!(matches!(err, ParseError::VertexOutOfRange { line: 2, vertex: 3, n: 3 }), "{err}");
         let err = read_edge_list("n 3\n1 1\n".as_bytes()).unwrap_err();
         assert!(matches!(err, ParseError::SelfLoop { line: 2, vertex: 1 }));
     }

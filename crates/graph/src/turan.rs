@@ -210,11 +210,7 @@ mod tests {
             }
             let all: Vec<VertexId> = (0..n as u32).collect();
             let is = turan_independent_set(&g, &all);
-            assert!(
-                is.len() * 3 >= n,
-                "with m = n, IS must be ≥ n/3: got {} of {n}",
-                is.len()
-            );
+            assert!(is.len() * 3 >= n, "with m = n, IS must be ≥ n/3: got {} of {n}", is.len());
         }
     }
 }

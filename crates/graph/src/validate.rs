@@ -35,10 +35,7 @@ impl Audit {
     /// A human-readable verdict for logs and assertion messages.
     pub fn verdict(&self) -> String {
         if self.is_proper_total() {
-            format!(
-                "proper: {} colors, largest class {}",
-                self.distinct_colors, self.largest_class
-            )
+            format!("proper: {} colors, largest class {}", self.distinct_colors, self.largest_class)
         } else {
             format!(
                 "IMPROPER: {} monochromatic edges (first: {:?}), {} uncolored vertices",

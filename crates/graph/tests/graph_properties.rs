@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use sc_graph::{
-    degeneracy_coloring, degeneracy_ordering, generators, greedy_complete,
-    turan_independent_set, Coloring, Graph,
+    degeneracy_coloring, degeneracy_ordering, generators, greedy_complete, turan_independent_set,
+    Coloring, Graph,
 };
 
 fn arb_graph() -> impl Strategy<Value = Graph> {

@@ -16,6 +16,22 @@ pub trait StreamingColorer {
     /// Processes the next edge insertion.
     fn process(&mut self, e: Edge);
 
+    /// Processes a chunk of consecutive edge insertions.
+    ///
+    /// Must be observationally identical to calling [`process`] on each
+    /// edge in order — same colorings from every later [`query`], same
+    /// space report — for every chunking of the stream. Implementors
+    /// override this to amortize per-edge work (hashing, candidate
+    /// censuses) across the chunk; the default is the sequential loop.
+    ///
+    /// [`process`]: StreamingColorer::process
+    /// [`query`]: StreamingColorer::query
+    fn process_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.process(e);
+        }
+    }
+
     /// Returns a coloring of all edges processed so far.
     ///
     /// For robust algorithms this must be proper with probability `≥ 1 − δ`

@@ -1,0 +1,476 @@
+//! The batched streaming engine.
+//!
+//! The adversarially robust setting (paper §4, and
+//! Chakrabarti–Ghosh–Stoeckl 2021) is a game over *stream prefixes*: an
+//! algorithm must be able to answer [`StreamingColorer::query`] after any
+//! prefix, and experiments measure it at many prefixes. [`StreamEngine`]
+//! makes the prefix the unit of ingestion: it owns
+//!
+//! * **chunking** — edges are fed through
+//!   [`StreamingColorer::process_batch`] in [`EngineConfig::chunk_size`]
+//!   slices, letting colorers amortize hashing and candidate-census work
+//!   (chunking never changes results: batched and per-edge ingestion are
+//!   observationally identical, a law the workspace property-tests);
+//! * **pass counting** — [`StreamEngine::run_source`] wraps sources in a
+//!   [`PassCounter`] so multi-pass consumers report realized passes;
+//! * **space metering** — reports carry the colorer's self-reported peak
+//!   ([`StreamingColorer::peak_space_bits`]) at every observation point;
+//! * **checkpointed mid-stream queries** — a [`QuerySchedule`] names the
+//!   prefixes at which the engine snapshots [`Checkpoint`]s; chunk
+//!   boundaries are split as needed so a checkpoint lands exactly on its
+//!   prefix.
+//!
+//! Interactive consumers (the adversarial game, where the next edge
+//! depends on the last output) drive an [`EngineSession`] instead, which
+//! exposes the same chunk-and-checkpoint machinery one edge at a time.
+
+use crate::colorer::StreamingColorer;
+use crate::source::{PassCounter, StreamSource};
+use sc_graph::{Coloring, Edge};
+use std::time::{Duration, Instant};
+
+/// How an engine run ingests and observes a stream.
+///
+/// Only single-pass [`StreamingColorer`] runs are driven by this config;
+/// multi-pass and offline algorithms own their pass structure, so
+/// scenario layers ignore it for those (and produce no checkpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Edges per [`StreamingColorer::process_batch`] call. `1` degrades
+    /// to per-edge ingestion; the default (256) amortizes per-chunk work
+    /// without distorting checkpoint granularity.
+    pub chunk_size: usize,
+    /// Which stream prefixes to snapshot mid-stream.
+    pub schedule: QuerySchedule,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { chunk_size: 256, schedule: QuerySchedule::FinalOnly }
+    }
+}
+
+impl EngineConfig {
+    /// Per-edge ingestion, final query only (the classic harness loop).
+    pub fn per_edge() -> Self {
+        Self { chunk_size: 1, schedule: QuerySchedule::FinalOnly }
+    }
+
+    /// Batched ingestion with the given chunk size, final query only.
+    pub fn batched(chunk_size: usize) -> Self {
+        Self { chunk_size: chunk_size.max(1), schedule: QuerySchedule::FinalOnly }
+    }
+
+    /// Sets the checkpoint schedule.
+    pub fn with_schedule(mut self, schedule: QuerySchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
+
+/// Which prefixes of the stream get a mid-stream [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySchedule {
+    /// No mid-stream queries; only the final coloring is produced.
+    FinalOnly,
+    /// Checkpoint after every `k` edges (`k ≥ 1`).
+    EveryEdges(usize),
+    /// Checkpoint after exactly these prefix lengths (any order;
+    /// out-of-range entries are ignored).
+    AtPrefixes(Vec<usize>),
+}
+
+impl QuerySchedule {
+    /// The next scheduled prefix strictly greater than `done`, if any.
+    fn next_after(&self, done: usize) -> Option<usize> {
+        match self {
+            QuerySchedule::FinalOnly => None,
+            QuerySchedule::EveryEdges(k) => {
+                let k = (*k).max(1);
+                Some((done / k + 1) * k)
+            }
+            QuerySchedule::AtPrefixes(ps) => {
+                // Min over all remaining prefixes, so unsorted lists
+                // still checkpoint at every requested point.
+                ps.iter().copied().filter(|&p| p > done).min()
+            }
+        }
+    }
+}
+
+/// A mid-stream observation: the coloring and accounting after a prefix.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Number of edges ingested when the query ran.
+    pub prefix_len: usize,
+    /// The colorer's answer for the graph-so-far.
+    pub coloring: Coloring,
+    /// Self-reported peak space at this point, in bits.
+    pub space_bits: u64,
+    /// Distinct colors in this answer.
+    pub colors: usize,
+}
+
+/// The outcome of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Total edges ingested.
+    pub edges: usize,
+    /// `process_batch` calls made (chunks, after checkpoint splitting).
+    pub chunks: usize,
+    /// Passes started on the source (1 for a slice run).
+    pub passes: u64,
+    /// The final coloring.
+    pub final_coloring: Coloring,
+    /// Final self-reported peak space in bits.
+    pub peak_space_bits: u64,
+    /// Mid-stream checkpoints, in prefix order (excludes the final query).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Wall-clock ingest + query time.
+    pub elapsed: Duration,
+}
+
+/// Drives a [`StreamingColorer`] over a stream per an [`EngineConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamEngine {
+    config: EngineConfig,
+}
+
+impl StreamEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Feeds `edges` through `colorer` in chunks, checkpointing per the
+    /// schedule, and finishes with a final query.
+    pub fn run<C: StreamingColorer + ?Sized>(
+        &self,
+        colorer: &mut C,
+        edges: &[Edge],
+    ) -> EngineReport {
+        let start = Instant::now();
+        let mut session = EngineSession::new(colorer, self.config.clone());
+        session.push_slice(edges);
+        session.finish(start)
+    }
+
+    /// Like [`StreamEngine::run`] but reading one pass from a
+    /// [`StreamSource`], counting it, and skipping non-edge tokens.
+    pub fn run_source<C, S>(&self, colorer: &mut C, source: &S) -> EngineReport
+    where
+        C: StreamingColorer + ?Sized,
+        S: StreamSource + ?Sized,
+    {
+        let start = Instant::now();
+        let counted = PassCounter::new(source);
+        let mut session = EngineSession::new(colorer, self.config.clone());
+        // The session's own pending buffer does the chunk assembly.
+        for item in counted.pass() {
+            let Some(e) = item.as_edge() else { continue };
+            session.push(e);
+        }
+        let mut report = session.finish(start);
+        report.passes = counted.passes();
+        report
+    }
+}
+
+/// Incremental engine state for interactive consumers (the adversarial
+/// game pushes one edge per round and checkpoints after each).
+pub struct EngineSession<'a, C: StreamingColorer + ?Sized> {
+    colorer: &'a mut C,
+    config: EngineConfig,
+    /// Edges accepted but not yet fed to the colorer.
+    pending: Vec<Edge>,
+    /// Edges fed to the colorer so far.
+    ingested: usize,
+    chunks: usize,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
+    /// Opens a session over `colorer`.
+    pub fn new(colorer: &'a mut C, config: EngineConfig) -> Self {
+        let cap = config.chunk_size.max(1);
+        Self {
+            colorer,
+            config,
+            pending: Vec::with_capacity(cap),
+            ingested: 0,
+            chunks: 0,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Edges accepted so far (including any still pending).
+    pub fn len(&self) -> usize {
+        self.ingested + self.pending.len()
+    }
+
+    /// Whether no edges have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accepts one edge, flushing/checkpointing per the configuration.
+    pub fn push(&mut self, e: Edge) {
+        self.push_slice(std::slice::from_ref(&e));
+    }
+
+    /// Accepts a slice of edges. Complete chunks are fed through
+    /// immediately; a sub-chunk tail stays staged for later pushes.
+    pub fn push_slice(&mut self, edges: &[Edge]) {
+        self.pending.extend_from_slice(edges);
+        self.drain_schedule();
+        let chunk = self.config.chunk_size.max(1);
+        let complete = (self.pending.len() / chunk) * chunk;
+        self.flush_first(complete);
+    }
+
+    /// Runs every checkpoint whose prefix is covered by accepted edges.
+    fn drain_schedule(&mut self) {
+        while let Some(next) = self.config.schedule.next_after(self.ingested) {
+            if next > self.len() {
+                break;
+            }
+            let take = next - self.ingested;
+            self.flush_first(take);
+            self.record_checkpoint();
+        }
+    }
+
+    /// Feeds the first `take` pending edges to the colorer, in
+    /// chunk-size batches.
+    fn flush_first(&mut self, take: usize) {
+        if take == 0 {
+            return;
+        }
+        let chunk = self.config.chunk_size.max(1);
+        let mut fed = 0;
+        while fed < take {
+            let k = chunk.min(take - fed);
+            self.colorer.process_batch(&self.pending[fed..fed + k]);
+            fed += k;
+            self.chunks += 1;
+        }
+        self.pending.drain(..take);
+        self.ingested += take;
+    }
+
+    /// Feeds all pending edges to the colorer.
+    pub fn flush(&mut self) {
+        self.flush_first(self.pending.len());
+    }
+
+    /// Flushes, queries, and records + returns a checkpoint for the
+    /// current prefix.
+    pub fn checkpoint(&mut self) -> &Checkpoint {
+        self.flush();
+        self.record_checkpoint();
+        self.checkpoints.last().expect("checkpoint just recorded")
+    }
+
+    /// Flushes and queries the current prefix *without* recording — the
+    /// adversarial game observes after every round and keeping each
+    /// round's coloring would cost `O(rounds · n)` memory.
+    pub fn observe(&mut self) -> Checkpoint {
+        self.flush();
+        self.snapshot()
+    }
+
+    /// Queries the ingested prefix as-is (no flush: scheduled
+    /// checkpoints run mid-slice, with later edges still staged).
+    fn snapshot(&mut self) -> Checkpoint {
+        let coloring = self.colorer.query();
+        let colors = coloring.num_distinct_colors();
+        Checkpoint {
+            prefix_len: self.ingested,
+            coloring,
+            space_bits: self.colorer.peak_space_bits(),
+            colors,
+        }
+    }
+
+    fn record_checkpoint(&mut self) {
+        let cp = self.snapshot();
+        self.checkpoints.push(cp);
+    }
+
+    /// Flushes, runs the final query, and assembles the report.
+    /// `started_at` anchors the elapsed measurement.
+    pub fn finish(mut self, started_at: Instant) -> EngineReport {
+        self.flush();
+        let final_coloring = self.colorer.query();
+        EngineReport {
+            edges: self.ingested,
+            chunks: self.chunks,
+            passes: 1,
+            peak_space_bits: self.colorer.peak_space_bits(),
+            final_coloring,
+            checkpoints: self.checkpoints,
+            elapsed: started_at.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colorer::run_oblivious;
+    use crate::space;
+    use sc_graph::{generators, Graph};
+
+    /// Store-everything colorer for exercising engine plumbing.
+    struct StoreAll {
+        n: usize,
+        edges: Vec<Edge>,
+        batches: Vec<usize>,
+    }
+
+    impl StoreAll {
+        fn new(n: usize) -> Self {
+            Self { n, edges: vec![], batches: vec![] }
+        }
+    }
+
+    impl StreamingColorer for StoreAll {
+        fn process(&mut self, e: Edge) {
+            self.edges.push(e);
+            self.batches.push(1);
+        }
+        fn process_batch(&mut self, edges: &[Edge]) {
+            self.edges.extend_from_slice(edges);
+            self.batches.push(edges.len());
+        }
+        fn query(&mut self) -> Coloring {
+            let g = Graph::from_edges(self.n, self.edges.iter().copied());
+            let mut c = Coloring::empty(self.n);
+            sc_graph::greedy_complete(&g, &mut c);
+            c
+        }
+        fn peak_space_bits(&self) -> u64 {
+            self.edges.len() as u64 * space::edge_bits(self.n)
+        }
+        fn name(&self) -> &'static str {
+            "store-all"
+        }
+    }
+
+    fn edges_of(n: usize, seed: u64) -> (Graph, Vec<Edge>) {
+        let g = generators::gnp_with_max_degree(n, 6, 0.4, seed);
+        let e = generators::shuffled_edges(&g, seed);
+        (g, e)
+    }
+
+    #[test]
+    fn engine_run_matches_run_oblivious() {
+        let (g, edges) = edges_of(40, 1);
+        let mut a = StoreAll::new(40);
+        let expect = run_oblivious(&mut a, edges.iter().copied());
+        let mut b = StoreAll::new(40);
+        let report = StreamEngine::new(EngineConfig::batched(16)).run(&mut b, &edges);
+        assert_eq!(report.final_coloring, expect);
+        assert_eq!(report.edges, g.m());
+        assert!(report.final_coloring.is_proper_total(&g));
+        assert_eq!(report.peak_space_bits, a.peak_space_bits());
+    }
+
+    #[test]
+    fn chunk_sizes_partition_the_stream() {
+        let (_, edges) = edges_of(50, 2);
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut c = StoreAll::new(50);
+            let report = StreamEngine::new(EngineConfig::batched(chunk)).run(&mut c, &edges);
+            assert_eq!(report.edges, edges.len());
+            assert!(c.batches.iter().all(|&b| b <= chunk));
+            assert_eq!(c.batches.iter().sum::<usize>(), edges.len());
+            assert_eq!(report.chunks, c.batches.len());
+        }
+    }
+
+    #[test]
+    fn checkpoints_land_on_exact_prefixes() {
+        let (_, edges) = edges_of(60, 3);
+        assert!(edges.len() > 25, "need a long enough stream");
+        let cfg = EngineConfig::batched(8)
+            .with_schedule(QuerySchedule::AtPrefixes(vec![5, 17, 25, 10_000]));
+        let mut c = StoreAll::new(60);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(prefixes, vec![5, 17, 25]);
+        // Each checkpoint is proper for its prefix.
+        for cp in &report.checkpoints {
+            let prefix = Graph::from_edges(60, edges[..cp.prefix_len].iter().copied());
+            assert!(cp.coloring.is_proper_total(&prefix), "prefix {}", cp.prefix_len);
+            assert!(cp.space_bits > 0);
+        }
+    }
+
+    #[test]
+    fn unsorted_prefix_schedules_hit_every_point() {
+        let (_, edges) = edges_of(60, 6);
+        assert!(edges.len() > 25, "need a long enough stream");
+        let cfg =
+            EngineConfig::batched(8).with_schedule(QuerySchedule::AtPrefixes(vec![25, 5, 17]));
+        let mut c = StoreAll::new(60);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(prefixes, vec![5, 17, 25]);
+    }
+
+    #[test]
+    fn every_edges_schedule_is_periodic() {
+        let (_, edges) = edges_of(40, 4);
+        let cfg = EngineConfig::batched(10).with_schedule(QuerySchedule::EveryEdges(6));
+        let mut c = StoreAll::new(40);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        for (i, cp) in report.checkpoints.iter().enumerate() {
+            assert_eq!(cp.prefix_len, 6 * (i + 1));
+        }
+        assert_eq!(report.checkpoints.len(), edges.len() / 6);
+    }
+
+    #[test]
+    fn run_source_counts_the_pass_and_skips_lists() {
+        let g = generators::path(8);
+        let lists = vec![vec![1u64]; 8];
+        let s = crate::source::StoredStream::from_graph_with_lists(&g, &lists);
+        let mut c = StoreAll::new(8);
+        let report = StreamEngine::default().run_source(&mut c, &s);
+        assert_eq!(report.passes, 1);
+        assert_eq!(report.edges, g.m());
+        assert!(report.final_coloring.is_proper_total(&g));
+    }
+
+    #[test]
+    fn session_interactive_checkpoints() {
+        let (_, edges) = edges_of(30, 5);
+        let mut c = StoreAll::new(30);
+        let mut session = EngineSession::new(&mut c, EngineConfig::per_edge());
+        for (i, &e) in edges.iter().enumerate().take(10) {
+            session.push(e);
+            let cp = session.checkpoint();
+            assert_eq!(cp.prefix_len, i + 1);
+        }
+        assert_eq!(session.len(), 10);
+        let report = session.finish(Instant::now());
+        assert_eq!(report.edges, 10);
+        assert_eq!(report.checkpoints.len(), 10);
+    }
+
+    #[test]
+    fn empty_stream_report() {
+        let mut c = StoreAll::new(5);
+        let report = StreamEngine::default().run(&mut c, &[]);
+        assert_eq!(report.edges, 0);
+        assert_eq!(report.chunks, 0);
+        assert!(report.checkpoints.is_empty());
+        assert!(report.final_coloring.is_total());
+    }
+}

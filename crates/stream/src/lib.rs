@@ -10,8 +10,12 @@
 //!   `O(n log² n)` / `Õ(n)` bounds.
 //! * [`StreamingColorer`] — the process/query contract of the single-pass
 //!   (robust) setting, shared by the adversarial game driver.
+//! * [`StreamEngine`] / [`EngineSession`] — the batched ingestion engine:
+//!   chunking, pass counting, space metering and checkpointed mid-stream
+//!   queries in one place (see [`engine`]).
 
 pub mod colorer;
+pub mod engine;
 pub mod order;
 pub mod source;
 pub mod space;
@@ -19,6 +23,9 @@ pub mod token;
 pub mod trace;
 
 pub use colorer::{run_oblivious, StreamingColorer};
+pub use engine::{
+    Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, StreamEngine,
+};
 pub use order::StreamOrder;
 pub use source::{PassCounter, StoredStream, StreamSource};
 pub use space::{color_bits, counter_bits, edge_bits, vertex_bits, SpaceMeter};

@@ -65,9 +65,7 @@ impl StreamOrder {
                 edges
             }
             StreamOrder::HubsFirst => {
-                edges.sort_by_key(|e| {
-                    std::cmp::Reverse(g.degree(e.u()).max(g.degree(e.v())))
-                });
+                edges.sort_by_key(|e| std::cmp::Reverse(g.degree(e.u()).max(g.degree(e.v()))));
                 edges
             }
             StreamOrder::HubsLast => {
@@ -171,14 +169,8 @@ mod tests {
     #[test]
     fn shuffle_is_seed_deterministic_and_seed_sensitive() {
         let g = generators::complete(8);
-        assert_eq!(
-            StreamOrder::Shuffled(1).arrange(&g),
-            StreamOrder::Shuffled(1).arrange(&g)
-        );
-        assert_ne!(
-            StreamOrder::Shuffled(1).arrange(&g),
-            StreamOrder::Shuffled(2).arrange(&g)
-        );
+        assert_eq!(StreamOrder::Shuffled(1).arrange(&g), StreamOrder::Shuffled(1).arrange(&g));
+        assert_ne!(StreamOrder::Shuffled(1).arrange(&g), StreamOrder::Shuffled(2).arrange(&g));
     }
 
     #[test]
@@ -197,10 +189,7 @@ mod tests {
         let order = StreamOrder::Interleaved(3).arrange(&g);
         assert!(is_permutation(&g, &order));
         // Most consecutive pairs should not share a lower endpoint.
-        let sharing = order
-            .windows(2)
-            .filter(|w| w[0].u() == w[1].u())
-            .count();
+        let sharing = order.windows(2).filter(|w| w[0].u() == w[1].u()).count();
         assert!(sharing * 3 < order.len(), "{sharing} of {} pairs share", order.len());
     }
 

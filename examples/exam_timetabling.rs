@@ -74,11 +74,8 @@ fn main() {
     let lists = availability_lists(&g, slots, 7);
     // Interleave list tokens among the edges (lists first is the easy
     // case; Theorem 2 allows any order — shuffle to prove it).
-    let mut items: Vec<StreamItem> = lists
-        .iter()
-        .enumerate()
-        .map(|(x, l)| StreamItem::ColorList(x as u32, l.clone()))
-        .collect();
+    let mut items: Vec<StreamItem> =
+        lists.iter().enumerate().map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())).collect();
     items.extend(g.edges().map(StreamItem::Edge));
     items.shuffle(&mut StdRng::seed_from_u64(3));
     let stream = StoredStream::new(items);

@@ -73,7 +73,9 @@ fn main() {
         report.coloring.num_distinct_colors(),
         report.passes
     );
-    println!("every operator runs inside its availability window; no contention pair shares a slot.");
+    println!(
+        "every operator runs inside its availability window; no contention pair shares a slot."
+    );
     for op in 0..5u32 {
         println!(
             "  operator {op}: slot {} (window {:?})",

@@ -67,8 +67,7 @@ fn main() {
 
     // Determinism demo: a second compile run yields the identical map.
     let stream2 = StoredStream::from_graph(&graph);
-    let report2 =
-        deterministic_coloring(&stream2, virtual_registers, delta, &DetConfig::default());
+    let report2 = deterministic_coloring(&stream2, virtual_registers, delta, &DetConfig::default());
     assert_eq!(report.coloring, report2.coloring);
     println!("re-compilation produced a bit-identical register map (deterministic).");
 

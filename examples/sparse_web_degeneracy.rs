@@ -30,10 +30,7 @@ fn main() {
     let delta = g.max_degree();
     let all: Vec<u32> = (0..n as u32).collect();
     let kappa = degeneracy_ordering(&g, &all).degeneracy;
-    println!(
-        "web graph: {n} pages, {} links, ∆ = {delta} (hubs), κ = {kappa} (core depth)",
-        g.m()
-    );
+    println!("web graph: {n} pages, {} links, ∆ = {delta} (hubs), κ = {kappa} (core depth)", g.m());
 
     let edges = generators::shuffled_edges(&g, 4);
 
@@ -72,10 +69,7 @@ fn main() {
     let mut attacker = MonochromaticAttacker::new(an, adelta, 6);
     let r = run_game(&mut robust, &mut attacker, an, rounds);
     assert!(r.survived(), "Algorithm 2 must survive the feedback attack");
-    println!(
-        "  alg2 robust:       survived all {} rounds (max {} colors)",
-        r.rounds, r.max_colors
-    );
+    println!("  alg2 robust:       survived all {} rounds (max {} colors)", r.rounds, r.max_colors);
     println!(
         "\nmoral: κ-palettes are ideal for fixed crawls; pay the poly(∆) palette \
          only when the stream can react to your outputs."

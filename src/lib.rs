@@ -1,0 +1,16 @@
+//! Workspace umbrella for the `streamcolor` reproduction of
+//! Assadi–Chakrabarti–Ghosh–Stoeckl, *Coloring in Graph Streams via
+//! Deterministic and Adversarially Robust Algorithms* (PODS 2023).
+//!
+//! This package carries no library code of its own; it exists so the
+//! cross-crate integration tests in `tests/` and the runnable examples in
+//! `examples/` have a home at the workspace root. The actual layers:
+//!
+//! * `sc-graph` / `sc-hash` — offline graph and hashing substrates
+//! * `sc-stream` — streaming model: sources, space meters, the
+//!   [`StreamingColorer`](sc_stream::StreamingColorer) contract, and the
+//!   batched [`StreamEngine`](sc_stream::StreamEngine)
+//! * `streamcolor` — the paper's algorithms and baselines
+//! * `sc-adversary` — adaptive adversaries and the robustness game
+//! * `sc-engine` — declarative `Scenario`/`Runner` experiment layer
+//! * `sc-bench` / `streamcolor-cli` — experiment binaries and the CLI

@@ -40,11 +40,7 @@ fn every_colorer_proper_on_every_family() {
     for (name, g) in families(3) {
         for mut colorer in one_pass_colorers(&g, 11) {
             let c = run_oblivious(colorer.as_mut(), generators::shuffled_edges(&g, 5));
-            assert!(
-                c.is_proper_total(&g),
-                "{} improper on {name}",
-                colorer.name()
-            );
+            assert!(c.is_proper_total(&g), "{} improper on {name}", colorer.name());
         }
     }
 }
@@ -56,12 +52,7 @@ fn order_insensitive_properness() {
     for order in StreamOrder::sweep(13) {
         for mut colorer in one_pass_colorers(&g, 19) {
             let c = run_oblivious(colorer.as_mut(), order.arrange(&g));
-            assert!(
-                c.is_proper_total(&g),
-                "{} improper under {}",
-                colorer.name(),
-                order.label()
-            );
+            assert!(c.is_proper_total(&g), "{} improper under {}", colorer.name(), order.label());
         }
     }
 }

@@ -121,8 +121,8 @@ fn queries_straddling_a_rotation() {
 
 #[test]
 fn robust_params_level_boundaries_are_exact() {
-    let p = RobustParams::theorem3(100, 64); // √∆ = 8
-    // Degrees exactly at multiples of the threshold.
+    // √∆ = 8; degrees exactly at multiples of the threshold.
+    let p = RobustParams::theorem3(100, 64);
     for (d, expected) in [(1u64, 1usize), (8, 1), (9, 2), (16, 2), (17, 3), (64, 8)] {
         assert_eq!(p.level_of(d), expected, "degree {d}");
     }
@@ -201,8 +201,8 @@ fn edges_reject_self_loops() {
 mod new_module_edges {
     use super::*;
     use sc_graph::{
-        bipartition, brooks_bound, brooks_coloring, chromatic_number, connected_components,
-        io, k_colorable,
+        bipartition, brooks_bound, brooks_coloring, chromatic_number, connected_components, io,
+        k_colorable,
     };
     use streamcolor::verify::{stream_from_coloring, ExactConflictCounter};
     use streamcolor::{Bcg20Colorer, Hknt22Colorer};

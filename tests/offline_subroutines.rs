@@ -67,7 +67,10 @@ fn io_round_trip_preserves_coloring_behaviour() {
 
     let stream = StoredStream::from_graph(&g2);
     let report = deterministic_coloring(&stream, g2.n(), g2.max_degree(), &DetConfig::default());
-    assert!(report.coloring.is_proper_total(&g), "coloring of the reread graph must fit the original");
+    assert!(
+        report.coloring.is_proper_total(&g),
+        "coloring of the reread graph must fit the original"
+    );
     assert!(report.coloring.palette_span() <= 11);
 }
 
@@ -96,11 +99,7 @@ fn degeneracy_ordering_invariant_on_random_graphs() {
         let pos: std::collections::HashMap<u32, usize> =
             info.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         for &v in &info.order {
-            let later = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&y| pos[&y] > pos[&v])
-                .count();
+            let later = g.neighbors(v).iter().filter(|&&y| pos[&y] > pos[&v]).count();
             assert!(
                 later <= info.degeneracy,
                 "vertex {v} has {later} later neighbors > κ = {}",

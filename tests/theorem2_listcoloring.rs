@@ -84,9 +84,7 @@ fn token_interleavings() {
     // Lists after edges; lists interleaved every other token; lists first.
     let mut orders: Vec<Vec<StreamItem>> = Vec::new();
     let mut after: Vec<StreamItem> = edges.iter().map(|&e| StreamItem::Edge(e)).collect();
-    after.extend(
-        lists.iter().enumerate().map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())),
-    );
+    after.extend(lists.iter().enumerate().map(|(x, l)| StreamItem::ColorList(x as u32, l.clone())));
     orders.push(after);
 
     let mut interleaved = Vec::new();
