@@ -68,6 +68,29 @@ where
     C: StreamingColorer + ?Sized,
     A: Adversary + ?Sized,
 {
+    run_game_with_config(colorer, adversary, n, max_rounds, EngineConfig::per_edge())
+}
+
+/// [`run_game`] with an explicit engine configuration.
+///
+/// The game still forces per-edge observation (the adaptive model), but
+/// the config controls the *query path*: the default routes every
+/// per-round observation through
+/// [`StreamingColorer::query_incremental`], which the colorer contract
+/// makes observationally identical to from-scratch queries —
+/// [`EngineConfig::scratch_queries`] opts out, which benchmarks use to
+/// measure the incremental path's end-to-end effect on game wall-clock.
+pub fn run_game_with_config<C, A>(
+    colorer: &mut C,
+    adversary: &mut A,
+    n: usize,
+    max_rounds: usize,
+    config: EngineConfig,
+) -> GameReport
+where
+    C: StreamingColorer + ?Sized,
+    A: Adversary + ?Sized,
+{
     let mut graph = Graph::empty(n);
     let mut improper = 0usize;
     let mut first_failure = None;
@@ -78,7 +101,7 @@ where
     // round pushes one edge and observes the prefix. Per-edge chunking is
     // forced by the model — the adversary sees each output before its
     // next move.
-    let mut session = EngineSession::new(colorer, EngineConfig::per_edge());
+    let mut session = EngineSession::new(colorer, EngineConfig { chunk_size: 1, ..config });
 
     // Initial output (empty graph — everything is proper, but the
     // adversary gets to see the coloring before its first move).
@@ -131,6 +154,26 @@ mod tests {
         assert_eq!(report.rounds, edges.len());
         assert!(report.survived(), "robust colorer must survive a replay");
         assert_eq!(report.final_graph.m(), g.m());
+    }
+
+    #[test]
+    fn scratch_and_incremental_games_are_identical() {
+        // The adaptive transcript itself (not just one output) must be
+        // unchanged by the query path: the adversary reacts to every
+        // coloring, so any divergence would compound.
+        let g = generators::gnp_with_max_degree(40, 6, 0.4, 5);
+        let edges = generators::shuffled_edges(&g, 5);
+        let run = |config: EngineConfig| {
+            let mut adversary = ObliviousReplay::new(edges.iter().copied());
+            let mut colorer = RobustColorer::new(40, 6, 21);
+            run_game_with_config(&mut colorer, &mut adversary, 40, 10_000, config)
+        };
+        let inc = run(EngineConfig::per_edge());
+        let scr = run(EngineConfig::per_edge().scratch_queries());
+        assert_eq!(inc.rounds, scr.rounds);
+        assert_eq!(inc.improper_outputs, scr.improper_outputs);
+        assert_eq!(inc.max_colors, scr.max_colors);
+        assert_eq!(inc.final_graph.m(), scr.final_graph.m());
     }
 
     #[test]

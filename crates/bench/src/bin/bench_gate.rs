@@ -1,0 +1,141 @@
+//! CI perf-regression gate over the `BENCH_*.json` trajectory files.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline ci/bench_baselines.json \
+//!            --measured BENCH_engine.json --measured BENCH_query.json \
+//!            [--tolerance 0.30]
+//! ```
+//!
+//! The baseline file is a flat JSON array of
+//! `{"file": …, "algo": …, "field": …, "min": …}` entries: `file` names
+//! which measured file to look in (by basename), `algo`/`field` select
+//! the entry and its metric, and `min` is the committed expectation. The
+//! gate passes while `measured ≥ min · (1 − tolerance)` for every entry —
+//! speedup ratios are dimensionless, so a generous tolerance absorbs
+//! runner-hardware noise while still catching a real regression (a
+//! batched or incremental path silently degrading to its from-scratch
+//! cost). A baseline entry with no matching measurement fails too:
+//! that is coverage rot, not noise.
+
+use sc_bench::flatjson::{parse_array, FlatObject};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    measured: Vec<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { baseline: String::new(), measured: Vec::new(), tolerance: 0.30 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--measured" => args.measured.push(value("--measured")?),
+            "--tolerance" => {
+                args.tolerance =
+                    value("--tolerance")?.parse().map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err("--tolerance must lie in [0, 1)".to_string());
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.baseline.is_empty() || args.measured.is_empty() {
+        return Err("need --baseline <file> and at least one --measured <file>".to_string());
+    }
+    Ok(args)
+}
+
+fn basename(path: &str) -> &str {
+    path.rsplit(['/', '\\']).next().unwrap_or(path)
+}
+
+fn load(path: &str) -> Result<Vec<FlatObject>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_array(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn str_field<'a>(obj: &'a FlatObject, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key).and_then(|v| v.as_str()).ok_or(format!("{ctx}: missing string field {key:?}"))
+}
+
+fn num_field(obj: &FlatObject, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key).and_then(|v| v.as_f64()).ok_or(format!("{ctx}: missing numeric field {key:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baselines = load(&args.baseline)?;
+    // (basename, entries) per measured file.
+    let measured: Vec<(String, Vec<FlatObject>)> = args
+        .measured
+        .iter()
+        .map(|p| load(p).map(|objs| (basename(p).to_string(), objs)))
+        .collect::<Result<_, _>>()?;
+
+    let mut all_ok = true;
+    println!(
+        "# bench_gate: {} baseline entries, tolerance {:.0}%",
+        baselines.len(),
+        args.tolerance * 100.0
+    );
+    for (i, b) in baselines.iter().enumerate() {
+        let ctx = format!("baseline entry {i}");
+        let file = str_field(b, "file", &ctx)?;
+        let algo = str_field(b, "algo", &ctx)?;
+        let field = str_field(b, "field", &ctx)?;
+        let min = num_field(b, "min", &ctx)?;
+        let floor = min * (1.0 - args.tolerance);
+
+        let entry = measured
+            .iter()
+            .filter(|(name, _)| name == file)
+            .flat_map(|(_, objs)| objs)
+            .find(|o| o.get("algo").and_then(|v| v.as_str()) == Some(algo));
+        match entry {
+            None => {
+                all_ok = false;
+                println!("FAIL {file} {algo}: no measured entry (coverage regression)");
+            }
+            Some(o) => {
+                let got = num_field(o, field, &format!("{file} entry {algo:?}"))?;
+                if got >= floor {
+                    println!(
+                        "ok   {file} {algo} {field} = {got:.3} (baseline {min:.3}, floor {floor:.3})"
+                    );
+                } else {
+                    all_ok = false;
+                    println!(
+                        "FAIL {file} {algo} {field} = {got:.3} < floor {floor:.3} \
+                         (baseline {min:.3} − {:.0}%)",
+                        args.tolerance * 100.0
+                    );
+                }
+            }
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench_gate: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_gate: performance regression detected (see FAIL lines above)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

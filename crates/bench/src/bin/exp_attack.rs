@@ -17,6 +17,7 @@ fn main() {
     let n = 1000usize;
     let trials = 10usize;
     println!("# F5: adaptive attack — non-robust vs robust (n = {n}, {trials} trials each)");
+    let started = std::time::Instant::now();
     let runner = Runner::default();
     let mut table =
         Table::new(&["algorithm", "∆", "broken trials", "median failure round", "max colors seen"]);
@@ -57,4 +58,7 @@ fn main() {
          algorithms never produce an improper output, at the cost of poly(∆)-factor \
          larger palettes — exactly the trichotomy the paper formalizes."
     );
+    // Games query after every insertion, so wall-clock here tracks the
+    // incremental query path (BENCH_query.json quantifies it vs scratch).
+    println!("total game wall-clock: {:.2}s", started.elapsed().as_secs_f64());
 }

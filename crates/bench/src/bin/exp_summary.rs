@@ -7,15 +7,76 @@
 //! separately because its input is an interleaved edge/color-list stream,
 //! not a pure edge stream.
 //!
-//! Also emits `BENCH_engine.json`: a machine-readable batched-vs-per-edge
-//! ingestion comparison, so successive PRs accumulate a perf trajectory.
+//! Also emits the perf trajectory, so successive PRs accumulate
+//! machine-readable curves:
+//!
+//! * `BENCH_engine.json` — batched vs per-edge **ingestion**;
+//! * `BENCH_query.json` — incremental vs from-scratch **queries**, both
+//!   on checkpointed engine runs and end-to-end adversary games.
+//!
+//! `--smoke` shrinks every instance to a CI-sized fixed config, writing
+//! `BENCH_*.smoke.json` instead (same JSON shape, different filenames,
+//! so a local reproduction of CI never clobbers the committed
+//! full-profile trajectory); the `bench-smoke` CI job runs it and gates
+//! the `speedup` fields against `ci/bench_baselines.json` via
+//! `bench_gate`.
 
+use sc_adversary::{run_game_with_config, MonochromaticAttacker};
 use sc_bench::{fmt_bits, Table};
 use sc_engine::{ColorerSpec, RunOutcome, Runner, Scenario, SourceSpec};
 use sc_graph::generators;
-use sc_stream::{EngineConfig, StreamOrder};
+use sc_stream::{EngineConfig, QuerySchedule, StreamEngine, StreamOrder};
 use std::io::Write as _;
+use std::time::Instant;
 use streamcolor::{list_coloring, DetConfig, ListConfig};
+
+/// Instance sizes for the full run vs the CI smoke run.
+struct Profile {
+    /// Smoke runs write `BENCH_*.smoke.json` so reproducing the CI gate
+    /// locally can never clobber the committed full-profile trajectory.
+    smoke: bool,
+    /// Summary-table vertices and max-degree sweep.
+    summary_n: usize,
+    summary_deltas: Vec<usize>,
+    /// Ingestion bench (BENCH_engine.json): graph size and repetitions.
+    ingest: (usize, usize, usize),
+    /// Checkpointed-query bench (BENCH_query.json): graph size,
+    /// repetitions, and scheduled query count.
+    query: (usize, usize, usize, usize),
+    /// Adversary-game bench (BENCH_query.json): vertices, ∆, rounds,
+    /// repetitions.
+    game: (usize, usize, usize, usize),
+}
+
+impl Profile {
+    /// `BENCH_<stem>.json`, or `BENCH_<stem>.smoke.json` for smoke runs.
+    fn bench_path(&self, stem: &str) -> String {
+        format!("BENCH_{stem}{}.json", if self.smoke { ".smoke" } else { "" })
+    }
+
+    fn full() -> Self {
+        Self {
+            smoke: false,
+            summary_n: 2000,
+            summary_deltas: vec![16, 64],
+            ingest: (3000, 32, 5),
+            query: (3000, 32, 5, 64),
+            game: (400, 16, 1600, 3),
+        }
+    }
+
+    /// Small fixed config for CI: same shapes, minutes → seconds.
+    fn smoke() -> Self {
+        Self {
+            smoke: true,
+            summary_n: 600,
+            summary_deltas: vec![16],
+            ingest: (800, 16, 3),
+            query: (800, 16, 3, 32),
+            game: (200, 8, 600, 3),
+        }
+    }
+}
 
 fn scenario_grid(source: &SourceSpec) -> Vec<Scenario> {
     let specs: Vec<(&str, ColorerSpec)> = vec![
@@ -42,13 +103,18 @@ fn scenario_grid(source: &SourceSpec) -> Vec<Scenario> {
 }
 
 fn main() {
-    let n = 2000usize;
-    println!("# T1: algorithm summary (n = {n}, random ∆-bounded graphs)");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile = if smoke { Profile::smoke() } else { Profile::full() };
+    let n = profile.summary_n;
+    println!(
+        "# T1: algorithm summary (n = {n}, random ∆-bounded graphs{})",
+        if smoke { ", smoke profile" } else { "" }
+    );
     let runner = Runner::default();
     let mut table =
         Table::new(&["algorithm", "∆", "colors", "∆+1", "∆^2.5", "∆^3", "passes", "space"]);
 
-    for delta in [16usize, 64] {
+    for &delta in &profile.summary_deltas {
         let d1 = delta as u64 + 1;
         let d25 = (delta as f64).powf(2.5).round() as u64;
         let d3 = (delta as f64).powi(3) as u64;
@@ -93,7 +159,8 @@ fn main() {
     table.print("T1: colors / passes / space across all algorithms");
     println!("\nAll outputs validated as proper colorings of their input graphs.");
 
-    emit_engine_bench();
+    emit_engine_bench(&profile);
+    emit_query_bench(&profile);
 }
 
 /// Times batched vs per-edge ingestion on one `gnp_with_max_degree`
@@ -104,10 +171,8 @@ fn main() {
 /// call is inside the clock (no generation, no arranging). The median
 /// of several repetitions goes into the file so the cross-PR perf
 /// trajectory is stable.
-fn emit_engine_bench() {
-    use sc_stream::StreamEngine;
-
-    let (n, delta, reps) = (3000usize, 32usize, 5);
+fn emit_engine_bench(profile: &Profile) {
+    let (n, delta, reps) = profile.ingest;
     let g = generators::gnp_with_max_degree(n, delta, 0.4, 19);
     let edges = StreamOrder::AsGenerated.arrange(&g);
     let algos: Vec<(&str, ColorerSpec)> = vec![
@@ -145,10 +210,124 @@ fn emit_engine_bench() {
             per_edge_ms / batched_ms.max(1e-9),
         ));
     }
+    write_bench_file(
+        &profile.bench_path("engine"),
+        &entries,
+        "batched vs per-edge ingestion timings",
+    );
+}
+
+/// Times incremental vs from-scratch queries and writes
+/// `BENCH_query.json`: one `kind = "checkpointed"` entry per colorer
+/// (an engine run under a periodic [`QuerySchedule`]) plus
+/// `kind = "adversary-game"` entries (full adaptive games, where a query
+/// follows every insertion). The two modes are asserted observationally
+/// identical before anything is timed.
+fn emit_query_bench(profile: &Profile) {
+    let (n, delta, reps, queries) = profile.query;
+    let g = generators::gnp_with_max_degree(n, delta, 0.4, 23);
+    let edges = StreamOrder::AsGenerated.arrange(&g);
+    let every = (edges.len() / queries).max(1);
+    let schedule = QuerySchedule::EveryEdges(every);
+    let algos: Vec<(&str, ColorerSpec)> = vec![
+        ("alg2", ColorerSpec::Robust { beta: None }),
+        ("alg3", ColorerSpec::RandEfficient),
+        ("bg18", ColorerSpec::Bg18 { buckets: None }),
+        ("store_all", ColorerSpec::StoreAll),
+        ("bcg20", ColorerSpec::Bcg20 { epsilon: 0.5 }),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, spec) in &algos {
+        let run_once = |config: EngineConfig| {
+            let mut colorer = spec.build_streaming(n, delta, 5, Some(&g)).expect("streaming spec");
+            let report = StreamEngine::new(config).run(colorer.as_mut(), &edges);
+            (report.elapsed.as_secs_f64() * 1e3, report)
+        };
+        let base = EngineConfig::batched(256).with_schedule(schedule.clone());
+        // Equivalence first (the law the property tests prove; cheap to
+        // re-assert where the numbers are produced).
+        let (_, ri) = run_once(base.clone());
+        let (_, rs) = run_once(base.clone().scratch_queries());
+        assert_eq!(ri.final_coloring, rs.final_coloring, "{name}: query paths diverge");
+        for (a, b) in ri.checkpoints.iter().zip(&rs.checkpoints) {
+            assert_eq!(a.coloring, b.coloring, "{name}: checkpoint diverges at {}", a.prefix_len);
+        }
+        let median = |config: EngineConfig| -> f64 {
+            let mut times: Vec<f64> = (0..reps).map(|_| run_once(config.clone()).0).collect();
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let incremental_ms = median(base.clone());
+        let scratch_ms = median(base.scratch_queries());
+        entries.push(format!(
+            "  {{\"algo\":\"{}\",\"kind\":\"checkpointed\",\"n\":{},\"delta\":{},\"m\":{},\"queries\":{},\"scratch_ms\":{:.3},\"incremental_ms\":{:.3},\"speedup\":{:.3}}}",
+            name,
+            n,
+            delta,
+            g.m(),
+            ri.checkpoints.len() + 1,
+            scratch_ms,
+            incremental_ms,
+            scratch_ms / incremental_ms.max(1e-9),
+        ));
+    }
+
+    // End-to-end adversary games: the paper's query-per-round cadence.
+    let (gn, gdelta, rounds, greps) = profile.game;
+    let victims: Vec<(&str, ColorerSpec)> = vec![
+        ("game-alg2", ColorerSpec::Robust { beta: None }),
+        ("game-alg3", ColorerSpec::RandEfficient),
+        ("game-store_all", ColorerSpec::StoreAll),
+    ];
+    for (name, spec) in &victims {
+        let play = |config: EngineConfig| -> (f64, usize) {
+            let mut times: Vec<f64> = Vec::with_capacity(greps);
+            let mut played = 0;
+            for _ in 0..greps {
+                let mut attacker = MonochromaticAttacker::new(gn, gdelta, 9);
+                let mut victim =
+                    spec.build_streaming(gn, gdelta, 13, None).expect("streaming victim");
+                let start = Instant::now();
+                let report = run_game_with_config(
+                    victim.as_mut(),
+                    &mut attacker,
+                    gn,
+                    rounds,
+                    config.clone(),
+                );
+                times.push(start.elapsed().as_secs_f64() * 1e3);
+                played = report.rounds;
+            }
+            times.sort_by(f64::total_cmp);
+            (times[times.len() / 2], played)
+        };
+        let (incremental_ms, ri) = play(EngineConfig::per_edge());
+        let (scratch_ms, rs) = play(EngineConfig::per_edge().scratch_queries());
+        assert_eq!(ri, rs, "{name}: query path changed the game transcript length");
+        entries.push(format!(
+            "  {{\"algo\":\"{}\",\"kind\":\"adversary-game\",\"n\":{},\"delta\":{},\"rounds\":{},\"scratch_ms\":{:.3},\"incremental_ms\":{:.3},\"speedup\":{:.3}}}",
+            name,
+            gn,
+            gdelta,
+            ri,
+            scratch_ms,
+            incremental_ms,
+            scratch_ms / incremental_ms.max(1e-9),
+        ));
+    }
+
+    write_bench_file(
+        &profile.bench_path("query"),
+        &entries,
+        "incremental vs from-scratch query timings (checkpointed runs + adversary games)",
+    );
+}
+
+fn write_bench_file(path: &str, entries: &[String], what: &str) {
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
-    let path = "BENCH_engine.json";
     match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("\nwrote {path} (batched vs per-edge ingestion timings)"),
+        Ok(()) => println!("\nwrote {path} ({what})"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
     print!("{json}");

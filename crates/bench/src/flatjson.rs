@@ -1,0 +1,201 @@
+//! A minimal reader for the flat JSON this workspace's benches emit.
+//!
+//! The container vendors no serde (see `crates/compat/README.md`), and
+//! the perf-trajectory files (`BENCH_engine.json`, `BENCH_query.json`,
+//! `ci/bench_baselines.json`) are all the same tiny shape: an array of
+//! flat objects whose values are strings or numbers. This module parses
+//! exactly that shape — nested containers are rejected loudly — which is
+//! all the `bench_gate` regression gate needs. Drop-in replaceable by
+//! serde_json when network exists.
+
+use std::collections::BTreeMap;
+
+/// A scalar field of a flat object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (no escape handling beyond `\"` and `\\`).
+    Str(String),
+    /// Any JSON number, kept as `f64`.
+    Num(f64),
+}
+
+impl Scalar {
+    /// The string value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            Scalar::Num(_) => None,
+        }
+    }
+
+    /// The numeric value, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Num(x) => Some(*x),
+            Scalar::Str(_) => None,
+        }
+    }
+}
+
+/// One flat object: field name → scalar value, order-insensitive.
+pub type FlatObject = BTreeMap<String, Scalar>;
+
+/// Parses `[ {..}, {..}, … ]` where every object is flat and every value
+/// is a string or number.
+///
+/// # Errors
+/// Returns a human-readable description of the first syntax problem —
+/// the gate surfaces it verbatim, so messages name what was expected.
+pub fn parse_array(text: &str) -> Result<Vec<FlatObject>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        out.push(p.object()?);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']' after object, got {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => {
+                Err(format!("expected {:?} at byte {}, got {other:?}", want as char, self.pos))
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<FlatObject, String> {
+        self.expect(b'{')?;
+        let mut obj = FlatObject::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(obj);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = match self.peek() {
+                Some(b'"') => Scalar::Str(self.string()?),
+                Some(b'{' | b'[') => {
+                    return Err(format!("field {key:?}: nested containers are not flat JSON"))
+                }
+                _ => Scalar::Num(self.number()?),
+            };
+            obj.insert(key, value);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}' in object, got {other:?}")),
+            }
+        }
+        Ok(obj)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(c @ (b'"' | b'\\')) => s.push(c as char),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(c) => s.push(c as char),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>().map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_engine_shape() {
+        let text = r#"[
+  {"algo":"alg2","n":3000,"delta":32,"m":46724,"per_edge_ms":120.5,"batched_ms":41.25,"chunk":256,"speedup":2.921},
+  {"algo":"alg3","n":3000,"delta":32,"m":46724,"per_edge_ms":99.0,"batched_ms":52.0,"chunk":256,"speedup":1.903}
+]
+"#;
+        let objs = parse_array(text).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0]["algo"].as_str(), Some("alg2"));
+        assert_eq!(objs[0]["speedup"].as_f64(), Some(2.921));
+        assert_eq!(objs[1]["n"].as_f64(), Some(3000.0));
+        assert!(objs[0]["algo"].as_f64().is_none());
+        assert!(objs[0]["speedup"].as_str().is_none());
+    }
+
+    #[test]
+    fn empty_array_and_object() {
+        assert_eq!(parse_array("[]").unwrap(), Vec::new());
+        assert_eq!(parse_array(" [ { } ] ").unwrap(), vec![FlatObject::new()]);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let objs = parse_array(r#"[{"x":-1.5e-3}]"#).unwrap();
+        assert_eq!(objs[0]["x"].as_f64(), Some(-0.0015));
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_array(r#"[{"x":{}}]"#).unwrap_err().contains("nested"));
+        assert!(parse_array("{}").is_err());
+        assert!(parse_array(r#"[{"x":1} {"y":2}]"#).is_err());
+        assert!(parse_array(r#"[{"x":"unterminated]"#).is_err());
+    }
+}

@@ -6,6 +6,8 @@
 //! theorem bound rendered as a measured curve; binaries print aligned
 //! text tables to stdout.
 
+pub mod flatjson;
+
 use std::fmt::Display;
 
 /// A fixed-width text table writer for experiment output.

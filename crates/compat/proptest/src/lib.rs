@@ -4,7 +4,7 @@
 //! Supports the subset the workspace's property tests use: the
 //! [`proptest!`] macro over `pattern in strategy` arguments, integer-range
 //! / tuple / [`any`](arbitrary::any) / `prop_map` /
-//! [`collection::vec`](collection::vec) strategies, and the
+//! [`collection::vec`] strategies, and the
 //! `prop_assert*` / `prop_assume!` macros. Sampling is deterministic per
 //! test name. There is **no shrinking**: a failing case panics with its
 //! case index so it can be replayed by reading the strategy values out of
@@ -201,7 +201,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

@@ -22,7 +22,31 @@
 
 use sc_graph::{degeneracy_ordering, Color, Coloring, Edge, Graph};
 use sc_hash::SplitMix64;
-use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+
+/// The incremental conflict-graph state. The answer is recomputed only
+/// when the *conflict* graph grew — non-conflict insertions (the common
+/// case: lists rarely intersect) reuse the previous answer verbatim.
+///
+/// Unlike the other colorers there is no sub-graph patch: the reverse
+/// degeneracy order is a global, insertion-order-sensitive function of the
+/// whole conflict graph, so any growth is "invalidation too large" and
+/// falls back to a full recolor (on the incrementally maintained mirror,
+/// which still saves the per-query graph rebuild). Harness bookkeeping —
+/// never charged to the meter.
+#[derive(Debug, Clone)]
+struct ConflictState {
+    /// Mirror of `Graph::from_edges` over the conflict edges
+    /// (append-only, so adjacency order matches a scratch rebuild).
+    mirror: Graph,
+    /// The query answer for the mirrored conflict prefix.
+    out: Coloring,
+    /// Exhausted-list events in that answer (a scratch query re-observes
+    /// them every time; the incremental path must too).
+    failures_per_query: u64,
+    /// Conflict edges already mirrored.
+    synced: usize,
+}
 
 /// The BCG20-style degeneracy-palette colorer.
 #[derive(Debug, Clone)]
@@ -35,6 +59,7 @@ pub struct Bcg20Colorer {
     failures: u64,
     /// Scratch bitset (one bit per palette color) for the batched path.
     scratch: Vec<u64>,
+    cache: QueryCache<ConflictState>,
 }
 
 impl Bcg20Colorer {
@@ -58,7 +83,16 @@ impl Bcg20Colorer {
         let mut meter = SpaceMeter::new();
         meter.charge(n as u64 * list_size as u64 * counter_bits(palette));
         let scratch = vec![0u64; (palette as usize).div_ceil(64)];
-        Self { n, palette, lists, conflict_edges: Vec::new(), meter, failures: 0, scratch }
+        Self {
+            n,
+            palette,
+            lists,
+            conflict_edges: Vec::new(),
+            meter,
+            failures: 0,
+            scratch,
+            cache: QueryCache::new(),
+        }
     }
 
     /// Convenience for experiments: computes the exact degeneracy of `g`
@@ -123,6 +157,29 @@ impl Bcg20Colorer {
         keep
     }
 
+    /// Reverse-degeneracy list coloring of a conflict graph — the shared
+    /// core of [`query`](StreamingColorer::query) and the incremental
+    /// path. Returns the coloring and the exhausted-list count.
+    fn color_conflicts(&self, g: &Graph) -> (Coloring, u64) {
+        let all: Vec<u32> = (0..self.n as u32).collect();
+        let order: Vec<u32> = degeneracy_ordering(g, &all).order.into_iter().rev().collect();
+        let mut coloring = Coloring::empty(self.n);
+        let mut failures = 0u64;
+        for &x in &order {
+            let taken: Vec<Color> =
+                g.neighbors(x).iter().filter_map(|&y| coloring.get(y)).collect();
+            match self.lists[x as usize].iter().find(|c| !taken.contains(c)) {
+                Some(&c) => coloring.set(x, c),
+                None => {
+                    // Honest failure: the validator will catch the clash.
+                    failures += 1;
+                    coloring.set(x, self.lists[x as usize][0]);
+                }
+            }
+        }
+        (coloring, failures)
+    }
+
     fn lists_intersect(&self, u: u32, v: u32) -> bool {
         let (a, b) = (&self.lists[u as usize], &self.lists[v as usize]);
         let (mut i, mut j) = (0, 0);
@@ -144,6 +201,7 @@ impl StreamingColorer for Bcg20Colorer {
             self.conflict_edges.push(e);
             self.meter.charge(edge_bits(self.n));
         }
+        self.cache.advance(1);
     }
 
     fn process_batch(&mut self, edges: &[Edge]) {
@@ -155,26 +213,52 @@ impl StreamingColorer for Bcg20Colorer {
         self.conflict_edges.extend(edges.iter().zip(&keep).filter(|(_, &k)| k).map(|(&e, _)| e));
         let stored = (self.conflict_edges.len() - before) as u64;
         self.meter.charge(stored * edge_bits(self.n));
+        self.cache.advance(edges.len() as u64);
     }
 
     fn query(&mut self) -> Coloring {
         let g = Graph::from_edges(self.n, self.conflict_edges.iter().copied());
-        let all: Vec<u32> = (0..self.n as u32).collect();
-        let order: Vec<u32> = degeneracy_ordering(&g, &all).order.into_iter().rev().collect();
-        let mut coloring = Coloring::empty(self.n);
-        for &x in &order {
-            let taken: Vec<Color> =
-                g.neighbors(x).iter().filter_map(|&y| coloring.get(y)).collect();
-            match self.lists[x as usize].iter().find(|c| !taken.contains(c)) {
-                Some(&c) => coloring.set(x, c),
-                None => {
-                    // Honest failure: the validator will catch the clash.
-                    self.failures += 1;
-                    coloring.set(x, self.lists[x as usize][0]);
+        let (coloring, failures) = self.color_conflicts(&g);
+        self.failures += failures;
+        coloring
+    }
+
+    fn query_incremental(&mut self) -> Coloring {
+        if let Some(s) = self.cache.fresh() {
+            let out = s.out.clone();
+            let f = s.failures_per_query;
+            self.failures += f;
+            return out;
+        }
+        let state = match self.cache.take_for_patch() {
+            Some((_, mut s)) => {
+                if s.synced == self.conflict_edges.len() {
+                    // Edges arrived, but none survived the conflict
+                    // filter: the answer is unchanged.
+                    s
+                } else {
+                    for &e in &self.conflict_edges[s.synced..] {
+                        s.mirror.add_edge(e);
+                    }
+                    s.synced = self.conflict_edges.len();
+                    let (out, failures_per_query) = self.color_conflicts(&s.mirror);
+                    ConflictState { out, failures_per_query, ..s }
                 }
             }
-        }
-        coloring
+            None => {
+                let mirror = Graph::from_edges(self.n, self.conflict_edges.iter().copied());
+                let (out, failures_per_query) = self.color_conflicts(&mirror);
+                ConflictState { mirror, out, failures_per_query, synced: self.conflict_edges.len() }
+            }
+        };
+        self.failures += state.failures_per_query;
+        let out = state.out.clone();
+        self.cache.install(state);
+        out
+    }
+
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn peak_space_bits(&self) -> u64 {

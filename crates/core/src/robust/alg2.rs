@@ -23,9 +23,52 @@
 
 use crate::robust::params::RobustParams;
 use crate::robust::sketch::{group_by_block, BlockMemo, MonoSketch};
-use sc_graph::{degeneracy_coloring, greedy_color_in_order, Coloring, Edge, Graph};
+use sc_graph::{degeneracy_coloring, greedy_color_in_order, Color, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
-use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+
+/// One query *phase* of Algorithm 2 — the slow pass (line 20–22) or one
+/// fast level (lines 23–26) — as a reusable artifact: its assignments
+/// relative to the phase's palette base, plus how far it advances the
+/// palette. Phases chain deterministically (slow, then levels ascending),
+/// so a query only recomputes the phases whose inputs changed and
+/// re-chains the rest.
+#[derive(Debug, Clone)]
+struct PhaseColoring {
+    /// `(vertex, color − phase_base)` for every vertex this phase colors.
+    assigned: Vec<(u32, Color)>,
+    /// Palette advance: `Σ span.max(1)` over the phase's nonempty blocks.
+    advance: Color,
+}
+
+/// Incremental query state for the current epoch of Algorithm 2: the
+/// patched buffer-degree census, the fast/slow partition (monotone within
+/// an epoch — `deg_B` only grows), per-fast-vertex levels, and one cached
+/// [`PhaseColoring`] per phase. A buffer rotation obsoletes everything
+/// (new `h_curr`, empty buffer), which [`RobustColorer::rotate_buffer`]
+/// signals by invalidating the cache. Harness bookkeeping — never charged
+/// to the meter.
+#[derive(Debug, Clone)]
+struct Alg2QueryState {
+    /// The epoch (`curr`) this state describes.
+    era: usize,
+    /// Incrementally patched census `deg_B(v)` (line 18's split key).
+    deg_b: Vec<u64>,
+    /// `deg_B(v) > fast_threshold` — the fast/slow partition.
+    is_fast: Vec<bool>,
+    /// For fast `v`: `level_of(d(v))` as of the last sync.
+    fast_level: Vec<u32>,
+    /// Buffer edges already censused.
+    b_synced: usize,
+    /// Per-`g_ℓ`-sketch lengths already reflected (defensive: every new
+    /// sketch edge is also a new buffer edge, which invalidates anyway).
+    g_synced: Vec<usize>,
+    /// `phases[0]` = slow phase; `phases[ℓ]` = fast level `ℓ`.
+    /// `None` = invalidated since last computed.
+    phases: Vec<Option<PhaseColoring>>,
+    /// The assembled absolute coloring (the query answer).
+    out: Coloring,
+}
 
 /// The robust streaming colorer of Theorem 3 / Corollary 4.7.
 #[derive(Debug, Clone)]
@@ -44,6 +87,8 @@ pub struct RobustColorer {
     meter: SpaceMeter,
     /// Per-chunk hash memo for the batched ingestion path.
     memo: BlockMemo,
+    /// Epoch-keyed phase cache for the incremental query path.
+    cache: QueryCache<Alg2QueryState>,
 }
 
 impl RobustColorer {
@@ -75,6 +120,7 @@ impl RobustColorer {
             curr: 1,
             meter,
             memo: BlockMemo::new(params.n),
+            cache: QueryCache::new(),
         }
     }
 
@@ -147,6 +193,8 @@ impl RobustColorer {
             "epoch overflow: the stream exceeded the n·∆/2 edge budget implied by ∆ = {}",
             self.params.delta
         );
+        // New h_curr, empty buffer: every cached phase is obsolete.
+        self.cache.invalidate();
     }
 
     /// Batched ingestion of a run of edges that all land in the current
@@ -200,6 +248,170 @@ impl RobustColorer {
         }
         self.meter.charge(stored * eb);
     }
+
+    /// A query state for the current epoch with a full census and no
+    /// computed phases (the cache-miss path).
+    fn fresh_query_state(&self) -> Alg2QueryState {
+        let n = self.params.n;
+        let mut s = Alg2QueryState {
+            era: self.curr,
+            deg_b: vec![0; n],
+            is_fast: vec![false; n],
+            fast_level: vec![0; n],
+            b_synced: self.buffer.len(),
+            g_synced: self.g_sketches.iter().map(MonoSketch::len).collect(),
+            phases: vec![None; self.params.num_levels + 1],
+            out: Coloring::empty(n),
+        };
+        for e in &self.buffer {
+            s.deg_b[e.u() as usize] += 1;
+            s.deg_b[e.v() as usize] += 1;
+        }
+        for v in 0..n {
+            if s.deg_b[v] > self.params.fast_threshold {
+                s.is_fast[v] = true;
+                s.fast_level[v] = self.params.level_of(self.degrees[v]) as u32;
+            }
+        }
+        s
+    }
+
+    /// Patches the census with the buffer edges ingested since the last
+    /// query and invalidates exactly the phases they can affect:
+    ///
+    /// * an `h`-monochromatic new edge joins the slow phase's edge pool;
+    /// * a `g_ℓ`-monochromatic one joins level `ℓ`'s pool (conservative —
+    ///   whether it is *induced* depends on memberships at query time);
+    /// * a vertex crossing the fast threshold leaves the slow phase and
+    ///   joins its level's; a fast vertex whose level grew moves between
+    ///   two fast phases.
+    ///
+    /// Invalidation is conservative (a marked phase is recomputed from
+    /// its true inputs), so properness of the equivalence only needs the
+    /// converse: an *unmarked* phase has identical members and identical
+    /// induced edge pools, hence an identical sub-coloring.
+    fn sync_query_state(&self, s: &mut Alg2QueryState) {
+        debug_assert_eq!(s.era, self.curr, "rotation must reset the query state");
+        for (l, sk) in self.g_sketches.iter().enumerate() {
+            if s.g_synced[l] != sk.len() {
+                s.g_synced[l] = sk.len();
+                s.phases[l + 1] = None;
+            }
+        }
+        let h_curr = &self.h_sketches[self.curr - 1];
+        for &e in &self.buffer[s.b_synced..] {
+            let (u, v) = e.endpoints();
+            if h_curr.block_of(u) == h_curr.block_of(v) {
+                s.phases[0] = None;
+            }
+            for (l, sk) in self.g_sketches.iter().enumerate() {
+                if sk.block_of(u) == sk.block_of(v) {
+                    s.phases[l + 1] = None;
+                }
+            }
+            for w in [u, v] {
+                let wi = w as usize;
+                s.deg_b[wi] += 1;
+                let lvl = self.params.level_of(self.degrees[wi]);
+                if !s.is_fast[wi] {
+                    if s.deg_b[wi] > self.params.fast_threshold {
+                        s.is_fast[wi] = true;
+                        s.fast_level[wi] = lvl as u32;
+                        s.phases[0] = None;
+                        s.phases[lvl] = None;
+                    }
+                } else if s.fast_level[wi] != lvl as u32 {
+                    s.phases[s.fast_level[wi] as usize] = None;
+                    s.phases[lvl] = None;
+                    s.fast_level[wi] = lvl as u32;
+                }
+            }
+        }
+        s.b_synced = self.buffer.len();
+    }
+
+    /// Recomputes the slow phase (lines 18–22) relative to palette base 0.
+    /// Identical code path to [`StreamingColorer::query`]'s slow section;
+    /// sharing the offset-0 base is sound because slow blocks only see
+    /// slow same-block neighbors, making the phase translation-invariant.
+    fn recompute_slow_phase(&self, s: &Alg2QueryState) -> PhaseColoring {
+        let n = self.params.n;
+        let h_curr = &self.h_sketches[self.curr - 1];
+        let slow: Vec<u32> = (0..n as u32).filter(|&v| !s.is_fast[v as usize]).collect();
+        let mut g_slow = Graph::empty(n);
+        for e in h_curr.edges().iter().chain(self.buffer.iter()) {
+            if !s.is_fast[e.u() as usize]
+                && !s.is_fast[e.v() as usize]
+                && h_curr.block_of(e.u()) == h_curr.block_of(e.v())
+            {
+                g_slow.add_edge(*e);
+            }
+        }
+        let mut coloring = Coloring::empty(n);
+        let mut offset: Color = 0;
+        let mut assigned = Vec::with_capacity(slow.len());
+        for (_, members) in group_by_block(h_curr, &slow) {
+            let span = greedy_color_in_order(&g_slow, &mut coloring, &members, offset);
+            for &m in &members {
+                assigned.push((m, coloring.get(m).expect("slow member colored")));
+            }
+            offset += span.max(1);
+        }
+        PhaseColoring { assigned, advance: offset }
+    }
+
+    /// Recomputes fast level `l` (lines 23–26) relative to palette base 0
+    /// (fast blocks only see same-level same-block neighbors, so the
+    /// phase is translation-invariant like the slow one).
+    fn recompute_fast_phase(&self, l: usize, s: &Alg2QueryState) -> PhaseColoring {
+        let n = self.params.n;
+        let level_fast: Vec<u32> = (0..n as u32)
+            .filter(|&w| s.is_fast[w as usize] && s.fast_level[w as usize] as usize == l)
+            .collect();
+        if level_fast.is_empty() {
+            return PhaseColoring { assigned: Vec::new(), advance: 0 };
+        }
+        let g_l = &self.g_sketches[l - 1];
+        let mut in_level = vec![false; n];
+        for &v in &level_fast {
+            in_level[v as usize] = true;
+        }
+        let mut g_fast = Graph::empty(n);
+        for e in g_l.edges().iter().chain(self.buffer.iter()) {
+            if in_level[e.u() as usize]
+                && in_level[e.v() as usize]
+                && g_l.block_of(e.u()) == g_l.block_of(e.v())
+            {
+                g_fast.add_edge(*e);
+            }
+        }
+        let mut coloring = Coloring::empty(n);
+        let mut offset: Color = 0;
+        let mut assigned = Vec::with_capacity(level_fast.len());
+        for (_, members) in group_by_block(g_l, &level_fast) {
+            let span = degeneracy_coloring(&g_fast, &mut coloring, &members, offset);
+            for &m in &members {
+                assigned.push((m, coloring.get(m).expect("fast member colored")));
+            }
+            offset += span.max(1);
+        }
+        PhaseColoring { assigned, advance: offset }
+    }
+
+    /// Chains all phases into the absolute answer, advancing the palette
+    /// base by each phase's advance exactly as the scratch query does.
+    fn assemble(&self, s: &mut Alg2QueryState) {
+        let mut out = Coloring::empty(self.params.n);
+        let mut base: Color = 0;
+        for phase in s.phases.iter().flatten() {
+            for &(v, c) in &phase.assigned {
+                out.set(v, base + c);
+            }
+            base += phase.advance;
+        }
+        debug_assert!(out.is_total(), "incremental query must color every vertex");
+        s.out = out;
+    }
 }
 
 fn sketch_degree_totals(n: usize, sketches: &[MonoSketch]) -> Vec<u64> {
@@ -246,9 +458,11 @@ impl StreamingColorer for RobustColorer {
                 self.meter.charge(eb);
             }
         }
+        self.cache.advance(1);
     }
 
     fn process_batch(&mut self, edges: &[Edge]) {
+        self.cache.advance(edges.len() as u64);
         let mut start = 0;
         while start < edges.len() {
             if self.buffer.len() == self.params.buffer_capacity {
@@ -333,6 +547,55 @@ impl StreamingColorer for RobustColorer {
 
         debug_assert!(coloring.is_total(), "query must color every vertex");
         coloring
+    }
+
+    fn query_incremental(&mut self) -> Coloring {
+        if let Some(s) = self.cache.fresh() {
+            return s.out.clone();
+        }
+        // Patching pays per-new-edge hash checks against every sketch,
+        // and a wide gap invalidates nearly every phase anyway — past
+        // this limit a fresh census + full recompute (≈ one scratch
+        // query) is cheaper than the patch bookkeeping.
+        let patch_limit = (self.params.n as u64 / 8).max(64);
+        let epoch = self.cache.epoch();
+        let curr = self.curr;
+        let too_stale = self
+            .cache
+            .artifact_mut()
+            .is_some_and(|(at, s)| s.era != curr || epoch - at > patch_limit);
+        if too_stale {
+            self.cache.invalidate();
+        }
+        let mut state = match self.cache.take_for_patch() {
+            // Rotations invalidate eagerly, so a cached state is always
+            // this epoch's; the guard is defense in depth.
+            Some((_, s)) if s.era == self.curr => s,
+            _ => self.fresh_query_state(),
+        };
+        self.sync_query_state(&mut state);
+        let mut recomputed = false;
+        if state.phases[0].is_none() {
+            state.phases[0] = Some(self.recompute_slow_phase(&state));
+            recomputed = true;
+        }
+        for l in 1..=self.params.num_levels {
+            if state.phases[l].is_none() {
+                state.phases[l] = Some(self.recompute_fast_phase(l, &state));
+                recomputed = true;
+            }
+        }
+        if recomputed {
+            // Any recomputed phase can shift every later phase's base.
+            self.assemble(&mut state);
+        }
+        let out = state.out.clone();
+        self.cache.install(state);
+        out
+    }
+
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn peak_space_bits(&self) -> u64 {

@@ -17,9 +17,33 @@
 //! missing from `D_{curr,k} ∪ B`, which cannot happen for a valid `k`.
 
 use crate::robust::sketch::BlockMemo;
-use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
+use sc_graph::{greedy_color_in_order, greedy_repair_ascending, Coloring, Edge, Graph};
 use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64};
-use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+
+/// The incremental sketch-decode state: everything a query derives from
+/// `D_{curr,k} ∪ B`, patchable while the epoch (and hence `k` and
+/// `D_{curr,k}`) stays fixed. Harness bookkeeping — never charged to the
+/// [`SpaceMeter`].
+#[derive(Debug, Clone)]
+struct DecodeState {
+    /// The epoch (`curr`) this decode belongs to; a rotation obsoletes it
+    /// (different buffer, different candidate row).
+    era: usize,
+    /// Global index of the surviving candidate slot, or `None` for the
+    /// all-`⊥` failure state (both frozen within an epoch: epoch-`curr`
+    /// candidate sets only mutate while *earlier* epochs ingest).
+    slot: Option<usize>,
+    /// Mirror of `Graph::from_edges(n, D_{curr,k} ∪ B)` — appended, never
+    /// rebuilt, so adjacency order matches a scratch build exactly.
+    mirror: Graph,
+    /// First-fit-ascending coloring `χ` of `mirror`.
+    chi: Coloring,
+    /// Pair-encoded output `(χ(y), h(y))`.
+    out: Coloring,
+    /// Buffer edges already mirrored.
+    b_synced: usize,
+}
 
 /// The randomness-efficient robust colorer of Theorem 4.
 #[derive(Debug, Clone)]
@@ -46,6 +70,8 @@ pub struct RandEfficientColorer {
     /// event of Lemma 4.8); such queries fall back to coloring `B` alone
     /// and may be improper.
     failures: u64,
+    /// Epoch-keyed decode state for the incremental query path.
+    cache: QueryCache<DecodeState>,
 }
 
 impl RandEfficientColorer {
@@ -84,6 +110,7 @@ impl RandEfficientColorer {
             meter,
             memo: BlockMemo::new(n),
             failures: 0,
+            cache: QueryCache::new(),
         }
     }
 
@@ -139,6 +166,45 @@ impl RandEfficientColorer {
             self.curr <= self.num_epochs,
             "epoch overflow: stream exceeded the n·∆/2 edge budget"
         );
+        // The decode cache mirrors D_{curr,k} ∪ B; both just changed.
+        self.cache.invalidate();
+    }
+
+    /// The first surviving candidate of the current epoch (line 15), as a
+    /// global slot index.
+    fn surviving_slot(&self) -> Option<usize> {
+        (0..self.p_copies).map(|j| self.idx(self.curr, j)).find(|&s| self.d_sets[s].is_some())
+    }
+
+    /// Decodes the current epoch's sketch from scratch into an
+    /// incremental [`DecodeState`] (the cache-miss path; also bumps the
+    /// failure counter exactly as a scratch query would).
+    fn rebuild_decode(&mut self) -> DecodeState {
+        let slot = self.surviving_slot();
+        if slot.is_none() {
+            self.failures += 1;
+        }
+        let mut mirror = Graph::empty(self.n);
+        if let Some(s) = slot {
+            for &e in self.d_sets[s].as_ref().expect("surviving slot is Some") {
+                mirror.add_edge(e);
+            }
+        }
+        for &e in &self.buffer {
+            mirror.add_edge(e);
+        }
+        let mut chi = Coloring::empty(self.n);
+        let order: Vec<u32> = (0..self.n as u32).collect();
+        greedy_color_in_order(&mirror, &mut chi, &order, 0);
+        let range = self.ell * self.ell;
+        let h = slot.map(|s| &self.hashes[s]);
+        let mut out = Coloring::empty(self.n);
+        for y in 0..self.n as u32 {
+            let chi_y = chi.get(y).expect("greedy colored everything");
+            let second = h.map_or(0, |h| h.eval(y as u64));
+            out.set(y, chi_y * range + second);
+        }
+        DecodeState { era: self.curr, slot, mirror, chi, out, b_synced: self.buffer.len() }
     }
 
     /// Batched ingestion of a run of edges within one epoch.
@@ -211,6 +277,8 @@ impl StreamingColorer for RandEfficientColorer {
         self.buffer.push(e);
         self.meter.charge(eb);
 
+        self.cache.advance(1);
+
         // Lines 9–14: feed the candidate sketches of future epochs.
         let (u, v) = e.endpoints();
         for i in (self.curr + 1)..=self.num_epochs {
@@ -237,6 +305,7 @@ impl StreamingColorer for RandEfficientColorer {
     }
 
     fn process_batch(&mut self, edges: &[Edge]) {
+        self.cache.advance(edges.len() as u64);
         let mut start = 0;
         while start < edges.len() {
             if self.buffer.len() == self.n {
@@ -284,6 +353,56 @@ impl StreamingColorer for RandEfficientColorer {
             out.set(y, chi_y * range + second);
         }
         out
+    }
+
+    fn query_incremental(&mut self) -> Coloring {
+        // Fresh: nothing ingested since the last decode.
+        if let Some(d) = self.cache.fresh() {
+            let failed = d.slot.is_none();
+            let out = d.out.clone();
+            if failed {
+                self.failures += 1; // each query observes the failure anew
+            }
+            return out;
+        }
+        match self.cache.take_for_patch() {
+            Some((_, mut d)) => {
+                debug_assert_eq!(d.era, self.curr, "rotation must invalidate the decode cache");
+                // Within an epoch only buffer edges join D_{curr,k} ∪ B:
+                // append them to the mirror and repair χ around them.
+                let mut seeds = Vec::new();
+                for &e in &self.buffer[d.b_synced..] {
+                    if d.mirror.add_edge(e) {
+                        seeds.push(e.u().max(e.v()));
+                    }
+                }
+                d.b_synced = self.buffer.len();
+                let changed = greedy_repair_ascending(&d.mirror, &mut d.chi, seeds);
+                let range = self.ell * self.ell;
+                let h = d.slot.map(|s| &self.hashes[s]);
+                for v in changed {
+                    let chi_v = d.chi.get(v).expect("repair keeps χ total");
+                    let second = h.map_or(0, |h| h.eval(v as u64));
+                    d.out.set(v, chi_v * range + second);
+                }
+                if d.slot.is_none() {
+                    self.failures += 1;
+                }
+                let out = d.out.clone();
+                self.cache.install(d);
+                out
+            }
+            None => {
+                let d = self.rebuild_decode();
+                let out = d.out.clone();
+                self.cache.install(d);
+                out
+            }
+        }
+    }
+
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn peak_space_bits(&self) -> u64 {

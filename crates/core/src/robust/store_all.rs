@@ -14,8 +14,25 @@
 
 use crate::robust::alg2::RobustColorer;
 use crate::robust::params::RobustParams;
-use sc_graph::{greedy_complete, Coloring, Edge, Graph};
-use sc_stream::{edge_bits, SpaceMeter, StreamingColorer};
+use sc_graph::{greedy_complete, greedy_repair_ascending, Coloring, Edge, Graph};
+use sc_stream::{edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+
+/// The incremental-query artifact: a mirror of the stored graph plus the
+/// first-fit coloring it produced, repairable edge by edge.
+///
+/// Harness bookkeeping, not algorithm state — it is never charged to the
+/// [`SpaceMeter`] (queries may rebuild it from the stored edges at any
+/// time).
+#[derive(Debug, Clone)]
+struct StoreAllArtifact {
+    /// `Graph::from_edges` over the stored prefix, maintained by
+    /// appending — identical adjacency order to a scratch rebuild.
+    mirror: Graph,
+    /// First-fit-ascending coloring of `mirror` (the query answer).
+    chi: Coloring,
+    /// Stored edges already reflected in `mirror`.
+    synced: usize,
+}
 
 /// Stores every edge; queries greedily `(∆+1)`-color the stored graph.
 #[derive(Debug, Clone)]
@@ -23,17 +40,32 @@ pub struct StoreAllColorer {
     n: usize,
     edges: Vec<Edge>,
     meter: SpaceMeter,
+    cache: QueryCache<StoreAllArtifact>,
 }
 
 impl StoreAllColorer {
     /// Creates the colorer on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new(), meter: SpaceMeter::new() }
+        Self { n, edges: Vec::new(), meter: SpaceMeter::new(), cache: QueryCache::new() }
     }
 
     /// Number of stored edges.
     pub fn stored_edges(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Brings `artifact` up to date with the stored edges, repairing the
+    /// coloring only around the insertions.
+    fn patch(&self, artifact: &mut StoreAllArtifact) {
+        let mut seeds = Vec::new();
+        for &e in &self.edges[artifact.synced..] {
+            if artifact.mirror.add_edge(e) {
+                // Only the higher endpoint's first-fit choice can change.
+                seeds.push(e.u().max(e.v()));
+            }
+        }
+        artifact.synced = self.edges.len();
+        greedy_repair_ascending(&artifact.mirror, &mut artifact.chi, seeds);
     }
 }
 
@@ -42,6 +74,7 @@ impl StreamingColorer for StoreAllColorer {
         assert!((e.v() as usize) < self.n, "edge {e} out of range");
         self.edges.push(e);
         self.meter.charge(edge_bits(self.n));
+        self.cache.advance(1);
     }
 
     fn process_batch(&mut self, edges: &[Edge]) {
@@ -50,6 +83,7 @@ impl StreamingColorer for StoreAllColorer {
         }
         self.edges.extend_from_slice(edges);
         self.meter.charge(edges.len() as u64 * edge_bits(self.n));
+        self.cache.advance(edges.len() as u64);
     }
 
     fn query(&mut self) -> Coloring {
@@ -57,6 +91,31 @@ impl StreamingColorer for StoreAllColorer {
         let mut c = Coloring::empty(self.n);
         greedy_complete(&g, &mut c);
         c
+    }
+
+    fn query_incremental(&mut self) -> Coloring {
+        if let Some(a) = self.cache.fresh() {
+            return a.chi.clone();
+        }
+        let artifact = match self.cache.take_for_patch() {
+            Some((_, mut a)) => {
+                self.patch(&mut a);
+                a
+            }
+            None => {
+                let mirror = Graph::from_edges(self.n, self.edges.iter().copied());
+                let mut chi = Coloring::empty(self.n);
+                greedy_complete(&mirror, &mut chi);
+                StoreAllArtifact { mirror, chi, synced: self.edges.len() }
+            }
+        };
+        let out = artifact.chi.clone();
+        self.cache.install(artifact);
+        out
+    }
+
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn peak_space_bits(&self) -> u64 {
@@ -106,6 +165,20 @@ impl StreamingColorer for AutoRobust {
         match self {
             AutoRobust::StoreAll(c) => c.query(),
             AutoRobust::Alg2(c) => c.query(),
+        }
+    }
+
+    fn query_incremental(&mut self) -> Coloring {
+        match self {
+            AutoRobust::StoreAll(c) => c.query_incremental(),
+            AutoRobust::Alg2(c) => c.query_incremental(),
+        }
+    }
+
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            AutoRobust::StoreAll(c) => c.query_cache_stats(),
+            AutoRobust::Alg2(c) => c.query_cache_stats(),
         }
     }
 
@@ -161,6 +234,28 @@ mod tests {
             let out = run_oblivious(&mut auto, generators::shuffled_edges(&g, 2));
             assert!(out.is_proper_total(&g), "n={n} ∆={delta}");
         }
+    }
+
+    #[test]
+    fn incremental_queries_match_scratch_and_reuse_the_cache() {
+        let g = generators::gnp_with_max_degree(60, 7, 0.5, 9);
+        let edges: Vec<_> = generators::shuffled_edges(&g, 9);
+        let mut inc = StoreAllColorer::new(60);
+        let mut scr = StoreAllColorer::new(60);
+        for (i, &e) in edges.iter().enumerate() {
+            inc.process(e);
+            scr.process(e);
+            assert_eq!(inc.query_incremental(), scr.query(), "prefix {}", i + 1);
+        }
+        // Back-to-back query with no new edges: a pure hit.
+        let again = inc.query_incremental();
+        assert_eq!(again, scr.query());
+        let stats = inc.query_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.patches, edges.len() as u64 - 1);
+        // Caching never shows up in the space report.
+        assert_eq!(inc.peak_space_bits(), scr.peak_space_bits());
     }
 
     #[test]

@@ -67,6 +67,61 @@ pub fn greedy_complete(g: &Graph, coloring: &mut Coloring) {
     greedy_color_in_order(g, coloring, &uncolored, 0);
 }
 
+/// Repairs a first-fit-ascending coloring after edge insertions, touching
+/// only the vertices the insertions can actually affect.
+///
+/// Precondition: `coloring` equals the result of first-fit coloring all
+/// vertices of some graph `g₀` in ascending id order with palette `0..`
+/// (i.e. [`greedy_complete`] on an empty partial), and `g` is `g₀` plus
+/// some new edges. `seeds` names the vertices whose *lower* neighborhood
+/// changed — for a new edge `{u, v}` with `u < v` that is `v` alone (`u`'s
+/// first-fit color never looks at higher neighbors).
+///
+/// Postcondition: `coloring` equals first-fit ascending on `g` from
+/// scratch. This holds by induction on vertex id: processing the worklist
+/// in ascending order means every vertex below the current one already
+/// carries its final (from-scratch) color, and first-fit only reads
+/// lower-neighbor colors; a vertex whose color is unchanged propagates
+/// nothing, which is exactly when the scratch run would assign the same
+/// downstream colors.
+///
+/// Returns the vertices whose color changed, in ascending order — the
+/// incremental query paths patch derived outputs (e.g. Algorithm 3's pair
+/// encoding) from exactly this set.
+pub fn greedy_repair_ascending(
+    g: &Graph,
+    coloring: &mut Coloring,
+    seeds: impl IntoIterator<Item = VertexId>,
+) -> Vec<VertexId> {
+    let mut worklist: std::collections::BTreeSet<VertexId> = seeds.into_iter().collect();
+    let mut changed = Vec::new();
+    let mut forbidden: Vec<Color> = Vec::new();
+    while let Some(x) = worklist.pop_first() {
+        forbidden.clear();
+        forbidden
+            .extend(g.neighbors(x).iter().filter(|&&y| y < x).filter_map(|&y| coloring.get(y)));
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut c = 0;
+        for &f in &forbidden {
+            if f < c {
+                continue;
+            }
+            if f == c {
+                c += 1;
+            } else {
+                break;
+            }
+        }
+        if coloring.get(x) != Some(c) {
+            coloring.set(x, c);
+            changed.push(x);
+            worklist.extend(g.neighbors(x).iter().copied().filter(|&y| y > x));
+        }
+    }
+    changed
+}
+
 /// Greedy **list** coloring: colors `targets` in order, choosing for each
 /// the first color in its list not used by a colored neighbor.
 ///
@@ -149,6 +204,53 @@ mod tests {
         c.set(1, 2);
         greedy_color_in_order(&g, &mut c, &[2], 0);
         assert_eq!(c.get(2), Some(1));
+    }
+
+    #[test]
+    fn repair_matches_scratch_after_every_insertion() {
+        // Insert a random graph's edges one at a time; after each, repair
+        // must equal a from-scratch first-fit-ascending run.
+        let full = generators::gnp_with_max_degree(40, 7, 0.4, 12);
+        let edges: Vec<Edge> = generators::shuffled_edges(&full, 12);
+        let mut g = Graph::empty(40);
+        let mut c = Coloring::empty(40);
+        greedy_complete(&g, &mut c); // all isolated: everything color 0
+        for &e in &edges {
+            g.add_edge(e);
+            let changed = greedy_repair_ascending(&g, &mut c, [e.u().max(e.v())]);
+            let mut scratch = Coloring::empty(40);
+            greedy_complete(&g, &mut scratch);
+            assert_eq!(c, scratch, "repair diverged after inserting {e}");
+            // Changed vertices come back ascending and deduplicated.
+            assert!(changed.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn repair_with_no_seeds_is_a_no_op() {
+        let g = generators::complete(5);
+        let mut c = Coloring::empty(5);
+        greedy_complete(&g, &mut c);
+        let before = c.clone();
+        assert!(greedy_repair_ascending(&g, &mut c, []).is_empty());
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn repair_cascades_through_higher_neighbors() {
+        // Path 0–1–2–3 colored 0,1,0,1; adding {0,2} flips 2 and then 3.
+        let mut g = Graph::from_edges(4, [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        let mut c = Coloring::empty(4);
+        greedy_complete(&g, &mut c);
+        assert_eq!(c.get(2), Some(0));
+        g.add_edge(Edge::new(0, 2));
+        let changed = greedy_repair_ascending(&g, &mut c, [2]);
+        assert_eq!(changed, vec![2, 3]);
+        let mut scratch = Coloring::empty(4);
+        greedy_complete(&g, &mut scratch);
+        assert_eq!(c, scratch);
+        assert_eq!(c.get(2), Some(2));
+        assert_eq!(c.get(3), Some(0));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub use components::{
 pub use degeneracy::{degeneracy_coloring, degeneracy_ordering, DegeneracyInfo};
 pub use edge::{Edge, VertexId};
 pub use graph::Graph;
-pub use greedy::{greedy_color_in_order, greedy_complete, greedy_list_color};
+pub use greedy::{
+    greedy_color_in_order, greedy_complete, greedy_list_color, greedy_repair_ascending,
+};
 pub use stats::GraphStats;
 pub use turan::turan_independent_set;
 pub use validate::{audit, audit_lists, Audit};

@@ -7,6 +7,7 @@
 //! adversarial game driver in `sc-adversary` and the static-stream
 //! experiment harness both speak it.
 
+use crate::query_cache::CacheStats;
 use sc_graph::Coloring;
 use sc_graph::Edge;
 
@@ -38,6 +39,31 @@ pub trait StreamingColorer {
     /// against *adaptive* streams; for non-robust baselines only against
     /// oblivious ones.
     fn query(&mut self) -> Coloring;
+
+    /// Like [`query`], but allowed to reuse artifacts of the previous
+    /// query (via an epoch-keyed [`QueryCache`](crate::QueryCache)).
+    ///
+    /// **Law:** must be observationally identical to [`query`] at every
+    /// prefix, under arbitrary interleavings of `process`/`process_batch`
+    /// calls and queries of either kind — same colorings, same space
+    /// report. Implementors fall back to a from-scratch rebuild whenever
+    /// invalidation since the last query is too large to patch. The
+    /// default *is* the from-scratch path.
+    ///
+    /// [`query`]: StreamingColorer::query
+    fn query_incremental(&mut self) -> Coloring {
+        self.query()
+    }
+
+    /// Outcome counters of the incremental query path, or `None` for
+    /// colorers without one (their [`query_incremental`] just delegates
+    /// to [`query`]).
+    ///
+    /// [`query`]: StreamingColorer::query
+    /// [`query_incremental`]: StreamingColorer::query_incremental
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 
     /// Self-reported peak space in bits (model accounting; see
     /// [`crate::space`]).

@@ -42,23 +42,29 @@ pub struct EngineConfig {
     pub chunk_size: usize,
     /// Which stream prefixes to snapshot mid-stream.
     pub schedule: QuerySchedule,
+    /// Whether queries go through the epoch-keyed incremental path
+    /// ([`StreamingColorer::query_incremental`], the default) or always
+    /// rebuild from scratch ([`StreamingColorer::query`]). The two are
+    /// observationally identical by the colorer contract; the switch
+    /// exists so benchmarks and CI can measure one against the other.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { chunk_size: 256, schedule: QuerySchedule::FinalOnly }
+        Self { chunk_size: 256, schedule: QuerySchedule::FinalOnly, incremental: true }
     }
 }
 
 impl EngineConfig {
     /// Per-edge ingestion, final query only (the classic harness loop).
     pub fn per_edge() -> Self {
-        Self { chunk_size: 1, schedule: QuerySchedule::FinalOnly }
+        Self { chunk_size: 1, ..Self::default() }
     }
 
     /// Batched ingestion with the given chunk size, final query only.
     pub fn batched(chunk_size: usize) -> Self {
-        Self { chunk_size: chunk_size.max(1), schedule: QuerySchedule::FinalOnly }
+        Self { chunk_size: chunk_size.max(1), ..Self::default() }
     }
 
     /// Sets the checkpoint schedule.
@@ -66,9 +72,31 @@ impl EngineConfig {
         self.schedule = schedule;
         self
     }
+
+    /// Forces every query through the from-scratch path (the incremental
+    /// path's comparison baseline).
+    pub fn scratch_queries(mut self) -> Self {
+        self.incremental = false;
+        self
+    }
 }
 
 /// Which prefixes of the stream get a mid-stream [`Checkpoint`].
+///
+/// Deterministic behavior for irregular requests (tested in this
+/// module):
+///
+/// * **Out-of-order prefixes** — `AtPrefixes` lists may come in any
+///   order; checkpoints always fire in ascending prefix order.
+/// * **Duplicated prefixes** — each requested prefix checkpoints at most
+///   once; duplicates collapse.
+/// * **Past end-of-stream** — prefixes longer than the stream (and an
+///   `EveryEdges` period with a partial final window) are silently
+///   ignored; the final query in [`EngineReport::final_coloring`] covers
+///   the true stream end.
+/// * **Prefix 0 / period 0** — a requested prefix of `0` never fires (the
+///   empty prefix is observable via [`EngineSession::observe`] before any
+///   push); `EveryEdges(0)` is treated as `EveryEdges(1)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QuerySchedule {
     /// No mid-stream queries; only the final coloring is produced.
@@ -76,7 +104,7 @@ pub enum QuerySchedule {
     /// Checkpoint after every `k` edges (`k ≥ 1`).
     EveryEdges(usize),
     /// Checkpoint after exactly these prefix lengths (any order;
-    /// out-of-range entries are ignored).
+    /// duplicate and out-of-range entries are ignored).
     AtPrefixes(Vec<usize>),
 }
 
@@ -286,8 +314,13 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
 
     /// Queries the ingested prefix as-is (no flush: scheduled
     /// checkpoints run mid-slice, with later edges still staged).
+    /// Routed through the incremental path unless the config opts out.
     fn snapshot(&mut self) -> Checkpoint {
-        let coloring = self.colorer.query();
+        let coloring = if self.config.incremental {
+            self.colorer.query_incremental()
+        } else {
+            self.colorer.query()
+        };
         let colors = coloring.num_distinct_colors();
         Checkpoint {
             prefix_len: self.ingested,
@@ -306,7 +339,11 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
     /// `started_at` anchors the elapsed measurement.
     pub fn finish(mut self, started_at: Instant) -> EngineReport {
         self.flush();
-        let final_coloring = self.colorer.query();
+        let final_coloring = if self.config.incremental {
+            self.colorer.query_incremental()
+        } else {
+            self.colorer.query()
+        };
         EngineReport {
             edges: self.ingested,
             chunks: self.chunks,
@@ -422,6 +459,71 @@ mod tests {
         let report = StreamEngine::new(cfg).run(&mut c, &edges);
         let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
         assert_eq!(prefixes, vec![5, 17, 25]);
+    }
+
+    #[test]
+    fn duplicated_prefixes_checkpoint_once() {
+        let (_, edges) = edges_of(60, 7);
+        assert!(edges.len() > 17, "need a long enough stream");
+        let cfg = EngineConfig::batched(8)
+            .with_schedule(QuerySchedule::AtPrefixes(vec![5, 5, 17, 5, 17]));
+        let mut c = StoreAll::new(60);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(prefixes, vec![5, 17], "duplicates must collapse");
+    }
+
+    #[test]
+    fn past_end_and_zero_prefixes_are_ignored() {
+        let (_, edges) = edges_of(40, 8);
+        let m = edges.len();
+        let cfg = EngineConfig::batched(8).with_schedule(QuerySchedule::AtPrefixes(vec![
+            0,
+            m + 1,
+            10 * m,
+            3,
+        ]));
+        let mut c = StoreAll::new(40);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(prefixes, vec![3], "prefix 0 and past-end prefixes never fire");
+        assert_eq!(report.edges, m, "the final query still covers the whole stream");
+    }
+
+    #[test]
+    fn every_edges_zero_behaves_as_one() {
+        let (_, edges) = edges_of(30, 9);
+        let cfg = EngineConfig::batched(4).with_schedule(QuerySchedule::EveryEdges(0));
+        let mut c = StoreAll::new(30);
+        let report = StreamEngine::new(cfg).run(&mut c, &edges);
+        let prefixes: Vec<usize> = report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(prefixes, (1..=edges.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interactive_pushes_replay_a_schedule_identically() {
+        // The same schedule must fire at the same prefixes whether edges
+        // arrive as one slice or one at a time.
+        let (_, edges) = edges_of(50, 10);
+        let cfg =
+            EngineConfig::batched(8).with_schedule(QuerySchedule::AtPrefixes(vec![25, 4, 4, 9]));
+        let mut a = StoreAll::new(50);
+        let slice_report = StreamEngine::new(cfg.clone()).run(&mut a, &edges);
+        let mut b = StoreAll::new(50);
+        let mut session = EngineSession::new(&mut b, cfg);
+        for &e in &edges {
+            session.push(e);
+        }
+        let push_report = session.finish(Instant::now());
+        let slice_prefixes: Vec<usize> =
+            slice_report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        let push_prefixes: Vec<usize> =
+            push_report.checkpoints.iter().map(|c| c.prefix_len).collect();
+        assert_eq!(slice_prefixes, push_prefixes);
+        assert_eq!(slice_prefixes, vec![4, 9, 25]);
+        for (x, y) in slice_report.checkpoints.iter().zip(&push_report.checkpoints) {
+            assert_eq!(x.coloring, y.coloring);
+        }
     }
 
     #[test]

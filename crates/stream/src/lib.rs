@@ -13,10 +13,14 @@
 //! * [`StreamEngine`] / [`EngineSession`] — the batched ingestion engine:
 //!   chunking, pass counting, space metering and checkpointed mid-stream
 //!   queries in one place (see [`engine`]).
+//! * [`QueryCache`] — epoch-keyed reuse of query artifacts, powering the
+//!   incremental query path
+//!   ([`StreamingColorer::query_incremental`]; see [`query_cache`]).
 
 pub mod colorer;
 pub mod engine;
 pub mod order;
+pub mod query_cache;
 pub mod source;
 pub mod space;
 pub mod token;
@@ -27,6 +31,7 @@ pub use engine::{
     Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, StreamEngine,
 };
 pub use order::StreamOrder;
+pub use query_cache::{CacheState, CacheStats, QueryCache};
 pub use source::{PassCounter, StoredStream, StreamSource};
 pub use space::{color_bits, counter_bits, edge_bits, vertex_bits, SpaceMeter};
 pub use token::StreamItem;

@@ -8,8 +8,8 @@
 //!
 //! * `sc-graph` / `sc-hash` — offline graph and hashing substrates
 //! * `sc-stream` — streaming model: sources, space meters, the
-//!   [`StreamingColorer`](sc_stream::StreamingColorer) contract, and the
-//!   batched [`StreamEngine`](sc_stream::StreamEngine)
+//!   `StreamingColorer` contract (scratch + incremental query paths),
+//!   the epoch-keyed `QueryCache`, and the batched `StreamEngine`
 //! * `streamcolor` — the paper's algorithms and baselines
 //! * `sc-adversary` — adaptive adversaries and the robustness game
 //! * `sc-engine` — declarative `Scenario`/`Runner` experiment layer
