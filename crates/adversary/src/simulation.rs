@@ -10,7 +10,7 @@ use crate::game::{run_game, Adversary, GameReport};
 use sc_stream::StreamingColorer;
 
 /// Aggregated outcome of repeated adversarial games.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialSummary {
     /// Trials run.
     pub trials: usize,
@@ -41,6 +41,42 @@ impl TrialSummary {
     pub fn median_failure_round(&self) -> Option<usize> {
         (!self.failure_rounds.is_empty())
             .then(|| self.failure_rounds[self.failure_rounds.len() / 2])
+    }
+
+    /// The summary of zero trials — the identity of [`TrialSummary::merge`].
+    pub fn empty() -> Self {
+        Self {
+            trials: 0,
+            broken: 0,
+            failure_rounds: Vec::new(),
+            max_colors: 0,
+            min_rounds: 0,
+            max_rounds: 0,
+        }
+    }
+
+    /// Merges the summary of a disjoint batch of trials into this one.
+    ///
+    /// **Law:** summarizing any partition of a report set batch-by-batch
+    /// and merging equals [`summarize`] over the whole set — this is what
+    /// makes sharded attack-trial sweeps (`sc-engine`'s shard layer)
+    /// bit-identical to in-process ones. Zero-trial summaries are merge
+    /// identities.
+    pub fn merge(&mut self, other: &TrialSummary) {
+        if other.trials == 0 {
+            return;
+        }
+        if self.trials == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.trials += other.trials;
+        self.broken += other.broken;
+        self.failure_rounds.extend_from_slice(&other.failure_rounds);
+        self.failure_rounds.sort_unstable();
+        self.max_colors = self.max_colors.max(other.max_colors);
+        self.min_rounds = self.min_rounds.min(other.min_rounds);
+        self.max_rounds = self.max_rounds.max(other.max_rounds);
     }
 }
 
@@ -137,6 +173,35 @@ mod tests {
         let med = s.median_failure_round().unwrap();
         assert!(med >= 1);
         assert!(s.failure_rounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merging_partition_summaries_matches_global_summarize() {
+        let n = 60;
+        let delta = 16;
+        let reports: Vec<GameReport> = (0..9u64)
+            .map(|t| {
+                let mut colorer = PaletteSparsification::new(n, delta, 3, 70 + t);
+                let mut adversary = MonochromaticAttacker::new(n, delta, t);
+                run_game(&mut colorer, &mut adversary, n, n * delta)
+            })
+            .collect();
+        let whole = summarize(reports.clone());
+        assert!(whole.broken > 0, "need a mixed outcome to make the merge law interesting");
+        for split in [1usize, 2, 4, 9] {
+            let mut merged = TrialSummary::empty();
+            for chunk in reports.chunks(reports.len().div_ceil(split)) {
+                merged.merge(&summarize(chunk.to_vec()));
+            }
+            assert_eq!(merged, whole, "partition into {split} batches diverged");
+        }
+        // Zero-trial summaries are identities on either side.
+        let mut left = TrialSummary::empty();
+        left.merge(&whole);
+        assert_eq!(left, whole);
+        let mut right = whole.clone();
+        right.merge(&TrialSummary::empty());
+        assert_eq!(right, whole);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! One shard of a distributed scenario grid or attack-trial sweep.
+//!
+//! The worker half of `sc_engine::shard`: reads a wire-format spec file
+//! (written by the `Coordinator` or `streamcolor shard`, or by hand with
+//! `ShardJob::encode`), runs the deterministic contiguous slice that
+//! `--shard I --of N` selects through the ordinary `Runner`, and writes
+//! a mergeable result file. Merging every worker's output reproduces the
+//! single-process run byte-for-byte (the determinism law tested in
+//! `tests/shard_determinism.rs` and gated by CI's `shard-smoke` job).
+//!
+//! Usage (copy-pastable; shard indices are 0-based):
+//!
+//! ```text
+//! cargo build --release --bin shard_worker
+//! target/release/shard_worker --spec spec.json --shard 0 --of 2 --out out-0.json
+//! target/release/shard_worker --spec spec.json --shard 1 --of 2 --out out-1.json
+//! ```
+//!
+//! `--threads K` (default 1) sets the `Runner` thread count *inside*
+//! this worker; results are identical for every value, so it only trades
+//! process-level against thread-level parallelism. Exits non-zero with a
+//! message on stderr for malformed specs or I/O failures — the
+//! coordinator surfaces both.
+
+use sc_engine::shard::{encode_worker_output, partition, run_job, ShardJob};
+use sc_engine::Runner;
+use std::process::ExitCode;
+
+struct Args {
+    spec: String,
+    shard: usize,
+    of: usize,
+    out: String,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = None;
+    let mut shard = None;
+    let mut of = None;
+    let mut out = None;
+    let mut threads = 1usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        let parse = |name: &str, raw: String| {
+            raw.parse::<usize>().map_err(|e| format!("bad {name} {raw:?}: {e}"))
+        };
+        match flag.as_str() {
+            "--spec" => spec = Some(value("--spec")?),
+            "--shard" => shard = Some(parse("--shard", value("--shard")?)?),
+            "--of" => of = Some(parse("--of", value("--of")?)?),
+            "--out" => out = Some(value("--out")?),
+            "--threads" => threads = parse("--threads", value("--threads")?)?.max(1),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let args = Args {
+        spec: spec.ok_or("missing --spec <file>")?,
+        shard: shard.ok_or("missing --shard <index>")?,
+        of: of.ok_or("missing --of <count>")?,
+        out: out.ok_or("missing --out <file>")?,
+        threads,
+    };
+    if args.of == 0 {
+        return Err("--of must be ≥ 1".to_string());
+    }
+    if args.shard >= args.of {
+        return Err(format!("--shard {} out of range for --of {}", args.shard, args.of));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec))?;
+    let job = ShardJob::decode(&text).map_err(|e| format!("spec {:?}: {e}", args.spec))?;
+    let range = partition(job.len(), args.of)[args.shard].clone();
+    let outcome = run_job(&Runner::with_threads(args.threads), &job, range);
+    let encoded = encode_worker_output(args.shard, args.of, &outcome);
+    std::fs::write(&args.out, encoded).map_err(|e| format!("cannot write {:?}: {e}", args.out))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

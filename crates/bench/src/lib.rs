@@ -5,8 +5,13 @@
 //! in EXPERIMENTS.md. The paper is theory-only, so each "figure" is a
 //! theorem bound rendered as a measured curve; binaries print aligned
 //! text tables to stdout.
+//!
+//! The flat-JSON reader/writer the `bench_gate` and `shard_worker` bins
+//! use lives in [`sc_engine::flatjson`] (it moved there when the shard
+//! wire format needed it lower in the stack); [`flatjson`] re-exports it
+//! under the old path.
 
-pub mod flatjson;
+pub use sc_engine::flatjson;
 
 use std::fmt::Display;
 

@@ -1,0 +1,141 @@
+//! The shard determinism law, end to end with real worker processes.
+//!
+//! A sharded run — coordinator spawning `shard_worker` binaries — must
+//! merge to output *byte-identical* to the single-process
+//! `run_in_process` reference, for every worker count (1, 2, 7), every
+//! worker-internal thread count, and every coordinator-side `Runner`
+//! thread count, for both scenario grids and attack-trial sweeps.
+//! `CARGO_BIN_EXE_shard_worker` names the binary cargo built for this
+//! test, so this exercises the same process boundary CI's `shard-smoke`
+//! job does.
+
+use sc_engine::shard::{run_in_process, Coordinator, ShardJob, ShardOutcome};
+use sc_engine::{AdversarySpec, AttackScenario, ColorerSpec, Runner, Scenario, SourceSpec};
+use sc_graph::generators;
+use sc_stream::{QuerySchedule, StreamOrder};
+
+const WORKER: &str = env!("CARGO_BIN_EXE_shard_worker");
+
+/// A small mixed grid: streaming + multi-pass + offline specs, a stored
+/// source (exercising wire canonicalization of adjacency order), varied
+/// arrival orders and checkpoint schedules.
+fn grid_job() -> ShardJob {
+    let family = SourceSpec::exact_degree(60, 6, 3);
+    let stored = SourceSpec::stored(generators::gnp_with_max_degree(50, 5, 0.4, 2));
+    ShardJob::Grid(vec![
+        Scenario::new(family.clone(), ColorerSpec::Robust { beta: None })
+            .with_order(StreamOrder::Shuffled(1))
+            .with_seed(11)
+            .with_schedule(QuerySchedule::EveryEdges(13)),
+        Scenario::new(stored.clone(), ColorerSpec::RandEfficient)
+            .with_order(StreamOrder::Interleaved(4))
+            .with_seed(12),
+        Scenario::new(family.clone(), ColorerSpec::Bg18 { buckets: None }).with_seed(13),
+        Scenario::new(stored.clone(), ColorerSpec::StoreAll)
+            .with_seed(14)
+            .with_schedule(QuerySchedule::AtPrefixes(vec![9, 30, 9])),
+        Scenario::new(family.clone(), ColorerSpec::PaletteSparsification { lists: Some(6) })
+            .with_order(StreamOrder::HubsLast)
+            .with_seed(15),
+        Scenario::new(stored.clone(), ColorerSpec::Bcg20 { epsilon: 0.5 })
+            .with_order(StreamOrder::VertexContiguous)
+            .with_seed(16),
+        Scenario::new(family.clone(), ColorerSpec::Trivial).with_seed(17),
+        Scenario::new(stored, ColorerSpec::OfflineGreedy).with_seed(18),
+    ])
+}
+
+fn attack_job() -> ShardJob {
+    ShardJob::Attack {
+        scenario: AttackScenario::new(
+            ColorerSpec::PaletteSparsification { lists: Some(3) },
+            AdversarySpec::Monochromatic,
+            50,
+            12,
+        )
+        .with_rounds(300)
+        .with_seed(70),
+        trials: 9,
+    }
+}
+
+fn sharded(job: &ShardJob, workers: usize, worker_threads: usize) -> String {
+    let mut coordinator = Coordinator::new(workers, WORKER);
+    coordinator.worker_threads = worker_threads;
+    coordinator.run(job).expect("sharded run").encode()
+}
+
+#[test]
+fn grid_shards_merge_byte_identically() {
+    let job = grid_job();
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    assert_eq!(
+        run_in_process(&job, 4).unwrap().encode(),
+        reference,
+        "in-process thread count leaked into the output"
+    );
+    for workers in [1usize, 2, 7] {
+        assert_eq!(
+            sharded(&job, workers, 1),
+            reference,
+            "{workers} worker(s) diverged from the single-process run"
+        );
+    }
+    assert_eq!(sharded(&job, 2, 3), reference, "worker-internal threads leaked into the output");
+}
+
+#[test]
+fn attack_trials_merge_byte_identically() {
+    let job = attack_job();
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    assert_eq!(run_in_process(&job, 4).unwrap().encode(), reference);
+    for workers in [1usize, 2, 7] {
+        assert_eq!(
+            sharded(&job, workers, 1),
+            reference,
+            "{workers} worker(s) diverged from the single-process sweep"
+        );
+    }
+
+    // The merged summary is exactly what Runner::run_attack_trials
+    // reports in-process (attack jobs canonicalize losslessly), and the
+    // fragile victim really breaks — the sweep has signal to disagree on.
+    let ShardJob::Attack { scenario, trials } = &job else { unreachable!() };
+    let direct = Runner::with_threads(2).run_attack_trials(scenario, *trials);
+    assert!(direct.broken > 0, "tiny lists must break under the attack");
+    match ShardOutcome::decode(&reference).unwrap() {
+        ShardOutcome::Attack(summary) => assert_eq!(summary, direct),
+        other => panic!("expected an attack outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_undersized_jobs_shard_cleanly() {
+    let empty = ShardJob::Grid(Vec::new());
+    let reference = run_in_process(&empty, 1).unwrap().encode();
+    assert_eq!(reference, "[]\n");
+    assert_eq!(sharded(&empty, 3, 1), reference);
+
+    // More workers than items: the clamp plus empty ranges both work.
+    let ShardJob::Grid(scenarios) = grid_job() else { unreachable!() };
+    let tiny = ShardJob::Grid(scenarios[..2].to_vec());
+    assert_eq!(sharded(&tiny, 7, 1), run_in_process(&tiny, 1).unwrap().encode());
+}
+
+#[test]
+fn worker_rejects_malformed_invocations() {
+    let run = |args: &[&str]| {
+        std::process::Command::new(WORKER).args(args).output().expect("spawn worker")
+    };
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spec"));
+
+    let out = run(&["--spec", "x.json", "--shard", "5", "--of", "2", "--out", "y.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    let out = run(&["--spec", "/nonexistent.json", "--shard", "0", "--of", "1", "--out", "y"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read spec"));
+}

@@ -4,6 +4,7 @@ pub mod attack;
 pub mod color;
 pub mod gen;
 pub mod info;
+pub mod shard;
 pub mod verify;
 
 use crate::args::{err, Args, CliError};
@@ -13,6 +14,7 @@ use std::io::Write;
 fn switches(command_hint: Option<&str>) -> &'static [&'static str] {
     match command_hint {
         Some("info") => &["chromatic"],
+        Some("shard") => &["smoke", "in-process"],
         _ => &[],
     }
 }
@@ -34,6 +36,10 @@ SUBCOMMANDS:
              --sample K switches to the (1±ε) estimator)
     attack   adaptive-adversary game (--victim, --adversary, --n, --delta,
              --rounds, --seed; --lists overrides ps list sizing)
+    shard    run a scenario grid sharded across worker processes and write
+             the merged summary JSON (--smoke or --spec FILE; --workers N,
+             --out FILE, --worker-bin PATH, --worker-threads K;
+             --in-process runs the single-process reference)
     help     this message
 
 ALGORITHMS (--algo):   det batch robust auto rand-efficient cgs22 bg18 bcg20 ps greedy brooks
@@ -54,6 +60,7 @@ pub fn dispatch(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> 
         "info" => info::run(&args, out),
         "verify" => verify::run(&args, out),
         "attack" => attack::run(&args, out),
+        "shard" => shard::run(&args, out),
         "help" | "--help" | "-h" => out.write_all(HELP.as_bytes()).map_err(|e| err(e.to_string())),
         other => Err(err(format!("unknown subcommand {other:?}; try `streamcolor help`"))),
     }

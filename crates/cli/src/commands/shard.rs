@@ -1,0 +1,162 @@
+//! `streamcolor shard` — run a scenario grid sharded across worker
+//! processes and write the merged summary JSON.
+//!
+//! The coordinator front end of `sc_engine::shard`: it encodes the grid
+//! as a wire-format spec file, spawns `--workers N` copies of the
+//! `shard_worker` binary (each runs its deterministic slice), and merges
+//! their outputs. The merged JSON is byte-identical for every worker
+//! count — and identical to `--in-process`, the single-process reference
+//! — so CI can literally `diff` the two:
+//!
+//! ```text
+//! cargo build --release --bin streamcolor --bin shard_worker
+//! target/release/streamcolor shard --smoke --workers 4 --out merged.json
+//! target/release/streamcolor shard --smoke --in-process --out single.json
+//! diff single.json merged.json
+//! ```
+//!
+//! `--spec FILE` runs an arbitrary `ShardJob::encode` spec file instead
+//! of the built-in `--smoke` grid. The worker binary defaults to
+//! `shard_worker` next to the current executable; `--worker-bin PATH`
+//! overrides it.
+
+use crate::args::{err, Args, CliError};
+use sc_engine::shard::{run_in_process, smoke_grid, Coordinator, ShardJob, ShardOutcome};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let workers: usize = args.parse_or("workers", 2)?;
+    let threads: usize = args.parse_or("worker-threads", 1)?;
+    let smoke = args.switch("smoke");
+    let in_process = args.switch("in-process");
+    let spec_path = args.optional("spec").map(String::from);
+    let out_path = args.optional("out").map(String::from);
+    let worker_bin = args.optional("worker-bin").map(PathBuf::from);
+    args.reject_unknown()?;
+
+    let job = match (smoke, spec_path) {
+        (true, None) => ShardJob::Grid(smoke_grid()),
+        (false, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("cannot read spec {path:?}: {e}")))?;
+            ShardJob::decode(&text).map_err(|e| err(format!("spec {path:?}: {e}")))?
+        }
+        (true, Some(_)) => return Err(err("--smoke and --spec are mutually exclusive")),
+        (false, None) => return Err(err("need --smoke or --spec <file>")),
+    };
+
+    let outcome = if in_process {
+        run_in_process(&job, workers.max(1)).map_err(err)?
+    } else {
+        let mut coordinator =
+            Coordinator::new(workers, worker_bin.map_or_else(default_worker_bin, Ok)?);
+        coordinator.worker_threads = threads.max(1);
+        coordinator.run(&job).map_err(err)?
+    };
+
+    let json = outcome.encode();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| err(format!("cannot write {path:?}: {e}")))?;
+            let what = match &outcome {
+                ShardOutcome::Grid(summaries) => format!("{} run summaries", summaries.len()),
+                ShardOutcome::Attack(s) => format!("trial summary ({} trials)", s.trials),
+            };
+            // The coordinator clamps the worker count to the job size;
+            // report what actually ran.
+            let spawned = workers.clamp(1, job.len().max(1));
+            writeln!(
+                out,
+                "{} item(s) across {} — wrote {what} to {path}",
+                job.len(),
+                if in_process { "1 process".to_string() } else { format!("{spawned} worker(s)") },
+            )
+            .map_err(|e| err(e.to_string()))?;
+        }
+        None => out.write_all(json.as_bytes()).map_err(|e| err(e.to_string()))?,
+    }
+    Ok(())
+}
+
+/// `shard_worker` next to the running executable (`target/<profile>/`).
+fn default_worker_bin() -> Result<PathBuf, CliError> {
+    let exe = std::env::current_exe().map_err(|e| err(format!("cannot locate myself: {e}")))?;
+    let dir = exe.parent().ok_or_else(|| err("executable has no parent directory"))?;
+    let candidate = dir.join(if cfg!(windows) { "shard_worker.exe" } else { "shard_worker" });
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(err(format!(
+            "worker binary not found at {candidate:?}; build it with \
+             `cargo build --release --bin shard_worker` or pass --worker-bin PATH"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let toks: Vec<String> = s.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&toks, &["smoke", "in-process"]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    // Worker-process spawning is covered by `crates/bench`'s
+    // `shard_determinism` integration test (which can name the built
+    // worker binary via `CARGO_BIN_EXE_shard_worker`); here we cover the
+    // in-process path and the flag grammar.
+
+    #[test]
+    fn in_process_smoke_grid_emits_summaries() {
+        let text = run_str("shard --smoke --in-process --workers 3").unwrap();
+        let outcome = ShardOutcome::decode(&text).unwrap();
+        match outcome {
+            ShardOutcome::Grid(summaries) => {
+                assert_eq!(summaries.len(), smoke_grid().len());
+                assert!(summaries.iter().all(|s| s.colors > 0));
+            }
+            other => panic!("expected grid summaries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_process_runs_are_worker_count_invariant() {
+        let a = run_str("shard --smoke --in-process --workers 1").unwrap();
+        let b = run_str("shard --smoke --in-process --workers 4").unwrap();
+        assert_eq!(a, b, "thread count leaked into the merged JSON");
+    }
+
+    #[test]
+    fn spec_files_round_trip_through_the_cli() {
+        let dir = std::env::temp_dir().join("streamcolor-shard-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        let grid = ShardJob::Grid(smoke_grid()[..2].to_vec());
+        std::fs::write(&spec, grid.encode()).unwrap();
+        let out_file = dir.join("merged.json");
+        let text = run_str(&format!(
+            "shard --spec {} --in-process --out {}",
+            spec.display(),
+            out_file.display()
+        ))
+        .unwrap();
+        assert!(text.contains("2 item(s)"), "{text}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(
+            matches!(ShardOutcome::decode(&written).unwrap(), ShardOutcome::Grid(s) if s.len() == 2)
+        );
+    }
+
+    #[test]
+    fn flag_grammar_is_validated() {
+        assert!(run_str("shard --in-process").is_err(), "need a job source");
+        assert!(run_str("shard --smoke --spec x.json --in-process").is_err(), "exclusive flags");
+        assert!(run_str("shard --smoke --bogus 1").is_err());
+    }
+}

@@ -25,7 +25,7 @@ impl Default for DerandStrategy {
 }
 
 /// Configuration for [`crate::det::deterministic_coloring`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetConfig {
     /// Hash-selection strategy per stage.
     pub derand: DerandStrategy,

@@ -49,6 +49,6 @@ pub use baselines::{
     batch_greedy_coloring, offline_greedy, Bcg20Colorer, Bg18Colorer, Cgs22Colorer, Hknt22Colorer,
     PaletteSparsification, TrivialColorer,
 };
-pub use det::{deterministic_coloring, DetConfig, DetReport};
+pub use det::{deterministic_coloring, DerandStrategy, DetConfig, DetReport};
 pub use listcolor::{list_coloring, ListConfig, ListReport};
 pub use robust::{AutoRobust, RandEfficientColorer, RobustColorer, RobustParams, StoreAllColorer};

@@ -11,7 +11,7 @@ use sc_graph::Edge;
 use std::sync::Arc;
 
 /// Which adversary generates the stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdversarySpec {
     /// The monochromatic feedback attack (the paper's motivating break).
     Monochromatic,
@@ -47,7 +47,7 @@ impl AdversarySpec {
 }
 
 /// One adaptive game: a victim, an adversary, and a budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackScenario {
     /// Display label.
     pub label: String,
@@ -96,7 +96,10 @@ impl AttackScenario {
     }
 
     /// The same scenario re-seeded for trial `t` (independent parties).
-    fn trial(&self, t: u64) -> AttackScenario {
+    /// [`Runner::run_attack_trials`] runs trials `0..trials`; the shard
+    /// worker runs its contiguous sub-range of the same seeds, so
+    /// sharded trials are bit-identical to in-process ones.
+    pub fn trial(&self, t: u64) -> AttackScenario {
         let mut s = self.clone();
         s.victim_seed = self.victim_seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
         s.adversary_seed = self.adversary_seed.wrapping_add(t.wrapping_mul(0xC2B2_AE35));

@@ -17,7 +17,11 @@
 //!   the streaming model's space accounting is untouched;
 //! * [`AttackScenario`] / [`AdversarySpec`] — adaptive-adversary games as
 //!   declarative scenarios, with parallel multi-trial sweeps;
-//! * [`verify`] — the BBMU21 coloring-verification runner.
+//! * [`verify`] — the BBMU21 coloring-verification runner;
+//! * [`wire`] / [`flatjson`] — the serde-free wire format that
+//!   round-trips scenarios to flat JSON, making grids *distributable*;
+//! * [`shard`] — grids and trial sweeps fanned out across OS processes:
+//!   spec files, the worker protocol, and the merging [`Coordinator`].
 //!
 //! ```
 //! use sc_engine::{ColorerSpec, Runner, Scenario, SourceSpec};
@@ -31,17 +35,21 @@
 //! ```
 
 pub mod attack;
+pub mod flatjson;
 pub mod parallel;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod source;
 pub mod spec;
 pub mod verify;
+pub mod wire;
 
 pub use attack::{AdversarySpec, AttackScenario};
 pub use parallel::par_map;
 pub use runner::{RunOutcome, Runner};
 pub use scenario::Scenario;
+pub use shard::{Coordinator, RunSummary, ShardJob, ShardOutcome};
 pub use source::{GraphFamily, SourceSpec};
 pub use spec::ColorerSpec;
 pub use verify::{run_verify, VerifyMode, VerifyReport};

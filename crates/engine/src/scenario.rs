@@ -10,7 +10,7 @@ use sc_stream::{EngineConfig, QuerySchedule, StreamOrder};
 /// Scenarios are plain data (`Clone + Send + Sync`), so parameter grids
 /// are built by mapping over vectors and handed to
 /// [`Runner::run_all`](crate::Runner::run_all) for parallel execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display label carried into the outcome (defaults to the spec's).
     pub label: String,

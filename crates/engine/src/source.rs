@@ -4,7 +4,7 @@ use sc_graph::{generators, Graph};
 use std::sync::Arc;
 
 /// Where a scenario's graph comes from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SourceSpec {
     /// An already-materialized graph (e.g. read from a file), shared
     /// cheaply across scenarios.

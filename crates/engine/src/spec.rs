@@ -15,7 +15,7 @@ use streamcolor::{
 /// by the [`Runner`](crate::Runner) (they consume a whole
 /// [`StreamSource`](sc_stream::StreamSource) / graph rather than an edge
 /// feed).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColorerSpec {
     /// Algorithm 2 (Theorem 3 / Corollary 4.7). `beta = None` is the
     /// Theorem 3 point `β = 0`.

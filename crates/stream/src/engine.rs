@@ -79,6 +79,54 @@ impl EngineConfig {
         self.incremental = false;
         self
     }
+
+    /// Encodes the configuration as a compact, self-delimiting string
+    /// (`"chunk=256;schedule=every:10;incremental=true"`) for embedding
+    /// in flat-JSON wire objects (`sc_engine::shard` spec files). The
+    /// exact inverse of [`EngineConfig::wire_decode`].
+    pub fn wire_encode(&self) -> String {
+        format!(
+            "chunk={};schedule={};incremental={}",
+            self.chunk_size,
+            self.schedule.wire_encode(),
+            self.incremental
+        )
+    }
+
+    /// Decodes a [`EngineConfig::wire_encode`] string.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the malformed part.
+    pub fn wire_decode(text: &str) -> Result<Self, String> {
+        let mut chunk_size = None;
+        let mut schedule = None;
+        let mut incremental = None;
+        for part in text.split(';') {
+            let (key, value) =
+                part.split_once('=').ok_or(format!("engine config: {part:?} is not key=value"))?;
+            match key {
+                "chunk" => {
+                    chunk_size = Some(
+                        value.parse().map_err(|e| format!("engine config chunk {value:?}: {e}"))?,
+                    )
+                }
+                "schedule" => schedule = Some(QuerySchedule::wire_decode(value)?),
+                "incremental" => {
+                    incremental = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("engine config incremental {value:?}: {e}"))?,
+                    )
+                }
+                other => return Err(format!("engine config: unknown key {other:?}")),
+            }
+        }
+        Ok(Self {
+            chunk_size: chunk_size.ok_or("engine config: missing chunk")?,
+            schedule: schedule.ok_or("engine config: missing schedule")?,
+            incremental: incremental.ok_or("engine config: missing incremental")?,
+        })
+    }
 }
 
 /// Which prefixes of the stream get a mid-stream [`Checkpoint`].
@@ -109,6 +157,46 @@ pub enum QuerySchedule {
 }
 
 impl QuerySchedule {
+    /// Encodes the schedule as a compact string: `"final"`, `"every:K"`,
+    /// or `"at:5,17,25"` (`"at:"` for an empty list). The exact inverse
+    /// of [`QuerySchedule::wire_decode`].
+    pub fn wire_encode(&self) -> String {
+        match self {
+            QuerySchedule::FinalOnly => "final".to_string(),
+            QuerySchedule::EveryEdges(k) => format!("every:{k}"),
+            QuerySchedule::AtPrefixes(ps) => {
+                let list: Vec<String> = ps.iter().map(usize::to_string).collect();
+                format!("at:{}", list.join(","))
+            }
+        }
+    }
+
+    /// Decodes a [`QuerySchedule::wire_encode`] string.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the malformed part.
+    pub fn wire_decode(text: &str) -> Result<Self, String> {
+        if text == "final" {
+            return Ok(QuerySchedule::FinalOnly);
+        }
+        if let Some(k) = text.strip_prefix("every:") {
+            return k
+                .parse()
+                .map(QuerySchedule::EveryEdges)
+                .map_err(|e| format!("schedule period {k:?}: {e}"));
+        }
+        if let Some(list) = text.strip_prefix("at:") {
+            if list.is_empty() {
+                return Ok(QuerySchedule::AtPrefixes(Vec::new()));
+            }
+            let ps: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+            return ps
+                .map(QuerySchedule::AtPrefixes)
+                .map_err(|e| format!("schedule prefixes {list:?}: {e}"));
+        }
+        Err(format!("unknown schedule {text:?} (want final | every:K | at:p1,p2,…)"))
+    }
+
     /// The next scheduled prefix strictly greater than `done`, if any.
     fn next_after(&self, done: usize) -> Option<usize> {
         match self {
@@ -564,6 +652,41 @@ mod tests {
         let report = session.finish(Instant::now());
         assert_eq!(report.edges, 10);
         assert_eq!(report.checkpoints.len(), 10);
+    }
+
+    #[test]
+    fn engine_config_wire_round_trips() {
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig::per_edge(),
+            EngineConfig::batched(7).scratch_queries(),
+            EngineConfig::batched(1000).with_schedule(QuerySchedule::EveryEdges(10)),
+            EngineConfig::default().with_schedule(QuerySchedule::AtPrefixes(vec![5, 17, 25])),
+            EngineConfig::default().with_schedule(QuerySchedule::AtPrefixes(Vec::new())),
+        ];
+        for cfg in configs {
+            let text = cfg.wire_encode();
+            let back = EngineConfig::wire_decode(&text).unwrap();
+            assert_eq!(back, cfg, "wire text {text:?}");
+            assert_eq!(back.wire_encode(), text, "re-encoding must be stable");
+        }
+    }
+
+    #[test]
+    fn engine_config_wire_rejects_malformed_text() {
+        for bad in [
+            "",
+            "chunk=4",
+            "chunk=4;schedule=final",
+            "chunk=x;schedule=final;incremental=true",
+            "chunk=4;schedule=sometimes;incremental=true",
+            "chunk=4;schedule=final;incremental=maybe",
+            "chunk=4;schedule=final;incremental=true;bogus=1",
+        ] {
+            assert!(EngineConfig::wire_decode(bad).is_err(), "{bad:?} must not decode");
+        }
+        assert!(QuerySchedule::wire_decode("every:").is_err());
+        assert!(QuerySchedule::wire_decode("at:1,x").is_err());
     }
 
     #[test]

@@ -92,6 +92,46 @@ impl StreamOrder {
         }
     }
 
+    /// Encodes the policy (with its seed, where one exists) as a compact
+    /// string — `"shuffled:7"`, `"hubs-first"`, … — for embedding in
+    /// flat-JSON wire objects. The exact inverse of
+    /// [`StreamOrder::wire_decode`].
+    pub fn wire_encode(self) -> String {
+        match self {
+            StreamOrder::AsGenerated => "generated".to_string(),
+            StreamOrder::Shuffled(seed) => format!("shuffled:{seed}"),
+            StreamOrder::HubsFirst => "hubs-first".to_string(),
+            StreamOrder::HubsLast => "hubs-last".to_string(),
+            StreamOrder::VertexContiguous => "vertex-contiguous".to_string(),
+            StreamOrder::Interleaved(seed) => format!("interleaved:{seed}"),
+        }
+    }
+
+    /// Decodes a [`StreamOrder::wire_encode`] string.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the malformed part.
+    pub fn wire_decode(text: &str) -> Result<Self, String> {
+        let seed_of = |tail: &str| -> Result<u64, String> {
+            tail.parse().map_err(|e| format!("order seed {tail:?}: {e}"))
+        };
+        match text {
+            "generated" => Ok(StreamOrder::AsGenerated),
+            "hubs-first" => Ok(StreamOrder::HubsFirst),
+            "hubs-last" => Ok(StreamOrder::HubsLast),
+            "vertex-contiguous" => Ok(StreamOrder::VertexContiguous),
+            other => {
+                if let Some(tail) = other.strip_prefix("shuffled:") {
+                    Ok(StreamOrder::Shuffled(seed_of(tail)?))
+                } else if let Some(tail) = other.strip_prefix("interleaved:") {
+                    Ok(StreamOrder::Interleaved(seed_of(tail)?))
+                } else {
+                    Err(format!("unknown stream order {other:?}"))
+                }
+            }
+        }
+    }
+
     /// The standard sweep the experiments run: one of each policy.
     pub fn sweep(seed: u64) -> Vec<StreamOrder> {
         vec![
@@ -198,6 +238,16 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             StreamOrder::sweep(0).into_iter().map(StreamOrder::label).collect();
         assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn wire_encoding_round_trips_every_policy() {
+        for order in StreamOrder::sweep(u64::MAX) {
+            let text = order.wire_encode();
+            assert_eq!(StreamOrder::wire_decode(&text).unwrap(), order, "{text:?}");
+        }
+        assert!(StreamOrder::wire_decode("sorted").is_err());
+        assert!(StreamOrder::wire_decode("shuffled:abc").is_err());
     }
 
     #[test]
