@@ -1,0 +1,208 @@
+//! Experiment — the serving layer's overhead curve: multi-session
+//! interleaved ingest+query throughput vs N separate single-session
+//! runs, driven entirely through the `sc-service` line protocol.
+//!
+//! The service hosts K independent tenants; its value is multiplexing,
+//! and its cost must be ~zero — hosting K interleaved sessions should
+//! take the same total time as running the K sessions one after another
+//! on fresh single-tenant services. This binary measures exactly that
+//! ratio per algorithm and emits `BENCH_service.json`, so the serving
+//! layer enters the perf trajectory from day one:
+//!
+//! * `isolated_ms` — sum over sessions of a fresh service executing that
+//!   session's whole command script;
+//! * `interleaved_ms` — one service, the same scripts interleaved
+//!   round-robin (the serving cadence: every tenant advances a chunk,
+//!   then observes);
+//! * `ratio = isolated_ms / interleaved_ms` — ≈ 1.0 when multiplexing is
+//!   free; CI gates it via `ci/bench_baselines.json` (a sustained drop
+//!   means per-command dispatch or session lookup got expensive).
+//!
+//! Before timing, the two modes' response transcripts are asserted
+//! byte-identical per session — the determinism law, re-checked where
+//! the numbers are produced.
+//!
+//! `--smoke` shrinks the instances and writes `BENCH_service.smoke.json`
+//! (CI-sized; never clobbers the committed full-profile file).
+
+use sc_engine::{wire, ColorerSpec};
+use sc_graph::generators;
+use sc_service::Service;
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Profile {
+    smoke: bool,
+    /// Concurrent sessions per algorithm.
+    sessions: usize,
+    /// Vertices / max degree of each session's stream.
+    n: usize,
+    delta: usize,
+    /// Edges per push_batch (an observe follows every batch).
+    batch: usize,
+    /// Timing repetitions (median goes into the file).
+    reps: usize,
+}
+
+impl Profile {
+    fn full() -> Self {
+        Self { smoke: false, sessions: 8, n: 1200, delta: 16, batch: 64, reps: 5 }
+    }
+
+    fn smoke() -> Self {
+        Self { smoke: true, sessions: 4, n: 400, delta: 8, batch: 32, reps: 3 }
+    }
+
+    fn bench_path(&self) -> &'static str {
+        if self.smoke {
+            "BENCH_service.smoke.json"
+        } else {
+            "BENCH_service.json"
+        }
+    }
+}
+
+/// One tenant's full command script: open, then per chunk push_batch +
+/// observe, then stats + finish — the interactive serving cadence.
+fn session_script(name: &str, spec: &ColorerSpec, profile: &Profile, seed: u64) -> Vec<String> {
+    let g = generators::gnp_with_max_degree(profile.n, profile.delta, 0.4, seed);
+    let edges: Vec<_> = generators::shuffled_edges(&g, seed ^ 0xBEEF);
+    let mut open = sc_engine::flatjson::FlatObject::new();
+    use sc_engine::flatjson::Scalar;
+    open.insert("cmd".into(), Scalar::Str("open".into()));
+    open.insert("session".into(), Scalar::Str(name.into()));
+    open.insert("n".into(), Scalar::Uint(profile.n as u64));
+    open.insert("delta".into(), Scalar::Uint(profile.delta as u64));
+    open.insert("seed".into(), Scalar::Uint(seed));
+    wire::colorer_to_wire(spec, &mut open);
+    let mut lines = vec![sc_engine::flatjson::encode_object(&open)];
+    for chunk in edges.chunks(profile.batch) {
+        let batch = wire::encode_edges(chunk.iter().copied());
+        lines.push(format!(r#"{{"cmd":"push_batch","session":"{name}","edges":"{batch}"}}"#));
+        lines.push(format!(r#"{{"cmd":"observe","session":"{name}"}}"#));
+    }
+    lines.push(format!(r#"{{"cmd":"stats","session":"{name}"}}"#));
+    lines.push(format!(r#"{{"cmd":"finish","session":"{name}"}}"#));
+    lines
+}
+
+/// Round-robin interleaving of the tenants' scripts (per-session order
+/// preserved), tagged with the owning session index.
+fn interleave(scripts: &[Vec<String>]) -> Vec<(usize, &String)> {
+    let mut cursors = vec![0usize; scripts.len()];
+    let mut out = Vec::with_capacity(scripts.iter().map(Vec::len).sum());
+    loop {
+        let mut advanced = false;
+        for (s, script) in scripts.iter().enumerate() {
+            if cursors[s] < script.len() {
+                out.push((s, &script[cursors[s]]));
+                cursors[s] += 1;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+/// Runs the tenants isolated (fresh service each), returning per-session
+/// transcripts and the total wall time in ms.
+fn run_isolated(scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
+    let start = Instant::now();
+    let transcripts = scripts
+        .iter()
+        .map(|script| {
+            let mut service = Service::new();
+            script.iter().filter_map(|line| service.respond(line)).collect()
+        })
+        .collect();
+    (transcripts, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the tenants interleaved on one service, returning per-session
+/// transcripts and the wall time in ms.
+fn run_interleaved(scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
+    let lines = interleave(scripts);
+    let mut transcripts: Vec<Vec<String>> = vec![Vec::new(); scripts.len()];
+    let start = Instant::now();
+    let mut service = Service::new();
+    for (s, line) in lines {
+        if let Some(response) = service.respond(line) {
+            transcripts[s].push(response);
+        }
+    }
+    (transcripts, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile = if smoke { Profile::smoke() } else { Profile::full() };
+    let algos: Vec<(&str, ColorerSpec)> = vec![
+        ("alg2", ColorerSpec::Robust { beta: None }),
+        ("alg3", ColorerSpec::RandEfficient),
+        ("bg18", ColorerSpec::Bg18 { buckets: None }),
+        ("store_all", ColorerSpec::StoreAll),
+    ];
+    println!(
+        "# service bench: {} sessions x (n = {}, delta = {}, batch = {}){}",
+        profile.sessions,
+        profile.n,
+        profile.delta,
+        profile.batch,
+        if smoke { ", smoke profile" } else { "" }
+    );
+
+    let mut entries = Vec::new();
+    for (name, spec) in &algos {
+        let scripts: Vec<Vec<String>> = (0..profile.sessions)
+            .map(|s| session_script(&format!("{name}-{s}"), spec, &profile, 100 + s as u64))
+            .collect();
+        let commands: usize = scripts.iter().map(Vec::len).sum();
+
+        // Determinism first: interleaving must not change a byte of any
+        // tenant's transcript.
+        let (isolated_transcripts, _) = run_isolated(&scripts);
+        let (interleaved_transcripts, _) = run_interleaved(&scripts);
+        assert_eq!(
+            interleaved_transcripts, isolated_transcripts,
+            "{name}: interleaving changed a tenant's responses"
+        );
+
+        let median = |times: &mut Vec<f64>| -> f64 {
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let mut isolated_times: Vec<f64> =
+            (0..profile.reps).map(|_| run_isolated(&scripts).1).collect();
+        let mut interleaved_times: Vec<f64> =
+            (0..profile.reps).map(|_| run_interleaved(&scripts).1).collect();
+        let isolated_ms = median(&mut isolated_times);
+        let interleaved_ms = median(&mut interleaved_times);
+        let ratio = isolated_ms / interleaved_ms.max(1e-9);
+        println!(
+            "{name:>9}: {sessions} sessions, {commands} commands — isolated {isolated_ms:.1} ms, \
+             interleaved {interleaved_ms:.1} ms, ratio {ratio:.3}",
+            sessions = profile.sessions,
+        );
+        entries.push(format!(
+            "  {{\"algo\":\"{}\",\"kind\":\"service\",\"sessions\":{},\"n\":{},\"delta\":{},\"commands\":{},\"isolated_ms\":{:.3},\"interleaved_ms\":{:.3},\"ratio\":{:.3}}}",
+            name,
+            profile.sessions,
+            profile.n,
+            profile.delta,
+            commands,
+            isolated_ms,
+            interleaved_ms,
+            ratio,
+        ));
+    }
+
+    let path = profile.bench_path();
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {path} (multi-session interleaved vs isolated service runs)"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    print!("{json}");
+}

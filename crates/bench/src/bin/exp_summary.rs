@@ -186,7 +186,7 @@ fn emit_engine_bench(profile: &Profile) {
         let mut times: Vec<f64> = Vec::with_capacity(reps);
         let mut coloring = None;
         for _ in 0..reps {
-            let mut colorer = spec.build_streaming(n, delta, 5, Some(&g)).expect("streaming spec");
+            let mut colorer = spec.build(n, delta, 5, Some(&g)).expect("streaming spec");
             let report = engine.run(colorer.as_mut(), &edges);
             times.push(report.elapsed.as_secs_f64() * 1e3);
             coloring = Some(report.final_coloring);
@@ -240,7 +240,7 @@ fn emit_query_bench(profile: &Profile) {
     let mut entries = Vec::new();
     for (name, spec) in &algos {
         let run_once = |config: EngineConfig| {
-            let mut colorer = spec.build_streaming(n, delta, 5, Some(&g)).expect("streaming spec");
+            let mut colorer = spec.build(n, delta, 5, Some(&g)).expect("streaming spec");
             let report = StreamEngine::new(config).run(colorer.as_mut(), &edges);
             (report.elapsed.as_secs_f64() * 1e3, report)
         };
@@ -286,8 +286,7 @@ fn emit_query_bench(profile: &Profile) {
             let mut played = 0;
             for _ in 0..greps {
                 let mut attacker = MonochromaticAttacker::new(gn, gdelta, 9);
-                let mut victim =
-                    spec.build_streaming(gn, gdelta, 13, None).expect("streaming victim");
+                let mut victim = spec.build(gn, gdelta, 13, None).expect("streaming victim");
                 let start = Instant::now();
                 let report = run_game_with_config(
                     victim.as_mut(),

@@ -85,6 +85,21 @@ fn grid_shards_merge_byte_identically() {
 }
 
 #[test]
+fn grids_smaller_than_the_worker_count_still_merge_byte_identically() {
+    // 2 scenarios, 7 requested workers: the coordinator clamps to the
+    // job size and spawns 2 real processes — a degenerate but correct
+    // merge, identical to the single-process reference.
+    let ShardJob::Grid(scenarios) = grid_job() else { unreachable!("grid_job is a grid") };
+    let tiny = ShardJob::Grid(scenarios[..2].to_vec());
+    let reference = run_in_process(&tiny, 1).unwrap().encode();
+    assert_eq!(sharded(&tiny, 7, 1), reference, "over-provisioned workers diverged");
+    // The empty grid is the fully degenerate case: nothing to run,
+    // canonical empty output, no worker mix-ups.
+    let empty = ShardJob::Grid(Vec::new());
+    assert_eq!(sharded(&empty, 7, 1), run_in_process(&empty, 1).unwrap().encode());
+}
+
+#[test]
 fn attack_trials_merge_byte_identically() {
     let job = attack_job();
     let reference = run_in_process(&job, 1).unwrap().encode();

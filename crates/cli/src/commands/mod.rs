@@ -4,6 +4,7 @@ pub mod attack;
 pub mod color;
 pub mod gen;
 pub mod info;
+pub mod serve;
 pub mod shard;
 pub mod verify;
 
@@ -40,6 +41,10 @@ SUBCOMMANDS:
              the merged summary JSON (--smoke or --spec FILE; --workers N,
              --out FILE, --worker-bin PATH, --worker-threads K;
              --in-process runs the single-process reference)
+    serve    host named coloring sessions behind the flat-JSON line
+             protocol: one command object per stdin line, one canonical
+             response per stdout line (--script FILE executes a command
+             file, where --threads N fans independent sessions out)
     help     this message
 
 ALGORITHMS (--algo):   det batch robust auto rand-efficient cgs22 bg18 bcg20 ps greedy brooks
@@ -61,6 +66,7 @@ pub fn dispatch(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> 
         "verify" => verify::run(&args, out),
         "attack" => attack::run(&args, out),
         "shard" => shard::run(&args, out),
+        "serve" => serve::run(&args, out),
         "help" | "--help" | "-h" => out.write_all(HELP.as_bytes()).map_err(|e| err(e.to_string())),
         other => Err(err(format!("unknown subcommand {other:?}; try `streamcolor help`"))),
     }

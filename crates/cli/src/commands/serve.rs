@@ -1,0 +1,122 @@
+//! `streamcolor serve` — host many named coloring sessions behind the
+//! flat-JSON line protocol.
+//!
+//! Reads one command object per line, writes one canonical response
+//! object per line (see `sc_service::service` for the protocol):
+//!
+//! ```text
+//! $ streamcolor serve <<'EOF'
+//! {"cmd":"open","session":"a","n":100,"delta":8,"colorer":"robust","seed":7}
+//! {"cmd":"push_batch","session":"a","edges":"0-1 1-2 2-3"}
+//! {"cmd":"observe","session":"a"}
+//! {"cmd":"finish","session":"a"}
+//! EOF
+//! ```
+//!
+//! With no `--script`, commands stream from stdin and each response is
+//! written (and flushed) as soon as its command arrives — an
+//! interactive client, like the adversary game, can react to every
+//! answer. `--script FILE` executes a whole command file instead,
+//! fanning independent sessions out across `--threads N` workers;
+//! responses come back in input order and are **byte-identical for
+//! every thread count** (CI's `service-smoke` job diffs them against a
+//! committed golden file).
+
+use crate::args::{err, Args, CliError};
+use sc_service::Service;
+use std::io::Write;
+
+/// Runs the subcommand.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let threads_given = args.optional("threads").is_some();
+    let threads: usize = args.parse_or("threads", 1)?;
+    let script = args.optional("script").map(String::from);
+    args.reject_unknown()?;
+    if threads == 0 {
+        return Err(err("--threads must be at least 1"));
+    }
+    // Stdin mode answers line-at-a-time (the client may react to every
+    // response), so there is nothing to fan out — reject the flag
+    // rather than silently ignoring it.
+    if threads_given && script.is_none() {
+        return Err(err("--threads applies to --script mode only (stdin serving is interactive, \
+             one command at a time)"));
+    }
+
+    let mut service = Service::with_threads(threads);
+    match script {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("cannot read script {path:?}: {e}")))?;
+            out.write_all(service.run_script(&text).as_bytes()).map_err(|e| err(e.to_string()))?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            service.serve(stdin.lock(), out).map_err(|e| err(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_script_file(script: &str, extra: &str) -> Result<String, CliError> {
+        let dir = std::env::temp_dir().join("streamcolor-serve-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("script-{}.commands", std::process::id()));
+        std::fs::write(&path, script).unwrap();
+        let toks: Vec<String> = format!("serve --script {} {extra}", path.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    const SCRIPT: &str = r#"# two tenants
+{"cmd":"open","session":"a","n":12,"delta":3,"colorer":"store-all","seed":1}
+{"cmd":"open","session":"b","n":12,"delta":3,"colorer":"trivial","seed":2}
+{"cmd":"push_batch","session":"a","edges":"0-1 1-2 2-3"}
+{"cmd":"push_batch","session":"b","edges":"0-1 1-2 2-3"}
+{"cmd":"observe","session":"a"}
+{"cmd":"observe","session":"b"}
+{"cmd":"finish","session":"a"}
+{"cmd":"finish","session":"b"}
+"#;
+
+    #[test]
+    fn script_mode_emits_one_response_per_command() {
+        let text = run_script_file(SCRIPT, "").unwrap();
+        assert_eq!(text.lines().count(), 8, "{text}");
+        assert!(text.lines().all(|l| l.contains("\"ok\":true")), "{text}");
+    }
+
+    #[test]
+    fn script_output_is_thread_count_invariant() {
+        let one = run_script_file(SCRIPT, "--threads 1").unwrap();
+        let four = run_script_file(SCRIPT, "--threads 4").unwrap();
+        assert_eq!(one, four, "thread count leaked into protocol output");
+    }
+
+    #[test]
+    fn flag_grammar_is_validated() {
+        assert!(run_script_file(SCRIPT, "--threads 0").is_err());
+        assert!(run_script_file(SCRIPT, "--bogus 1").is_err());
+        let toks: Vec<String> = ["serve", "--script", "/nonexistent/x.commands"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        // --threads is script-mode-only: stdin serving is interactive,
+        // so the flag would be a silent no-op — reject it instead.
+        let toks: Vec<String> = ["serve", "--threads", "4"].iter().map(|s| s.to_string()).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let e = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("--script mode only"), "{e}");
+    }
+}

@@ -35,6 +35,12 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let out_path = args.optional("out").map(String::from);
     let worker_bin = args.optional("worker-bin").map(PathBuf::from);
     args.reject_unknown()?;
+    if workers == 0 {
+        return Err(err("--workers must be at least 1 (0 processes cannot run anything)"));
+    }
+    if threads == 0 {
+        return Err(err("--worker-threads must be at least 1"));
+    }
 
     let job = match (smoke, spec_path) {
         (true, None) => ShardJob::Grid(smoke_grid()),
@@ -48,11 +54,11 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let outcome = if in_process {
-        run_in_process(&job, workers.max(1)).map_err(err)?
+        run_in_process(&job, workers).map_err(err)?
     } else {
         let mut coordinator =
             Coordinator::new(workers, worker_bin.map_or_else(default_worker_bin, Ok)?);
-        coordinator.worker_threads = threads.max(1);
+        coordinator.worker_threads = threads;
         coordinator.run(&job).map_err(err)?
     };
 
@@ -158,5 +164,52 @@ mod tests {
         assert!(run_str("shard --in-process").is_err(), "need a job source");
         assert!(run_str("shard --smoke --spec x.json --in-process").is_err(), "exclusive flags");
         assert!(run_str("shard --smoke --bogus 1").is_err());
+    }
+
+    #[test]
+    fn zero_workers_is_a_friendly_error_not_a_silent_clamp() {
+        for flags in ["--smoke --workers 0", "--smoke --in-process --workers 0"] {
+            let e = run_str(&format!("shard {flags}")).unwrap_err();
+            assert!(e.to_string().contains("--workers must be at least 1"), "{e}");
+        }
+        let e = run_str("shard --smoke --in-process --worker-threads 0").unwrap_err();
+        assert!(e.to_string().contains("--worker-threads must be at least 1"), "{e}");
+    }
+
+    #[test]
+    fn grids_smaller_than_the_worker_count_merge_correctly() {
+        // A 2-scenario grid with 7 requested workers: the coordinator
+        // clamps to the job size (degenerate-but-correct merge), and the
+        // report names the spawn count that would actually run.
+        let dir = std::env::temp_dir().join("streamcolor-shard-degenerate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("tiny-spec.json");
+        let grid = ShardJob::Grid(smoke_grid()[..2].to_vec());
+        std::fs::write(&spec, grid.encode()).unwrap();
+        let out_file = dir.join("tiny-merged.json");
+        let text = run_str(&format!(
+            "shard --spec {} --in-process --workers 7 --out {}",
+            spec.display(),
+            out_file.display()
+        ))
+        .unwrap();
+        assert!(text.contains("2 item(s)"), "{text}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        match ShardOutcome::decode(&written).unwrap() {
+            ShardOutcome::Grid(summaries) => {
+                assert_eq!(summaries.len(), 2);
+                assert!(summaries.iter().all(|s| s.proper));
+            }
+            other => panic!("expected grid summaries, got {other:?}"),
+        }
+        // The reference single-worker run is byte-identical.
+        let ref_file = dir.join("tiny-single.json");
+        run_str(&format!(
+            "shard --spec {} --in-process --workers 1 --out {}",
+            spec.display(),
+            ref_file.display()
+        ))
+        .unwrap();
+        assert_eq!(written, std::fs::read_to_string(&ref_file).unwrap());
     }
 }

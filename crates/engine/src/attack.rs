@@ -112,11 +112,11 @@ impl Runner {
     pub fn run_attack(&self, scenario: &AttackScenario) -> GameReport {
         let mut victim = scenario
             .victim
-            .build_streaming(scenario.n, scenario.delta, scenario.victim_seed, None)
+            .build(scenario.n, scenario.delta, scenario.victim_seed, None)
             .expect("attack victims must be streaming colorers");
         let mut adversary =
             scenario.adversary.build(scenario.n, scenario.delta, scenario.adversary_seed);
-        sc_adversary::run_game(victim.as_mut(), adversary.as_mut(), scenario.n, scenario.rounds)
+        sc_adversary::run_game(&mut victim, adversary.as_mut(), scenario.n, scenario.rounds)
     }
 
     /// Runs `trials` independently seeded games in parallel and

@@ -129,33 +129,67 @@ pub fn encode_array(objs: &[FlatObject]) -> String {
     }
     let mut out = String::from("[\n");
     for (i, obj) in objs.iter().enumerate() {
-        out.push_str("  {");
-        for (j, (key, value)) in obj.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            encode_string(&mut out, key);
-            out.push(':');
-            match value {
-                Scalar::Str(s) => encode_string(&mut out, s),
-                Scalar::Num(x) => {
-                    assert!(x.is_finite(), "non-finite float {x} is not representable in JSON");
-                    // Debug formatting is shortest-round-trip and always
-                    // carries a '.' or exponent, so parsing yields `Num`
-                    // (not `Uint`) and the exact same bits.
-                    let _ = write!(out, "{x:?}");
-                }
-                Scalar::Uint(x) => {
-                    let _ = write!(out, "{x}");
-                }
-                Scalar::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            }
-        }
-        out.push('}');
+        out.push_str("  ");
+        encode_object_into(&mut out, obj);
         out.push_str(if i + 1 < objs.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
     out
+}
+
+/// Encodes one flat object as a single canonical line (sorted keys, no
+/// trailing newline) — the unit of the `sc-service` line protocol, where
+/// every request and response is one such object per line. Equal objects
+/// encode to byte-identical text; exactly invertible by [`parse_object`].
+///
+/// # Panics
+/// Panics on a non-finite [`Scalar::Num`], like [`encode_array`].
+pub fn encode_object(obj: &FlatObject) -> String {
+    let mut out = String::new();
+    encode_object_into(&mut out, obj);
+    out
+}
+
+fn encode_object_into(out: &mut String, obj: &FlatObject) {
+    out.push('{');
+    for (j, (key, value)) in obj.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        encode_string(out, key);
+        out.push(':');
+        match value {
+            Scalar::Str(s) => encode_string(out, s),
+            Scalar::Num(x) => {
+                assert!(x.is_finite(), "non-finite float {x} is not representable in JSON");
+                // Debug formatting is shortest-round-trip and always
+                // carries a '.' or exponent, so parsing yields `Num`
+                // (not `Uint`) and the exact same bits.
+                let _ = write!(out, "{x:?}");
+            }
+            Scalar::Uint(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Scalar::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+}
+
+/// Parses exactly one flat object (`{…}` with optional surrounding
+/// whitespace; anything after the closing brace is an error).
+///
+/// # Errors
+/// Returns a human-readable description of the first syntax problem.
+pub fn parse_object(text: &str) -> Result<FlatObject, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let obj = p.object()?;
+    p.skip_ws();
+    match p.peek() {
+        None => Ok(obj),
+        Some(b) => Err(format!("trailing {:?} after object at byte {}", b as char, p.pos)),
+    }
 }
 
 fn encode_string(out: &mut String, s: &str) {
@@ -313,9 +347,16 @@ impl Parser<'_> {
                 return Ok(Scalar::Uint(x));
             }
         }
-        text.parse::<f64>()
-            .map(Scalar::Num)
-            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+        let x =
+            text.parse::<f64>().map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))?;
+        // `str::parse` maps overflowing literals like 1e999 to ±inf; a
+        // wire format whose encoder refuses non-finite values must not
+        // smuggle them in through the parser either (re-encoding such a
+        // value would panic — decode errors instead).
+        if !x.is_finite() {
+            return Err(format!("number {text:?} at byte {start} overflows f64"));
+        }
+        Ok(Scalar::Num(x))
     }
 }
 
@@ -432,6 +473,37 @@ mod tests {
         b.insert("z".into(), Scalar::Uint(1));
         assert_eq!(encode_array(&[a]), encode_array(&[b]), "insertion order must not matter");
         assert_eq!(encode_array(&[]), "[]\n");
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_parse_errors_not_infinities() {
+        // 1e999 parses to +inf under str::parse; the wire format must
+        // reject it (re-encoding an inf would panic downstream).
+        for bad in [r#"[{"x":1e999}]"#, r#"[{"x":-1e999}]"#, r#"[{"x":1e100000}]"#] {
+            let e = parse_array(bad).unwrap_err();
+            assert!(e.contains("overflows"), "{bad}: {e}");
+        }
+        // The largest finite values still parse.
+        assert!(parse_array(r#"[{"x":1.7976931348623157e308}]"#).is_ok());
+    }
+
+    #[test]
+    fn single_objects_round_trip_on_one_line() {
+        let mut obj = FlatObject::new();
+        obj.insert("cmd".into(), Scalar::Str("open".into()));
+        obj.insert("n".into(), Scalar::Uint(100));
+        obj.insert("p".into(), Scalar::Num(0.5));
+        obj.insert("ok".into(), Scalar::Bool(true));
+        let line = encode_object(&obj);
+        assert!(!line.contains('\n'), "line protocol objects must be single lines");
+        assert_eq!(line, r#"{"cmd":"open","n":100,"ok":true,"p":0.5}"#);
+        assert_eq!(parse_object(&line).unwrap(), obj);
+        // Whitespace tolerated; trailing garbage is not.
+        assert_eq!(parse_object(&format!("  {line}  ")).unwrap(), obj);
+        assert!(parse_object(&format!("{line} x")).unwrap_err().contains("trailing"));
+        assert!(parse_object("").is_err());
+        assert!(parse_object("[]").is_err());
+        assert_eq!(parse_object("{}").unwrap(), FlatObject::new());
     }
 
     #[test]

@@ -74,9 +74,9 @@ impl Runner {
         let (algo, coloring, passes, space_bits, checkpoints) = if scenario.colorer.is_streaming() {
             let mut colorer = scenario
                 .colorer
-                .build_streaming(g.n(), delta, scenario.seed, Some(&g))
-                .expect("streaming spec builds a colorer");
-            let report = StreamEngine::new(scenario.engine.clone()).run(colorer.as_mut(), &edges);
+                .build(g.n(), delta, scenario.seed, Some(&g))
+                .expect("streaming spec with a materialized graph always builds");
+            let report = StreamEngine::new(scenario.engine.clone()).run(&mut colorer, &edges);
             (
                 colorer.name().to_string(),
                 report.final_coloring,

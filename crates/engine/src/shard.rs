@@ -142,6 +142,16 @@ impl ShardJob {
             "shard-job" => {}
             other => return Err(format!("expected a shard-job header, got kind {other:?}")),
         }
+        // Header keys are checked against the canonical encoder's set, so
+        // a typo like "trails" errors instead of silently running with
+        // defaults (the body objects do the same check field-by-field).
+        let mut canonical = FlatObject::new();
+        canonical.insert("kind".into(), Scalar::Str(String::new()));
+        canonical.insert("payload".into(), Scalar::Str(String::new()));
+        if wire::str_field(header, "payload") == Ok("attack") {
+            canonical.insert("trials".into(), Scalar::Uint(0));
+        }
+        wire::reject_unknown_keys(header, &canonical, "shard-job header")?;
         match wire::str_field(header, "payload")? {
             "grid" => rest
                 .iter()

@@ -1,7 +1,7 @@
 //! Declarative algorithm selection.
 
 use sc_graph::Graph;
-use sc_stream::StreamingColorer;
+use sc_stream::BoxedColorer;
 use streamcolor::robust::auto_robust_colorer;
 use streamcolor::{
     Bcg20Colorer, Bg18Colorer, Cgs22Colorer, DetConfig, PaletteSparsification,
@@ -10,7 +10,7 @@ use streamcolor::{
 
 /// Which algorithm a [`Scenario`](crate::Scenario) runs.
 ///
-/// Streaming variants build a boxed [`StreamingColorer`] driven by the
+/// Streaming variants build an owned [`BoxedColorer`] driven by the
 /// batched engine; multi-pass and offline variants are executed directly
 /// by the [`Runner`](crate::Runner) (they consume a whole
 /// [`StreamSource`](sc_stream::StreamSource) / graph rather than an edge
@@ -73,21 +73,27 @@ impl ColorerSpec {
         )
     }
 
-    /// Builds the boxed streaming colorer for this spec, or `None` for
-    /// multi-pass / offline specs.
+    /// The universal factory: builds the owned, type-erased
+    /// [`BoxedColorer`] for this spec — every call site (engine runner,
+    /// attack referee, CLI, benches, the `sc-service` session host) goes
+    /// through here, so there is exactly one algorithm-dispatch table in
+    /// the workspace.
     ///
-    /// # Panics
-    /// `Bcg20` panics without a materialized graph — its palette is sized
-    /// from the graph's degeneracy.
-    pub fn build_streaming(
+    /// # Errors
+    /// Returns a message (never panics) when the spec cannot become a
+    /// single-pass streaming colorer: multi-pass / offline specs
+    /// ([`ColorerSpec::is_streaming`] is false), and `Bcg20` without a
+    /// materialized graph (its palette is sized from the graph's exact
+    /// degeneracy).
+    pub fn build(
         &self,
         n: usize,
         delta: usize,
         seed: u64,
         graph: Option<&Graph>,
-    ) -> Option<Box<dyn StreamingColorer>> {
+    ) -> Result<BoxedColorer, String> {
         let delta = delta.max(1);
-        Some(match self {
+        Ok(match self {
             ColorerSpec::Robust { beta } => match beta {
                 Some(b) => Box::new(RobustColorer::with_params(
                     RobustParams::with_beta(n, delta, *b),
@@ -101,11 +107,12 @@ impl ColorerSpec {
             ColorerSpec::Bg18 { buckets } => {
                 Box::new(Bg18Colorer::new(n, buckets.unwrap_or(delta as u64), seed))
             }
-            ColorerSpec::Bcg20 { epsilon } => Box::new(Bcg20Colorer::for_graph(
-                graph.expect("ColorerSpec::Bcg20 needs a materialized graph"),
-                *epsilon,
-                seed,
-            )),
+            ColorerSpec::Bcg20 { epsilon } => {
+                let g = graph.ok_or(
+                    "bcg20 needs a materialized graph (its palette is sized from degeneracy)",
+                )?;
+                Box::new(Bcg20Colorer::for_graph(g, *epsilon, seed))
+            }
             ColorerSpec::PaletteSparsification { lists } => match lists {
                 Some(k) => Box::new(PaletteSparsification::new(n, delta, *k, seed)),
                 None => Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
@@ -115,7 +122,12 @@ impl ColorerSpec {
             ColorerSpec::Det(_)
             | ColorerSpec::BatchGreedy
             | ColorerSpec::OfflineGreedy
-            | ColorerSpec::Brooks => return None,
+            | ColorerSpec::Brooks => {
+                return Err(format!(
+                    "{} is not a single-pass streaming algorithm (it owns its pass structure)",
+                    self.label()
+                ))
+            }
         })
     }
 
@@ -161,13 +173,13 @@ mod tests {
             ColorerSpec::Trivial,
         ] {
             assert!(spec.is_streaming());
-            let colorer = spec.build_streaming(40, 5, 7, Some(&g)).unwrap();
+            let colorer = spec.build(40, 5, 7, Some(&g)).unwrap();
             assert!(!colorer.name().is_empty());
         }
     }
 
     #[test]
-    fn non_streaming_specs_do_not_build_colorers() {
+    fn non_streaming_specs_error_instead_of_building() {
         for spec in [
             ColorerSpec::Det(DetConfig::default()),
             ColorerSpec::BatchGreedy,
@@ -175,8 +187,18 @@ mod tests {
             ColorerSpec::Brooks,
         ] {
             assert!(!spec.is_streaming());
-            assert!(spec.build_streaming(10, 3, 1, None).is_none());
+            let e = spec.build(10, 3, 1, None).err().expect("must not build");
+            assert!(e.contains("not a single-pass"), "{e}");
             assert!(!spec.label().is_empty());
         }
+    }
+
+    #[test]
+    fn bcg20_without_a_graph_errors_instead_of_panicking() {
+        let e = ColorerSpec::Bcg20 { epsilon: 0.5 }
+            .build(10, 3, 1, None)
+            .err()
+            .expect("must not build");
+        assert!(e.contains("bcg20"), "{e}");
     }
 }

@@ -34,27 +34,54 @@ use std::sync::Arc;
 use streamcolor::{DerandStrategy, DetConfig};
 
 // ---------------------------------------------------------------------
-// Field accessors (shared by the decoders; errors name the field).
+// Field accessors (shared by the decoders and the sc-service protocol;
+// errors distinguish an absent field from a present-but-mistyped one,
+// naming the field either way).
 // ---------------------------------------------------------------------
 
-pub(crate) fn str_field<'a>(obj: &'a FlatObject, key: &str) -> Result<&'a str, String> {
-    obj.get(key).and_then(Scalar::as_str).ok_or(format!("missing string field {key:?}"))
+/// Reads a required string field.
+///
+/// # Errors
+/// Names the field, distinguishing absent from wrongly typed.
+pub fn str_field<'a>(obj: &'a FlatObject, key: &str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        None => Err(format!("missing string field {key:?}")),
+        Some(v) => v.as_str().ok_or(format!("field {key:?} must be a string")),
+    }
 }
 
-pub(crate) fn u64_field(obj: &FlatObject, key: &str) -> Result<u64, String> {
-    obj.get(key).and_then(Scalar::as_u64).ok_or(format!("missing integer field {key:?}"))
+/// Reads a required non-negative integer field.
+///
+/// # Errors
+/// Names the field, distinguishing absent from wrongly typed (floats
+/// like `100.0` are *not* integers on this wire — [`Scalar::Uint`] is).
+pub fn u64_field(obj: &FlatObject, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Err(format!("missing integer field {key:?}")),
+        Some(v) => v.as_u64().ok_or(format!("field {key:?} must be a non-negative integer")),
+    }
 }
 
-pub(crate) fn usize_field(obj: &FlatObject, key: &str) -> Result<usize, String> {
+/// Reads a required non-negative integer field as a `usize`.
+///
+/// # Errors
+/// Like [`u64_field`], plus overflow on 32-bit targets.
+pub fn usize_field(obj: &FlatObject, key: &str) -> Result<usize, String> {
     u64_field(obj, key)?.try_into().map_err(|_| format!("field {key:?} overflows usize"))
 }
 
 pub(crate) fn f64_field(obj: &FlatObject, key: &str) -> Result<f64, String> {
-    obj.get(key).and_then(Scalar::as_f64).ok_or(format!("missing numeric field {key:?}"))
+    match obj.get(key) {
+        None => Err(format!("missing numeric field {key:?}")),
+        Some(v) => v.as_f64().ok_or(format!("field {key:?} must be a number")),
+    }
 }
 
 pub(crate) fn bool_field(obj: &FlatObject, key: &str) -> Result<bool, String> {
-    obj.get(key).and_then(Scalar::as_bool).ok_or(format!("missing boolean field {key:?}"))
+    match obj.get(key) {
+        None => Err(format!("missing boolean field {key:?}")),
+        Some(v) => v.as_bool().ok_or(format!("field {key:?} must be a boolean")),
+    }
 }
 
 pub(crate) fn opt_u64(obj: &FlatObject, key: &str) -> Result<Option<u64>, String> {
@@ -70,19 +97,46 @@ fn opt_usize(obj: &FlatObject, key: &str) -> Result<Option<usize>, String> {
         .transpose()
 }
 
+/// Errors on any key of `obj` that the canonical re-encoding of the
+/// decoded value does not contain.
+///
+/// Decoders read fields by name, so a misspelled or foreign key in a
+/// hand-written spec file would otherwise be *silently ignored* — the
+/// classic config-rot failure where `"buckts": 12` quietly runs the
+/// default. Comparing against the canonical encoding of what was
+/// actually decoded needs no per-variant key tables and can never drift
+/// from the encoder.
+pub(crate) fn reject_unknown_keys(
+    obj: &FlatObject,
+    canonical: &FlatObject,
+    what: &str,
+) -> Result<(), String> {
+    for key in obj.keys() {
+        if !canonical.contains_key(key) {
+            return Err(format!("{what}: unknown key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Edge lists (stored graphs, replay adversaries).
 // ---------------------------------------------------------------------
 
 /// Encodes an edge sequence as `"0-1 0-2 …"` (empty string for none).
-pub(crate) fn encode_edges(edges: impl IntoIterator<Item = Edge>) -> String {
+/// Public because the `sc-service` line protocol ships `push_batch`
+/// payloads in exactly this form.
+pub fn encode_edges(edges: impl IntoIterator<Item = Edge>) -> String {
     let list: Vec<String> = edges.into_iter().map(|e| format!("{}-{}", e.u(), e.v())).collect();
     list.join(" ")
 }
 
 /// Decodes an [`encode_edges`] string; endpoints must be distinct and
 /// `< n` when a bound is given.
-pub(crate) fn decode_edges(text: &str, n: Option<usize>) -> Result<Vec<Edge>, String> {
+///
+/// # Errors
+/// Returns a message naming the malformed token.
+pub fn decode_edges(text: &str, n: Option<usize>) -> Result<Vec<Edge>, String> {
     let mut out = Vec::new();
     for tok in text.split_whitespace() {
         let (a, b) = tok.split_once('-').ok_or(format!("edge {tok:?} is not u-v"))?;
@@ -105,7 +159,10 @@ pub(crate) fn decode_edges(text: &str, n: Option<usize>) -> Result<Vec<Edge>, St
 // ColorerSpec <-> fields ("colorer" + per-algorithm parameters).
 // ---------------------------------------------------------------------
 
-fn colorer_to_wire(spec: &ColorerSpec, obj: &mut FlatObject) {
+/// Writes the `"colorer"` discriminant and per-algorithm parameter
+/// fields of `spec` into `obj` — the same flat fields a [`Scenario`]
+/// object carries, reused verbatim by the `sc-service` `open` command.
+pub fn colorer_to_wire(spec: &ColorerSpec, obj: &mut FlatObject) {
     let id = |obj: &mut FlatObject, name: &str| {
         obj.insert("colorer".into(), Scalar::Str(name.into()));
     };
@@ -157,7 +214,11 @@ fn colorer_to_wire(spec: &ColorerSpec, obj: &mut FlatObject) {
     }
 }
 
-fn colorer_from_wire(obj: &FlatObject) -> Result<ColorerSpec, String> {
+/// Reads a [`colorer_to_wire`] field set back out of `obj`.
+///
+/// # Errors
+/// Returns a message naming the missing or malformed field.
+pub fn colorer_from_wire(obj: &FlatObject) -> Result<ColorerSpec, String> {
     Ok(match str_field(obj, "colorer")? {
         "robust" => {
             let beta = match obj.get("beta") {
@@ -310,14 +371,16 @@ pub fn scenario_from_wire(obj: &FlatObject) -> Result<Scenario, String> {
         "scenario" => {}
         other => return Err(format!("expected a scenario object, got kind {other:?}")),
     }
-    Ok(Scenario {
+    let scenario = Scenario {
         label: str_field(obj, "label")?.to_string(),
         source: source_from_wire(obj)?,
         order: StreamOrder::wire_decode(str_field(obj, "order")?)?,
         colorer: colorer_from_wire(obj)?,
         engine: EngineConfig::wire_decode(str_field(obj, "engine")?)?,
         seed: u64_field(obj, "seed")?,
-    })
+    };
+    reject_unknown_keys(obj, &scenario_to_wire(&scenario), "scenario")?;
+    Ok(scenario)
 }
 
 /// Encodes a whole scenario grid as canonical flat JSON (empty grids
@@ -403,7 +466,7 @@ pub fn attack_from_wire(obj: &FlatObject) -> Result<AttackScenario, String> {
         "attack" => {}
         other => return Err(format!("expected an attack object, got kind {other:?}")),
     }
-    Ok(AttackScenario {
+    let attack = AttackScenario {
         label: str_field(obj, "label")?.to_string(),
         victim: colorer_from_wire(obj)?,
         adversary: adversary_from_wire(obj)?,
@@ -412,7 +475,9 @@ pub fn attack_from_wire(obj: &FlatObject) -> Result<AttackScenario, String> {
         rounds: usize_field(obj, "rounds")?,
         victim_seed: u64_field(obj, "victim_seed")?,
         adversary_seed: u64_field(obj, "adversary_seed")?,
-    })
+    };
+    reject_unknown_keys(obj, &attack_to_wire(&attack), "attack")?;
+    Ok(attack)
 }
 
 #[cfg(test)]

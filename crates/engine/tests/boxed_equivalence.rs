@@ -1,0 +1,108 @@
+//! The erasure laws: a [`BoxedColorer`] built by the universal factory
+//! ([`ColorerSpec::build`]) obeys the same batch-equivalence and
+//! incremental-equivalence contracts as the concrete colorers it wraps
+//! (`crates/core/tests/{batch,incremental}_equivalence.rs` prove them
+//! per implementation; this suite proves type erasure — the session and
+//! service layers' only view of a colorer — changes nothing).
+
+use proptest::prelude::*;
+use sc_engine::ColorerSpec;
+use sc_graph::{generators, Edge, Graph};
+use sc_stream::{BoxedColorer, StreamingColorer};
+
+/// Every streaming spec the factory can build (bcg20 needs the
+/// materialized graph, passed per case below).
+fn streaming_specs() -> Vec<ColorerSpec> {
+    vec![
+        ColorerSpec::Robust { beta: None },
+        ColorerSpec::Robust { beta: Some(0.5) },
+        ColorerSpec::Auto,
+        ColorerSpec::RandEfficient,
+        ColorerSpec::Cgs22,
+        ColorerSpec::Bg18 { buckets: None },
+        ColorerSpec::Bcg20 { epsilon: 0.5 },
+        ColorerSpec::PaletteSparsification { lists: Some(6) },
+        ColorerSpec::StoreAll,
+        ColorerSpec::Trivial,
+    ]
+}
+
+fn build(spec: &ColorerSpec, n: usize, delta: usize, seed: u64, g: &Graph) -> BoxedColorer {
+    spec.build(n, delta, seed, Some(g)).expect("streaming spec with a graph builds")
+}
+
+/// Splits `edges` into chunks whose sizes cycle through `cuts`.
+fn chunkings(edges: &[Edge], cuts: &[usize]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let (mut start, mut i) = (0, 0);
+    while start < edges.len() {
+        let size = cuts[i % cuts.len()].max(1).min(edges.len() - start);
+        spans.push((start, start + size));
+        start += size;
+        i += 1;
+    }
+    spans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batch ≡ per-edge, through the erased interface: same colorings
+    /// from every later query, same space report, for ragged chunkings.
+    #[test]
+    fn boxed_colorers_pass_batch_equivalence((n, delta, seed) in (24usize..60, 3usize..8, any::<u64>())) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
+        let edges = generators::shuffled_edges(&g, seed ^ 1);
+        for spec in streaming_specs() {
+            let mut seq = build(&spec, n, delta, seed ^ 2, &g);
+            let mut bat = build(&spec, n, delta, seed ^ 2, &g);
+            for &e in &edges {
+                seq.process(e);
+            }
+            for &(a, b) in &chunkings(&edges, &[7, 1, 13]) {
+                bat.process_batch(&edges[a..b]);
+            }
+            prop_assert_eq!(seq.query(), bat.query(), "{:?}: colorings diverge", &spec);
+            prop_assert_eq!(
+                seq.peak_space_bits(),
+                bat.peak_space_bits(),
+                "{:?}: space reports diverge",
+                &spec
+            );
+        }
+    }
+
+    /// Incremental ≡ scratch at every prefix, through the erased
+    /// interface, under an ingest/query interleaving.
+    #[test]
+    fn boxed_colorers_pass_incremental_equivalence((n, delta, seed) in (24usize..60, 3usize..8, any::<u64>())) {
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
+        let edges = generators::shuffled_edges(&g, seed ^ 3);
+        for spec in streaming_specs() {
+            let mut inc = build(&spec, n, delta, seed ^ 4, &g);
+            let mut scr = build(&spec, n, delta, seed ^ 4, &g);
+            for (i, chunk) in edges.chunks(5).enumerate() {
+                inc.process_batch(chunk);
+                scr.process_batch(chunk);
+                if i % 2 == 0 {
+                    prop_assert_eq!(
+                        inc.query_incremental(),
+                        scr.query(),
+                        "{:?}: prefix query diverges",
+                        &spec
+                    );
+                }
+            }
+            // Back-to-back queries (a cache hit for colorers that have
+            // one) must also agree.
+            prop_assert_eq!(inc.query_incremental(), scr.query(), "{:?}: final", &spec);
+            prop_assert_eq!(inc.query_incremental(), scr.query(), "{:?}: re-query", &spec);
+            prop_assert_eq!(
+                inc.peak_space_bits(),
+                scr.peak_space_bits(),
+                "{:?}: space reports diverge",
+                &spec
+            );
+        }
+    }
+}

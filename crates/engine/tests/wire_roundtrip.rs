@@ -230,6 +230,103 @@ impl Gen {
     }
 }
 
+// ---------------------------------------------------------------------
+// Error-path hardening: malformed, truncated, and unknown-key spec
+// files must return Err naming the problem — never panic, never
+// silently ignore a field.
+// ---------------------------------------------------------------------
+
+mod error_paths {
+    use super::*;
+    use sc_engine::flatjson::Scalar;
+    use sc_engine::shard::ShardJob;
+
+    fn sample_scenario() -> Scenario {
+        Scenario::new(SourceSpec::exact_degree(20, 3, 1), ColorerSpec::Bg18 { buckets: Some(4) })
+    }
+
+    #[test]
+    fn unknown_scenario_keys_name_the_offender() {
+        let mut obj = wire::scenario_to_wire(&sample_scenario());
+        obj.insert("buckts".into(), Scalar::Uint(12));
+        let e = wire::scenario_from_wire(&obj).unwrap_err();
+        assert!(e.contains("unknown key") && e.contains("buckts"), "{e}");
+    }
+
+    #[test]
+    fn parameters_of_other_colorers_are_unknown_keys() {
+        // "beta" belongs to robust; on a bg18 scenario it must error, not
+        // silently vanish on the next re-encode.
+        let mut obj = wire::scenario_to_wire(&sample_scenario());
+        obj.insert("beta".into(), Scalar::Num(0.5));
+        let e = wire::scenario_from_wire(&obj).unwrap_err();
+        assert!(e.contains("unknown key") && e.contains("beta"), "{e}");
+    }
+
+    #[test]
+    fn unknown_attack_keys_name_the_offender() {
+        let attack = AttackScenario::new(
+            ColorerSpec::Robust { beta: None },
+            AdversarySpec::Monochromatic,
+            30,
+            4,
+        );
+        let mut obj = wire::attack_to_wire(&attack);
+        obj.insert("round".into(), Scalar::Uint(99));
+        let e = wire::attack_from_wire(&obj).unwrap_err();
+        assert!(e.contains("unknown key") && e.contains("round"), "{e}");
+    }
+
+    #[test]
+    fn truncated_spec_files_error_instead_of_panicking() {
+        let text = ShardJob::Grid(vec![sample_scenario()]).encode();
+        for cut in [1, text.len() / 3, text.len() / 2, text.len() - 2] {
+            let truncated = &text[..cut];
+            assert!(
+                ShardJob::decode(truncated).is_err(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_job_header_rejects_unknown_and_misspelled_keys() {
+        let grid = ShardJob::Grid(vec![sample_scenario()]);
+        let tampered = grid.encode().replace(
+            "\"kind\":\"shard-job\",\"payload\":\"grid\"",
+            "\"kind\":\"shard-job\",\"payload\":\"grid\",\"trails\":3",
+        );
+        let e = ShardJob::decode(&tampered).unwrap_err();
+        assert!(e.contains("unknown key") && e.contains("trails"), "{e}");
+    }
+
+    #[test]
+    fn overflowing_numbers_in_spec_files_are_decode_errors() {
+        // 1e999 would parse to +inf and then panic inside canonicalize's
+        // re-encode; the parser must refuse it up front.
+        let text = wire::encode_grid(&[Scenario::new(
+            SourceSpec::gnp(20, 3, 0.5, 1),
+            ColorerSpec::Robust { beta: Some(0.5) },
+        )])
+        .replace("0.5,", "1e999,");
+        let e = wire::decode_grid(&text).unwrap_err();
+        assert!(e.contains("overflows"), "{e}");
+    }
+
+    #[test]
+    fn wrongly_typed_fields_error_with_the_field_name() {
+        let mut obj = wire::scenario_to_wire(&sample_scenario());
+        obj.insert("seed".into(), Scalar::Str("seven".into()));
+        let e = wire::scenario_from_wire(&obj).unwrap_err();
+        assert!(e.contains("seed"), "{e}");
+
+        let mut obj = wire::scenario_to_wire(&sample_scenario());
+        obj.insert("buckets".into(), Scalar::Bool(true));
+        let e = wire::scenario_from_wire(&obj).unwrap_err();
+        assert!(e.contains("buckets"), "{e}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -1,0 +1,212 @@
+//! The adaptive-adversary game played over the service line protocol.
+//!
+//! [`sc_adversary::run_game`] referees the game against an in-process
+//! colorer; this module plays the *same* game where the victim lives
+//! behind a [`Service`] and every interaction is a literal protocol
+//! line — `open`, then `push`/`observe` per round — exactly what a
+//! remote client (or a future networked worker) would send. The
+//! adversary reacts to the coloring parsed back out of each `observe`
+//! response, so the test below is end-to-end evidence that colorings
+//! survive the wire: any encode/decode drift would change the adaptive
+//! transcript and diverge from the in-process referee.
+
+use crate::service::{parse_coloring, Service};
+use sc_adversary::{Adversary, GameReport};
+use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
+use sc_engine::{wire, ColorerSpec};
+use sc_graph::{Coloring, Graph};
+use sc_stream::EngineConfig;
+
+/// Sends one protocol line and decodes the response object, erroring on
+/// `"ok": false`.
+fn call(service: &mut Service, request: &FlatObject) -> Result<FlatObject, String> {
+    let line = encode_object(request);
+    let response = service.respond(&line).ok_or("command line produced no response")?;
+    let obj = parse_object(&response).map_err(|e| format!("unparseable response: {e}"))?;
+    match obj.get("ok").and_then(Scalar::as_bool) {
+        Some(true) => Ok(obj),
+        _ => Err(obj
+            .get("error")
+            .and_then(Scalar::as_str)
+            .unwrap_or("request failed without an error message")
+            .to_string()),
+    }
+}
+
+fn observe(service: &mut Service, session: &str, n: usize) -> Result<(Coloring, usize), String> {
+    let mut request = FlatObject::new();
+    request.insert("cmd".into(), Scalar::Str("observe".into()));
+    request.insert("session".into(), Scalar::Str(session.to_string()));
+    let obj = call(service, &request)?;
+    let text = obj.get("coloring").and_then(Scalar::as_str).ok_or("observe lacks coloring")?;
+    let colors = obj.get("colors").and_then(Scalar::as_u64).ok_or("observe lacks colors")? as usize;
+    Ok((parse_coloring(text, n)?, colors))
+}
+
+/// Referees a game between a service-hosted `victim` and `adversary` on
+/// `n` vertices for at most `max_rounds` insertions — the protocol twin
+/// of [`sc_adversary::run_game_with_config`], producing an identical
+/// [`GameReport`] for identical seeds (the `config` controls the query
+/// path; per-edge observation is forced by the model, as in-process).
+///
+/// # Errors
+/// Propagates protocol errors (unbuildable victims, malformed
+/// responses); the game itself never errors.
+pub fn run_game_via_service<A: Adversary + ?Sized>(
+    victim: &ColorerSpec,
+    adversary: &mut A,
+    n: usize,
+    delta: usize,
+    max_rounds: usize,
+    victim_seed: u64,
+    config: EngineConfig,
+) -> Result<GameReport, String> {
+    let mut service = Service::new();
+    let session = "game";
+
+    let mut open = FlatObject::new();
+    open.insert("cmd".into(), Scalar::Str("open".into()));
+    open.insert("session".into(), Scalar::Str(session.to_string()));
+    open.insert("n".into(), Scalar::Uint(n as u64));
+    open.insert("delta".into(), Scalar::Uint(delta as u64));
+    open.insert("seed".into(), Scalar::Uint(victim_seed));
+    // The adaptive model forces per-edge observation; the rest of the
+    // config (query path) passes through.
+    let engine = EngineConfig { chunk_size: 1, ..config };
+    open.insert("engine".into(), Scalar::Str(engine.wire_encode()));
+    wire::colorer_to_wire(victim, &mut open);
+    call(&mut service, &open)?;
+
+    let mut graph = Graph::empty(n);
+    let mut improper = 0usize;
+    let mut first_failure = None;
+    let mut max_colors = 0usize;
+    let mut rounds = 0usize;
+
+    // Initial observation: the adversary sees the empty-graph coloring
+    // before its first move, exactly as in the in-process referee.
+    let (mut output, colors) = observe(&mut service, session, n)?;
+    let _ = colors; // empty-graph colors are not part of the report
+
+    for round in 1..=max_rounds {
+        let Some(e) = adversary.next_edge(&output, &graph) else { break };
+        graph.add_edge(e);
+        let mut push = FlatObject::new();
+        push.insert("cmd".into(), Scalar::Str("push".into()));
+        push.insert("session".into(), Scalar::Str(session.to_string()));
+        push.insert("edge".into(), Scalar::Str(format!("{}-{}", e.u(), e.v())));
+        call(&mut service, &push)?;
+        rounds = round;
+
+        let (coloring, colors) = observe(&mut service, session, n)?;
+        max_colors = max_colors.max(colors);
+        output = coloring;
+        if !output.is_proper_total(&graph) {
+            improper += 1;
+            if first_failure.is_none() {
+                first_failure = Some(round);
+            }
+        }
+    }
+
+    let mut finish = FlatObject::new();
+    finish.insert("cmd".into(), Scalar::Str("finish".into()));
+    finish.insert("session".into(), Scalar::Str(session.to_string()));
+    call(&mut service, &finish)?;
+
+    Ok(GameReport {
+        rounds,
+        improper_outputs: improper,
+        first_failure_round: first_failure,
+        max_colors,
+        final_graph: graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_adversary::{run_game_with_config, MonochromaticAttacker, ObliviousReplay};
+    use sc_graph::generators;
+
+    /// The protocol twin must reproduce the in-process referee's
+    /// transcript exactly — for a *feedback* adversary, so any coloring
+    /// drift across the wire would compound and diverge.
+    #[test]
+    fn service_game_matches_in_process_game() {
+        let (n, delta, rounds, seed) = (60, 6, 150, 11);
+        for victim in [
+            ColorerSpec::Robust { beta: None },
+            ColorerSpec::StoreAll,
+            ColorerSpec::PaletteSparsification { lists: Some(4) },
+        ] {
+            let via_service = {
+                let mut attacker = MonochromaticAttacker::new(n, delta, seed);
+                run_game_via_service(
+                    &victim,
+                    &mut attacker,
+                    n,
+                    delta,
+                    rounds,
+                    seed,
+                    EngineConfig::per_edge(),
+                )
+                .unwrap()
+            };
+            let in_process = {
+                let mut attacker = MonochromaticAttacker::new(n, delta, seed);
+                let mut colorer = victim.build(n, delta, seed, None).unwrap();
+                run_game_with_config(
+                    &mut colorer,
+                    &mut attacker,
+                    n,
+                    rounds,
+                    EngineConfig::per_edge(),
+                )
+            };
+            assert_eq!(via_service.rounds, in_process.rounds, "{victim:?}");
+            assert_eq!(via_service.improper_outputs, in_process.improper_outputs, "{victim:?}");
+            assert_eq!(
+                via_service.first_failure_round, in_process.first_failure_round,
+                "{victim:?}"
+            );
+            assert_eq!(via_service.max_colors, in_process.max_colors, "{victim:?}");
+            assert_eq!(via_service.final_graph.m(), in_process.final_graph.m(), "{victim:?}");
+        }
+    }
+
+    #[test]
+    fn replay_game_over_the_service_survives() {
+        let g = generators::gnp_with_max_degree(40, 5, 0.4, 2);
+        let edges: Vec<_> = generators::shuffled_edges(&g, 2);
+        let mut adversary = ObliviousReplay::new(edges.iter().copied());
+        let report = run_game_via_service(
+            &ColorerSpec::Robust { beta: None },
+            &mut adversary,
+            40,
+            5,
+            10_000,
+            3,
+            EngineConfig::per_edge(),
+        )
+        .unwrap();
+        assert_eq!(report.rounds, edges.len());
+        assert!(report.survived());
+    }
+
+    #[test]
+    fn unbuildable_victims_error_cleanly() {
+        let mut adversary = MonochromaticAttacker::new(10, 3, 1);
+        let e = run_game_via_service(
+            &ColorerSpec::Bcg20 { epsilon: 0.5 },
+            &mut adversary,
+            10,
+            3,
+            10,
+            1,
+            EngineConfig::per_edge(),
+        )
+        .unwrap_err();
+        assert!(e.contains("bcg20"), "{e}");
+    }
+}

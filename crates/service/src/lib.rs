@@ -1,0 +1,32 @@
+//! # `sc-service` — the multi-tenant serving surface
+//!
+//! The paper's model is inherently interactive: a client (or adversary)
+//! alternates edge insertions with coloring queries, and the algorithm
+//! must answer after *any* prefix. Everything below this crate serves
+//! one such interaction at a time; `sc-service` is the layer that hosts
+//! **many named concurrent sessions** — the shape a serving deployment
+//! needs — behind two equivalent faces:
+//!
+//! * the typed [`Service`] API (`open` / `push` / `push_batch` /
+//!   `observe` / `checkpoint` / `stats` / `finish`, addressed by session
+//!   name), each session an owned [`sc_stream::Session`] built from a
+//!   [`sc_engine::ColorerSpec`];
+//! * the **flat-JSON line protocol** ([`Service::respond`] /
+//!   [`Service::serve`] / [`Service::run_script`]): one request object
+//!   per line in, one canonical byte-stable response object per line
+//!   out, so shell scripts, tests, the adversary game
+//!   ([`run_game_via_service`]) and future remote workers all drive the
+//!   same API (`streamcolor serve` is this loop over stdin/stdout).
+//!
+//! Sessions are fully independent — no shared state, no cross-session
+//! ordering — which yields the crate's **determinism law**: interleaving
+//! K sessions in any order produces, per session, byte-identical
+//! responses to K isolated runs, for every thread count
+//! (property-tested in `tests/service_determinism.rs`, golden-file
+//! gated by CI's `service-smoke` job).
+
+pub mod game;
+pub mod service;
+
+pub use game::run_game_via_service;
+pub use service::Service;

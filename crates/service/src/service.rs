@@ -1,0 +1,738 @@
+//! The session host and its flat-JSON line protocol.
+//!
+//! One request object per line in, one canonical response object per
+//! line out. Requests name a session (`"session"`) and a command
+//! (`"cmd"`); responses echo both plus `"ok"`. The full command set:
+//!
+//! ```text
+//! {"cmd":"open","session":"a","n":100,"delta":8,"colorer":"robust","seed":7}
+//! {"cmd":"push","session":"a","edge":"0-1"}
+//! {"cmd":"push_batch","session":"a","edges":"1-2 2-3 3-4"}
+//! {"cmd":"observe","session":"a"}
+//! {"cmd":"checkpoint","session":"a"}
+//! {"cmd":"stats","session":"a"}
+//! {"cmd":"finish","session":"a"}
+//! ```
+//!
+//! `open` reuses the scenario wire vocabulary for its algorithm fields
+//! ([`sc_engine::wire::colorer_from_wire`]: `"colorer"` plus per-spec
+//! parameters like `"beta"` / `"buckets"`) and an optional `"engine"`
+//! string ([`EngineConfig::wire_decode`]); `"delta"` defaults to `n − 1`
+//! and `"seed"` to 7. Edges travel as `"u-v"` tokens
+//! ([`sc_engine::wire::decode_edges`]), validated against the session's
+//! `n`. Unknown keys and unknown commands are errors, never silently
+//! ignored.
+//!
+//! Responses are canonical ([`sc_engine::flatjson::encode_object`]:
+//! sorted keys,
+//! shortest-round-trip numbers), carry no wall-clock fields, and each
+//! session's state is a deterministic function of its own command
+//! sequence — which together give the protocol law the golden-file CI
+//! job and the determinism property test pin down: **byte-identical
+//! output across runs, interleavings, and thread counts**.
+
+use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
+use sc_engine::wire;
+use sc_graph::Coloring;
+use sc_stream::{EngineConfig, Session};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::Mutex;
+
+/// One hosted session: the owned engine session plus the vertex bound
+/// its edges are validated against.
+struct Tenant {
+    n: usize,
+    session: Session,
+}
+
+/// A host for many named, independent, concurrent coloring sessions.
+///
+/// ```
+/// use sc_service::Service;
+///
+/// let mut service = Service::new();
+/// let open = service
+///     .respond(r#"{"cmd":"open","session":"a","n":10,"delta":3,"colorer":"store-all"}"#)
+///     .unwrap();
+/// assert!(open.contains("\"ok\":true"));
+/// let push = service.respond(r#"{"cmd":"push","session":"a","edge":"0-1"}"#).unwrap();
+/// assert!(push.contains("\"len\":1"));
+/// let observe = service.respond(r#"{"cmd":"observe","session":"a"}"#).unwrap();
+/// assert!(observe.contains("\"coloring\""));
+/// ```
+pub struct Service {
+    sessions: BTreeMap<String, Tenant>,
+    threads: usize,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service {
+    /// An empty host (script execution runs sessions one at a time).
+    pub fn new() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// An empty host whose [`Service::run_script`] fans independent
+    /// sessions out across up to `threads` worker threads. Sessions
+    /// share nothing, so the thread count can never change a response
+    /// byte — it only changes wall-clock.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { sessions: BTreeMap::new(), threads: threads.max(1) }
+    }
+
+    /// Open sessions, in name order.
+    pub fn session_names(&self) -> Vec<&str> {
+        self.sessions.keys().map(String::as_str).collect()
+    }
+
+    /// Handles one protocol line. Returns `None` for blank lines and
+    /// `#` comments, otherwise exactly one canonical response line
+    /// (errors are responses too — the protocol never panics on input).
+    pub fn respond(&mut self, line: &str) -> Option<String> {
+        match classify(line) {
+            LineKind::Skip => None,
+            LineKind::Local(response) => Some(response),
+            LineKind::Command { session, obj } => {
+                let mut slot = self.sessions.remove(&session);
+                let response = apply(&mut slot, &session, &obj);
+                if let Some(tenant) = slot {
+                    self.sessions.insert(session, tenant);
+                }
+                Some(encode_object(&response))
+            }
+        }
+    }
+
+    /// Runs a whole command script and returns the response lines
+    /// (newline-terminated, in input order).
+    ///
+    /// Commands for *different* sessions are independent, so they fan
+    /// out across the host's thread pool — per-session order is
+    /// preserved, responses are reassembled in input order, and the
+    /// output is byte-identical for every thread count. This is the
+    /// serving-layer parallelism model in miniature: serial within a
+    /// session, parallel across sessions.
+    pub fn run_script(&mut self, script: &str) -> String {
+        // Classify every line; route session commands into per-session
+        // groups (first-appearance order), everything else is resolved
+        // in place.
+        let mut responses: Vec<Option<String>> = Vec::new();
+        let mut group_of: BTreeMap<String, usize> = BTreeMap::new();
+        let mut groups: Vec<(String, Vec<(usize, FlatObject)>)> = Vec::new();
+        for line in script.lines() {
+            let idx = responses.len();
+            match classify(line) {
+                LineKind::Skip => responses.push(None),
+                LineKind::Local(response) => responses.push(Some(response)),
+                LineKind::Command { session, obj } => {
+                    responses.push(Some(String::new())); // placeholder
+                    let g = *group_of.entry(session.clone()).or_insert_with(|| {
+                        groups.push((session, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[g].1.push((idx, obj));
+                }
+            }
+        }
+
+        // Move each group's tenant (if any) out of the host, run the
+        // groups on the pool (per-session command order preserved; the
+        // sessions share nothing), then move the survivors back in.
+        let names: Vec<String> = groups.iter().map(|(name, _)| name.clone()).collect();
+        let work: Vec<GroupCell> = groups
+            .into_iter()
+            .map(|(name, commands)| Mutex::new(Some((self.sessions.remove(&name), commands))))
+            .collect();
+        let outcomes = sc_engine::par_map(self.threads, &work, |i, cell| {
+            let (mut slot, commands) =
+                cell.lock().expect("no panics hold this lock").take().expect("each cell runs once");
+            let mut out = Vec::with_capacity(commands.len());
+            for (idx, obj) in &commands {
+                let response = apply(&mut slot, &names[i], obj);
+                out.push((*idx, encode_object(&response)));
+            }
+            (slot, out)
+        });
+        for (name, (slot, lines)) in names.into_iter().zip(outcomes) {
+            if let Some(tenant) = slot {
+                self.sessions.insert(name, tenant);
+            }
+            for (idx, line) in lines {
+                responses[idx] = Some(line);
+            }
+        }
+
+        let mut out = String::new();
+        for response in responses.into_iter().flatten() {
+            out.push_str(&response);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The stdin/stdout serving loop behind `streamcolor serve`: reads
+    /// protocol lines from `input`, writes one response line per
+    /// command to `output` (flushed per line, so interactive pipes see
+    /// answers immediately).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; protocol-level problems are error
+    /// *responses*, not `Err`s.
+    pub fn serve<R: BufRead, W: Write + ?Sized>(
+        &mut self,
+        input: R,
+        output: &mut W,
+    ) -> std::io::Result<()> {
+        for line in input.lines() {
+            if let Some(response) = self.respond(&line?) {
+                writeln!(output, "{response}")?;
+                output.flush()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One session's share of a script: its tenant (if already open) and
+/// its command lines, handed to a pool thread as a unit.
+type GroupCell = Mutex<Option<(Option<Tenant>, Vec<(usize, FlatObject)>)>>;
+
+// ---------------------------------------------------------------------
+// Line classification.
+// ---------------------------------------------------------------------
+
+enum LineKind {
+    /// Blank or comment: no response.
+    Skip,
+    /// Resolvable from the line alone (parse errors, missing session).
+    Local(String),
+    /// A command addressed to a named session.
+    Command { session: String, obj: FlatObject },
+}
+
+fn classify(line: &str) -> LineKind {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return LineKind::Skip;
+    }
+    let obj = match parse_object(trimmed) {
+        Ok(obj) => obj,
+        Err(e) => return LineKind::Local(encode_object(&error_response(None, None, &e))),
+    };
+    match obj.get("session").and_then(Scalar::as_str) {
+        Some(name) if !name.is_empty() => LineKind::Command { session: name.to_string(), obj },
+        Some(_) => LineKind::Local(encode_object(&error_response(
+            obj.get("cmd").and_then(Scalar::as_str),
+            None,
+            "\"session\" must be a non-empty string",
+        ))),
+        None => LineKind::Local(encode_object(&error_response(
+            obj.get("cmd").and_then(Scalar::as_str),
+            None,
+            "missing string field \"session\"",
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-session command application (pure: a function of the session slot
+// and the command object — the determinism law in code).
+// ---------------------------------------------------------------------
+
+fn error_response(cmd: Option<&str>, session: Option<&str>, message: &str) -> FlatObject {
+    let mut obj = FlatObject::new();
+    obj.insert("ok".into(), Scalar::Bool(false));
+    obj.insert("error".into(), Scalar::Str(message.to_string()));
+    if let Some(cmd) = cmd {
+        obj.insert("cmd".into(), Scalar::Str(cmd.to_string()));
+    }
+    if let Some(session) = session {
+        obj.insert("session".into(), Scalar::Str(session.to_string()));
+    }
+    obj
+}
+
+fn ok_response(cmd: &str, session: &str) -> FlatObject {
+    let mut obj = FlatObject::new();
+    obj.insert("ok".into(), Scalar::Bool(true));
+    obj.insert("cmd".into(), Scalar::Str(cmd.to_string()));
+    obj.insert("session".into(), Scalar::Str(session.to_string()));
+    obj
+}
+
+// Field accessors come from `sc_engine::wire` — one vocabulary, one set
+// of diagnostics for spec files and protocol lines alike. The only
+// service-specific reader is the optional-with-default integer.
+use wire::{str_field, usize_field};
+
+fn opt_u64(obj: &FlatObject, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or(format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// Errors on any key outside `allowed` (sorted reporting, first wins).
+fn check_keys(obj: &FlatObject, allowed: &[&str]) -> Result<(), String> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a coloring as the protocol's `"0,1,-,2"` form (`-` marks an
+/// uncolored vertex) — the same shape `sc_engine::shard::RunSummary`
+/// uses, so service observations and shard summaries diff cleanly.
+pub fn coloring_string(c: &Coloring) -> String {
+    let cells: Vec<String> =
+        (0..c.n() as u32).map(|v| c.get(v).map_or("-".to_string(), |k| k.to_string())).collect();
+    cells.join(",")
+}
+
+/// Parses a [`coloring_string`] back into a coloring over `n` vertices.
+///
+/// # Errors
+/// Returns a message naming the malformed cell or a length mismatch.
+pub fn parse_coloring(text: &str, n: usize) -> Result<Coloring, String> {
+    let mut coloring = Coloring::empty(n);
+    if n == 0 && text.is_empty() {
+        return Ok(coloring);
+    }
+    let cells: Vec<&str> = text.split(',').collect();
+    if cells.len() != n {
+        return Err(format!("coloring has {} cells, expected {n}", cells.len()));
+    }
+    for (v, cell) in cells.iter().enumerate() {
+        if *cell == "-" {
+            continue;
+        }
+        let color = cell.parse().map_err(|e| format!("cell {v} {cell:?}: {e}"))?;
+        coloring.set(v as u32, color);
+    }
+    Ok(coloring)
+}
+
+fn apply(slot: &mut Option<Tenant>, session: &str, obj: &FlatObject) -> FlatObject {
+    let cmd = match obj.get("cmd").and_then(Scalar::as_str) {
+        Some(cmd) => cmd.to_string(),
+        None => return error_response(None, Some(session), "missing string field \"cmd\""),
+    };
+    let result = match cmd.as_str() {
+        "open" => apply_open(slot, obj),
+        "push" | "push_batch" => apply_push(slot, obj, &cmd),
+        "observe" | "checkpoint" => apply_observe(slot, obj, &cmd),
+        "stats" => apply_stats(slot, obj),
+        "finish" => apply_finish(slot, obj),
+        other => Err(format!(
+            "unknown cmd {other:?} (open | push | push_batch | observe | checkpoint | stats | \
+             finish)"
+        )),
+    };
+    match result {
+        Ok(mut response) => {
+            response.append(&mut ok_response(&cmd, session));
+            response
+        }
+        Err(message) => error_response(Some(&cmd), Some(session), &message),
+    }
+}
+
+/// Largest vertex count one `open` may request. Colorers allocate
+/// `O(n)` (and up to `O(n · ∆)`) state eagerly at construction; without
+/// a bound, a single tenant's `{"n": 10^12}` would abort the whole host
+/// on allocation failure — the opposite of the "errors are responses,
+/// tenants cannot perturb each other" contract. 2²⁴ vertices is far
+/// beyond every experiment in this workspace while keeping worst-case
+/// per-session construction in the hundreds of MB, not terabytes.
+pub const MAX_SESSION_VERTICES: usize = 1 << 24;
+
+fn apply_open(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject, String> {
+    if slot.is_some() {
+        return Err("session already open".to_string());
+    }
+    let n = usize_field(obj, "n")?;
+    if n > MAX_SESSION_VERTICES {
+        return Err(format!("n = {n} exceeds this host's limit ({MAX_SESSION_VERTICES} vertices)"));
+    }
+    let delta = match obj.get("delta") {
+        None => n.saturating_sub(1).max(1),
+        Some(_) => usize_field(obj, "delta")?,
+    };
+    if delta > n {
+        return Err(format!("delta = {delta} exceeds n = {n}"));
+    }
+    let seed = opt_u64(obj, "seed", 7)?;
+    let config = match obj.get("engine") {
+        None => EngineConfig::default(),
+        Some(_) => EngineConfig::wire_decode(str_field(obj, "engine")?)?,
+    };
+    let spec = wire::colorer_from_wire(obj)?;
+    // Allowed keys = the fixed open vocabulary plus exactly the fields
+    // this colorer's canonical wire form uses (same trick as the spec
+    // decoder: misspelled parameters error instead of running defaults).
+    let mut canonical = FlatObject::new();
+    for key in ["cmd", "session", "n", "delta", "seed", "engine"] {
+        canonical.insert(key.into(), Scalar::Bool(true));
+    }
+    wire::colorer_to_wire(&spec, &mut canonical);
+    check_keys(obj, &canonical.keys().map(String::as_str).collect::<Vec<_>>())?;
+
+    let colorer = spec.build(n, delta, seed, None)?;
+    let mut response = FlatObject::new();
+    response.insert("algo".into(), Scalar::Str(colorer.name().to_string()));
+    response.insert("n".into(), Scalar::Uint(n as u64));
+    *slot = Some(Tenant { n, session: Session::new(colorer, config) });
+    Ok(response)
+}
+
+fn apply_push(
+    slot: &mut Option<Tenant>,
+    obj: &FlatObject,
+    cmd: &str,
+) -> Result<FlatObject, String> {
+    let tenant = slot.as_mut().ok_or("unknown session (open it first)")?;
+    let edges = if cmd == "push" {
+        check_keys(obj, &["cmd", "session", "edge"])?;
+        let edges = wire::decode_edges(str_field(obj, "edge")?, Some(tenant.n))?;
+        if edges.len() != 1 {
+            return Err(format!("push takes exactly one edge, got {}", edges.len()));
+        }
+        edges
+    } else {
+        check_keys(obj, &["cmd", "session", "edges"])?;
+        wire::decode_edges(str_field(obj, "edges")?, Some(tenant.n))?
+    };
+    tenant.session.push_slice(&edges);
+    let mut response = FlatObject::new();
+    response.insert("len".into(), Scalar::Uint(tenant.session.len() as u64));
+    response.insert("pushed".into(), Scalar::Uint(edges.len() as u64));
+    Ok(response)
+}
+
+fn apply_observe(
+    slot: &mut Option<Tenant>,
+    obj: &FlatObject,
+    cmd: &str,
+) -> Result<FlatObject, String> {
+    check_keys(obj, &["cmd", "session"])?;
+    let tenant = slot.as_mut().ok_or("unknown session (open it first)")?;
+    let cp = if cmd == "checkpoint" {
+        tenant.session.checkpoint().clone()
+    } else {
+        tenant.session.observe()
+    };
+    let mut response = FlatObject::new();
+    response.insert("prefix".into(), Scalar::Uint(cp.prefix_len as u64));
+    response.insert("colors".into(), Scalar::Uint(cp.colors as u64));
+    response.insert("space_bits".into(), Scalar::Uint(cp.space_bits));
+    response.insert("coloring".into(), Scalar::Str(coloring_string(&cp.coloring)));
+    if cmd == "checkpoint" {
+        response.insert("recorded".into(), Scalar::Uint(tenant.session.checkpoints().len() as u64));
+    }
+    Ok(response)
+}
+
+fn apply_stats(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject, String> {
+    check_keys(obj, &["cmd", "session"])?;
+    let tenant = slot.as_ref().ok_or("unknown session (open it first)")?;
+    let mut response = FlatObject::new();
+    response.insert("algo".into(), Scalar::Str(tenant.session.algo().to_string()));
+    response.insert("edges".into(), Scalar::Uint(tenant.session.len() as u64));
+    response.insert("pending".into(), Scalar::Uint(tenant.session.pending() as u64));
+    response.insert("chunks".into(), Scalar::Uint(tenant.session.chunks() as u64));
+    response.insert("checkpoints".into(), Scalar::Uint(tenant.session.checkpoints().len() as u64));
+    response.insert("space_bits".into(), Scalar::Uint(tenant.session.peak_space_bits()));
+    match tenant.session.query_cache_stats() {
+        Some(stats) => {
+            response.insert("cache_hits".into(), Scalar::Uint(stats.hits));
+            response.insert("cache_patches".into(), Scalar::Uint(stats.patches));
+            response.insert("cache_misses".into(), Scalar::Uint(stats.misses));
+            response.insert("cache_invalidations".into(), Scalar::Uint(stats.invalidations));
+        }
+        None => {
+            response.insert("cache".into(), Scalar::Str("none".into()));
+        }
+    }
+    Ok(response)
+}
+
+fn apply_finish(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject, String> {
+    check_keys(obj, &["cmd", "session"])?;
+    let tenant = slot.take().ok_or("unknown session (open it first)")?;
+    let report = tenant.session.finish();
+    let mut response = FlatObject::new();
+    response.insert("edges".into(), Scalar::Uint(report.edges as u64));
+    response.insert("chunks".into(), Scalar::Uint(report.chunks as u64));
+    response
+        .insert("colors".into(), Scalar::Uint(report.final_coloring.num_distinct_colors() as u64));
+    response.insert("space_bits".into(), Scalar::Uint(report.peak_space_bits));
+    response.insert("checkpoints".into(), Scalar::Uint(report.checkpoints.len() as u64));
+    response.insert("coloring".into(), Scalar::Str(coloring_string(&report.final_coloring)));
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_graph::{generators, Graph};
+
+    fn open_line(session: &str, n: usize, delta: usize, colorer: &str, seed: u64) -> String {
+        format!(
+            r#"{{"cmd":"open","session":"{session}","n":{n},"delta":{delta},"colorer":"{colorer}","seed":{seed}}}"#
+        )
+    }
+
+    #[test]
+    fn open_push_observe_finish_lifecycle() {
+        let mut service = Service::new();
+        let open = service.respond(&open_line("a", 20, 4, "store-all", 1)).unwrap();
+        assert!(open.contains("\"ok\":true") && open.contains("\"algo\":\"store-all\""), "{open}");
+
+        let g = generators::gnp_with_max_degree(20, 4, 0.4, 3);
+        let edges: Vec<_> = g.edges().collect();
+        for (i, e) in edges.iter().enumerate() {
+            let push = service
+                .respond(&format!(r#"{{"cmd":"push","session":"a","edge":"{}-{}"}}"#, e.u(), e.v()))
+                .unwrap();
+            assert!(push.contains(&format!("\"len\":{}", i + 1)), "{push}");
+        }
+        let observe = service.respond(r#"{"cmd":"observe","session":"a"}"#).unwrap();
+        let obj = parse_object(&observe).unwrap();
+        assert_eq!(obj["prefix"].as_u64(), Some(edges.len() as u64));
+        let coloring = parse_coloring(obj["coloring"].as_str().unwrap(), 20).unwrap();
+        assert!(coloring.is_proper_total(&g), "service coloring must be proper");
+
+        let finish = service.respond(r#"{"cmd":"finish","session":"a"}"#).unwrap();
+        assert!(finish.contains("\"ok\":true"), "{finish}");
+        assert!(service.session_names().is_empty(), "finish closes the session");
+        let again = service.respond(r#"{"cmd":"observe","session":"a"}"#).unwrap();
+        assert!(again.contains("unknown session"), "{again}");
+    }
+
+    #[test]
+    fn many_sessions_are_independent_tenants() {
+        let mut service = Service::new();
+        for (name, colorer) in [("alpha", "robust"), ("beta", "store-all"), ("gamma", "trivial")] {
+            let open = service.respond(&open_line(name, 30, 5, colorer, 9)).unwrap();
+            assert!(open.contains("\"ok\":true"), "{open}");
+        }
+        assert_eq!(service.session_names(), vec!["alpha", "beta", "gamma"]);
+        // Interleaved pushes to different tenants.
+        let g = generators::gnp_with_max_degree(30, 5, 0.4, 4);
+        for e in g.edges() {
+            for name in ["alpha", "beta", "gamma"] {
+                let push = service
+                    .respond(&format!(
+                        r#"{{"cmd":"push","session":"{name}","edge":"{}-{}"}}"#,
+                        e.u(),
+                        e.v()
+                    ))
+                    .unwrap();
+                assert!(push.contains("\"ok\":true"), "{push}");
+            }
+        }
+        for name in ["alpha", "beta", "gamma"] {
+            let observe =
+                service.respond(&format!(r#"{{"cmd":"observe","session":"{name}"}}"#)).unwrap();
+            let obj = parse_object(&observe).unwrap();
+            let coloring = parse_coloring(obj["coloring"].as_str().unwrap(), 30).unwrap();
+            assert!(coloring.is_proper_total(&g), "{name}");
+        }
+    }
+
+    #[test]
+    fn stats_surface_space_and_query_cache_counters() {
+        let mut service = Service::new();
+        service.respond(&open_line("s", 20, 4, "store-all", 1)).unwrap();
+        service.respond(r#"{"cmd":"push_batch","session":"s","edges":"0-1 1-2 2-3"}"#).unwrap();
+        service.respond(r#"{"cmd":"observe","session":"s"}"#).unwrap();
+        service.respond(r#"{"cmd":"observe","session":"s"}"#).unwrap();
+        let stats = service.respond(r#"{"cmd":"stats","session":"s"}"#).unwrap();
+        let obj = parse_object(&stats).unwrap();
+        assert_eq!(obj["edges"].as_u64(), Some(3));
+        assert!(obj["space_bits"].as_u64().unwrap() > 0);
+        // store-all has an incremental path: two queries, second is a hit.
+        assert_eq!(obj["cache_hits"].as_u64(), Some(1), "{stats}");
+        assert_eq!(obj["cache_misses"].as_u64(), Some(1), "{stats}");
+
+        // A colorer without an incremental path reports cache: none.
+        service.respond(&open_line("t", 10, 3, "trivial", 1)).unwrap();
+        let stats = service.respond(r#"{"cmd":"stats","session":"t"}"#).unwrap();
+        assert!(stats.contains("\"cache\":\"none\""), "{stats}");
+    }
+
+    #[test]
+    fn scheduled_checkpoints_fire_inside_service_sessions() {
+        let mut service = Service::new();
+        let open = r#"{"cmd":"open","session":"cp","n":20,"delta":4,"colorer":"store-all","engine":"chunk=2;schedule=every:3;incremental=true"}"#;
+        assert!(service.respond(open).unwrap().contains("\"ok\":true"));
+        let g = generators::gnp_with_max_degree(20, 4, 0.5, 8);
+        let edges = wire::encode_edges(g.edges());
+        service
+            .respond(&format!(r#"{{"cmd":"push_batch","session":"cp","edges":"{edges}"}}"#))
+            .unwrap();
+        let stats = service.respond(r#"{"cmd":"stats","session":"cp"}"#).unwrap();
+        let obj = parse_object(&stats).unwrap();
+        assert_eq!(obj["checkpoints"].as_u64(), Some(g.m() as u64 / 3), "{stats}");
+        let finish = service.respond(r#"{"cmd":"finish","session":"cp"}"#).unwrap();
+        let obj = parse_object(&finish).unwrap();
+        assert_eq!(obj["edges"].as_u64(), Some(g.m() as u64));
+    }
+
+    #[test]
+    fn protocol_errors_are_responses_never_panics() {
+        let mut service = Service::new();
+        for (line, needle) in [
+            ("{", "expected"), // malformed JSON
+            (r#"{"cmd":"open"}"#, "missing string field"),
+            (r#"{"cmd":"open","session":""}"#, "non-empty"),
+            (r#"{"session":"x"}"#, "missing string field"),
+            (r#"{"cmd":"paint","session":"x"}"#, "unknown cmd"),
+            (r#"{"cmd":"push","session":"x","edge":"0-1"}"#, "unknown session"),
+            (r#"{"cmd":"open","session":"x","n":10,"colorer":"quantum"}"#, "unknown colorer"),
+            (
+                r#"{"cmd":"open","session":"x","n":10,"colorer":"batch-greedy"}"#,
+                "not a single-pass",
+            ),
+            (r#"{"cmd":"open","session":"x","n":10,"colorer":"bcg20","epsilon":0.5}"#, "bcg20"),
+            (
+                r#"{"cmd":"open","session":"x","n":10,"colorer":"robust","betaa":0.5}"#,
+                "unknown key",
+            ),
+            (r#"{"cmd":"open","session":"x","colorer":"robust"}"#, "missing integer field"),
+            (
+                r#"{"cmd":"open","session":"x","n":"ten","colorer":"robust"}"#,
+                "must be a non-negative integer",
+            ),
+            // A rogue tenant cannot abort the host with a giant open:
+            // size limits are error responses, not allocation failures.
+            (
+                r#"{"cmd":"open","session":"x","n":200000000000,"colorer":"store-all"}"#,
+                "exceeds this host's limit",
+            ),
+            (
+                r#"{"cmd":"open","session":"x","n":10,"delta":11,"colorer":"store-all"}"#,
+                "exceeds n",
+            ),
+        ] {
+            let response = service.respond(line).unwrap();
+            assert!(
+                response.contains("\"ok\":false") && response.contains(needle),
+                "{line} -> {response}"
+            );
+        }
+        // Session-level errors after open.
+        service.respond(r#"{"cmd":"open","session":"x","n":10,"colorer":"store-all"}"#).unwrap();
+        for (line, needle) in [
+            (r#"{"cmd":"open","session":"x","n":10,"colorer":"store-all"}"#, "already open"),
+            (r#"{"cmd":"push","session":"x","edge":"3-3"}"#, "self-loop"),
+            (r#"{"cmd":"push","session":"x","edge":"5-99"}"#, "out of range"),
+            (r#"{"cmd":"push","session":"x","edge":"0-1 2-3"}"#, "exactly one edge"),
+            (r#"{"cmd":"push","session":"x","edge":"0-1","extra":1}"#, "unknown key"),
+            (r#"{"cmd":"observe","session":"x","extra":1}"#, "unknown key"),
+        ] {
+            let response = service.respond(line).unwrap();
+            assert!(
+                response.contains("\"ok\":false") && response.contains(needle),
+                "{line} -> {response}"
+            );
+        }
+        // Blank lines and comments produce no response.
+        assert!(service.respond("").is_none());
+        assert!(service.respond("   ").is_none());
+        assert!(service.respond("# comment").is_none());
+    }
+
+    #[test]
+    fn run_script_is_thread_count_invariant_and_matches_line_by_line() {
+        // One script, three sessions with interleaved commands plus
+        // deliberate errors; every execution mode must emit identical
+        // bytes.
+        let g = generators::gnp_with_max_degree(24, 4, 0.5, 5);
+        let edges: Vec<_> = g.edges().collect();
+        let mut script = String::new();
+        script.push_str("# interleaved three-tenant script\n\n");
+        for (name, colorer) in [("a", "robust"), ("b", "store-all"), ("c", "bg18")] {
+            script.push_str(&open_line(name, 24, 4, colorer, 3));
+            script.push('\n');
+        }
+        for chunk in edges.chunks(3) {
+            for name in ["a", "b", "c"] {
+                let text = wire::encode_edges(chunk.iter().copied());
+                script.push_str(&format!(
+                    r#"{{"cmd":"push_batch","session":"{name}","edges":"{text}"}}"#
+                ));
+                script.push('\n');
+                script.push_str(&format!(r#"{{"cmd":"observe","session":"{name}"}}"#));
+                script.push('\n');
+            }
+        }
+        script.push_str("{bad json\n");
+        script.push_str(r#"{"cmd":"stats","session":"nope"}"#);
+        script.push('\n');
+        for name in ["a", "b", "c"] {
+            script.push_str(&format!(r#"{{"cmd":"finish","session":"{name}"}}"#));
+            script.push('\n');
+        }
+
+        let line_by_line = {
+            let mut service = Service::new();
+            let mut out = String::new();
+            for line in script.lines() {
+                if let Some(response) = service.respond(line) {
+                    out.push_str(&response);
+                    out.push('\n');
+                }
+            }
+            out
+        };
+        for threads in [1, 2, 8] {
+            let mut service = Service::with_threads(threads);
+            let batch = service.run_script(&script);
+            assert_eq!(batch, line_by_line, "threads = {threads} changed the output bytes");
+            assert!(service.session_names().is_empty());
+        }
+        // And the script actually exercised the happy path.
+        assert!(line_by_line.contains("\"ok\":true"));
+        assert!(line_by_line.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn serve_loop_round_trips_via_io() {
+        let mut service = Service::new();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            open_line("io", 10, 3, "trivial", 1),
+            r#"{"cmd":"push_batch","session":"io","edges":"0-1 1-2"}"#,
+            r#"{"cmd":"finish","session":"io"}"#
+        );
+        let mut output = Vec::new();
+        service.serve(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.contains("\"ok\":true")), "{text}");
+    }
+
+    #[test]
+    fn coloring_strings_round_trip() {
+        let mut c = Coloring::empty(4);
+        c.set(0, 2);
+        c.set(2, 0);
+        let text = coloring_string(&c);
+        assert_eq!(text, "2,-,0,-");
+        assert_eq!(parse_coloring(&text, 4).unwrap(), c);
+        assert!(parse_coloring(&text, 5).is_err());
+        assert!(parse_coloring("1,x,2,3", 4).unwrap_err().contains("cell 1"));
+        assert_eq!(parse_coloring("", 0).unwrap(), Coloring::empty(0));
+        let g = Graph::from_edges(4, [sc_graph::Edge::new(0, 2)]);
+        assert!(parse_coloring(&text, 4).unwrap().is_proper_partial(&g));
+    }
+}

@@ -73,6 +73,43 @@ pub trait StreamingColorer {
     fn name(&self) -> &'static str;
 }
 
+/// An owned, thread-movable, type-erased colorer — the universal currency
+/// of the session and service layers.
+///
+/// [`StreamingColorer`] is object-safe by design (the adversary game, the
+/// engine, and `ColorerSpec::build` all traffic in trait objects), and
+/// the blanket `impl StreamingColorer for Box<C>` below means a
+/// `BoxedColorer` can be handed to any generic consumer of the trait —
+/// the batch-equivalence and incremental-equivalence property suites run
+/// on boxed colorers unchanged.
+pub type BoxedColorer = Box<dyn StreamingColorer + Send>;
+
+/// Boxes forward the whole contract to their contents, so type erasure
+/// never changes observable behavior (same colorings, same space).
+impl<C: StreamingColorer + ?Sized> StreamingColorer for Box<C> {
+    fn process(&mut self, e: Edge) {
+        (**self).process(e)
+    }
+    fn process_batch(&mut self, edges: &[Edge]) {
+        (**self).process_batch(edges)
+    }
+    fn query(&mut self) -> Coloring {
+        (**self).query()
+    }
+    fn query_incremental(&mut self) -> Coloring {
+        (**self).query_incremental()
+    }
+    fn query_cache_stats(&self) -> Option<CacheStats> {
+        (**self).query_cache_stats()
+    }
+    fn peak_space_bits(&self) -> u64 {
+        (**self).peak_space_bits()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Feeds a whole (oblivious) stream through a colorer, then queries once.
 ///
 /// Returns the final coloring. The common harness path for static-stream
@@ -114,6 +151,21 @@ mod tests {
         fn name(&self) -> &'static str {
             "store-all"
         }
+    }
+
+    /// Compile-time proof that the trait stays object-safe: both the
+    /// plain and the `Send`-bounded trait objects must be constructible.
+    #[test]
+    fn trait_is_object_safe_and_boxes_forward() {
+        let mut boxed: BoxedColorer = Box::new(StoreAll { n: 6, edges: vec![] });
+        let _plain: &mut dyn StreamingColorer = &mut *boxed;
+        let g = generators::cycle(6);
+        // The box is itself a StreamingColorer: generic consumers accept it.
+        let coloring = run_oblivious(&mut boxed, g.edges());
+        assert!(coloring.is_proper_total(&g));
+        assert_eq!(boxed.name(), "store-all");
+        assert!(boxed.peak_space_bits() > 0);
+        assert!(boxed.query_cache_stats().is_none());
     }
 
     #[test]

@@ -297,10 +297,13 @@ impl StreamEngine {
     }
 }
 
-/// Incremental engine state for interactive consumers (the adversarial
-/// game pushes one edge per round and checkpoints after each).
-pub struct EngineSession<'a, C: StreamingColorer + ?Sized> {
-    colorer: &'a mut C,
+/// The chunk/schedule/checkpoint machinery shared by both session
+/// flavors. It never owns the colorer — every method that touches one
+/// takes it as an argument — which is exactly what lets the borrow-bound
+/// [`EngineSession`] and the owned [`Session`] be thin wrappers over one
+/// implementation instead of two drifting copies.
+#[derive(Debug, Clone)]
+struct SessionState {
     config: EngineConfig,
     /// Edges accepted but not yet fed to the colorer.
     pending: Vec<Edge>,
@@ -310,12 +313,10 @@ pub struct EngineSession<'a, C: StreamingColorer + ?Sized> {
     checkpoints: Vec<Checkpoint>,
 }
 
-impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
-    /// Opens a session over `colorer`.
-    pub fn new(colorer: &'a mut C, config: EngineConfig) -> Self {
+impl SessionState {
+    fn new(config: EngineConfig) -> Self {
         let cap = config.chunk_size.max(1);
         Self {
-            colorer,
             config,
             pending: Vec::with_capacity(cap),
             ingested: 0,
@@ -324,9 +325,114 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
         }
     }
 
+    fn len(&self) -> usize {
+        self.ingested + self.pending.len()
+    }
+
+    /// Accepts a slice of edges. Complete chunks are fed through
+    /// immediately; a sub-chunk tail stays staged for later pushes.
+    fn push_slice<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C, edges: &[Edge]) {
+        self.pending.extend_from_slice(edges);
+        self.drain_schedule(colorer);
+        let chunk = self.config.chunk_size.max(1);
+        let complete = (self.pending.len() / chunk) * chunk;
+        self.flush_first(colorer, complete);
+    }
+
+    /// Runs every checkpoint whose prefix is covered by accepted edges.
+    fn drain_schedule<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) {
+        while let Some(next) = self.config.schedule.next_after(self.ingested) {
+            if next > self.len() {
+                break;
+            }
+            let take = next - self.ingested;
+            self.flush_first(colorer, take);
+            self.record_checkpoint(colorer);
+        }
+    }
+
+    /// Feeds the first `take` pending edges to the colorer, in
+    /// chunk-size batches.
+    fn flush_first<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C, take: usize) {
+        if take == 0 {
+            return;
+        }
+        let chunk = self.config.chunk_size.max(1);
+        let mut fed = 0;
+        while fed < take {
+            let k = chunk.min(take - fed);
+            colorer.process_batch(&self.pending[fed..fed + k]);
+            fed += k;
+            self.chunks += 1;
+        }
+        self.pending.drain(..take);
+        self.ingested += take;
+    }
+
+    fn flush<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) {
+        self.flush_first(colorer, self.pending.len());
+    }
+
+    /// Queries the ingested prefix as-is (no flush: scheduled
+    /// checkpoints run mid-slice, with later edges still staged).
+    /// Routed through the incremental path unless the config opts out.
+    fn snapshot<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) -> Checkpoint {
+        let coloring =
+            if self.config.incremental { colorer.query_incremental() } else { colorer.query() };
+        let colors = coloring.num_distinct_colors();
+        Checkpoint {
+            prefix_len: self.ingested,
+            coloring,
+            space_bits: colorer.peak_space_bits(),
+            colors,
+        }
+    }
+
+    fn record_checkpoint<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) {
+        let cp = self.snapshot(colorer);
+        self.checkpoints.push(cp);
+    }
+
+    fn finish<C: StreamingColorer + ?Sized>(
+        mut self,
+        colorer: &mut C,
+        started_at: Instant,
+    ) -> EngineReport {
+        self.flush(colorer);
+        let final_coloring =
+            if self.config.incremental { colorer.query_incremental() } else { colorer.query() };
+        EngineReport {
+            edges: self.ingested,
+            chunks: self.chunks,
+            passes: 1,
+            peak_space_bits: colorer.peak_space_bits(),
+            final_coloring,
+            checkpoints: self.checkpoints,
+            elapsed: started_at.elapsed(),
+        }
+    }
+}
+
+/// Incremental engine state for *borrowing* interactive consumers (the
+/// adversarial game pushes one edge per round and checkpoints after
+/// each). A thin wrapper over the same machinery as the owned
+/// [`Session`]; prefer `Session` for anything that stores sessions
+/// (services, registries) — the borrow here pins the colorer's lifetime
+/// to the caller's stack frame.
+pub struct EngineSession<'a, C: StreamingColorer + ?Sized> {
+    colorer: &'a mut C,
+    state: SessionState,
+}
+
+impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
+    /// Opens a session over `colorer`.
+    pub fn new(colorer: &'a mut C, config: EngineConfig) -> Self {
+        Self { colorer, state: SessionState::new(config) }
+    }
+
     /// Edges accepted so far (including any still pending).
     pub fn len(&self) -> usize {
-        self.ingested + self.pending.len()
+        self.state.len()
     }
 
     /// Whether no edges have been accepted.
@@ -342,54 +448,20 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
     /// Accepts a slice of edges. Complete chunks are fed through
     /// immediately; a sub-chunk tail stays staged for later pushes.
     pub fn push_slice(&mut self, edges: &[Edge]) {
-        self.pending.extend_from_slice(edges);
-        self.drain_schedule();
-        let chunk = self.config.chunk_size.max(1);
-        let complete = (self.pending.len() / chunk) * chunk;
-        self.flush_first(complete);
-    }
-
-    /// Runs every checkpoint whose prefix is covered by accepted edges.
-    fn drain_schedule(&mut self) {
-        while let Some(next) = self.config.schedule.next_after(self.ingested) {
-            if next > self.len() {
-                break;
-            }
-            let take = next - self.ingested;
-            self.flush_first(take);
-            self.record_checkpoint();
-        }
-    }
-
-    /// Feeds the first `take` pending edges to the colorer, in
-    /// chunk-size batches.
-    fn flush_first(&mut self, take: usize) {
-        if take == 0 {
-            return;
-        }
-        let chunk = self.config.chunk_size.max(1);
-        let mut fed = 0;
-        while fed < take {
-            let k = chunk.min(take - fed);
-            self.colorer.process_batch(&self.pending[fed..fed + k]);
-            fed += k;
-            self.chunks += 1;
-        }
-        self.pending.drain(..take);
-        self.ingested += take;
+        self.state.push_slice(self.colorer, edges);
     }
 
     /// Feeds all pending edges to the colorer.
     pub fn flush(&mut self) {
-        self.flush_first(self.pending.len());
+        self.state.flush(self.colorer);
     }
 
     /// Flushes, queries, and records + returns a checkpoint for the
     /// current prefix.
     pub fn checkpoint(&mut self) -> &Checkpoint {
         self.flush();
-        self.record_checkpoint();
-        self.checkpoints.last().expect("checkpoint just recorded")
+        self.state.record_checkpoint(self.colorer);
+        self.state.checkpoints.last().expect("checkpoint just recorded")
     }
 
     /// Flushes and queries the current prefix *without* recording — the
@@ -397,50 +469,146 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
     /// round's coloring would cost `O(rounds · n)` memory.
     pub fn observe(&mut self) -> Checkpoint {
         self.flush();
-        self.snapshot()
-    }
-
-    /// Queries the ingested prefix as-is (no flush: scheduled
-    /// checkpoints run mid-slice, with later edges still staged).
-    /// Routed through the incremental path unless the config opts out.
-    fn snapshot(&mut self) -> Checkpoint {
-        let coloring = if self.config.incremental {
-            self.colorer.query_incremental()
-        } else {
-            self.colorer.query()
-        };
-        let colors = coloring.num_distinct_colors();
-        Checkpoint {
-            prefix_len: self.ingested,
-            coloring,
-            space_bits: self.colorer.peak_space_bits(),
-            colors,
-        }
-    }
-
-    fn record_checkpoint(&mut self) {
-        let cp = self.snapshot();
-        self.checkpoints.push(cp);
+        self.state.snapshot(self.colorer)
     }
 
     /// Flushes, runs the final query, and assembles the report.
-    /// `started_at` anchors the elapsed measurement.
-    pub fn finish(mut self, started_at: Instant) -> EngineReport {
+    /// `started_at` anchors the elapsed measurement (the owned
+    /// [`Session`] folds this in at construction instead).
+    pub fn finish(self, started_at: Instant) -> EngineReport {
+        self.state.finish(self.colorer, started_at)
+    }
+}
+
+/// An owned interactive session: the colorer moves *in* at open and the
+/// report moves *out* at finish, so sessions can be stored, passed
+/// across threads, and multiplexed — a service can host thousands of
+/// them concurrently, where the borrow-bound [`EngineSession`] could
+/// host none beyond its caller's stack frame.
+///
+/// Timing is folded in: the construction instant anchors
+/// [`EngineReport::elapsed`], so there is no `finish(started_at)`
+/// argument to thread through (or to get wrong).
+///
+/// ```
+/// use sc_stream::{EngineConfig, Session};
+/// # use sc_graph::{Coloring, Edge, Graph};
+/// # struct Toy(Vec<Edge>);
+/// # impl sc_stream::StreamingColorer for Toy {
+/// #     fn process(&mut self, e: Edge) { self.0.push(e); }
+/// #     fn query(&mut self) -> Coloring {
+/// #         let g = Graph::from_edges(4, self.0.iter().copied());
+/// #         let mut c = Coloring::empty(4);
+/// #         sc_graph::greedy_complete(&g, &mut c);
+/// #         c
+/// #     }
+/// #     fn peak_space_bits(&self) -> u64 { 1 }
+/// #     fn name(&self) -> &'static str { "toy" }
+/// # }
+/// let mut session = Session::new(Box::new(Toy(vec![])), EngineConfig::per_edge());
+/// session.push(Edge::new(0, 1));
+/// let observed = session.observe();
+/// assert_eq!(observed.prefix_len, 1);
+/// let report = session.finish();
+/// assert_eq!(report.edges, 1);
+/// ```
+pub struct Session {
+    colorer: crate::colorer::BoxedColorer,
+    state: SessionState,
+    started: Instant,
+}
+
+impl Session {
+    /// Opens a session owning `colorer`, anchoring the elapsed clock now.
+    pub fn new(colorer: crate::colorer::BoxedColorer, config: EngineConfig) -> Self {
+        Self { colorer, state: SessionState::new(config), started: Instant::now() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.state.config
+    }
+
+    /// The colorer's self-reported name.
+    pub fn algo(&self) -> &'static str {
+        self.colorer.name()
+    }
+
+    /// Edges accepted so far (including any still pending).
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether no edges have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Edges accepted but not yet fed to the colorer (a sub-chunk tail).
+    pub fn pending(&self) -> usize {
+        self.state.pending.len()
+    }
+
+    /// `process_batch` calls made so far.
+    pub fn chunks(&self) -> usize {
+        self.state.chunks
+    }
+
+    /// Checkpoints recorded so far (scheduled or explicit), prefix order.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.state.checkpoints
+    }
+
+    /// The colorer's self-reported peak space in bits, as of now.
+    pub fn peak_space_bits(&self) -> u64 {
+        self.colorer.peak_space_bits()
+    }
+
+    /// Outcome counters of the colorer's incremental query path, if any.
+    pub fn query_cache_stats(&self) -> Option<crate::CacheStats> {
+        self.colorer.query_cache_stats()
+    }
+
+    /// Wall-clock time since the session opened.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Accepts one edge, flushing/checkpointing per the configuration.
+    pub fn push(&mut self, e: Edge) {
+        self.push_slice(std::slice::from_ref(&e));
+    }
+
+    /// Accepts a slice of edges. Complete chunks are fed through
+    /// immediately; a sub-chunk tail stays staged for later pushes.
+    pub fn push_slice(&mut self, edges: &[Edge]) {
+        self.state.push_slice(&mut self.colorer, edges);
+    }
+
+    /// Feeds all pending edges to the colorer.
+    pub fn flush(&mut self) {
+        self.state.flush(&mut self.colorer);
+    }
+
+    /// Flushes, queries, and records + returns a checkpoint for the
+    /// current prefix.
+    pub fn checkpoint(&mut self) -> &Checkpoint {
         self.flush();
-        let final_coloring = if self.config.incremental {
-            self.colorer.query_incremental()
-        } else {
-            self.colorer.query()
-        };
-        EngineReport {
-            edges: self.ingested,
-            chunks: self.chunks,
-            passes: 1,
-            peak_space_bits: self.colorer.peak_space_bits(),
-            final_coloring,
-            checkpoints: self.checkpoints,
-            elapsed: started_at.elapsed(),
-        }
+        self.state.record_checkpoint(&mut self.colorer);
+        self.state.checkpoints.last().expect("checkpoint just recorded")
+    }
+
+    /// Flushes and queries the current prefix *without* recording.
+    pub fn observe(&mut self) -> Checkpoint {
+        self.flush();
+        self.state.snapshot(&mut self.colorer)
+    }
+
+    /// Flushes, runs the final query, and assembles the report; elapsed
+    /// time is measured from construction (no instant to pass, none to
+    /// get wrong).
+    pub fn finish(mut self) -> EngineReport {
+        self.state.finish(&mut self.colorer, self.started)
     }
 }
 
@@ -652,6 +820,59 @@ mod tests {
         let report = session.finish(Instant::now());
         assert_eq!(report.edges, 10);
         assert_eq!(report.checkpoints.len(), 10);
+    }
+
+    #[test]
+    fn owned_session_replays_borrowed_session_identically() {
+        // The owned Session and the borrow-bound EngineSession are thin
+        // wrappers over one core; every observable — checkpoint prefixes,
+        // colorings, chunk counts, space — must agree for any push
+        // pattern.
+        let (_, edges) = edges_of(50, 11);
+        let cfg = EngineConfig::batched(8).with_schedule(QuerySchedule::AtPrefixes(vec![25, 4, 9]));
+        let mut borrowed = StoreAll::new(50);
+        let mut session = EngineSession::new(&mut borrowed, cfg.clone());
+        let mut owned = Session::new(Box::new(StoreAll::new(50)), cfg);
+        assert!(owned.is_empty());
+        assert_eq!(owned.algo(), "store-all");
+        for chunk in edges.chunks(5) {
+            session.push_slice(chunk);
+            owned.push_slice(chunk);
+            assert_eq!(session.len(), owned.len());
+        }
+        let mid_borrowed = session.observe();
+        let mid_owned = owned.observe();
+        assert_eq!(mid_borrowed.coloring, mid_owned.coloring);
+        assert_eq!(mid_borrowed.space_bits, owned.peak_space_bits());
+        assert_eq!(owned.pending(), 0, "observe flushes");
+        let a = session.finish(Instant::now());
+        let b = owned.finish();
+        assert_eq!(a.final_coloring, b.final_coloring);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(a.peak_space_bits, b.peak_space_bits);
+        assert_eq!(a.checkpoints.len(), b.checkpoints.len());
+        for (x, y) in a.checkpoints.iter().zip(&b.checkpoints) {
+            assert_eq!((x.prefix_len, &x.coloring), (y.prefix_len, &y.coloring));
+        }
+    }
+
+    #[test]
+    fn owned_session_checkpoints_and_times_itself() {
+        let (_, edges) = edges_of(30, 12);
+        let mut owned = Session::new(Box::new(StoreAll::new(30)), EngineConfig::per_edge());
+        for (i, &e) in edges.iter().enumerate().take(6) {
+            owned.push(e);
+            let cp = owned.checkpoint();
+            assert_eq!(cp.prefix_len, i + 1);
+        }
+        assert_eq!(owned.checkpoints().len(), 6);
+        assert!(owned.elapsed() <= owned.elapsed().max(owned.elapsed()));
+        let report = owned.finish();
+        assert_eq!(report.edges, 6);
+        assert_eq!(report.checkpoints.len(), 6);
+        // Timing is folded in: the report's clock started at `new`.
+        assert!(report.elapsed.as_nanos() > 0);
     }
 
     #[test]

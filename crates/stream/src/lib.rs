@@ -13,6 +13,10 @@
 //! * [`StreamEngine`] / [`EngineSession`] — the batched ingestion engine:
 //!   chunking, pass counting, space metering and checkpointed mid-stream
 //!   queries in one place (see [`engine`]).
+//! * [`Session`] / [`BoxedColorer`] — the *owned* form of the same
+//!   session: the colorer moves in at open and the report moves out at
+//!   finish, so sessions can be stored, sent across threads, and hosted
+//!   many-at-a-time by `sc-service`.
 //! * [`QueryCache`] — epoch-keyed reuse of query artifacts, powering the
 //!   incremental query path
 //!   ([`StreamingColorer::query_incremental`]; see [`query_cache`]).
@@ -26,9 +30,9 @@ pub mod space;
 pub mod token;
 pub mod trace;
 
-pub use colorer::{run_oblivious, StreamingColorer};
+pub use colorer::{run_oblivious, BoxedColorer, StreamingColorer};
 pub use engine::{
-    Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, StreamEngine,
+    Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, Session, StreamEngine,
 };
 pub use order::StreamOrder;
 pub use query_cache::{CacheState, CacheStats, QueryCache};

@@ -13,4 +13,6 @@
 //! * `streamcolor` — the paper's algorithms and baselines
 //! * `sc-adversary` — adaptive adversaries and the robustness game
 //! * `sc-engine` — declarative `Scenario`/`Runner` experiment layer
+//! * `sc-service` — multi-tenant session host behind the flat-JSON
+//!   line protocol (`streamcolor serve`)
 //! * `sc-bench` / `streamcolor-cli` — experiment binaries and the CLI
