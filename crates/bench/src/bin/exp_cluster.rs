@@ -1,0 +1,233 @@
+//! Experiment — the cluster layer's overhead curve: what dispatching a
+//! shard job through `sc-cluster` transports costs relative to the
+//! single-process `run_in_process` reference, and what a worker death's
+//! re-dispatch costs on top.
+//!
+//! Three fleet shapes, each first asserted **byte-identical** to the
+//! reference (the determinism law re-checked where the numbers are
+//! produced), then timed:
+//!
+//! * `process` — loopback [`InProcess`] workers: full protocol
+//!   encode/decode, no extra parallelism, so its `efficiency =
+//!   in_process_ms / cluster_ms` is the pure protocol-overhead floor
+//!   (≈ 1.0; a sustained drop means the `run_job` line codec or spec
+//!   re-encoding got expensive);
+//! * `stdio` — real `shard_worker --serve` child processes: protocol
+//!   overhead plus spawn cost, minus process-level parallelism, so
+//!   efficiency can exceed 1.0 on multi-core hosts;
+//! * `retry` — loopback workers plus one injected mid-job death
+//!   ([`Unreliable`]): efficiency measures what re-running one orphaned
+//!   slice costs (the straggler/re-dispatch tax).
+//!
+//! Emits `BENCH_cluster.json`; `--smoke` shrinks the grid and writes
+//! `BENCH_cluster.smoke.json` (CI-sized; never clobbers the committed
+//! full-profile file). CI's `cluster-smoke` job gates the efficiency
+//! fields via `ci/bench_baselines.json`.
+
+use sc_cluster::{ChildStdio, InProcess, Transport, Unreliable, WorkerPool};
+use sc_engine::shard::{run_in_process, smoke_grid, ShardJob};
+use sc_engine::{ColorerSpec, Scenario, SourceSpec};
+use sc_stream::{QuerySchedule, StreamOrder};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+struct Profile {
+    smoke: bool,
+    /// Healthy workers per fleet.
+    workers: usize,
+    /// Timing repetitions (median goes into the file).
+    reps: usize,
+}
+
+impl Profile {
+    fn full() -> Self {
+        Self { smoke: false, workers: 4, reps: 5 }
+    }
+
+    fn smoke() -> Self {
+        Self { smoke: true, workers: 3, reps: 3 }
+    }
+
+    fn bench_path(&self) -> &'static str {
+        if self.smoke {
+            "BENCH_cluster.smoke.json"
+        } else {
+            "BENCH_cluster.json"
+        }
+    }
+
+    /// The job under test: the CI smoke grid, or a heavier full-profile
+    /// grid (same shape, larger instances, more scenarios).
+    fn job(&self) -> ShardJob {
+        if self.smoke {
+            return ShardJob::Grid(smoke_grid());
+        }
+        let mut scenarios = Vec::new();
+        for (i, n) in [(0u64, 900usize), (1, 1400)] {
+            let exact = SourceSpec::exact_degree(n, 14, 7 + i);
+            let gnp = SourceSpec::gnp(n, 14, 0.3, 11 + i);
+            scenarios.extend([
+                Scenario::new(exact.clone(), ColorerSpec::Robust { beta: None })
+                    .labeled(format!("cluster robust n={n}"))
+                    .with_order(StreamOrder::Shuffled(1))
+                    .with_seed(21 + i)
+                    .with_schedule(QuerySchedule::EveryEdges(997)),
+                Scenario::new(gnp.clone(), ColorerSpec::RandEfficient)
+                    .labeled(format!("cluster alg3 n={n}"))
+                    .with_seed(22 + i),
+                Scenario::new(exact.clone(), ColorerSpec::Bg18 { buckets: None })
+                    .labeled(format!("cluster bg18 n={n}"))
+                    .with_seed(23 + i),
+                Scenario::new(gnp, ColorerSpec::StoreAll)
+                    .labeled(format!("cluster store-all n={n}"))
+                    .with_seed(24 + i)
+                    .with_schedule(QuerySchedule::EveryEdges(1499)),
+                Scenario::new(exact, ColorerSpec::Bcg20 { epsilon: 0.5 })
+                    .labeled(format!("cluster bcg20 n={n}"))
+                    .with_order(StreamOrder::VertexContiguous)
+                    .with_seed(25 + i),
+            ]);
+        }
+        ShardJob::Grid(scenarios)
+    }
+}
+
+/// Locates `shard_worker` next to this executable.
+fn sibling_worker() -> Result<std::path::PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate myself: {e}"))?;
+    let dir = exe.parent().ok_or("executable has no parent directory")?;
+    let candidate = dir.join(if cfg!(windows) { "shard_worker.exe" } else { "shard_worker" });
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "worker binary not found at {candidate:?}; build it with \
+             `cargo build --release --bin shard_worker`"
+        ))
+    }
+}
+
+enum Fleet {
+    Process,
+    Stdio,
+    Retry,
+}
+
+impl Fleet {
+    fn name(&self) -> &'static str {
+        match self {
+            Fleet::Process => "process",
+            Fleet::Stdio => "stdio",
+            Fleet::Retry => "retry",
+        }
+    }
+
+    /// Builds a fresh fleet (transports are consumed per dispatch rep:
+    /// stdio workers die with their pool, and the retry fleet's injected
+    /// death must re-arm).
+    fn build(&self, workers: usize) -> Result<Vec<Box<dyn Transport>>, String> {
+        let mut fleet: Vec<Box<dyn Transport>> = match self {
+            Fleet::Process | Fleet::Retry => {
+                (0..workers).map(|_| Box::new(InProcess::new()) as Box<dyn Transport>).collect()
+            }
+            Fleet::Stdio => {
+                let worker = sibling_worker()?;
+                (0..workers)
+                    .map(|_| -> Result<Box<dyn Transport>, String> {
+                        Ok(Box::new(ChildStdio::spawn(&worker, &["--serve"])?))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        if matches!(self, Fleet::Retry) {
+            // One extra worker that accepts its slice and dies before
+            // answering — every rep pays exactly one re-dispatch.
+            fleet.push(Box::new(Unreliable::dying_after(InProcess::new(), 0)));
+        }
+        Ok(fleet)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile = if smoke { Profile::smoke() } else { Profile::full() };
+    let job = profile.job();
+    println!(
+        "# cluster bench: {} grid item(s), {} worker(s), {} rep(s){}",
+        job.len(),
+        profile.workers,
+        profile.reps,
+        if smoke { ", smoke profile" } else { "" }
+    );
+
+    let reference = run_in_process(&job, 1).expect("reference run");
+    let reference_bytes = reference.encode();
+    let median = |times: &mut Vec<f64>| -> f64 {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let mut in_process_times: Vec<f64> = (0..profile.reps)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = run_in_process(&job, 1).expect("reference run");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let in_process_ms = median(&mut in_process_times);
+    println!("in-process reference: {in_process_ms:.1} ms");
+
+    let mut entries = Vec::new();
+    for fleet in [Fleet::Process, Fleet::Stdio, Fleet::Retry] {
+        // Determinism first: the dispatched merge must be byte-identical
+        // to the reference (including the retry fleet's re-dispatch).
+        let transports = fleet.build(profile.workers).expect("fleet build");
+        let mut pool = WorkerPool::new(transports).with_timeout(Duration::from_secs(600));
+        let report = pool.dispatch(&job).expect("dispatch");
+        assert_eq!(
+            report.outcome.encode(),
+            reference_bytes,
+            "{} fleet diverged from the in-process reference",
+            fleet.name()
+        );
+        let expected_retries = usize::from(matches!(fleet, Fleet::Retry));
+        assert_eq!(report.retries, expected_retries, "{} fleet retry count", fleet.name());
+
+        let mut times: Vec<f64> = (0..profile.reps)
+            .map(|_| {
+                let transports = fleet.build(profile.workers).expect("fleet build");
+                let mut pool = WorkerPool::new(transports).with_timeout(Duration::from_secs(600));
+                let start = Instant::now();
+                let report = pool.dispatch(&job).expect("dispatch");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(report.outcome.encode(), reference_bytes);
+                elapsed
+            })
+            .collect();
+        let cluster_ms = median(&mut times);
+        let efficiency = in_process_ms / cluster_ms.max(1e-9);
+        println!(
+            "{:>8}: {} worker(s) — dispatch {cluster_ms:.1} ms, efficiency {efficiency:.3}{}",
+            fleet.name(),
+            profile.workers,
+            if expected_retries > 0 { " (1 injected death per run)" } else { "" },
+        );
+        entries.push(format!(
+            "  {{\"algo\":\"{}\",\"kind\":\"cluster\",\"workers\":{},\"items\":{},\"in_process_ms\":{:.3},\"cluster_ms\":{:.3},\"efficiency\":{:.3},\"retries\":{}}}",
+            fleet.name(),
+            profile.workers,
+            job.len(),
+            in_process_ms,
+            cluster_ms,
+            efficiency,
+            expected_retries,
+        ));
+    }
+
+    let path = profile.bench_path();
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {path} (cluster dispatch overhead + retry cost vs in-process)"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    print!("{json}");
+}

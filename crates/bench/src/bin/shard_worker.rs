@@ -21,6 +21,12 @@
 //! process-level against thread-level parallelism. Exits non-zero with a
 //! message on stderr for malformed specs or I/O failures — the
 //! coordinator surfaces both.
+//!
+//! `--serve` switches to **cluster-worker mode**: instead of one
+//! file-based slice, the process speaks the `sc-service` line protocol
+//! over stdin/stdout and answers `run_job` dispatch lines until EOF —
+//! the endpoint an `sc_cluster::ChildStdio` transport spawns (equivalent
+//! to `streamcolor serve` and `cluster_worker`). No other flags apply.
 
 use sc_engine::shard::{encode_worker_output, partition, run_job, ShardJob};
 use sc_engine::Runner;
@@ -32,6 +38,14 @@ struct Args {
     of: usize,
     out: String,
     threads: usize,
+}
+
+/// The `--serve` loop: a stdio cluster worker (see module docs).
+fn serve() -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    sc_service::Service::new().serve(stdin.lock(), &mut out).map_err(|e| e.to_string())
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +86,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run() -> Result<(), String> {
+    if std::env::args().skip(1).any(|a| a == "--serve") {
+        if std::env::args().skip(1).count() > 1 {
+            return Err("--serve takes no other flags".to_string());
+        }
+        return serve();
+    }
     let args = parse_args()?;
     let text = std::fs::read_to_string(&args.spec)
         .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec))?;

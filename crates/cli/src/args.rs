@@ -86,14 +86,16 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
+    /// An optional parsed flag (`None` when absent).
+    pub fn parse_optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        self.optional(name)
+            .map(|raw| raw.parse().map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}"))))
+            .transpose()
+    }
+
     /// An optional parsed flag with a default.
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
-        match self.optional(name) {
-            None => Ok(default),
-            Some(raw) => {
-                raw.parse().map_err(|_| err(format!("flag --{name}: cannot parse {raw:?}")))
-            }
-        }
+        Ok(self.parse_optional(name)?.unwrap_or(default))
     }
 
     /// A required parsed flag.
@@ -171,6 +173,9 @@ mod tests {
         assert_eq!(a.parse_or::<f64>("p", 0.1).unwrap(), 0.5);
         assert_eq!(a.parse_or::<u64>("seed", 42).unwrap(), 42);
         assert!(a.parse_required::<usize>("p").is_err(), "0.5 is not a usize");
+        assert_eq!(a.parse_optional::<usize>("n").unwrap(), Some(64));
+        assert_eq!(a.parse_optional::<usize>("seed").unwrap(), None);
+        assert!(a.parse_optional::<usize>("p").is_err(), "0.5 is not a usize");
     }
 
     #[test]

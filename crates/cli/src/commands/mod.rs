@@ -37,14 +37,21 @@ SUBCOMMANDS:
              --sample K switches to the (1±ε) estimator)
     attack   adaptive-adversary game (--victim, --adversary, --n, --delta,
              --rounds, --seed; --lists overrides ps list sizing)
-    shard    run a scenario grid sharded across worker processes and write
-             the merged summary JSON (--smoke or --spec FILE; --workers N,
+    shard    run a scenario grid sharded across workers and write the
+             merged summary JSON (--smoke or --spec FILE; --workers N,
              --out FILE, --worker-bin PATH, --worker-threads K;
-             --in-process runs the single-process reference)
+             --in-process runs the single-process reference;
+             --transport process|stdio|tcp dispatches over the cluster
+             layer instead — stragglers/dead workers are re-dispatched
+             [--timeout-ms N], tcp dials a --connect ADDR listener)
     serve    host named coloring sessions behind the flat-JSON line
              protocol: one command object per stdin line, one canonical
              response per stdout line (--script FILE executes a command
-             file, where --threads N fans independent sessions out)
+             file, where --threads N fans independent sessions out;
+             --listen ADDR serves over TCP, one fresh service per
+             connection [--accept N]; --max-sessions N bounds open
+             sessions; any serve endpoint doubles as a cluster shard
+             worker via the run_job command)
     help     this message
 
 ALGORITHMS (--algo):   det batch robust auto rand-efficient cgs22 bg18 bcg20 ps greedy brooks

@@ -21,8 +21,20 @@
 //! responses come back in input order and are **byte-identical for
 //! every thread count** (CI's `service-smoke` job diffs them against a
 //! committed golden file).
+//!
+//! `--listen ADDR` serves over a TCP socket instead of stdio: every
+//! accepted connection gets its own fresh `Service` on its own thread
+//! (`sc_cluster::TcpServer`), so tenants on different connections share
+//! nothing. This is the endpoint `streamcolor shard --transport tcp`
+//! dials — any serve process doubles as a remote shard worker via the
+//! protocol's `run_job` command. `--max-sessions N` bounds the open
+//! sessions per service (per connection under `--listen`), turning a
+//! rogue client's unbounded `open`s into error responses; `--accept N`
+//! closes the listener after N connections (demos and tests — default
+//! is to accept forever).
 
 use crate::args::{err, Args, CliError};
+use sc_cluster::TcpServer;
 use sc_service::Service;
 use std::io::Write;
 
@@ -31,19 +43,49 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let threads_given = args.optional("threads").is_some();
     let threads: usize = args.parse_or("threads", 1)?;
     let script = args.optional("script").map(String::from);
+    let listen = args.optional("listen").map(String::from);
+    let max_sessions: Option<usize> = args.parse_optional("max-sessions")?;
+    let accept: Option<usize> = args.parse_optional("accept")?;
     args.reject_unknown()?;
     if threads == 0 {
         return Err(err("--threads must be at least 1"));
     }
-    // Stdin mode answers line-at-a-time (the client may react to every
-    // response), so there is nothing to fan out — reject the flag
-    // rather than silently ignoring it.
+    if script.is_some() && listen.is_some() {
+        return Err(err("--script and --listen are mutually exclusive"));
+    }
+    // Stdin and socket modes answer line-at-a-time (the client may react
+    // to every response), so there is nothing to fan out — reject the
+    // flag rather than silently ignoring it.
     if threads_given && script.is_none() {
-        return Err(err("--threads applies to --script mode only (stdin serving is interactive, \
+        return Err(err("--threads applies to --script mode only (interactive serving answers \
              one command at a time)"));
+    }
+    if accept.is_some() && listen.is_none() {
+        return Err(err("--accept applies to --listen mode only"));
+    }
+    if accept == Some(0) {
+        return Err(err("--accept must be at least 1"));
+    }
+
+    if let Some(addr) = listen {
+        let mut server =
+            TcpServer::bind(&addr).map_err(|e| err(format!("cannot listen on {addr}: {e}")))?;
+        if let Some(limit) = max_sessions {
+            server = server.with_max_sessions(limit);
+        }
+        let local = server.local_addr().map_err(|e| err(e.to_string()))?;
+        // Announce the bound address (port 0 resolves here) so scripts
+        // can wait for readiness before dialing.
+        writeln!(out, "listening on {local}")
+            .and_then(|()| out.flush())
+            .map_err(|e| err(e.to_string()))?;
+        return server.run(accept).map_err(|e| err(e.to_string()));
     }
 
     let mut service = Service::with_threads(threads);
+    if let Some(limit) = max_sessions {
+        service = service.with_max_sessions(limit);
+    }
     match script {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
@@ -103,9 +145,20 @@ mod tests {
     }
 
     #[test]
+    fn max_sessions_bounds_script_tenants() {
+        let text = run_script_file(SCRIPT, "--max-sessions 1").unwrap();
+        assert_eq!(text.matches("session limit reached (1 open)").count(), 1, "{text}");
+        // Session b's open is the rejected one; its later commands fail
+        // with unknown session — all as responses, the run completes.
+        assert_eq!(text.lines().count(), 8, "{text}");
+    }
+
+    #[test]
     fn flag_grammar_is_validated() {
         assert!(run_script_file(SCRIPT, "--threads 0").is_err());
         assert!(run_script_file(SCRIPT, "--bogus 1").is_err());
+        assert!(run_script_file(SCRIPT, "--listen 127.0.0.1:0").is_err(), "script+listen");
+        assert!(run_script_file(SCRIPT, "--max-sessions x").is_err());
         let toks: Vec<String> = ["serve", "--script", "/nonexistent/x.commands"]
             .iter()
             .map(|s| s.to_string())
@@ -118,5 +171,34 @@ mod tests {
         let args = Args::parse(&toks, &[]).unwrap();
         let e = run(&args, &mut Vec::new()).unwrap_err();
         assert!(e.to_string().contains("--script mode only"), "{e}");
+        // --accept needs --listen; zero connections make no sense.
+        for bad in [vec!["serve", "--accept", "2"], vec!["serve", "--listen", "x", "--accept", "0"]]
+        {
+            let toks: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let args = Args::parse(&toks, &[]).unwrap();
+            assert!(run(&args, &mut Vec::new()).is_err(), "{toks:?}");
+        }
+        // An unbindable listen address is a friendly error.
+        let toks: Vec<String> =
+            ["serve", "--listen", "256.0.0.1:1"].iter().map(|s| s.to_string()).collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let e = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("cannot listen"), "{e}");
+    }
+
+    #[test]
+    fn listen_mode_serves_protocol_lines_over_tcp() {
+        use sc_cluster::{Tcp, Transport as _};
+        // Bind on an ephemeral port via the library (the CLI path prints
+        // the resolved address; here we drive the same server directly).
+        let server = TcpServer::bind("127.0.0.1:0").unwrap().with_max_sessions(2);
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run(Some(1)).unwrap());
+        let mut t = Tcp::connect(&addr).unwrap();
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        let response = t.recv(std::time::Duration::from_secs(10)).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        drop(t);
+        handle.join().unwrap();
     }
 }

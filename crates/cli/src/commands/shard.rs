@@ -1,29 +1,38 @@
-//! `streamcolor shard` — run a scenario grid sharded across worker
-//! processes and write the merged summary JSON.
+//! `streamcolor shard` — run a scenario grid sharded across workers and
+//! write the merged summary JSON.
 //!
-//! The coordinator front end of `sc_engine::shard`: it encodes the grid
-//! as a wire-format spec file, spawns `--workers N` copies of the
-//! `shard_worker` binary (each runs its deterministic slice), and merges
-//! their outputs. The merged JSON is byte-identical for every worker
-//! count — and identical to `--in-process`, the single-process reference
-//! — so CI can literally `diff` the two:
+//! Four execution modes over the same spec vocabulary, all merging
+//! byte-identically (CI literally `diff`s them):
 //!
 //! ```text
 //! cargo build --release --bin streamcolor --bin shard_worker
-//! target/release/streamcolor shard --smoke --workers 4 --out merged.json
+//! # single-process reference
 //! target/release/streamcolor shard --smoke --in-process --out single.json
-//! diff single.json merged.json
+//! # PR 3 file-based coordinator: spec files + shard_worker processes
+//! target/release/streamcolor shard --smoke --workers 4 --out merged.json
+//! # cluster transports: run_job dispatch lines over the service protocol
+//! target/release/streamcolor shard --smoke --transport process --workers 4
+//! target/release/streamcolor shard --smoke --transport stdio   --workers 4
+//! target/release/streamcolor serve --listen 127.0.0.1:7841 &
+//! target/release/streamcolor shard --smoke --transport tcp --connect 127.0.0.1:7841 --workers 4
 //! ```
 //!
-//! `--spec FILE` runs an arbitrary `ShardJob::encode` spec file instead
-//! of the built-in `--smoke` grid. The worker binary defaults to
-//! `shard_worker` next to the current executable; `--worker-bin PATH`
-//! overrides it.
+//! `--transport` selects an `sc_cluster::TransportSpec`: `process` hosts
+//! loopback services in this process (protocol fidelity, no spawn cost),
+//! `stdio` spawns `streamcolor serve` children and speaks over their
+//! pipes, `tcp` opens `--workers` connections to a `--connect ADDR`
+//! listener. Cluster modes survive dead workers and stragglers by
+//! re-dispatching their slices (`--timeout-ms` sets the straggler
+//! deadline); the run report counts any retries. `--spec FILE` runs an
+//! arbitrary `ShardJob::encode` spec file instead of the built-in
+//! `--smoke` grid.
 
 use crate::args::{err, Args, CliError};
+use sc_cluster::{ClusterCoordinator, TransportSpec};
 use sc_engine::shard::{run_in_process, smoke_grid, Coordinator, ShardJob, ShardOutcome};
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Runs the subcommand.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -34,12 +43,37 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let spec_path = args.optional("spec").map(String::from);
     let out_path = args.optional("out").map(String::from);
     let worker_bin = args.optional("worker-bin").map(PathBuf::from);
+    let transport = args.optional("transport").map(String::from);
+    let connect = args.optional("connect").map(String::from);
+    let timeout_ms: u64 = args.parse_optional("timeout-ms")?.unwrap_or(600_000);
+    let timeout_given = args.optional("timeout-ms").is_some();
     args.reject_unknown()?;
     if workers == 0 {
         return Err(err("--workers must be at least 1 (0 processes cannot run anything)"));
     }
     if threads == 0 {
         return Err(err("--worker-threads must be at least 1"));
+    }
+    if timeout_ms == 0 {
+        return Err(err("--timeout-ms must be at least 1"));
+    }
+    if timeout_given && transport.is_none() {
+        return Err(err(
+            "--timeout-ms applies to --transport modes only (the file-based coordinator waits \
+             for its workers to exit)",
+        ));
+    }
+    if transport.is_some() && in_process {
+        return Err(err("--transport and --in-process are mutually exclusive"));
+    }
+    if transport.is_some() && (worker_bin.is_some() || threads != 1) {
+        return Err(err(
+            "--worker-bin / --worker-threads apply to the file-based coordinator only \
+             (cluster workers are serve processes; see `streamcolor serve`)",
+        ));
+    }
+    if connect.is_some() && transport.as_deref() != Some("tcp") {
+        return Err(err("--connect applies to --transport tcp only"));
     }
 
     let job = match (smoke, spec_path) {
@@ -53,13 +87,45 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         (false, None) => return Err(err("need --smoke or --spec <file>")),
     };
 
-    let outcome = if in_process {
-        run_in_process(&job, workers).map_err(err)?
+    // `how` describes what actually ran, for the report line.
+    let (outcome, how) = if in_process {
+        (run_in_process(&job, workers).map_err(err)?, "1 process".to_string())
+    } else if let Some(mode) = transport {
+        let spec = match mode.as_str() {
+            "process" => TransportSpec::InProcess { workers },
+            "stdio" => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| err(format!("cannot locate myself: {e}")))?;
+                TransportSpec::ChildStdio {
+                    command: vec![exe.to_string_lossy().into_owned(), "serve".into()],
+                    workers,
+                }
+            }
+            "tcp" => {
+                let addr = connect.ok_or_else(|| err("--transport tcp needs --connect ADDR"))?;
+                TransportSpec::Tcp { addr, connections: workers }
+            }
+            other => {
+                return Err(err(format!("unknown --transport {other:?} (process | stdio | tcp)")))
+            }
+        };
+        let report = ClusterCoordinator::new(spec)
+            .with_timeout(Duration::from_millis(timeout_ms))
+            .run(&job)
+            .map_err(err)?;
+        let retries = match report.retries {
+            0 => String::new(),
+            n => format!(", {n} slice(s) re-dispatched"),
+        };
+        (report.outcome, format!("{} {mode} worker(s){retries}", report.shards))
     } else {
         let mut coordinator =
             Coordinator::new(workers, worker_bin.map_or_else(default_worker_bin, Ok)?);
         coordinator.worker_threads = threads;
-        coordinator.run(&job).map_err(err)?
+        let outcome = coordinator.run(&job).map_err(err)?;
+        // The coordinator clamps the worker count to the job size;
+        // report what actually ran.
+        (outcome, format!("{} worker(s)", workers.clamp(1, job.len().max(1))))
     };
 
     let json = outcome.encode();
@@ -70,16 +136,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 ShardOutcome::Grid(summaries) => format!("{} run summaries", summaries.len()),
                 ShardOutcome::Attack(s) => format!("trial summary ({} trials)", s.trials),
             };
-            // The coordinator clamps the worker count to the job size;
-            // report what actually ran.
-            let spawned = workers.clamp(1, job.len().max(1));
-            writeln!(
-                out,
-                "{} item(s) across {} — wrote {what} to {path}",
-                job.len(),
-                if in_process { "1 process".to_string() } else { format!("{spawned} worker(s)") },
-            )
-            .map_err(|e| err(e.to_string()))?;
+            writeln!(out, "{} item(s) across {how} — wrote {what} to {path}", job.len())
+                .map_err(|e| err(e.to_string()))?;
         }
         None => out.write_all(json.as_bytes()).map_err(|e| err(e.to_string()))?,
     }
@@ -114,9 +172,10 @@ mod tests {
     }
 
     // Worker-process spawning is covered by `crates/bench`'s
-    // `shard_determinism` integration test (which can name the built
-    // worker binary via `CARGO_BIN_EXE_shard_worker`); here we cover the
-    // in-process path and the flag grammar.
+    // `shard_determinism` integration test and `crates/cluster`'s
+    // `cluster_determinism` (which can name built worker binaries via
+    // CARGO_BIN_EXE); here we cover the in-process paths and the flag
+    // grammar.
 
     #[test]
     fn in_process_smoke_grid_emits_summaries() {
@@ -136,6 +195,21 @@ mod tests {
         let a = run_str("shard --smoke --in-process --workers 1").unwrap();
         let b = run_str("shard --smoke --in-process --workers 4").unwrap();
         assert_eq!(a, b, "thread count leaked into the merged JSON");
+    }
+
+    #[test]
+    fn process_transport_matches_the_in_process_reference() {
+        // The cluster loopback fleet must merge byte-identically to the
+        // single-process run — the determinism law through the CLI.
+        let dir = std::env::temp_dir().join("streamcolor-shard-transport-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(&spec, ShardJob::Grid(smoke_grid()[..3].to_vec()).encode()).unwrap();
+        let reference = run_str(&format!("shard --spec {} --in-process", spec.display())).unwrap();
+        let clustered =
+            run_str(&format!("shard --spec {} --transport process --workers 2", spec.display()))
+                .unwrap();
+        assert_eq!(clustered, reference, "process-transport merge diverged");
     }
 
     #[test]
@@ -164,6 +238,20 @@ mod tests {
         assert!(run_str("shard --in-process").is_err(), "need a job source");
         assert!(run_str("shard --smoke --spec x.json --in-process").is_err(), "exclusive flags");
         assert!(run_str("shard --smoke --bogus 1").is_err());
+        // Cluster-flag grammar.
+        assert!(run_str("shard --smoke --transport process --in-process").is_err());
+        assert!(run_str("shard --smoke --transport warp").is_err(), "unknown transport");
+        assert!(run_str("shard --smoke --transport tcp").is_err(), "tcp needs --connect");
+        assert!(run_str("shard --smoke --transport process --worker-threads 2").is_err());
+        assert!(run_str("shard --smoke --transport process --worker-bin x").is_err());
+        assert!(run_str("shard --smoke --connect 1.2.3.4:5").is_err(), "connect needs tcp");
+        assert!(run_str("shard --smoke --transport process --timeout-ms 0").is_err());
+        // --timeout-ms would be a silent no-op without a transport.
+        let e = run_str("shard --smoke --in-process --timeout-ms 5000").unwrap_err();
+        assert!(e.to_string().contains("--transport modes only"), "{e}");
+        // An unreachable tcp endpoint is a friendly error.
+        let e = run_str("shard --smoke --transport tcp --connect 127.0.0.1:1").unwrap_err();
+        assert!(e.to_string().contains("cannot connect"), "{e}");
     }
 
     #[test]

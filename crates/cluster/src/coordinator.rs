@@ -1,0 +1,144 @@
+//! The cluster coordinator: declarative transport fleets, one-call runs.
+//!
+//! [`TransportSpec`] names a fleet the way [`sc_engine::ColorerSpec`]
+//! names an algorithm — plain data a CLI flag can select — and
+//! [`ClusterCoordinator::run`] builds it, dispatches through a
+//! [`WorkerPool`], and returns the merged [`DispatchReport`]. This is
+//! the `streamcolor shard --transport {process,stdio,tcp}` back end.
+
+use crate::pool::{DispatchReport, WorkerPool};
+use crate::transport::{ChildStdio, InProcess, Tcp, Transport};
+use sc_engine::shard::ShardJob;
+use std::time::Duration;
+
+/// Which worker fleet to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportSpec {
+    /// `workers` loopback services in this process — full protocol
+    /// fidelity, no spawn cost, no parallelism. The overhead floor.
+    InProcess {
+        /// Loopback workers to host.
+        workers: usize,
+    },
+    /// `workers` child processes of `command` (program + args), each
+    /// speaking the protocol over its stdin/stdout — e.g.
+    /// `["streamcolor", "serve"]` or `["shard_worker", "--serve"]`.
+    ChildStdio {
+        /// Program and arguments to spawn per worker.
+        command: Vec<String>,
+        /// Worker processes to spawn.
+        workers: usize,
+    },
+    /// `connections` sockets to a `streamcolor serve --listen` endpoint
+    /// (each connection is an independent worker; the listener serves
+    /// them on its own threads).
+    Tcp {
+        /// The listener address, e.g. `127.0.0.1:7841`.
+        addr: String,
+        /// Concurrent connections (= workers) to open.
+        connections: usize,
+    },
+}
+
+impl TransportSpec {
+    /// Builds the fleet.
+    ///
+    /// # Errors
+    /// Errors on a zero-sized fleet, an empty command, a failed spawn,
+    /// or a failed connection — with a message naming the endpoint.
+    pub fn build(&self) -> Result<Vec<Box<dyn Transport>>, String> {
+        let count = match self {
+            TransportSpec::InProcess { workers } | TransportSpec::ChildStdio { workers, .. } => {
+                *workers
+            }
+            TransportSpec::Tcp { connections, .. } => *connections,
+        };
+        if count == 0 {
+            return Err("transport fleet needs at least 1 worker".to_string());
+        }
+        (0..count)
+            .map(|_| -> Result<Box<dyn Transport>, String> {
+                match self {
+                    TransportSpec::InProcess { .. } => Ok(Box::new(InProcess::new())),
+                    TransportSpec::ChildStdio { command, .. } => {
+                        let (program, args) =
+                            command.split_first().ok_or("child command is empty")?;
+                        Ok(Box::new(ChildStdio::spawn(program, args)?))
+                    }
+                    TransportSpec::Tcp { addr, .. } => Ok(Box::new(Tcp::connect(addr)?)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds a fleet per run and dispatches a job through it.
+///
+/// The determinism law this layer adds (tested in
+/// `tests/cluster_determinism.rs`, gated by CI's `cluster-smoke` job):
+/// for every [`TransportSpec`] and worker count, and under any worker
+/// deaths the pool survives, [`ClusterCoordinator::run`] merges to bytes
+/// identical to [`sc_engine::shard::run_in_process`].
+#[derive(Debug, Clone)]
+pub struct ClusterCoordinator {
+    /// The fleet to build.
+    pub spec: TransportSpec,
+    /// Straggler deadline per response (see [`WorkerPool::with_timeout`]).
+    pub timeout: Duration,
+}
+
+impl ClusterCoordinator {
+    /// A coordinator over `spec` with the pool's default deadline.
+    pub fn new(spec: TransportSpec) -> Self {
+        Self { spec, timeout: Duration::from_secs(600) }
+    }
+
+    /// Sets the straggler deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builds the fleet, dispatches, merges.
+    ///
+    /// # Errors
+    /// Propagates fleet-build and dispatch errors.
+    pub fn run(&self, job: &ShardJob) -> Result<DispatchReport, String> {
+        let transports = self.spec.build()?;
+        WorkerPool::new(transports).with_timeout(self.timeout).dispatch(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_engine::shard::run_in_process;
+    use sc_engine::{ColorerSpec, Scenario, SourceSpec};
+
+    #[test]
+    fn in_process_fleet_reproduces_the_reference() {
+        let job = ShardJob::Grid(vec![
+            Scenario::new(SourceSpec::exact_degree(40, 4, 1), ColorerSpec::Trivial),
+            Scenario::new(SourceSpec::exact_degree(40, 4, 2), ColorerSpec::StoreAll),
+        ]);
+        let coordinator = ClusterCoordinator::new(TransportSpec::InProcess { workers: 2 });
+        let report = coordinator.run(&job).unwrap();
+        assert_eq!(report.outcome.encode(), run_in_process(&job, 1).unwrap().encode());
+    }
+
+    #[test]
+    fn degenerate_fleets_are_errors() {
+        let build_err = |spec: TransportSpec| spec.build().err().expect("fleet must fail");
+        assert!(build_err(TransportSpec::InProcess { workers: 0 }).contains("at least 1"));
+        assert!(build_err(TransportSpec::ChildStdio { command: Vec::new(), workers: 1 })
+            .contains("empty"));
+        assert!(build_err(TransportSpec::ChildStdio {
+            command: vec!["/nonexistent/worker-binary".into()],
+            workers: 1
+        })
+        .contains("cannot spawn"));
+        assert!(build_err(TransportSpec::Tcp { addr: "127.0.0.1:1".into(), connections: 1 })
+            .contains("cannot connect"));
+    }
+}

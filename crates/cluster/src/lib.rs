@@ -1,0 +1,76 @@
+//! # `sc-cluster` — the machines half of sharding
+//!
+//! PR 3 fanned scenario grids and attack-trial sweeps across OS
+//! *processes* (`sc_engine::shard`: spec files, `shard_worker`, a
+//! file-based [`Coordinator`](sc_engine::Coordinator)); PR 4 proved the
+//! whole interactive session vocabulary survives a byte-stable wire
+//! (`sc-service`'s flat-JSON line protocol). This crate is the layer
+//! those two were pointing at: ship a shard of a
+//! [`ShardJob`](sc_engine::shard::ShardJob) to a **remote worker** over
+//! a transport, fetch its output, survive stragglers and dead workers,
+//! and merge **byte-identically** to the single-process reference.
+//!
+//! ```text
+//!  ClusterCoordinator ─► WorkerPool ─┬─ Transport: InProcess  (loopback Service)
+//!   (TransportSpec,      (straggler  ├─ Transport: ChildStdio (spawn `streamcolor
+//!    merge = shard        timeout +  │     serve` / `shard_worker --serve` /
+//!    determinism law)     excluded-  │     `cluster_worker`, speak over its pipes)
+//!                         style      └─ Transport: Tcp        (connect to
+//!                         re-dispatch)      `streamcolor serve --listen ADDR`)
+//! ```
+//!
+//! ## The transport wire contract
+//!
+//! A cluster worker is **any `sc_service::Service` endpoint** — there is
+//! no cluster-specific wire format. One dispatch is one protocol line in
+//! each direction, both canonical [`sc_engine::flatjson`] objects:
+//!
+//! ```text
+//! → {"cmd":"run_job","session":"shard-2","spec":"[\n  {…}\n]\n","shard":2,"of":4}
+//! ← {"cmd":"run_job","of":4,"ok":true,"output":"[\n  {…}\n]\n","session":"shard-2","shard":2}
+//! ```
+//!
+//! * `"spec"` is a whole [`ShardJob::encode`](sc_engine::shard::ShardJob::encode)
+//!   spec file carried as a JSON string (the line codec escapes its
+//!   newlines), so the sharding and serving vocabularies never fork —
+//!   the same bytes a PR 3 spec *file* holds travel in the line.
+//! * `"shard"`/`"of"` select the deterministic
+//!   [`partition`](sc_engine::shard::partition) slice. Because shard `i`
+//!   of `N` always owns the same items, **re-dispatching a shard to any
+//!   other worker reproduces the same bytes** — the retry path needs no
+//!   new wire format, only the `excluded`-style rule "never hand a shard
+//!   back to a worker that failed it".
+//! * `"output"` is the
+//!   [`encode_worker_output`](sc_engine::shard::encode_worker_output)
+//!   file verbatim (a `shard-result` header + outcome objects), so the
+//!   pool validates the embedded `(shard, of)` header exactly like the
+//!   file-based coordinator does.
+//! * An `"ok":false` response is a **job error** (malformed spec, bad
+//!   slice) and aborts the dispatch — every worker would answer the
+//!   same. A transport failure (closed pipe, dead process, timeout) or
+//!   a malformed/desynced response is a **worker error** and triggers
+//!   re-dispatch to a healthy worker.
+//! * Session ids are **tagged per dispatch** (`job3-shard-2`): a
+//!   response still in flight when a dispatch aborts is recognized by
+//!   its stale tag on the next dispatch and discarded, never merged.
+//!
+//! ## The determinism law, extended
+//!
+//! The merged output of a [`WorkerPool`] dispatch — for every transport,
+//! every worker count, and every schedule of worker deaths, stragglers
+//! and re-dispatches that leaves at least one worker alive — is
+//! byte-identical to [`sc_engine::shard::run_in_process`]. Tested in
+//! `tests/cluster_determinism.rs` (including a worker killed mid-job)
+//! and gated by CI's `cluster-smoke` job, which diffs
+//! `streamcolor shard --transport {process,stdio,tcp}` against the
+//! single-process JSON.
+
+pub mod coordinator;
+pub mod listener;
+pub mod pool;
+pub mod transport;
+
+pub use coordinator::{ClusterCoordinator, TransportSpec};
+pub use listener::TcpServer;
+pub use pool::{DispatchReport, WorkerPool};
+pub use transport::{ChildStdio, InProcess, Tcp, Transport, TransportError, Unreliable};

@@ -1,0 +1,151 @@
+//! The TCP serving surface: a socket listener wrapping
+//! [`Service::serve`].
+//!
+//! Each accepted connection gets its **own fresh [`Service`]** on its
+//! own thread — connections share nothing, so the per-session
+//! determinism law carries over to the socket unchanged, and a client
+//! crash can only ever take down its own tenants. This is the back end
+//! of `streamcolor serve --listen ADDR`, and the endpoint
+//! [`Tcp`](crate::transport::Tcp) transports dial.
+
+use sc_service::Service;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// A bound listener hosting one [`Service`] per connection.
+///
+/// ```no_run
+/// let server = sc_cluster::TcpServer::bind("127.0.0.1:0").unwrap();
+/// println!("listening on {}", server.local_addr().unwrap());
+/// server.run(None).unwrap(); // serve forever
+/// ```
+pub struct TcpServer {
+    listener: TcpListener,
+    max_sessions: Option<usize>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 to let the OS pick; read it back with
+    /// [`TcpServer::local_addr`]).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(Self { listener: TcpListener::bind(addr)?, max_sessions: None })
+    }
+
+    /// Bounds open sessions per connection (see
+    /// [`Service::with_max_sessions`]) — the "rogue client on a shared
+    /// listener" guard.
+    #[must_use]
+    pub fn with_max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = Some(limit);
+        self
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections, serving each on its own thread with a fresh
+    /// [`Service`]. With `accept_limit: Some(n)` the loop returns after
+    /// `n` connections, joining their serving threads first (tests and
+    /// demos); with `None` it accepts forever.
+    ///
+    /// # Errors
+    /// Propagates accept failures; per-connection I/O errors end only
+    /// that connection.
+    pub fn run(&self, accept_limit: Option<usize>) -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        let mut accepted = 0usize;
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let max_sessions = self.max_sessions;
+            let handle = std::thread::spawn(move || {
+                // A dropped client mid-command is that client's problem
+                // only — never the listener's.
+                let _ = serve_connection(stream, max_sessions);
+            });
+            accepted += 1;
+            match accept_limit {
+                Some(limit) => {
+                    handles.push(handle);
+                    if accepted >= limit {
+                        break;
+                    }
+                }
+                None => drop(handle), // detach; the loop never ends
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, max_sessions: Option<usize>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut service = Service::new();
+    if let Some(limit) = max_sessions {
+        service = service.with_max_sessions(limit);
+    }
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    service.serve(reader, &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Tcp, Transport as _};
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn each_connection_is_an_isolated_service() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run(Some(2)).unwrap());
+
+        let mut a = Tcp::connect(&addr).unwrap();
+        let mut b = Tcp::connect(&addr).unwrap();
+        a.send(r#"{"cmd":"open","session":"x","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(a.recv(TICK).unwrap().contains("\"ok\":true"));
+        // The same name on another connection is a different service.
+        b.send(r#"{"cmd":"open","session":"x","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(b.recv(TICK).unwrap().contains("\"ok\":true"));
+        b.send(r#"{"cmd":"finish","session":"x"}"#).unwrap();
+        assert!(b.recv(TICK).unwrap().contains("\"ok\":true"));
+        // a's tenant is untouched by b's finish.
+        a.send(r#"{"cmd":"stats","session":"x"}"#).unwrap();
+        assert!(a.recv(TICK).unwrap().contains("\"ok\":true"));
+        drop(a);
+        drop(b);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn session_limit_is_enforced_per_connection() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap().with_max_sessions(1);
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run(Some(1)).unwrap());
+
+        let mut t = Tcp::connect(&addr).unwrap();
+        t.send(r#"{"cmd":"open","session":"one","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(t.recv(TICK).unwrap().contains("\"ok\":true"));
+        t.send(r#"{"cmd":"open","session":"two","n":10,"colorer":"trivial"}"#).unwrap();
+        let rejected = t.recv(TICK).unwrap();
+        assert!(
+            rejected.contains("\"ok\":false") && rejected.contains("session limit reached"),
+            "{rejected}"
+        );
+        drop(t);
+        handle.join().unwrap();
+    }
+}

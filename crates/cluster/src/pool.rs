@@ -1,0 +1,498 @@
+//! The retrying worker pool: dispatch shard slices, absorb dead workers
+//! and stragglers, merge byte-identically.
+//!
+//! The pool owns N [`Transport`]s and one invariant: **worker failures
+//! never change the merged bytes**. That holds because the unit of
+//! dispatch is a deterministic [`partition`](sc_engine::shard::partition)
+//! slice — `(spec, shard, of)` names the same work on every worker — so
+//! the retry path is just "send the same line to a different worker,
+//! excluding the dead one". Shard count is fixed at dispatch time (it
+//! determines the partition), which is why re-dispatch re-uses slices
+//! instead of re-partitioning around the dead worker.
+
+use crate::transport::Transport;
+use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
+use sc_engine::shard::{decode_worker_output, ShardJob, ShardOutcome};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// What a dispatch produced, beyond the merged outcome: the observability
+/// the straggler/retry machinery owes its caller.
+#[derive(Debug)]
+pub struct DispatchReport {
+    /// The merged job result — byte-identical to
+    /// [`run_in_process`](sc_engine::shard::run_in_process).
+    pub outcome: ShardOutcome,
+    /// Shards the job was split into (`min(live workers, job items)`,
+    /// at least 1).
+    pub shards: usize,
+    /// Shard slices re-dispatched after a worker failure.
+    pub retries: usize,
+    /// Human-readable worker-failure log, in detection order.
+    pub failures: Vec<String>,
+}
+
+struct Worker {
+    transport: Box<dyn Transport>,
+    alive: bool,
+    /// Shard ids awaiting responses from this worker, FIFO.
+    queue: VecDeque<usize>,
+}
+
+/// N transports + a straggler deadline.
+///
+/// ```no_run
+/// use sc_cluster::{InProcess, WorkerPool};
+/// use sc_engine::shard::{smoke_grid, ShardJob};
+///
+/// let transports: Vec<_> = (0..4)
+///     .map(|_| Box::new(InProcess::new()) as Box<dyn sc_cluster::Transport>)
+///     .collect();
+/// let report = WorkerPool::new(transports).dispatch(&ShardJob::Grid(smoke_grid())).unwrap();
+/// println!("{}", report.outcome.encode());
+/// ```
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    timeout: Duration,
+    /// Dispatches run so far — the per-dispatch session tag (`jobN-…`)
+    /// that lets the collector recognize and discard stale responses
+    /// left in-flight by an aborted earlier dispatch.
+    dispatches: usize,
+}
+
+/// Default straggler deadline: generous, because a false positive costs
+/// a duplicate slice run while a false negative only delays the merge.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(600);
+
+enum CollectError {
+    /// The worker is unusable; re-dispatch its shards elsewhere.
+    Worker(String),
+    /// The job itself is bad; every worker would answer the same.
+    Fatal(String),
+}
+
+impl WorkerPool {
+    /// A pool over `transports`.
+    pub fn new(transports: Vec<Box<dyn Transport>>) -> Self {
+        let workers = transports
+            .into_iter()
+            .map(|transport| Worker { transport, alive: true, queue: VecDeque::new() })
+            .collect();
+        Self { workers, timeout: DEFAULT_TIMEOUT, dispatches: 0 }
+    }
+
+    /// Sets the per-response straggler deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Workers still considered healthy.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Runs the whole job across the pool and merges the shard outputs.
+    ///
+    /// Dead workers and stragglers are survivable: their slices are
+    /// re-dispatched to healthy workers (never back to a failed one).
+    /// The pool stays usable afterwards — dead workers stay excluded
+    /// from later dispatches.
+    ///
+    /// # Errors
+    /// Errors when no workers remain for an outstanding shard or on an
+    /// `"ok":false` job response (every worker would answer the same) —
+    /// both with messages embedding the failure log. Malformed or
+    /// desynced responses are *worker* failures and re-dispatch instead.
+    pub fn dispatch(&mut self, job: &ShardJob) -> Result<DispatchReport, String> {
+        let job = job.canonicalize()?;
+        let spec = job.encode();
+        // The dispatch tag namespaces this round's session ids, so a
+        // response left in-flight by an aborted earlier dispatch can be
+        // recognized and discarded instead of merged into this job.
+        self.dispatches += 1;
+        let tag = format!("job{}", self.dispatches);
+        for w in &mut self.workers {
+            w.queue.clear();
+        }
+        let live = self.live_workers();
+        if live == 0 {
+            return Err("worker pool has no live workers".to_string());
+        }
+        let shards = live.min(job.len()).max(1);
+
+        let mut parts: Vec<Option<ShardOutcome>> = (0..shards).map(|_| None).collect();
+        let mut retries = 0usize;
+        let mut failures: Vec<String> = Vec::new();
+        for shard in 0..shards {
+            self.assign(shard, shards, &spec, &tag, &mut failures, &mut retries)?;
+        }
+
+        while parts.iter().any(Option::is_none) {
+            let Some(w) = (0..self.workers.len())
+                .find(|&i| self.workers[i].alive && !self.workers[i].queue.is_empty())
+            else {
+                return Err(format!(
+                    "shards outstanding but no live worker holds them ({})",
+                    failures.join("; ")
+                ));
+            };
+            let expected = *self.workers[w].queue.front().expect("queue checked non-empty");
+            match self.collect_one(w, expected, shards, &tag) {
+                Ok(outcome) => {
+                    self.workers[w].queue.pop_front();
+                    parts[expected] = Some(outcome);
+                }
+                Err(CollectError::Fatal(message)) => return Err(message),
+                Err(CollectError::Worker(message)) => {
+                    failures.push(format!("{}: {message}", self.workers[w].transport.describe()));
+                    self.workers[w].alive = false;
+                    let orphaned: Vec<usize> = self.workers[w].queue.drain(..).collect();
+                    for shard in orphaned {
+                        retries += 1;
+                        self.assign(shard, shards, &spec, &tag, &mut failures, &mut retries)?;
+                    }
+                }
+            }
+        }
+
+        let outcome =
+            ShardOutcome::merge(parts.into_iter().map(|p| p.expect("loop filled every part")))?;
+        Ok(DispatchReport { outcome, shards, retries, failures })
+    }
+
+    /// Sends `shard` to the healthiest worker (shortest queue, lowest
+    /// index — deterministic), excluding dead ones. A failed send marks
+    /// that worker dead, re-queues any shards it was already holding
+    /// (they were dispatched once, so they count as retries), and moves
+    /// on.
+    fn assign(
+        &mut self,
+        shard: usize,
+        shards: usize,
+        spec: &str,
+        tag: &str,
+        failures: &mut Vec<String>,
+        retries: &mut usize,
+    ) -> Result<(), String> {
+        let mut pending = vec![shard];
+        while let Some(shard) = pending.pop() {
+            loop {
+                let target = (0..self.workers.len())
+                    .filter(|&i| self.workers[i].alive)
+                    .min_by_key(|&i| (self.workers[i].queue.len(), i));
+                let Some(w) = target else {
+                    return Err(format!(
+                        "no live worker left for shard {shard} ({})",
+                        failures.join("; ")
+                    ));
+                };
+                match self.workers[w].transport.send(&job_line(spec, shard, shards, tag)) {
+                    Ok(()) => {
+                        self.workers[w].queue.push_back(shard);
+                        break;
+                    }
+                    Err(e) => {
+                        failures.push(format!("{}: {e}", self.workers[w].transport.describe()));
+                        self.workers[w].alive = false;
+                        // Shards this worker already held would be
+                        // silently lost otherwise — orphan them too.
+                        let orphaned = self.workers[w].queue.drain(..);
+                        *retries += orphaned.len();
+                        pending.extend(orphaned);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives and validates one response from worker `w`, discarding
+    /// stale lines left over from an aborted earlier dispatch.
+    fn collect_one(
+        &mut self,
+        w: usize,
+        expected: usize,
+        shards: usize,
+        tag: &str,
+    ) -> Result<ShardOutcome, CollectError> {
+        let want = format!("{tag}-shard-{expected}");
+        loop {
+            let line = self.workers[w]
+                .transport
+                .recv(self.timeout)
+                .map_err(|e| CollectError::Worker(e.to_string()))?;
+            let obj = parse_object(&line)
+                .map_err(|e| CollectError::Worker(format!("unparseable response: {e}")))?;
+            // Correlate before anything else: a response tagged by an
+            // earlier dispatch is stale in-flight data (that dispatch
+            // aborted before collecting it) — drop it and read on. Only
+            // a mistag *within* this dispatch means the worker stream
+            // is desynced beyond use.
+            let session = obj.get("session").and_then(Scalar::as_str).unwrap_or_default();
+            if !session.starts_with(&format!("{tag}-")) {
+                continue;
+            }
+            if session != want {
+                return Err(CollectError::Worker(format!(
+                    "response for {session:?} arrived while {want:?} was expected (worker stream \
+                     desynced)"
+                )));
+            }
+            match obj.get("ok").and_then(Scalar::as_bool) {
+                Some(true) => {}
+                // An explicit rejection is a *job* error: the worker
+                // followed the protocol, and every healthy worker would
+                // answer the same — abort instead of retrying.
+                Some(false) => {
+                    let why = obj.get("error").and_then(Scalar::as_str).unwrap_or("unspecified");
+                    return Err(CollectError::Fatal(format!(
+                        "worker rejected shard {expected}: {why}"
+                    )));
+                }
+                None => {
+                    return Err(CollectError::Worker(format!("response without \"ok\": {line}")));
+                }
+            }
+            // From here every malformation is a corrupt worker (an
+            // honest endpoint built this output with
+            // `encode_worker_output`) — retry the slice elsewhere.
+            let output = obj.get("output").and_then(Scalar::as_str).ok_or_else(|| {
+                CollectError::Worker(format!("ok response without an \"output\" field: {line}"))
+            })?;
+            let (shard, of, outcome) = decode_worker_output(output)
+                .map_err(|e| CollectError::Worker(format!("shard {expected} output: {e}")))?;
+            if (shard, of) != (expected, shards) {
+                return Err(CollectError::Worker(format!(
+                    "worker output claims shard {shard} of {of} (expected {expected} of {shards})"
+                )));
+            }
+            return Ok(outcome);
+        }
+    }
+}
+
+/// The dispatch line for one shard: the `run_job` command with the whole
+/// spec file as a string field, session-tagged per dispatch (see the
+/// crate docs for the contract).
+fn job_line(spec: &str, shard: usize, of: usize, tag: &str) -> String {
+    let mut obj = FlatObject::new();
+    obj.insert("cmd".into(), Scalar::Str("run_job".into()));
+    obj.insert("session".into(), Scalar::Str(format!("{tag}-shard-{shard}")));
+    obj.insert("spec".into(), Scalar::Str(spec.to_string()));
+    obj.insert("shard".into(), Scalar::Uint(shard as u64));
+    obj.insert("of".into(), Scalar::Uint(of as u64));
+    encode_object(&obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcess, Unreliable};
+    use sc_engine::shard::run_in_process;
+    use sc_engine::{ColorerSpec, Scenario, SourceSpec};
+
+    fn small_grid() -> ShardJob {
+        ShardJob::Grid(
+            (0..5)
+                .map(|i| {
+                    Scenario::new(SourceSpec::exact_degree(40, 4, i), ColorerSpec::StoreAll)
+                        .with_seed(i)
+                })
+                .collect(),
+        )
+    }
+
+    fn loopback_pool(workers: usize) -> WorkerPool {
+        WorkerPool::new(
+            (0..workers).map(|_| Box::new(InProcess::new()) as Box<dyn Transport>).collect(),
+        )
+    }
+
+    #[test]
+    fn loopback_dispatch_matches_in_process_bytes() {
+        let job = small_grid();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        for workers in [1usize, 2, 3, 7] {
+            let report = loopback_pool(workers).dispatch(&job).unwrap();
+            assert_eq!(report.outcome.encode(), reference, "{workers} loopback workers diverged");
+            assert_eq!(report.shards, workers.min(5));
+            assert_eq!(report.retries, 0);
+            assert!(report.failures.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_jobs_dispatch_to_one_empty_shard() {
+        let job = ShardJob::Grid(Vec::new());
+        let report = loopback_pool(3).dispatch(&job).unwrap();
+        assert_eq!(report.outcome.encode(), "[]\n");
+        assert_eq!(report.shards, 1);
+    }
+
+    #[test]
+    fn injected_worker_death_triggers_retry_with_identical_bytes() {
+        let job = small_grid();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        // Worker 1 dies before answering its first shard.
+        let transports: Vec<Box<dyn Transport>> = vec![
+            Box::new(InProcess::new()),
+            Box::new(Unreliable::dying_after(InProcess::new(), 0)),
+            Box::new(InProcess::new()),
+        ];
+        let mut pool = WorkerPool::new(transports);
+        let report = pool.dispatch(&job).unwrap();
+        assert_eq!(report.outcome.encode(), reference, "retried merge diverged");
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("injected worker death"));
+        assert_eq!(pool.live_workers(), 2);
+        // The pool survives: a second dispatch excludes the dead worker.
+        let again = pool.dispatch(&job).unwrap();
+        assert_eq!(again.outcome.encode(), reference);
+        assert_eq!(again.shards, 2, "dead worker must stay excluded");
+        assert_eq!(again.retries, 0);
+    }
+
+    /// Send succeeds `sends_left` times, then the pipe is dead — the
+    /// deterministic stand-in for a worker lost *between* dispatches to
+    /// it (its already-queued shards must not be orphaned).
+    struct FlakySend {
+        inner: InProcess,
+        sends_left: usize,
+    }
+
+    impl Transport for FlakySend {
+        fn describe(&self) -> String {
+            "flaky-send".to_string()
+        }
+
+        fn send(&mut self, line: &str) -> Result<(), crate::transport::TransportError> {
+            if self.sends_left == 0 {
+                return Err(crate::transport::TransportError::Closed("flaky pipe".to_string()));
+            }
+            self.sends_left -= 1;
+            self.inner.send(line)
+        }
+
+        fn recv(
+            &mut self,
+            timeout: std::time::Duration,
+        ) -> Result<String, crate::transport::TransportError> {
+            self.inner.recv(timeout)
+        }
+    }
+
+    #[test]
+    fn send_failure_requeues_the_dead_workers_held_shards() {
+        // w0 accepts one send then dies; w1 is dead from the start; w2
+        // is healthy. Assignment: shard 0 → w0, shard 1 → (w1 fails) →
+        // w2, shard 2 → w0 whose send now fails *while it still holds
+        // shard 0* — both must land on w2, not be orphaned.
+        let job = small_grid();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        let fleet: Vec<Box<dyn Transport>> = vec![
+            Box::new(FlakySend { inner: InProcess::new(), sends_left: 1 }),
+            Box::new(FlakySend { inner: InProcess::new(), sends_left: 0 }),
+            Box::new(InProcess::new()),
+        ];
+        let mut pool = WorkerPool::new(fleet);
+        let report = pool.dispatch(&job).unwrap();
+        assert_eq!(report.outcome.encode(), reference, "requeued merge diverged");
+        assert_eq!(report.shards, 3);
+        // Shard 0 had been dispatched once, so its re-send is a retry;
+        // shard 2 was being assigned for the first time and is not.
+        assert_eq!(report.retries, 1, "{:?}", report.failures);
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        assert_eq!(pool.live_workers(), 1);
+    }
+
+    #[test]
+    fn stale_inflight_lines_are_discarded_not_merged() {
+        // A response already sitting in the transport when a dispatch
+        // starts (the residue of an aborted earlier dispatch) must be
+        // recognized by its missing dispatch tag and skipped — merging
+        // it would silently corrupt this job's bytes.
+        let job = small_grid();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        let mut polluted = InProcess::new();
+        polluted.send(r#"{"cmd":"stats","session":"stale"}"#).unwrap();
+        let mut pool = WorkerPool::new(vec![Box::new(polluted) as Box<dyn Transport>]);
+        let report = pool.dispatch(&job).unwrap();
+        assert_eq!(report.outcome.encode(), reference, "stale line leaked into the merge");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+    }
+
+    /// Refuses its first dispatch with a protocol-correct `ok:false`
+    /// (echoing the session tag), then behaves like a loopback worker.
+    struct RefuseOnce {
+        inner: InProcess,
+        refusal: Option<String>,
+        refused: bool,
+    }
+
+    impl Transport for RefuseOnce {
+        fn describe(&self) -> String {
+            "refuse-once".to_string()
+        }
+
+        fn send(&mut self, line: &str) -> Result<(), crate::transport::TransportError> {
+            if self.refused {
+                return self.inner.send(line);
+            }
+            let session = parse_object(line).unwrap()["session"].as_str().unwrap().to_string();
+            self.refusal =
+                Some(format!(r#"{{"error":"refused","ok":false,"session":"{session}"}}"#));
+            Ok(())
+        }
+
+        fn recv(
+            &mut self,
+            timeout: std::time::Duration,
+        ) -> Result<String, crate::transport::TransportError> {
+            match self.refusal.take() {
+                Some(line) => {
+                    self.refused = true;
+                    Ok(line)
+                }
+                None => self.inner.recv(timeout),
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_rejection_is_fatal_and_the_pool_recovers_afterwards() {
+        let job = small_grid();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        let fleet: Vec<Box<dyn Transport>> = vec![
+            Box::new(RefuseOnce { inner: InProcess::new(), refusal: None, refused: false }),
+            Box::new(InProcess::new()),
+        ];
+        let mut pool = WorkerPool::new(fleet);
+        // An ok:false is a job error: aborted, not retried.
+        let e = pool.dispatch(&job).unwrap_err();
+        assert!(e.contains("worker rejected shard 0: refused"), "{e}");
+        assert_eq!(pool.live_workers(), 2, "a rejection is not a worker death");
+        // The abort left w1's un-collected response in flight; the next
+        // dispatch must discard it by its stale tag and merge cleanly.
+        let report = pool.dispatch(&job).unwrap();
+        assert_eq!(report.outcome.encode(), reference, "post-abort merge diverged");
+    }
+
+    #[test]
+    fn all_workers_dead_is_an_error_naming_the_failures() {
+        let job = small_grid();
+        let transports: Vec<Box<dyn Transport>> =
+            vec![Box::new(Unreliable::dying_after(InProcess::new(), 0))];
+        let e = WorkerPool::new(transports).dispatch(&job).unwrap_err();
+        assert!(e.contains("no live worker"), "{e}");
+        assert!(e.contains("injected worker death"), "{e}");
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let e = WorkerPool::new(Vec::new()).dispatch(&small_grid()).unwrap_err();
+        assert!(e.contains("no live workers"), "{e}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Transports: how one protocol line reaches a worker and its response
+//! comes back.
+//!
+//! A transport is deliberately tiny — [`Transport::send`] one line,
+//! [`Transport::recv`] one line with a deadline — because the whole
+//! cluster vocabulary lives in the `sc-service` line protocol, not here.
+//! Three real implementations cover the deployment spectrum
+//! ([`InProcess`] loopback, [`ChildStdio`] pipes, [`Tcp`] sockets), and
+//! [`Unreliable`] injects deterministic worker death for tests and the
+//! `exp_cluster` retry-cost measurement.
+
+use sc_service::Service;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Why a transport operation failed — the pool's retry logic branches on
+/// this (every variant is a *worker* failure; job-level errors travel as
+/// `"ok":false` protocol responses instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The other end is gone: closed pipe, dead process, dropped socket.
+    Closed(String),
+    /// No response line arrived within the deadline (a straggler).
+    Timeout(Duration),
+    /// The channel works but carried something unusable (bad UTF-8, a
+    /// response to a line we never sent).
+    Protocol(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed(why) => write!(f, "closed: {why}"),
+            TransportError::Timeout(t) => write!(f, "no response within {t:?}"),
+            TransportError::Protocol(why) => write!(f, "protocol: {why}"),
+        }
+    }
+}
+
+/// A bidirectional line channel to one worker endpoint.
+///
+/// Implementations must preserve line order (the pool correlates FIFO)
+/// and must never block forever in [`Transport::recv`] — a straggling
+/// worker surfaces as [`TransportError::Timeout`] so the pool can
+/// re-dispatch its shard.
+pub trait Transport: Send {
+    /// A human-readable endpoint name for failure reports.
+    fn describe(&self) -> String;
+
+    /// Sends one protocol line (no trailing newline; the transport adds
+    /// its own framing).
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] when the worker is gone.
+    fn send(&mut self, line: &str) -> Result<(), TransportError>;
+
+    /// Receives the next response line, waiting at most `timeout`.
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] for stragglers, [`TransportError::Closed`]
+    /// when the worker died, [`TransportError::Protocol`] for garbage.
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError>;
+}
+
+// ---------------------------------------------------------------------
+// InProcess: a loopback Service.
+// ---------------------------------------------------------------------
+
+/// The loopback transport: a private [`Service`] answering in the
+/// calling thread. `send` computes the response synchronously and queues
+/// it; `recv` pops. Zero concurrency, full protocol fidelity — the
+/// reference endpoint for tests and the overhead floor `exp_cluster`
+/// measures against.
+pub struct InProcess {
+    service: Service,
+    queue: VecDeque<String>,
+}
+
+impl Default for InProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InProcess {
+    /// A fresh loopback worker.
+    pub fn new() -> Self {
+        Self { service: Service::new(), queue: VecDeque::new() }
+    }
+}
+
+impl Transport for InProcess {
+    fn describe(&self) -> String {
+        "in-process".to_string()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        if let Some(response) = self.service.respond(line) {
+            self.queue.push_back(response);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, _timeout: Duration) -> Result<String, TransportError> {
+        self.queue
+            .pop_front()
+            .ok_or_else(|| TransportError::Protocol("no pending response".to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// ChildStdio: a spawned worker process.
+// ---------------------------------------------------------------------
+
+/// A worker process speaking the protocol over its stdin/stdout — spawn
+/// `streamcolor serve`, `shard_worker --serve`, or `cluster_worker`. A
+/// background thread drains stdout into a channel so `recv` can time
+/// out; stderr is inherited so worker diagnostics stay visible. The
+/// child is killed and reaped on drop.
+pub struct ChildStdio {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    rx: mpsc::Receiver<String>,
+    label: String,
+}
+
+impl ChildStdio {
+    /// Spawns `program args…` with piped stdin/stdout.
+    ///
+    /// # Errors
+    /// Returns a message naming the program when the spawn fails.
+    pub fn spawn(
+        program: impl AsRef<std::ffi::OsStr>,
+        args: &[impl AsRef<std::ffi::OsStr>],
+    ) -> Result<Self, String> {
+        let program = program.as_ref();
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {program:?}: {e}"))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, rx) = mpsc::channel();
+        // The reader thread ends at EOF (worker exit or kill); if the
+        // transport was dropped first, the failed send ends it too.
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        let label = format!("{} (pid {})", program.to_string_lossy(), child.id());
+        Ok(Self { child, stdin: Some(stdin), rx, label })
+    }
+
+    /// The worker's process id.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Kills the worker outright (tests use this to simulate machine
+    /// loss; the pool then sees [`TransportError::Closed`]).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildStdio {
+    fn drop(&mut self) {
+        // Closing stdin first lets a serve loop exit cleanly; the kill
+        // catches wedged workers, and wait reaps the zombie either way.
+        self.stdin.take();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Transport for ChildStdio {
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| TransportError::Closed("stdin already closed".to_string()))?;
+        writeln!(stdin, "{line}")
+            .and_then(|()| stdin.flush())
+            .map_err(|e| TransportError::Closed(format!("worker stdin: {e}")))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(line) => Ok(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout(timeout)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Closed("worker stdout closed (process exited?)".to_string()))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tcp: a socket to a listener.
+// ---------------------------------------------------------------------
+
+/// A connection to a `streamcolor serve --listen` endpoint (or any
+/// socket speaking the line protocol). Reads keep a persistent buffer,
+/// so a deadline that fires mid-line loses nothing — though the pool
+/// abandons a timed-out worker anyway.
+pub struct Tcp {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    label: String,
+}
+
+impl Tcp {
+    /// Connects to `addr` (e.g. `127.0.0.1:7841`).
+    ///
+    /// # Errors
+    /// Returns a message naming the address when the connection fails.
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| format!("set_nodelay({addr}): {e}"))?;
+        Ok(Self { stream, buf: Vec::new(), label: format!("tcp://{addr}") })
+    }
+}
+
+impl Transport for Tcp {
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| TransportError::Closed(format!("socket write: {e}")))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                return String::from_utf8(line)
+                    .map_err(|_| TransportError::Protocol("response is not UTF-8".to_string()));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout(timeout));
+            }
+            self.stream
+                .set_read_timeout(Some(remaining))
+                .map_err(|e| TransportError::Closed(format!("set_read_timeout: {e}")))?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Closed("connection closed".to_string())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(TransportError::Timeout(timeout));
+                }
+                Err(e) => return Err(TransportError::Closed(format!("socket read: {e}"))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unreliable: deterministic failure injection.
+// ---------------------------------------------------------------------
+
+/// Wraps a transport and kills it after a fixed number of answered
+/// receives — the deterministic stand-in for "the worker accepted the
+/// job, then the machine died". `Unreliable::dying_after(t, 0)` dies on
+/// its first answer, which is exactly the mid-job death the pool's
+/// re-dispatch path must absorb.
+pub struct Unreliable<T: Transport> {
+    inner: T,
+    answers_left: usize,
+}
+
+impl<T: Transport> Unreliable<T> {
+    /// Answers `answers` receives, then reports [`TransportError::Closed`]
+    /// forever.
+    pub fn dying_after(inner: T, answers: usize) -> Self {
+        Self { inner, answers_left: answers }
+    }
+}
+
+impl<T: Transport> Transport for Unreliable<T> {
+    fn describe(&self) -> String {
+        format!("{} [unreliable]", self.inner.describe())
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        // A dying worker's pipe still buffers the request — the failure
+        // surfaces where it does in production, on the missing response.
+        self.inner.send(line)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError> {
+        if self.answers_left == 0 {
+            return Err(TransportError::Closed("injected worker death".to_string()));
+        }
+        let response = self.inner.recv(timeout)?;
+        self.answers_left -= 1;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_answers_protocol_lines() {
+        let mut t = InProcess::new();
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        let response = t.recv(Duration::from_secs(1)).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        // Comments produce no response; recv reports that as protocol
+        // misuse rather than blocking.
+        t.send("# comment").unwrap();
+        assert_eq!(
+            t.recv(Duration::from_secs(1)),
+            Err(TransportError::Protocol("no pending response".to_string()))
+        );
+    }
+
+    #[test]
+    fn unreliable_dies_after_its_answer_budget() {
+        let mut t = Unreliable::dying_after(InProcess::new(), 1);
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(t.recv(Duration::from_secs(1)).is_ok());
+        t.send(r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(matches!(t.recv(Duration::from_secs(1)), Err(TransportError::Closed(_))));
+        assert!(t.describe().contains("unreliable"));
+    }
+
+    #[test]
+    fn errors_render_for_failure_reports() {
+        assert_eq!(TransportError::Closed("pipe".into()).to_string(), "closed: pipe");
+        assert!(TransportError::Timeout(Duration::from_millis(250)).to_string().contains("250ms"));
+        assert!(TransportError::Protocol("junk".into()).to_string().starts_with("protocol"));
+    }
+}

@@ -29,6 +29,9 @@
 //! * **Non-finite floats are unrepresentable** — JSON has no NaN/∞;
 //!   [`encode_array`] panics on them rather than silently corrupting a
 //!   spec file.
+//! * **Duplicate keys are parse errors** — last-write-wins would let a
+//!   corrupted spec line silently drop a field; the parser rejects the
+//!   object naming the repeated key.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -286,7 +289,12 @@ impl Parser<'_> {
                 }
                 _ => self.number()?,
             };
-            obj.insert(key, value);
+            // Last-write-wins would let a corrupted or hand-edited line
+            // like {"seed":1,"seed":2} silently drop a field — reject it
+            // naming the key instead.
+            if obj.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?} in object"));
+            }
             self.skip_ws();
             match self.next() {
                 Some(b',') => continue,
@@ -485,6 +493,20 @@ mod tests {
         }
         // The largest finite values still parse.
         assert!(parse_array(r#"[{"x":1.7976931348623157e308}]"#).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_naming_the_key() {
+        // Last-write-wins would mask a corrupted spec line; the parser
+        // must refuse and say which key collided.
+        for bad in [r#"[{"seed":1,"seed":2}]"#, r#"[{"a":1,"b":2,"a":3}]"#] {
+            let e = parse_array(bad).unwrap_err();
+            assert!(e.contains("duplicate key"), "{bad}: {e}");
+        }
+        let e = parse_object(r#"{"n":10,"n":11}"#).unwrap_err();
+        assert!(e.contains("duplicate key \"n\""), "{e}");
+        // Same key spelled differently is fine.
+        assert!(parse_object(r#"{"n":10,"N":11}"#).is_ok());
     }
 
     #[test]

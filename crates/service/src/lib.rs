@@ -15,8 +15,11 @@
 //!   [`Service::serve`] / [`Service::run_script`]): one request object
 //!   per line in, one canonical byte-stable response object per line
 //!   out, so shell scripts, tests, the adversary game
-//!   ([`run_game_via_service`]) and future remote workers all drive the
-//!   same API (`streamcolor serve` is this loop over stdin/stdout).
+//!   ([`run_game_via_service`]) and cluster shard workers all drive the
+//!   same API (`streamcolor serve` is this loop over stdin/stdout; the
+//!   stateless `run_job` command is what makes any serve endpoint a
+//!   remote worker for `sc-cluster`, and `with_max_sessions` bounds
+//!   what one rogue client on a shared listener can open).
 //!
 //! Sessions are fully independent — no shared state, no cross-session
 //! ordering — which yields the crate's **determinism law**: interleaving

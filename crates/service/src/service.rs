@@ -12,6 +12,7 @@
 //! {"cmd":"checkpoint","session":"a"}
 //! {"cmd":"stats","session":"a"}
 //! {"cmd":"finish","session":"a"}
+//! {"cmd":"run_job","session":"j","spec":"…","shard":0,"of":4}
 //! ```
 //!
 //! `open` reuses the scenario wire vocabulary for its algorithm fields
@@ -23,6 +24,20 @@
 //! `n`. Unknown keys and unknown commands are errors, never silently
 //! ignored.
 //!
+//! `run_job` is the **worker half of cluster sharding** (`sc-cluster`):
+//! a stateless command that carries a whole [`ShardJob`] spec file (the
+//! `"spec"` string is the [`ShardJob::encode`] text, newlines escaped by
+//! the line codec) plus a `"shard"`/`"of"` slice selector, runs the
+//! deterministic [`sc_engine::shard::partition`] slice through the
+//! ordinary [`Runner`], and answers with an `"output"` string holding
+//! the [`sc_engine::shard::encode_worker_output`] file verbatim. It
+//! opens no tenant session and touches none — the `"session"` name is
+//! just a correlation id — so any `streamcolor serve` process (stdio
+//! child or TCP listener) doubles as a remote shard worker with zero new
+//! wire vocabulary. An optional `"threads"` field (default 1) sets the
+//! worker-internal `Runner` thread count; the output is identical for
+//! every value.
+//!
 //! Responses are canonical ([`sc_engine::flatjson::encode_object`]:
 //! sorted keys,
 //! shortest-round-trip numbers), carry no wall-clock fields, and each
@@ -32,7 +47,8 @@
 //! output across runs, interleavings, and thread counts**.
 
 use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
-use sc_engine::wire;
+use sc_engine::shard::ShardJob;
+use sc_engine::{wire, Runner};
 use sc_graph::Coloring;
 use sc_stream::{EngineConfig, Session};
 use std::collections::BTreeMap;
@@ -64,6 +80,7 @@ struct Tenant {
 pub struct Service {
     sessions: BTreeMap<String, Tenant>,
     threads: usize,
+    max_sessions: Option<usize>,
 }
 
 impl Default for Service {
@@ -83,7 +100,25 @@ impl Service {
     /// share nothing, so the thread count can never change a response
     /// byte — it only changes wall-clock.
     pub fn with_threads(threads: usize) -> Self {
-        Self { sessions: BTreeMap::new(), threads: threads.max(1) }
+        Self { sessions: BTreeMap::new(), threads: threads.max(1), max_sessions: None }
+    }
+
+    /// Bounds the number of concurrently open sessions: an `open` beyond
+    /// the limit is an **error response** (never an abort), so one rogue
+    /// client on a shared listener cannot exhaust the host by opening
+    /// unbounded named sessions. `finish` frees a slot. Stateless
+    /// commands (`run_job`) are never limited.
+    ///
+    /// In [`Service::run_script`], slots are reserved by *command order*
+    /// — an `open` for a new name reserves it and a `finish` for that
+    /// name releases it, whether or not the underlying command succeeds
+    /// — which keeps script output byte-identical for every thread
+    /// count. The interactive paths ([`Service::respond`] /
+    /// [`Service::serve`]) count actually-open sessions.
+    #[must_use]
+    pub fn with_max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = Some(limit);
+        self
     }
 
     /// Open sessions, in name order.
@@ -100,7 +135,17 @@ impl Service {
             LineKind::Local(response) => Some(response),
             LineKind::Command { session, obj } => {
                 let mut slot = self.sessions.remove(&session);
-                let response = apply(&mut slot, &session, &obj);
+                let over_limit = self.max_sessions.filter(|cap| {
+                    slot.is_none()
+                        && obj.get("cmd").and_then(Scalar::as_str) == Some("open")
+                        && self.sessions.len() >= *cap
+                });
+                let response = match over_limit {
+                    Some(cap) => {
+                        error_response(Some("open"), Some(&session), &session_limit_message(cap))
+                    }
+                    None => apply(&mut slot, &session, &obj),
+                };
                 if let Some(tenant) = slot {
                     self.sessions.insert(session, tenant);
                 }
@@ -125,12 +170,37 @@ impl Service {
         let mut responses: Vec<Option<String>> = Vec::new();
         let mut group_of: BTreeMap<String, usize> = BTreeMap::new();
         let mut groups: Vec<(String, Vec<(usize, FlatObject)>)> = Vec::new();
+        // Session-limit slots are reserved in command order (see
+        // `with_max_sessions`): the decision depends only on the script
+        // text and the pre-existing sessions, never on which pool thread
+        // finishes first.
+        let mut reserved: std::collections::BTreeSet<String> =
+            self.sessions.keys().cloned().collect();
         for line in script.lines() {
             let idx = responses.len();
             match classify(line) {
                 LineKind::Skip => responses.push(None),
                 LineKind::Local(response) => responses.push(Some(response)),
                 LineKind::Command { session, obj } => {
+                    if let Some(cap) = self.max_sessions {
+                        match obj.get("cmd").and_then(Scalar::as_str) {
+                            Some("open") if !reserved.contains(&session) => {
+                                if reserved.len() >= cap {
+                                    responses.push(Some(encode_object(&error_response(
+                                        Some("open"),
+                                        Some(&session),
+                                        &session_limit_message(cap),
+                                    ))));
+                                    continue;
+                                }
+                                reserved.insert(session.clone());
+                            }
+                            Some("finish") => {
+                                reserved.remove(&session);
+                            }
+                            _ => {}
+                        }
+                    }
                     responses.push(Some(String::new())); // placeholder
                     let g = *group_of.entry(session.clone()).or_insert_with(|| {
                         groups.push((session, Vec::new()));
@@ -245,6 +315,10 @@ fn classify(line: &str) -> LineKind {
 // and the command object — the determinism law in code).
 // ---------------------------------------------------------------------
 
+fn session_limit_message(cap: usize) -> String {
+    format!("session limit reached ({cap} open); finish one first")
+}
+
 fn error_response(cmd: Option<&str>, session: Option<&str>, message: &str) -> FlatObject {
     let mut obj = FlatObject::new();
     obj.insert("ok".into(), Scalar::Bool(false));
@@ -331,9 +405,10 @@ fn apply(slot: &mut Option<Tenant>, session: &str, obj: &FlatObject) -> FlatObje
         "observe" | "checkpoint" => apply_observe(slot, obj, &cmd),
         "stats" => apply_stats(slot, obj),
         "finish" => apply_finish(slot, obj),
+        "run_job" => apply_run_job(obj),
         other => Err(format!(
             "unknown cmd {other:?} (open | push | push_batch | observe | checkpoint | stats | \
-             finish)"
+             finish | run_job)"
         )),
     };
     match result {
@@ -461,6 +536,35 @@ fn apply_stats(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject
             response.insert("cache".into(), Scalar::Str("none".into()));
         }
     }
+    Ok(response)
+}
+
+/// The stateless cluster-worker command: runs one deterministic shard
+/// slice of a [`ShardJob`] spec and answers with the worker-output file
+/// as a string. Ignores (and never perturbs) any tenant session sharing
+/// the correlation name.
+fn apply_run_job(obj: &FlatObject) -> Result<FlatObject, String> {
+    check_keys(obj, &["cmd", "session", "spec", "shard", "of", "threads"])?;
+    let of = usize_field(obj, "of")?;
+    if of == 0 {
+        return Err("\"of\" must be at least 1".to_string());
+    }
+    let shard = usize_field(obj, "shard")?;
+    if shard >= of {
+        return Err(format!("shard {shard} out of range for of {of}"));
+    }
+    let threads = usize::try_from(opt_u64(obj, "threads", 1)?).unwrap_or(1).max(1);
+    let job = ShardJob::decode(str_field(obj, "spec")?).map_err(|e| format!("spec: {e}"))?;
+    let range = sc_engine::shard::partition(job.len(), of)[shard].clone();
+    let outcome = sc_engine::shard::run_job(&Runner::with_threads(threads), &job, range);
+    let mut response = FlatObject::new();
+    response.insert("shard".into(), Scalar::Uint(shard as u64));
+    response.insert("of".into(), Scalar::Uint(of as u64));
+    response.insert("items".into(), Scalar::Uint(job.len() as u64));
+    response.insert(
+        "output".into(),
+        Scalar::Str(sc_engine::shard::encode_worker_output(shard, of, &outcome)),
+    );
     Ok(response)
 }
 
@@ -703,6 +807,130 @@ mod tests {
         // And the script actually exercised the happy path.
         assert!(line_by_line.contains("\"ok\":true"));
         assert!(line_by_line.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn run_job_answers_with_the_worker_output_file() {
+        use sc_engine::shard::{self, ShardOutcome};
+        use sc_engine::{ColorerSpec, Scenario, SourceSpec};
+        let job = ShardJob::Grid(vec![
+            Scenario::new(SourceSpec::exact_degree(30, 3, 1), ColorerSpec::Trivial),
+            Scenario::new(SourceSpec::exact_degree(30, 3, 2), ColorerSpec::StoreAll),
+            Scenario::new(SourceSpec::exact_degree(30, 3, 3), ColorerSpec::OfflineGreedy),
+        ]);
+        let mut service = Service::new();
+        let mut parts = Vec::new();
+        for shard in 0..2usize {
+            let mut line = FlatObject::new();
+            line.insert("cmd".into(), Scalar::Str("run_job".into()));
+            line.insert("session".into(), Scalar::Str(format!("shard-{shard}")));
+            line.insert("spec".into(), Scalar::Str(job.encode()));
+            line.insert("shard".into(), Scalar::Uint(shard as u64));
+            line.insert("of".into(), Scalar::Uint(2));
+            let response = service.respond(&encode_object(&line)).unwrap();
+            let obj = parse_object(&response).unwrap();
+            assert_eq!(obj["ok"].as_bool(), Some(true), "{response}");
+            assert_eq!(obj["items"].as_u64(), Some(3));
+            let (s, of, outcome) =
+                shard::decode_worker_output(obj["output"].as_str().unwrap()).unwrap();
+            assert_eq!((s, of), (shard, 2));
+            parts.push(outcome);
+        }
+        // The stateless command opened nothing…
+        assert!(service.session_names().is_empty());
+        // …and the merged parts reproduce the in-process run exactly.
+        let merged = ShardOutcome::merge(parts).unwrap();
+        assert_eq!(merged.encode(), shard::run_in_process(&job, 1).unwrap().encode());
+    }
+
+    #[test]
+    fn run_job_rejects_malformed_requests_as_responses() {
+        let mut service = Service::new();
+        for (line, needle) in [
+            (r#"{"cmd":"run_job","session":"j","spec":"[]\n","shard":0,"of":0}"#, "at least 1"),
+            (r#"{"cmd":"run_job","session":"j","spec":"[]\n","shard":3,"of":2}"#, "out of range"),
+            (r#"{"cmd":"run_job","session":"j","spec":"{bad","shard":0,"of":1}"#, "spec:"),
+            (r#"{"cmd":"run_job","session":"j","shard":0,"of":1}"#, "missing string field"),
+            (
+                r#"{"cmd":"run_job","session":"j","spec":"[]\n","shard":0,"of":1,"x":1}"#,
+                "unknown key",
+            ),
+        ] {
+            let response = service.respond(line).unwrap();
+            assert!(
+                response.contains("\"ok\":false") && response.contains(needle),
+                "{line} -> {response}"
+            );
+        }
+        // run_job neither needs nor disturbs a tenant of the same name.
+        service.respond(r#"{"cmd":"open","session":"j","n":10,"colorer":"store-all"}"#).unwrap();
+        service.respond(r#"{"cmd":"push","session":"j","edge":"0-1"}"#).unwrap();
+        let spec = ShardJob::Grid(Vec::new()).encode();
+        let mut line = FlatObject::new();
+        line.insert("cmd".into(), Scalar::Str("run_job".into()));
+        line.insert("session".into(), Scalar::Str("j".into()));
+        line.insert("spec".into(), Scalar::Str(spec));
+        line.insert("shard".into(), Scalar::Uint(0));
+        line.insert("of".into(), Scalar::Uint(1));
+        let response = service.respond(&encode_object(&line)).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        let stats = service.respond(r#"{"cmd":"stats","session":"j"}"#).unwrap();
+        assert!(stats.contains("\"edges\":1"), "tenant perturbed: {stats}");
+    }
+
+    #[test]
+    fn session_limit_is_an_error_response_and_finish_frees_a_slot() {
+        let mut service = Service::new().with_max_sessions(2);
+        assert!(service.respond(&open_line("a", 10, 3, "trivial", 1)).unwrap().contains("true"));
+        assert!(service.respond(&open_line("b", 10, 3, "trivial", 1)).unwrap().contains("true"));
+        let third = service.respond(&open_line("c", 10, 3, "trivial", 1)).unwrap();
+        assert!(
+            third.contains("\"ok\":false") && third.contains("session limit reached (2 open)"),
+            "{third}"
+        );
+        // Re-opening an already-open name is the ordinary error, not the
+        // limit (the tenant already holds its slot).
+        let again = service.respond(&open_line("a", 10, 3, "trivial", 1)).unwrap();
+        assert!(again.contains("already open"), "{again}");
+        // Stateless commands are never limited.
+        let spec = ShardJob::Grid(Vec::new()).encode();
+        let mut line = FlatObject::new();
+        line.insert("cmd".into(), Scalar::Str("run_job".into()));
+        line.insert("session".into(), Scalar::Str("jobs".into()));
+        line.insert("spec".into(), Scalar::Str(spec));
+        line.insert("shard".into(), Scalar::Uint(0));
+        line.insert("of".into(), Scalar::Uint(1));
+        assert!(service.respond(&encode_object(&line)).unwrap().contains("\"ok\":true"));
+        // finish frees the slot; the next open succeeds.
+        service.respond(r#"{"cmd":"finish","session":"a"}"#).unwrap();
+        let reopened = service.respond(&open_line("c", 10, 3, "trivial", 1)).unwrap();
+        assert!(reopened.contains("\"ok\":true"), "{reopened}");
+    }
+
+    #[test]
+    fn session_limit_in_scripts_is_thread_count_invariant() {
+        let mut script = String::new();
+        for name in ["a", "b", "c", "d"] {
+            script.push_str(&open_line(name, 10, 3, "trivial", 1));
+            script.push('\n');
+        }
+        script.push_str(r#"{"cmd":"finish","session":"a"}"#);
+        script.push('\n');
+        script.push_str(&open_line("e", 10, 3, "trivial", 1));
+        script.push('\n');
+        for name in ["b", "c", "e"] {
+            script.push_str(&format!(r#"{{"cmd":"finish","session":"{name}"}}"#));
+            script.push('\n');
+        }
+        let reference = Service::new().with_max_sessions(3).run_script(&script);
+        assert_eq!(reference.matches("session limit reached (3 open)").count(), 1, "{reference}");
+        assert!(reference.contains(r#""session":"d""#), "d must be the rejected open");
+        // e opens fine after a's finish freed a slot.
+        assert_eq!(reference.matches("\"ok\":false").count(), 1, "{reference}");
+        for threads in [2, 8] {
+            let batch = Service::with_threads(threads).with_max_sessions(3).run_script(&script);
+            assert_eq!(batch, reference, "threads = {threads} changed limited-script output");
+        }
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# The cluster determinism law in one shell session: start a TCP
+# listener (`streamcolor serve --listen`), run the smoke grid sharded
+# against it over real sockets — plus the stdio and loopback transports
+# — and diff every merged JSON against the single-process reference.
+# All four files are byte-identical.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin streamcolor --bin shard_worker
+
+OUT=/tmp/cluster_demo
+mkdir -p "$OUT"
+
+echo "== single-process reference =="
+target/release/streamcolor shard --smoke --in-process --out "$OUT/single.json"
+echo "wrote $OUT/single.json"
+
+echo
+echo "== loopback (process) and spawned (stdio) transports =="
+target/release/streamcolor shard --smoke --transport process --workers 3 --out "$OUT/process.json"
+target/release/streamcolor shard --smoke --transport stdio --workers 3 --out "$OUT/stdio.json"
+
+echo
+echo "== TCP: a listener serving remote shard workers =="
+target/release/streamcolor serve --listen 127.0.0.1:0 --max-sessions 64 --accept 3 \
+    > "$OUT/listener.log" &
+LISTENER=$!
+# The listener announces its resolved address; wait for it.
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$OUT/listener.log" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$OUT/listener.log")
+echo "listener up on $ADDR"
+target/release/streamcolor shard --smoke --transport tcp --connect "$ADDR" --workers 3 \
+    --out "$OUT/tcp.json"
+wait "$LISTENER"
+
+echo
+echo "== every transport merged byte-identically =="
+diff "$OUT/single.json" "$OUT/process.json"
+diff "$OUT/single.json" "$OUT/stdio.json"
+diff "$OUT/single.json" "$OUT/tcp.json"
+echo "single == process == stdio == tcp"
