@@ -17,7 +17,7 @@
 //! **non-robust**: the bucket hash is fixed up front, so an adaptive
 //! adversary can flood one bucket.
 
-use crate::robust::sketch::{group_by_block, BlockMemo, MonoSketch};
+use crate::robust::sketch::{group_by_block, EvalScratch, MonoSketch};
 use sc_graph::{greedy_color_in_order, Color, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
 use sc_stream::{edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
@@ -53,8 +53,8 @@ pub struct Bg18Colorer {
     n: usize,
     sketch: MonoSketch,
     meter: SpaceMeter,
-    /// Per-chunk hash memo for the batched ingestion path.
-    memo: BlockMemo,
+    /// Pooled endpoint/hash-value columns for the batched ingestion path.
+    scratch: EvalScratch,
     cache: QueryCache<BucketState>,
 }
 
@@ -67,7 +67,7 @@ impl Bg18Colorer {
             n,
             sketch: MonoSketch::new(f),
             meter: SpaceMeter::new(),
-            memo: BlockMemo::new(n),
+            scratch: EvalScratch::new(),
             cache: QueryCache::new(),
         }
     }
@@ -150,7 +150,7 @@ impl StreamingColorer for Bg18Colorer {
         for &e in edges {
             assert!((e.v() as usize) < self.n, "edge {e} out of range");
         }
-        let stored = self.sketch.offer_batch(edges, &mut self.memo);
+        let stored = self.sketch.offer_batch(edges, &mut self.scratch);
         self.meter.charge(stored as u64 * edge_bits(self.n));
         self.cache.advance(edges.len() as u64);
     }

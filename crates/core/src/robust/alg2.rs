@@ -22,32 +22,72 @@
 //! endpoints were below level `ℓ`.
 
 use crate::robust::params::RobustParams;
-use crate::robust::sketch::{group_by_block, BlockMemo, MonoSketch};
+use crate::robust::sketch::{
+    group_by_block, group_by_block_with, BlockMemo, EvalScratch, MonoSketch,
+};
 use sc_graph::{degeneracy_coloring, greedy_color_in_order, Color, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
 use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
 
-/// One query *phase* of Algorithm 2 — the slow pass (line 20–22) or one
-/// fast level (lines 23–26) — as a reusable artifact: its assignments
-/// relative to the phase's palette base, plus how far it advances the
-/// palette. Phases chain deterministically (slow, then levels ascending),
-/// so a query only recomputes the phases whose inputs changed and
-/// re-chains the rest.
+/// One hash block of one query phase as a reusable artifact. Every edge a
+/// phase colors over is *intra-block* (the scratch query filters
+/// `block_of(u) == block_of(v)`), so given its member list and the
+/// era-frozen edge pools a block's sub-coloring is independent of every
+/// other block: it can be recomputed alone, relative to palette base 0,
+/// and re-chained into the absolute answer by offset translation.
 #[derive(Debug, Clone)]
-struct PhaseColoring {
-    /// `(vertex, color − phase_base)` for every vertex this phase colors.
-    assigned: Vec<(u32, Color)>,
-    /// Palette advance: `Σ span.max(1)` over the phase's nonempty blocks.
-    advance: Color,
+struct BlockArtifact {
+    /// The hash value naming this block (`h_curr` or `g_ℓ` of its members).
+    id: u64,
+    /// The block's members, ascending — the exact group the scratch
+    /// query's [`group_by_block`] would form. Never empty.
+    members: Vec<u32>,
+    /// `color − block_base`, parallel to `members`.
+    rel: Vec<Color>,
+    /// Colors this block used; the palette advances by `span.max(1)`.
+    span: Color,
+}
+
+/// Dirtiness ledger of one phase between syncs.
+#[derive(Debug, Clone)]
+enum PhaseDirty {
+    /// No artifacts yet (fresh state): rebuild the whole phase.
+    All,
+    /// Block ids whose members or induced edges may have changed since
+    /// the artifacts were computed (unsorted, may repeat). Empty = clean.
+    Blocks(Vec<u64>),
+}
+
+/// One query *phase* of Algorithm 2 — the slow pass (lines 20–22) or one
+/// fast level (lines 23–26) — as a list of per-block artifacts plus the
+/// ledgers that keep them honest. Phases chain deterministically (slow,
+/// then levels ascending; blocks ascending by id within a phase), so a
+/// query recomputes only the *blocks* whose inputs changed and re-chains
+/// the rest by offset arithmetic.
+#[derive(Debug, Clone)]
+struct PhaseState {
+    /// Per-block artifacts, ascending by `id`, all nonempty.
+    blocks: Vec<BlockArtifact>,
+    /// Membership moves recorded by sync, in order: `(block, v, joined)`.
+    /// Applied (then drained) by the next repair; a full rebuild
+    /// re-enumerates members instead and just drops them.
+    pending: Vec<(u64, u32, bool)>,
+    dirty: PhaseDirty,
+}
+
+impl PhaseState {
+    fn invalid() -> Self {
+        Self { blocks: Vec::new(), pending: Vec::new(), dirty: PhaseDirty::All }
+    }
 }
 
 /// Incremental query state for the current epoch of Algorithm 2: the
 /// patched buffer-degree census, the fast/slow partition (monotone within
-/// an epoch — `deg_B` only grows), per-fast-vertex levels, and one cached
-/// [`PhaseColoring`] per phase. A buffer rotation obsoletes everything
-/// (new `h_curr`, empty buffer), which [`RobustColorer::rotate_buffer`]
-/// signals by invalidating the cache. Harness bookkeeping — never charged
-/// to the meter.
+/// an epoch — `deg_B` only grows), per-fast-vertex levels, and one
+/// [`PhaseState`] of block artifacts per phase. A buffer rotation
+/// obsoletes everything (new `h_curr`, empty buffer), which
+/// [`RobustColorer::rotate_buffer`] signals by invalidating the cache.
+/// Harness bookkeeping — never charged to the meter.
 #[derive(Debug, Clone)]
 struct Alg2QueryState {
     /// The epoch (`curr`) this state describes.
@@ -60,12 +100,10 @@ struct Alg2QueryState {
     fast_level: Vec<u32>,
     /// Buffer edges already censused.
     b_synced: usize,
-    /// Per-`g_ℓ`-sketch lengths already reflected (defensive: every new
-    /// sketch edge is also a new buffer edge, which invalidates anyway).
+    /// Per-`g_ℓ`-sketch lengths already reflected in the dirty ledgers.
     g_synced: Vec<usize>,
     /// `phases[0]` = slow phase; `phases[ℓ]` = fast level `ℓ`.
-    /// `None` = invalidated since last computed.
-    phases: Vec<Option<PhaseColoring>>,
+    phases: Vec<PhaseState>,
     /// The assembled absolute coloring (the query answer).
     out: Coloring,
 }
@@ -85,10 +123,51 @@ pub struct RobustColorer {
     /// Current epoch (1-based).
     curr: usize,
     meter: SpaceMeter,
-    /// Per-chunk hash memo for the batched ingestion path.
-    memo: BlockMemo,
+    /// Pooled presplit columns for the batched ingestion path and the
+    /// incremental sync scan (one inner mixing round per chunk endpoint,
+    /// shared by every sketch).
+    scratch: EvalScratch,
+    /// Pooled scratch for the incremental recompute passes.
+    arena: PhaseArena,
     /// Epoch-keyed phase cache for the incremental query path.
     cache: QueryCache<Alg2QueryState>,
+}
+
+/// Pooled scratch for [`RobustColorer`]'s incremental phase recomputes —
+/// the alg2 counterpart of alg3's decode arena. A phase rebuild needs a
+/// conflict graph, a scratch coloring, a membership filter, and block
+/// ids; allocating those per phase (`Graph::empty(n)` is `n` list
+/// headers, plus one heap allocation per nonempty adjacency list) costs
+/// more than the recoloring itself at query cadence. The pool keeps
+/// every buffer warm across phases *and* queries:
+///
+/// - `graph` holds edges only transiently; `touched` covers both
+///   endpoints of every inserted edge since the last clear, so
+///   [`Graph::clear_incident`] resets it in `O(touched)` and re-inserts
+///   push into already-grown lists.
+/// - `coloring` keeps stale assignments between phases; users must
+///   clear exactly their member set before coloring (members and their
+///   phase-graph neighbors are the only vertices a greedy pass reads).
+/// - `memo` is generation-stamped ([`BlockMemo::reset`] is `O(1)`), so
+///   each distinct vertex hashes at most once per phase where the
+///   scratch query pays per filtered edge endpoint.
+#[derive(Debug, Clone)]
+struct PhaseArena {
+    memo: BlockMemo,
+    graph: Graph,
+    touched: Vec<u32>,
+    coloring: Coloring,
+}
+
+impl PhaseArena {
+    fn new(n: usize) -> Self {
+        Self {
+            memo: BlockMemo::new(n),
+            graph: Graph::empty(n),
+            touched: Vec::new(),
+            coloring: Coloring::empty(n),
+        }
+    }
 }
 
 impl RobustColorer {
@@ -119,7 +198,8 @@ impl RobustColorer {
             buffer: Vec::new(),
             curr: 1,
             meter,
-            memo: BlockMemo::new(params.n),
+            scratch: EvalScratch::new(),
+            arena: PhaseArena::new(params.n),
             cache: QueryCache::new(),
         }
     }
@@ -204,237 +284,21 @@ impl RobustColorer {
     /// Equivalent to per-edge [`StreamingColorer::process`] on the run:
     /// every sketch receives the same edges in the same order, and since
     /// all in-run meter events are charges, the meter's peak and current
-    /// values come out identical. The work is reorganized sketch-major so
-    /// one [`BlockMemo`] amortizes hashing over the chunk — each sketch
-    /// pays one hash per *distinct* endpoint instead of one per edge slot.
-    fn ingest_run(&mut self, run: &[Edge]) {
-        let n = self.params.n;
-        let eb = edge_bits(n);
-
-        // Per-edge state first: buffer, degree counters, and each edge's
-        // insertion-time level (lines 13 and 16 — levels depend on the
-        // running degrees, so this stays edge-major).
-        let mut levels: Vec<usize> = Vec::with_capacity(run.len());
-        self.buffer.reserve(run.len());
-        for &e in run {
-            assert!((e.v() as usize) < n, "edge {e} out of range for n = {n}");
-            self.buffer.push(e);
-            let (u, v) = e.endpoints();
-            self.degrees[u as usize] += 1;
-            self.degrees[v as usize] += 1;
-            levels
-                .push(self.params.level_of(self.degrees[u as usize].max(self.degrees[v as usize])));
-        }
-        let mut stored = run.len() as u64; // buffered edges
-
-        // Lines 14–15: h_i sketches for future epochs, sketch-major.
-        for i in self.curr..self.params.num_epochs {
-            stored += self.h_sketches[i].offer_batch(run, &mut self.memo) as u64;
-        }
-
-        // Lines 16–17: g_ℓ sketches; an edge goes to every level strictly
-        // above its insertion-time level.
-        for (l, sketch) in self.g_sketches.iter_mut().enumerate() {
-            self.memo.reset();
-            let f = *sketch.oracle();
-            for (k, &e) in run.iter().enumerate() {
-                if levels[k] <= l
-                    && self.memo.get(e.u(), |x| f.eval(x)) == self.memo.get(e.v(), |x| f.eval(x))
-                {
-                    sketch.push_mono(e);
-                    stored += 1;
-                }
-            }
-        }
-        self.meter.charge(stored * eb);
-    }
-
-    /// A query state for the current epoch with a full census and no
-    /// computed phases (the cache-miss path).
-    fn fresh_query_state(&self) -> Alg2QueryState {
-        let n = self.params.n;
-        let mut s = Alg2QueryState {
-            era: self.curr,
-            deg_b: vec![0; n],
-            is_fast: vec![false; n],
-            fast_level: vec![0; n],
-            b_synced: self.buffer.len(),
-            g_synced: self.g_sketches.iter().map(MonoSketch::len).collect(),
-            phases: vec![None; self.params.num_levels + 1],
-            out: Coloring::empty(n),
-        };
-        for e in &self.buffer {
-            s.deg_b[e.u() as usize] += 1;
-            s.deg_b[e.v() as usize] += 1;
-        }
-        for v in 0..n {
-            if s.deg_b[v] > self.params.fast_threshold {
-                s.is_fast[v] = true;
-                s.fast_level[v] = self.params.level_of(self.degrees[v]) as u32;
-            }
-        }
-        s
-    }
-
-    /// Patches the census with the buffer edges ingested since the last
-    /// query and invalidates exactly the phases they can affect:
-    ///
-    /// * an `h`-monochromatic new edge joins the slow phase's edge pool;
-    /// * a `g_ℓ`-monochromatic one joins level `ℓ`'s pool (conservative —
-    ///   whether it is *induced* depends on memberships at query time);
-    /// * a vertex crossing the fast threshold leaves the slow phase and
-    ///   joins its level's; a fast vertex whose level grew moves between
-    ///   two fast phases.
-    ///
-    /// Invalidation is conservative (a marked phase is recomputed from
-    /// its true inputs), so properness of the equivalence only needs the
-    /// converse: an *unmarked* phase has identical members and identical
-    /// induced edge pools, hence an identical sub-coloring.
-    fn sync_query_state(&self, s: &mut Alg2QueryState) {
-        debug_assert_eq!(s.era, self.curr, "rotation must reset the query state");
-        for (l, sk) in self.g_sketches.iter().enumerate() {
-            if s.g_synced[l] != sk.len() {
-                s.g_synced[l] = sk.len();
-                s.phases[l + 1] = None;
-            }
-        }
-        let h_curr = &self.h_sketches[self.curr - 1];
-        for &e in &self.buffer[s.b_synced..] {
-            let (u, v) = e.endpoints();
-            if h_curr.block_of(u) == h_curr.block_of(v) {
-                s.phases[0] = None;
-            }
-            for (l, sk) in self.g_sketches.iter().enumerate() {
-                if sk.block_of(u) == sk.block_of(v) {
-                    s.phases[l + 1] = None;
-                }
-            }
-            for w in [u, v] {
-                let wi = w as usize;
-                s.deg_b[wi] += 1;
-                let lvl = self.params.level_of(self.degrees[wi]);
-                if !s.is_fast[wi] {
-                    if s.deg_b[wi] > self.params.fast_threshold {
-                        s.is_fast[wi] = true;
-                        s.fast_level[wi] = lvl as u32;
-                        s.phases[0] = None;
-                        s.phases[lvl] = None;
-                    }
-                } else if s.fast_level[wi] != lvl as u32 {
-                    s.phases[s.fast_level[wi] as usize] = None;
-                    s.phases[lvl] = None;
-                    s.fast_level[wi] = lvl as u32;
-                }
-            }
-        }
-        s.b_synced = self.buffer.len();
-    }
-
-    /// Recomputes the slow phase (lines 18–22) relative to palette base 0.
-    /// Identical code path to [`StreamingColorer::query`]'s slow section;
-    /// sharing the offset-0 base is sound because slow blocks only see
-    /// slow same-block neighbors, making the phase translation-invariant.
-    fn recompute_slow_phase(&self, s: &Alg2QueryState) -> PhaseColoring {
-        let n = self.params.n;
-        let h_curr = &self.h_sketches[self.curr - 1];
-        let slow: Vec<u32> = (0..n as u32).filter(|&v| !s.is_fast[v as usize]).collect();
-        let mut g_slow = Graph::empty(n);
-        for e in h_curr.edges().iter().chain(self.buffer.iter()) {
-            if !s.is_fast[e.u() as usize]
-                && !s.is_fast[e.v() as usize]
-                && h_curr.block_of(e.u()) == h_curr.block_of(e.v())
-            {
-                g_slow.add_edge(*e);
-            }
-        }
-        let mut coloring = Coloring::empty(n);
-        let mut offset: Color = 0;
-        let mut assigned = Vec::with_capacity(slow.len());
-        for (_, members) in group_by_block(h_curr, &slow) {
-            let span = greedy_color_in_order(&g_slow, &mut coloring, &members, offset);
-            for &m in &members {
-                assigned.push((m, coloring.get(m).expect("slow member colored")));
-            }
-            offset += span.max(1);
-        }
-        PhaseColoring { assigned, advance: offset }
-    }
-
-    /// Recomputes fast level `l` (lines 23–26) relative to palette base 0
-    /// (fast blocks only see same-level same-block neighbors, so the
-    /// phase is translation-invariant like the slow one).
-    fn recompute_fast_phase(&self, l: usize, s: &Alg2QueryState) -> PhaseColoring {
-        let n = self.params.n;
-        let level_fast: Vec<u32> = (0..n as u32)
-            .filter(|&w| s.is_fast[w as usize] && s.fast_level[w as usize] as usize == l)
-            .collect();
-        if level_fast.is_empty() {
-            return PhaseColoring { assigned: Vec::new(), advance: 0 };
-        }
-        let g_l = &self.g_sketches[l - 1];
-        let mut in_level = vec![false; n];
-        for &v in &level_fast {
-            in_level[v as usize] = true;
-        }
-        let mut g_fast = Graph::empty(n);
-        for e in g_l.edges().iter().chain(self.buffer.iter()) {
-            if in_level[e.u() as usize]
-                && in_level[e.v() as usize]
-                && g_l.block_of(e.u()) == g_l.block_of(e.v())
-            {
-                g_fast.add_edge(*e);
-            }
-        }
-        let mut coloring = Coloring::empty(n);
-        let mut offset: Color = 0;
-        let mut assigned = Vec::with_capacity(level_fast.len());
-        for (_, members) in group_by_block(g_l, &level_fast) {
-            let span = degeneracy_coloring(&g_fast, &mut coloring, &members, offset);
-            for &m in &members {
-                assigned.push((m, coloring.get(m).expect("fast member colored")));
-            }
-            offset += span.max(1);
-        }
-        PhaseColoring { assigned, advance: offset }
-    }
-
-    /// Chains all phases into the absolute answer, advancing the palette
-    /// base by each phase's advance exactly as the scratch query does.
-    fn assemble(&self, s: &mut Alg2QueryState) {
-        let mut out = Coloring::empty(self.params.n);
-        let mut base: Color = 0;
-        for phase in s.phases.iter().flatten() {
-            for &(v, c) in &phase.assigned {
-                out.set(v, base + c);
-            }
-            base += phase.advance;
-        }
-        debug_assert!(out.is_total(), "incremental query must color every vertex");
-        s.out = out;
-    }
-}
-
-fn sketch_degree_totals(n: usize, sketches: &[MonoSketch]) -> Vec<u64> {
-    let mut totals = vec![0u64; n];
-    for s in sketches {
-        for e in s.edges() {
-            totals[e.u() as usize] += 1;
-            totals[e.v() as usize] += 1;
-        }
-    }
-    totals
-}
-
-impl StreamingColorer for RobustColorer {
-    fn process(&mut self, e: Edge) {
+    /// values come out identical. The work is reorganized sketch-major
+    /// over one [`EvalScratch`]: the chunk's key-independent presplit
+    /// columns are loaded once, and each sketch pays only its per-key
+    /// outer rounds (fused evaluate-and-compare, no hash-value columns).
+    /// Scalar ingestion of a single in-epoch edge (lines 13–17) — the
+    /// reference path. [`StreamingColorer::process`] and single-edge
+    /// batch runs land here: a one-edge chunk gives the batched tier
+    /// nothing to amortize over, and keeping it on the scalar routine
+    /// means the engine's per-edge configuration measures the unbatched
+    /// algorithm rather than a degenerate batch.
+    fn ingest_edge(&mut self, e: Edge) {
         let n = self.params.n;
         assert!((e.v() as usize) < n, "edge {e} out of range for n = {n}");
         let eb = edge_bits(n);
 
-        // Lines 10–12: rotate the buffer when full.
-        if self.buffer.len() == self.params.buffer_capacity {
-            self.rotate_buffer();
-        }
         self.buffer.push(e);
         self.meter.charge(eb);
 
@@ -458,7 +322,391 @@ impl StreamingColorer for RobustColorer {
                 self.meter.charge(eb);
             }
         }
+    }
+
+    fn ingest_run(&mut self, run: &[Edge]) {
+        let n = self.params.n;
+        let eb = edge_bits(n);
+
+        // Per-edge state first: buffer, degree counters, and each edge's
+        // insertion-time level (lines 13 and 16 — levels depend on the
+        // running degrees, so this stays edge-major).
+        let mut levels: Vec<usize> = Vec::with_capacity(run.len());
+        self.buffer.reserve(run.len());
+        for &e in run {
+            assert!((e.v() as usize) < n, "edge {e} out of range for n = {n}");
+            self.buffer.push(e);
+            let (u, v) = e.endpoints();
+            self.degrees[u as usize] += 1;
+            self.degrees[v as usize] += 1;
+            levels
+                .push(self.params.level_of(self.degrees[u as usize].max(self.degrees[v as usize])));
+        }
+        let mut stored = run.len() as u64; // buffered edges
+
+        // One presplit load serves every sketch below: the chunk's inner
+        // mixing rounds are key-independent, so each sketch pays only its
+        // per-key outer rounds.
+        self.scratch.load(run);
+
+        // Lines 14–15: h_i sketches for future epochs, sketch-major.
+        for i in self.curr..self.params.num_epochs {
+            stored += self.h_sketches[i].offer_preloaded(run, &self.scratch) as u64;
+        }
+
+        // Lines 16–17: g_ℓ sketches; an edge goes to every level strictly
+        // above its insertion-time level. The level filter runs *before*
+        // hashing (as the per-edge path's loop bounds do); lanes are
+        // visited in chunk order, so sketches receive edges in exactly
+        // the per-edge insertion order.
+        for (l, sketch) in self.g_sketches.iter_mut().enumerate() {
+            stored += sketch.offer_preloaded_where(run, &self.scratch, |k| levels[k] <= l) as u64;
+        }
+        self.meter.charge(stored * eb);
+    }
+
+    /// A query state for the current epoch with a full census and no
+    /// computed phases (the cache-miss path).
+    fn fresh_query_state(&self) -> Alg2QueryState {
+        let n = self.params.n;
+        let mut s = Alg2QueryState {
+            era: self.curr,
+            deg_b: vec![0; n],
+            is_fast: vec![false; n],
+            fast_level: vec![0; n],
+            b_synced: self.buffer.len(),
+            g_synced: self.g_sketches.iter().map(MonoSketch::len).collect(),
+            phases: (0..=self.params.num_levels).map(|_| PhaseState::invalid()).collect(),
+            out: Coloring::empty(n),
+        };
+        for e in &self.buffer {
+            s.deg_b[e.u() as usize] += 1;
+            s.deg_b[e.v() as usize] += 1;
+        }
+        for v in 0..n {
+            if s.deg_b[v] > self.params.fast_threshold {
+                s.is_fast[v] = true;
+                s.fast_level[v] = self.params.level_of(self.degrees[v]) as u32;
+            }
+        }
+        s
+    }
+
+    /// Patches the census with the buffer edges ingested since the last
+    /// query and marks dirty exactly the *blocks* they can affect:
+    ///
+    /// * a new `g_ℓ`-sketch edge joins its block's pool at level `ℓ` (its
+    ///   block id is the stored endpoints' shared hash value);
+    /// * an `h`-monochromatic new buffer edge joins its `h_curr`-block's
+    ///   slow pool, a `g_ℓ`-monochromatic one its block's level-`ℓ` pool
+    ///   (conservative — whether it is *induced* depends on memberships);
+    /// * a vertex crossing the fast threshold leaves its slow block and
+    ///   joins its level's block; a fast vertex whose level grew moves
+    ///   between two fast blocks. Both old and new blocks are dirtied and
+    ///   the move is recorded so the repair can update member lists.
+    ///
+    /// These are the only ways a phase's inputs change within an era
+    /// (`h_curr` is frozen — ingestion offers `h_i` only for `i > curr`),
+    /// and block independence (every phase edge is intra-block) makes
+    /// block-granular dirtying sound: an unmarked block has identical
+    /// members and an identical induced edge pool, hence an identical
+    /// relative sub-coloring. Marking is conservative the other way — a
+    /// marked block is simply recomputed from its true inputs.
+    ///
+    /// The monochromaticity scans run sketch-major through the batched
+    /// tier: one presplit load of the gap serves the `h_curr` scan and
+    /// every level sketch, each paying only its per-key outer rounds —
+    /// and the equal hash value the scan produces *is* the dirty block id.
+    fn sync_query_state(&mut self, s: &mut Alg2QueryState) {
+        debug_assert_eq!(s.era, self.curr, "rotation must reset the query state");
+        for (l, sk) in self.g_sketches.iter().enumerate() {
+            if s.g_synced[l] != sk.len() {
+                if let PhaseDirty::Blocks(d) = &mut s.phases[l + 1].dirty {
+                    let f = sk.oracle();
+                    for e in &sk.edges()[s.g_synced[l]..] {
+                        d.push(f.eval(e.u() as u64));
+                    }
+                }
+                s.g_synced[l] = sk.len();
+            }
+        }
+        let gap = &self.buffer[s.b_synced..];
+        if gap.is_empty() {
+            return;
+        }
+        self.scratch.load(gap);
+        let scratch = &self.scratch;
+        let mark_mono = |f: &OracleFn, ph: &mut PhaseState| {
+            if let PhaseDirty::Blocks(d) = &mut ph.dirty {
+                for k in 0..gap.len() {
+                    let bu = f.eval_presplit(scratch.su(k));
+                    if bu == f.eval_presplit(scratch.sv(k)) {
+                        d.push(bu);
+                    }
+                }
+            }
+        };
+        mark_mono(self.h_sketches[self.curr - 1].oracle(), &mut s.phases[0]);
+        for (l, sk) in self.g_sketches.iter().enumerate() {
+            mark_mono(sk.oracle(), &mut s.phases[l + 1]);
+        }
+        // Endpoint census bookkeeping (degrees, fast/slow and level
+        // migrations), edge-major as before. Migrations are rare (the
+        // partition is monotone within an era), so their block ids use
+        // plain scalar evaluation.
+        for &e in gap {
+            let (u, v) = e.endpoints();
+            for w in [u, v] {
+                let wi = w as usize;
+                s.deg_b[wi] += 1;
+                let lvl = self.params.level_of(self.degrees[wi]);
+                if !s.is_fast[wi] {
+                    if s.deg_b[wi] > self.params.fast_threshold {
+                        s.is_fast[wi] = true;
+                        s.fast_level[wi] = lvl as u32;
+                        let hb = self.h_sketches[self.curr - 1].oracle().eval(w as u64);
+                        Self::move_member(&mut s.phases[0], hb, w, false);
+                        let gb = self.g_sketches[lvl - 1].oracle().eval(w as u64);
+                        Self::move_member(&mut s.phases[lvl], gb, w, true);
+                    }
+                } else if s.fast_level[wi] != lvl as u32 {
+                    let old = s.fast_level[wi] as usize;
+                    let ob = self.g_sketches[old - 1].oracle().eval(w as u64);
+                    Self::move_member(&mut s.phases[old], ob, w, false);
+                    let gb = self.g_sketches[lvl - 1].oracle().eval(w as u64);
+                    Self::move_member(&mut s.phases[lvl], gb, w, true);
+                    s.fast_level[wi] = lvl as u32;
+                }
+            }
+        }
+        s.b_synced = self.buffer.len();
+    }
+
+    /// Records a membership move in a phase's ledgers: dirties the block
+    /// and queues the member edit for the next repair. A phase awaiting a
+    /// full rebuild re-enumerates members from the census instead, so the
+    /// move needs no record there.
+    fn move_member(ph: &mut PhaseState, block: u64, v: u32, joined: bool) {
+        if let PhaseDirty::Blocks(d) = &mut ph.dirty {
+            d.push(block);
+            ph.pending.push((block, v, joined));
+        }
+    }
+
+    /// The edge pool of phase `p` (its sketch; the buffer is chained on
+    /// by the callers): `A_curr` for the slow phase, `C_ℓ` for level `ℓ`.
+    fn phase_sketch(&self, p: usize) -> &MonoSketch {
+        if p == 0 {
+            &self.h_sketches[self.curr - 1]
+        } else {
+            &self.g_sketches[p - 1]
+        }
+    }
+
+    /// Colors one block's members relative to base 0: (degree+1)-greedy
+    /// for the slow phase, (degeneracy+1) for fast levels. Sound at any
+    /// base because every neighbor a pass reads is a same-block member —
+    /// the phases are translation-invariant, so the artifacts store
+    /// relative colors and [`RobustColorer::assemble`] adds the bases.
+    fn color_block(p: usize, graph: &Graph, coloring: &mut Coloring, members: &[u32]) -> Color {
+        if p == 0 {
+            greedy_color_in_order(graph, coloring, members, 0)
+        } else {
+            degeneracy_coloring(graph, coloring, members, 0)
+        }
+    }
+
+    /// Recomputes every block of phase `p` from the census — the slow
+    /// pass (lines 18–22) for `p = 0`, fast level `p` (lines 23–26)
+    /// otherwise. Same structure as the matching [`StreamingColorer::query`]
+    /// section, but running entirely in the pooled [`PhaseArena`] and
+    /// emitting per-block artifacts. Returns `(artifacts, recolored)`.
+    fn rebuild_phase(
+        &self,
+        p: usize,
+        is_fast: &[bool],
+        fast_level: &[u32],
+        arena: &mut PhaseArena,
+    ) -> (Vec<BlockArtifact>, u64) {
+        let n = self.params.n;
+        let in_phase = |w: u32| {
+            let wi = w as usize;
+            if p == 0 {
+                !is_fast[wi]
+            } else {
+                is_fast[wi] && fast_level[wi] as usize == p
+            }
+        };
+        let members: Vec<u32> = (0..n as u32).filter(|&v| in_phase(v)).collect();
+        if members.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let sketch = self.phase_sketch(p);
+        let PhaseArena { memo, graph, touched, coloring } = arena;
+        graph.clear_incident(touched);
+        touched.clear();
+        memo.reset();
+        let f = sketch.oracle();
+        let mut block = |v: u32| memo.get(v, |x| f.eval(x));
+        for e in sketch.edges().iter().chain(self.buffer.iter()) {
+            let (u, v) = e.endpoints();
+            if in_phase(u) && in_phase(v) && block(u) == block(v) {
+                graph.add_edge(*e);
+                touched.push(u);
+                touched.push(v);
+            }
+        }
+        // Stale assignments from the arena's previous user are invisible
+        // to this pass once the members are cleared: a coloring pass reads
+        // only member colors and member-neighbor colors, and the phase
+        // graph's vertices are all members.
+        for &m in &members {
+            coloring.unset(m);
+        }
+        let recolored = members.len() as u64;
+        let mut blocks = Vec::new();
+        for (id, members) in group_by_block_with(&mut block, &members) {
+            let span = Self::color_block(p, graph, coloring, &members);
+            let rel = members.iter().map(|&m| coloring.get(m).expect("member colored")).collect();
+            blocks.push(BlockArtifact { id, members, rel, span });
+        }
+        (blocks, recolored)
+    }
+
+    /// Recomputes only the dirty blocks of phase `p`, reusing every clean
+    /// artifact verbatim. Applies the pending membership moves first, then
+    /// scans the phase's edge pool once — in the same order as a rebuild,
+    /// so adjacency lists (and hence the degeneracy orderings built from
+    /// them) come out identical — keeping only dirty-block edges, and
+    /// recolors each dirty block relative to base 0. Returns the number
+    /// of recolored vertices.
+    fn repair_phase(
+        &self,
+        p: usize,
+        is_fast: &[bool],
+        fast_level: &[u32],
+        ph: &mut PhaseState,
+        arena: &mut PhaseArena,
+    ) -> u64 {
+        let PhaseDirty::Blocks(list) = &mut ph.dirty else {
+            unreachable!("repair_phase runs only on block-granular dirty states");
+        };
+        let mut dirty = std::mem::take(list);
+        dirty.sort_unstable();
+        dirty.dedup();
+        // Membership moves, in recorded order (a vertex can move twice in
+        // one gap: slow → level a → level b). Joins insert a placeholder
+        // relative color; the block is dirty, so it is recolored below.
+        for (b, v, joined) in ph.pending.drain(..) {
+            debug_assert!(dirty.binary_search(&b).is_ok(), "moves always dirty their blocks");
+            match ph.blocks.binary_search_by_key(&b, |a| a.id) {
+                Ok(i) => {
+                    let a = &mut ph.blocks[i];
+                    if joined {
+                        let pos = a.members.binary_search(&v).unwrap_err();
+                        a.members.insert(pos, v);
+                        a.rel.insert(pos, 0);
+                    } else {
+                        let pos = a.members.binary_search(&v).expect("leaver was a member");
+                        a.members.remove(pos);
+                        a.rel.remove(pos);
+                    }
+                }
+                Err(i) => {
+                    debug_assert!(joined, "leaver's block must have an artifact");
+                    let art = BlockArtifact { id: b, members: vec![v], rel: vec![0], span: 0 };
+                    ph.blocks.insert(i, art);
+                }
+            }
+        }
+        if dirty.is_empty() {
+            return 0;
+        }
+        let in_phase = |w: u32| {
+            let wi = w as usize;
+            if p == 0 {
+                !is_fast[wi]
+            } else {
+                is_fast[wi] && fast_level[wi] as usize == p
+            }
+        };
+        let sketch = self.phase_sketch(p);
+        let PhaseArena { memo, graph, touched, coloring } = arena;
+        graph.clear_incident(touched);
+        touched.clear();
+        memo.reset();
+        let f = sketch.oracle();
+        let mut block = |v: u32| memo.get(v, |x| f.eval(x));
+        for e in sketch.edges().iter().chain(self.buffer.iter()) {
+            let (u, v) = e.endpoints();
+            if in_phase(u) && in_phase(v) {
+                let bu = block(u);
+                if bu == block(v) && dirty.binary_search(&bu).is_ok() {
+                    graph.add_edge(*e);
+                    touched.push(u);
+                    touched.push(v);
+                }
+            }
+        }
+        let mut recolored = 0u64;
+        for &b in &dirty {
+            let Ok(i) = ph.blocks.binary_search_by_key(&b, |a| a.id) else {
+                continue; // dirtied but memberless (e.g. a sketch edge between fast vertices)
+            };
+            let a = &mut ph.blocks[i];
+            if a.members.is_empty() {
+                continue; // every member left; dropped below
+            }
+            for &m in &a.members {
+                coloring.unset(m);
+            }
+            a.span = Self::color_block(p, graph, coloring, &a.members);
+            for (j, &m) in a.members.iter().enumerate() {
+                a.rel[j] = coloring.get(m).expect("member colored");
+            }
+            recolored += a.members.len() as u64;
+        }
+        ph.blocks.retain(|a| !a.members.is_empty());
+        recolored
+    }
+
+    /// Chains all phases' blocks into the absolute answer — phases in
+    /// order, blocks ascending by id, the palette base advancing by
+    /// `span.max(1)` per block — exactly the scratch query's offsets.
+    fn assemble(&self, s: &mut Alg2QueryState) {
+        s.out.reset();
+        let mut base: Color = 0;
+        for ph in &s.phases {
+            for a in &ph.blocks {
+                for (j, &v) in a.members.iter().enumerate() {
+                    s.out.set(v, base + a.rel[j]);
+                }
+                base += a.span.max(1);
+            }
+        }
+        debug_assert!(s.out.is_total(), "incremental query must color every vertex");
+    }
+}
+
+fn sketch_degree_totals(n: usize, sketches: &[MonoSketch]) -> Vec<u64> {
+    let mut totals = vec![0u64; n];
+    for s in sketches {
+        for e in s.edges() {
+            totals[e.u() as usize] += 1;
+            totals[e.v() as usize] += 1;
+        }
+    }
+    totals
+}
+
+impl StreamingColorer for RobustColorer {
+    fn process(&mut self, e: Edge) {
+        // Lines 10–12: rotate the buffer when full.
+        if self.buffer.len() == self.params.buffer_capacity {
+            self.rotate_buffer();
+        }
         self.cache.advance(1);
+        self.ingest_edge(e);
     }
 
     fn process_batch(&mut self, edges: &[Edge]) {
@@ -474,7 +722,11 @@ impl StreamingColorer for RobustColorer {
             // exactly as per-edge processing would).
             let room = self.params.buffer_capacity.saturating_sub(self.buffer.len()).max(1);
             let end = (start + room).min(edges.len());
-            self.ingest_run(&edges[start..end]);
+            if end - start == 1 {
+                self.ingest_edge(edges[start]);
+            } else {
+                self.ingest_run(&edges[start..end]);
+            }
             start = end;
         }
     }
@@ -553,11 +805,16 @@ impl StreamingColorer for RobustColorer {
         if let Some(s) = self.cache.fresh() {
             return s.out.clone();
         }
-        // Patching pays per-new-edge hash checks against every sketch,
-        // and a wide gap invalidates nearly every phase anyway — past
-        // this limit a fresh census + full recompute (≈ one scratch
-        // query) is cheaper than the patch bookkeeping.
-        let patch_limit = (self.params.n as u64 / 8).max(64);
+        // Cost-aware fallback. A patch pays O(gap) sync work (batched
+        // monochromaticity scans plus the endpoint census walk) and then
+        // recomputes only the *blocks* the gap dirtied — a few per sketch
+        // per gap — where a scratch query recolors all n vertices. That
+        // keeps the patch ahead of a rebuild at any in-era gap, so the
+        // guard below only drops states from another era (rotation
+        // already invalidates; this is defense in depth) or ones staler
+        // than a full buffer turnover, where the census walk alone
+        // matches the rebuild cost.
+        let patch_limit = self.params.buffer_capacity.max(8) as u64;
         let epoch = self.cache.epoch();
         let curr = self.curr;
         let too_stale = self
@@ -567,7 +824,9 @@ impl StreamingColorer for RobustColorer {
         if too_stale {
             self.cache.invalidate();
         }
-        let mut state = match self.cache.take_for_patch() {
+        let taken = self.cache.take_for_patch();
+        let patched = taken.is_some();
+        let mut state = match taken {
             // Rotations invalidate eagerly, so a cached state is always
             // this epoch's; the guard is defense in depth.
             Some((_, s)) if s.era == self.curr => s,
@@ -575,19 +834,39 @@ impl StreamingColorer for RobustColorer {
         };
         self.sync_query_state(&mut state);
         let mut recomputed = false;
-        if state.phases[0].is_none() {
-            state.phases[0] = Some(self.recompute_slow_phase(&state));
-            recomputed = true;
-        }
-        for l in 1..=self.params.num_levels {
-            if state.phases[l].is_none() {
-                state.phases[l] = Some(self.recompute_fast_phase(l, &state));
-                recomputed = true;
+        let mut recolored = 0u64;
+        // The arena moves out of `self` for the recompute borrows; its
+        // pooled buffers come back at the end either way.
+        let mut arena = std::mem::replace(&mut self.arena, PhaseArena::new(0));
+        {
+            let Alg2QueryState { is_fast, fast_level, phases, .. } = &mut state;
+            for (p, ph) in phases.iter_mut().enumerate() {
+                let needs_repair = match &ph.dirty {
+                    PhaseDirty::All => {
+                        let (blocks, count) =
+                            self.rebuild_phase(p, is_fast, fast_level, &mut arena);
+                        ph.blocks = blocks;
+                        ph.pending.clear();
+                        ph.dirty = PhaseDirty::Blocks(Vec::new());
+                        recolored += count;
+                        recomputed = true;
+                        false
+                    }
+                    PhaseDirty::Blocks(d) => !d.is_empty() || !ph.pending.is_empty(),
+                };
+                if needs_repair {
+                    recolored += self.repair_phase(p, is_fast, fast_level, ph, &mut arena);
+                    recomputed = true;
+                }
             }
         }
+        self.arena = arena;
         if recomputed {
             // Any recomputed phase can shift every later phase's base.
             self.assemble(&mut state);
+        }
+        if patched {
+            self.cache.note_patched(recolored);
         }
         let out = state.out.clone();
         self.cache.install(state);

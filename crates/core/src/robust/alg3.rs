@@ -18,15 +18,15 @@
 
 use crate::robust::sketch::BlockMemo;
 use sc_graph::{greedy_color_in_order, greedy_repair_ascending, Coloring, Edge, Graph};
-use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64};
+use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64, VertexSlotTable};
 use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
 
-/// The incremental sketch-decode state: everything a query derives from
-/// `D_{curr,k} ∪ B`, patchable while the epoch (and hence `k` and
-/// `D_{curr,k}`) stays fixed. Harness bookkeeping — never charged to the
-/// [`SpaceMeter`].
+/// Metadata of the cached incremental decode; the heavyweight artifacts
+/// (mirror graph, colorings) live in the colorer's [`DecodeArena`] and
+/// are valid exactly while the [`QueryCache`] holds this meta. Harness
+/// bookkeeping — never charged to the [`SpaceMeter`].
 #[derive(Debug, Clone)]
-struct DecodeState {
+struct DecodeMeta {
     /// The epoch (`curr`) this decode belongs to; a rotation obsoletes it
     /// (different buffer, different candidate row).
     era: usize,
@@ -34,15 +34,90 @@ struct DecodeState {
     /// all-`⊥` failure state (both frozen within an epoch: epoch-`curr`
     /// candidate sets only mutate while *earlier* epochs ingest).
     slot: Option<usize>,
-    /// Mirror of `Graph::from_edges(n, D_{curr,k} ∪ B)` — appended, never
-    /// rebuilt, so adjacency order matches a scratch build exactly.
+    /// Buffer edges already mirrored into the arena.
+    b_synced: usize,
+}
+
+/// Reusable decode workspace: the pooled buffers behind the cached
+/// [`DecodeMeta`]. Replaces the old per-rebuild fresh allocations
+/// (`Graph::empty` + two `Coloring::empty`s + thousands of adjacency-list
+/// `Vec` growths per rotation) with buffers that live as long as the
+/// colorer — 8 interleaved serving sessions stop thrashing the allocator.
+///
+/// # Reuse / stamping invariants
+///
+/// * While the colorer's cache holds a [`DecodeMeta`], `mirror`, `chi`
+///   and `out` are exactly the decode of `D_{curr,k} ∪ B` (first
+///   `b_synced` buffer edges) for that meta. `mirror` receives edges in
+///   the same order a scratch `Graph::from_edges` build would insert
+///   them, so adjacency order — and hence every first-fit color — matches
+///   the from-scratch [`RandEfficientColorer::query`] bit-for-bit.
+/// * When the cache is empty the arena's contents are stale; the next
+///   rebuild clears them in `O(|touched|)` (not `O(n)`, and with zero
+///   frees) via [`Graph::clear_incident`] / [`Coloring::reset`].
+///   `touched` always covers every endpoint inserted since the last
+///   clear — the `clear_incident` contract — maintained by
+///   [`DecodeArena::add_edge`] through the `is_touched` flags.
+/// * Buffers only grow; in the steady state a rebuild or patch allocates
+///   nothing. Like the [`QueryCache`] itself this is harness
+///   bookkeeping, never charged to the [`SpaceMeter`].
+#[derive(Debug, Clone)]
+struct DecodeArena {
+    /// Pooled mirror of `Graph::from_edges(n, D_{curr,k} ∪ B)`.
     mirror: Graph,
+    /// Endpoints inserted since the last clear (clears the mirror in
+    /// `O(|touched|)`).
+    touched: Vec<u32>,
+    /// Membership flags for `touched`.
+    is_touched: Vec<bool>,
     /// First-fit-ascending coloring `χ` of `mirror`.
     chi: Coloring,
     /// Pair-encoded output `(χ(y), h(y))`.
     out: Coloring,
-    /// Buffer edges already mirrored.
-    b_synced: usize,
+    /// The ascending vertex order `0..n`, built once for greedy passes.
+    order: Vec<u32>,
+    /// Second components `h_{curr,k}(y)` for the decode's surviving slot,
+    /// refilled on every rebuild. The slot is frozen within an epoch, so
+    /// patches read this dense column (a few KB, cache-resident) instead
+    /// of gathering one strided `u16` per changed vertex out of the
+    /// multi-megabyte value matrix; rebuilds fill it with one
+    /// [`PolynomialHash::eval_batch`] sweep (sequential arithmetic, no
+    /// memory stalls) rather than `n` gathers.
+    second: Vec<u64>,
+}
+
+impl DecodeArena {
+    fn new(n: usize) -> Self {
+        Self {
+            mirror: Graph::empty(n),
+            touched: Vec::new(),
+            is_touched: vec![false; n],
+            chi: Coloring::empty(n),
+            out: Coloring::empty(n),
+            order: (0..n as u32).collect(),
+            second: vec![0; n],
+        }
+    }
+
+    /// Empties the mirror in `O(|touched|)`, keeping all allocations.
+    fn clear_mirror(&mut self) {
+        self.mirror.clear_incident(&self.touched);
+        for &v in &self.touched {
+            self.is_touched[v as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// [`Graph::add_edge`] plus touched-endpoint tracking.
+    fn add_edge(&mut self, e: Edge) -> bool {
+        for w in [e.u(), e.v()] {
+            if !self.is_touched[w as usize] {
+                self.is_touched[w as usize] = true;
+                self.touched.push(w);
+            }
+        }
+        self.mirror.add_edge(e)
+    }
 }
 
 /// The randomness-efficient robust colorer of Theorem 4.
@@ -64,14 +139,24 @@ pub struct RandEfficientColorer {
     curr: usize,
     num_epochs: usize,
     meter: SpaceMeter,
-    /// Per-chunk hash memo for the batched ingestion path.
+    /// Per-chunk hash memo for the generic batched ingestion tier.
     memo: BlockMemo,
+    /// Table-driven evaluation tier: `tbl[v][slot] = h_slot(v)` as `u16`,
+    /// built once at construction when the configuration fits (range
+    /// `ℓ² ≤ 2^16` and the matrix under [`sc_hash::MAX_TABLE_BYTES`]);
+    /// `None` falls back to the memoized generic tier. A pure cache of
+    /// the stored hash coefficients — never charged to the meter.
+    table: Option<VertexSlotTable>,
+    /// Ingest scratch: `(edge index, slot)` match pairs, edge-major.
+    pairs: Vec<(u32, u32)>,
+    /// Pooled decode buffers for the incremental query path.
+    arena: DecodeArena,
     /// Queries that found every `D_{curr,j} = ⊥` (the `1/poly(n)` failure
     /// event of Lemma 4.8); such queries fall back to coloring `B` alone
     /// and may be improper.
     failures: u64,
-    /// Epoch-keyed decode state for the incremental query path.
-    cache: QueryCache<DecodeState>,
+    /// Epoch-keyed decode metadata for the incremental query path.
+    cache: QueryCache<DecodeMeta>,
 }
 
 impl RandEfficientColorer {
@@ -83,7 +168,14 @@ impl RandEfficientColorer {
         let p_copies = (10.0 * log_n).ceil() as usize;
         let ell = 1u64 << (delta as u64).ilog2(); // greatest power of 2 ≤ ∆
         let range = ell * ell;
-        let num_epochs = delta; // at most n∆/2 edges / n per buffer
+        // A max-degree-∆ graph has at most n∆/2 edges (handshake), and
+        // the buffer rotates once per n ingested edges, so the epoch
+        // counter never passes ⌈∆/2⌉; one spare epoch absorbs the
+        // boundary. Provisioning ∆ epochs (one per buffer, read loosely)
+        // would double the randomness charge and the value matrix, and —
+        // on the ingest hot path — double the live slot suffix every
+        // edge is scanned against.
+        let num_epochs = delta.div_ceil(2) + 1;
         let cap = (7 * n).div_ceil(delta).max(1);
         let family = PolynomialFamily::for_domain(n as u64, range, 4);
         let mut rng = SplitMix64::new(seed);
@@ -96,6 +188,7 @@ impl RandEfficientColorer {
             .collect();
         let d_sets = vec![Some(Vec::new()); num_epochs * p_copies];
         meter.charge(128); // curr + buffer counters
+        let table = VertexSlotTable::build(&hashes, n);
         Self {
             n,
             delta,
@@ -109,6 +202,9 @@ impl RandEfficientColorer {
             num_epochs,
             meter,
             memo: BlockMemo::new(n),
+            table,
+            pairs: Vec::new(),
+            arena: DecodeArena::new(n),
             failures: 0,
             cache: QueryCache::new(),
         }
@@ -117,6 +213,20 @@ impl RandEfficientColorer {
     #[inline]
     fn idx(&self, epoch_1based: usize, j: usize) -> usize {
         (epoch_1based - 1) * self.p_copies + j
+    }
+
+    /// Whether the table-driven evaluation tier is active (see the
+    /// `table` field; small-range configurations always tabulate).
+    pub fn has_table_tier(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Drops the table-driven evaluation tier, forcing the generic
+    /// memoized tier from here on. The tiers are bit-identical by
+    /// construction; this exists so tests and benchmarks can compare
+    /// them on one configuration.
+    pub fn force_generic_tier(&mut self) {
+        self.table = None;
     }
 
     /// Number of all-⊥ query failures so far.
@@ -176,108 +286,69 @@ impl RandEfficientColorer {
         (0..self.p_copies).map(|j| self.idx(self.curr, j)).find(|&s| self.d_sets[s].is_some())
     }
 
-    /// Decodes the current epoch's sketch from scratch into an
-    /// incremental [`DecodeState`] (the cache-miss path; also bumps the
-    /// failure counter exactly as a scratch query would).
-    fn rebuild_decode(&mut self) -> DecodeState {
+    /// Decodes the current epoch's sketch into the pooled [`DecodeArena`]
+    /// (the cache-miss path; also bumps the failure counter exactly as a
+    /// scratch query would). Allocation-free in the steady state: the
+    /// arena is cleared in `O(|touched|)` and refilled in place.
+    fn rebuild_decode(&mut self) -> DecodeMeta {
         let slot = self.surviving_slot();
         if slot.is_none() {
             self.failures += 1;
         }
-        let mut mirror = Graph::empty(self.n);
+        let arena = &mut self.arena;
+        arena.clear_mirror();
         if let Some(s) = slot {
             for &e in self.d_sets[s].as_ref().expect("surviving slot is Some") {
-                mirror.add_edge(e);
+                arena.add_edge(e);
             }
         }
         for &e in &self.buffer {
-            mirror.add_edge(e);
+            arena.add_edge(e);
         }
-        let mut chi = Coloring::empty(self.n);
-        let order: Vec<u32> = (0..self.n as u32).collect();
-        greedy_color_in_order(&mirror, &mut chi, &order, 0);
+        arena.chi.reset();
+        greedy_color_in_order(&arena.mirror, &mut arena.chi, &arena.order, 0);
+        // Refill the second-component column for this epoch's slot; the
+        // batched tier is bit-identical to scalar `eval` (and to the value
+        // matrix), so the pair encoding matches the scratch query exactly.
+        match slot {
+            Some(s) => self.hashes[s].eval_batch(&arena.order, &mut arena.second),
+            None => arena.second.fill(0),
+        }
         let range = self.ell * self.ell;
-        let h = slot.map(|s| &self.hashes[s]);
-        let mut out = Coloring::empty(self.n);
         for y in 0..self.n as u32 {
-            let chi_y = chi.get(y).expect("greedy colored everything");
-            let second = h.map_or(0, |h| h.eval(y as u64));
-            out.set(y, chi_y * range + second);
+            let chi_y = arena.chi.get(y).expect("greedy colored everything");
+            arena.out.set(y, chi_y * range + arena.second[y as usize]);
         }
-        DecodeState { era: self.curr, slot, mirror, chi, out, b_synced: self.buffer.len() }
+        DecodeMeta { era: self.curr, slot, b_synced: self.buffer.len() }
     }
 
     /// Batched ingestion of a run of edges within one epoch.
     ///
     /// Candidate membership (`h_{i,j}`-monochromaticity) is a pure
-    /// function of the endpoints, so phase 1 computes it sketch-major
-    /// with one [`BlockMemo`] per slot — skipping slots that are already
-    /// `⊥`, which per-edge processing must re-check every time. Phase 2
-    /// replays insertions edge-major so the cap/invalidate state machine
-    /// and the space meter evolve exactly as per-edge processing: unlike
-    /// Algorithm 2's, this meter *releases* mid-run (overflow wipes), so
-    /// charge order matters for the reported peak.
-    fn ingest_run(&mut self, run: &[Edge]) {
-        let eb = edge_bits(self.n);
-        for &e in run {
-            assert!((e.v() as usize) < self.n, "edge {e} out of range");
-        }
-
-        // Phase 1: per-edge lists of matching live slots.
-        let mut matches: Vec<Vec<u32>> = vec![Vec::new(); run.len()];
-        for i in (self.curr + 1)..=self.num_epochs {
-            for j in 0..self.p_copies {
-                let slot = self.idx(i, j);
-                if self.d_sets[slot].is_none() {
-                    continue; // ⊥ never revives; skip its hashing entirely
-                }
-                self.memo.reset();
-                let h = &self.hashes[slot];
-                for (k, &e) in run.iter().enumerate() {
-                    if self.memo.get(e.u(), |x| h.eval(x)) == self.memo.get(e.v(), |x| h.eval(x)) {
-                        matches[k].push(slot as u32);
-                    }
-                }
-            }
-        }
-
-        // Phase 2: edge-major state replay (lines 6–14 semantics).
-        self.buffer.reserve(run.len());
-        for (k, &e) in run.iter().enumerate() {
-            self.buffer.push(e);
-            self.meter.charge(eb);
-            for &slot in &matches[k] {
-                let slot = slot as usize;
-                match &mut self.d_sets[slot] {
-                    Some(d) if d.len() < self.cap => {
-                        d.push(e);
-                        self.meter.charge(eb);
-                    }
-                    Some(d) => {
-                        // Overflow: wipe to ⊥ (lines 13–14).
-                        self.meter.release(d.len() as u64 * eb);
-                        self.d_sets[slot] = None;
-                    }
-                    None => {}
-                }
-            }
-        }
-    }
-}
-
-impl StreamingColorer for RandEfficientColorer {
-    fn process(&mut self, e: Edge) {
+    /// function of the endpoints, so phase 1 computes the edge-major
+    /// `(edge, slot)` match pairs up front. In the table tier that is one
+    /// [`VertexSlotTable::equal_slots`] row scan per edge — packed `u16`
+    /// compares over exactly the live slot suffix `[curr·P, ∆·P)`, which
+    /// shrinks as epochs advance. The generic tier keeps the sketch-major
+    /// [`BlockMemo`] sweep (skipping `⊥` slots, one evaluation per
+    /// distinct endpoint) and sorts its pairs into the same edge-major
+    /// order. Phase 2 replays insertions edge-major so the
+    /// cap/invalidate state machine and the space meter evolve exactly as
+    /// per-edge processing: unlike Algorithm 2's, this meter *releases*
+    /// mid-run (overflow wipes), so charge order matters for the reported
+    /// peak.
+    /// Scalar ingestion of a single in-epoch edge (lines 8–14) — the
+    /// reference path. [`StreamingColorer::process`] and single-edge
+    /// batch runs land here: a one-edge chunk gives the table tier
+    /// nothing to amortize over, and keeping it on the scalar routine
+    /// means the engine's per-edge configuration measures the unbatched
+    /// algorithm rather than a degenerate batch.
+    fn ingest_edge(&mut self, e: Edge) {
         assert!((e.v() as usize) < self.n, "edge {e} out of range");
         let eb = edge_bits(self.n);
 
-        // Lines 6–7: epoch rotation.
-        if self.buffer.len() == self.n {
-            self.rotate_buffer();
-        }
         self.buffer.push(e);
         self.meter.charge(eb);
-
-        self.cache.advance(1);
 
         // Lines 9–14: feed the candidate sketches of future epochs.
         let (u, v) = e.endpoints();
@@ -304,6 +375,94 @@ impl StreamingColorer for RandEfficientColorer {
         }
     }
 
+    fn ingest_run(&mut self, run: &[Edge]) {
+        let eb = edge_bits(self.n);
+        for &e in run {
+            assert!((e.v() as usize) < self.n, "edge {e} out of range");
+        }
+
+        // Phase 1: (edge, slot) match pairs over live future slots.
+        self.pairs.clear();
+        let base = self.curr * self.p_copies; // first slot of epoch curr+1
+        let total = self.num_epochs * self.p_copies;
+        if base < total {
+            match &self.table {
+                Some(t) => {
+                    let pairs = &mut self.pairs;
+                    let d_sets = &self.d_sets;
+                    for (k, &e) in run.iter().enumerate() {
+                        // Overlap the next edge's row-stream startup
+                        // latency with the current scan (pure hint).
+                        if let Some(ne) = run.get(k + 1) {
+                            t.prefetch_rows(ne.u(), ne.v(), base);
+                        }
+                        t.equal_slots(e.u(), e.v(), base, |slot| {
+                            // ⊥ never revives: matches on slots dead
+                            // before the run are dropped here, mid-run
+                            // deaths by phase 2's state machine.
+                            if d_sets[slot].is_some() {
+                                pairs.push((k as u32, slot as u32));
+                            }
+                        });
+                    }
+                }
+                None => {
+                    for slot in base..total {
+                        if self.d_sets[slot].is_none() {
+                            continue; // ⊥ never revives; skip its hashing
+                        }
+                        self.memo.reset();
+                        let h = &self.hashes[slot];
+                        for (k, &e) in run.iter().enumerate() {
+                            if self.memo.get(e.u(), |x| h.eval(x))
+                                == self.memo.get(e.v(), |x| h.eval(x))
+                            {
+                                self.pairs.push((k as u32, slot as u32));
+                            }
+                        }
+                    }
+                    // Sketch-major discovery order → edge-major replay order.
+                    self.pairs.sort_unstable();
+                }
+            }
+        }
+
+        // Phase 2: edge-major state replay (lines 6–14 semantics).
+        self.buffer.reserve(run.len());
+        let mut cursor = 0;
+        for (k, &e) in run.iter().enumerate() {
+            self.buffer.push(e);
+            self.meter.charge(eb);
+            while cursor < self.pairs.len() && self.pairs[cursor].0 == k as u32 {
+                let slot = self.pairs[cursor].1 as usize;
+                cursor += 1;
+                match &mut self.d_sets[slot] {
+                    Some(d) if d.len() < self.cap => {
+                        d.push(e);
+                        self.meter.charge(eb);
+                    }
+                    Some(d) => {
+                        // Overflow: wipe to ⊥ (lines 13–14).
+                        self.meter.release(d.len() as u64 * eb);
+                        self.d_sets[slot] = None;
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+impl StreamingColorer for RandEfficientColorer {
+    fn process(&mut self, e: Edge) {
+        // Lines 6–7: epoch rotation.
+        if self.buffer.len() == self.n {
+            self.rotate_buffer();
+        }
+        self.cache.advance(1);
+        self.ingest_edge(e);
+    }
+
     fn process_batch(&mut self, edges: &[Edge]) {
         self.cache.advance(edges.len() as u64);
         let mut start = 0;
@@ -314,7 +473,11 @@ impl StreamingColorer for RandEfficientColorer {
             // Split at epoch boundaries so each run sees a fixed `curr`.
             let room = self.n.saturating_sub(self.buffer.len()).max(1);
             let end = (start + room).min(edges.len());
-            self.ingest_run(&edges[start..end]);
+            if end - start == 1 {
+                self.ingest_edge(edges[start]);
+            } else {
+                self.ingest_run(&edges[start..end]);
+            }
             start = end;
         }
     }
@@ -357,45 +520,57 @@ impl StreamingColorer for RandEfficientColorer {
 
     fn query_incremental(&mut self) -> Coloring {
         // Fresh: nothing ingested since the last decode.
-        if let Some(d) = self.cache.fresh() {
-            let failed = d.slot.is_none();
-            let out = d.out.clone();
+        if let Some(meta) = self.cache.fresh() {
+            let failed = meta.slot.is_none();
+            let out = self.arena.out.clone();
             if failed {
                 self.failures += 1; // each query observes the failure anew
             }
             return out;
         }
         match self.cache.take_for_patch() {
-            Some((_, mut d)) => {
-                debug_assert_eq!(d.era, self.curr, "rotation must invalidate the decode cache");
+            Some((_, mut meta)) => {
+                debug_assert_eq!(meta.era, self.curr, "rotation must invalidate the decode cache");
                 // Within an epoch only buffer edges join D_{curr,k} ∪ B:
-                // append them to the mirror and repair χ around them.
+                // append them to the arena mirror and repair χ around them.
+                // Seed the repair only where an inserted edge actually
+                // conflicts. For a new edge {u, v} with u < v, first-fit's
+                // choice at v can change only if χ(u) = χ(v): a smaller
+                // χ(u) was already forbidden at v (else first-fit would
+                // have picked it), and a larger one never lowers the
+                // smallest non-forbidden color. If the cascade later
+                // recolors u, it re-enqueues v itself.
                 let mut seeds = Vec::new();
-                for &e in &self.buffer[d.b_synced..] {
-                    if d.mirror.add_edge(e) {
+                for &e in &self.buffer[meta.b_synced..] {
+                    if self.arena.add_edge(e)
+                        && self.arena.chi.get(e.u()) == self.arena.chi.get(e.v())
+                    {
                         seeds.push(e.u().max(e.v()));
                     }
                 }
-                d.b_synced = self.buffer.len();
-                let changed = greedy_repair_ascending(&d.mirror, &mut d.chi, seeds);
+                meta.b_synced = self.buffer.len();
+                let arena = &mut self.arena;
+                let changed = greedy_repair_ascending(&arena.mirror, &mut arena.chi, seeds);
+                self.cache.note_patched(changed.len() as u64);
                 let range = self.ell * self.ell;
-                let h = d.slot.map(|s| &self.hashes[s]);
                 for v in changed {
-                    let chi_v = d.chi.get(v).expect("repair keeps χ total");
-                    let second = h.map_or(0, |h| h.eval(v as u64));
-                    d.out.set(v, chi_v * range + second);
+                    let chi_v = arena.chi.get(v).expect("repair keeps χ total");
+                    // `second` holds this epoch's slot values (the slot is
+                    // frozen between rebuilds), so patching the pair
+                    // encoding is two cache-resident reads per vertex.
+                    arena.out.set(v, chi_v * range + arena.second[v as usize]);
                 }
-                if d.slot.is_none() {
+                if meta.slot.is_none() {
                     self.failures += 1;
                 }
-                let out = d.out.clone();
-                self.cache.install(d);
+                let out = arena.out.clone();
+                self.cache.install(meta);
                 out
             }
             None => {
-                let d = self.rebuild_decode();
-                let out = d.out.clone();
-                self.cache.install(d);
+                let meta = self.rebuild_decode();
+                let out = self.arena.out.clone();
+                self.cache.install(meta);
                 out
             }
         }
@@ -501,6 +676,46 @@ mod tests {
             run_oblivious(&mut a, edges.iter().copied()),
             run_oblivious(&mut b, edges.iter().copied())
         );
+    }
+
+    #[test]
+    fn generic_tier_matches_table_tier() {
+        // Force the BlockMemo fallback on one of two identically seeded
+        // colorers: ingestion, incremental queries, and scratch queries
+        // must stay bit-identical across evaluation tiers.
+        let g = generators::gnp_with_max_degree(60, 8, 0.5, 3);
+        let edges = generators::shuffled_edges(&g, 3);
+        let mut tabled = RandEfficientColorer::new(60, 8, 99);
+        let mut generic = RandEfficientColorer::new(60, 8, 99);
+        assert!(tabled.table.is_some(), "this configuration should tabulate");
+        generic.table = None;
+        for chunk in edges.chunks(7) {
+            tabled.process_batch(chunk);
+            generic.process_batch(chunk);
+            assert_eq!(tabled.query_incremental(), generic.query_incremental());
+        }
+        assert_eq!(tabled.query(), generic.query());
+        assert_eq!(tabled.peak_space_bits(), generic.peak_space_bits());
+        assert_eq!(tabled.candidate_sizes(tabled.curr), generic.candidate_sizes(generic.curr));
+    }
+
+    #[test]
+    fn arena_decode_matches_scratch_queries() {
+        // The pooled-arena incremental path against the from-scratch
+        // reference, across epoch rotations and back-to-back queries.
+        let g = generators::gnp_with_max_degree(45, 7, 0.6, 14);
+        let edges = generators::shuffled_edges(&g, 14);
+        let mut colorer = RandEfficientColorer::new(45, 7, 31);
+        for (i, &e) in edges.iter().enumerate() {
+            colorer.process(e);
+            if i % 5 == 0 {
+                assert_eq!(colorer.query_incremental(), colorer.query(), "prefix {}", i + 1);
+                // Immediately again: a pure cache hit must not drift.
+                assert_eq!(colorer.query_incremental(), colorer.query());
+            }
+        }
+        let stats = colorer.query_cache_stats().unwrap();
+        assert!(stats.hits > 0 && stats.patches > 0);
     }
 
     #[test]

@@ -47,23 +47,12 @@ impl MonoSketch {
         &self.edges
     }
 
-    /// The underlying oracle function (batched paths hash through a
-    /// [`BlockMemo`] instead of calling [`MonoSketch::offer`]).
+    /// The underlying oracle function (batched paths hash through an
+    /// [`EvalScratch`] or [`BlockMemo`] instead of calling
+    /// [`MonoSketch::offer`]).
     #[inline]
     pub fn oracle(&self) -> &OracleFn {
         &self.f
-    }
-
-    /// Stores an edge the caller has already checked is monochromatic
-    /// (via memoized evaluations of [`MonoSketch::oracle`]).
-    #[inline]
-    pub(crate) fn push_mono(&mut self, e: Edge) {
-        debug_assert_eq!(
-            self.block_of(e.u()),
-            self.block_of(e.v()),
-            "push_mono on a bichromatic edge"
-        );
-        self.edges.push(e);
     }
 
     /// Number of stored edges.
@@ -84,20 +73,93 @@ impl MonoSketch {
         self.f.range()
     }
 
-    /// Offers a whole chunk, memoizing `f` through `memo` so each distinct
-    /// endpoint is hashed once per chunk instead of once per edge. Returns
-    /// the number of edges stored. Equivalent to offering the chunk's
-    /// edges one at a time, in order.
-    pub fn offer_batch(&mut self, edges: &[Edge], memo: &mut BlockMemo) -> usize {
-        memo.reset();
-        let f = self.f; // `OracleFn` is `Copy`; detach from `self.edges`.
+    /// Offers a whole chunk through the batched evaluation tier: loads
+    /// the chunk's presplit columns into `scratch`, then runs the fused
+    /// per-lane monochromaticity check. Returns the number of edges
+    /// stored. Equivalent to offering the chunk's edges one at a time,
+    /// in order (`eval_presplit ∘ presplit` is bit-identical to `eval`).
+    pub fn offer_batch(&mut self, edges: &[Edge], scratch: &mut EvalScratch) -> usize {
+        scratch.load(edges);
+        self.offer_preloaded(edges, scratch)
+    }
+
+    /// [`MonoSketch::offer_batch`] over a chunk whose presplit columns
+    /// are already loaded — callers with several sketches over the same
+    /// chunk (Algorithm 2's per-epoch loop) load once and share.
+    ///
+    /// The check is fused: each lane's two outer rounds complete in
+    /// registers and compare immediately, with no hash-value columns
+    /// materialized. (The earlier structure-of-arrays tier stored both
+    /// endpoint hashes per lane and re-read them in a second pass; the
+    /// memory round trip made it ~3× slower than the scalar loop, which
+    /// LLVM already keeps register-resident.)
+    pub fn offer_preloaded(&mut self, edges: &[Edge], scratch: &EvalScratch) -> usize {
+        self.offer_preloaded_where(edges, scratch, |_| true)
+    }
+
+    /// [`MonoSketch::offer_preloaded`] restricted to the chunk lanes
+    /// accepted by `keep` (Algorithm 2's level filter) — rejected lanes
+    /// are never hashed. Lanes are visited in chunk order, so stored
+    /// edges land in exactly the per-edge insertion order.
+    pub fn offer_preloaded_where(
+        &mut self,
+        edges: &[Edge],
+        scratch: &EvalScratch,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> usize {
         let before = self.edges.len();
-        for &e in edges {
-            if memo.get(e.u(), |x| f.eval(x)) == memo.get(e.v(), |x| f.eval(x)) {
+        for (k, &e) in edges.iter().enumerate() {
+            if keep(k) && self.f.eval_presplit(scratch.su(k)) == self.f.eval_presplit(scratch.sv(k))
+            {
                 self.edges.push(e);
             }
         }
         self.edges.len() - before
+    }
+}
+
+/// Pooled presplit-endpoint columns for batched sketch evaluation.
+///
+/// [`OracleFn::eval`] factors into a key-independent inner mixing round
+/// ([`OracleFn::presplit`]) and a cheap per-key outer round
+/// ([`OracleFn::eval_presplit`]). [`EvalScratch::load`] runs the inner
+/// round once per chunk endpoint; every sketch offered the same chunk
+/// ([`MonoSketch::offer_preloaded`]) then pays only outer rounds, however
+/// many sketches there are — Algorithm 2 shares one load across its
+/// per-epoch `h` sketches *and* its level `g` sketches. Buffers keep
+/// their capacity across chunks, so the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Presplit values of the chunk's `u` endpoints.
+    su: Vec<u64>,
+    /// Presplit values of the chunk's `v` endpoints.
+    sv: Vec<u64>,
+}
+
+impl EvalScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a chunk: one inner mixing round per endpoint.
+    pub fn load(&mut self, edges: &[Edge]) {
+        self.su.clear();
+        self.sv.clear();
+        self.su.extend(edges.iter().map(|e| OracleFn::presplit(e.u() as u64)));
+        self.sv.extend(edges.iter().map(|e| OracleFn::presplit(e.v() as u64)));
+    }
+
+    /// Presplit value of lane `k`'s `u` endpoint.
+    #[inline]
+    pub fn su(&self, k: usize) -> u64 {
+        self.su[k]
+    }
+
+    /// Presplit value of lane `k`'s `v` endpoint.
+    #[inline]
+    pub fn sv(&self, k: usize) -> u64 {
+        self.sv[k]
     }
 }
 
@@ -150,7 +212,17 @@ impl BlockMemo {
 /// Query time in Algorithm 2 iterates blocks; grouping nonempty ones keeps
 /// that `O(|V| log |V|)` instead of `O(∆²)` when most blocks are empty.
 pub fn group_by_block(sketch: &MonoSketch, vertices: &[u32]) -> Vec<(u64, Vec<u32>)> {
-    let mut tagged: Vec<(u64, u32)> = vertices.iter().map(|&v| (sketch.block_of(v), v)).collect();
+    group_by_block_with(|v| sketch.block_of(v), vertices)
+}
+
+/// [`group_by_block`] over an arbitrary block function — incremental
+/// query paths pass a [`BlockMemo`]-backed closure so each distinct
+/// vertex hashes at most once per phase.
+pub fn group_by_block_with(
+    mut block: impl FnMut(u32) -> u64,
+    vertices: &[u32],
+) -> Vec<(u64, Vec<u32>)> {
+    let mut tagged: Vec<(u64, u32)> = vertices.iter().map(|&v| (block(v), v)).collect();
     tagged.sort_unstable();
     let mut out: Vec<(u64, Vec<u32>)> = Vec::new();
     for (b, v) in tagged {

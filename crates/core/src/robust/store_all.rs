@@ -55,8 +55,9 @@ impl StoreAllColorer {
     }
 
     /// Brings `artifact` up to date with the stored edges, repairing the
-    /// coloring only around the insertions.
-    fn patch(&self, artifact: &mut StoreAllArtifact) {
+    /// coloring only around the insertions. Returns the number of
+    /// vertices the repair recolored (the dirty-frontier size).
+    fn patch(&self, artifact: &mut StoreAllArtifact) -> u64 {
         let mut seeds = Vec::new();
         for &e in &self.edges[artifact.synced..] {
             if artifact.mirror.add_edge(e) {
@@ -65,7 +66,7 @@ impl StoreAllColorer {
             }
         }
         artifact.synced = self.edges.len();
-        greedy_repair_ascending(&artifact.mirror, &mut artifact.chi, seeds);
+        greedy_repair_ascending(&artifact.mirror, &mut artifact.chi, seeds).len() as u64
     }
 }
 
@@ -99,7 +100,8 @@ impl StreamingColorer for StoreAllColorer {
         }
         let artifact = match self.cache.take_for_patch() {
             Some((_, mut a)) => {
-                self.patch(&mut a);
+                let recolored = self.patch(&mut a);
+                self.cache.note_patched(recolored);
                 a
             }
             None => {

@@ -120,6 +120,37 @@ proptest! {
     }
 
     #[test]
+    fn robust_alg3_evaluation_tiers_equivalent((n, delta, seed) in (20usize..60, 3usize..9, any::<u64>())) {
+        // The table-driven and generic (memoized) hash-evaluation tiers
+        // must agree on every interleaving: same incremental answers,
+        // same scratch answers, same space report.
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
+        let edges = generators::shuffled_edges(&g, seed ^ 1);
+        for cuts in cut_menu(edges.len()) {
+            let mut tabled = RandEfficientColorer::new(n, delta, seed ^ 3);
+            let mut generic = RandEfficientColorer::new(n, delta, seed ^ 3);
+            prop_assert!(tabled.has_table_tier(), "small ranges must tabulate");
+            generic.force_generic_tier();
+            for &(a, b) in &chunkings(&edges, &cuts) {
+                tabled.process_batch(&edges[a..b]);
+                generic.process_batch(&edges[a..b]);
+                prop_assert_eq!(
+                    tabled.query_incremental(),
+                    generic.query_incremental(),
+                    "alg3 tiers diverge (incremental) after {} edges",
+                    b
+                );
+            }
+            prop_assert_eq!(tabled.query(), generic.query(), "alg3 tiers diverge (scratch)");
+            prop_assert_eq!(
+                tabled.peak_space_bits(),
+                generic.peak_space_bits(),
+                "the table tier leaked into the space report"
+            );
+        }
+    }
+
+    #[test]
     fn store_all_batch_equivalence((n, seed) in (10usize..60, any::<u64>())) {
         let g = generators::gnp_with_max_degree(n, 6, 0.4, seed);
         let edges = generators::shuffled_edges(&g, seed);

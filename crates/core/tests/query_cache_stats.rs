@@ -31,7 +31,10 @@ const N: usize = 60;
 const DELTA: usize = 6;
 
 fn expected(hits: u64, patches: u64, misses: u64, invalidations: u64) -> CacheStats {
-    CacheStats { hits, patches, misses, invalidations }
+    // `patched_vertices` (patch *depth*) is workload- and colorer-shaped,
+    // not part of the locked outcome table; the per-case assertions below
+    // only require it to be consistent with the patch count.
+    CacheStats { hits, patches, misses, invalidations, patched_vertices: 0 }
 }
 
 #[test]
@@ -68,7 +71,15 @@ fn counters_match_the_committed_table_per_colorer() {
         let stats = colorer.query_cache_stats().unwrap_or_else(|| {
             panic!("{name} advertises an incremental path but reports no stats")
         });
-        assert_eq!(stats, want, "{name}: counters drifted from the committed table");
+        assert_eq!(
+            (stats.hits, stats.patches, stats.misses, stats.invalidations),
+            (want.hits, want.patches, want.misses, want.invalidations),
+            "{name}: counters drifted from the committed table"
+        );
+        assert!(
+            stats.patches > 0 || stats.patched_vertices == 0,
+            "{name}: patch depth recorded without any patch"
+        );
         assert_eq!(stats.queries(), 5, "{name}: every query_incremental classifies exactly once");
         let reuse = (want.hits + want.patches) as f64 / 5.0;
         assert!((stats.reuse_rate() - reuse).abs() < 1e-12, "{name}: reuse rate");

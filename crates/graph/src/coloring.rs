@@ -53,6 +53,13 @@ impl Coloring {
         self.colors[x as usize] = None;
     }
 
+    /// Uncolors every vertex, keeping the allocation — the pooled-arena
+    /// counterpart of building a fresh [`Coloring::empty`].
+    #[inline]
+    pub fn reset(&mut self) {
+        self.colors.fill(None);
+    }
+
     /// Whether `x` is colored.
     #[inline]
     pub fn is_colored(&self, x: VertexId) -> bool {
@@ -153,6 +160,15 @@ mod tests {
 
     fn path3() -> Graph {
         Graph::from_edges(3, [Edge::new(0, 1), Edge::new(1, 2)])
+    }
+
+    #[test]
+    fn reset_equals_fresh_empty() {
+        let mut c = Coloring::empty(4);
+        c.set(0, 3);
+        c.set(2, 1);
+        c.reset();
+        assert_eq!(c, Coloring::empty(4));
     }
 
     #[test]

@@ -88,15 +88,29 @@ pub fn greedy_complete(g: &Graph, coloring: &mut Coloring) {
 /// Returns the vertices whose color changed, in ascending order — the
 /// incremental query paths patch derived outputs (e.g. Algorithm 3's pair
 /// encoding) from exactly this set.
+///
+/// The worklist is a min-heap that tolerates duplicates: a change at the
+/// current minimum `y` only enqueues neighbors `> y`, so pops form a
+/// non-decreasing sequence and a duplicate resurfaces immediately after
+/// its twin, where the recheck is a no-op (the color is already
+/// first-fit). That keeps every operation `O(log)` on a flat buffer
+/// instead of the pointer-chasing of an ordered set.
 pub fn greedy_repair_ascending(
     g: &Graph,
     coloring: &mut Coloring,
     seeds: impl IntoIterator<Item = VertexId>,
 ) -> Vec<VertexId> {
-    let mut worklist: std::collections::BTreeSet<VertexId> = seeds.into_iter().collect();
+    use std::cmp::Reverse;
+    let mut worklist: std::collections::BinaryHeap<Reverse<VertexId>> =
+        seeds.into_iter().map(Reverse).collect();
     let mut changed = Vec::new();
     let mut forbidden: Vec<Color> = Vec::new();
-    while let Some(x) = worklist.pop_first() {
+    let mut last: Option<VertexId> = None;
+    while let Some(Reverse(x)) = worklist.pop() {
+        if last == Some(x) {
+            continue;
+        }
+        last = Some(x);
         forbidden.clear();
         forbidden
             .extend(g.neighbors(x).iter().filter(|&&y| y < x).filter_map(|&y| coloring.get(y)));
@@ -116,7 +130,7 @@ pub fn greedy_repair_ascending(
         if coloring.get(x) != Some(c) {
             coloring.set(x, c);
             changed.push(x);
-            worklist.extend(g.neighbors(x).iter().copied().filter(|&y| y > x));
+            worklist.extend(g.neighbors(x).iter().copied().filter(|&y| y > x).map(Reverse));
         }
     }
     changed

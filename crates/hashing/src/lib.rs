@@ -23,8 +23,21 @@
 //! via `u128` widening, deterministic Miller–Rabin primality for all
 //! 64-bit inputs, and prime search in a range — Algorithm 1 needs a prime
 //! in `[8n log n, 16n log n]`).
+//!
+//! ## Evaluation tiers
+//!
+//! Hot paths evaluate the same functions through three bit-identical
+//! tiers (see [`batch`] for the full contract): scalar reference
+//! evaluation ([`PolynomialHash::eval`], [`OracleFn::eval`]), batched
+//! branch-free loops over pooled buffers ([`PolynomialHash::eval_batch`],
+//! [`OracleFn::eval_batch`], powered by the Barrett [`modp::Reducer`]),
+//! and the precomputed per-seed value matrix [`VertexSlotTable`] for
+//! many-functions-over-one-small-domain workloads like Algorithm 3's
+//! `∆ · P` candidate hashes. Equality across tiers is a tested law —
+//! callers may pick purely on performance.
 
 pub mod affine;
+pub mod batch;
 pub mod mersenne;
 pub mod modp;
 pub mod oracle;
@@ -34,8 +47,9 @@ pub mod tabulation;
 pub mod two_universal;
 
 pub use affine::{AffineFamily, AffineHash};
+pub use batch::{VertexSlotTable, MAX_TABLE_BYTES};
 pub use mersenne::{add61, mul61, reduce128, MersenneAffine, P61};
-pub use modp::{is_prime_u64, mulmod, next_prime, powmod, prime_in_range};
+pub use modp::{is_prime_u64, mulmod, next_prime, powmod, prime_in_range, Reducer};
 pub use oracle::OracleFn;
 pub use polynomial::{PolynomialFamily, PolynomialHash};
 pub use prf::{splitmix64, uniform_below, SplitMix64};

@@ -37,6 +37,57 @@ pub fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     acc
 }
 
+/// A Barrett-style reducer: precomputed magic for repeated `x mod m`.
+///
+/// Rust compiles a `% m` with a *runtime* modulus to a hardware divide
+/// (u128 long division here, since the callers widen), which costs an
+/// order of magnitude more than a multiply. Batched evaluation tiers
+/// ([`crate::PolynomialHash::eval_batch`], [`crate::VertexSlotTable`])
+/// reduce millions of times against the same modulus, so they hoist the
+/// division into this one-time reciprocal and reduce with two multiplies.
+///
+/// Exact — [`Reducer::rem`] equals `x % m` for **every** `u64` input, so
+/// routing a hash through it cannot perturb a single output bit. Proof
+/// sketch: with `µ = ⌊2^64/m⌋`, the estimate `q = ⌊x·µ/2^64⌋` satisfies
+/// `⌊x/m⌋ − 2 ≤ q ≤ ⌊x/m⌋`, so `r = x − q·m < 3m` and at most two
+/// conditional subtractions finish the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reducer {
+    m: u64,
+    /// `⌊2^64 / m⌋`.
+    mu: u64,
+}
+
+impl Reducer {
+    /// Prepares reduction modulo `m` (requires `m ≥ 2`).
+    #[inline]
+    pub fn new(m: u64) -> Self {
+        assert!(m >= 2, "Reducer needs a modulus ≥ 2");
+        Self { m, mu: ((1u128 << 64) / m as u128) as u64 }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.m
+    }
+
+    /// Computes `x % m` exactly, without a divide.
+    #[inline]
+    pub fn rem(&self, x: u64) -> u64 {
+        let q = ((x as u128 * self.mu as u128) >> 64) as u64;
+        // q ≤ ⌊x/m⌋, so q·m ≤ x and the subtraction cannot wrap.
+        let mut r = x - q.wrapping_mul(self.m);
+        if r >= self.m {
+            r -= self.m;
+        }
+        if r >= self.m {
+            r -= self.m;
+        }
+        r
+    }
+}
+
 /// Deterministic witness set sufficient for all `n < 2^64`.
 const MILLER_RABIN_WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
 
@@ -252,6 +303,62 @@ mod tests {
         assert_eq!(floor_log2(3), 1);
         assert_eq!(floor_log2(1024), 10);
         assert_eq!(floor_log2(1535), 10);
+    }
+
+    #[test]
+    fn reducer_matches_hardware_remainder() {
+        let moduli = [
+            2u64,
+            3,
+            5,
+            97,
+            1009,
+            65_536,
+            (1 << 31) - 1,
+            1 << 31,
+            (1 << 31) + 11,
+            1_000_000_007,
+            (1 << 61) - 1,
+            18_446_744_073_709_551_557, // largest u64 prime
+            u64::MAX,
+        ];
+        let inputs = [
+            0u64,
+            1,
+            2,
+            96,
+            97,
+            98,
+            65_535,
+            65_536,
+            (1 << 31) - 1,
+            1 << 31,
+            (1 << 62) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &m in &moduli {
+            let red = Reducer::new(m);
+            assert_eq!(red.modulus(), m);
+            for &x in &inputs {
+                assert_eq!(red.rem(x), x % m, "x = {x}, m = {m}");
+            }
+            // Dense sweep around multiples of m to hit every correction path.
+            for k in 0u64..4 {
+                let base = m.saturating_mul(k);
+                for d in 0..8u64 {
+                    let x = base.saturating_add(d);
+                    assert_eq!(red.rem(x), x % m, "x = {x}, m = {m}");
+                }
+            }
+        }
+        // Pseudorandom cross-check over many (x, m) pairs.
+        let mut g = crate::prf::SplitMix64::new(0xBADC_0FFE);
+        for _ in 0..20_000 {
+            let m = g.next_u64().max(2);
+            let x = g.next_u64();
+            assert_eq!(Reducer::new(m).rem(x), x % m, "x = {x}, m = {m}");
+        }
     }
 
     #[test]

@@ -10,15 +10,26 @@
 //! adversary in our game framework observes only algorithm outputs — never
 //! the key — matching the model.
 
-use crate::prf::{prf3, uniform_below};
+use crate::prf::{prf2, prf2_derive, prf2_finish, prf3, splitmix64, uniform_below};
 
 /// A seeded random function `u64 → [range]`.
 ///
 /// Two `OracleFn`s with different `(seed, id)` pairs behave as independent
 /// random functions; the same pair always yields the same function.
+///
+/// Evaluation was originally `uniform_below(prf3(key, 0x5EED, x), range)`;
+/// since `prf3(key, a, x) = prf2(prf2(key, a), x)` and the inner call
+/// depends only on the key, construction now caches the derived key
+/// `dk = prf2_derive(prf2(key, 0x5EED))`, leaving exactly two mixer
+/// rounds per point: `uniform_below(prf2_finish(dk, x), range)`. Same
+/// bits out, about half the work — the scalar leg of the crate's batched
+/// evaluation tier (see [`OracleFn::eval_batch`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OracleFn {
     key: u64,
+    /// Cached inner PRF state for the fixed tweak `0x5EED` (a pure
+    /// function of `key`; kept alongside it so equality stays keyed).
+    dk: u64,
     range: u64,
 }
 
@@ -27,13 +38,51 @@ impl OracleFn {
     /// mapping into `[0, range)`.
     pub fn new(seed: u64, id: u64, range: u64) -> Self {
         assert!(range >= 1, "oracle range must be nonempty");
-        Self { key: prf3(seed, 0x0B5E_55ED_0C0F_FEE5, id), range }
+        let key = prf3(seed, 0x0B5E_55ED_0C0F_FEE5, id);
+        let dk = prf2_derive(prf2(key, 0x5EED));
+        Self { key, dk, range }
     }
 
     /// Evaluates the function at `x`.
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
-        uniform_below(prf3(self.key, 0x5EED, x), self.range)
+        uniform_below(prf2_finish(self.dk, x), self.range)
+    }
+
+    /// The key-independent inner mixing round of [`OracleFn::eval`]:
+    /// `eval(x) == eval_presplit(presplit(x))` for **every** oracle, so
+    /// hot loops that evaluate many functions at the same vertices
+    /// (Algorithm 2 runs every chunk endpoint through one sketch per
+    /// future epoch plus one per degree level) hoist this round into a
+    /// per-chunk column and share it across all of them. Splitting is
+    /// what makes the sharing expressible; the per-key outer round in
+    /// [`OracleFn::eval_presplit`] is the irreducible per-function cost.
+    #[inline]
+    pub fn presplit(x: u64) -> u64 {
+        splitmix64(x)
+    }
+
+    /// Completes an evaluation from a [`OracleFn::presplit`] value — the
+    /// per-key outer round alone. Bit-identical to [`OracleFn::eval`]
+    /// composed with `presplit` by construction (`prf2_finish(dk, x)` is
+    /// `splitmix64(dk + splitmix64(x))`).
+    #[inline]
+    pub fn eval_presplit(&self, sx: u64) -> u64 {
+        uniform_below(splitmix64(self.dk.wrapping_add(sx)), self.range)
+    }
+
+    /// Evaluates at every `xs[i]` into `out[i]` — the batched tier.
+    ///
+    /// **Bit-identical to [`OracleFn::eval`]** on each input. The loop
+    /// body is branch-free (two mixer rounds and a fixed-point multiply),
+    /// so the compiler can unroll and vectorize it; callers reuse the
+    /// output buffers across chunks (`sc-core`'s `EvalScratch`).
+    pub fn eval_batch(&self, xs: &[u32], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "eval_batch buffers must match");
+        let (dk, range) = (self.dk, self.range);
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = uniform_below(prf2_finish(dk, x as u64), range);
+        }
     }
 
     /// The range size of the function.
@@ -113,6 +162,29 @@ mod tests {
             collisions > expected / 2 && collisions < expected * 2,
             "collisions {collisions} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn derived_key_preserves_original_prf_chain() {
+        // The cached-dk evaluation must equal the original definition
+        // uniform_below(prf3(key, 0x5EED, x), range) bit-for-bit.
+        for (seed, id, range) in [(0u64, 0u64, 1u64), (1, 2, 100), (42, 7, 1 << 20), (9, 3, 17)] {
+            let f = OracleFn::new(seed, id, range);
+            for x in (0..64).chain([u64::MAX - 1, u64::MAX, 1 << 32, 1 << 63]) {
+                assert_eq!(f.eval(x), uniform_below(prf3(f.key, 0x5EED, x), range), "x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar() {
+        let f = OracleFn::new(11, 4, 1 << 12);
+        let xs: Vec<u32> = (0..1000).chain([u32::MAX - 1, u32::MAX]).collect();
+        let mut out = vec![0u64; xs.len()];
+        f.eval_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o, f.eval(x as u64), "x = {x}");
+        }
     }
 
     #[test]

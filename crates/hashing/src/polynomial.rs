@@ -13,7 +13,7 @@
 //! quantifiable non-uniformity (≤ `s/p` per point), made negligible by
 //! choosing `p ≫ s` (we use `p ≥ max(n, s)²`-ish via [`PolynomialFamily::for_domain`]).
 
-use crate::modp::{addmod, is_prime_u64, mulmod, next_prime};
+use crate::modp::{addmod, is_prime_u64, mulmod, next_prime, Reducer};
 use crate::prf::SplitMix64;
 
 /// A degree-`(k−1)` polynomial hash `z ↦ (Σ c_i z^i mod p) mod s`.
@@ -44,6 +44,67 @@ impl PolynomialHash {
     #[inline]
     pub fn randomness_bits(&self) -> u64 {
         self.coefficients.len() as u64 * (64 - self.p.leading_zeros() as u64)
+    }
+
+    /// Whether the single-`u64` dot-product evaluation is exact for this
+    /// hash: all `k` terms `c_t · z^t` (each `< p²`) must sum without
+    /// overflowing `u64`. True for every modulus
+    /// [`PolynomialFamily::for_domain`] picks at realistic parameters
+    /// (`p` is a few million; the bound allows `p` up to `≈ 2^31`).
+    #[inline]
+    pub(crate) fn dot_fits_u64(&self) -> bool {
+        let p1 = (self.p - 1) as u128;
+        (self.coefficients.len() as u128) * p1 * p1 <= u64::MAX as u128
+    }
+
+    /// Unreduced dot product `Σ c_t · (x mod p)^t` with Barrett-reduced
+    /// monomial powers. Caller guarantees [`PolynomialHash::dot_fits_u64`]
+    /// and `rp = Reducer::new(self.p)`; the result still needs
+    /// `% p % s`. Bit-compatible with Horner: both compute the same
+    /// residue mod `p`.
+    #[inline]
+    pub(crate) fn dot_u64(&self, x: u64, rp: &Reducer) -> u64 {
+        let z = rp.rem(x);
+        let mut sum = 0u64;
+        let mut w = 1u64;
+        for (t, &c) in self.coefficients.iter().enumerate() {
+            if t == 1 {
+                w = z;
+            } else if t > 1 {
+                // w, z < p and p² fits u64 under the dot_fits_u64 gate.
+                w = rp.rem(w * z);
+            }
+            sum += c * w;
+        }
+        sum
+    }
+
+    /// Evaluates at every `xs[i]` into `out[i]` — the batched tier.
+    ///
+    /// **Bit-identical to [`PolynomialHash::eval`]** on each input (the
+    /// `batch ≡ per-edge` law of the robust colorers rests on this):
+    /// the inner loop replaces Horner's per-step `u128` remainders with a
+    /// dot product over Barrett-reduced monomial powers, which computes
+    /// the same residue mod `p`, then the same `mod s`. Falls back to
+    /// scalar [`PolynomialHash::eval`] for moduli too large for the
+    /// `u64` accumulator (`p ≳ 2^31`).
+    pub fn eval_batch(&self, xs: &[u32], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "eval_batch buffers must match");
+        if self.s == 1 {
+            out.fill(0); // everything reduces to 0 mod 1
+            return;
+        }
+        if self.dot_fits_u64() {
+            let rp = Reducer::new(self.p);
+            let rs = Reducer::new(self.s);
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = rs.rem(rp.rem(self.dot_u64(x as u64, &rp)));
+            }
+        } else {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.eval(x as u64);
+            }
+        }
     }
 }
 
@@ -215,6 +276,41 @@ mod tests {
         assert_eq!(h.coefficients.len(), 4);
         assert_eq!(fam.bits_per_sample(), 4 * 10); // 1009 needs 10 bits
         assert_eq!(h.randomness_bits(), 40);
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_small_field() {
+        let h = poly(&[3, 1, 4, 1], 97, 16);
+        let xs: Vec<u32> = (0..500).collect();
+        let mut out = vec![0u64; xs.len()];
+        h.eval_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o, h.eval(x as u64), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_huge_modulus_fallback() {
+        // p² overflows u64 ⇒ the batch path must take the scalar fallback
+        // and still agree bit-for-bit.
+        let p = (1u64 << 61) - 1;
+        let h = poly(&[12345, 67890, 13579, 24680], p, 1 << 16);
+        assert!(!h.dot_fits_u64());
+        let xs = [0u32, 1, 2, 65_535, 65_536, u32::MAX - 1, u32::MAX];
+        let mut out = vec![0u64; xs.len()];
+        h.eval_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o, h.eval(x as u64));
+        }
+    }
+
+    #[test]
+    fn eval_batch_range_one() {
+        let h = poly(&[5, 7], 101, 1);
+        let xs = [0u32, 50, 100, 4321];
+        let mut out = vec![9u64; xs.len()];
+        h.eval_batch(&xs, &mut out);
+        assert!(out.iter().all(|&o| o == 0));
     }
 
     #[test]

@@ -80,10 +80,26 @@ impl SplitMix64 {
     }
 }
 
+/// Precomputes the key-dependent half of [`prf2`]. `prf2(key, x)` equals
+/// `prf2_finish(prf2_derive(key), x)` for every `x`; callers that
+/// evaluate one key at many points cache the derived key and pay only
+/// [`prf2_finish`] per point (the trick behind
+/// [`crate::OracleFn::eval_batch`]).
+#[inline]
+pub fn prf2_derive(key: u64) -> u64 {
+    splitmix64(key ^ 0x8C86_2E8B_FD2A_1F6D)
+}
+
+/// Completes a [`prf2`] evaluation from a [`prf2_derive`]d key.
+#[inline]
+pub fn prf2_finish(dk: u64, x: u64) -> u64 {
+    splitmix64(dk.wrapping_add(splitmix64(x)))
+}
+
 /// Stateless keyed PRF evaluation: `prf2(key, x)` mixes two words.
 #[inline]
 pub fn prf2(key: u64, x: u64) -> u64 {
-    splitmix64(splitmix64(key ^ 0x8C86_2E8B_FD2A_1F6D).wrapping_add(splitmix64(x)))
+    prf2_finish(prf2_derive(key), x)
 }
 
 /// Stateless keyed PRF evaluation over three words.

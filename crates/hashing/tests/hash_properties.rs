@@ -121,3 +121,104 @@ proptest! {
         prop_assert!(h.eval_range(z, r) < r);
     }
 }
+
+// ---- Batched evaluation tiers ----
+//
+// The batch/table tiers are pure accelerations: every law below pins them
+// bit-for-bit to the scalar reference path, including the boundary values
+// the vectorized loops are most likely to mishandle (range 1, domain
+// endpoints, moduli past the u64 dot-product guard).
+
+use sc_hash::{Reducer, VertexSlotTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reducer_rem_matches_hardware(x in any::<u64>(), m in 2u64..) {
+        prop_assert_eq!(Reducer::new(m).rem(x), x % m);
+    }
+
+    #[test]
+    fn oracle_presplit_factorization_matches_scalar(
+        seed in any::<u64>(),
+        id in any::<u64>(),
+        r in 1u64..1_000_000,
+        mut xs in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // The fused batch tier rests on this law: the inner mixing round
+        // is key-independent, so `eval = eval_presplit ∘ presplit` holds
+        // bit-for-bit for every oracle — including the domain endpoints.
+        xs.extend([0, 1, u64::MAX]);
+        let f = OracleFn::new(seed, id, r);
+        for &x in &xs {
+            prop_assert_eq!(f.eval_presplit(OracleFn::presplit(x)), f.eval(x));
+        }
+    }
+
+    #[test]
+    fn oracle_eval_batch_matches_scalar(
+        seed in any::<u64>(),
+        id in any::<u64>(),
+        r in 1u64..1_000_000,
+        mut xs in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        // Force the endpoints of the u32 domain into every run.
+        xs.extend([0, 1, u32::MAX]);
+        let f = OracleFn::new(seed, id, r);
+        let mut out = vec![0u64; xs.len()];
+        f.eval_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            prop_assert_eq!(o, f.eval(x as u64));
+        }
+    }
+
+    #[test]
+    fn polynomial_eval_batch_matches_scalar(
+        seed in any::<u64>(),
+        domain_log in 4u32..34,
+        range in 1u64..100_000,
+        degree in 2usize..6,
+        mut xs in proptest::collection::vec(any::<u32>(), 0..100),
+    ) {
+        // domain_log ≥ 31 pushes p past the dot-product guard for the
+        // higher degrees, covering the scalar-fallback arm too.
+        xs.extend([0, 1, u32::MAX]);
+        let fam = PolynomialFamily::for_domain(1u64 << domain_log, range, degree);
+        let h = fam.sample(&mut SplitMix64::new(seed));
+        let mut out = vec![0u64; xs.len()];
+        h.eval_batch(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            prop_assert_eq!(o, h.eval(x as u64));
+        }
+    }
+
+    #[test]
+    fn slot_table_matches_scalar_and_finds_all_collisions(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        slots in 1usize..12,
+        range in 1u64..4096,
+        from_raw in 0usize..12,
+    ) {
+        let fam = PolynomialFamily::for_domain(n as u64, range, 4);
+        let mut rng = SplitMix64::new(seed);
+        let hashes: Vec<_> = (0..slots).map(|_| fam.sample(&mut rng)).collect();
+        let table = VertexSlotTable::build(&hashes, n)
+            .expect("small same-field configuration must tabulate");
+        for v in 0..n as u32 {
+            for (s, h) in hashes.iter().enumerate() {
+                prop_assert_eq!(table.value(v, s), h.eval(v as u64));
+            }
+        }
+        // equal_slots reports exactly the colliding slot suffix.
+        let from = from_raw % slots;
+        let (u, v) = (0u32, (n - 1) as u32);
+        let mut reported = Vec::new();
+        table.equal_slots(u, v, from, |s| reported.push(s));
+        let expect: Vec<usize> = (from..slots)
+            .filter(|&s| hashes[s].eval(u as u64) == hashes[s].eval(v as u64))
+            .collect();
+        prop_assert_eq!(reported, expect);
+    }
+}

@@ -531,6 +531,7 @@ fn apply_stats(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject
             response.insert("cache_patches".into(), Scalar::Uint(stats.patches));
             response.insert("cache_misses".into(), Scalar::Uint(stats.misses));
             response.insert("cache_invalidations".into(), Scalar::Uint(stats.invalidations));
+            response.insert("cache_patched_vertices".into(), Scalar::Uint(stats.patched_vertices));
         }
         None => {
             response.insert("cache".into(), Scalar::Str("none".into()));
@@ -666,6 +667,8 @@ mod tests {
         // store-all has an incremental path: two queries, second is a hit.
         assert_eq!(obj["cache_hits"].as_u64(), Some(1), "{stats}");
         assert_eq!(obj["cache_misses"].as_u64(), Some(1), "{stats}");
+        // No patch ran, so the patch-depth counter must surface as 0.
+        assert_eq!(obj["cache_patched_vertices"].as_u64(), Some(0), "{stats}");
 
         // A colorer without an incremental path reports cache: none.
         service.respond(&open_line("t", 10, 3, "trivial", 1)).unwrap();

@@ -38,6 +38,12 @@ pub struct CacheStats {
     /// Artifacts dropped by explicit invalidation (buffer rotations,
     /// sketch wipes) rather than superseded by a newer computation.
     pub invalidations: u64,
+    /// Cumulative vertices recolored by patch-path queries — the size of
+    /// the dirty frontier the incremental repair actually touched, summed
+    /// over all patches. Colorers whose patch path has no per-vertex
+    /// repair notion leave this 0; the experiment harness surfaces it so
+    /// serving runs can report patch *depth*, not just patch *count*.
+    pub patched_vertices: u64,
 }
 
 impl CacheStats {
@@ -154,6 +160,14 @@ impl<T> QueryCache<T> {
         self.entry = Some((self.epoch, artifact));
     }
 
+    /// Records that a patch-path query recolored `vertices` vertices
+    /// (accumulated into [`CacheStats::patched_vertices`]). Colorers call
+    /// this with the dirty-frontier size right after a repair.
+    #[inline]
+    pub fn note_patched(&mut self, vertices: u64) {
+        self.stats.patched_vertices += vertices;
+    }
+
     /// Drops the artifact (recording an invalidation if one existed).
     /// The epoch keeps counting — invalidation only forgets the answer,
     /// not how much stream went by.
@@ -211,10 +225,13 @@ mod tests {
         c.advance(1);
         assert!(c.take_for_patch().is_some()); // patch
         c.install(2);
+        c.note_patched(5);
+        c.note_patched(2);
         c.invalidate(); // invalidation
         c.invalidate(); // no-op: nothing left to drop
         let s = c.stats();
         assert_eq!((s.hits, s.patches, s.misses, s.invalidations), (1, 1, 1, 1), "stats: {s:?}");
+        assert_eq!(s.patched_vertices, 7);
         assert_eq!(s.queries(), 3);
         assert!((s.reuse_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
