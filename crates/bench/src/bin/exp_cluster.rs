@@ -17,7 +17,12 @@
 //!   efficiency can exceed 1.0 on multi-core hosts;
 //! * `retry` — loopback workers plus one injected mid-job death
 //!   ([`Unreliable`]): efficiency measures what re-running one orphaned
-//!   slice costs (the straggler/re-dispatch tax).
+//!   slice costs (the straggler/re-dispatch tax);
+//! * `skew` — loopback workers plus one [`Unreliable::slowed_by`]
+//!   straggler, timed under static dispatch vs work stealing with
+//!   speculative re-dispatch: `efficiency = static_ms / stealing_ms`
+//!   is the scheduling win (> 1 means stealing + speculation rescued
+//!   the straggler's slice).
 //!
 //! Emits `BENCH_cluster.json`; `--smoke` shrinks the grid and writes
 //! `BENCH_cluster.smoke.json` (CI-sized; never clobbers the committed
@@ -45,7 +50,9 @@ impl Profile {
     }
 
     fn smoke() -> Self {
-        Self { smoke: true, workers: 3, reps: 3 }
+        // The smoke grid runs in ~15 ms, so single-run noise is a large
+        // fraction of the signal; more reps keep the gated medians stable.
+        Self { smoke: true, workers: 3, reps: 7 }
     }
 
     fn bench_path(&self) -> &'static str {
@@ -162,6 +169,8 @@ fn main() {
 
     let reference = run_in_process(&job, 1).expect("reference run");
     let reference_bytes = reference.encode();
+    // Warm caches (and the allocator) before any timed run.
+    let _ = run_in_process(&job, 1).expect("warmup run");
     let median = |times: &mut Vec<f64>| -> f64 {
         times.sort_by(f64::total_cmp);
         times[times.len() / 2]
@@ -222,6 +231,67 @@ fn main() {
             expected_retries,
         ));
     }
+
+    // The skewed fleet: healthy workers plus one whose answers straggle
+    // by `skew_delay`. Fixed partitions (static dispatch) are bounded by
+    // the straggler; work stealing + speculative re-dispatch routes its
+    // slice to an idle fast worker after `SPECULATE_FRACTION × timeout`.
+    // `efficiency = static_ms / stealing_ms` measures that rescue and is
+    // gated in ci/bench_baselines.json — both modes are first asserted
+    // byte-identical to the reference (speculation is byte-invisible).
+    const SPECULATE_FRACTION: f64 = 0.05;
+    let skew_delay = Duration::from_millis(800);
+    let skew_timeout = Duration::from_secs(4);
+    let skew_fleet = || -> Vec<Box<dyn Transport>> {
+        let mut fleet: Vec<Box<dyn Transport>> = (0..profile.workers)
+            .map(|_| Box::new(InProcess::new()) as Box<dyn Transport>)
+            .collect();
+        fleet.push(Box::new(Unreliable::slowed_by(InProcess::new(), skew_delay)));
+        fleet
+    };
+    let stealing_pool = || {
+        WorkerPool::new(skew_fleet())
+            .with_timeout(skew_timeout)
+            .with_speculation(SPECULATE_FRACTION)
+    };
+    let static_pool =
+        || WorkerPool::new(skew_fleet()).with_timeout(skew_timeout).with_static_dispatch();
+    let report = stealing_pool().dispatch(&job).expect("skewed stealing dispatch");
+    assert_eq!(report.outcome.encode(), reference_bytes, "skewed stealing fleet diverged");
+    assert!(report.speculative >= 1, "the straggler's slice must be speculated");
+    let speculated = report.speculative;
+    let report = static_pool().dispatch(&job).expect("skewed static dispatch");
+    assert_eq!(report.outcome.encode(), reference_bytes, "skewed static fleet diverged");
+    assert_eq!(report.speculative, 0, "static dispatch never speculates");
+    let time_mode = |build: &dyn Fn() -> WorkerPool| -> Vec<f64> {
+        (0..profile.reps)
+            .map(|_| {
+                let mut pool = build();
+                let start = Instant::now();
+                let report = pool.dispatch(&job).expect("skewed dispatch");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(report.outcome.encode(), reference_bytes);
+                elapsed
+            })
+            .collect()
+    };
+    let stealing_ms = median(&mut time_mode(&stealing_pool));
+    let static_ms = median(&mut time_mode(&static_pool));
+    let efficiency = static_ms / stealing_ms.max(1e-9);
+    println!(
+        "    skew: {} worker(s) + 1 slowed {skew_delay:?} — static {static_ms:.1} ms, \
+         stealing {stealing_ms:.1} ms, efficiency {efficiency:.3} ({speculated} speculated)",
+        profile.workers,
+    );
+    entries.push(format!(
+        "  {{\"algo\":\"skew\",\"kind\":\"cluster\",\"workers\":{},\"items\":{},\"static_ms\":{:.3},\"stealing_ms\":{:.3},\"efficiency\":{:.3},\"speculated\":{}}}",
+        profile.workers + 1,
+        job.len(),
+        static_ms,
+        stealing_ms,
+        efficiency,
+        speculated,
+    ));
 
     let path = profile.bench_path();
     let json = format!("[\n{}\n]\n", entries.join(",\n"));

@@ -10,6 +10,14 @@
 //! use lives in [`sc_engine::flatjson`] (it moved there when the shard
 //! wire format needed it lower in the stack); [`flatjson`] re-exports it
 //! under the old path.
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns *measurement and reporting* — the `exp_*` binaries,
+//! the committed `BENCH_*.json` trajectory files, and the `bench_gate`
+//! regression gate over `ci/bench_baselines.json`. It owns no
+//! algorithmic or protocol semantics: every run goes through the same
+//! `sc-engine` scenario vocabulary as everything else, so a bench can
+//! never observe behavior the tests don't.
 
 pub use sc_engine::flatjson;
 

@@ -21,11 +21,19 @@
 //! loopback services in this process (protocol fidelity, no spawn cost),
 //! `stdio` spawns `streamcolor serve` children and speaks over their
 //! pipes, `tcp` opens `--workers` connections to a `--connect ADDR`
-//! listener. Cluster modes survive dead workers and stragglers by
-//! re-dispatching their slices (`--timeout-ms` sets the straggler
-//! deadline); the run report counts any retries. `--spec FILE` runs an
-//! arbitrary `ShardJob::encode` spec file instead of the built-in
-//! `--smoke` grid.
+//! listener, and `ssh` starts `--workers` remote serve processes via
+//! `ssh USER@HOST[:PATH] serve` (`--connect` names the destination).
+//! Cluster modes survive dead workers and stragglers by re-dispatching
+//! their slices (`--timeout-ms` sets the straggler deadline); the run
+//! report counts any retries. Scheduling knobs: `--dispatch
+//! static|stealing` picks fixed partitions vs the work-stealing slice
+//! queue (the default), `--speculate-after FRAC` launches a duplicate of
+//! a slice held past `FRAC × timeout` on an idle worker (first answer
+//! wins — byte-identical either way), and `--skew-ms N` deliberately
+//! slows the last worker's answers (the reproducible straggler CI's
+//! skewed-fleet smoke run measures scheduling against). `--spec FILE`
+//! runs an arbitrary `ShardJob::encode` spec file instead of the
+//! built-in `--smoke` grid.
 
 use crate::args::{err, Args, CliError};
 use sc_cluster::{ClusterCoordinator, TransportSpec};
@@ -47,6 +55,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let connect = args.optional("connect").map(String::from);
     let timeout_ms: u64 = args.parse_optional("timeout-ms")?.unwrap_or(600_000);
     let timeout_given = args.optional("timeout-ms").is_some();
+    let speculate_after: Option<f64> = args.parse_optional("speculate-after")?;
+    let skew_ms: Option<u64> = args.parse_optional("skew-ms")?;
+    let dispatch = args.optional("dispatch").map(String::from);
     args.reject_unknown()?;
     if workers == 0 {
         return Err(err("--workers must be at least 1 (0 processes cannot run anything)"));
@@ -63,6 +74,31 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
              for its workers to exit)",
         ));
     }
+    // NaN-safe: `NaN > 0.0` is false, so `--speculate-after nan` lands here too.
+    if let Some(fraction) = speculate_after {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(err(format!(
+                "--speculate-after must be a fraction of --timeout-ms in (0, 1], got {fraction}"
+            )));
+        }
+    }
+    if skew_ms == Some(0) {
+        return Err(err("--skew-ms must be at least 1 (omit it for an unskewed fleet)"));
+    }
+    let static_dispatch = match dispatch.as_deref() {
+        None | Some("stealing") => false,
+        Some("static") => true,
+        Some(other) => {
+            return Err(err(format!("unknown --dispatch {other:?} (stealing | static)")))
+        }
+    };
+    if transport.is_none() && (speculate_after.is_some() || skew_ms.is_some() || dispatch.is_some())
+    {
+        return Err(err(
+            "--speculate-after / --skew-ms / --dispatch apply to --transport modes only (the \
+             file-based coordinator partitions up front)",
+        ));
+    }
     if transport.is_some() && in_process {
         return Err(err("--transport and --in-process are mutually exclusive"));
     }
@@ -72,8 +108,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
              (cluster workers are serve processes; see `streamcolor serve`)",
         ));
     }
-    if connect.is_some() && transport.as_deref() != Some("tcp") {
-        return Err(err("--connect applies to --transport tcp only"));
+    if connect.is_some() && !matches!(transport.as_deref(), Some("tcp") | Some("ssh")) {
+        return Err(err("--connect applies to --transport tcp and ssh only"));
     }
 
     let job = match (smoke, spec_path) {
@@ -105,19 +141,38 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 let addr = connect.ok_or_else(|| err("--transport tcp needs --connect ADDR"))?;
                 TransportSpec::Tcp { addr, connections: workers }
             }
+            "ssh" => {
+                let dest = connect
+                    .ok_or_else(|| err("--transport ssh needs --connect USER@HOST[:PATH]"))?;
+                TransportSpec::Ssh { dest, connections: workers }
+            }
             other => {
-                return Err(err(format!("unknown --transport {other:?} (process | stdio | tcp)")))
+                return Err(err(format!(
+                    "unknown --transport {other:?} (process | stdio | tcp | ssh)"
+                )))
             }
         };
-        let report = ClusterCoordinator::new(spec)
-            .with_timeout(Duration::from_millis(timeout_ms))
-            .run(&job)
-            .map_err(err)?;
+        let mut coordinator =
+            ClusterCoordinator::new(spec).with_timeout(Duration::from_millis(timeout_ms));
+        if static_dispatch {
+            coordinator = coordinator.with_static_dispatch();
+        }
+        if let Some(fraction) = speculate_after {
+            coordinator = coordinator.with_speculation(fraction);
+        }
+        if let Some(ms) = skew_ms {
+            coordinator = coordinator.with_skewed_worker(Duration::from_millis(ms));
+        }
+        let report = coordinator.run(&job).map_err(err)?;
         let retries = match report.retries {
             0 => String::new(),
             n => format!(", {n} slice(s) re-dispatched"),
         };
-        (report.outcome, format!("{} {mode} worker(s){retries}", report.shards))
+        let speculated = match report.speculative {
+            0 => String::new(),
+            n => format!(", {n} speculated ({} wasted)", report.wasted),
+        };
+        (report.outcome, format!("{} {mode} worker(s){retries}{speculated}", report.shards))
     } else {
         let mut coordinator =
             Coordinator::new(workers, worker_bin.map_or_else(default_worker_bin, Ok)?);
@@ -244,14 +299,57 @@ mod tests {
         assert!(run_str("shard --smoke --transport tcp").is_err(), "tcp needs --connect");
         assert!(run_str("shard --smoke --transport process --worker-threads 2").is_err());
         assert!(run_str("shard --smoke --transport process --worker-bin x").is_err());
-        assert!(run_str("shard --smoke --connect 1.2.3.4:5").is_err(), "connect needs tcp");
+        assert!(run_str("shard --smoke --connect 1.2.3.4:5").is_err(), "connect needs tcp/ssh");
         assert!(run_str("shard --smoke --transport process --timeout-ms 0").is_err());
+        assert!(run_str("shard --smoke --transport ssh").is_err(), "ssh needs --connect");
+        // A malformed ssh destination fails fleet validation, not spawn.
+        let e = run_str("shard --smoke --transport ssh --connect host:").unwrap_err();
+        assert!(e.to_string().contains("empty remote path"), "{e}");
         // --timeout-ms would be a silent no-op without a transport.
         let e = run_str("shard --smoke --in-process --timeout-ms 5000").unwrap_err();
         assert!(e.to_string().contains("--transport modes only"), "{e}");
         // An unreachable tcp endpoint is a friendly error.
         let e = run_str("shard --smoke --transport tcp --connect 127.0.0.1:1").unwrap_err();
         assert!(e.to_string().contains("cannot connect"), "{e}");
+    }
+
+    #[test]
+    fn scheduling_flags_are_validated() {
+        // The fraction must be a real number in (0, 1].
+        for bad in ["0", "-0.25", "1.5", "nan"] {
+            let e = run_str(&format!("shard --smoke --transport process --speculate-after {bad}"))
+                .unwrap_err();
+            assert!(e.to_string().contains("(0, 1]"), "{bad}: {e}");
+        }
+        let e = run_str("shard --smoke --transport process --skew-ms 0").unwrap_err();
+        assert!(e.to_string().contains("--skew-ms must be at least 1"), "{e}");
+        let e = run_str("shard --smoke --transport process --dispatch warp").unwrap_err();
+        assert!(e.to_string().contains("stealing | static"), "{e}");
+        // Scheduling knobs without a transport would be silent no-ops.
+        for flags in ["--speculate-after 0.5", "--skew-ms 50", "--dispatch static"] {
+            let e = run_str(&format!("shard --smoke --in-process {flags}")).unwrap_err();
+            assert!(e.to_string().contains("--transport modes only"), "{flags}: {e}");
+        }
+    }
+
+    #[test]
+    fn scheduling_modes_preserve_the_merged_bytes() {
+        // Static partitioning, speculation, and a skewed worker are all
+        // byte-invisible: every variant reproduces the reference.
+        let dir = std::env::temp_dir().join("streamcolor-shard-scheduling-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(&spec, ShardJob::Grid(smoke_grid()[..3].to_vec()).encode()).unwrap();
+        let reference = run_str(&format!("shard --spec {} --in-process", spec.display())).unwrap();
+        for flags in ["--dispatch static", "--speculate-after 1 --timeout-ms 60000", "--skew-ms 1"]
+        {
+            let text = run_str(&format!(
+                "shard --spec {} --transport process --workers 2 {flags}",
+                spec.display()
+            ))
+            .unwrap();
+            assert_eq!(text, reference, "{flags}: scheduling mode leaked into the bytes");
+        }
     }
 
     #[test]

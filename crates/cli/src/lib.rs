@@ -15,6 +15,14 @@
 //!
 //! All argument parsing is hand-rolled ([`args`]) to stay within the
 //! workspace's no-new-dependencies policy; see DESIGN.md §6.
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns *flags and friendly errors*, nothing else. Every
+//! command is a thin adapter onto a lower layer's public API —
+//! `color`/`gen`/`attack` onto `sc-engine` scenarios, `serve` onto
+//! `sc-service`, `shard` onto the `sc-engine` coordinator and the
+//! `sc-cluster` transports — so behavior reachable from the shell is
+//! exactly the behavior the library tests already pin down.
 
 pub mod args;
 pub mod commands;

@@ -4,10 +4,14 @@
 //! names an algorithm — plain data a CLI flag can select — and
 //! [`ClusterCoordinator::run`] builds it, dispatches through a
 //! [`WorkerPool`], and returns the merged [`DispatchReport`]. This is
-//! the `streamcolor shard --transport {process,stdio,tcp}` back end.
+//! the `streamcolor shard --transport {process,stdio,tcp,ssh}` back
+//! end; the scheduling knobs ([`ClusterCoordinator::with_speculation`],
+//! [`ClusterCoordinator::with_static_dispatch`],
+//! [`ClusterCoordinator::with_skewed_worker`]) are the
+//! `--speculate-after` / `--dispatch` / `--skew-ms` flags.
 
 use crate::pool::{DispatchReport, WorkerPool};
-use crate::transport::{ChildStdio, InProcess, Tcp, Transport};
+use crate::transport::{ChildStdio, InProcess, Ssh, Tcp, Transport, Unreliable};
 use sc_engine::shard::ShardJob;
 use std::time::Duration;
 
@@ -38,20 +42,33 @@ pub enum TransportSpec {
         /// Concurrent connections (= workers) to open.
         connections: usize,
     },
+    /// `connections` remote workers on one host, each an
+    /// `ssh host streamcolor serve` process spoken to over the ssh
+    /// client's pipes ([`Ssh`]).
+    Ssh {
+        /// The destination, `user@host[:path]` (`path` defaults to
+        /// `streamcolor` on the remote `PATH`).
+        dest: String,
+        /// Remote worker processes (= ssh connections) to start.
+        connections: usize,
+    },
 }
 
 impl TransportSpec {
     /// Builds the fleet.
     ///
     /// # Errors
-    /// Errors on a zero-sized fleet, an empty command, a failed spawn,
-    /// or a failed connection — with a message naming the endpoint.
+    /// Errors on a zero-sized fleet, an empty command, a malformed ssh
+    /// destination, a failed spawn, or a failed connection — with a
+    /// message naming the endpoint.
     pub fn build(&self) -> Result<Vec<Box<dyn Transport>>, String> {
         let count = match self {
             TransportSpec::InProcess { workers } | TransportSpec::ChildStdio { workers, .. } => {
                 *workers
             }
-            TransportSpec::Tcp { connections, .. } => *connections,
+            TransportSpec::Tcp { connections, .. } | TransportSpec::Ssh { connections, .. } => {
+                *connections
+            }
         };
         if count == 0 {
             return Err("transport fleet needs at least 1 worker".to_string());
@@ -66,6 +83,7 @@ impl TransportSpec {
                         Ok(Box::new(ChildStdio::spawn(program, args)?))
                     }
                     TransportSpec::Tcp { addr, .. } => Ok(Box::new(Tcp::connect(addr)?)),
+                    TransportSpec::Ssh { dest, .. } => Ok(Box::new(Ssh::connect(dest)?)),
                 }
             })
             .collect()
@@ -76,21 +94,38 @@ impl TransportSpec {
 ///
 /// The determinism law this layer adds (tested in
 /// `tests/cluster_determinism.rs`, gated by CI's `cluster-smoke` job):
-/// for every [`TransportSpec`] and worker count, and under any worker
-/// deaths the pool survives, [`ClusterCoordinator::run`] merges to bytes
-/// identical to [`sc_engine::shard::run_in_process`].
+/// for every [`TransportSpec`], worker count, and scheduling mode —
+/// work stealing, static partition, speculation on or off, a skewed
+/// worker injected or not — and under any worker deaths the pool
+/// survives, [`ClusterCoordinator::run`] merges to bytes identical to
+/// [`sc_engine::shard::run_in_process`].
 #[derive(Debug, Clone)]
 pub struct ClusterCoordinator {
     /// The fleet to build.
     pub spec: TransportSpec,
-    /// Straggler deadline per response (see [`WorkerPool::with_timeout`]).
+    /// Straggler deadline per slice (see [`WorkerPool::with_timeout`]).
     pub timeout: Duration,
+    /// Soft speculation deadline as a fraction of `timeout`; `None`
+    /// disables speculative re-dispatch.
+    pub speculate_after: Option<f64>,
+    /// Eager fixed-partition assignment instead of work stealing.
+    pub static_dispatch: bool,
+    /// When set, the last fleet member is wrapped in
+    /// [`Unreliable::slowed_by`] with this delay — the reproducible
+    /// skewed fleet CI and `exp_cluster` measure scheduling against.
+    pub skew: Option<Duration>,
 }
 
 impl ClusterCoordinator {
     /// A coordinator over `spec` with the pool's default deadline.
     pub fn new(spec: TransportSpec) -> Self {
-        Self { spec, timeout: Duration::from_secs(600) }
+        Self {
+            spec,
+            timeout: Duration::from_secs(600),
+            speculate_after: None,
+            static_dispatch: false,
+            skew: None,
+        }
     }
 
     /// Sets the straggler deadline.
@@ -100,13 +135,48 @@ impl ClusterCoordinator {
         self
     }
 
+    /// Enables speculative re-dispatch past `fraction × timeout` (see
+    /// [`WorkerPool::with_speculation`]; `fraction` must be in `(0, 1]`).
+    #[must_use]
+    pub fn with_speculation(mut self, fraction: f64) -> Self {
+        self.speculate_after = Some(fraction);
+        self
+    }
+
+    /// Switches the pool to eager fixed-partition assignment (see
+    /// [`WorkerPool::with_static_dispatch`]).
+    #[must_use]
+    pub fn with_static_dispatch(mut self) -> Self {
+        self.static_dispatch = true;
+        self
+    }
+
+    /// Slows the last fleet member's answers by `delay` — deterministic
+    /// heterogeneity for benchmarks and smoke gates.
+    #[must_use]
+    pub fn with_skewed_worker(mut self, delay: Duration) -> Self {
+        self.skew = Some(delay);
+        self
+    }
+
     /// Builds the fleet, dispatches, merges.
     ///
     /// # Errors
     /// Propagates fleet-build and dispatch errors.
     pub fn run(&self, job: &ShardJob) -> Result<DispatchReport, String> {
-        let transports = self.spec.build()?;
-        WorkerPool::new(transports).with_timeout(self.timeout).dispatch(job)
+        let mut transports = self.spec.build()?;
+        if let Some(delay) = self.skew {
+            let last = transports.pop().expect("build rejects empty fleets");
+            transports.push(Box::new(Unreliable::slowed_by(last, delay)));
+        }
+        let mut pool = WorkerPool::new(transports).with_timeout(self.timeout);
+        if self.static_dispatch {
+            pool = pool.with_static_dispatch();
+        }
+        if let Some(fraction) = self.speculate_after {
+            pool = pool.with_speculation(fraction);
+        }
+        pool.dispatch(job)
     }
 }
 
@@ -116,15 +186,36 @@ mod tests {
     use sc_engine::shard::run_in_process;
     use sc_engine::{ColorerSpec, Scenario, SourceSpec};
 
-    #[test]
-    fn in_process_fleet_reproduces_the_reference() {
-        let job = ShardJob::Grid(vec![
+    fn two_scenario_job() -> ShardJob {
+        ShardJob::Grid(vec![
             Scenario::new(SourceSpec::exact_degree(40, 4, 1), ColorerSpec::Trivial),
             Scenario::new(SourceSpec::exact_degree(40, 4, 2), ColorerSpec::StoreAll),
-        ]);
+        ])
+    }
+
+    #[test]
+    fn in_process_fleet_reproduces_the_reference() {
+        let job = two_scenario_job();
         let coordinator = ClusterCoordinator::new(TransportSpec::InProcess { workers: 2 });
         let report = coordinator.run(&job).unwrap();
         assert_eq!(report.outcome.encode(), run_in_process(&job, 1).unwrap().encode());
+    }
+
+    #[test]
+    fn skewed_fleets_reproduce_the_reference_in_both_scheduling_modes() {
+        // The skewed-worker wrapper must change timing only: static and
+        // stealing+speculation dispatches both merge byte-identically.
+        let job = two_scenario_job();
+        let reference = run_in_process(&job, 1).unwrap().encode();
+        let base = ClusterCoordinator::new(TransportSpec::InProcess { workers: 2 })
+            .with_timeout(Duration::from_secs(4))
+            .with_skewed_worker(Duration::from_millis(500));
+        let stealing = base.clone().with_speculation(0.01).run(&job).unwrap();
+        assert_eq!(stealing.outcome.encode(), reference, "skewed stealing merge diverged");
+        assert_eq!(stealing.speculative, 1, "the slowed slice must be speculated");
+        let fixed = base.with_static_dispatch().run(&job).unwrap();
+        assert_eq!(fixed.outcome.encode(), reference, "skewed static merge diverged");
+        assert_eq!(fixed.speculative, 0);
     }
 
     #[test]
@@ -140,5 +231,9 @@ mod tests {
         .contains("cannot spawn"));
         assert!(build_err(TransportSpec::Tcp { addr: "127.0.0.1:1".into(), connections: 1 })
             .contains("cannot connect"));
+        assert!(build_err(TransportSpec::Ssh { dest: String::new(), connections: 1 })
+            .contains("no host"));
+        assert!(build_err(TransportSpec::Ssh { dest: "host:".into(), connections: 0 })
+            .contains("at least 1"));
     }
 }

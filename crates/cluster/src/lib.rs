@@ -11,13 +11,25 @@
 //! and merge **byte-identically** to the single-process reference.
 //!
 //! ```text
-//!  ClusterCoordinator ─► WorkerPool ─┬─ Transport: InProcess  (loopback Service)
-//!   (TransportSpec,      (straggler  ├─ Transport: ChildStdio (spawn `streamcolor
-//!    merge = shard        timeout +  │     serve` / `shard_worker --serve` /
-//!    determinism law)     excluded-  │     `cluster_worker`, speak over its pipes)
-//!                         style      └─ Transport: Tcp        (connect to
-//!                         re-dispatch)      `streamcolor serve --listen ADDR`)
+//!  ClusterCoordinator ─► WorkerPool ──┬─ Transport: InProcess  (loopback Service)
+//!   (TransportSpec,      (work-       ├─ Transport: ChildStdio (spawn `streamcolor
+//!    merge = shard        stealing    │     serve` / `shard_worker --serve` /
+//!    determinism law)     slice queue │     `cluster_worker`, speak over its pipes)
+//!                         + straggler ├─ Transport: Tcp        (connect to
+//!                         timeout +   │     `streamcolor serve --listen ADDR`)
+//!                         speculative └─ Transport: Ssh        (spawn `ssh host
+//!                         re-dispatch)      streamcolor serve`, same pipes)
 //! ```
+//!
+//! **Ownership contract** (see `ROADMAP.md`, "which layer owns what"):
+//! this crate owns *placement and failure handling* — which worker runs
+//! which `(spec, shard, of)` slice, when a slice is re-dispatched,
+//! stolen, or speculated, and how transports carry protocol lines. It
+//! owns **no wire vocabulary** (that is `sc-service`'s line protocol,
+//! documented in `docs/PROTOCOL.md`) and **no job semantics** (what a
+//! slice computes is fixed by `sc_engine::shard`'s deterministic
+//! partition, which is what makes every scheduling decision
+//! byte-invisible).
 //!
 //! ## The transport wire contract
 //!
@@ -57,13 +69,17 @@
 //! ## The determinism law, extended
 //!
 //! The merged output of a [`WorkerPool`] dispatch — for every transport,
-//! every worker count, and every schedule of worker deaths, stragglers
-//! and re-dispatches that leaves at least one worker alive — is
-//! byte-identical to [`sc_engine::shard::run_in_process`]. Tested in
+//! every worker count, every scheduling mode (work stealing, static
+//! partition, speculation on or off), and every schedule of worker
+//! deaths, stragglers and re-dispatches that leaves at least one worker
+//! alive — is byte-identical to [`sc_engine::shard::run_in_process`].
+//! Work stealing and speculative duplicates are free determinism-wise
+//! because a slice's bytes depend only on `(spec, shard, of)`, never on
+//! which worker ran it or how many times. Tested in
 //! `tests/cluster_determinism.rs` (including a worker killed mid-job)
 //! and gated by CI's `cluster-smoke` job, which diffs
-//! `streamcolor shard --transport {process,stdio,tcp}` against the
-//! single-process JSON.
+//! `streamcolor shard --transport {process,stdio,tcp}` — plus a
+//! skewed-fleet stealing run — against the single-process JSON.
 
 pub mod coordinator;
 pub mod listener;
@@ -73,4 +89,4 @@ pub mod transport;
 pub use coordinator::{ClusterCoordinator, TransportSpec};
 pub use listener::TcpServer;
 pub use pool::{DispatchReport, WorkerPool};
-pub use transport::{ChildStdio, InProcess, Tcp, Transport, TransportError, Unreliable};
+pub use transport::{ChildStdio, InProcess, Ssh, Tcp, Transport, TransportError, Unreliable};

@@ -4,10 +4,13 @@
 //! A transport is deliberately tiny — [`Transport::send`] one line,
 //! [`Transport::recv`] one line with a deadline — because the whole
 //! cluster vocabulary lives in the `sc-service` line protocol, not here.
-//! Three real implementations cover the deployment spectrum
-//! ([`InProcess`] loopback, [`ChildStdio`] pipes, [`Tcp`] sockets), and
-//! [`Unreliable`] injects deterministic worker death for tests and the
-//! `exp_cluster` retry-cost measurement.
+//! Four real implementations cover the deployment spectrum
+//! ([`InProcess`] loopback, [`ChildStdio`] pipes, [`Tcp`] sockets,
+//! [`Ssh`] remote processes over `ChildStdio`'s pipe machinery), and
+//! [`Unreliable`] injects deterministic worker death
+//! ([`Unreliable::dying_after`]) or slowness
+//! ([`Unreliable::slowed_by`]) for tests and the `exp_cluster`
+//! retry-cost and skewed-fleet measurements.
 
 use sc_service::Service;
 use std::collections::VecDeque;
@@ -64,6 +67,23 @@ pub trait Transport: Send {
     /// [`TransportError::Timeout`] for stragglers, [`TransportError::Closed`]
     /// when the worker died, [`TransportError::Protocol`] for garbage.
     fn recv(&mut self, timeout: Duration) -> Result<String, TransportError>;
+}
+
+// A boxed transport is a transport, so wrappers like `Unreliable` can
+// decorate an already-built `Box<dyn Transport>` fleet member (the
+// coordinator's skewed-worker path relies on this).
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        (**self).send(line)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError> {
+        (**self).recv(timeout)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -286,35 +306,142 @@ impl Transport for Tcp {
 }
 
 // ---------------------------------------------------------------------
-// Unreliable: deterministic failure injection.
+// Ssh: a remote worker process over the ssh client's pipes.
 // ---------------------------------------------------------------------
 
-/// Wraps a transport and kills it after a fixed number of answered
-/// receives — the deterministic stand-in for "the worker accepted the
-/// job, then the machine died". `Unreliable::dying_after(t, 0)` dies on
-/// its first answer, which is exactly the mid-job death the pool's
-/// re-dispatch path must absorb.
+/// A worker on a remote machine: `ssh host streamcolor serve`, spoken to
+/// over the ssh client's stdin/stdout exactly like a local [`ChildStdio`]
+/// child — the fleet reaches real machines with zero new wire
+/// vocabulary. `BatchMode=yes` makes an auth problem a fast clean
+/// [`TransportError::Closed`] instead of a password prompt wedging the
+/// dispatch.
+pub struct Ssh {
+    inner: ChildStdio,
+    label: String,
+}
+
+impl Ssh {
+    /// Connects to `dest` = `user@host[:path]` by spawning the `ssh`
+    /// client; `path` is the remote `streamcolor` binary (default:
+    /// `streamcolor` on the remote `PATH`), run as `<path> serve`.
+    ///
+    /// # Errors
+    /// Returns a message naming the destination when it is malformed or
+    /// the ssh client cannot be spawned.
+    pub fn connect(dest: &str) -> Result<Self, String> {
+        Self::connect_via("ssh", dest)
+    }
+
+    /// [`Ssh::connect`] through an explicit client `program` — tests
+    /// substitute a local stand-in script so the transport machinery is
+    /// exercised without a real remote host.
+    ///
+    /// # Errors
+    /// As [`Ssh::connect`].
+    pub fn connect_via(program: &str, dest: &str) -> Result<Self, String> {
+        let (host, path) = split_dest(dest)?;
+        let args = [
+            "-o".to_string(),
+            "BatchMode=yes".to_string(),
+            "-T".to_string(),
+            host,
+            path,
+            "serve".to_string(),
+        ];
+        let inner = ChildStdio::spawn(program, &args)?;
+        Ok(Self { inner, label: format!("ssh://{dest}") })
+    }
+
+    /// The local ssh client's process id.
+    pub fn pid(&self) -> u32 {
+        self.inner.pid()
+    }
+}
+
+impl Transport for Ssh {
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        self.inner.send(line)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<String, TransportError> {
+        self.inner.recv(timeout)
+    }
+}
+
+/// Splits `user@host[:path]` into the ssh host argument and the remote
+/// binary path (validated before any process is spawned).
+fn split_dest(dest: &str) -> Result<(String, String), String> {
+    let (host, path) = match dest.split_once(':') {
+        Some((_, "")) => {
+            return Err(format!("ssh destination {dest:?} has an empty remote path after ':'"));
+        }
+        Some((h, p)) => (h, p),
+        None => (dest, "streamcolor"),
+    };
+    if host.is_empty() {
+        return Err(format!("ssh destination {dest:?} has no host (want user@host[:path])"));
+    }
+    Ok((host.to_string(), path.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Unreliable: deterministic failure and slowness injection.
+// ---------------------------------------------------------------------
+
+/// Wraps a transport and injects deterministic misbehavior:
+/// [`Unreliable::dying_after`] kills it after a fixed number of answered
+/// receives (the stand-in for "the worker accepted the job, then the
+/// machine died" — `dying_after(t, 0)` dies on its first answer, exactly
+/// the mid-job death the pool's re-dispatch path must absorb), and
+/// [`Unreliable::slowed_by`] delays every answer by a fixed wall-clock
+/// duration (the stand-in for a loaded or underpowered machine — the
+/// straggler the pool's stealing and speculation paths must route
+/// around).
 pub struct Unreliable<T: Transport> {
     inner: T,
     answers_left: usize,
+    delay: Duration,
+    /// Send times of requests whose answers are still delayed (FIFO,
+    /// only tracked when `delay` is non-zero).
+    sent: VecDeque<Instant>,
 }
 
 impl<T: Transport> Unreliable<T> {
     /// Answers `answers` receives, then reports [`TransportError::Closed`]
     /// forever.
     pub fn dying_after(inner: T, answers: usize) -> Self {
-        Self { inner, answers_left: answers }
+        Self { inner, answers_left: answers, delay: Duration::ZERO, sent: VecDeque::new() }
+    }
+
+    /// Never dies, but holds every answer until `delay` after its
+    /// request was sent — `recv` sleeps (never past its deadline) and
+    /// reports [`TransportError::Timeout`] while an answer is pending,
+    /// so to the pool the worker is indistinguishable from a genuinely
+    /// slow machine.
+    pub fn slowed_by(inner: T, delay: Duration) -> Self {
+        Self { inner, answers_left: usize::MAX, delay, sent: VecDeque::new() }
     }
 }
 
 impl<T: Transport> Transport for Unreliable<T> {
     fn describe(&self) -> String {
-        format!("{} [unreliable]", self.inner.describe())
+        if self.delay.is_zero() {
+            format!("{} [unreliable]", self.inner.describe())
+        } else {
+            format!("{} [slowed {:?}]", self.inner.describe(), self.delay)
+        }
     }
 
     fn send(&mut self, line: &str) -> Result<(), TransportError> {
         // A dying worker's pipe still buffers the request — the failure
         // surfaces where it does in production, on the missing response.
+        if !self.delay.is_zero() {
+            self.sent.push_back(Instant::now());
+        }
         self.inner.send(line)
     }
 
@@ -322,8 +449,25 @@ impl<T: Transport> Transport for Unreliable<T> {
         if self.answers_left == 0 {
             return Err(TransportError::Closed("injected worker death".to_string()));
         }
+        if !self.delay.is_zero() {
+            if let Some(&first) = self.sent.front() {
+                let ready = first + self.delay;
+                let now = Instant::now();
+                if ready > now {
+                    let wait = ready - now;
+                    if wait >= timeout {
+                        // Consume the caller's budget like a real slow
+                        // worker would, then report the straggle.
+                        std::thread::sleep(timeout);
+                        return Err(TransportError::Timeout(timeout));
+                    }
+                    std::thread::sleep(wait);
+                }
+                self.sent.pop_front();
+            }
+        }
         let response = self.inner.recv(timeout)?;
-        self.answers_left -= 1;
+        self.answers_left = self.answers_left.saturating_sub(1);
         Ok(response)
     }
 }
@@ -355,6 +499,50 @@ mod tests {
         t.send(r#"{"cmd":"stats","session":"a"}"#).unwrap();
         assert!(matches!(t.recv(Duration::from_secs(1)), Err(TransportError::Closed(_))));
         assert!(t.describe().contains("unreliable"));
+    }
+
+    #[test]
+    fn slowed_transports_straggle_then_answer() {
+        let mut t = Unreliable::slowed_by(InProcess::new(), Duration::from_millis(80));
+        let started = Instant::now();
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        // Short deadlines burn their whole budget and report a straggle…
+        assert_eq!(
+            t.recv(Duration::from_millis(10)),
+            Err(TransportError::Timeout(Duration::from_millis(10)))
+        );
+        // …until the delay elapses and the answer comes through intact.
+        let response = t.recv(Duration::from_secs(5)).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(started.elapsed() >= Duration::from_millis(80), "answer arrived early");
+        assert!(t.describe().contains("slowed"), "{}", t.describe());
+    }
+
+    #[test]
+    fn ssh_destinations_are_validated_before_any_spawn() {
+        assert_eq!(
+            split_dest("user@host:opt/streamcolor").unwrap(),
+            ("user@host".to_string(), "opt/streamcolor".to_string())
+        );
+        assert_eq!(
+            split_dest("worker7").unwrap(),
+            ("worker7".to_string(), "streamcolor".to_string())
+        );
+        assert!(split_dest("").unwrap_err().contains("no host"));
+        assert!(split_dest(":bin/streamcolor").unwrap_err().contains("no host"));
+        assert!(split_dest("host:").unwrap_err().contains("empty remote path"));
+        // A malformed destination must fail before the client spawns.
+        assert!(Ssh::connect("host:").is_err());
+    }
+
+    #[test]
+    fn boxed_transports_forward() {
+        let mut t: Box<dyn Transport> = Box::new(InProcess::new());
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(t.recv(Duration::from_secs(1)).unwrap().contains("\"ok\":true"));
+        let mut wrapped = Unreliable::dying_after(t, 0);
+        assert!(matches!(wrapped.recv(Duration::from_secs(1)), Err(TransportError::Closed(_))));
+        assert!(wrapped.describe().contains("unreliable"));
     }
 
     #[test]

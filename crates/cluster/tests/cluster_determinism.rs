@@ -174,7 +174,11 @@ fn straggler_times_out_and_its_shard_is_re_dispatched() {
     // move its slice, not hang the merge.
     let fleet: Vec<Box<dyn Transport>> = vec![
         Box::new(ChildStdio::spawn(WORKER, &[] as &[&str]).expect("spawn cluster_worker")),
-        Box::new(ChildStdio::spawn("sh", &["-c", "sleep 600"]).expect("spawn sleeping worker")),
+        // `exec` so the kill on drop reaches the sleeper itself — a
+        // forked grandchild would outlive the test holding its pipes.
+        Box::new(
+            ChildStdio::spawn("sh", &["-c", "exec sleep 600"]).expect("spawn sleeping worker"),
+        ),
     ];
     let mut pool = WorkerPool::new(fleet).with_timeout(Duration::from_millis(400));
     let report = pool.dispatch(&job).unwrap();
@@ -224,4 +228,91 @@ fn attack_sweeps_survive_tcp_with_a_dying_connection() {
     assert_eq!(report.retries, 1);
     drop(pool);
     listener.join().unwrap();
+}
+
+#[test]
+fn oversized_fleets_clamp_shards_and_leave_extras_idle() {
+    // More workers than items: the shard count clamps to the job size,
+    // the surplus workers never receive a line, and the merge is exact.
+    let job = ShardJob::Grid(vec![
+        Scenario::new(SourceSpec::exact_degree(40, 4, 1), ColorerSpec::Trivial),
+        Scenario::new(SourceSpec::exact_degree(40, 4, 2), ColorerSpec::StoreAll),
+    ]);
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    let fleet: Vec<Box<dyn Transport>> =
+        (0..5).map(|_| Box::new(InProcess::new()) as Box<dyn Transport>).collect();
+    let mut pool = WorkerPool::new(fleet).with_timeout(PATIENT);
+    let report = pool.dispatch(&job).unwrap();
+    assert_eq!(report.outcome.encode(), reference, "oversized fleet diverged");
+    assert_eq!(report.shards, 2, "shards must clamp to the job size");
+    assert_eq!(report.retries, 0);
+    assert_eq!(pool.live_workers(), 5, "idle workers must stay healthy");
+}
+
+#[test]
+fn single_shard_jobs_ride_one_worker_of_many() {
+    let job = ShardJob::Grid(vec![Scenario::new(
+        SourceSpec::exact_degree(40, 4, 9),
+        ColorerSpec::Robust { beta: None },
+    )]);
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    let report = WorkerPool::new(stdio_fleet(3)).with_timeout(PATIENT).dispatch(&job).unwrap();
+    assert_eq!(report.outcome.encode(), reference, "single-shard merge diverged");
+    assert_eq!(report.shards, 1);
+    assert_eq!(report.retries, 0);
+}
+
+#[test]
+#[cfg(unix)]
+fn all_but_one_worker_dying_mid_steal_still_merges() {
+    // Three of four real processes accept their first line and crash;
+    // the lone survivor steals every orphaned slice.
+    let job = grid_job();
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    let mut fleet = stdio_fleet(1);
+    for _ in 0..3 {
+        fleet.push(Box::new(
+            ChildStdio::spawn("sh", &["-c", "read line; exit 3"]).expect("spawn sh worker"),
+        ));
+    }
+    let mut pool = WorkerPool::new(fleet).with_timeout(PATIENT);
+    let report = pool.dispatch(&job).unwrap();
+    assert_eq!(report.outcome.encode(), reference, "survivor's merge diverged");
+    assert_eq!(report.shards, 4, "shards are fixed before the deaths surface");
+    assert_eq!(report.retries, 3, "{:?}", report.failures);
+    assert_eq!(report.failures.len(), 3, "{:?}", report.failures);
+    assert_eq!(pool.live_workers(), 1);
+}
+
+#[test]
+#[cfg(unix)]
+fn ssh_transport_reaches_a_worker_through_a_stand_in_client() {
+    // End-to-end over the Ssh transport with a stand-in `ssh` client: a
+    // shell script that accepts the client arguments (-o BatchMode=yes
+    // -T host path serve) and execs the real worker binary, exactly as a
+    // remote `ssh host streamcolor serve` would land on a serve loop.
+    use std::io::Write;
+    use std::os::unix::fs::PermissionsExt;
+    let script = std::env::temp_dir().join(format!("fake-ssh-{}.sh", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&script).expect("write fake ssh");
+        writeln!(f, "#!/bin/sh\nexec \"{WORKER}\"").unwrap();
+        f.set_permissions(std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let job = grid_job();
+    let reference = run_in_process(&job, 1).unwrap().encode();
+    let fleet: Vec<Box<dyn Transport>> = (0..2)
+        .map(|_| {
+            Box::new(
+                sc_cluster::Ssh::connect_via(script.to_str().unwrap(), "builder@localhost")
+                    .expect("fake ssh spawn"),
+            ) as Box<dyn Transport>
+        })
+        .collect();
+    let describe = fleet[0].describe();
+    assert!(describe.contains("ssh://builder@localhost"), "{describe}");
+    let report = WorkerPool::new(fleet).with_timeout(PATIENT).dispatch(&job).unwrap();
+    std::fs::remove_file(&script).ok();
+    assert_eq!(report.outcome.encode(), reference, "ssh fleet diverged");
+    assert_eq!(report.retries, 0, "{:?}", report.failures);
 }

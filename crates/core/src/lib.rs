@@ -20,6 +20,16 @@
 //! the concentration lemmas behind Theorems 3–4), and [`verify`]
 //! (the BBMU21 vertex-arrival coloring-verification problem).
 //!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns the *algorithms* and nothing around them. Each
+//! colorer is single-threaded, self-reports its space through
+//! `sc_stream::SpaceMeter` (the engine snapshots, never guesses), must
+//! be observationally identical under every `process_batch` chunking,
+//! and owns its epoch-keyed `QueryCache` with the law *incremental ≡
+//! scratch at every prefix*. Chunking, pass counting, and checkpoint
+//! schedules belong to `sc-stream`; parallelism, grids, and wire
+//! formats belong to `sc-engine` and above.
+//!
 //! ```
 //! use sc_graph::generators;
 //! use sc_stream::{run_oblivious, StoredStream, StreamingColorer};

@@ -23,6 +23,17 @@
 //! * [`shard`] — grids and trial sweeps fanned out across OS processes:
 //!   spec files, the worker protocol, and the merging [`Coordinator`].
 //!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns the **only** parallelism in the workspace
+//! ([`Runner`] fans whole scenarios across scoped threads; colorers
+//! stay single-threaded), the **one** algorithm dispatch table
+//! ([`ColorerSpec::build`] — runner, referee, CLI, benches, service
+//! all call it), and the canonical byte-stable codecs ([`flatjson`],
+//! [`wire`]) plus the deterministic [`shard::partition`] that every
+//! distribution layer above (process sharding, `sc-service`,
+//! `sc-cluster`) reuses rather than reinvents — which is why their
+//! merge laws can all be `diff`.
+//!
 //! ```
 //! use sc_engine::{ColorerSpec, Runner, Scenario, SourceSpec};
 //!

@@ -17,6 +17,13 @@
 //!   end-of-algorithm completion passes use.
 //! * [`turan`] — the constructive Turán-type independent-set procedure of
 //!   Lemma 2.1 / A.1, which ends every epoch of Algorithm 1.
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns *offline* structures and algorithms only — it knows
+//! nothing of streams, passes, chunking, or space accounting. A
+//! [`Graph`] held by a streaming colorer is not free: the colorer must
+//! self-report its bits through `sc_stream::SpaceMeter`; nothing here
+//! meters itself.
 
 pub mod brooks;
 pub mod chromatic;

@@ -35,6 +35,14 @@
 //! many-functions-over-one-small-domain workloads like Algorithm 3's
 //! `∆ · P` candidate hashes. Equality across tiers is a tested law —
 //! callers may pick purely on performance.
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns seeded randomness and its arithmetic — a seed plus a
+//! family fully determines every value, on every platform and tier,
+//! which is what the workspace's byte-identical determinism laws stand
+//! on. It knows nothing of graphs, streams, or colorings, and it never
+//! meters space: colorers that *store* hash functions account for the
+//! seed words themselves.
 
 pub mod affine;
 pub mod batch;

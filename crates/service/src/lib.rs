@@ -27,6 +27,14 @@
 //! responses to K isolated runs, for every thread count
 //! (property-tested in `tests/service_determinism.rs`, golden-file
 //! gated by CI's `service-smoke` job).
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! this crate owns *session hosting and protocol dispatch* — naming,
+//! isolation, limits (`with_max_sessions`), and the request/response
+//! envelope. It owns no vocabulary of its own: commands decode through
+//! `sc_engine::wire` and encode through `sc_engine::flatjson`, so the
+//! serving, sharding, and cluster layers can never fork the wire
+//! format. The full protocol reference lives in `docs/PROTOCOL.md`.
 
 pub mod game;
 pub mod service;

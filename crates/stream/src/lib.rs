@@ -20,6 +20,16 @@
 //! * [`QueryCache`] — epoch-keyed reuse of query artifacts, powering the
 //!   incremental query path
 //!   ([`StreamingColorer::query_incremental`]; see [`query_cache`]).
+//!
+//! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
+//! the engine owns chunking, pass counting, and checkpointed
+//! mid-stream queries — colorers only ever see `process_batch` slices
+//! and must behave identically for every chunking. Space is
+//! self-reported by each colorer through [`SpaceMeter`]; the engine
+//! snapshots it at checkpoints and never guesses. Parallelism lives
+//! strictly *above* this crate (`sc-engine`'s `Runner` fans out whole
+//! scenarios); every session here is single-threaded so the model's
+//! space accounting stays honest.
 
 pub mod colorer;
 pub mod engine;

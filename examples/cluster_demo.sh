@@ -2,8 +2,9 @@
 # The cluster determinism law in one shell session: start a TCP
 # listener (`streamcolor serve --listen`), run the smoke grid sharded
 # against it over real sockets — plus the stdio and loopback transports
-# — and diff every merged JSON against the single-process reference.
-# All four files are byte-identical.
+# and a skewed fleet exercising work stealing + speculative
+# re-dispatch — and diff every merged JSON against the single-process
+# reference. All five files are byte-identical.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,8 +39,18 @@ target/release/streamcolor shard --smoke --transport tcp --connect "$ADDR" --wor
 wait "$LISTENER"
 
 echo
-echo "== every transport merged byte-identically =="
+echo "== skewed fleet: stealing + speculation route around a straggler =="
+# One worker answers 500 ms late; work stealing keeps it from bounding
+# the dispatch and its last slice is speculatively re-dispatched after
+# 5% of the timeout. Scheduling is byte-invisible: same merged JSON.
+target/release/streamcolor shard --smoke --transport process --workers 3 \
+    --skew-ms 500 --timeout-ms 8000 --speculate-after 0.05 \
+    --out "$OUT/skew.json"
+
+echo
+echo "== every transport and schedule merged byte-identically =="
 diff "$OUT/single.json" "$OUT/process.json"
 diff "$OUT/single.json" "$OUT/stdio.json"
 diff "$OUT/single.json" "$OUT/tcp.json"
-echo "single == process == stdio == tcp"
+diff "$OUT/single.json" "$OUT/skew.json"
+echo "single == process == stdio == tcp == skewed"

@@ -53,7 +53,7 @@ fn main() {
         graph.m()
     );
 
-    let stream = StoredStream::from_edges(edges);
+    let stream = StoredStream::from_edges(edges.clone());
     let report = deterministic_coloring(&stream, virtual_registers, delta, &DetConfig::default());
     assert!(report.coloring.is_proper_total(&graph));
 
@@ -66,7 +66,10 @@ fn main() {
     );
 
     // Determinism demo: a second compile run yields the identical map.
-    let stream2 = StoredStream::from_graph(&graph);
+    // The guarantee is per *stream*: the recompile replays the same
+    // interference trace in the same discovery order (adjacency order
+    // would be a different stream and may legitimately color differently).
+    let stream2 = StoredStream::from_edges(edges);
     let report2 = deterministic_coloring(&stream2, virtual_registers, delta, &DetConfig::default());
     assert_eq!(report.coloring, report2.coloring);
     println!("re-compilation produced a bit-identical register map (deterministic).");
