@@ -22,14 +22,25 @@
 //! byte-identical per session — the determinism law, re-checked where
 //! the numbers are produced.
 //!
+//! A final section leaves process memory and times the two `--listen`
+//! serving modes over real sockets: the same K tenant scripts fanned
+//! across K pipelined TCP connections against the single-threaded
+//! [`Reactor`] and against the thread-per-connection [`TcpServer`],
+//! transcripts asserted byte-identical first. Its `ratio = threads_ms / reactor_ms` (the
+//! reactor's throughput relative to the threaded reference) is gated in
+//! `ci/bench_baselines.json` so an event-loop regression — a busy poll,
+//! a quadratic buffer drain — shows up as a gate failure, not a hunch.
+//!
 //! `--smoke` shrinks the instances and writes `BENCH_service.smoke.json`
 //! (CI-sized; never clobbers the committed full-profile file).
 
+use sc_cluster::transport::{Tcp, Transport as _};
+use sc_cluster::{Reactor, TcpServer};
 use sc_engine::{wire, ColorerSpec};
 use sc_graph::generators;
 use sc_service::Service;
 use std::io::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Profile {
     smoke: bool,
@@ -135,6 +146,67 @@ fn run_interleaved(scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
     (transcripts, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Drives one connection through its session script with a bounded
+/// pipelining window — deep enough to amortize round trips, shallow
+/// enough that neither side's socket buffer can fill while the peer is
+/// also blocked writing (which would deadlock a full-pipeline client
+/// against a lock-step server).
+fn drive_connection(addr: &str, lines: &[String]) -> Vec<String> {
+    const WINDOW: usize = 16;
+    let mut t = Tcp::connect(addr).expect("bench client connects");
+    let mut out = Vec::with_capacity(lines.len());
+    let mut sent = 0;
+    while out.len() < lines.len() {
+        while sent < lines.len() && sent - out.len() < WINDOW {
+            t.send(&lines[sent]).expect("bench client sends");
+            sent += 1;
+        }
+        out.push(t.recv(Duration::from_secs(60)).expect("bench client receives"));
+    }
+    out
+}
+
+/// Fans the tenant scripts across one connection each (a client thread
+/// per connection), returning per-session transcripts and the wall time
+/// in ms. The server behind `addr` is whichever mode is being measured.
+fn run_over_wire(addr: &str, scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
+    let start = Instant::now();
+    let workers: Vec<_> = scripts
+        .iter()
+        .cloned()
+        .map(|lines| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || drive_connection(&addr, &lines))
+        })
+        .collect();
+    let transcripts = workers.into_iter().map(|w| w.join().expect("bench client thread")).collect();
+    (transcripts, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One timed pass of the reactor mode: bind, serve exactly K
+/// connections, join. Setup and teardown ride the measurement for both
+/// modes equally.
+fn run_reactor(scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
+    let mut reactor = Reactor::bind("127.0.0.1:0").expect("reactor binds");
+    let addr = reactor.local_addr().expect("reactor addr").to_string();
+    let k = scripts.len();
+    let server = std::thread::spawn(move || reactor.run(Some(k)).expect("reactor serves"));
+    let result = run_over_wire(&addr, scripts);
+    server.join().expect("reactor thread");
+    result
+}
+
+/// One timed pass of the thread-per-connection mode, same shape.
+fn run_threads(scripts: &[Vec<String>]) -> (Vec<Vec<String>>, f64) {
+    let server = TcpServer::bind("127.0.0.1:0").expect("server binds");
+    let addr = server.local_addr().expect("server addr").to_string();
+    let k = scripts.len();
+    let handle = std::thread::spawn(move || server.run(Some(k)).expect("server serves"));
+    let result = run_over_wire(&addr, scripts);
+    handle.join().expect("server thread");
+    result
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let profile = if smoke { Profile::smoke() } else { Profile::full() };
@@ -195,6 +267,47 @@ fn main() {
             isolated_ms,
             interleaved_ms,
             ratio,
+        ));
+    }
+
+    // Reactor vs thread-per-connection serving over real sockets. The
+    // store-all colorer keeps per-command compute cheap, so the numbers
+    // weigh what this section is about: event-loop dispatch, buffering,
+    // and syscall overhead per protocol line.
+    {
+        let spec = ColorerSpec::StoreAll;
+        let scripts: Vec<Vec<String>> = (0..profile.sessions)
+            .map(|s| session_script(&format!("wire-{s}"), &spec, &profile, 200 + s as u64))
+            .collect();
+        let commands: usize = scripts.iter().map(Vec::len).sum();
+
+        // Determinism first: both serving modes must answer exactly what
+        // isolated in-process services answer.
+        let (reference, _) = run_isolated(&scripts);
+        let (from_reactor, _) = run_reactor(&scripts);
+        let (from_threads, _) = run_threads(&scripts);
+        assert_eq!(from_reactor, reference, "reactor responses diverged from isolated services");
+        assert_eq!(from_threads, reference, "per-connection responses diverged");
+
+        let median = |times: &mut Vec<f64>| -> f64 {
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let mut reactor_times: Vec<f64> =
+            (0..profile.reps).map(|_| run_reactor(&scripts).1).collect();
+        let mut threads_times: Vec<f64> =
+            (0..profile.reps).map(|_| run_threads(&scripts).1).collect();
+        let reactor_ms = median(&mut reactor_times);
+        let threads_ms = median(&mut threads_times);
+        let ratio = threads_ms / reactor_ms.max(1e-9);
+        println!(
+            "  reactor: {sessions} connections, {commands} commands — reactor {reactor_ms:.1} ms, \
+             threads {threads_ms:.1} ms, ratio {ratio:.3}",
+            sessions = profile.sessions,
+        );
+        entries.push(format!(
+            "  {{\"algo\":\"reactor\",\"kind\":\"serving\",\"sessions\":{},\"n\":{},\"delta\":{},\"commands\":{},\"reactor_ms\":{:.3},\"threads_ms\":{:.3},\"ratio\":{:.3}}}",
+            profile.sessions, profile.n, profile.delta, commands, reactor_ms, threads_ms, ratio,
         ));
     }
 

@@ -15,6 +15,7 @@ use std::io::Write;
 fn switches(command_hint: Option<&str>) -> &'static [&'static str] {
     match command_hint {
         Some("info") => &["chromatic"],
+        Some("serve") => &["reactor", "per-conn"],
         Some("shard") => &["smoke", "in-process"],
         _ => &[],
     }
@@ -48,8 +49,12 @@ SUBCOMMANDS:
              protocol: one command object per stdin line, one canonical
              response per stdout line (--script FILE executes a command
              file, where --threads N fans independent sessions out;
-             --listen ADDR serves over TCP, one fresh service per
-             connection [--accept N]; --max-sessions N bounds open
+             --listen ADDR serves over TCP: --per-conn [default] runs
+             one fresh service per connection thread, --reactor
+             multiplexes every connection onto one event loop sharing
+             one service [--idle-ms N evicts idle connections;
+             --max-sessions N evicts least-recently-used sessions at
+             the cap] [--accept N]; --max-sessions N bounds open
              sessions; any serve endpoint doubles as a cluster shard
              worker via the run_job command)
     help     this message

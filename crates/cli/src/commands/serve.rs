@@ -22,21 +22,34 @@
 //! every thread count** (CI's `service-smoke` job diffs them against a
 //! committed golden file).
 //!
-//! `--listen ADDR` serves over a TCP socket instead of stdio: every
-//! accepted connection gets its own fresh `Service` on its own thread
-//! (`sc_cluster::TcpServer`), so tenants on different connections share
-//! nothing. This is the endpoint `streamcolor shard --transport tcp`
-//! dials — any serve process doubles as a remote shard worker via the
-//! protocol's `run_job` command. `--max-sessions N` bounds the open
-//! sessions per service (per connection under `--listen`), turning a
-//! rogue client's unbounded `open`s into error responses; `--accept N`
-//! closes the listener after N connections (demos and tests — default
-//! is to accept forever).
+//! `--listen ADDR` serves over a TCP socket instead of stdio, in one of
+//! two modes:
+//!
+//! * `--per-conn` (the default): every accepted connection gets its own
+//!   fresh `Service` on its own thread (`sc_cluster::TcpServer`) —
+//!   tenants on different connections share nothing.
+//! * `--reactor`: every connection is multiplexed onto **one** event
+//!   loop over one shared `Service` (`sc_cluster::Reactor`) — sessions
+//!   stay owner-scoped per connection, so the responses are
+//!   byte-identical to `--per-conn` for any client, while thousands of
+//!   idle connections cost one thread. `--idle-ms N` evicts connections
+//!   silent for N milliseconds; with `--max-sessions N` the cap evicts
+//!   the least-recently-used session (an error response on its owner's
+//!   next command) instead of rejecting the `open`.
+//!
+//! Either endpoint is what `streamcolor shard --transport tcp` dials —
+//! any serve process doubles as a remote shard worker via the protocol's
+//! `run_job` command. `--max-sessions N` bounds the open sessions per
+//! service (per connection under `--per-conn`, host-wide under
+//! `--reactor`), turning a rogue client's unbounded `open`s into error
+//! responses (or LRU evictions); `--accept N` closes the listener after
+//! N connections (demos and tests — default is to accept forever).
 
 use crate::args::{err, Args, CliError};
-use sc_cluster::TcpServer;
+use sc_cluster::{Reactor, TcpServer};
 use sc_service::Service;
 use std::io::Write;
+use std::time::Duration;
 
 /// Runs the subcommand.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -46,6 +59,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let listen = args.optional("listen").map(String::from);
     let max_sessions: Option<usize> = args.parse_optional("max-sessions")?;
     let accept: Option<usize> = args.parse_optional("accept")?;
+    let reactor = args.switch("reactor");
+    let per_conn = args.switch("per-conn");
+    let idle_ms: Option<u64> = args.parse_optional("idle-ms")?;
     args.reject_unknown()?;
     if threads == 0 {
         return Err(err("--threads must be at least 1"));
@@ -66,8 +82,39 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if accept == Some(0) {
         return Err(err("--accept must be at least 1"));
     }
+    // A zero cap could never host a session — same spirit as --accept 0.
+    if max_sessions == Some(0) {
+        return Err(err("--max-sessions must be at least 1"));
+    }
+    if reactor && per_conn {
+        return Err(err("--reactor and --per-conn are mutually exclusive"));
+    }
+    if (reactor || per_conn) && listen.is_none() {
+        return Err(err("--reactor/--per-conn apply to --listen mode only"));
+    }
+    if idle_ms.is_some() && !reactor {
+        return Err(err("--idle-ms applies to --reactor mode only"));
+    }
+    if idle_ms == Some(0) {
+        return Err(err("--idle-ms must be at least 1"));
+    }
 
     if let Some(addr) = listen {
+        if reactor {
+            let mut server =
+                Reactor::bind(&addr).map_err(|e| err(format!("cannot listen on {addr}: {e}")))?;
+            if let Some(limit) = max_sessions {
+                server = server.with_max_sessions(limit);
+            }
+            if let Some(ms) = idle_ms {
+                server = server.with_idle_timeout(Duration::from_millis(ms));
+            }
+            let local = server.local_addr().map_err(|e| err(e.to_string()))?;
+            writeln!(out, "listening on {local}")
+                .and_then(|()| out.flush())
+                .map_err(|e| err(e.to_string()))?;
+            return server.run(accept).map_err(|e| err(e.to_string()));
+        }
         let mut server =
             TcpServer::bind(&addr).map_err(|e| err(format!("cannot listen on {addr}: {e}")))?;
         if let Some(limit) = max_sessions {
@@ -178,12 +225,54 @@ mod tests {
             let args = Args::parse(&toks, &[]).unwrap();
             assert!(run(&args, &mut Vec::new()).is_err(), "{toks:?}");
         }
+        // A zero session cap could never host anything — friendly error,
+        // exactly like --accept 0.
+        let toks: Vec<String> = ["serve", "--listen", "127.0.0.1:0", "--max-sessions", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&toks, &[]).unwrap();
+        let e = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("--max-sessions must be at least 1"), "{e}");
+        // Reactor-flag grammar: the modes are exclusive, listen-only,
+        // and --idle-ms belongs to the reactor.
+        const SERVE_SWITCHES: &[&str] = &["reactor", "per-conn"];
+        for (bad, want) in [
+            (vec!["serve", "--listen", "127.0.0.1:0", "--reactor", "--per-conn"], "exclusive"),
+            (vec!["serve", "--reactor"], "--listen mode only"),
+            (vec!["serve", "--listen", "127.0.0.1:0", "--idle-ms", "5"], "--reactor mode only"),
+            (vec!["serve", "--listen", "127.0.0.1:0", "--reactor", "--idle-ms", "0"], "at least 1"),
+        ] {
+            let toks: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let args = Args::parse(&toks, SERVE_SWITCHES).unwrap();
+            let e = run(&args, &mut Vec::new()).unwrap_err();
+            assert!(e.to_string().contains(want), "{bad:?}: {e}");
+        }
         // An unbindable listen address is a friendly error.
         let toks: Vec<String> =
             ["serve", "--listen", "256.0.0.1:1"].iter().map(|s| s.to_string()).collect();
         let args = Args::parse(&toks, &[]).unwrap();
         let e = run(&args, &mut Vec::new()).unwrap_err();
         assert!(e.to_string().contains("cannot listen"), "{e}");
+    }
+
+    #[test]
+    fn reactor_mode_serves_protocol_lines_over_tcp() {
+        use sc_cluster::{Tcp, Transport as _};
+        // Same drive as the per-connection test below, but through the
+        // event-loop server the --reactor flag selects.
+        let mut server = Reactor::bind("127.0.0.1:0").unwrap().with_max_sessions(2);
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run(Some(1)).unwrap());
+        let mut t = Tcp::connect(&addr).unwrap();
+        t.send(r#"{"cmd":"open","session":"a","n":10,"colorer":"trivial"}"#).unwrap();
+        let response = t.recv(std::time::Duration::from_secs(10)).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        t.send(r#"{"cmd":"host_stats","session":"probe"}"#).unwrap();
+        let stats = t.recv(std::time::Duration::from_secs(10)).unwrap();
+        assert!(stats.contains("\"connections_accepted\":1"), "{stats}");
+        drop(t);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -84,9 +84,11 @@
 pub mod coordinator;
 pub mod listener;
 pub mod pool;
+pub mod reactor;
 pub mod transport;
 
 pub use coordinator::{ClusterCoordinator, TransportSpec};
-pub use listener::TcpServer;
+pub use listener::{should_retry_accept, TcpServer};
 pub use pool::{DispatchReport, WorkerPool};
+pub use reactor::Reactor;
 pub use transport::{ChildStdio, InProcess, Ssh, Tcp, Transport, TransportError, Unreliable};

@@ -9,8 +9,9 @@
 //! [`Tcp`](crate::transport::Tcp) transports dial.
 
 use sc_service::Service;
-use std::io::BufReader;
+use std::io::{BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 /// A bound listener hosting one [`Service`] per connection.
 ///
@@ -56,14 +57,32 @@ impl TcpServer {
     /// `n` connections, joining their serving threads first (tests and
     /// demos); with `None` it accepts forever.
     ///
+    /// Transient accept failures (a client resetting mid-handshake, a
+    /// signal, a momentary fd or buffer shortage — see
+    /// [`should_retry_accept`]) are retried with capped backoff instead
+    /// of killing the listener: one flaky client must never take the
+    /// serving surface down for everyone else.
+    ///
     /// # Errors
-    /// Propagates accept failures; per-connection I/O errors end only
-    /// that connection.
+    /// Propagates fatal (listener-level) accept failures; per-connection
+    /// I/O errors end only that connection.
     pub fn run(&self, accept_limit: Option<usize>) -> std::io::Result<()> {
         let mut handles = Vec::new();
         let mut accepted = 0usize;
+        let mut backoff = ACCEPT_BACKOFF_FLOOR;
         for stream in self.listener.incoming() {
-            let stream = stream?;
+            let stream = match stream {
+                Ok(stream) => {
+                    backoff = ACCEPT_BACKOFF_FLOOR;
+                    stream
+                }
+                Err(err) if is_transient_accept_error(&err) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
             let max_sessions = self.max_sessions;
             let handle = std::thread::spawn(move || {
                 // A dropped client mid-command is that client's problem
@@ -86,6 +105,48 @@ impl TcpServer {
         }
         Ok(())
     }
+}
+
+/// First sleep after a transient accept failure; doubles per
+/// consecutive failure up to [`ACCEPT_BACKOFF_CEIL`], resets on the next
+/// successful accept.
+const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+/// Backoff cap — an fd-exhausted process retries forever at this pace
+/// rather than exiting, since the condition clears when connections
+/// close.
+const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_millis(250);
+
+/// Is this `accept(2)` failure about *one connection attempt* (retry)
+/// rather than the listening socket itself (fatal)?
+///
+/// Retryable: the peer aborted mid-handshake (`ECONNABORTED`,
+/// `ECONNRESET`), a signal interrupted the call (`EINTR`), the process
+/// or system momentarily ran out of descriptors or buffers (`EMFILE`,
+/// `ENFILE`, `ENOBUFS`, `ENOMEM` — these clear as other connections
+/// close), or a spurious wakeup (`EAGAIN`). Anything else — `EBADF`,
+/// `EINVAL`, a closed listener — means the listening socket is broken
+/// and looping would spin forever.
+#[must_use]
+pub fn should_retry_accept(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+            | ErrorKind::OutOfMemory
+    )
+}
+
+/// [`should_retry_accept`] plus the descriptor/buffer-exhaustion errnos
+/// that map to `ErrorKind::Uncategorized` on stable (`EMFILE`, `ENFILE`,
+/// `ENOBUFS`).
+pub(crate) fn is_transient_accept_error(err: &std::io::Error) -> bool {
+    const EMFILE: i32 = 24;
+    const ENFILE: i32 = 23;
+    const ENOBUFS: i32 = 105;
+    should_retry_accept(err.kind()) || matches!(err.raw_os_error(), Some(EMFILE | ENFILE | ENOBUFS))
 }
 
 fn serve_connection(stream: TcpStream, max_sessions: Option<usize>) -> std::io::Result<()> {
@@ -145,6 +206,65 @@ mod tests {
             rejected.contains("\"ok\":false") && rejected.contains("session limit reached"),
             "{rejected}"
         );
+        drop(t);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn transient_accept_errors_are_retryable_fatal_ones_are_not() {
+        for kind in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::OutOfMemory,
+        ] {
+            assert!(should_retry_accept(kind), "{kind:?} must be retried");
+        }
+        for kind in [
+            ErrorKind::InvalidInput,
+            ErrorKind::PermissionDenied,
+            ErrorKind::NotFound,
+            ErrorKind::BrokenPipe,
+            ErrorKind::AddrInUse,
+            ErrorKind::Unsupported,
+        ] {
+            assert!(!should_retry_accept(kind), "{kind:?} must stay fatal");
+        }
+    }
+
+    #[test]
+    fn fd_exhaustion_errnos_are_transient_via_raw_os_codes() {
+        for errno in [23, 24, 105] {
+            let err = std::io::Error::from_raw_os_error(errno);
+            assert!(is_transient_accept_error(&err), "errno {errno} ({err}) must be retried");
+        }
+        // EBADF / EINVAL: the listener itself is broken — fatal.
+        for errno in [9, 22] {
+            let err = std::io::Error::from_raw_os_error(errno);
+            assert!(!is_transient_accept_error(&err), "errno {errno} ({err}) must stay fatal");
+        }
+    }
+
+    #[test]
+    fn listener_survives_a_client_aborting_mid_handshake() {
+        // A client that connects and vanishes immediately (RST via
+        // linger-0 close) must not take the listener down: the next
+        // well-behaved client still gets served. On most kernels the
+        // aborted attempt surfaces as a short-lived connection rather
+        // than an accept error — either way the accept loop must reach
+        // the second client.
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run(Some(2)).unwrap());
+
+        let aborter = std::net::TcpStream::connect(&addr).unwrap();
+        drop(aborter);
+
+        let mut t = Tcp::connect(&addr).unwrap();
+        t.send(r#"{"cmd":"open","session":"ok","n":10,"colorer":"trivial"}"#).unwrap();
+        assert!(t.recv(TICK).unwrap().contains("\"ok\":true"));
         drop(t);
         handle.join().unwrap();
     }

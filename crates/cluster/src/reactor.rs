@@ -1,0 +1,378 @@
+//! The nonblocking serving core: one event loop, one shared
+//! [`Service`], thousands of connections.
+//!
+//! [`TcpServer`](crate::TcpServer) (PR 5) spends a thread and a private
+//! `Service` per connection — perfect isolation, but a thousand idle
+//! dashboards cost a thousand stacks. The [`Reactor`] multiplexes every
+//! accepted connection onto **one** thread with the `polling` readiness
+//! API (see `crates/compat/README.md`): nonblocking accept, nonblocking
+//! reads into per-connection line buffers, nonblocking writes out of
+//! per-connection response queues.
+//!
+//! ## How isolation survives the sharing
+//!
+//! The per-connection listener's determinism law — K sessions
+//! interleaved over one host answer byte-for-byte what K isolated runs
+//! answer — survives because session keys are **owner-scoped**: the
+//! shared [`Service`] keys tenants by `(connection id, name)`
+//! ([`Service::respond_as`]), so two connections both opening `"alpha"`
+//! own disjoint tenants, exactly as if each had a private host. A
+//! connection's lines are applied in arrival order by a single thread,
+//! so each session's state is a function of its own command sequence
+//! alone. Proven in `tests/reactor_determinism.rs` (including a
+//! 256-connection soak diffed against the per-connection reference).
+//!
+//! ## Backpressure and eviction
+//!
+//! * A connection's pending responses live in its own write buffer;
+//!   when the buffer passes a high watermark the reactor **stops
+//!   reading from that connection** (its interest drops to
+//!   write-only) until the peer drains it below the low watermark. A
+//!   slow reader stalls only its own pipeline, never the loop.
+//! * [`Reactor::with_idle_timeout`] evicts connections whose last
+//!   activity is older than the timeout (their sessions drop with
+//!   them, like a disconnect). The clock is injected
+//!   ([`Reactor::with_clock`]) so tests fire the timeout
+//!   deterministically.
+//! * [`Reactor::with_max_sessions`] bounds *total* open sessions
+//!   across all connections; at the cap an `open` evicts the
+//!   least-recently-used session ([`Service::with_lru_eviction`]) and
+//!   the evicted owner gets an error response — never an abort — on
+//!   its next command for that session.
+
+use polling::{Event, Events, Poller};
+use sc_service::Service;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pause reading from a connection once this many response bytes are
+/// queued for it…
+const WRITE_HIGH_WATERMARK: usize = 1 << 20;
+/// …and resume once the queue drains below this.
+const WRITE_LOW_WATERMARK: usize = 1 << 18;
+/// Nonblocking read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+/// The poller key reserved for the listener (connection ids start at 1).
+const LISTENER_KEY: usize = 0;
+
+/// A clock the reactor samples for idle-connection eviction — injected
+/// so tests control time instead of sleeping through it.
+pub type Clock = Arc<dyn Fn() -> Instant + Send + Sync>;
+
+/// One multiplexed connection: its socket, its partial-line read buffer,
+/// its pending-response write buffer, and its idle clock.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet terminated by `\n`.
+    rbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket; `wpos` marks how
+    /// far the front has been written (drained wholesale once the
+    /// buffer empties, so no per-write memmove).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    last_activity: Instant,
+    /// Peer half-closed its sending side; the connection closes once
+    /// the write buffer drains.
+    eof: bool,
+    /// Reading is suspended (write buffer passed the high watermark)
+    /// until the peer drains it below the low watermark.
+    paused: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// The event-loop server behind `streamcolor serve --listen ADDR
+/// --reactor`.
+///
+/// ```no_run
+/// let mut reactor = sc_cluster::Reactor::bind("127.0.0.1:0").unwrap();
+/// println!("listening on {}", reactor.local_addr().unwrap());
+/// reactor.run(None).unwrap(); // serve forever
+/// ```
+pub struct Reactor {
+    listener: TcpListener,
+    max_sessions: Option<usize>,
+    idle_timeout: Option<Duration>,
+    clock: Clock,
+    threads: usize,
+}
+
+impl Reactor {
+    /// Binds `addr` (port 0 lets the OS pick; read it back with
+    /// [`Reactor::local_addr`]).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            max_sessions: None,
+            idle_timeout: None,
+            clock: Arc::new(Instant::now),
+            threads: 1,
+        })
+    }
+
+    /// Bounds open sessions across **all** connections; at the cap an
+    /// `open` evicts the least-recently-used session (any connection)
+    /// rather than erroring — the shared-host policy. See
+    /// [`Service::with_lru_eviction`].
+    #[must_use]
+    pub fn with_max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = Some(limit);
+        self
+    }
+
+    /// Evicts connections idle (no bytes received) for longer than
+    /// `timeout`; their sessions drop exactly as on disconnect.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Substitutes the idle-eviction clock (tests advance a fake clock
+    /// instead of sleeping).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Thread count handed to the shared [`Service`] (only `run_job`
+    /// fan-out uses it; session commands are always loop-serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the event loop. With `accept_limit: Some(n)` it stops
+    /// accepting after `n` connections and returns once the last of
+    /// them closes (tests and demos); with `None` it serves forever.
+    ///
+    /// Transient accept failures retry with the same classification as
+    /// [`TcpServer::run`](crate::TcpServer::run); per-connection I/O
+    /// errors close only that connection.
+    ///
+    /// # Errors
+    /// Propagates fatal listener errors and poller failures.
+    pub fn run(&mut self, accept_limit: Option<usize>) -> std::io::Result<()> {
+        let mut service = Service::with_threads(self.threads);
+        if let Some(limit) = self.max_sessions {
+            service = service.with_max_sessions(limit).with_lru_eviction();
+        }
+
+        self.listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(&self.listener, Event::readable(LISTENER_KEY))?;
+
+        let mut conns: BTreeMap<usize, Conn> = BTreeMap::new();
+        let mut events = Events::with_capacity(256);
+        let mut accepted = 0usize;
+        let mut next_id = 1usize;
+
+        loop {
+            if let Some(limit) = accept_limit {
+                if accepted >= limit && conns.is_empty() {
+                    poller.delete(&self.listener)?;
+                    return Ok(());
+                }
+            }
+
+            // Sleep at most a tick when idle eviction is on, so the
+            // sweep below runs even with no socket activity.
+            let timeout = self.idle_timeout.map(|t| (t / 4).min(Duration::from_millis(25)));
+            events.clear();
+            poller.wait(&mut events, timeout)?;
+
+            let mut touched: Vec<usize> = Vec::new();
+            for event in events.iter() {
+                if event.key == LISTENER_KEY {
+                    self.accept_ready(
+                        &poller,
+                        &mut conns,
+                        &mut next_id,
+                        &mut accepted,
+                        accept_limit,
+                        &mut service,
+                    )?;
+                } else {
+                    touched.push(event.key);
+                }
+            }
+
+            let now = (self.clock)();
+            for id in touched {
+                let Some(conn) = conns.get_mut(&id) else { continue };
+                let gone = step_conn(conn, id, &mut service, now);
+                if gone {
+                    close_conn(&poller, &mut conns, id, &mut service, accepted);
+                } else {
+                    rearm(&poller, &mut conns, id)?;
+                }
+            }
+
+            if let Some(idle) = self.idle_timeout {
+                let now = (self.clock)();
+                let doomed: Vec<usize> = conns
+                    .iter()
+                    .filter(|(_, c)| now.duration_since(c.last_activity) >= idle)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in doomed {
+                    close_conn(&poller, &mut conns, id, &mut service, accepted);
+                }
+            }
+        }
+    }
+
+    /// Drains the accept queue (the listener is armed oneshot, so it is
+    /// re-armed afterwards — unless the accept limit is reached, which
+    /// leaves it disarmed for good).
+    fn accept_ready(
+        &self,
+        poller: &Poller,
+        conns: &mut BTreeMap<usize, Conn>,
+        next_id: &mut usize,
+        accepted: &mut usize,
+        accept_limit: Option<usize>,
+        service: &mut Service,
+    ) -> std::io::Result<()> {
+        loop {
+            if accept_limit.is_some_and(|limit| *accepted >= limit) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    let id = *next_id;
+                    *next_id += 1;
+                    *accepted += 1;
+                    let conn = Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        last_activity: (self.clock)(),
+                        eof: false,
+                        paused: false,
+                    };
+                    poller.add(&conn.stream, Event::readable(id))?;
+                    conns.insert(id, conn);
+                    service.record_connections(conns.len() as u64, *accepted as u64);
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                // Transient per-attempt failures: skip this attempt; the
+                // loop's poller wait is the backoff.
+                Err(err) if crate::listener::is_transient_accept_error(&err) => break,
+                Err(err) => return Err(err),
+            }
+        }
+        if accept_limit.is_none_or(|limit| *accepted < limit) {
+            poller.modify(&self.listener, Event::readable(LISTENER_KEY))?;
+        }
+        Ok(())
+    }
+}
+
+/// Services one readiness event on `conn`: drain the socket, answer
+/// every complete line through the shared service (owner = connection
+/// id), flush opportunistically. Returns `true` when the connection is
+/// finished (peer gone, I/O error, or clean EOF with an empty write
+/// buffer).
+fn step_conn(conn: &mut Conn, id: usize, service: &mut Service, now: Instant) -> bool {
+    // Read until the socket runs dry — but not while the peer refuses
+    // to drain our responses (backpressure).
+    let mut chunk = [0u8; READ_CHUNK];
+    while !conn.eof && !conn.paused {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => conn.eof = true,
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = now;
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+
+    // Answer complete lines in arrival order.
+    while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line[..pos]);
+        if let Some(response) = service.respond_as(id as u64, line.trim_end_matches('\r')) {
+            conn.wbuf.extend_from_slice(response.as_bytes());
+            conn.wbuf.push(b'\n');
+        }
+    }
+
+    // Flush what the socket will take right now; leftovers arm write
+    // interest in `rearm`.
+    while conn.pending_write() > 0 {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.wpos += n,
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    if conn.pending_write() == 0 {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+
+    // Watermark hysteresis: pause reads above HIGH, resume below LOW.
+    if conn.pending_write() >= WRITE_HIGH_WATERMARK {
+        conn.paused = true;
+    } else if conn.pending_write() < WRITE_LOW_WATERMARK {
+        conn.paused = false;
+    }
+
+    conn.eof && conn.pending_write() == 0
+}
+
+/// Re-arms oneshot interest to match the connection's state: readable
+/// unless backpressured, writable while responses are queued.
+fn rearm(poller: &Poller, conns: &mut BTreeMap<usize, Conn>, id: usize) -> std::io::Result<()> {
+    let Some(conn) = conns.get(&id) else { return Ok(()) };
+    let read = !conn.eof && !conn.paused;
+    let write = conn.pending_write() > 0;
+    let interest = Event { key: id, readable: read, writable: write };
+    poller.modify(&conn.stream, interest)
+}
+
+/// Closes a connection: deregisters the socket, drops its sessions
+/// ([`Service::drop_owner`] — same fate as a per-connection `Service`
+/// dying with its thread), updates the host's connection gauge.
+fn close_conn(
+    poller: &Poller,
+    conns: &mut BTreeMap<usize, Conn>,
+    id: usize,
+    service: &mut Service,
+    accepted: usize,
+) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = poller.delete(&conn.stream);
+        service.drop_owner(id as u64);
+        service.record_connections(conns.len() as u64, accepted as u64);
+    }
+}

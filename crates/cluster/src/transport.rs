@@ -289,6 +289,15 @@ impl Transport for Tcp {
                 .map_err(|e| TransportError::Closed(format!("set_read_timeout: {e}")))?;
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
+                // A close with bytes still buffered means the peer died
+                // mid-line: surface how much was lost instead of
+                // silently discarding the partial response.
+                Ok(0) if !self.buf.is_empty() => {
+                    return Err(TransportError::Closed(format!(
+                        "connection closed with {} unterminated bytes",
+                        self.buf.len()
+                    )));
+                }
                 Ok(0) => return Err(TransportError::Closed("connection closed".to_string())),
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e)
@@ -374,13 +383,49 @@ impl Transport for Ssh {
 
 /// Splits `user@host[:path]` into the ssh host argument and the remote
 /// binary path (validated before any process is spawned).
+///
+/// IPv6 hosts contain colons (`user@::1`, `fe80::1`), so a lone
+/// `split_once(':')` would shear the address apart. The rules:
+///
+/// * `[addr]:path` / `user@[addr]:path` — brackets delimit the host
+///   (ssh's own literal-IPv6 syntax); the path follows the `]:`.
+///   Brackets are stripped before handing the host to the ssh client.
+/// * exactly one `:` and no brackets — `host:path`, as before.
+/// * two or more `:` and no brackets — the whole destination is a bare
+///   IPv6 host; the path defaults. (A path would need brackets.)
 fn split_dest(dest: &str) -> Result<(String, String), String> {
-    let (host, path) = match dest.split_once(':') {
-        Some((_, "")) => {
-            return Err(format!("ssh destination {dest:?} has an empty remote path after ':'"));
+    let after_user = dest.rsplit_once('@').map_or(dest, |(_, host)| host);
+    if let Some(rest) = after_user.strip_prefix('[') {
+        let Some((addr, tail)) = rest.split_once(']') else {
+            return Err(format!("ssh destination {dest:?} has an unclosed '[' (want [addr]:path)"));
+        };
+        if addr.is_empty() {
+            return Err(format!("ssh destination {dest:?} has no host (want user@host[:path])"));
         }
-        Some((h, p)) => (h, p),
-        None => (dest, "streamcolor"),
+        let user = dest.rsplit_once('@').map_or("", |(user, _)| user);
+        let host = if user.is_empty() { addr.to_string() } else { format!("{user}@{addr}") };
+        return match tail {
+            "" => Ok((host, "streamcolor".to_string())),
+            ":" => Err(format!("ssh destination {dest:?} has an empty remote path after ':'")),
+            tail => match tail.strip_prefix(':') {
+                Some(path) => Ok((host, path.to_string())),
+                None => Err(format!(
+                    "ssh destination {dest:?} has trailing garbage after ']' (want [addr]:path)"
+                )),
+            },
+        };
+    }
+    let (host, path) = match after_user.matches(':').count() {
+        0 => (dest, "streamcolor"),
+        1 => match dest.split_once(':') {
+            Some((_, "")) => {
+                return Err(format!("ssh destination {dest:?} has an empty remote path after ':'"));
+            }
+            Some((h, p)) => (h, p),
+            None => unreachable!("count said one colon"),
+        },
+        // Multiple colons, no brackets: a bare IPv6 address.
+        _ => (dest, "streamcolor"),
     };
     if host.is_empty() {
         return Err(format!("ssh destination {dest:?} has no host (want user@host[:path])"));
@@ -533,6 +578,64 @@ mod tests {
         assert!(split_dest("host:").unwrap_err().contains("empty remote path"));
         // A malformed destination must fail before the client spawns.
         assert!(Ssh::connect("host:").is_err());
+
+        // IPv6: multiple colons without brackets are all host, never a
+        // path split at the first colon.
+        assert_eq!(
+            split_dest("user@::1").unwrap(),
+            ("user@::1".to_string(), "streamcolor".to_string())
+        );
+        assert_eq!(
+            split_dest("fe80::1").unwrap(),
+            ("fe80::1".to_string(), "streamcolor".to_string())
+        );
+        // Brackets (ssh's literal-IPv6 syntax) delimit the host and
+        // reopen the `:path` suffix; they are stripped for the client.
+        assert_eq!(
+            split_dest("user@[::1]:opt/streamcolor").unwrap(),
+            ("user@::1".to_string(), "opt/streamcolor".to_string())
+        );
+        assert_eq!(
+            split_dest("[fe80::1]").unwrap(),
+            ("fe80::1".to_string(), "streamcolor".to_string())
+        );
+        assert!(split_dest("user@[::1").unwrap_err().contains("unclosed"));
+        assert!(split_dest("user@[::1]:").unwrap_err().contains("empty remote path"));
+        assert!(split_dest("[::1]junk").unwrap_err().contains("trailing garbage"));
+        assert!(split_dest("user@[]").unwrap_err().contains("no host"));
+    }
+
+    #[test]
+    fn tcp_recv_names_unterminated_bytes_on_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // A partial line — no terminating newline — then close.
+            stream.write_all(b"{\"truncated\":tr").unwrap();
+        });
+        let mut t = Tcp::connect(&addr).unwrap();
+        server.join().unwrap();
+        let err = t.recv(Duration::from_secs(10)).unwrap_err();
+        match err {
+            TransportError::Closed(msg) => {
+                assert_eq!(msg, "connection closed with 15 unterminated bytes");
+            }
+            other => panic!("want Closed, got {other:?}"),
+        }
+        // A clean close (no buffered bytes) keeps the plain message.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        });
+        let mut t = Tcp::connect(&addr).unwrap();
+        server.join().unwrap();
+        match t.recv(Duration::from_secs(10)).unwrap_err() {
+            TransportError::Closed(msg) => assert_eq!(msg, "connection closed"),
+            other => panic!("want Closed, got {other:?}"),
+        }
     }
 
     #[test]

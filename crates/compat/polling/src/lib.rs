@@ -1,0 +1,521 @@
+//! Offline stand-in for the `polling` crate (see
+//! `crates/compat/README.md`).
+//!
+//! An epoll-shaped readiness API — [`Poller`], [`Event`], [`Events`] —
+//! implementing the subset `sc-cluster`'s reactor uses, under the same
+//! crate name as smol's `polling`, so the shim is drop-in replaceable
+//! by the real crate (or rewired to `mio` with a thin adapter) the day
+//! this environment gains crates.io access.
+//!
+//! Semantics mirror upstream:
+//!
+//! * **Oneshot interest.** A source's interest is disarmed after each
+//!   delivered event; call [`Poller::modify`] to re-arm. (On Linux this
+//!   is literally `EPOLLONESHOT`; the portable fallback emulates it.)
+//! * **Level-triggered while armed.** An armed source whose readiness
+//!   condition holds is reported on the next [`Poller::wait`].
+//! * **Error/hang-up conditions** (`EPOLLERR`/`EPOLLHUP`) are delivered
+//!   even when not requested, surfaced as both `readable` and
+//!   `writable` so the caller's next I/O attempt observes the error.
+//! * [`Poller::wait`] returning `Ok(0)` means the timeout elapsed — or
+//!   a signal interrupted the wait (`EINTR` is a spurious wakeup, not
+//!   an error), so callers must re-check their own deadlines.
+//!
+//! Backends: raw `epoll(7)` syscalls on Linux (no libc crate — the
+//! three FFI declarations below link against the C library the Rust
+//! runtime already pulls in), and a `poll(2)`-based emulation on other
+//! Unix platforms.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::time::Duration;
+
+/// Interest in (or readiness of) a source, tagged with a caller-chosen
+/// `key` that comes back in every delivered event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key passed at registration, echoed in delivered events.
+    pub key: usize,
+    /// Interest in (or readiness for) reading.
+    pub readable: bool,
+    /// Interest in (or readiness for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub const fn readable(key: usize) -> Self {
+        Self { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub const fn writable(key: usize) -> Self {
+        Self { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub const fn all(key: usize) -> Self {
+        Self { key, readable: true, writable: true }
+    }
+
+    /// No interest (a registered but disarmed source).
+    pub const fn none(key: usize) -> Self {
+        Self { key, readable: false, writable: false }
+    }
+}
+
+/// A buffer of delivered events, reused across [`Poller::wait`] calls.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer with the default capacity (1024 events per wait).
+    pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// An empty buffer delivering at most `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { inner: Vec::with_capacity(cap.max(1)) }
+    }
+
+    /// The events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Discards the delivered events (done automatically by wait).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// The readiness poller: register sources with a key and an interest,
+/// then [`Poller::wait`] for events.
+pub struct Poller {
+    sys: sys::Backend,
+}
+
+impl Poller {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    /// Propagates the backend creation failure.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self { sys: sys::Backend::new()? })
+    }
+
+    /// Registers `source` with the given interest. The source must stay
+    /// open until [`Poller::delete`]; registering an already-registered
+    /// source is an error.
+    ///
+    /// # Errors
+    /// Propagates the backend registration failure.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.sys.add(source.as_raw_fd(), interest)
+    }
+
+    /// Replaces a registered source's interest (also the oneshot re-arm
+    /// call).
+    ///
+    /// # Errors
+    /// Propagates the backend failure (e.g. the source is unregistered).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.sys.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Unregisters a source. Call before closing its descriptor.
+    ///
+    /// # Errors
+    /// Propagates the backend failure.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sys.delete(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` = forever), filling `events`. Returns the number
+    /// of delivered events; `Ok(0)` means timeout or signal.
+    ///
+    /// # Errors
+    /// Propagates backend wait failures (`EINTR` excluded — that is a
+    /// spurious `Ok(0)` wakeup).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let cap = events.inner.capacity();
+        self.sys.wait(&mut events.inner, cap, timeout)?;
+        Ok(events.inner.len())
+    }
+}
+
+/// Rounds a timeout up to whole milliseconds for the syscall (never
+/// down — rounding down would busy-spin callers with sub-ms deadlines).
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis() + u128::from(d.subsec_nanos() % 1_000_000 != 0);
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll(7) via direct FFI — the same C library symbols std links.
+
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EINTR: i32 = 4;
+
+    // The kernel ABI packs this struct on x86 so the 64-bit payload
+    // follows the 32-bit mask without padding.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, max: c_int, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn check(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Event) -> u32 {
+        // RDHUP makes a half-closed peer readable (the read observes
+        // EOF); ONESHOT implements the crate's disarm-after-delivery
+        // contract kernel-side.
+        let mut m = EPOLLONESHOT;
+        if interest.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct Backend {
+        epfd: RawFd,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self { epfd: check(unsafe { epoll_create1(EPOLL_CLOEXEC) })? })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: interest.key as u64 };
+            check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; cap.max(1)];
+            let n = match check(unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms(timeout))
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR) => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (events, data) = (ev.events, ev.data);
+                let fail = events & (EPOLLERR | EPOLLHUP) != 0;
+                out.push(Event {
+                    key: data as usize,
+                    readable: fail || events & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: fail || events & EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) emulation for non-Linux Unix: interests live in a
+    //! user-space registry, and oneshot disarm happens on delivery.
+
+    use super::{timeout_ms, Event};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const EINTR: i32 = 4;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    #[derive(Default)]
+    pub struct Backend {
+        registry: Mutex<BTreeMap<RawFd, Event>>,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self::default())
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut registry = self.registry.lock().expect("poisoned polling registry");
+            if registry.insert(fd, interest).is_some() {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut registry = self.registry.lock().expect("poisoned polling registry");
+            match registry.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd is not registered")),
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut registry = self.registry.lock().expect("poisoned polling registry");
+            match registry.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd is not registered")),
+            }
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let armed: Vec<(RawFd, Event)> = {
+                let registry = self.registry.lock().expect("poisoned polling registry");
+                registry
+                    .iter()
+                    .filter(|(_, e)| e.readable || e.writable)
+                    .map(|(f, e)| (*f, *e))
+                    .collect()
+            };
+            let mut fds: Vec<PollFd> = armed
+                .iter()
+                .map(|(fd, e)| PollFd {
+                    fd: *fd,
+                    events: if e.readable { POLLIN } else { 0 }
+                        | if e.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.raw_os_error() == Some(EINTR) {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            let mut registry = self.registry.lock().expect("poisoned polling registry");
+            for (pollfd, (fd, interest)) in fds.iter().zip(&armed) {
+                if out.len() >= cap.max(1) || pollfd.revents == 0 {
+                    continue;
+                }
+                let fail = pollfd.revents & (POLLERR | POLLHUP) != 0;
+                out.push(Event {
+                    key: interest.key,
+                    readable: fail || pollfd.revents & POLLIN != 0,
+                    writable: fail || pollfd.revents & POLLOUT != 0,
+                });
+                // Oneshot: disarm until the caller re-arms via modify.
+                if let Some(slot) = registry.get_mut(fd) {
+                    *slot = Event::none(interest.key);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    const TICK: Option<Duration> = Some(Duration::from_secs(5));
+
+    #[test]
+    fn writable_then_readable_with_keys() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        poller.add(&a, Event::writable(7)).unwrap();
+        poller.add(&b, Event::readable(9)).unwrap();
+
+        let mut events = Events::new();
+        // A fresh socket is writable immediately; b has nothing to read.
+        poller.wait(&mut events, TICK).unwrap();
+        let got: Vec<Event> = events.iter().collect();
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].key, 7);
+        assert!(got[0].writable);
+
+        a.write_all(b"hello").unwrap();
+        poller.wait(&mut events, TICK).unwrap();
+        let got: Vec<Event> = events.iter().collect();
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].key, 9);
+        assert!(got[0].readable);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 5);
+        poller.delete(&a).unwrap();
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn interest_is_oneshot_until_rearmed() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        a.write_all(b"x\n").unwrap();
+
+        let mut events = Events::new();
+        assert_eq!(poller.wait(&mut events, TICK).unwrap(), 1);
+        // Delivered once; without a modify the source stays disarmed
+        // even though the data was never read.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap(), 0);
+        poller.modify(&b, Event::readable(1)).unwrap();
+        assert_eq!(poller.wait(&mut events, TICK).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().key, 1);
+    }
+
+    #[test]
+    fn timeout_elapses_and_none_interest_disarms() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(&b, Event::none(3)).unwrap();
+        a.write_all(b"pending").unwrap();
+        let mut events = Events::new();
+        let started = Instant::now();
+        // Registered but disarmed: readable data must not wake the wait.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(60))).unwrap(), 0);
+        assert!(started.elapsed() >= Duration::from_millis(55), "returned early");
+        assert!(events.is_empty());
+        poller.modify(&b, Event::all(3)).unwrap();
+        assert_eq!(poller.wait(&mut events, TICK).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert!(event.readable && event.writable, "{event:?}");
+    }
+
+    #[test]
+    fn hangup_is_delivered_as_readiness() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(&b, Event::readable(4)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        assert_eq!(poller.wait(&mut events, TICK).unwrap(), 1);
+        // The subsequent read observes EOF — exactly what a reactor
+        // needs to reap the connection.
+        assert!(events.iter().next().unwrap().readable);
+    }
+
+    #[test]
+    fn double_add_and_unknown_delete_are_errors() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(&a, Event::readable(0)).unwrap();
+        assert!(poller.add(&a, Event::readable(0)).is_err(), "double add must fail");
+        assert!(poller.delete(&b).is_err(), "deleting an unregistered source must fail");
+        poller.delete(&a).unwrap();
+        assert!(poller.modify(&a, Event::readable(0)).is_err(), "modify after delete must fail");
+    }
+
+    #[test]
+    fn timeouts_round_up_to_whole_milliseconds() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

@@ -40,4 +40,4 @@ pub mod game;
 pub mod service;
 
 pub use game::run_game_via_service;
-pub use service::Service;
+pub use service::{HostCounters, Service};

@@ -56,10 +56,36 @@ use std::io::{BufRead, Write};
 use std::sync::Mutex;
 
 /// One hosted session: the owned engine session plus the vertex bound
-/// its edges are validated against.
+/// its edges are validated against and the host clock tick of its last
+/// command (the LRU eviction order).
 struct Tenant {
     n: usize,
     session: Session,
+    last_used: u64,
+}
+
+/// Host-level lifecycle counters, surfaced by the `host_stats` command
+/// and by [`Service::counters`]. Connection counts are fed by whatever
+/// serving surface owns the sockets (the reactor calls
+/// [`Service::record_connections`]; stdio and per-connection hosts
+/// leave them 0) — they describe the *host*, not a session, so they are
+/// deliberately outside the per-session determinism law.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Sessions successfully opened.
+    pub sessions_opened: u64,
+    /// Sessions closed by `finish`.
+    pub sessions_finished: u64,
+    /// Sessions evicted by the LRU policy (see
+    /// [`Service::with_lru_eviction`]).
+    pub sessions_evicted: u64,
+    /// Sessions dropped because their owning connection closed
+    /// ([`Service::drop_owner`]).
+    pub sessions_dropped: u64,
+    /// Currently open connections (reactor-fed).
+    pub connections_open: u64,
+    /// Connections accepted since the host started (reactor-fed).
+    pub connections_accepted: u64,
 }
 
 /// A host for many named, independent, concurrent coloring sessions.
@@ -78,9 +104,25 @@ struct Tenant {
 /// assert!(observe.contains("\"coloring\""));
 /// ```
 pub struct Service {
-    sessions: BTreeMap<String, Tenant>,
+    /// Tenants keyed by `(owner, name)`. The owner is a connection id
+    /// in reactor mode ([`Service::respond_as`]) and 0 everywhere else,
+    /// so two reactor connections may both own an `"alpha"` without
+    /// sharing a byte of state — exactly the isolation the
+    /// per-connection listener gives for free.
+    sessions: BTreeMap<(u64, String), Tenant>,
+    /// Evicted-session tombstones: commands for an evicted name answer
+    /// a "session evicted" error (never a bare "unknown session") until
+    /// the client reopens it.
+    evicted: BTreeMap<(u64, String), String>,
     threads: usize,
     max_sessions: Option<usize>,
+    /// When true, an `open` at the `max_sessions` cap evicts the
+    /// least-recently-used session instead of answering an error — the
+    /// reactor's policy.
+    lru_eviction: bool,
+    /// Monotone command tick driving the LRU order.
+    clock: u64,
+    counters: HostCounters,
 }
 
 impl Default for Service {
@@ -100,7 +142,15 @@ impl Service {
     /// share nothing, so the thread count can never change a response
     /// byte — it only changes wall-clock.
     pub fn with_threads(threads: usize) -> Self {
-        Self { sessions: BTreeMap::new(), threads: threads.max(1), max_sessions: None }
+        Self {
+            sessions: BTreeMap::new(),
+            evicted: BTreeMap::new(),
+            threads: threads.max(1),
+            max_sessions: None,
+            lru_eviction: false,
+            clock: 0,
+            counters: HostCounters::default(),
+        }
     }
 
     /// Bounds the number of concurrently open sessions: an `open` beyond
@@ -121,37 +171,164 @@ impl Service {
         self
     }
 
-    /// Open sessions, in name order.
+    /// Switches the session-limit policy from "error response" to
+    /// "evict the least-recently-used session" — the reactor's policy:
+    /// an `open` at the [`Service::with_max_sessions`] cap silently
+    /// closes the session whose last command is oldest (any owner) and
+    /// admits the new one. The evicted session leaves a tombstone, so
+    /// its owner's next command answers `session evicted (lru)` —
+    /// an error response, never an abort — and reopening the name
+    /// clears the tombstone and replays byte-identically.
+    ///
+    /// Interactive-path policy only ([`Service::respond`] /
+    /// [`Service::respond_as`] / [`Service::serve`]);
+    /// [`Service::run_script`] keeps its reservation-by-command-order
+    /// limit semantics.
+    #[must_use]
+    pub fn with_lru_eviction(mut self) -> Self {
+        self.lru_eviction = true;
+        self
+    }
+
+    /// Open sessions, in `(owner, name)` order.
     pub fn session_names(&self) -> Vec<&str> {
-        self.sessions.keys().map(String::as_str).collect()
+        self.sessions.keys().map(|(_, name)| name.as_str()).collect()
+    }
+
+    /// Host-level lifecycle counters (see [`HostCounters`]).
+    pub fn counters(&self) -> HostCounters {
+        self.counters
+    }
+
+    /// Feeds the connection counters a serving surface owns into the
+    /// host (the reactor calls this on every accept and close, so
+    /// `host_stats` can report them).
+    pub fn record_connections(&mut self, open: u64, accepted: u64) {
+        self.counters.connections_open = open;
+        self.counters.connections_accepted = accepted;
+    }
+
+    /// Drops every session (and eviction tombstone) owned by `owner` —
+    /// the reactor calls this when a connection closes, mirroring the
+    /// per-connection listener where a dropped connection takes its
+    /// whole `Service` with it. Returns the number of sessions dropped.
+    pub fn drop_owner(&mut self, owner: u64) -> usize {
+        let doomed: Vec<(u64, String)> =
+            self.sessions.keys().filter(|(o, _)| *o == owner).cloned().collect();
+        for key in &doomed {
+            self.sessions.remove(key);
+        }
+        self.evicted.retain(|(o, _), _| *o != owner);
+        self.counters.sessions_dropped += doomed.len() as u64;
+        doomed.len()
     }
 
     /// Handles one protocol line. Returns `None` for blank lines and
     /// `#` comments, otherwise exactly one canonical response line
     /// (errors are responses too — the protocol never panics on input).
     pub fn respond(&mut self, line: &str) -> Option<String> {
+        self.respond_as(0, line)
+    }
+
+    /// [`Service::respond`] scoped to an owner: session names resolve
+    /// to `(owner, name)`, so every connection multiplexed onto this
+    /// host sees its own private namespace. The stdio/script paths are
+    /// owner 0.
+    pub fn respond_as(&mut self, owner: u64, line: &str) -> Option<String> {
         match classify(line) {
             LineKind::Skip => None,
             LineKind::Local(response) => Some(response),
             LineKind::Command { session, obj } => {
-                let mut slot = self.sessions.remove(&session);
-                let over_limit = self.max_sessions.filter(|cap| {
-                    slot.is_none()
-                        && obj.get("cmd").and_then(Scalar::as_str) == Some("open")
-                        && self.sessions.len() >= *cap
-                });
+                let cmd = obj.get("cmd").and_then(Scalar::as_str);
+                if cmd == Some("host_stats") {
+                    return Some(encode_object(&self.apply_host_stats(&session, &obj)));
+                }
+                let key = (owner, session);
+                let mut slot = self.sessions.remove(&key);
+                let had_tenant = slot.is_some();
+                let opening = slot.is_none() && cmd == Some("open");
+                // A command for an evicted session names the eviction
+                // instead of pretending the session never existed;
+                // reopening clears the tombstone.
+                if slot.is_none() && !opening {
+                    if let Some(reason) = self.evicted.get(&key) {
+                        let message = format!("session evicted ({reason}); reopen it to continue");
+                        return Some(encode_object(&error_response(cmd, Some(&key.1), &message)));
+                    }
+                }
+                let over_limit = self
+                    .max_sessions
+                    .filter(|cap| opening && self.sessions.len() >= *cap)
+                    .filter(|cap| {
+                        if self.lru_eviction {
+                            self.evict_lru();
+                            self.sessions.len() >= *cap // cap 0: nothing to evict
+                        } else {
+                            true
+                        }
+                    });
                 let response = match over_limit {
                     Some(cap) => {
-                        error_response(Some("open"), Some(&session), &session_limit_message(cap))
+                        error_response(Some("open"), Some(&key.1), &session_limit_message(cap))
                     }
-                    None => apply(&mut slot, &session, &obj),
+                    None => apply(&mut slot, &key.1, &obj),
                 };
-                if let Some(tenant) = slot {
-                    self.sessions.insert(session, tenant);
+                match slot {
+                    Some(mut tenant) => {
+                        if !had_tenant {
+                            self.counters.sessions_opened += 1;
+                            self.evicted.remove(&key);
+                        }
+                        self.clock += 1;
+                        tenant.last_used = self.clock;
+                        self.sessions.insert(key, tenant);
+                    }
+                    None => {
+                        if had_tenant {
+                            self.counters.sessions_finished += 1;
+                        }
+                    }
                 }
                 Some(encode_object(&response))
             }
         }
+    }
+
+    /// Evicts the least-recently-used session (any owner), leaving a
+    /// tombstone so its owner learns the fate from the next response.
+    fn evict_lru(&mut self) {
+        let Some(key) = self
+            .sessions
+            .iter()
+            .min_by_key(|(_, tenant)| tenant.last_used)
+            .map(|(key, _)| key.clone())
+        else {
+            return;
+        };
+        self.sessions.remove(&key);
+        self.evicted.insert(key, "lru".to_string());
+        self.counters.sessions_evicted += 1;
+    }
+
+    /// The `host_stats` command: host-scoped lifecycle counters. The
+    /// `"session"` field is only a correlation id (like `run_job`), and
+    /// the counters describe the whole host — they sit deliberately
+    /// outside the per-session determinism law (documented in
+    /// `docs/PROTOCOL.md`).
+    fn apply_host_stats(&self, session: &str, obj: &FlatObject) -> FlatObject {
+        if let Err(message) = check_keys(obj, &["cmd", "session"]) {
+            return error_response(Some("host_stats"), Some(session), &message);
+        }
+        let mut response = ok_response("host_stats", session);
+        let c = self.counters;
+        response.insert("sessions_open".into(), Scalar::Uint(self.sessions.len() as u64));
+        response.insert("sessions_opened".into(), Scalar::Uint(c.sessions_opened));
+        response.insert("sessions_finished".into(), Scalar::Uint(c.sessions_finished));
+        response.insert("sessions_evicted".into(), Scalar::Uint(c.sessions_evicted));
+        response.insert("sessions_dropped".into(), Scalar::Uint(c.sessions_dropped));
+        response.insert("connections_open".into(), Scalar::Uint(c.connections_open));
+        response.insert("connections_accepted".into(), Scalar::Uint(c.connections_accepted));
+        response
     }
 
     /// Runs a whole command script and returns the response lines
@@ -175,7 +352,7 @@ impl Service {
         // text and the pre-existing sessions, never on which pool thread
         // finishes first.
         let mut reserved: std::collections::BTreeSet<String> =
-            self.sessions.keys().cloned().collect();
+            self.sessions.keys().map(|(_, name)| name.clone()).collect();
         for line in script.lines() {
             let idx = responses.len();
             match classify(line) {
@@ -217,7 +394,7 @@ impl Service {
         let names: Vec<String> = groups.iter().map(|(name, _)| name.clone()).collect();
         let work: Vec<GroupCell> = groups
             .into_iter()
-            .map(|(name, commands)| Mutex::new(Some((self.sessions.remove(&name), commands))))
+            .map(|(name, commands)| Mutex::new(Some((self.sessions.remove(&(0, name)), commands))))
             .collect();
         let outcomes = sc_engine::par_map(self.threads, &work, |i, cell| {
             let (mut slot, commands) =
@@ -231,7 +408,7 @@ impl Service {
         });
         for (name, (slot, lines)) in names.into_iter().zip(outcomes) {
             if let Some(tenant) = slot {
-                self.sessions.insert(name, tenant);
+                self.sessions.insert((0, name), tenant);
             }
             for (idx, line) in lines {
                 responses[idx] = Some(line);
@@ -406,9 +583,15 @@ fn apply(slot: &mut Option<Tenant>, session: &str, obj: &FlatObject) -> FlatObje
         "stats" => apply_stats(slot, obj),
         "finish" => apply_finish(slot, obj),
         "run_job" => apply_run_job(obj),
+        // Interactive paths intercept host_stats before apply(); reaching
+        // it here means a script, where host counters would expose the
+        // pool's scheduling — so the answer is a deterministic error.
+        "host_stats" => Err("host_stats is interactive-only (scripts run sessions in parallel, \
+                             so host counters would not be deterministic)"
+            .to_string()),
         other => Err(format!(
             "unknown cmd {other:?} (open | push | push_batch | observe | checkpoint | stats | \
-             finish | run_job)"
+             finish | run_job | host_stats)"
         )),
     };
     match result {
@@ -464,7 +647,7 @@ fn apply_open(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject,
     let mut response = FlatObject::new();
     response.insert("algo".into(), Scalar::Str(colorer.name().to_string()));
     response.insert("n".into(), Scalar::Uint(n as u64));
-    *slot = Some(Tenant { n, session: Session::new(colorer, config) });
+    *slot = Some(Tenant { n, session: Session::new(colorer, config), last_used: 0 });
     Ok(response)
 }
 
@@ -965,5 +1148,109 @@ mod tests {
         assert_eq!(parse_coloring("", 0).unwrap(), Coloring::empty(0));
         let g = Graph::from_edges(4, [sc_graph::Edge::new(0, 2)]);
         assert!(parse_coloring(&text, 4).unwrap().is_proper_partial(&g));
+    }
+
+    #[test]
+    fn owners_have_private_namespaces_and_drop_owner_reaps_them() {
+        let mut service = Service::new();
+        for owner in [1u64, 2] {
+            let open =
+                service.respond_as(owner, &open_line("a", 10, 3, "store-all", owner)).unwrap();
+            assert!(open.contains("\"ok\":true"), "{open}");
+        }
+        // Same name, different owners: pushes land in different tenants.
+        let push = service.respond_as(1, r#"{"cmd":"push","session":"a","edge":"0-1"}"#).unwrap();
+        assert!(push.contains("\"len\":1"), "{push}");
+        let stats2 = service.respond_as(2, r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(stats2.contains("\"edges\":0"), "owner 2 saw owner 1's push: {stats2}");
+        assert_eq!(service.session_names(), vec!["a", "a"]);
+
+        assert_eq!(service.drop_owner(1), 1);
+        assert_eq!(service.session_names(), vec!["a"]);
+        let gone = service.respond_as(1, r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(gone.contains("unknown session"), "{gone}");
+        let kept = service.respond_as(2, r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(kept.contains("\"ok\":true"), "{kept}");
+        assert_eq!(service.counters().sessions_dropped, 1);
+    }
+
+    #[test]
+    fn lru_eviction_evicts_oldest_leaves_tombstone_and_reopen_replays() {
+        let mut service = Service::new().with_max_sessions(2).with_lru_eviction();
+        for name in ["a", "b"] {
+            service.respond(&open_line(name, 10, 3, "store-all", 5)).unwrap();
+        }
+        // Touch "a" so "b" is the least recently used.
+        service.respond(r#"{"cmd":"push","session":"a","edge":"0-1"}"#).unwrap();
+        let open_c = service.respond(&open_line("c", 10, 3, "store-all", 5)).unwrap();
+        assert!(open_c.contains("\"ok\":true"), "open at cap must evict, not error: {open_c}");
+        assert_eq!(service.session_names(), vec!["a", "c"]);
+        assert_eq!(service.counters().sessions_evicted, 1);
+
+        // The evicted session answers a tombstone error, never an abort.
+        let tomb = service.respond(r#"{"cmd":"push","session":"b","edge":"0-1"}"#).unwrap();
+        assert!(tomb.contains("session evicted (lru)"), "{tomb}");
+        assert!(tomb.contains("\"ok\":false"), "{tomb}");
+
+        // Reopening clears the tombstone and replays byte-identically
+        // against a fresh service.
+        let mut replay: Vec<String> = Vec::new();
+        for line in [
+            open_line("b", 10, 3, "store-all", 5),
+            r#"{"cmd":"push","session":"b","edge":"2-3"}"#.to_string(),
+            r#"{"cmd":"finish","session":"b"}"#.to_string(),
+        ] {
+            replay.push(service.respond(&line).unwrap());
+        }
+        let mut fresh = Service::new();
+        for (i, line) in [
+            open_line("b", 10, 3, "store-all", 5),
+            r#"{"cmd":"push","session":"b","edge":"2-3"}"#.to_string(),
+            r#"{"cmd":"finish","session":"b"}"#.to_string(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(fresh.respond(line).unwrap(), replay[i], "reopened session must replay");
+        }
+    }
+
+    #[test]
+    fn without_lru_eviction_the_cap_still_errors() {
+        let mut service = Service::new().with_max_sessions(1);
+        service.respond(&open_line("a", 10, 3, "store-all", 5)).unwrap();
+        let denied = service.respond(&open_line("b", 10, 3, "store-all", 5)).unwrap();
+        assert!(denied.contains("session limit reached"), "{denied}");
+        assert_eq!(service.counters().sessions_evicted, 0);
+    }
+
+    #[test]
+    fn host_stats_reports_lifecycle_counters_interactively() {
+        let mut service = Service::new();
+        service.respond(&open_line("a", 10, 3, "store-all", 5)).unwrap();
+        service.respond(r#"{"cmd":"finish","session":"a"}"#).unwrap();
+        service.respond(&open_line("b", 10, 3, "store-all", 5)).unwrap();
+        service.record_connections(3, 17);
+        let stats = service.respond(r#"{"cmd":"host_stats","session":"probe"}"#).unwrap();
+        let obj = parse_object(&stats).unwrap();
+        assert_eq!(obj["ok"].as_bool(), Some(true));
+        assert_eq!(obj["session"].as_str(), Some("probe"));
+        assert_eq!(obj["sessions_open"].as_u64(), Some(1));
+        assert_eq!(obj["sessions_opened"].as_u64(), Some(2));
+        assert_eq!(obj["sessions_finished"].as_u64(), Some(1));
+        assert_eq!(obj["connections_open"].as_u64(), Some(3));
+        assert_eq!(obj["connections_accepted"].as_u64(), Some(17));
+
+        // host_stats never touches the session table: "probe" is only a
+        // correlation id.
+        assert_eq!(service.session_names(), vec!["b"]);
+    }
+
+    #[test]
+    fn host_stats_in_scripts_is_a_deterministic_error() {
+        let mut service = Service::new();
+        let out = service.run_script("{\"cmd\":\"host_stats\",\"session\":\"x\"}\n");
+        assert!(out.contains("\"ok\":false"), "{out}");
+        assert!(out.contains("interactive-only"), "{out}");
     }
 }
