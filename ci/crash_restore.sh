@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Crash-restore leg of the service smoke: run the smoke script up to
+# (but not including) its finish lines against a --reactor listener,
+# snapshot every open session over the wire, SIGKILL the server, bring
+# up a fresh one, restore the sessions from the client-held blobs, and
+# run the finishes there. The stitched responses must byte-diff clean
+# against ci/service_smoke.golden — a crash plus restore is invisible
+# at the protocol level (the persistence law, across a real process
+# boundary). Needs bash for /dev/tcp (the raw protocol client). Writes
+# serve-crashrestore.json into the repo root for CI to upload.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=target/release/streamcolor
+SESSIONS="alpha beta gamma delta epsilon zeta eta theta"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# The smoke script ends with one finish per session; everything before
+# them — ingest, queries, the error block, stats — runs pre-crash.
+# stats stays pre-crash by construction: cache counters are
+# warm-vs-cold dependent and sit outside the persistence law.
+grep -v -e '^#' -e '^$' ci/service_smoke.commands > "$WORK/all.commands"
+head -n -8 "$WORK/all.commands" > "$WORK/before.commands"
+tail -n 8 "$WORK/all.commands" > "$WORK/after.commands"
+if [ "$(grep -c '"cmd":"finish"' "$WORK/after.commands")" -ne 8 ]; then
+    echo "service_smoke.commands no longer ends with the eight finish lines" >&2
+    exit 1
+fi
+
+start_server() { # LOGFILE [EXTRA_ARGS...] — sets ADDR and SERVER_PID
+    local log=$1
+    shift
+    # --shared-sessions makes the namespace host-global, so a later
+    # connection (here: the post-crash restorer) can address sessions
+    # it did not open.
+    "$BIN" serve --listen 127.0.0.1:0 --reactor --shared-sessions --accept 1 "$@" \
+        > "$log" &
+    SERVER_PID=$!
+    for _ in $(seq 100); do
+        grep -q 'listening on' "$log" 2>/dev/null && break
+        sleep 0.1
+    done
+    ADDR=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$ADDR" ] || { echo "server never listened (log: $log)" >&2; exit 1; }
+}
+
+connect() { exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"; }
+
+ask() { # REQUEST_LINE — prints the one response line
+    printf '%s\n' "$1" >&3
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+}
+
+echo "== pre-crash: ingest + queries, then snapshot every session =="
+start_server "$WORK/source.log"
+connect
+while IFS= read -r line; do ask "$line"; done \
+    < "$WORK/before.commands" > serve-crashrestore.json
+for s in $SESSIONS; do
+    response=$(ask "{\"cmd\":\"snapshot\",\"session\":\"$s\"}")
+    case "$response" in
+        *'"ok":true'*) ;;
+        *) echo "snapshot $s failed: $response" >&2; exit 1 ;;
+    esac
+    # "snapshot" sorts last in the response, and the blob between its
+    # quotes is already wire-escaped — it pastes verbatim into a
+    # restore request.
+    printf '%s\n' "$response" | sed 's/.*"snapshot":"\(.*\)"}$/\1/' > "$WORK/$s.blob"
+done
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+exec 3<&- 3>&-
+echo "killed the server with $(echo "$SESSIONS" | wc -w) live sessions snapshotted client-side"
+
+echo "== post-crash: restore the blobs into a fresh server, finish there =="
+start_server "$WORK/target.log" --snapshot-dir "$WORK/snapshots"
+connect
+for s in $SESSIONS; do
+    response=$(ask "{\"cmd\":\"restore\",\"session\":\"$s\",\"snapshot\":\"$(cat "$WORK/$s.blob")\"}")
+    case "$response" in
+        *'"ok":true'*) ;;
+        *) echo "restore $s failed: $response" >&2; exit 1 ;;
+    esac
+done
+while IFS= read -r line; do ask "$line"; done \
+    < "$WORK/after.commands" >> serve-crashrestore.json
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+
+echo "== the crash is byte-invisible =="
+diff ci/service_smoke.golden serve-crashrestore.json
+echo "all $(wc -l < serve-crashrestore.json) stitched responses match the golden"

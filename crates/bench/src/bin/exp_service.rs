@@ -31,6 +31,13 @@
 //! `ci/bench_baselines.json` so an event-loop regression — a busy poll,
 //! a quadratic buffer drain — shows up as a gate failure, not a hunch.
 //!
+//! A persistence section snapshots one fully-ingested session and
+//! times the snapshot→restore round trip against replaying the same
+//! session's stream from scratch. Its `ratio = replay_ms /
+//! roundtrip_ms` is gated in `ci/bench_baselines.json`: restore must
+//! stay decisively cheaper than replay, or evict-to-disk and live
+//! migration stop paying for themselves.
+//!
 //! `--smoke` shrinks the instances and writes `BENCH_service.smoke.json`
 //! (CI-sized; never clobbers the committed full-profile file).
 
@@ -308,6 +315,100 @@ fn main() {
         entries.push(format!(
             "  {{\"algo\":\"reactor\",\"kind\":\"serving\",\"sessions\":{},\"n\":{},\"delta\":{},\"commands\":{},\"reactor_ms\":{:.3},\"threads_ms\":{:.3},\"ratio\":{:.3}}}",
             profile.sessions, profile.n, profile.delta, commands, reactor_ms, threads_ms, ratio,
+        ));
+    }
+
+    // Snapshot+restore round trip vs replay-from-scratch. A restore
+    // rebuilds the colorer from its state blob instead of re-processing
+    // the stream, so the round trip must be decisively cheaper than
+    // replay — that margin is what makes evict-to-disk and live
+    // migration worth having, and the gate keeps it from eroding.
+    {
+        use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
+        let spec = ColorerSpec::Robust { beta: None };
+        let script = session_script("persist", &spec, &profile, 300);
+        // Everything but the trailing stats + finish: the session stays
+        // open, mid-stream, exactly where eviction or migration strikes.
+        let ingest = &script[..script.len() - 2];
+        let build = || {
+            let mut service = Service::new();
+            for line in ingest {
+                service.respond(line);
+            }
+            service
+        };
+        let snapshot_blob = |service: &mut Service| -> String {
+            let response = service
+                .respond(r#"{"cmd":"snapshot","session":"persist"}"#)
+                .expect("snapshot answers");
+            let obj = parse_object(&response).expect("snapshot response parses");
+            assert_eq!(obj["ok"].as_bool(), Some(true), "snapshot failed: {response}");
+            obj["snapshot"].as_str().expect("snapshot field").to_string()
+        };
+        let restore_line = |blob: &str| {
+            let mut line = FlatObject::new();
+            line.insert("cmd".into(), Scalar::Str("restore".into()));
+            line.insert("session".into(), Scalar::Str("persist".into()));
+            line.insert("snapshot".into(), Scalar::Str(blob.to_string()));
+            encode_object(&line)
+        };
+
+        // Determinism first: the restored session's finish must be
+        // byte-identical to the uninterrupted source's (the persistence
+        // law, re-checked where the numbers are produced).
+        let mut source = build();
+        let blob = snapshot_blob(&mut source);
+        let snapshot_bytes = blob.len();
+        let mut restored = Service::new();
+        let ack = restored.respond(&restore_line(&blob)).expect("restore answers");
+        assert!(ack.contains("\"ok\":true"), "restore failed: {ack}");
+        let finish = |service: &mut Service| {
+            service.respond(r#"{"cmd":"finish","session":"persist"}"#).expect("finish answers")
+        };
+        assert_eq!(
+            finish(&mut restored),
+            finish(&mut source),
+            "restored session diverged from the uninterrupted source"
+        );
+
+        let median = |times: &mut Vec<f64>| -> f64 {
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        // One timed pass is several round trips off a live source
+        // (snapshot is non-destructive), reported per trip so the
+        // number stays comparable to a single replay.
+        const TRIPS: usize = 8;
+        let mut source = build();
+        let mut roundtrip_times: Vec<f64> = (0..profile.reps)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..TRIPS {
+                    let blob = snapshot_blob(&mut source);
+                    let mut target = Service::new();
+                    let ack = target.respond(&restore_line(&blob)).expect("restore answers");
+                    assert!(ack.contains("\"ok\":true"), "restore failed: {ack}");
+                }
+                start.elapsed().as_secs_f64() * 1e3 / TRIPS as f64
+            })
+            .collect();
+        let mut replay_times: Vec<f64> = (0..profile.reps)
+            .map(|_| {
+                let start = Instant::now();
+                build();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let roundtrip_ms = median(&mut roundtrip_times);
+        let replay_ms = median(&mut replay_times);
+        let ratio = replay_ms / roundtrip_ms.max(1e-9);
+        println!(
+            " snapshot: {snapshot_bytes} blob bytes — round trip {roundtrip_ms:.3} ms, \
+             replay {replay_ms:.1} ms, ratio {ratio:.1}"
+        );
+        entries.push(format!(
+            "  {{\"algo\":\"snapshot\",\"kind\":\"persistence\",\"n\":{},\"delta\":{},\"snapshot_bytes\":{},\"roundtrip_ms\":{:.3},\"replay_ms\":{:.3},\"ratio\":{:.3}}}",
+            profile.n, profile.delta, snapshot_bytes, roundtrip_ms, replay_ms, ratio,
         ));
     }
 

@@ -4,6 +4,7 @@ pub mod attack;
 pub mod color;
 pub mod gen;
 pub mod info;
+pub mod migrate;
 pub mod serve;
 pub mod shard;
 pub mod verify;
@@ -15,7 +16,7 @@ use std::io::Write;
 fn switches(command_hint: Option<&str>) -> &'static [&'static str] {
     match command_hint {
         Some("info") => &["chromatic"],
-        Some("serve") => &["reactor", "per-conn"],
+        Some("serve") => &["reactor", "per-conn", "shared-sessions"],
         Some("shard") => &["smoke", "in-process"],
         _ => &[],
     }
@@ -54,9 +55,18 @@ SUBCOMMANDS:
              multiplexes every connection onto one event loop sharing
              one service [--idle-ms N evicts idle connections;
              --max-sessions N evicts least-recently-used sessions at
-             the cap] [--accept N]; --max-sessions N bounds open
-             sessions; any serve endpoint doubles as a cluster shard
-             worker via the run_job command)
+             the cap, --snapshot-dir DIR upgrades that to evict-to-disk
+             with transparent restore, --shared-sessions makes session
+             names host-global and sessions outlive connections]
+             [--accept N]; --max-sessions N bounds open sessions; any
+             serve endpoint doubles as a cluster shard worker via the
+             run_job command; sessions can be checkpointed with the
+             snapshot command and revived with restore)
+    migrate  move one live session between two serve endpoints
+             (--session NAME, --from ADDR, --to ADDR [HOST:PORT or
+             ssh:DEST], --timeout-ms N): snapshot on the source,
+             restore on the target, then drop the source's copy —
+             never destructive on failure
     help     this message
 
 ALGORITHMS (--algo):   det batch robust auto rand-efficient cgs22 bg18 bcg20 ps greedy brooks
@@ -79,6 +89,7 @@ pub fn dispatch(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> 
         "attack" => attack::run(&args, out),
         "shard" => shard::run(&args, out),
         "serve" => serve::run(&args, out),
+        "migrate" => migrate::run(&args, out),
         "help" | "--help" | "-h" => out.write_all(HELP.as_bytes()).map_err(|e| err(e.to_string())),
         other => Err(err(format!("unknown subcommand {other:?}; try `streamcolor help`"))),
     }

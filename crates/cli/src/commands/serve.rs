@@ -35,7 +35,14 @@
 //!   idle connections cost one thread. `--idle-ms N` evicts connections
 //!   silent for N milliseconds; with `--max-sessions N` the cap evicts
 //!   the least-recently-used session (an error response on its owner's
-//!   next command) instead of rejecting the `open`.
+//!   next command) instead of rejecting the `open`. `--snapshot-dir DIR`
+//!   upgrades that eviction to evict-to-disk: the victim's state is
+//!   written as a snapshot file and its owner's next command
+//!   transparently restores it, replaying byte-identically instead of
+//!   erroring. `--shared-sessions` makes session names host-global (one
+//!   shared owner for every connection) and lets sessions outlive their
+//!   opening connection — the mode `streamcolor migrate` needs to
+//!   address sessions other clients opened.
 //!
 //! Either endpoint is what `streamcolor shard --transport tcp` dials —
 //! any serve process doubles as a remote shard worker via the protocol's
@@ -62,6 +69,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let reactor = args.switch("reactor");
     let per_conn = args.switch("per-conn");
     let idle_ms: Option<u64> = args.parse_optional("idle-ms")?;
+    let snapshot_dir = args.optional("snapshot-dir").map(String::from);
+    let shared_sessions = args.switch("shared-sessions");
     args.reject_unknown()?;
     if threads == 0 {
         return Err(err("--threads must be at least 1"));
@@ -98,6 +107,17 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if idle_ms == Some(0) {
         return Err(err("--idle-ms must be at least 1"));
     }
+    // Evict-to-disk is a property of the shared-service reactor: under
+    // --per-conn each connection's service dies with the connection, so
+    // a snapshot dir there would silently never restore anything.
+    if snapshot_dir.is_some() && !reactor {
+        return Err(err("--snapshot-dir applies to --reactor mode only"));
+    }
+    // Only the reactor shares one service across connections; per-conn
+    // services have nothing to share.
+    if shared_sessions && !reactor {
+        return Err(err("--shared-sessions applies to --reactor mode only"));
+    }
 
     if let Some(addr) = listen {
         if reactor {
@@ -108,6 +128,12 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             }
             if let Some(ms) = idle_ms {
                 server = server.with_idle_timeout(Duration::from_millis(ms));
+            }
+            if let Some(dir) = snapshot_dir {
+                server = server.with_snapshot_dir(std::path::PathBuf::from(dir));
+            }
+            if shared_sessions {
+                server = server.with_shared_sessions();
             }
             let local = server.local_addr().map_err(|e| err(e.to_string()))?;
             writeln!(out, "listening on {local}")
@@ -236,12 +262,17 @@ mod tests {
         assert!(e.to_string().contains("--max-sessions must be at least 1"), "{e}");
         // Reactor-flag grammar: the modes are exclusive, listen-only,
         // and --idle-ms belongs to the reactor.
-        const SERVE_SWITCHES: &[&str] = &["reactor", "per-conn"];
+        const SERVE_SWITCHES: &[&str] = &["reactor", "per-conn", "shared-sessions"];
         for (bad, want) in [
             (vec!["serve", "--listen", "127.0.0.1:0", "--reactor", "--per-conn"], "exclusive"),
             (vec!["serve", "--reactor"], "--listen mode only"),
             (vec!["serve", "--listen", "127.0.0.1:0", "--idle-ms", "5"], "--reactor mode only"),
             (vec!["serve", "--listen", "127.0.0.1:0", "--reactor", "--idle-ms", "0"], "at least 1"),
+            (
+                vec!["serve", "--listen", "127.0.0.1:0", "--snapshot-dir", "/tmp/x"],
+                "--reactor mode only",
+            ),
+            (vec!["serve", "--listen", "127.0.0.1:0", "--shared-sessions"], "--reactor mode only"),
         ] {
             let toks: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             let args = Args::parse(&toks, SERVE_SWITCHES).unwrap();

@@ -83,12 +83,14 @@
 
 pub mod coordinator;
 pub mod listener;
+pub mod migrate;
 pub mod pool;
 pub mod reactor;
 pub mod transport;
 
 pub use coordinator::{ClusterCoordinator, TransportSpec};
 pub use listener::{should_retry_accept, TcpServer};
+pub use migrate::{migrate_session, MigrationReport};
 pub use pool::{DispatchReport, WorkerPool};
 pub use reactor::Reactor;
 pub use transport::{ChildStdio, InProcess, Ssh, Tcp, Transport, TransportError, Unreliable};

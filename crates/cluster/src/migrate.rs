@@ -1,0 +1,206 @@
+//! Live session migration: move one named session from one endpoint to
+//! another over any two [`Transport`]s.
+//!
+//! Migration is **copy-then-drop**, never destructive: the source is
+//! snapshotted (non-destructive — the session keeps answering), the
+//! target restores the blob, and only after the target holds the
+//! session is the source's copy finished. Every failure mode leaves at
+//! least one live copy:
+//!
+//! * snapshot fails → nothing changed anywhere;
+//! * restore fails → the source still holds the session, untouched;
+//! * the final `finish` on the source fails (endpoint died the instant
+//!   the blob escaped — [`crate::Unreliable::dying_after_snapshot`]
+//!   injects exactly this) → the migration still **succeeds**
+//!   ([`MigrationReport::source_dropped`]
+//!   is `false`): the target owns a good copy, and the source's
+//!   leftover is a stale duplicate, not a loss.
+//!
+//! The restored session answers byte-identically to the original from
+//! the hand-off point on (the persistence law,
+//! `crates/service/tests/snapshot_determinism.rs`), so a client that
+//! reconnects to the target cannot tell the migration happened.
+
+use crate::transport::{Transport, TransportError};
+use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
+use std::time::Duration;
+
+/// What [`migrate_session`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated session's name (on both endpoints).
+    pub name: String,
+    /// Size of the snapshot blob that crossed the wire, in bytes.
+    pub snapshot_bytes: usize,
+    /// Whether the source's copy was successfully finished. `false`
+    /// means the target holds the session but the source endpoint died
+    /// (or errored) before its duplicate could be dropped — the
+    /// migration itself still succeeded.
+    pub source_dropped: bool,
+}
+
+/// One request/response exchange, with correlation checks: the response
+/// must echo the command and be addressed to our session.
+fn exchange(
+    endpoint: &mut dyn Transport,
+    line: &FlatObject,
+    cmd: &str,
+    name: &str,
+    timeout: Duration,
+) -> Result<FlatObject, TransportError> {
+    endpoint.send(&encode_object(line))?;
+    let response = endpoint.recv(timeout)?;
+    let obj = parse_object(&response)
+        .map_err(|e| TransportError::Protocol(format!("unparseable response: {e}")))?;
+    if obj.get("cmd").and_then(Scalar::as_str) != Some(cmd)
+        || obj.get("session").and_then(Scalar::as_str) != Some(name)
+    {
+        return Err(TransportError::Protocol(format!(
+            "response {response:?} does not answer {cmd} for session {name:?}"
+        )));
+    }
+    Ok(obj)
+}
+
+fn command(cmd: &str, name: &str) -> FlatObject {
+    let mut obj = FlatObject::new();
+    obj.insert("cmd".into(), Scalar::Str(cmd.to_string()));
+    obj.insert("session".into(), Scalar::Str(name.to_string()));
+    obj
+}
+
+/// Moves session `name` from `from` to `to`: snapshot on the source,
+/// restore on the target, then — only once the target holds it —
+/// finish the source's copy.
+///
+/// # Errors
+/// A message naming the failing stage and endpoint. On error the source
+/// session is **intact** (snapshot is non-destructive and the source is
+/// only finished after a successful restore); a failed `finish` is not
+/// an error — see [`MigrationReport::source_dropped`].
+pub fn migrate_session(
+    from: &mut dyn Transport,
+    to: &mut dyn Transport,
+    name: &str,
+    timeout: Duration,
+) -> Result<MigrationReport, String> {
+    // 1. Snapshot the source (non-destructive).
+    let snap = exchange(from, &command("snapshot", name), "snapshot", name, timeout)
+        .map_err(|e| format!("snapshot on {}: {e}", from.describe()))?;
+    if snap.get("ok").and_then(Scalar::as_bool) != Some(true) {
+        let why = snap.get("error").and_then(Scalar::as_str).unwrap_or("unknown error");
+        return Err(format!("snapshot on {}: {why}", from.describe()));
+    }
+    let blob = snap
+        .get("snapshot")
+        .and_then(Scalar::as_str)
+        .ok_or_else(|| format!("snapshot on {}: response carries no blob", from.describe()))?
+        .to_string();
+
+    // 2. Restore on the target. Failure leaves the source untouched.
+    let mut restore = command("restore", name);
+    restore.insert("snapshot".into(), Scalar::Str(blob.clone()));
+    let restored = exchange(to, &restore, "restore", name, timeout)
+        .map_err(|e| format!("restore on {}: {e}", to.describe()))?;
+    if restored.get("ok").and_then(Scalar::as_bool) != Some(true) {
+        let why = restored.get("error").and_then(Scalar::as_str).unwrap_or("unknown error");
+        return Err(format!("restore on {}: {why}", to.describe()));
+    }
+
+    // 3. The target owns the session; drop the source's copy. A failure
+    //    here (the endpoint died right after the blob escaped) degrades
+    //    the report, never the migration.
+    let source_dropped = matches!(
+        exchange(from, &command("finish", name), "finish", name, timeout),
+        Ok(obj) if obj.get("ok").and_then(Scalar::as_bool) == Some(true)
+    );
+
+    Ok(MigrationReport { name: name.to_string(), snapshot_bytes: blob.len(), source_dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcess, Unreliable};
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn drive(t: &mut impl Transport, line: &str) -> String {
+        t.send(line).unwrap();
+        t.recv(TIMEOUT).unwrap()
+    }
+
+    fn open_and_push(t: &mut impl Transport) {
+        drive(t, r#"{"cmd":"open","session":"m","n":20,"delta":4,"colorer":"robust","seed":3}"#);
+        drive(t, r#"{"cmd":"push_batch","session":"m","edges":"0-1 1-2 2-3"}"#);
+    }
+
+    #[test]
+    fn migrate_moves_the_session_and_drops_the_source() {
+        let mut from = InProcess::new();
+        let mut to = InProcess::new();
+        open_and_push(&mut from);
+        // The uninterrupted reference session.
+        let mut reference = InProcess::new();
+        open_and_push(&mut reference);
+
+        let report = migrate_session(&mut from, &mut to, "m", TIMEOUT).unwrap();
+        assert_eq!(report.name, "m");
+        assert!(report.source_dropped, "healthy source must be finished");
+        assert!(report.snapshot_bytes > 0);
+
+        // Source no longer holds the session…
+        let gone = drive(&mut from, r#"{"cmd":"stats","session":"m"}"#);
+        assert!(gone.contains("unknown session"), "{gone}");
+        // …the target answers byte-identically to the uninterrupted run.
+        for line in [
+            r#"{"cmd":"push","session":"m","edge":"3-4"}"#,
+            r#"{"cmd":"observe","session":"m"}"#,
+            r#"{"cmd":"finish","session":"m"}"#,
+        ] {
+            assert_eq!(drive(&mut to, line), drive(&mut reference, line), "diverged on {line}");
+        }
+    }
+
+    #[test]
+    fn migrate_to_dead_target_leaves_source_intact() {
+        let mut from = InProcess::new();
+        open_and_push(&mut from);
+        // A target that dies before it can answer anything.
+        let mut to = Unreliable::dying_after(InProcess::new(), 0);
+
+        let err = migrate_session(&mut from, &mut to, "m", TIMEOUT).unwrap_err();
+        assert!(err.contains("restore on"), "{err}");
+
+        // The source session survived the failed migration untouched.
+        let stats = drive(&mut from, r#"{"cmd":"stats","session":"m"}"#);
+        assert!(stats.contains("\"edges\":3"), "{stats}");
+    }
+
+    #[test]
+    fn source_death_after_snapshot_still_migrates_without_dropping() {
+        let mut from = Unreliable::dying_after_snapshot(InProcess::new());
+        open_and_push(&mut from);
+        let mut to = InProcess::new();
+
+        let report = migrate_session(&mut from, &mut to, "m", TIMEOUT).unwrap();
+        assert!(!report.source_dropped, "dead source cannot be finished");
+
+        // The target holds a working copy…
+        let stats = drive(&mut to, r#"{"cmd":"stats","session":"m"}"#);
+        assert!(stats.contains("\"edges\":3"), "{stats}");
+        // …and the source's real state was never destroyed: pry open the
+        // wrapper and the duplicate session is still there.
+        let mut inner = from.into_inner();
+        let stale = drive(&mut inner, r#"{"cmd":"stats","session":"m"}"#);
+        assert!(stale.contains("\"edges\":3"), "source copy destroyed: {stale}");
+    }
+
+    #[test]
+    fn migrating_a_missing_session_is_an_error_not_a_panic() {
+        let mut from = InProcess::new();
+        let mut to = InProcess::new();
+        let err = migrate_session(&mut from, &mut to, "ghost", TIMEOUT).unwrap_err();
+        assert!(err.contains("snapshot on") && err.contains("unknown session"), "{err}");
+    }
+}

@@ -39,6 +39,12 @@
 //!   least-recently-used session ([`Service::with_lru_eviction`]) and
 //!   the evicted owner gets an error response — never an abort — on
 //!   its next command for that session.
+//! * [`Reactor::with_shared_sessions`] drops the owner-scoping: every
+//!   connection acts as one host-wide owner, session names become
+//!   global, and sessions **outlive their connections**. This is the
+//!   mode `streamcolor migrate` and reconnect-after-snapshot flows
+//!   need — a fresh connection can address a session an earlier one
+//!   opened.
 
 use polling::{Event, Events, Poller};
 use sc_service::Service;
@@ -102,6 +108,8 @@ pub struct Reactor {
     idle_timeout: Option<Duration>,
     clock: Clock,
     threads: usize,
+    snapshot_dir: Option<std::path::PathBuf>,
+    shared_sessions: bool,
 }
 
 impl Reactor {
@@ -117,6 +125,8 @@ impl Reactor {
             idle_timeout: None,
             clock: Arc::new(Instant::now),
             threads: 1,
+            snapshot_dir: None,
+            shared_sessions: false,
         })
     }
 
@@ -154,6 +164,29 @@ impl Reactor {
         self
     }
 
+    /// Upgrades LRU eviction from evict-to-tombstone to evict-to-disk
+    /// ([`Service::with_snapshot_dir`]): the victim's snapshot blob
+    /// lands in `dir` and its next command transparently restores it —
+    /// `serve --reactor --snapshot-dir DIR`.
+    #[must_use]
+    pub fn with_snapshot_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.snapshot_dir = Some(dir);
+        self
+    }
+
+    /// Makes session names host-global instead of per-connection: every
+    /// connection speaks as one shared owner, and sessions survive
+    /// their opener's disconnect (they end only on `finish`, eviction,
+    /// or process exit). Two clients opening the same name now collide
+    /// — that is the point: `streamcolor migrate` can dial in fresh and
+    /// address a session another client opened —
+    /// `serve --reactor --shared-sessions`.
+    #[must_use]
+    pub fn with_shared_sessions(mut self) -> Self {
+        self.shared_sessions = true;
+        self
+    }
+
     /// The bound address.
     ///
     /// # Errors
@@ -176,6 +209,9 @@ impl Reactor {
         let mut service = Service::with_threads(self.threads);
         if let Some(limit) = self.max_sessions {
             service = service.with_max_sessions(limit).with_lru_eviction();
+        }
+        if let Some(dir) = &self.snapshot_dir {
+            service = service.with_snapshot_dir(dir.clone());
         }
 
         self.listener.set_nonblocking(true)?;
@@ -220,9 +256,10 @@ impl Reactor {
             let now = (self.clock)();
             for id in touched {
                 let Some(conn) = conns.get_mut(&id) else { continue };
-                let gone = step_conn(conn, id, &mut service, now);
+                let owner = if self.shared_sessions { 0 } else { id as u64 };
+                let gone = step_conn(conn, owner, &mut service, now);
                 if gone {
-                    close_conn(&poller, &mut conns, id, &mut service, accepted);
+                    self.close_conn(&poller, &mut conns, id, &mut service, accepted);
                 } else {
                     rearm(&poller, &mut conns, id)?;
                 }
@@ -236,7 +273,7 @@ impl Reactor {
                     .map(|(id, _)| *id)
                     .collect();
                 for id in doomed {
-                    close_conn(&poller, &mut conns, id, &mut service, accepted);
+                    self.close_conn(&poller, &mut conns, id, &mut service, accepted);
                 }
             }
         }
@@ -290,14 +327,36 @@ impl Reactor {
         }
         Ok(())
     }
+
+    /// Closes a connection: deregisters the socket, drops its sessions
+    /// ([`Service::drop_owner`] — same fate as a per-connection
+    /// `Service` dying with its thread; skipped under
+    /// [`Reactor::with_shared_sessions`], where sessions outlive
+    /// connections), updates the host's connection gauge.
+    fn close_conn(
+        &self,
+        poller: &Poller,
+        conns: &mut BTreeMap<usize, Conn>,
+        id: usize,
+        service: &mut Service,
+        accepted: usize,
+    ) {
+        if let Some(conn) = conns.remove(&id) {
+            let _ = poller.delete(&conn.stream);
+            if !self.shared_sessions {
+                service.drop_owner(id as u64);
+            }
+            service.record_connections(conns.len() as u64, accepted as u64);
+        }
+    }
 }
 
 /// Services one readiness event on `conn`: drain the socket, answer
 /// every complete line through the shared service (owner = connection
-/// id), flush opportunistically. Returns `true` when the connection is
-/// finished (peer gone, I/O error, or clean EOF with an empty write
-/// buffer).
-fn step_conn(conn: &mut Conn, id: usize, service: &mut Service, now: Instant) -> bool {
+/// id, or 0 for every connection under shared sessions), flush
+/// opportunistically. Returns `true` when the connection is finished
+/// (peer gone, I/O error, or clean EOF with an empty write buffer).
+fn step_conn(conn: &mut Conn, owner: u64, service: &mut Service, now: Instant) -> bool {
     // Read until the socket runs dry — but not while the peer refuses
     // to drain our responses (backpressure).
     let mut chunk = [0u8; READ_CHUNK];
@@ -318,7 +377,7 @@ fn step_conn(conn: &mut Conn, id: usize, service: &mut Service, now: Instant) ->
     while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
         let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
         let line = String::from_utf8_lossy(&line[..pos]);
-        if let Some(response) = service.respond_as(id as u64, line.trim_end_matches('\r')) {
+        if let Some(response) = service.respond_as(owner, line.trim_end_matches('\r')) {
             conn.wbuf.extend_from_slice(response.as_bytes());
             conn.wbuf.push(b'\n');
         }
@@ -358,21 +417,4 @@ fn rearm(poller: &Poller, conns: &mut BTreeMap<usize, Conn>, id: usize) -> std::
     let write = conn.pending_write() > 0;
     let interest = Event { key: id, readable: read, writable: write };
     poller.modify(&conn.stream, interest)
-}
-
-/// Closes a connection: deregisters the socket, drops its sessions
-/// ([`Service::drop_owner`] — same fate as a per-connection `Service`
-/// dying with its thread), updates the host's connection gauge.
-fn close_conn(
-    poller: &Poller,
-    conns: &mut BTreeMap<usize, Conn>,
-    id: usize,
-    service: &mut Service,
-    accepted: usize,
-) {
-    if let Some(conn) = conns.remove(&id) {
-        let _ = poller.delete(&conn.stream);
-        service.drop_owner(id as u64);
-        service.record_connections(conns.len() as u64, accepted as u64);
-    }
 }

@@ -453,13 +453,39 @@ pub struct Unreliable<T: Transport> {
     /// Send times of requests whose answers are still delayed (FIFO,
     /// only tracked when `delay` is non-zero).
     sent: VecDeque<Instant>,
+    /// Die immediately after delivering one successful `snapshot`
+    /// response (the migration-failure stand-in).
+    die_after_snapshot: bool,
 }
 
 impl<T: Transport> Unreliable<T> {
     /// Answers `answers` receives, then reports [`TransportError::Closed`]
     /// forever.
     pub fn dying_after(inner: T, answers: usize) -> Self {
-        Self { inner, answers_left: answers, delay: Duration::ZERO, sent: VecDeque::new() }
+        Self {
+            inner,
+            answers_left: answers,
+            delay: Duration::ZERO,
+            sent: VecDeque::new(),
+            die_after_snapshot: false,
+        }
+    }
+
+    /// Answers normally until one **successful `snapshot` response**
+    /// passes through, then reports [`TransportError::Closed`] forever —
+    /// the worst-case migration timing: the snapshot blob escapes the
+    /// machine, then the machine dies before the source session can be
+    /// finished. Migration must treat this as copy-then-drop: the target
+    /// restores, the source (if it ever comes back) still holds its
+    /// session.
+    pub fn dying_after_snapshot(inner: T) -> Self {
+        Self {
+            inner,
+            answers_left: usize::MAX,
+            delay: Duration::ZERO,
+            sent: VecDeque::new(),
+            die_after_snapshot: true,
+        }
     }
 
     /// Never dies, but holds every answer until `delay` after its
@@ -468,13 +494,27 @@ impl<T: Transport> Unreliable<T> {
     /// so to the pool the worker is indistinguishable from a genuinely
     /// slow machine.
     pub fn slowed_by(inner: T, delay: Duration) -> Self {
-        Self { inner, answers_left: usize::MAX, delay, sent: VecDeque::new() }
+        Self {
+            inner,
+            answers_left: usize::MAX,
+            delay,
+            sent: VecDeque::new(),
+            die_after_snapshot: false,
+        }
+    }
+
+    /// Unwraps the inner transport — tests pry open a "dead" endpoint
+    /// to prove the injected failure never destroyed its real state.
+    pub fn into_inner(self) -> T {
+        self.inner
     }
 }
 
 impl<T: Transport> Transport for Unreliable<T> {
     fn describe(&self) -> String {
-        if self.delay.is_zero() {
+        if self.die_after_snapshot {
+            format!("{} [dies after snapshot]", self.inner.describe())
+        } else if self.delay.is_zero() {
             format!("{} [unreliable]", self.inner.describe())
         } else {
             format!("{} [slowed {:?}]", self.inner.describe(), self.delay)
@@ -512,7 +552,15 @@ impl<T: Transport> Transport for Unreliable<T> {
             }
         }
         let response = self.inner.recv(timeout)?;
-        self.answers_left = self.answers_left.saturating_sub(1);
+        if self.die_after_snapshot
+            && response.contains("\"cmd\":\"snapshot\"")
+            && response.contains("\"ok\":true")
+        {
+            // The snapshot escapes; everything after is dead air.
+            self.answers_left = 0;
+        } else {
+            self.answers_left = self.answers_left.saturating_sub(1);
+        }
         Ok(response)
     }
 }

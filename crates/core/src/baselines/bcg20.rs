@@ -22,7 +22,10 @@
 
 use sc_graph::{degeneracy_ordering, Color, Coloring, Edge, Graph};
 use sc_hash::SplitMix64;
-use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+use sc_stream::{
+    counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StateReader, StateWriter,
+    StreamingColorer,
+};
 
 /// The incremental conflict-graph state. The answer is recomputed only
 /// when the *conflict* graph grew — non-conflict insertions (the common
@@ -263,6 +266,44 @@ impl StreamingColorer for Bcg20Colorer {
 
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits()
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.edges("conflicts", &self.conflict_edges);
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("failures", self.failures);
+        w.field("epoch", self.cache.epoch());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let conflicts = r.edges_field("conflicts", self.n)?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let failures = r.u64_field("failures")?;
+        let epoch = r.u64_field("epoch")?;
+        r.done()?;
+        // Every stored edge must really be a conflict edge under the
+        // (seed-rebuilt) lists — validated, not trusted.
+        for &e in &conflicts {
+            if !self.lists_intersect(e.u(), e.v()) {
+                return Err(format!("state: conflicts: edge {e} is not a conflict edge"));
+            }
+        }
+        self.conflict_edges = conflicts;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.failures = failures;
+        self.cache.restore_at_epoch(epoch);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -20,7 +20,9 @@
 use crate::robust::sketch::{group_by_block, EvalScratch, MonoSketch};
 use sc_graph::{greedy_color_in_order, Color, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
-use sc_stream::{edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+use sc_stream::{
+    edge_bits, CacheStats, QueryCache, SpaceMeter, StateReader, StateWriter, StreamingColorer,
+};
 
 /// The incremental per-bucket query state. The bucket hash is fixed for
 /// the whole run, so the vertex partition is computed once; a new stored
@@ -206,6 +208,39 @@ impl StreamingColorer for Bg18Colorer {
 
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits()
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.edges("edges", self.sketch.edges());
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("epoch", self.cache.epoch());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let edges = r.edges_field("edges", self.n)?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let epoch = r.u64_field("epoch")?;
+        r.done()?;
+        // Re-offer so monochromaticity is validated, not trusted.
+        for e in edges {
+            if !self.sketch.offer(e) {
+                return Err(format!("state: edges: edge {e} is not monochromatic"));
+            }
+        }
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.cache.restore_at_epoch(epoch);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

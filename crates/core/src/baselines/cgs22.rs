@@ -11,10 +11,10 @@
 //! coloring. Implemented here so experiment F3 compares the two shapes on
 //! identical streams.
 
-use crate::robust::sketch::{group_by_block, MonoSketch};
+use crate::robust::sketch::{decode_sketch_bank, encode_sketch_bank, group_by_block, MonoSketch};
 use sc_graph::{greedy_color_in_order, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
-use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+use sc_stream::{counter_bits, edge_bits, SpaceMeter, StateReader, StateWriter, StreamingColorer};
 
 /// The CGS22-style robust colorer.
 #[derive(Debug, Clone)]
@@ -89,6 +89,46 @@ impl StreamingColorer for Cgs22Colorer {
 
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits()
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.field("curr", self.curr);
+        w.edges("buffer", &self.buffer);
+        w.field("h", encode_sketch_bank(&self.h_sketches));
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let curr = r.usize_field("curr")?;
+        if !(1..=self.num_epochs).contains(&curr) {
+            return Err(format!("state: curr={curr} outside 1..={}", self.num_epochs));
+        }
+        let buffer = r.edges_field("buffer", self.n)?;
+        if buffer.len() > self.n {
+            return Err(format!(
+                "state: buffer holds {} edges over capacity {}",
+                buffer.len(),
+                self.n
+            ));
+        }
+        decode_sketch_bank(&mut self.h_sketches, r.expect("h")?, self.n, "h")?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        r.done()?;
+        self.curr = curr;
+        self.buffer = buffer;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -21,7 +21,7 @@
 
 use sc_graph::{degeneracy_ordering, Color, Coloring, Edge, Graph};
 use sc_hash::SplitMix64;
-use sc_stream::{counter_bits, edge_bits, SpaceMeter, StreamingColorer};
+use sc_stream::{counter_bits, edge_bits, SpaceMeter, StateReader, StateWriter, StreamingColorer};
 
 /// The palette-sparsification colorer.
 #[derive(Debug, Clone)]
@@ -126,6 +126,39 @@ impl StreamingColorer for PaletteSparsification {
 
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits()
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.edges("conflicts", &self.conflict_edges);
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("failures", self.failures);
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let conflicts = r.edges_field("conflicts", self.n)?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let failures = r.u64_field("failures")?;
+        r.done()?;
+        for &e in &conflicts {
+            if !self.lists_intersect(e.u(), e.v()) {
+                return Err(format!("state: conflicts: edge {e} is not a conflict edge"));
+            }
+        }
+        self.conflict_edges = conflicts;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.failures = failures;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

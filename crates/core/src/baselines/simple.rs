@@ -10,7 +10,7 @@
 //!   them).
 
 use sc_graph::{greedy_complete, Coloring, Edge, Graph};
-use sc_stream::StreamingColorer;
+use sc_stream::{StateReader, StateWriter, StreamingColorer};
 
 /// Offline first-fit `(∆+1)`-coloring of a fully materialized graph.
 pub fn offline_greedy(g: &Graph) -> Coloring {
@@ -45,6 +45,23 @@ impl StreamingColorer for TrivialColorer {
 
     fn peak_space_bits(&self) -> u64 {
         0
+    }
+
+    // Stateless, but still round-trippable: a tagged empty state keeps
+    // the persistence law uniform across every buildable spec.
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        r.done()
     }
 
     fn name(&self) -> &'static str {

@@ -23,11 +23,15 @@
 
 use crate::robust::params::RobustParams;
 use crate::robust::sketch::{
-    group_by_block, group_by_block_with, BlockMemo, EvalScratch, MonoSketch,
+    decode_sketch_bank, encode_sketch_bank, group_by_block, group_by_block_with, BlockMemo,
+    EvalScratch, MonoSketch,
 };
 use sc_graph::{degeneracy_coloring, greedy_color_in_order, Color, Coloring, Edge, Graph};
 use sc_hash::{OracleFn, SplitMix64};
-use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+use sc_stream::{
+    counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StateReader, StateWriter,
+    StreamingColorer,
+};
 
 /// One hash block of one query phase as a reusable artifact. Every edge a
 /// phase colors over is *intra-block* (the scratch query filters
@@ -879,6 +883,58 @@ impl StreamingColorer for RobustColorer {
 
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits()
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.field("deg", sc_stream::encode_u64_list(&self.degrees));
+        w.field("curr", self.curr);
+        w.edges("buffer", &self.buffer);
+        w.field("h", encode_sketch_bank(&self.h_sketches));
+        w.field("g", encode_sketch_bank(&self.g_sketches));
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("epoch", self.cache.epoch());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let degrees =
+            sc_stream::decode_u64_list(r.expect("deg")?).map_err(|e| format!("state: deg: {e}"))?;
+        if degrees.len() != self.params.n {
+            return Err(format!("state: deg: {} counters for n={}", degrees.len(), self.params.n));
+        }
+        let curr = r.usize_field("curr")?;
+        if !(1..=self.params.num_epochs).contains(&curr) {
+            return Err(format!("state: curr={curr} outside 1..={}", self.params.num_epochs));
+        }
+        let buffer = r.edges_field("buffer", self.params.n)?;
+        if buffer.len() > self.params.buffer_capacity {
+            return Err(format!(
+                "state: buffer holds {} edges over capacity {}",
+                buffer.len(),
+                self.params.buffer_capacity
+            ));
+        }
+        decode_sketch_bank(&mut self.h_sketches, r.expect("h")?, self.params.n, "h")?;
+        decode_sketch_bank(&mut self.g_sketches, r.expect("g")?, self.params.n, "g")?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let epoch = r.u64_field("epoch")?;
+        r.done()?;
+        self.degrees = degrees;
+        self.curr = curr;
+        self.buffer = buffer;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.cache.restore_at_epoch(epoch);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -19,7 +19,10 @@
 use crate::robust::sketch::BlockMemo;
 use sc_graph::{greedy_color_in_order, greedy_repair_ascending, Coloring, Edge, Graph};
 use sc_hash::{PolynomialFamily, PolynomialHash, SplitMix64, VertexSlotTable};
-use sc_stream::{counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+use sc_stream::{
+    counter_bits, edge_bits, CacheStats, QueryCache, SpaceMeter, StateReader, StateWriter,
+    StreamingColorer,
+};
 
 /// Metadata of the cached incremental decode; the heavyweight artifacts
 /// (mirror graph, colorings) live in the colorer's [`DecodeArena`] and
@@ -583,6 +586,97 @@ impl StreamingColorer for RandEfficientColorer {
     fn peak_space_bits(&self) -> u64 {
         self.meter.peak_bits() + self.n as u64 * counter_bits(self.delta as u64)
         // deg-free: no counters needed, but charge χ scratch
+    }
+
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.field("curr", self.curr);
+        w.edges("buffer", &self.buffer);
+        // `-` marks an invalidated (⊥) candidate; `⊥` never revives, so
+        // the marker is all a restore needs.
+        let dsets = self
+            .d_sets
+            .iter()
+            .map(|d| match d {
+                Some(edges) => sc_stream::encode_edge_list(edges),
+                None => "-".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("|");
+        w.field("dsets", dsets);
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("failures", self.failures);
+        w.field("epoch", self.cache.epoch());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let curr = r.usize_field("curr")?;
+        if !(1..=self.num_epochs).contains(&curr) {
+            return Err(format!("state: curr={curr} outside 1..={}", self.num_epochs));
+        }
+        let buffer = r.edges_field("buffer", self.n)?;
+        if buffer.len() > self.n {
+            return Err(format!(
+                "state: buffer holds {} edges over capacity {}",
+                buffer.len(),
+                self.n
+            ));
+        }
+        let dsets_text = r.expect("dsets")?;
+        let lists: Vec<&str> = dsets_text.split('|').collect();
+        if lists.len() != self.d_sets.len() {
+            return Err(format!(
+                "state: dsets: {} candidate lists for {} slots",
+                lists.len(),
+                self.d_sets.len()
+            ));
+        }
+        let mut d_sets: Vec<Option<Vec<Edge>>> = Vec::with_capacity(lists.len());
+        for (slot, list) in lists.into_iter().enumerate() {
+            if list == "-" {
+                d_sets.push(None);
+                continue;
+            }
+            let edges = sc_stream::decode_edge_list(list, self.n)
+                .map_err(|e| format!("state: dsets: {e}"))?;
+            if edges.len() > self.cap {
+                return Err(format!(
+                    "state: dsets: slot {slot} holds {} edges over cap {}",
+                    edges.len(),
+                    self.cap
+                ));
+            }
+            let h = &self.hashes[slot];
+            for &e in &edges {
+                if h.eval(e.u() as u64) != h.eval(e.v() as u64) {
+                    return Err(format!(
+                        "state: dsets: edge {e} is not monochromatic under slot {slot}"
+                    ));
+                }
+            }
+            d_sets.push(Some(edges));
+        }
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let failures = r.u64_field("failures")?;
+        let epoch = r.u64_field("epoch")?;
+        r.done()?;
+        self.curr = curr;
+        self.buffer = buffer;
+        self.d_sets = d_sets;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.failures = failures;
+        self.cache.restore_at_epoch(epoch);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -118,6 +118,44 @@ impl MonoSketch {
     }
 }
 
+/// Encodes a bank of sketches' stored edge lists as `|`-joined
+/// [`sc_stream::state::encode_edge_list`] strings (state-codec
+/// vocabulary; the oracle functions are rebuilt from the seed, so only
+/// the edges travel).
+pub(crate) fn encode_sketch_bank(sketches: &[MonoSketch]) -> String {
+    sketches.iter().map(|s| sc_stream::encode_edge_list(s.edges())).collect::<Vec<_>>().join("|")
+}
+
+/// Replays an [`encode_sketch_bank`] string into freshly built sketches,
+/// re-offering every edge so monochromaticity is *validated*, not
+/// trusted — a tampered blob fails naming the sketch and edge. `key`
+/// names the state field in errors.
+pub(crate) fn decode_sketch_bank(
+    sketches: &mut [MonoSketch],
+    text: &str,
+    n: usize,
+    key: &str,
+) -> Result<(), String> {
+    let lists: Vec<&str> = text.split('|').collect();
+    if lists.len() != sketches.len() {
+        return Err(format!(
+            "state: {key}: {} sketch lists for {} sketches",
+            lists.len(),
+            sketches.len()
+        ));
+    }
+    for (i, (sketch, list)) in sketches.iter_mut().zip(lists).enumerate() {
+        for e in sc_stream::decode_edge_list(list, n).map_err(|e| format!("state: {key}: {e}"))? {
+            if !sketch.offer(e) {
+                return Err(format!(
+                    "state: {key}: edge {e} is not monochromatic under sketch {i}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Pooled presplit-endpoint columns for batched sketch evaluation.
 ///
 /// [`OracleFn::eval`] factors into a key-independent inner mixing round

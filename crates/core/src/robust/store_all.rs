@@ -15,7 +15,9 @@
 use crate::robust::alg2::RobustColorer;
 use crate::robust::params::RobustParams;
 use sc_graph::{greedy_complete, greedy_repair_ascending, Coloring, Edge, Graph};
-use sc_stream::{edge_bits, CacheStats, QueryCache, SpaceMeter, StreamingColorer};
+use sc_stream::{
+    edge_bits, CacheStats, QueryCache, SpaceMeter, StateReader, StateWriter, StreamingColorer,
+};
 
 /// The incremental-query artifact: a mirror of the stored graph plus the
 /// first-fit coloring it produced, repairable edge by edge.
@@ -124,6 +126,34 @@ impl StreamingColorer for StoreAllColorer {
         self.meter.peak_bits()
     }
 
+    fn encode_state(&self) -> Result<String, String> {
+        let mut w = StateWriter::new();
+        w.field("algo", self.name());
+        w.edges("edges", &self.edges);
+        w.field("space_cur", self.meter.current_bits());
+        w.field("space_peak", self.meter.peak_bits());
+        w.field("epoch", self.cache.epoch());
+        Ok(w.finish())
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let mut r = StateReader::new(state);
+        let algo = r.expect("algo")?;
+        if algo != self.name() {
+            return Err(format!("state: algo {algo:?} is not {:?}", self.name()));
+        }
+        let edges = r.edges_field("edges", self.n)?;
+        let space_cur = r.u64_field("space_cur")?;
+        let space_peak = r.u64_field("space_peak")?;
+        let epoch = r.u64_field("epoch")?;
+        r.done()?;
+        self.edges = edges;
+        self.meter =
+            SpaceMeter::restored(space_cur, space_peak).map_err(|e| format!("state: {e}"))?;
+        self.cache.restore_at_epoch(epoch);
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "store-all"
     }
@@ -188,6 +218,23 @@ impl StreamingColorer for AutoRobust {
         match self {
             AutoRobust::StoreAll(c) => c.peak_space_bits(),
             AutoRobust::Alg2(c) => c.peak_space_bits(),
+        }
+    }
+
+    // State codecs delegate: the variant is a pure function of (n, ∆),
+    // so a rebuilt colorer picks the same side and the inner `algo` tag
+    // validates the match.
+    fn encode_state(&self) -> Result<String, String> {
+        match self {
+            AutoRobust::StoreAll(c) => c.encode_state(),
+            AutoRobust::Alg2(c) => c.encode_state(),
+        }
+    }
+
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        match self {
+            AutoRobust::StoreAll(c) => c.decode_state(state),
+            AutoRobust::Alg2(c) => c.decode_state(state),
         }
     }
 

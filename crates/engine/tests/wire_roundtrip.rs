@@ -327,6 +327,112 @@ mod error_paths {
     }
 }
 
+// ---------------------------------------------------------------------
+// Colorer state codecs: decode ∘ encode ≡ id, canonical bytes, and loud
+// failures on mangled blobs — the engine-level half of the persistence
+// law (`crates/service/tests/snapshot_determinism.rs` owns the protocol
+// half).
+// ---------------------------------------------------------------------
+
+mod state_codecs {
+    use super::*;
+    use sc_graph::generators;
+
+    /// Every spec [`ColorerSpec::build`] accepts (the four offline
+    /// algorithms are build-time errors, so a codec-less colorer cannot
+    /// exist). `bcg20` is the one that needs a materialized graph.
+    fn codec_specs() -> Vec<(ColorerSpec, bool)> {
+        vec![
+            (ColorerSpec::Robust { beta: None }, false),
+            (ColorerSpec::Robust { beta: Some(0.5) }, false),
+            (ColorerSpec::Auto, false),
+            (ColorerSpec::RandEfficient, false),
+            (ColorerSpec::Cgs22, false),
+            (ColorerSpec::Bg18 { buckets: None }, false),
+            (ColorerSpec::Bcg20 { epsilon: 0.5 }, true),
+            (ColorerSpec::PaletteSparsification { lists: Some(6) }, false),
+            (ColorerSpec::StoreAll, false),
+            (ColorerSpec::Trivial, false),
+        ]
+    }
+
+    /// Feeds a prefix, round-trips the state into a freshly built twin,
+    /// and demands (a) canonical bytes on re-encode, (b) identical
+    /// colorings now and after both ingest the rest of the stream.
+    pub fn check_round_trip(seed: u64) -> Result<(), String> {
+        let mut rng = Gen::new(seed);
+        let n = 20 + rng.below(20) as usize;
+        let delta = 3 + rng.below(5) as usize;
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, rng.next());
+        let edges: Vec<Edge> = generators::shuffled_edges(&g, rng.next());
+        let cut = rng.below(edges.len() as u64 + 1) as usize;
+        for (spec, needs_graph) in codec_specs() {
+            let graph = needs_graph.then_some(&g);
+            let colorer_seed = rng.next();
+            let mut original = spec.build(n, delta, colorer_seed, graph)?;
+            original.process_batch(&edges[..cut]);
+
+            let blob = original.encode_state()?;
+            let mut restored = spec.build(n, delta, colorer_seed, graph)?;
+            restored.decode_state(&blob)?;
+            let reencoded = restored.encode_state()?;
+            if reencoded != blob {
+                return Err(format!("{spec:?}: re-encode drifted\n {blob}\n {reencoded}"));
+            }
+
+            if restored.query() != original.query() {
+                return Err(format!("{spec:?}: colorings diverged at the snapshot point"));
+            }
+            original.process_batch(&edges[cut..]);
+            restored.process_batch(&edges[cut..]);
+            if restored.query() != original.query() {
+                return Err(format!("{spec:?}: colorings diverged after resuming the stream"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mangled blobs must fail loudly, naming the offender — for every
+    /// codec, since each decodes its own vocabulary.
+    #[test]
+    fn mangled_state_blobs_name_the_offender() {
+        let mut rng = Gen::new(7);
+        let n = 24;
+        let delta = 4;
+        let g = generators::gnp_with_max_degree(n, delta, 0.5, 7);
+        let edges: Vec<Edge> = generators::shuffled_edges(&g, 8);
+        for (spec, needs_graph) in codec_specs() {
+            let graph = needs_graph.then_some(&g);
+            let seed = rng.next();
+            let mut colorer = spec.build(n, delta, seed, graph).unwrap();
+            colorer.process_batch(&edges[..edges.len() / 2]);
+            let blob = colorer.encode_state().unwrap();
+            let fresh = || spec.build(n, delta, seed, graph).unwrap();
+
+            // Truncation: cut mid-blob (never a valid shorter blob —
+            // every field is demanded by name).
+            let e = fresh().decode_state(&blob[..blob.len() / 2]).unwrap_err();
+            assert!(!e.is_empty(), "{spec:?}: truncation must error");
+
+            // Typo'd first key: "algo" is every codec's opening field.
+            let typod = blob.replacen("algo=", "algq=", 1);
+            let e = fresh().decode_state(&typod).unwrap_err();
+            assert!(e.contains("algo") && e.contains("algq"), "{spec:?}: {e}");
+
+            // Unknown trailing key.
+            let e = fresh().decode_state(&format!("{blob};bogus=1")).unwrap_err();
+            assert!(e.contains("bogus"), "{spec:?}: {e}");
+
+            // A blob from a different algorithm names the mismatch.
+            if !matches!(spec, ColorerSpec::Trivial) {
+                let mut stranger = ColorerSpec::Trivial.build(n, delta, seed, None).unwrap();
+                let e = stranger.decode_state(&blob).unwrap_err();
+                assert!(e.contains("is not"), "{spec:?}: {e}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -352,6 +458,13 @@ proptest! {
         prop_assert_eq!(back.as_ref(), Ok(&cfg), "wire text {:?}", text);
         // Stability: re-encoding the decoded value is byte-identical.
         prop_assert_eq!(back.unwrap().wire_encode(), text);
+    }
+
+    /// `decode_state ∘ encode_state ≡ id` for every colorer, with
+    /// canonical bytes and an identical continuation of the stream.
+    #[test]
+    fn colorer_states_round_trip(seed in any::<u64>()) {
+        prop_assert_eq!(state_codecs::check_round_trip(seed), Ok(()), "seed {}", seed);
     }
 
     #[test]

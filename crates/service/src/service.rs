@@ -12,6 +12,8 @@
 //! {"cmd":"checkpoint","session":"a"}
 //! {"cmd":"stats","session":"a"}
 //! {"cmd":"finish","session":"a"}
+//! {"cmd":"snapshot","session":"a"}
+//! {"cmd":"restore","session":"a","snapshot":"…"}
 //! {"cmd":"run_job","session":"j","spec":"…","shard":0,"of":4}
 //! ```
 //!
@@ -23,6 +25,17 @@
 //! ([`sc_engine::wire::decode_edges`]), validated against the session's
 //! `n`. Unknown keys and unknown commands are errors, never silently
 //! ignored.
+//!
+//! `snapshot` serializes a session's entire state — colorer state blob,
+//! pending tail, checkpoint history, engine config, and the spec
+//! vocabulary needed to rebuild the colorer — into one canonical string
+//! (itself a flat-JSON object) returned in the `"snapshot"` response
+//! field. `restore` opens a session from such a blob; the restored
+//! session then answers **byte-identically** to the uninterrupted
+//! original at every subsequent command (the persistence law,
+//! `crates/service/tests/snapshot_determinism.rs`). The same blob
+//! format backs [`Service::with_snapshot_dir`] evict-to-disk and
+//! `sc-cluster` session migration.
 //!
 //! `run_job` is the **worker half of cluster sharding** (`sc-cluster`):
 //! a stateless command that carries a whole [`ShardJob`] spec file (the
@@ -48,18 +61,24 @@
 
 use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
 use sc_engine::shard::ShardJob;
-use sc_engine::{wire, Runner};
+use sc_engine::{wire, ColorerSpec, Runner};
 use sc_graph::Coloring;
-use sc_stream::{EngineConfig, Session};
+use sc_stream::{Checkpoint, EngineConfig, Session, SessionSnapshot};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// One hosted session: the owned engine session plus the vertex bound
-/// its edges are validated against and the host clock tick of its last
-/// command (the LRU eviction order).
+/// One hosted session: the owned engine session, the open-time
+/// parameters needed to rebuild its colorer from a snapshot (`delta`,
+/// `seed`, `spec`), the vertex bound its edges are validated against,
+/// and the host clock tick of its last command (the LRU eviction
+/// order).
 struct Tenant {
     n: usize,
+    delta: usize,
+    seed: u64,
+    spec: ColorerSpec,
     session: Session,
     last_used: u64,
 }
@@ -86,6 +105,16 @@ pub struct HostCounters {
     pub connections_open: u64,
     /// Connections accepted since the host started (reactor-fed).
     pub connections_accepted: u64,
+    /// Successful `snapshot` commands (interactive paths only).
+    pub snapshots: u64,
+    /// Successful `restore` commands (interactive paths only).
+    pub restores: u64,
+    /// Evictions that wrote a snapshot to the snapshot directory
+    /// instead of leaving a bare tombstone
+    /// ([`Service::with_snapshot_dir`]).
+    pub disk_evictions: u64,
+    /// Disk-evicted sessions transparently restored by a later command.
+    pub disk_restores: u64,
 }
 
 /// A host for many named, independent, concurrent coloring sessions.
@@ -122,6 +151,10 @@ pub struct Service {
     lru_eviction: bool,
     /// Monotone command tick driving the LRU order.
     clock: u64,
+    /// When set, LRU eviction writes the victim's snapshot blob here
+    /// (one `.snap` file per session) and the evicted session's next
+    /// command transparently restores it — eviction stops losing state.
+    snapshot_dir: Option<PathBuf>,
     counters: HostCounters,
 }
 
@@ -149,6 +182,7 @@ impl Service {
             max_sessions: None,
             lru_eviction: false,
             clock: 0,
+            snapshot_dir: None,
             counters: HostCounters::default(),
         }
     }
@@ -190,6 +224,25 @@ impl Service {
         self
     }
 
+    /// Upgrades eviction from evict-to-tombstone to **evict-to-disk**:
+    /// the LRU victim's snapshot blob is written to
+    /// `dir/<owner>-<hex(name)>.snap` and its tombstone reads `disk`
+    /// instead of `lru`. The evicted session's *next command* then
+    /// transparently restores from the file (deleting it) and proceeds
+    /// as if the eviction never happened — byte-identical responses,
+    /// per the persistence law. If the snapshot cannot be written (full
+    /// disk, un-snapshottable colorer) the eviction falls back to the
+    /// plain `lru` tombstone, so the host never aborts.
+    ///
+    /// Reopening a disk-evicted name discards the stale file, and
+    /// [`Service::drop_owner`] reaps the owner's files along with its
+    /// tombstones.
+    #[must_use]
+    pub fn with_snapshot_dir(mut self, dir: PathBuf) -> Self {
+        self.snapshot_dir = Some(dir);
+        self
+    }
+
     /// Open sessions, in `(owner, name)` order.
     pub fn session_names(&self) -> Vec<&str> {
         self.sessions.keys().map(|(_, name)| name.as_str()).collect()
@@ -218,6 +271,13 @@ impl Service {
         for key in &doomed {
             self.sessions.remove(key);
         }
+        if let Some(dir) = &self.snapshot_dir {
+            for (o, name) in self.evicted.keys() {
+                if *o == owner {
+                    let _ = std::fs::remove_file(snapshot_path(dir, *o, name));
+                }
+            }
+        }
         self.evicted.retain(|(o, _), _| *o != owner);
         self.counters.sessions_dropped += doomed.len() as u64;
         doomed.len()
@@ -245,15 +305,47 @@ impl Service {
                 }
                 let key = (owner, session);
                 let mut slot = self.sessions.remove(&key);
-                let had_tenant = slot.is_some();
+                let mut had_tenant = slot.is_some();
                 let opening = slot.is_none() && cmd == Some("open");
-                // A command for an evicted session names the eviction
-                // instead of pretending the session never existed;
-                // reopening clears the tombstone.
+                // A command for an evicted session either restores it
+                // transparently from disk (reason "disk") or names the
+                // eviction instead of pretending the session never
+                // existed; reopening clears the tombstone.
                 if slot.is_none() && !opening {
-                    if let Some(reason) = self.evicted.get(&key) {
-                        let message = format!("session evicted ({reason}); reopen it to continue");
-                        return Some(encode_object(&error_response(cmd, Some(&key.1), &message)));
+                    if let Some(reason) = self.evicted.get(&key).cloned() {
+                        if reason == "disk" {
+                            match self.restore_from_disk(&key) {
+                                Ok(tenant) => {
+                                    // The session is back: treat it as if
+                                    // it had never left. Re-evict someone
+                                    // else if that pushed us over the cap.
+                                    slot = Some(tenant);
+                                    had_tenant = true;
+                                    if let Some(cap) = self.max_sessions {
+                                        if self.lru_eviction && self.sessions.len() >= cap {
+                                            self.evict_lru();
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    let message =
+                                        format!("session evicted (disk) and restore failed: {e}");
+                                    return Some(encode_object(&error_response(
+                                        cmd,
+                                        Some(&key.1),
+                                        &message,
+                                    )));
+                                }
+                            }
+                        } else {
+                            let message =
+                                format!("session evicted ({reason}); reopen it to continue");
+                            return Some(encode_object(&error_response(
+                                cmd,
+                                Some(&key.1),
+                                &message,
+                            )));
+                        }
                     }
                 }
                 let over_limit = self
@@ -273,11 +365,18 @@ impl Service {
                     }
                     None => apply(&mut slot, &key.1, &obj),
                 };
+                if matches!(response.get("ok"), Some(Scalar::Bool(true))) {
+                    match cmd {
+                        Some("snapshot") => self.counters.snapshots += 1,
+                        Some("restore") => self.counters.restores += 1,
+                        _ => {}
+                    }
+                }
                 match slot {
                     Some(mut tenant) => {
                         if !had_tenant {
                             self.counters.sessions_opened += 1;
-                            self.evicted.remove(&key);
+                            self.clear_tombstone(&key);
                         }
                         self.clock += 1;
                         tenant.last_used = self.clock;
@@ -294,8 +393,11 @@ impl Service {
         }
     }
 
-    /// Evicts the least-recently-used session (any owner), leaving a
-    /// tombstone so its owner learns the fate from the next response.
+    /// Evicts the least-recently-used session (any owner). With a
+    /// snapshot directory configured the victim's state goes to disk
+    /// (tombstone `disk`, transparently restorable); otherwise — or if
+    /// the write fails — it leaves a plain `lru` tombstone so its owner
+    /// learns the fate from the next response.
     fn evict_lru(&mut self) {
         let Some(key) = self
             .sessions
@@ -305,9 +407,47 @@ impl Service {
         else {
             return;
         };
-        self.sessions.remove(&key);
-        self.evicted.insert(key, "lru".to_string());
+        let tenant = self.sessions.remove(&key).expect("key came from the map");
+        let mut reason = "lru";
+        if let Some(dir) = &self.snapshot_dir {
+            let saved = std::fs::create_dir_all(dir)
+                .map_err(|e| e.to_string())
+                .and_then(|()| encode_snapshot_blob(&tenant))
+                .and_then(|blob| {
+                    std::fs::write(snapshot_path(dir, key.0, &key.1), blob)
+                        .map_err(|e| e.to_string())
+                });
+            if saved.is_ok() {
+                reason = "disk";
+                self.counters.disk_evictions += 1;
+            }
+        }
+        self.evicted.insert(key, reason.to_string());
         self.counters.sessions_evicted += 1;
+    }
+
+    /// Loads, decodes, and deletes a disk-evicted session's snapshot
+    /// file, clearing its tombstone. The caller reinserts the tenant.
+    fn restore_from_disk(&mut self, key: &(u64, String)) -> Result<Tenant, String> {
+        let dir = self.snapshot_dir.as_ref().ok_or("no snapshot directory configured")?;
+        let path = snapshot_path(dir, key.0, &key.1);
+        let blob = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let tenant = decode_snapshot_blob(&blob)?;
+        let _ = std::fs::remove_file(&path);
+        self.evicted.remove(key);
+        self.counters.disk_restores += 1;
+        Ok(tenant)
+    }
+
+    /// Clears an eviction tombstone and any stale on-disk snapshot (a
+    /// reopen supersedes the evicted state).
+    fn clear_tombstone(&mut self, key: &(u64, String)) {
+        if self.evicted.remove(key).is_some() {
+            if let Some(dir) = &self.snapshot_dir {
+                let _ = std::fs::remove_file(snapshot_path(dir, key.0, &key.1));
+            }
+        }
     }
 
     /// The `host_stats` command: host-scoped lifecycle counters. The
@@ -328,6 +468,10 @@ impl Service {
         response.insert("sessions_dropped".into(), Scalar::Uint(c.sessions_dropped));
         response.insert("connections_open".into(), Scalar::Uint(c.connections_open));
         response.insert("connections_accepted".into(), Scalar::Uint(c.connections_accepted));
+        response.insert("snapshots".into(), Scalar::Uint(c.snapshots));
+        response.insert("restores".into(), Scalar::Uint(c.restores));
+        response.insert("disk_evictions".into(), Scalar::Uint(c.disk_evictions));
+        response.insert("disk_restores".into(), Scalar::Uint(c.disk_restores));
         response
     }
 
@@ -582,6 +726,8 @@ fn apply(slot: &mut Option<Tenant>, session: &str, obj: &FlatObject) -> FlatObje
         "observe" | "checkpoint" => apply_observe(slot, obj, &cmd),
         "stats" => apply_stats(slot, obj),
         "finish" => apply_finish(slot, obj),
+        "snapshot" => apply_snapshot(slot, obj),
+        "restore" => apply_restore(slot, obj),
         "run_job" => apply_run_job(obj),
         // Interactive paths intercept host_stats before apply(); reaching
         // it here means a script, where host counters would expose the
@@ -591,7 +737,7 @@ fn apply(slot: &mut Option<Tenant>, session: &str, obj: &FlatObject) -> FlatObje
             .to_string()),
         other => Err(format!(
             "unknown cmd {other:?} (open | push | push_batch | observe | checkpoint | stats | \
-             finish | run_job | host_stats)"
+             finish | snapshot | restore | run_job | host_stats)"
         )),
     };
     match result {
@@ -647,7 +793,8 @@ fn apply_open(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject,
     let mut response = FlatObject::new();
     response.insert("algo".into(), Scalar::Str(colorer.name().to_string()));
     response.insert("n".into(), Scalar::Uint(n as u64));
-    *slot = Some(Tenant { n, session: Session::new(colorer, config), last_used: 0 });
+    *slot =
+        Some(Tenant { n, delta, seed, spec, session: Session::new(colorer, config), last_used: 0 });
     Ok(response)
 }
 
@@ -720,6 +867,183 @@ fn apply_stats(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject
             response.insert("cache".into(), Scalar::Str("none".into()));
         }
     }
+    Ok(response)
+}
+
+// ---------------------------------------------------------------------
+// Session snapshots: one canonical flat-JSON blob carrying everything a
+// fresh host needs to resume the session byte-identically — the spec
+// vocabulary to rebuild the colorer, the colorer's own state string,
+// and the engine position (pending tail, counts, checkpoint history).
+// ---------------------------------------------------------------------
+
+/// Where a disk-evicted session's blob lives: the owner id plus the
+/// hex-encoded session name (names are arbitrary strings; hex keeps the
+/// file name filesystem-safe and collision-free).
+fn snapshot_path(dir: &Path, owner: u64, name: &str) -> PathBuf {
+    let mut hex = String::with_capacity(name.len() * 2);
+    for b in name.as_bytes() {
+        hex.push_str(&format!("{b:02x}"));
+    }
+    dir.join(format!("{owner}-{hex}.snap"))
+}
+
+/// Checkpoint history as `prefix@space_bits@coloring` records joined by
+/// `|` (the `colors` count is derivable and recomputed on decode).
+fn encode_checkpoints(checkpoints: &[Checkpoint]) -> String {
+    let parts: Vec<String> = checkpoints
+        .iter()
+        .map(|cp| format!("{}@{}@{}", cp.prefix_len, cp.space_bits, coloring_string(&cp.coloring)))
+        .collect();
+    parts.join("|")
+}
+
+fn decode_checkpoints(text: &str, n: usize) -> Result<Vec<Checkpoint>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for (i, part) in text.split('|').enumerate() {
+        let mut fields = part.splitn(3, '@');
+        let (prefix, space, coloring) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(p), Some(s), Some(c)) => (p, s, c),
+            _ => return Err(format!("checkpoint {i}: {part:?} is not prefix@space_bits@coloring")),
+        };
+        let prefix_len: usize =
+            prefix.parse().map_err(|e| format!("checkpoint {i}: prefix {prefix:?}: {e}"))?;
+        let space_bits: u64 =
+            space.parse().map_err(|e| format!("checkpoint {i}: space_bits {space:?}: {e}"))?;
+        let coloring = parse_coloring(coloring, n).map_err(|e| format!("checkpoint {i}: {e}"))?;
+        let colors = coloring.num_distinct_colors();
+        out.push(Checkpoint { prefix_len, coloring, space_bits, colors });
+    }
+    Ok(out)
+}
+
+/// Serializes a tenant into the snapshot blob (a canonical flat-JSON
+/// object). Non-destructive: the tenant continues unchanged.
+fn encode_snapshot_blob(tenant: &Tenant) -> Result<String, String> {
+    let snap = tenant.session.snapshot()?;
+    let mut obj = FlatObject::new();
+    obj.insert("kind".into(), Scalar::Str("session-snapshot".into()));
+    obj.insert("n".into(), Scalar::Uint(tenant.n as u64));
+    obj.insert("delta".into(), Scalar::Uint(tenant.delta as u64));
+    obj.insert("seed".into(), Scalar::Uint(tenant.seed));
+    wire::colorer_to_wire(&tenant.spec, &mut obj);
+    obj.insert("engine".into(), Scalar::Str(snap.config.wire_encode()));
+    obj.insert("algo".into(), Scalar::Str(tenant.session.algo().to_string()));
+    obj.insert("state".into(), Scalar::Str(snap.colorer_state));
+    obj.insert("pending".into(), Scalar::Str(wire::encode_edges(snap.pending.iter().copied())));
+    obj.insert("ingested".into(), Scalar::Uint(snap.ingested as u64));
+    obj.insert("chunks".into(), Scalar::Uint(snap.chunks as u64));
+    obj.insert("checkpoints".into(), Scalar::Str(encode_checkpoints(&snap.checkpoints)));
+    Ok(encode_object(&obj))
+}
+
+/// Rebuilds a tenant from a snapshot blob: the colorer is constructed
+/// fresh from the blob's spec vocabulary (same `n`, `∆`, seed — the
+/// randomness is re-derived, never serialized) and its state string is
+/// replayed into it, validated rather than trusted. Every malformed
+/// field answers an error naming the offender.
+fn decode_snapshot_blob(blob: &str) -> Result<Tenant, String> {
+    let obj = parse_object(blob).map_err(|e| format!("snapshot: {e}"))?;
+    match obj.get("kind").and_then(Scalar::as_str) {
+        Some("session-snapshot") => {}
+        Some(other) => {
+            return Err(format!("snapshot: kind {other:?} is not \"session-snapshot\""));
+        }
+        None => return Err("snapshot: missing string field \"kind\"".to_string()),
+    }
+    let fail = |e: String| format!("snapshot: {e}");
+    let n = usize_field(&obj, "n").map_err(fail)?;
+    if n > MAX_SESSION_VERTICES {
+        return Err(format!(
+            "snapshot: n = {n} exceeds this host's limit ({MAX_SESSION_VERTICES} vertices)"
+        ));
+    }
+    let delta = usize_field(&obj, "delta").map_err(fail)?;
+    if delta > n {
+        return Err(format!("snapshot: delta = {delta} exceeds n = {n}"));
+    }
+    let seed = obj
+        .get("seed")
+        .and_then(Scalar::as_u64)
+        .ok_or("snapshot: field \"seed\" must be a non-negative integer")?;
+    let config = EngineConfig::wire_decode(str_field(&obj, "engine").map_err(fail)?)
+        .map_err(|e| format!("snapshot: engine: {e}"))?;
+    let spec = wire::colorer_from_wire(&obj).map_err(fail)?;
+    // Same unknown-key discipline as `open`: the allowed keys are the
+    // fixed snapshot vocabulary plus exactly this spec's wire fields.
+    let mut canonical = FlatObject::new();
+    for key in [
+        "kind",
+        "n",
+        "delta",
+        "seed",
+        "engine",
+        "algo",
+        "state",
+        "pending",
+        "ingested",
+        "chunks",
+        "checkpoints",
+    ] {
+        canonical.insert(key.into(), Scalar::Bool(true));
+    }
+    wire::colorer_to_wire(&spec, &mut canonical);
+    check_keys(&obj, &canonical.keys().map(String::as_str).collect::<Vec<_>>()).map_err(fail)?;
+
+    let colorer = spec.build(n, delta, seed, None).map_err(fail)?;
+    let algo = str_field(&obj, "algo").map_err(fail)?;
+    if algo != colorer.name() {
+        return Err(format!("snapshot: algo {algo:?} is not {:?}", colorer.name()));
+    }
+    let pending = wire::decode_edges(str_field(&obj, "pending").map_err(fail)?, Some(n))
+        .map_err(|e| format!("snapshot: pending: {e}"))?;
+    let ingested = usize_field(&obj, "ingested").map_err(fail)?;
+    let chunks = usize_field(&obj, "chunks").map_err(fail)?;
+    let checkpoints = decode_checkpoints(str_field(&obj, "checkpoints").map_err(fail)?, n)
+        .map_err(|e| format!("snapshot: checkpoints: {e}"))?;
+    let snapshot = SessionSnapshot {
+        config,
+        pending,
+        ingested,
+        chunks,
+        checkpoints,
+        colorer_state: str_field(&obj, "state").map_err(fail)?.to_string(),
+    };
+    let session = Session::restore(colorer, snapshot).map_err(|e| format!("snapshot: {e}"))?;
+    Ok(Tenant { n, delta, seed, spec, session, last_used: 0 })
+}
+
+/// The `snapshot` command: answers the session's blob in the
+/// `"snapshot"` field. Non-destructive — the session keeps running, so
+/// migration can copy first and drop later.
+fn apply_snapshot(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject, String> {
+    check_keys(obj, &["cmd", "session"])?;
+    let tenant = slot.as_ref().ok_or("unknown session (open it first)")?;
+    let blob = encode_snapshot_blob(tenant)?;
+    let mut response = FlatObject::new();
+    response.insert("edges".into(), Scalar::Uint(tenant.session.len() as u64));
+    response.insert("pending".into(), Scalar::Uint(tenant.session.pending() as u64));
+    response.insert("snapshot".into(), Scalar::Str(blob));
+    Ok(response)
+}
+
+/// The `restore` command: opens the session from a snapshot blob. The
+/// restored session answers byte-identically to the uninterrupted
+/// original from this point on (the persistence law).
+fn apply_restore(slot: &mut Option<Tenant>, obj: &FlatObject) -> Result<FlatObject, String> {
+    if slot.is_some() {
+        return Err("session already open".to_string());
+    }
+    check_keys(obj, &["cmd", "session", "snapshot"])?;
+    let tenant = decode_snapshot_blob(str_field(obj, "snapshot")?)?;
+    let mut response = FlatObject::new();
+    response.insert("algo".into(), Scalar::Str(tenant.session.algo().to_string()));
+    response.insert("n".into(), Scalar::Uint(tenant.n as u64));
+    response.insert("edges".into(), Scalar::Uint(tenant.session.len() as u64));
+    *slot = Some(tenant);
     Ok(response)
 }
 
@@ -1252,5 +1576,189 @@ mod tests {
         let out = service.run_script("{\"cmd\":\"host_stats\",\"session\":\"x\"}\n");
         assert!(out.contains("\"ok\":false"), "{out}");
         assert!(out.contains("interactive-only"), "{out}");
+    }
+
+    /// A fresh per-test scratch directory under the system temp dir
+    /// (the workspace vendors no tempfile crate).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sc-snap-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        let mut service = Service::new();
+        service.respond(&open_line("a", 20, 4, "robust", 3)).unwrap();
+        service.respond(r#"{"cmd":"push_batch","session":"a","edges":"0-1 1-2 2-3"}"#).unwrap();
+        let snap = service.respond(r#"{"cmd":"snapshot","session":"a"}"#).unwrap();
+        let obj = parse_object(&snap).unwrap();
+        assert_eq!(obj["ok"].as_bool(), Some(true), "{snap}");
+        assert_eq!(obj["edges"].as_u64(), Some(3));
+        let blob = obj["snapshot"].as_str().unwrap().to_string();
+        // The blob is itself a canonical flat-JSON object.
+        assert!(parse_object(&blob).is_ok(), "{blob}");
+
+        // Snapshot is non-destructive: the source session still answers.
+        let live = service.respond(r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(live.contains("\"edges\":3"), "{live}");
+
+        // Restore under a fresh name on a fresh host; from here on the
+        // two sessions answer byte-identically.
+        let mut other = Service::new();
+        let mut line = FlatObject::new();
+        line.insert("cmd".into(), Scalar::Str("restore".into()));
+        line.insert("session".into(), Scalar::Str("b".into()));
+        line.insert("snapshot".into(), Scalar::Str(blob));
+        let restored = other.respond(&encode_object(&line)).unwrap();
+        assert!(restored.contains("\"ok\":true"), "{restored}");
+        assert!(restored.contains("\"edges\":3"), "{restored}");
+        for tail in [
+            r#"{"cmd":"push_batch","session":"NAME","edges":"3-4 4-5"}"#,
+            r#"{"cmd":"observe","session":"NAME"}"#,
+            r#"{"cmd":"checkpoint","session":"NAME"}"#,
+            r#"{"cmd":"finish","session":"NAME"}"#,
+        ] {
+            let a = service.respond(&tail.replace("NAME", "a")).unwrap();
+            let b = other.respond(&tail.replace("NAME", "b")).unwrap();
+            assert_eq!(
+                a.replace("\"session\":\"a\"", "\"session\":\"S\""),
+                b.replace("\"session\":\"b\"", "\"session\":\"S\""),
+                "restored session diverged on {tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_malformed_blobs_naming_the_offender() {
+        let mut service = Service::new();
+        service.respond(&open_line("a", 10, 3, "store-all", 1)).unwrap();
+        service.respond(r#"{"cmd":"push","session":"a","edge":"0-1"}"#).unwrap();
+        let snap = service.respond(r#"{"cmd":"snapshot","session":"a"}"#).unwrap();
+        let blob = parse_object(&snap).unwrap()["snapshot"].as_str().unwrap().to_string();
+
+        let restore_line = |blob: &str| {
+            let mut line = FlatObject::new();
+            line.insert("cmd".into(), Scalar::Str("restore".into()));
+            line.insert("session".into(), Scalar::Str("r".into()));
+            line.insert("snapshot".into(), Scalar::Str(blob.to_string()));
+            encode_object(&line)
+        };
+        for (mangled, needle) in [
+            ("{not json".to_string(), "snapshot:"),
+            (
+                blob.replace("session-snapshot", "session-snapshit"),
+                "is not \\\"session-snapshot\\\"",
+            ),
+            (blob.replace("\"algo\":\"store-all\"", "\"algo\":\"robust-alg2\""), "algo"),
+            (blob.replace("\"kind\"", "\"kindd\""), "missing string field \\\"kind\\\""),
+            (blob.replace("\"chunks\"", "\"chunkz\""), "unknown key"),
+            (blob.replace("\"state\":\"algo=store-all", "\"state\":\"algo=storr-all"), "algo"),
+        ] {
+            let response = service.respond(&restore_line(&mangled)).unwrap();
+            assert!(
+                response.contains("\"ok\":false") && response.contains(needle),
+                "{mangled} -> {response}"
+            );
+        }
+        // Restoring over an open session is refused.
+        let clash = service
+            .respond(&restore_line(&blob).replace("\"session\":\"r\"", "\"session\":\"a\""))
+            .unwrap();
+        assert!(clash.contains("already open"), "{clash}");
+        // The untouched blob restores fine.
+        let good = service.respond(&restore_line(&blob)).unwrap();
+        assert!(good.contains("\"ok\":true"), "{good}");
+    }
+
+    #[test]
+    fn evict_to_disk_restores_transparently_and_replays_byte_identically() {
+        let dir = scratch_dir("evict");
+        let mut evicting =
+            Service::new().with_max_sessions(1).with_lru_eviction().with_snapshot_dir(dir.clone());
+        let mut uninterrupted = Service::new();
+
+        let drive = |svc: &mut Service, line: &str| svc.respond(line).unwrap();
+        let open_a = open_line("a", 20, 4, "robust", 3);
+        assert_eq!(drive(&mut evicting, &open_a), drive(&mut uninterrupted, &open_a));
+        let push = r#"{"cmd":"push_batch","session":"a","edges":"0-1 1-2 2-3"}"#;
+        assert_eq!(drive(&mut evicting, push), drive(&mut uninterrupted, push));
+
+        // Opening "b" at cap 1 evicts "a" — to disk, not to a tombstone.
+        let open_b = open_line("b", 10, 3, "trivial", 1);
+        assert!(drive(&mut evicting, &open_b).contains("\"ok\":true"));
+        assert_eq!(evicting.counters().disk_evictions, 1);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "one .snap file");
+
+        // "a"'s next command transparently restores and matches the
+        // uninterrupted host byte-for-byte (which evicts "b" to disk in
+        // turn — the cap stays enforced).
+        for line in [
+            r#"{"cmd":"push","session":"a","edge":"3-4"}"#,
+            r#"{"cmd":"observe","session":"a"}"#,
+            r#"{"cmd":"checkpoint","session":"a"}"#,
+            r#"{"cmd":"finish","session":"a"}"#,
+        ] {
+            assert_eq!(
+                drive(&mut evicting, line),
+                drive(&mut uninterrupted, line),
+                "disk-restored session diverged on {line}"
+            );
+        }
+        assert_eq!(evicting.counters().disk_restores, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_snapshot_dir_eviction_keeps_the_tombstone_path() {
+        // (Pinned by lru_eviction_evicts_oldest_…; here: reopen after a
+        // disk eviction discards the stale file.)
+        let dir = scratch_dir("reopen");
+        let mut service =
+            Service::new().with_max_sessions(1).with_lru_eviction().with_snapshot_dir(dir.clone());
+        service.respond(&open_line("a", 10, 3, "store-all", 5)).unwrap();
+        service.respond(&open_line("b", 10, 3, "trivial", 1)).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // Reopen "a" fresh: stale snapshot deleted, state starts over.
+        service.respond(r#"{"cmd":"finish","session":"b"}"#).unwrap();
+        let reopened = service.respond(&open_line("a", 10, 3, "store-all", 5)).unwrap();
+        assert!(reopened.contains("\"ok\":true"), "{reopened}");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "stale .snap must be gone");
+        let stats = service.respond(r#"{"cmd":"stats","session":"a"}"#).unwrap();
+        assert!(stats.contains("\"edges\":0"), "reopen must not resurrect state: {stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_owner_reaps_snapshot_files() {
+        let dir = scratch_dir("drop");
+        let mut service =
+            Service::new().with_max_sessions(1).with_lru_eviction().with_snapshot_dir(dir.clone());
+        service.respond_as(7, &open_line("a", 10, 3, "store-all", 5)).unwrap();
+        service.respond_as(7, &open_line("b", 10, 3, "trivial", 1)).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        service.drop_owner(7);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "dropped owner's files reaped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn host_stats_reports_snapshot_counters() {
+        let mut service = Service::new();
+        service.respond(&open_line("a", 10, 3, "store-all", 5)).unwrap();
+        let snap = service.respond(r#"{"cmd":"snapshot","session":"a"}"#).unwrap();
+        let blob = parse_object(&snap).unwrap()["snapshot"].as_str().unwrap().to_string();
+        let mut line = FlatObject::new();
+        line.insert("cmd".into(), Scalar::Str("restore".into()));
+        line.insert("session".into(), Scalar::Str("b".into()));
+        line.insert("snapshot".into(), Scalar::Str(blob));
+        service.respond(&encode_object(&line)).unwrap();
+        let stats = service.respond(r#"{"cmd":"host_stats","session":"probe"}"#).unwrap();
+        let obj = parse_object(&stats).unwrap();
+        assert_eq!(obj["snapshots"].as_u64(), Some(1), "{stats}");
+        assert_eq!(obj["restores"].as_u64(), Some(1), "{stats}");
+        assert_eq!(obj["disk_evictions"].as_u64(), Some(0), "{stats}");
+        assert_eq!(obj["disk_restores"].as_u64(), Some(0), "{stats}");
     }
 }

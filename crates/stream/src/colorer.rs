@@ -69,6 +69,36 @@ pub trait StreamingColorer {
     /// [`crate::space`]).
     fn peak_space_bits(&self) -> u64;
 
+    /// Serializes the colorer's mutable algorithm state as a canonical
+    /// [`crate::state`] string — the persistence half of the snapshot
+    /// subsystem. Constructor parameters are *not* included (the
+    /// restoring side rebuilds the colorer from its spec first, then
+    /// replays this state into it via [`decode_state`]).
+    ///
+    /// **Law:** `decode_state ∘ encode_state ≡ id` observationally — a
+    /// freshly built colorer that decodes this state must produce
+    /// byte-identical colorings and space reports to the original at
+    /// every subsequent prefix — and the bytes are canonical
+    /// (re-encoding a restored colorer reproduces them exactly).
+    ///
+    /// The default errors: toy/test colorers without persistence
+    /// support fail loudly instead of silently dropping state.
+    ///
+    /// [`decode_state`]: StreamingColorer::decode_state
+    fn encode_state(&self) -> Result<String, String> {
+        Err(format!("{}: no state codec", self.name()))
+    }
+
+    /// Replays an [`encode_state`] blob into this freshly built
+    /// colorer. Errors name the offending field; on error the colorer
+    /// must not be used (it may hold partial state).
+    ///
+    /// [`encode_state`]: StreamingColorer::encode_state
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        let _ = state;
+        Err(format!("{}: no state codec", self.name()))
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -104,6 +134,12 @@ impl<C: StreamingColorer + ?Sized> StreamingColorer for Box<C> {
     }
     fn peak_space_bits(&self) -> u64 {
         (**self).peak_space_bits()
+    }
+    fn encode_state(&self) -> Result<String, String> {
+        (**self).encode_state()
+    }
+    fn decode_state(&mut self, state: &str) -> Result<(), String> {
+        (**self).decode_state(state)
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -480,6 +480,32 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
     }
 }
 
+/// A point-in-time capture of an owned [`Session`], taken **without**
+/// flushing: the pending sub-chunk tail is carried verbatim, so a
+/// restored session is mid-stream-exact — the next push sees the same
+/// chunk boundaries, the same schedule position, and a colorer in the
+/// same state as the uninterrupted original.
+///
+/// The colorer itself travels as its [`StreamingColorer::encode_state`]
+/// blob; the restoring side rebuilds the colorer from its spec (which
+/// is *not* captured here — the service layer owns that vocabulary)
+/// and replays the blob into it.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The engine configuration in force.
+    pub config: EngineConfig,
+    /// Edges accepted but not yet fed to the colorer.
+    pub pending: Vec<Edge>,
+    /// Edges fed to the colorer so far.
+    pub ingested: usize,
+    /// `process_batch` calls made so far.
+    pub chunks: usize,
+    /// Checkpoints recorded so far, prefix order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// The colorer's [`StreamingColorer::encode_state`] blob.
+    pub colorer_state: String,
+}
+
 /// An owned interactive session: the colorer moves *in* at open and the
 /// report moves *out* at finish, so sessions can be stored, passed
 /// across threads, and multiplexed — a service can host thousands of
@@ -609,6 +635,51 @@ impl Session {
     /// get wrong).
     pub fn finish(mut self) -> EngineReport {
         self.state.finish(&mut self.colorer, self.started)
+    }
+
+    /// Captures the session mid-stream, **without** flushing the
+    /// pending tail (see [`SessionSnapshot`]). Non-destructive: the
+    /// session continues unchanged.
+    ///
+    /// # Errors
+    /// Propagates the colorer's [`StreamingColorer::encode_state`]
+    /// failure (e.g. a toy colorer without a codec).
+    pub fn snapshot(&self) -> Result<SessionSnapshot, String> {
+        Ok(SessionSnapshot {
+            config: self.state.config.clone(),
+            pending: self.state.pending.clone(),
+            ingested: self.state.ingested,
+            chunks: self.state.chunks,
+            checkpoints: self.state.checkpoints.clone(),
+            colorer_state: self.colorer.encode_state()?,
+        })
+    }
+
+    /// Reopens a session from a snapshot: `colorer` must be freshly
+    /// built from the same spec (same `n`, `∆`, seed) as the captured
+    /// one; its state blob is replayed into it and the engine machinery
+    /// resumes at the exact captured position. The elapsed clock
+    /// restarts (wall time is outside the determinism law).
+    ///
+    /// # Errors
+    /// Propagates [`StreamingColorer::decode_state`] failures naming
+    /// the offending field.
+    pub fn restore(
+        mut colorer: crate::colorer::BoxedColorer,
+        snapshot: SessionSnapshot,
+    ) -> Result<Self, String> {
+        colorer.decode_state(&snapshot.colorer_state)?;
+        Ok(Self {
+            colorer,
+            state: SessionState {
+                config: snapshot.config,
+                pending: snapshot.pending,
+                ingested: snapshot.ingested,
+                chunks: snapshot.chunks,
+                checkpoints: snapshot.checkpoints,
+            },
+            started: Instant::now(),
+        })
     }
 }
 

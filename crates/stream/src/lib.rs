@@ -37,16 +37,21 @@ pub mod order;
 pub mod query_cache;
 pub mod source;
 pub mod space;
+pub mod state;
 pub mod token;
 pub mod trace;
 
 pub use colorer::{run_oblivious, BoxedColorer, StreamingColorer};
 pub use engine::{
-    Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, Session, StreamEngine,
+    Checkpoint, EngineConfig, EngineReport, EngineSession, QuerySchedule, Session, SessionSnapshot,
+    StreamEngine,
 };
 pub use order::StreamOrder;
 pub use query_cache::{CacheState, CacheStats, QueryCache};
 pub use source::{PassCounter, StoredStream, StreamSource};
 pub use space::{color_bits, counter_bits, edge_bits, vertex_bits, SpaceMeter};
+pub use state::{
+    decode_edge_list, decode_u64_list, encode_edge_list, encode_u64_list, StateReader, StateWriter,
+};
 pub use token::StreamItem;
 pub use trace::{TraceReport, TracingSource};

@@ -168,6 +168,20 @@ impl<T> QueryCache<T> {
         self.stats.patched_vertices += vertices;
     }
 
+    /// Resets the cache to `epoch` with no artifact and zeroed stats —
+    /// the session-restore path. The epoch must be restored exactly
+    /// (it counts total ingested edges, and canonical state re-encoding
+    /// depends on it); the artifact is deliberately left cold, which is
+    /// observationally sound because the incremental path must equal
+    /// the from-scratch [`query`](crate::StreamingColorer::query) at
+    /// every prefix. Stats are harness bookkeeping outside the
+    /// determinism law and start over.
+    pub fn restore_at_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.entry = None;
+        self.stats = CacheStats::default();
+    }
+
     /// Drops the artifact (recording an invalidation if one existed).
     /// The epoch keeps counting — invalidation only forgets the answer,
     /// not how much stream went by.

@@ -54,6 +54,16 @@ impl SpaceMeter {
         self.peak
     }
 
+    /// Rebuilds a meter from snapshotted `current`/`peak` readings
+    /// (session restore), validating the `peak ≥ current` invariant
+    /// every live meter maintains by construction.
+    pub fn restored(current: u64, peak: u64) -> Result<Self, String> {
+        if peak < current {
+            return Err(format!("space meter: peak {peak} < current {current}"));
+        }
+        Ok(Self { current, peak })
+    }
+
     /// Merges another meter's peak as if it ran concurrently on top of our
     /// current footprint (used when a sub-phase keeps its own meter).
     pub fn absorb_peak(&mut self, sub: &SpaceMeter) {

@@ -1,0 +1,228 @@
+//! Canonical `key=value;` state codec for colorer snapshots.
+//!
+//! The persistence subsystem serializes every colorer's *mutable*
+//! algorithm state — stored edges, epoch counters, space meters — so a
+//! session can be snapshotted, evicted to disk, or migrated between
+//! service endpoints and then resumed **mid-stream-exact**. Constructor
+//! parameters (`n`, `∆`, seed, spec knobs) are *not* part of a state
+//! blob: the restoring side rebuilds the colorer from its
+//! `ColorerSpec` and then replays the mutable state into it, so the
+//! wire vocabulary of `open` and `restore` never fork.
+//!
+//! The format follows the existing compact wire convention of
+//! [`EngineConfig::wire_encode`](crate::EngineConfig::wire_encode):
+//! `;`-separated `key=value` fields in a **fixed order** per colorer.
+//! Encoding is canonical — re-encoding a decoded state reproduces the
+//! exact bytes — and decoding is sequential and total: every field is
+//! demanded by name, every parse failure names the offending key, and
+//! trailing/unknown keys are rejected (naming the first offender), so
+//! truncated or typo'd blobs fail loudly instead of restoring a
+//! half-session.
+
+use sc_graph::Edge;
+
+/// Builds a canonical state string field by field.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    out: String,
+}
+
+impl StateWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `key=value`. Values must not contain `;` or `=` (the
+    /// separators); every vocabulary used by the colorers — edge lists,
+    /// `,`-joined counters, `|`-joined sub-lists, `-` for ⊥ — is free of
+    /// both by construction.
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        let value = value.to_string();
+        debug_assert!(
+            !value.contains(';') && !value.contains('='),
+            "state value for {key:?} contains a separator: {value:?}"
+        );
+        if !self.out.is_empty() {
+            self.out.push(';');
+        }
+        self.out.push_str(key);
+        self.out.push('=');
+        self.out.push_str(&value);
+        self
+    }
+
+    /// Appends an edge-list field (see [`encode_edge_list`]).
+    pub fn edges(&mut self, key: &str, edges: &[Edge]) -> &mut Self {
+        self.field(key, encode_edge_list(edges))
+    }
+
+    /// The finished canonical string.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Sequentially consumes a [`StateWriter`]-produced string, demanding
+/// each field by name.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    parts: std::iter::Peekable<std::str::Split<'a, char>>,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `text`.
+    pub fn new(text: &'a str) -> Self {
+        Self { parts: text.split(';').peekable() }
+    }
+
+    /// The next field, which must be named `key`; returns its raw value.
+    ///
+    /// # Errors
+    /// Names the expected key on truncation and both keys on mismatch.
+    pub fn expect(&mut self, key: &str) -> Result<&'a str, String> {
+        let part = self
+            .parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("state: truncated before key {key:?}"))?;
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("state: {part:?} is not key=value (expected {key:?})"))?;
+        if k != key {
+            return Err(format!("state: expected key {key:?}, found {k:?}"));
+        }
+        Ok(v)
+    }
+
+    /// The next field as a `u64`.
+    pub fn u64_field(&mut self, key: &str) -> Result<u64, String> {
+        let v = self.expect(key)?;
+        v.parse().map_err(|e| format!("state: {key}={v:?}: {e}"))
+    }
+
+    /// The next field as a `usize`.
+    pub fn usize_field(&mut self, key: &str) -> Result<usize, String> {
+        let v = self.expect(key)?;
+        v.parse().map_err(|e| format!("state: {key}={v:?}: {e}"))
+    }
+
+    /// The next field as an edge list over vertex ids below `n`.
+    pub fn edges_field(&mut self, key: &str, n: usize) -> Result<Vec<Edge>, String> {
+        let v = self.expect(key)?;
+        decode_edge_list(v, n).map_err(|e| format!("state: {key}: {e}"))
+    }
+
+    /// Asserts the input is exhausted, naming the first leftover key.
+    pub fn done(mut self) -> Result<(), String> {
+        match self.parts.next().filter(|p| !p.is_empty()) {
+            None => Ok(()),
+            Some(part) => {
+                let key = part.split('=').next().unwrap_or(part);
+                Err(format!("state: unknown trailing key {key:?}"))
+            }
+        }
+    }
+}
+
+/// Encodes edges as `"0-1 0-2"` (space-separated `u-v` pairs; empty
+/// string for no edges) — the same vocabulary `sc_engine::wire` uses on
+/// the service protocol, duplicated here because this crate sits below
+/// it in the dependency order.
+pub fn encode_edge_list(edges: &[Edge]) -> String {
+    let mut out = String::new();
+    for (i, e) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{}-{}", e.u(), e.v()));
+    }
+    out
+}
+
+/// Decodes an [`encode_edge_list`] string, validating every endpoint
+/// against `n`.
+pub fn decode_edge_list(text: &str, n: usize) -> Result<Vec<Edge>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(' ')
+        .map(|pair| {
+            let (u, v) = pair.split_once('-').ok_or(format!("edge {pair:?} is not u-v"))?;
+            let u: u32 = u.parse().map_err(|e| format!("edge {pair:?}: {e}"))?;
+            let v: u32 = v.parse().map_err(|e| format!("edge {pair:?}: {e}"))?;
+            if u.max(v) as usize >= n {
+                return Err(format!("edge {pair:?} out of range for n={n}"));
+            }
+            Ok(Edge::new(u, v))
+        })
+        .collect()
+}
+
+/// Encodes counters as `"0,3,1"` (`,`-joined; empty string for none).
+pub fn encode_u64_list(values: &[u64]) -> String {
+    values.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Decodes an [`encode_u64_list`] string.
+pub fn decode_u64_list(text: &str) -> Result<Vec<u64>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(|v| v.parse().map_err(|e| format!("counter {v:?}: {e}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_lists_round_trip() {
+        let vals = vec![0u64, 3, 17, u64::MAX];
+        assert_eq!(decode_u64_list(&encode_u64_list(&vals)).unwrap(), vals);
+        assert_eq!(decode_u64_list("").unwrap(), Vec::<u64>::new());
+        assert!(decode_u64_list("1,x").is_err());
+    }
+
+    #[test]
+    fn round_trips_field_by_field() {
+        let mut w = StateWriter::new();
+        w.field("algo", "toy").field("curr", 3u64).edges("buf", &[Edge::new(0, 1)]);
+        let text = w.finish();
+        assert_eq!(text, "algo=toy;curr=3;buf=0-1");
+        let mut r = StateReader::new(&text);
+        assert_eq!(r.expect("algo").unwrap(), "toy");
+        assert_eq!(r.u64_field("curr").unwrap(), 3);
+        assert_eq!(r.edges_field("buf", 2).unwrap(), vec![Edge::new(0, 1)]);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn errors_name_the_offending_key() {
+        let mut r = StateReader::new("algo=toy");
+        r.expect("algo").unwrap();
+        let err = r.u64_field("curr").unwrap_err();
+        assert!(err.contains("curr"), "{err}");
+
+        let mut r = StateReader::new("algo=toy;currr=3");
+        r.expect("algo").unwrap();
+        let err = r.u64_field("curr").unwrap_err();
+        assert!(err.contains("curr") && err.contains("currr"), "{err}");
+
+        let mut r = StateReader::new("algo=toy;bogus=1");
+        r.expect("algo").unwrap();
+        let err = r.done().unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn edge_lists_round_trip_and_validate() {
+        let edges = vec![Edge::new(0, 1), Edge::new(2, 5), Edge::new(1, 3)];
+        let text = encode_edge_list(&edges);
+        assert_eq!(decode_edge_list(&text, 6).unwrap(), edges);
+        assert_eq!(decode_edge_list("", 6).unwrap(), Vec::new());
+        assert!(decode_edge_list(&text, 5).is_err(), "endpoint 5 out of range");
+        assert!(decode_edge_list("0-x", 6).is_err());
+        assert!(decode_edge_list("01", 6).is_err());
+    }
+}

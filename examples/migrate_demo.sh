@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Live session migration in one shell session: open a session on one
+# reactor listener, `streamcolor migrate` it to a second listener, keep
+# talking to it there — and byte-diff the stitched transcript against
+# an uninterrupted run of the same commands. Needs bash for /dev/tcp
+# (the raw protocol client); everything else is the built binary.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin streamcolor
+
+OUT=/tmp/migrate_demo
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# The session's command stream, cut at the migration point. Both
+# halves address the same name; responses never mention the host.
+cat > "$OUT/first_half.commands" <<'EOF'
+{"cmd":"open","session":"demo","n":24,"delta":4,"colorer":"robust","seed":7}
+{"cmd":"push_batch","session":"demo","edges":"0-1 1-2 2-3 3-4 4-5"}
+{"cmd":"observe","session":"demo"}
+{"cmd":"checkpoint","session":"demo"}
+EOF
+cat > "$OUT/second_half.commands" <<'EOF'
+{"cmd":"push_batch","session":"demo","edges":"5-6 6-7 7-8"}
+{"cmd":"observe","session":"demo"}
+{"cmd":"finish","session":"demo"}
+EOF
+cat "$OUT/first_half.commands" "$OUT/second_half.commands" > "$OUT/full.commands"
+
+echo "== uninterrupted reference (one host, no migration) =="
+target/release/streamcolor serve --script "$OUT/full.commands" > "$OUT/reference.out"
+echo "wrote $OUT/reference.out"
+
+echo
+echo "== two reactor listeners, shared session namespace =="
+# --shared-sessions lets a later connection (the migrate CLI, the
+# verifying client) address a session an earlier connection opened.
+target/release/streamcolor serve --listen 127.0.0.1:0 --reactor --shared-sessions \
+    --accept 2 > "$OUT/source.log" &
+SOURCE=$!
+target/release/streamcolor serve --listen 127.0.0.1:0 --reactor --shared-sessions \
+    --accept 2 > "$OUT/target.log" &
+TARGET=$!
+for log in source.log target.log; do
+    for _ in $(seq 1 50); do
+        grep -q "listening on" "$OUT/$log" 2>/dev/null && break
+        sleep 0.1
+    done
+done
+FROM=$(sed -n 's/^listening on //p' "$OUT/source.log")
+TO=$(sed -n 's/^listening on //p' "$OUT/target.log")
+echo "source on $FROM, target on $TO"
+
+# Raw protocol client: one request line out, one response line back.
+drive() { # ADDR COMMANDS_FILE >> responses
+    exec 3<>"/dev/tcp/${1%:*}/${1##*:}"
+    while IFS= read -r line; do
+        printf '%s\n' "$line" >&3
+        IFS= read -r response <&3
+        printf '%s\n' "$response"
+    done < "$2"
+    exec 3<&- 3>&-
+}
+
+echo
+echo "== first half on the source, migrate, second half on the target =="
+drive "$FROM" "$OUT/first_half.commands" > "$OUT/migrated.out"
+target/release/streamcolor migrate --session demo --from "$FROM" --to "$TO"
+drive "$TO" "$OUT/second_half.commands" >> "$OUT/migrated.out"
+wait "$SOURCE" "$TARGET"
+
+echo
+echo "== the migration is byte-invisible =="
+diff "$OUT/reference.out" "$OUT/migrated.out"
+echo "uninterrupted == migrated (every observation byte-identical)"
