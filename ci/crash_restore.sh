@@ -6,25 +6,30 @@
 # run the finishes there. The stitched responses must byte-diff clean
 # against ci/service_smoke.golden — a crash plus restore is invisible
 # at the protocol level (the persistence law, across a real process
-# boundary). Needs bash for /dev/tcp (the raw protocol client). Writes
-# serve-crashrestore.json into the repo root for CI to upload.
+# boundary). Needs bash for /dev/tcp (the raw protocol client).
+#
+# Every artifact (stitched responses, snapshot blobs, server logs)
+# lives in a mktemp dir removed on exit — a local run leaves the repo
+# clean. CI passes an explicit output path as $1 when it wants to keep
+# the stitched responses for its diff/upload steps.
 set -eu
 cd "$(dirname "$0")/.."
 
 BIN=target/release/streamcolor
-SESSIONS="alpha beta gamma delta epsilon zeta eta theta"
+SESSIONS="alpha beta gamma delta epsilon zeta eta theta iota"
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
+OUT=${1:-$WORK/serve-crashrestore.json}
 
 # The smoke script ends with one finish per session; everything before
 # them — ingest, queries, the error block, stats — runs pre-crash.
 # stats stays pre-crash by construction: cache counters are
 # warm-vs-cold dependent and sit outside the persistence law.
 grep -v -e '^#' -e '^$' ci/service_smoke.commands > "$WORK/all.commands"
-head -n -8 "$WORK/all.commands" > "$WORK/before.commands"
-tail -n 8 "$WORK/all.commands" > "$WORK/after.commands"
-if [ "$(grep -c '"cmd":"finish"' "$WORK/after.commands")" -ne 8 ]; then
-    echo "service_smoke.commands no longer ends with the eight finish lines" >&2
+head -n -9 "$WORK/all.commands" > "$WORK/before.commands"
+tail -n 9 "$WORK/all.commands" > "$WORK/after.commands"
+if [ "$(grep -c '"cmd":"finish"' "$WORK/after.commands")" -ne 9 ]; then
+    echo "service_smoke.commands no longer ends with the nine finish lines" >&2
     exit 1
 fi
 
@@ -57,7 +62,7 @@ echo "== pre-crash: ingest + queries, then snapshot every session =="
 start_server "$WORK/source.log"
 connect
 while IFS= read -r line; do ask "$line"; done \
-    < "$WORK/before.commands" > serve-crashrestore.json
+    < "$WORK/before.commands" > "$OUT"
 for s in $SESSIONS; do
     response=$(ask "{\"cmd\":\"snapshot\",\"session\":\"$s\"}")
     case "$response" in
@@ -85,10 +90,10 @@ for s in $SESSIONS; do
     esac
 done
 while IFS= read -r line; do ask "$line"; done \
-    < "$WORK/after.commands" >> serve-crashrestore.json
+    < "$WORK/after.commands" >> "$OUT"
 exec 3<&- 3>&-
 wait "$SERVER_PID"
 
 echo "== the crash is byte-invisible =="
-diff ci/service_smoke.golden serve-crashrestore.json
-echo "all $(wc -l < serve-crashrestore.json) stitched responses match the golden"
+diff ci/service_smoke.golden "$OUT"
+echo "all $(wc -l < "$OUT") stitched responses match the golden"

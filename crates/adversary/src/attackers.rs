@@ -16,6 +16,7 @@
 use crate::game::Adversary;
 use sc_graph::{Coloring, Edge, Graph, VertexId};
 use sc_hash::SplitMix64;
+use sc_stream::SignedEdge;
 
 /// Replays a fixed edge sequence, ignoring the algorithm's outputs.
 #[derive(Debug, Clone)]
@@ -334,6 +335,59 @@ impl Adversary for LevelBoundaryAttacker {
     }
 }
 
+/// The deletion-aware feedback attacker (turnstile games only).
+///
+/// Each round it either presses the classic monochromatic attack — join
+/// the same-colored pair with the most room — or **retracts** the edge it
+/// inserted last round, oscillating the live graph. The deletion is the
+/// attack: an algorithm that keeps stale state about departed edges
+/// either wastes its space budget on ghosts or, worse, lets them
+/// constrain future colorings; a correct turnstile algorithm must shrug
+/// the oscillation off exactly like [`MonochromaticAttacker`] pressure.
+#[derive(Debug, Clone)]
+pub struct OscillationAttacker {
+    inner: MonochromaticAttacker,
+    rng: SplitMix64,
+    last_inserted: Option<Edge>,
+}
+
+impl OscillationAttacker {
+    /// Creates the attacker for `n` vertices with degree budget `delta`.
+    pub fn new(n: usize, delta: usize, seed: u64) -> Self {
+        Self {
+            inner: MonochromaticAttacker::new(n, delta, seed),
+            rng: SplitMix64::new(seed ^ 0x05C1),
+            last_inserted: None,
+        }
+    }
+}
+
+impl Adversary for OscillationAttacker {
+    // In an insert-only game it degrades to the plain monochromatic
+    // attack (the oscillation needs the signed stream).
+    fn next_edge(&mut self, last: &Coloring, g: &Graph) -> Option<Edge> {
+        self.inner.next_edge(last, g)
+    }
+
+    fn next_token(&mut self, last: &Coloring, g: &Graph) -> Option<SignedEdge> {
+        // Half the time, retract last round's insertion: its endpoints
+        // were just forced apart, so deleting it tests whether the
+        // algorithm can *release* that constraint.
+        if let Some(e) = self.last_inserted.take() {
+            if g.has_edge(e.u(), e.v()) && self.rng.below(2) == 0 {
+                return Some(SignedEdge::delete(e));
+            }
+        }
+        let e = self.inner.next_edge(last, g)?;
+        self.last_inserted = Some(e);
+        Some(SignedEdge::insert(e))
+    }
+
+    fn name(&self) -> &'static str {
+        "oscillation"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +468,34 @@ mod tests {
             }
         }
         assert!(broke, "the attack should break small-list palette sparsification");
+    }
+
+    #[test]
+    fn oscillation_attacker_actually_deletes_and_respects_budget() {
+        use crate::game::run_signed_game;
+        let (n, delta) = (40, 6);
+        let mut adv = OscillationAttacker::new(n, delta, 9);
+        // Budget covers every edge the attack can keep live.
+        let mut colorer = streamcolor::DynamicColorer::new(n, n * delta / 2, 5);
+        let report = run_signed_game(&mut colorer, &mut adv, n, 150);
+        assert!(report.deletions > 10, "oscillation produced {} deletions", report.deletions);
+        assert!(report.final_graph.max_degree() <= delta);
+        assert!(
+            report.survived(),
+            "the turnstile colorer failed at round {:?} under oscillation",
+            report.first_failure_round
+        );
+    }
+
+    #[test]
+    fn oscillation_degrades_to_monochromatic_in_insert_only_games() {
+        let (n, delta) = (40, 6);
+        let mut adv = OscillationAttacker::new(n, delta, 9);
+        let mut colorer = RobustColorer::new(n, delta, 5);
+        let report = run_game(&mut colorer, &mut adv, n, 100);
+        assert_eq!(report.deletions, 0);
+        assert!(report.rounds >= 50);
+        assert!(report.survived());
     }
 
     #[test]

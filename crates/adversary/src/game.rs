@@ -9,7 +9,7 @@
 //! validating every output against it.
 
 use sc_graph::{Coloring, Edge, Graph};
-use sc_stream::{EngineConfig, EngineSession, StreamingColorer};
+use sc_stream::{EngineConfig, EngineSession, SignedEdge, StreamingColorer};
 
 /// An adaptive stream-generating adversary.
 pub trait Adversary {
@@ -18,6 +18,14 @@ pub trait Adversary {
     /// Returning `None` ends the game.
     fn next_edge(&mut self, last_output: &Coloring, graph: &Graph) -> Option<Edge>;
 
+    /// Produces the next **signed** token for turnstile games
+    /// ([`run_signed_game`]). The default wraps [`Adversary::next_edge`]
+    /// as an insertion, so every insert-only adversary plays the signed
+    /// game unchanged; deletion-aware attackers override this.
+    fn next_token(&mut self, last_output: &Coloring, graph: &Graph) -> Option<SignedEdge> {
+        self.next_edge(last_output, graph).map(SignedEdge::insert)
+    }
+
     /// Display name for reports.
     fn name(&self) -> &'static str;
 }
@@ -25,8 +33,10 @@ pub trait Adversary {
 /// Outcome of one adversarial game.
 #[derive(Debug, Clone)]
 pub struct GameReport {
-    /// Edges the adversary inserted.
+    /// Tokens the adversary produced (insertions in the classic game).
     pub rounds: usize,
+    /// How many of those tokens were deletions (0 in the classic game).
+    pub deletions: usize,
     /// Outputs that were improper for the graph-so-far (the paper's error
     /// events; a robust algorithm with error `δ` should have none, w.h.p.).
     pub improper_outputs: usize,
@@ -130,6 +140,97 @@ where
 
     GameReport {
         rounds,
+        deletions: 0,
+        improper_outputs: improper,
+        first_failure_round: first_failure,
+        max_colors,
+        final_graph: graph,
+    }
+}
+
+/// Referees a **turnstile** game: the adversary may delete as well as
+/// insert, and every output is validated against the *live* graph.
+///
+/// Same adaptive discipline as [`run_game`] (per-token observation), with
+/// the referee enforcing stream sanity: an inserted edge must be absent,
+/// a deleted edge present (simple-graph multiplicities — the referee
+/// panics on a malformed adversary rather than blaming the colorer). The
+/// colorer must support deletions; an insert-only colorer's
+/// offender-naming rejection propagates as a panic.
+pub fn run_signed_game<C, A>(
+    colorer: &mut C,
+    adversary: &mut A,
+    n: usize,
+    max_rounds: usize,
+) -> GameReport
+where
+    C: StreamingColorer + ?Sized,
+    A: Adversary + ?Sized,
+{
+    run_signed_game_with_config(colorer, adversary, n, max_rounds, EngineConfig::per_edge())
+}
+
+/// [`run_signed_game`] with an explicit engine configuration (see
+/// [`run_game_with_config`] for what the config governs).
+pub fn run_signed_game_with_config<C, A>(
+    colorer: &mut C,
+    adversary: &mut A,
+    n: usize,
+    max_rounds: usize,
+    config: EngineConfig,
+) -> GameReport
+where
+    C: StreamingColorer + ?Sized,
+    A: Adversary + ?Sized,
+{
+    let mut graph = Graph::empty(n);
+    let mut improper = 0usize;
+    let mut first_failure = None;
+    let mut max_colors = 0usize;
+    let mut rounds = 0usize;
+    let mut deletions = 0usize;
+
+    let mut session = EngineSession::new(colorer, EngineConfig { chunk_size: 1, ..config });
+    let mut output: Coloring = session.observe().coloring;
+
+    for round in 1..=max_rounds {
+        let Some(t) = adversary.next_token(&output, &graph) else { break };
+        let e = t.edge;
+        if t.is_insert() {
+            assert!(
+                !graph.has_edge(e.u(), e.v()),
+                "adversary {} re-inserted live edge {e} (simple graphs only)",
+                adversary.name()
+            );
+            graph.add_edge(e);
+        } else {
+            assert!(
+                graph.has_edge(e.u(), e.v()),
+                "adversary {} deleted absent edge {e}",
+                adversary.name()
+            );
+            graph.remove_edge(e);
+            deletions += 1;
+        }
+        session
+            .push_signed(t)
+            .unwrap_or_else(|err| panic!("signed game referee rejected a token: {err}"));
+        rounds = round;
+
+        let observed = session.observe();
+        max_colors = max_colors.max(observed.colors);
+        output = observed.coloring;
+        if !output.is_proper_total(&graph) {
+            improper += 1;
+            if first_failure.is_none() {
+                first_failure = Some(round);
+            }
+        }
+    }
+
+    GameReport {
+        rounds,
+        deletions,
         improper_outputs: improper,
         first_failure_round: first_failure,
         max_colors,
@@ -174,6 +275,51 @@ mod tests {
         assert_eq!(inc.improper_outputs, scr.improper_outputs);
         assert_eq!(inc.max_colors, scr.max_colors);
         assert_eq!(inc.final_graph.m(), scr.final_graph.m());
+    }
+
+    #[test]
+    fn signed_game_with_insert_only_adversary_matches_classic_game() {
+        let g = generators::gnp_with_max_degree(40, 6, 0.4, 3);
+        let edges = generators::shuffled_edges(&g, 3);
+        let classic = {
+            let mut adversary = ObliviousReplay::new(edges.clone());
+            let mut colorer = RobustColorer::new(40, 6, 8);
+            run_game(&mut colorer, &mut adversary, 40, 10_000)
+        };
+        let signed = {
+            let mut adversary = ObliviousReplay::new(edges);
+            let mut colorer = RobustColorer::new(40, 6, 8);
+            run_signed_game(&mut colorer, &mut adversary, 40, 10_000)
+        };
+        assert_eq!(signed.rounds, classic.rounds);
+        assert_eq!(signed.deletions, 0);
+        assert_eq!(signed.improper_outputs, classic.improper_outputs);
+        assert_eq!(signed.max_colors, classic.max_colors);
+        assert_eq!(signed.final_graph.m(), classic.final_graph.m());
+    }
+
+    #[test]
+    #[should_panic(expected = "insert-only colorer cannot delete edge")]
+    fn signed_game_names_insert_only_colorers_on_deletion() {
+        struct InsertDelete(usize);
+        impl crate::game::Adversary for InsertDelete {
+            fn next_edge(&mut self, _: &Coloring, _: &Graph) -> Option<Edge> {
+                unreachable!("signed game uses next_token")
+            }
+            fn next_token(&mut self, _: &Coloring, _: &Graph) -> Option<sc_stream::SignedEdge> {
+                self.0 += 1;
+                match self.0 {
+                    1 => Some(sc_stream::SignedEdge::insert(Edge::new(0, 1))),
+                    2 => Some(sc_stream::SignedEdge::delete(Edge::new(0, 1))),
+                    _ => None,
+                }
+            }
+            fn name(&self) -> &'static str {
+                "insert-delete"
+            }
+        }
+        let mut colorer = RobustColorer::new(10, 3, 1);
+        let _ = run_signed_game(&mut colorer, &mut InsertDelete(0), 10, 10);
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn scenario_grid(source: &SourceSpec) -> Vec<Scenario> {
         ("bucket Õ(∆) [BG18]", ColorerSpec::Bg18 { buckets: None }),
         ("degeneracy κ(1+ε) [BCG20]", ColorerSpec::Bcg20 { epsilon: 0.5 }),
         ("batch-greedy", ColorerSpec::BatchGreedy),
+        ("dynamic-sr (turnstile)", ColorerSpec::DynamicSr { sparsity: None }),
         ("trivial n-coloring", ColorerSpec::Trivial),
     ];
     specs
@@ -210,10 +211,49 @@ fn emit_engine_bench(profile: &Profile) {
             per_edge_ms / batched_ms.max(1e-9),
         ));
     }
+
+    // The dynamic section: turnstile (churn) ingest through the signed
+    // route — same median protocol, but the stream carries deletions
+    // and oscillations, so this times the sparse-recovery sketch's
+    // update path rather than an insert-only append.
+    let churn = SourceSpec::churn(n, delta, 19, n / 2);
+    let tokens = churn.signed_tokens();
+    let dyn_delta = churn.stream_delta();
+    let deletions = tokens.iter().filter(|t| !t.is_insert()).count();
+    let spec = ColorerSpec::DynamicSr { sparsity: None };
+    let median_signed = |config: &EngineConfig| -> (f64, sc_graph::Coloring) {
+        let engine = StreamEngine::new(config.clone());
+        let mut times: Vec<f64> = Vec::with_capacity(reps);
+        let mut coloring = None;
+        for _ in 0..reps {
+            let mut colorer = spec.build(n, dyn_delta, 5, None).expect("dynamic spec");
+            let report = engine
+                .run_signed(colorer.as_mut(), &tokens)
+                .expect("churn sources emit well-formed turnstile streams");
+            times.push(report.elapsed.as_secs_f64() * 1e3);
+            coloring = Some(report.final_coloring);
+        }
+        times.sort_by(f64::total_cmp);
+        (times[times.len() / 2], coloring.expect("reps >= 1"))
+    };
+    let (per_edge_ms, c1) = median_signed(&EngineConfig::per_edge());
+    let (batched_ms, c2) = median_signed(&EngineConfig::batched(256));
+    assert_eq!(c1, c2, "dynamic_sr: batching changed the coloring");
+    entries.push(format!(
+        "  {{\"algo\":\"dynamic_sr\",\"kind\":\"churn-ingest\",\"n\":{},\"delta\":{},\"tokens\":{},\"deletions\":{},\"per_edge_ms\":{:.3},\"batched_ms\":{:.3},\"chunk\":256,\"speedup\":{:.3}}}",
+        n,
+        dyn_delta,
+        tokens.len(),
+        deletions,
+        per_edge_ms,
+        batched_ms,
+        per_edge_ms / batched_ms.max(1e-9),
+    ));
+
     write_bench_file(
         &profile.bench_path("engine"),
         &entries,
-        "batched vs per-edge ingestion timings",
+        "batched vs per-edge ingestion timings (insert-only + turnstile churn)",
     );
 }
 
@@ -346,6 +386,51 @@ fn emit_query_bench(profile: &Profile) {
             n,
             delta,
             g.m(),
+            ri.checkpoints.len() + 1,
+            scratch_ms,
+            incremental_ms,
+            scratch_ms / incremental_ms.max(1e-9),
+        ));
+    }
+
+    // The dynamic section: checkpointed queries over a turnstile
+    // (churn) stream — every scheduled observation lands on a sketch
+    // that has absorbed deletions, so this times `query_incremental`'s
+    // cache against from-scratch decodes under real churn.
+    {
+        let churn = SourceSpec::churn(n, delta, 23, n / 2);
+        let tokens = churn.signed_tokens();
+        let dyn_delta = churn.stream_delta();
+        let every = (tokens.len() / queries).max(1);
+        let schedule = QuerySchedule::EveryEdges(every);
+        let spec = ColorerSpec::DynamicSr { sparsity: None };
+        let run_once = |config: EngineConfig| {
+            let mut colorer = spec.build(n, dyn_delta, 5, None).expect("dynamic spec");
+            let start = Instant::now();
+            let report = StreamEngine::new(config)
+                .run_signed(colorer.as_mut(), &tokens)
+                .expect("churn sources emit well-formed turnstile streams");
+            (start.elapsed().as_secs_f64() * 1e3, report)
+        };
+        let base = EngineConfig::batched(256).with_schedule(schedule);
+        let (_, ri) = run_once(base.clone());
+        let (_, rs) = run_once(base.clone().scratch_queries());
+        assert_eq!(ri.final_coloring, rs.final_coloring, "dynamic_sr: query paths diverge");
+        for (a, b) in ri.checkpoints.iter().zip(&rs.checkpoints) {
+            assert_eq!(a.coloring, b.coloring, "dynamic_sr: checkpoint diverges at {}", a.prefix_len);
+        }
+        let median = |config: EngineConfig| -> f64 {
+            let mut times: Vec<f64> = (0..reps).map(|_| run_once(config.clone()).0).collect();
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let incremental_ms = median(base.clone());
+        let scratch_ms = median(base.scratch_queries());
+        entries.push(format!(
+            "  {{\"algo\":\"dynamic_sr\",\"kind\":\"checkpointed-churn\",\"n\":{},\"delta\":{},\"tokens\":{},\"queries\":{},\"scratch_ms\":{:.3},\"incremental_ms\":{:.3},\"speedup\":{:.3}}}",
+            n,
+            dyn_delta,
+            tokens.len(),
             ri.checkpoints.len() + 1,
             scratch_ms,
             incremental_ms,

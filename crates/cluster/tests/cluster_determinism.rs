@@ -27,7 +27,8 @@ const WORKER: &str = env!("CARGO_BIN_EXE_cluster_worker");
 const PATIENT: Duration = Duration::from_secs(120);
 
 /// A small mixed grid: streaming + offline specs, a stored source
-/// (exercising wire canonicalization of adjacency order), varied
+/// (exercising wire canonicalization of adjacency order), dynamic
+/// (turnstile) sources under the sparse-recovery colorer, varied
 /// arrival orders and checkpoint schedules.
 fn grid_job() -> ShardJob {
     let family = SourceSpec::exact_degree(60, 6, 3);
@@ -48,6 +49,14 @@ fn grid_job() -> ShardJob {
             .with_order(StreamOrder::HubsLast)
             .with_seed(15),
         Scenario::new(stored, ColorerSpec::OfflineGreedy).with_seed(16),
+        Scenario::new(SourceSpec::churn(48, 5, 17, 4), ColorerSpec::DynamicSr { sparsity: None })
+            .with_seed(17)
+            .with_schedule(QuerySchedule::EveryEdges(19)),
+        Scenario::new(
+            SourceSpec::sliding_window(40, 5, 18, 24),
+            ColorerSpec::DynamicSr { sparsity: None },
+        )
+        .with_seed(18),
     ])
 }
 

@@ -43,6 +43,25 @@ fn session_scripts() -> Vec<Vec<String>> {
         lines.push(format!(r#"{{"cmd":"finish","session":"{name}"}}"#));
         scripts.push(lines);
     }
+    // A fifth, turnstile tenant: the dynamic colorer fed through both
+    // signed vocabularies (`"sign":"delete"` on push, `±u-v` tokens on
+    // push_batch), so cross-session isolation is proven with deletions
+    // in the interleaving. Every delete targets a then-live edge.
+    scripts.push(
+        [
+            r#"{"cmd":"open","session":"s4","n":16,"delta":4,"colorer":"dynamic-sr","seed":25}"#,
+            r#"{"cmd":"push","session":"s4","edge":"0-1"}"#,
+            r#"{"cmd":"push","session":"s4","edge":"1-2"}"#,
+            r#"{"cmd":"push_batch","session":"s4","edges":"+2-3 -1-2 +3-4"}"#,
+            r#"{"cmd":"push","session":"s4","edge":"0-1","sign":"delete"}"#,
+            r#"{"cmd":"observe","session":"s4"}"#,
+            r#"{"cmd":"push_batch","session":"s4","edges":"8-9 9-10"}"#,
+            r#"{"cmd":"stats","session":"s4"}"#,
+            r#"{"cmd":"finish","session":"s4"}"#,
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
     scripts
 }
 
@@ -156,15 +175,30 @@ fn soak_256_connections_match_per_connection_reference() {
     let scripts: Vec<Vec<String>> = (0..CLIENTS)
         .map(|i| {
             let name = format!("c{i}");
-            let colorer = ["trivial", "store-all", "robust"][i % 3];
-            vec![
+            let colorer = ["trivial", "store-all", "robust", "dynamic-sr"][i % 4];
+            let mut lines = vec![
                 format!(
                     r#"{{"cmd":"open","session":"{name}","n":12,"delta":3,"colorer":"{colorer}","seed":{i}}}"#
                 ),
                 format!(r#"{{"cmd":"push","session":"{name}","edge":"{}-{}"}}"#, i % 4, 4 + i % 5),
-                format!(r#"{{"cmd":"observe","session":"{name}"}}"#),
-                format!(r#"{{"cmd":"finish","session":"{name}"}}"#),
-            ]
+            ];
+            if colorer == "dynamic-sr" {
+                // Turnstile clients retract and re-insert their edge, so
+                // a quarter of the soak carries live deletions.
+                lines.push(format!(
+                    r#"{{"cmd":"push","session":"{name}","edge":"{}-{}","sign":"delete"}}"#,
+                    i % 4,
+                    4 + i % 5
+                ));
+                lines.push(format!(
+                    r#"{{"cmd":"push_batch","session":"{name}","edges":"+{}-{}"}}"#,
+                    i % 4,
+                    4 + i % 5
+                ));
+            }
+            lines.push(format!(r#"{{"cmd":"observe","session":"{name}"}}"#));
+            lines.push(format!(r#"{{"cmd":"finish","session":"{name}"}}"#));
+            lines
         })
         .collect();
 

@@ -1,0 +1,12 @@
+//! Dynamic (turnstile) streaming: sparse-recovery sketching and the
+//! deletion-supporting colorer built on it.
+//!
+//! See [`sparse_recovery`] for the `(id, ±1)` recovery primitive and
+//! [`colorer`] for the [`DynamicColorer`] that stores nothing but such
+//! a sketch over the edge universe.
+
+pub mod colorer;
+pub mod sparse_recovery;
+
+pub use colorer::DynamicColorer;
+pub use sparse_recovery::SparseRecovery;

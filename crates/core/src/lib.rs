@@ -51,6 +51,7 @@
 
 pub mod baselines;
 pub mod det;
+pub mod dynamic;
 pub mod listcolor;
 pub mod robust;
 pub mod verify;
@@ -60,5 +61,6 @@ pub use baselines::{
     PaletteSparsification, TrivialColorer,
 };
 pub use det::{deterministic_coloring, DerandStrategy, DetConfig, DetReport};
+pub use dynamic::{DynamicColorer, SparseRecovery};
 pub use listcolor::{list_coloring, ListConfig, ListReport};
 pub use robust::{AutoRobust, RandEfficientColorer, RobustColorer, RobustParams, StoreAllColorer};

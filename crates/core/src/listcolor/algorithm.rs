@@ -136,6 +136,9 @@ pub fn list_coloring<S: StreamSource + ?Sized>(
                         residual.add_edge(e);
                     }
                 }
+                sc_stream::StreamItem::Deletion(e) => {
+                    panic!("list colorer: insert-only algorithm cannot delete edge {e}")
+                }
                 sc_stream::StreamItem::ColorList(x, l) => {
                     if in_u[x as usize] {
                         lists[x as usize] = l;
@@ -301,6 +304,9 @@ fn list_epoch<S: StreamSource + ?Sized>(
                             }
                         }
                     }
+                }
+                sc_stream::StreamItem::Deletion(e) => {
+                    panic!("list colorer: insert-only algorithm cannot delete edge {e}")
                 }
             }
         }

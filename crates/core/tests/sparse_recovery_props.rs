@@ -1,0 +1,123 @@
+//! Property coverage for the s-sparse-recovery sketch, the primitive
+//! the turnstile colorer stands on.
+//!
+//! Two guarantees, across random seeds, universes, budgets, and update
+//! sequences:
+//!
+//! 1. **Exact recovery at support ≤ s** — after any signed update
+//!    sequence whose net support fits the budget (including ids that
+//!    cancel to zero, negative net counts, and multiplicities > 1),
+//!    `decode` returns the exact `(id, net_count)` multiset.
+//! 2. **Loud failure above s** — when the support exceeds the budget,
+//!    decode may refuse, but it must never answer wrong: every `Ok` is
+//!    checked against the true multiset, and overloads that do fail
+//!    name the sparsity budget.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use streamcolor::SparseRecovery;
+
+/// Applies `updates` to a fresh sketch and the true net-count map.
+fn load(
+    universe: u64,
+    sparsity: usize,
+    seed: u64,
+    updates: &[(u64, i64)],
+) -> (SparseRecovery, BTreeMap<u64, i64>) {
+    let mut sketch = SparseRecovery::new(universe, sparsity, seed);
+    let mut truth: BTreeMap<u64, i64> = BTreeMap::new();
+    for &(id, delta) in updates {
+        sketch.update(id, delta);
+        let c = truth.entry(id).or_insert(0);
+        *c += delta;
+        if *c == 0 {
+            truth.remove(&id);
+        }
+    }
+    (sketch, truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Support within budget: decode is the exact multiset, always.
+    #[test]
+    fn decode_is_exact_whenever_support_fits_the_budget(
+        seed in any::<u64>(),
+        universe in 8u64..100_000,
+        sparsity in 1usize..40,
+        raw in prop::collection::vec((any::<u64>(), -3i64..4), 0..120),
+    ) {
+        // Shape the raw updates so the *net* support fits the budget:
+        // fold ids into a pool of at most `sparsity` distinct values
+        // (cancellations and multiplicities survive the fold).
+        let pool: Vec<u64> = (0..sparsity as u64).map(|i| {
+            // Spread pool ids across the universe deterministically.
+            (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 0x1_0001)) % universe
+        }).collect();
+        let updates: Vec<(u64, i64)> = raw
+            .iter()
+            .filter(|&&(_, d)| d != 0)
+            .map(|&(id, d)| (pool[(id % pool.len() as u64) as usize], d))
+            .collect();
+        let (sketch, truth) = load(universe, sparsity, seed, &updates);
+        let expected: Vec<(u64, i64)> = truth.into_iter().collect();
+        let decoded = sketch.decode().expect("support ≤ s must decode");
+        let empty = decoded.is_empty();
+        prop_assert_eq!(decoded, expected);
+        prop_assert_eq!(sketch.is_empty(), empty, "is_empty must agree with decode");
+    }
+
+    /// Support beyond budget: never a silently wrong answer. Refusals
+    /// name the budget; the rare successful peel (the sketch's slack is
+    /// real) must still be the exact multiset.
+    #[test]
+    fn overloaded_sketches_fail_loudly_or_answer_exactly(
+        seed in any::<u64>(),
+        sparsity in 1usize..8,
+        extra in 1usize..40,
+    ) {
+        let universe = 100_000u64;
+        let support = sparsity * 2 + extra;
+        let updates: Vec<(u64, i64)> = (0..support as u64)
+            .map(|i| ((i * 7919 + seed % 1000) % universe, 1))
+            .collect();
+        // 7919 is prime and support ≪ universe/7919 collisions aside —
+        // dedup to be exact about the intended support.
+        let (sketch, truth) = load(universe, sparsity, seed, &updates);
+        prop_assume!(truth.len() > sparsity);
+        match sketch.decode() {
+            Ok(decoded) => {
+                let expected: Vec<(u64, i64)> = truth.into_iter().collect();
+                prop_assert_eq!(decoded, expected, "an Ok decode must never be wrong");
+            }
+            Err(message) => {
+                prop_assert!(
+                    message.contains(&format!("s={sparsity}")),
+                    "refusal must name the budget: {}", message
+                );
+            }
+        }
+    }
+
+    /// Deleting everything returns the sketch to empty — decode of the
+    /// all-cancelled sketch is the empty multiset for any insert set,
+    /// even ones far beyond the budget while live.
+    #[test]
+    fn full_cancellation_decodes_empty_regardless_of_peak_support(
+        seed in any::<u64>(),
+        sparsity in 1usize..10,
+        raw_ids in prop::collection::vec(0u64..100_000, 1..60),
+    ) {
+        let ids: std::collections::BTreeSet<u64> = raw_ids.into_iter().collect();
+        let mut sketch = SparseRecovery::new(100_000, sparsity, seed);
+        for &id in &ids {
+            sketch.update(id, 1);
+        }
+        for &id in &ids {
+            sketch.update(id, -1);
+        }
+        prop_assert!(sketch.is_empty());
+        prop_assert_eq!(sketch.decode().expect("empty sketch decodes"), vec![]);
+    }
+}

@@ -5,7 +5,7 @@ use crate::runner::Runner;
 use crate::spec::ColorerSpec;
 use sc_adversary::{
     summarize, Adversary, BufferBoundaryAttacker, CliqueBuilder, GameReport, LevelBoundaryAttacker,
-    MonochromaticAttacker, ObliviousReplay, RandomAdversary, TrialSummary,
+    MonochromaticAttacker, ObliviousReplay, OscillationAttacker, RandomAdversary, TrialSummary,
 };
 use sc_graph::Edge;
 use std::sync::Arc;
@@ -26,6 +26,10 @@ pub enum AdversarySpec {
     },
     /// Targets level thresholds of Algorithm 2.
     LevelBoundary,
+    /// Delete/re-insert oscillation of monochromatic edges (a turnstile
+    /// attack: [`Runner::run_attack`] referees it with the signed game,
+    /// so the victim must support deletions).
+    Oscillation,
     /// Replays a fixed edge list (turns a game into an oblivious run).
     Replay(Arc<Vec<Edge>>),
 }
@@ -41,8 +45,15 @@ impl AdversarySpec {
                 Box::new(BufferBoundaryAttacker::new(n, delta, buffer.unwrap_or(n), seed))
             }
             AdversarySpec::LevelBoundary => Box::new(LevelBoundaryAttacker::new(n, delta, seed)),
+            AdversarySpec::Oscillation => Box::new(OscillationAttacker::new(n, delta, seed)),
             AdversarySpec::Replay(edges) => Box::new(ObliviousReplay::new(edges.iter().copied())),
         }
+    }
+
+    /// Whether this adversary's stream carries deletions, i.e. the game
+    /// must be refereed by [`sc_adversary::run_signed_game`].
+    pub fn is_signed(&self) -> bool {
+        matches!(self, AdversarySpec::Oscillation)
     }
 }
 
@@ -116,7 +127,11 @@ impl Runner {
             .expect("attack victims must be streaming colorers");
         let mut adversary =
             scenario.adversary.build(scenario.n, scenario.delta, scenario.adversary_seed);
-        sc_adversary::run_game(&mut victim, adversary.as_mut(), scenario.n, scenario.rounds)
+        if scenario.adversary.is_signed() {
+            sc_adversary::run_signed_game(&mut victim, adversary.as_mut(), scenario.n, scenario.rounds)
+        } else {
+            sc_adversary::run_game(&mut victim, adversary.as_mut(), scenario.n, scenario.rounds)
+        }
     }
 
     /// Runs `trials` independently seeded games in parallel and
@@ -180,6 +195,22 @@ mod tests {
             let r = runner.run_attack(&s);
             assert!(r.rounds > 0);
         }
+    }
+
+    #[test]
+    fn oscillation_attack_runs_the_signed_game() {
+        let s = AttackScenario::new(
+            ColorerSpec::DynamicSr { sparsity: None },
+            AdversarySpec::Oscillation,
+            40,
+            6,
+        )
+        .with_rounds(120)
+        .with_seed(5);
+        assert!(s.adversary.is_signed());
+        let r = Runner::sequential().run_attack(&s);
+        assert!(r.deletions > 5, "oscillation deleted only {} times", r.deletions);
+        assert!(r.survived(), "dynamic-sr failed at round {:?}", r.first_failure_round);
     }
 
     #[test]

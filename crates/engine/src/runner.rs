@@ -65,7 +65,20 @@ impl Runner {
     }
 
     /// Runs one scenario to completion.
+    ///
+    /// Dynamic (turnstile) sources take the signed route: the token
+    /// sequence is fed as-is (the scenario's `order` is ignored —
+    /// permuting a signed stream could move an edge past its own
+    /// deletion), outputs are judged against the **live** graph, and
+    /// the colorer is built with the union-graph degree bound.
+    ///
+    /// # Panics
+    /// Panics, naming the offender, when a dynamic source meets a
+    /// non-streaming spec or an insert-only colorer.
     pub fn run(&self, scenario: &Scenario) -> RunOutcome {
+        if scenario.source.is_dynamic() {
+            return self.run_dynamic(scenario);
+        }
         let started = Instant::now();
         let g = scenario.source.materialize();
         let delta = g.max_degree();
@@ -127,6 +140,45 @@ impl Runner {
     /// input order in the results.
     pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<RunOutcome> {
         par_map(self.threads, scenarios, |_, s| self.run(s))
+    }
+
+    /// The signed (turnstile) route of [`Runner::run`].
+    fn run_dynamic(&self, scenario: &Scenario) -> RunOutcome {
+        let started = Instant::now();
+        let live = scenario.source.materialize();
+        let delta = scenario.source.stream_delta();
+        let tokens = scenario.source.signed_tokens();
+        assert!(
+            scenario.colorer.is_streaming(),
+            "{} cannot run a dynamic source (it owns its pass structure; turnstile streams \
+             are single-pass)",
+            scenario.colorer.label()
+        );
+        let mut colorer = scenario
+            .colorer
+            .build(live.n(), delta, scenario.seed, Some(&live))
+            .expect("streaming spec with a materialized graph always builds");
+        let report = StreamEngine::new(scenario.engine.clone())
+            .run_signed(&mut colorer, &tokens)
+            .unwrap_or_else(|e| panic!("dynamic scenario {:?}: {e}", scenario.label));
+
+        let coloring = report.final_coloring;
+        let proper = coloring.is_proper_total(&live);
+        let colors = coloring.num_distinct_colors();
+        RunOutcome {
+            label: scenario.label.clone(),
+            algo: colorer.name().to_string(),
+            n: live.n(),
+            m: live.m(),
+            delta,
+            coloring,
+            proper,
+            colors,
+            passes: Some(report.passes),
+            space_bits: Some(report.peak_space_bits),
+            checkpoints: report.checkpoints,
+            elapsed: started.elapsed(),
+        }
     }
 }
 
@@ -197,6 +249,43 @@ mod tests {
         let out = Runner::sequential().run(&s);
         assert_eq!(out.checkpoints.len(), m / 10);
         assert!(out.proper);
+    }
+
+    #[test]
+    fn dynamic_sources_run_the_signed_route() {
+        let runner = Runner::sequential();
+        for source in
+            [SourceSpec::churn(50, 6, 7, 20), SourceSpec::sliding_window(50, 6, 7, 25)]
+        {
+            let live = source.materialize();
+            let out = runner.run(&Scenario::new(
+                source.clone(),
+                ColorerSpec::DynamicSr { sparsity: None },
+            ));
+            assert!(out.proper, "{source:?} colored the live graph improperly");
+            assert_eq!(out.m, live.m(), "outcome is judged against the live graph");
+            assert_eq!(out.passes, Some(1));
+            assert!(out.space_bits.is_some());
+        }
+    }
+
+    #[test]
+    fn dynamic_chunking_is_outcome_invariant() {
+        let source = SourceSpec::churn(40, 5, 3, 12);
+        let spec = ColorerSpec::DynamicSr { sparsity: None };
+        let per_edge = Runner::sequential()
+            .run(&Scenario::new(source.clone(), spec.clone()).with_engine(EngineConfig::per_edge()));
+        let batched = Runner::sequential()
+            .run(&Scenario::new(source, spec).with_engine(EngineConfig::batched(7)));
+        assert_eq!(per_edge.coloring, batched.coloring, "chunking changed a dynamic run");
+        assert_eq!(per_edge.space_bits, batched.space_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert-only colorer cannot delete edge")]
+    fn insert_only_colorers_reject_dynamic_sources_loudly() {
+        let s = Scenario::new(SourceSpec::churn(30, 4, 1, 4), ColorerSpec::StoreAll);
+        let _ = Runner::sequential().run(&s);
     }
 
     #[test]

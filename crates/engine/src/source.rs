@@ -1,9 +1,19 @@
 //! Declarative graph sources.
 
-use sc_graph::{generators, Graph};
+use sc_graph::{generators, Edge, Graph};
+use sc_hash::SplitMix64;
+use sc_stream::SignedEdge;
 use std::sync::Arc;
 
 /// Where a scenario's graph comes from.
+///
+/// The first two variants are **insert-only**: the stream is some
+/// arrangement of a fixed graph's edges. The [`SourceSpec::Churn`] and
+/// [`SourceSpec::SlidingWindow`] variants are **dynamic (turnstile)**:
+/// they emit a signed token stream ([`SourceSpec::signed_tokens`])
+/// carrying deletions, and [`SourceSpec::materialize`] returns the
+/// *live* graph after the whole stream — the graph every final output
+/// is judged against.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourceSpec {
     /// An already-materialized graph (e.g. read from a file), shared
@@ -21,6 +31,41 @@ pub enum SourceSpec {
         p: f64,
         /// Generator seed.
         seed: u64,
+    },
+    /// Turnstile churn over a `G(n, p)` base graph: edges arrive in
+    /// generator order, roughly every third insertion is followed by
+    /// the deletion of a random live edge, and `rounds` extra
+    /// delete/re-insert oscillations hammer the final live set. The
+    /// live graph is the base graph minus the churn casualties; edge
+    /// multiplicity never exceeds one.
+    Churn {
+        /// Number of vertices.
+        n: usize,
+        /// Degree bound of the base graph.
+        delta: usize,
+        /// Density of the base `G(n, p)`.
+        p: f64,
+        /// Generator seed (base graph and churn schedule).
+        seed: u64,
+        /// Extra delete/re-insert oscillations after the base stream.
+        rounds: usize,
+    },
+    /// Sliding-window turnstile over a `G(n, p)` base graph: edges
+    /// arrive in generator order and once more than `window` are live,
+    /// every insertion is paired with the deletion of the **oldest**
+    /// live edge. The live graph is the last `window` edges (or the
+    /// whole base graph when it is smaller).
+    SlidingWindow {
+        /// Number of vertices.
+        n: usize,
+        /// Degree bound of the base graph.
+        delta: usize,
+        /// Density of the base `G(n, p)`.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+        /// Maximum number of live edges.
+        window: usize,
     },
 }
 
@@ -78,15 +123,134 @@ impl SourceSpec {
         SourceSpec::Family { family: GraphFamily::ExactDegree, n, delta, p: 0.3, seed }
     }
 
-    /// Builds (or shares) the graph.
+    /// Shorthand: churn with the default density.
+    pub fn churn(n: usize, delta: usize, seed: u64, rounds: usize) -> Self {
+        SourceSpec::Churn { n, delta, p: 0.4, seed, rounds }
+    }
+
+    /// Shorthand: sliding window with the default density.
+    pub fn sliding_window(n: usize, delta: usize, seed: u64, window: usize) -> Self {
+        SourceSpec::SlidingWindow { n, delta, p: 0.4, seed, window }
+    }
+
+    /// Whether this source's stream carries deletions. Dynamic sources
+    /// need a deletion-supporting colorer
+    /// ([`StreamingColorer::supports_deletions`](sc_stream::StreamingColorer::supports_deletions))
+    /// and ignore the scenario's
+    /// [`StreamOrder`](sc_stream::StreamOrder) — the signed token
+    /// sequence *is* the stream, and permuting it would reorder an edge
+    /// past its own deletion.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, SourceSpec::Churn { .. } | SourceSpec::SlidingWindow { .. })
+    }
+
+    /// Builds (or shares) the graph: the whole graph for insert-only
+    /// sources, the **live** graph (post-stream) for dynamic ones.
     pub fn materialize(&self) -> Arc<Graph> {
         match self {
             SourceSpec::Stored(g) => Arc::clone(g),
             SourceSpec::Family { family, n, delta, p, seed } => {
                 Arc::new(family.generate(*n, *delta, *p, *seed))
             }
+            SourceSpec::Churn { n, .. } | SourceSpec::SlidingWindow { n, .. } => {
+                let (tokens, _) = self.signed_stream();
+                Arc::new(live_graph(*n, &tokens))
+            }
         }
     }
+
+    /// The signed token stream of a dynamic source.
+    ///
+    /// Insert-only sources return their [`SourceSpec::materialize`]
+    /// edges as bare insertions (generator order), so every source has
+    /// a token form; dynamic sources are where the signs get
+    /// interesting.
+    pub fn signed_tokens(&self) -> Vec<SignedEdge> {
+        match self {
+            SourceSpec::Stored(_) | SourceSpec::Family { .. } => {
+                self.materialize().edges().map(SignedEdge::insert).collect()
+            }
+            _ => self.signed_stream().0,
+        }
+    }
+
+    /// The degree bound colorers should be built with: for dynamic
+    /// sources the max degree of the graph of **every edge ever
+    /// inserted** (an upper bound on the live degree at every prefix),
+    /// for insert-only sources the materialized graph's max degree.
+    pub fn stream_delta(&self) -> usize {
+        match self {
+            SourceSpec::Stored(_) | SourceSpec::Family { .. } => self.materialize().max_degree(),
+            _ => self.signed_stream().1,
+        }
+    }
+
+    /// Generates the token stream and the union-graph max degree.
+    fn signed_stream(&self) -> (Vec<SignedEdge>, usize) {
+        match *self {
+            SourceSpec::Churn { n, delta, p, seed, rounds } => {
+                let base = generators::gnp_with_max_degree(n, delta, p, seed);
+                let mut rng = SplitMix64::new(seed ^ 0xC0_u64);
+                let mut live: Vec<Edge> = Vec::new();
+                let mut tokens = Vec::new();
+                for e in base.edges() {
+                    tokens.push(SignedEdge::insert(e));
+                    live.push(e);
+                    // Roughly every third insertion, delete a random
+                    // live edge (possibly the one just inserted).
+                    if rng.below(3) == 0 && !live.is_empty() {
+                        let i = rng.below(live.len() as u64) as usize;
+                        let victim = live.swap_remove(i);
+                        tokens.push(SignedEdge::delete(victim));
+                    }
+                }
+                // Oscillation tail: delete + re-insert leaves the live
+                // set unchanged but forces the colorer through real
+                // turnstile transitions.
+                for _ in 0..rounds {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let e = live[rng.below(live.len() as u64) as usize];
+                    tokens.push(SignedEdge::delete(e));
+                    tokens.push(SignedEdge::insert(e));
+                }
+                (tokens, base.max_degree())
+            }
+            SourceSpec::SlidingWindow { n, delta, p, seed, window } => {
+                let base = generators::gnp_with_max_degree(n, delta, p, seed);
+                let window = window.max(1);
+                let mut held: std::collections::VecDeque<Edge> = std::collections::VecDeque::new();
+                let mut tokens = Vec::new();
+                for e in base.edges() {
+                    tokens.push(SignedEdge::insert(e));
+                    held.push_back(e);
+                    if held.len() > window {
+                        let oldest = held.pop_front().expect("window overflow implies an edge");
+                        tokens.push(SignedEdge::delete(oldest));
+                    }
+                }
+                (tokens, base.max_degree())
+            }
+            SourceSpec::Stored(_) | SourceSpec::Family { .. } => {
+                unreachable!("insert-only sources take the materialize() path")
+            }
+        }
+    }
+}
+
+/// Replays `tokens` over a multiplicity map and returns the live graph
+/// (canonical sorted-edge construction).
+fn live_graph(n: usize, tokens: &[SignedEdge]) -> Graph {
+    let mut live: std::collections::BTreeSet<Edge> = std::collections::BTreeSet::new();
+    for t in tokens {
+        if t.is_insert() {
+            assert!(live.insert(t.edge), "dynamic source inserted duplicate edge {}", t.edge);
+        } else {
+            assert!(live.remove(&t.edge), "dynamic source deleted absent edge {}", t.edge);
+        }
+    }
+    Graph::from_edges(n, live)
 }
 
 impl GraphFamily {
@@ -131,6 +295,54 @@ mod tests {
         let b = spec.materialize();
         assert_eq!(*a, *b);
         assert!(a.max_degree() <= 6);
+    }
+
+    #[test]
+    fn churn_streams_are_reproducible_and_single_multiplicity() {
+        let spec = SourceSpec::churn(40, 6, 11, 8);
+        assert!(spec.is_dynamic());
+        let a = spec.signed_tokens();
+        let b = spec.signed_tokens();
+        assert_eq!(a, b, "token stream must be seed-deterministic");
+        assert!(a.iter().any(|t| !t.is_insert()), "churn must actually delete");
+        // Replaying must never go below zero or above one per edge —
+        // live_graph asserts exactly that.
+        let live = spec.materialize();
+        assert_eq!(live.n(), 40);
+        assert!(live.max_degree() <= spec.stream_delta());
+        let inserts = a.iter().filter(|t| t.is_insert()).count();
+        let deletes = a.len() - inserts;
+        assert_eq!(live.m(), inserts - deletes);
+    }
+
+    #[test]
+    fn sliding_window_caps_live_edges() {
+        let spec = SourceSpec::sliding_window(40, 6, 3, 10);
+        assert!(spec.is_dynamic());
+        let tokens = spec.signed_tokens();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for t in &tokens {
+            if t.is_insert() {
+                live += 1;
+            } else {
+                live -= 1;
+            }
+            peak = peak.max(live);
+        }
+        assert!(peak <= 11, "window of 10 allows one transient overshoot, saw {peak}");
+        assert_eq!(spec.materialize().m(), live);
+        assert!(spec.materialize().m() <= 10);
+    }
+
+    #[test]
+    fn insert_only_sources_token_form_is_bare_insertions() {
+        let spec = SourceSpec::exact_degree(30, 4, 2);
+        assert!(!spec.is_dynamic());
+        let tokens = spec.signed_tokens();
+        assert!(tokens.iter().all(|t| t.is_insert()));
+        assert_eq!(tokens.len(), spec.materialize().m());
+        assert_eq!(spec.stream_delta(), spec.materialize().max_degree());
     }
 
     #[test]

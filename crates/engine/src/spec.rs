@@ -4,7 +4,7 @@ use sc_graph::Graph;
 use sc_stream::BoxedColorer;
 use streamcolor::robust::auto_robust_colorer;
 use streamcolor::{
-    Bcg20Colorer, Bg18Colorer, Cgs22Colorer, DetConfig, PaletteSparsification,
+    Bcg20Colorer, Bg18Colorer, Cgs22Colorer, DetConfig, DynamicColorer, PaletteSparsification,
     RandEfficientColorer, RobustColorer, RobustParams, StoreAllColorer, TrivialColorer,
 };
 
@@ -49,6 +49,13 @@ pub enum ColorerSpec {
     },
     /// Store every edge, color optimally at query time.
     StoreAll,
+    /// The dynamic (turnstile) colorer: an `s`-sparse-recovery sketch
+    /// over the edge universe, accepting deletions. `sparsity = None`
+    /// budgets `n·∆/2` live edges (every simple `∆`-bounded graph fits).
+    DynamicSr {
+        /// Live-support budget override.
+        sparsity: Option<usize>,
+    },
     /// The trivial `n`-coloring.
     Trivial,
     /// Theorem 1: deterministic multi-pass `(∆+1)`-coloring.
@@ -118,6 +125,10 @@ impl ColorerSpec {
                 None => Box::new(PaletteSparsification::with_theory_lists(n, delta, seed)),
             },
             ColorerSpec::StoreAll => Box::new(StoreAllColorer::new(n)),
+            ColorerSpec::DynamicSr { sparsity } => {
+                let budget = sparsity.unwrap_or_else(|| (n * delta).div_ceil(2).max(1));
+                Box::new(DynamicColorer::new(n, budget, seed))
+            }
             ColorerSpec::Trivial => Box::new(TrivialColorer::new(n)),
             ColorerSpec::Det(_)
             | ColorerSpec::BatchGreedy
@@ -143,6 +154,7 @@ impl ColorerSpec {
             ColorerSpec::Bcg20 { .. } => "bcg20-degeneracy",
             ColorerSpec::PaletteSparsification { .. } => "palette-sparsification",
             ColorerSpec::StoreAll => "store-all",
+            ColorerSpec::DynamicSr { .. } => "dynamic-sr",
             ColorerSpec::Trivial => "trivial",
             ColorerSpec::Det(_) => "deterministic (Thm 1)",
             ColorerSpec::BatchGreedy => "batch-greedy (O(∆) passes)",
@@ -170,6 +182,8 @@ mod tests {
             ColorerSpec::Bcg20 { epsilon: 0.5 },
             ColorerSpec::PaletteSparsification { lists: Some(6) },
             ColorerSpec::StoreAll,
+            ColorerSpec::DynamicSr { sparsity: None },
+            ColorerSpec::DynamicSr { sparsity: Some(64) },
             ColorerSpec::Trivial,
         ] {
             assert!(spec.is_streaming());

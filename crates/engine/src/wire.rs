@@ -193,6 +193,12 @@ pub fn colorer_to_wire(spec: &ColorerSpec, obj: &mut FlatObject) {
             }
         }
         ColorerSpec::StoreAll => id(obj, "store-all"),
+        ColorerSpec::DynamicSr { sparsity } => {
+            id(obj, "dynamic-sr");
+            if let Some(s) = sparsity {
+                obj.insert("sparsity".into(), Scalar::Uint(*s as u64));
+            }
+        }
         ColorerSpec::Trivial => id(obj, "trivial"),
         ColorerSpec::Det(config) => {
             id(obj, "det");
@@ -236,6 +242,7 @@ pub fn colorer_from_wire(obj: &FlatObject) -> Result<ColorerSpec, String> {
         "bcg20" => ColorerSpec::Bcg20 { epsilon: f64_field(obj, "epsilon")? },
         "ps" => ColorerSpec::PaletteSparsification { lists: opt_usize(obj, "lists")? },
         "store-all" => ColorerSpec::StoreAll,
+        "dynamic-sr" => ColorerSpec::DynamicSr { sparsity: opt_usize(obj, "sparsity")? },
         "trivial" => ColorerSpec::Trivial,
         "det" => {
             let derand = match str_field(obj, "derand")? {
@@ -302,6 +309,22 @@ fn source_to_wire(source: &SourceSpec, obj: &mut FlatObject) {
                 _ => {}
             }
         }
+        SourceSpec::Churn { n, delta, p, seed, rounds } => {
+            obj.insert("source".into(), Scalar::Str("churn".into()));
+            obj.insert("n".into(), Scalar::Uint(*n as u64));
+            obj.insert("delta".into(), Scalar::Uint(*delta as u64));
+            obj.insert("p".into(), Scalar::Num(*p));
+            obj.insert("source_seed".into(), Scalar::Uint(*seed));
+            obj.insert("churn_rounds".into(), Scalar::Uint(*rounds as u64));
+        }
+        SourceSpec::SlidingWindow { n, delta, p, seed, window } => {
+            obj.insert("source".into(), Scalar::Str("window".into()));
+            obj.insert("n".into(), Scalar::Uint(*n as u64));
+            obj.insert("delta".into(), Scalar::Uint(*delta as u64));
+            obj.insert("p".into(), Scalar::Num(*p));
+            obj.insert("source_seed".into(), Scalar::Uint(*seed));
+            obj.insert("window".into(), Scalar::Uint(*window as u64));
+        }
     }
 }
 
@@ -341,6 +364,20 @@ fn source_from_wire(obj: &FlatObject) -> Result<SourceSpec, String> {
                 seed: u64_field(obj, "source_seed")?,
             })
         }
+        "churn" => Ok(SourceSpec::Churn {
+            n: usize_field(obj, "n")?,
+            delta: usize_field(obj, "delta")?,
+            p: f64_field(obj, "p")?,
+            seed: u64_field(obj, "source_seed")?,
+            rounds: usize_field(obj, "churn_rounds")?,
+        }),
+        "window" => Ok(SourceSpec::SlidingWindow {
+            n: usize_field(obj, "n")?,
+            delta: usize_field(obj, "delta")?,
+            p: f64_field(obj, "p")?,
+            seed: u64_field(obj, "source_seed")?,
+            window: usize_field(obj, "window")?,
+        }),
         other => Err(format!("unknown source kind {other:?}")),
     }
 }
@@ -421,6 +458,7 @@ fn adversary_to_wire(spec: &AdversarySpec, obj: &mut FlatObject) {
             }
         }
         AdversarySpec::LevelBoundary => id(obj, "level"),
+        AdversarySpec::Oscillation => id(obj, "oscillation"),
         AdversarySpec::Replay(edges) => {
             id(obj, "replay");
             obj.insert("replay_edges".into(), Scalar::Str(encode_edges(edges.iter().copied())));
@@ -435,6 +473,7 @@ fn adversary_from_wire(obj: &FlatObject) -> Result<AdversarySpec, String> {
         "clique" => AdversarySpec::CliqueBuilder,
         "buffer" => AdversarySpec::BufferBoundary { buffer: opt_usize(obj, "buffer")? },
         "level" => AdversarySpec::LevelBoundary,
+        "oscillation" => AdversarySpec::Oscillation,
         "replay" => {
             AdversarySpec::Replay(Arc::new(decode_edges(str_field(obj, "replay_edges")?, None)?))
         }

@@ -83,7 +83,7 @@ impl Gen {
     }
 
     fn colorer(&mut self) -> ColorerSpec {
-        match self.below(14) {
+        match self.below(15) {
             0 => ColorerSpec::Robust { beta: None },
             1 => ColorerSpec::Robust { beta: Some(self.float()) },
             2 => ColorerSpec::Auto,
@@ -107,6 +107,9 @@ impl Gen {
             }),
             11 => ColorerSpec::BatchGreedy,
             12 => ColorerSpec::OfflineGreedy,
+            13 => ColorerSpec::DynamicSr {
+                sparsity: (self.below(2) == 0).then(|| self.below(1 << 30) as usize),
+            },
             _ => ColorerSpec::Brooks,
         }
     }
@@ -128,8 +131,27 @@ impl Gen {
     }
 
     fn source(&mut self) -> SourceSpec {
-        if self.below(4) == 0 {
-            return SourceSpec::Stored(Arc::new(self.stored_graph()));
+        match self.below(6) {
+            0 => return SourceSpec::Stored(Arc::new(self.stored_graph())),
+            1 => {
+                return SourceSpec::Churn {
+                    n: self.next() as usize,
+                    delta: self.next() as usize,
+                    p: self.float(),
+                    seed: self.next(),
+                    rounds: self.below(1 << 30) as usize,
+                }
+            }
+            2 => {
+                return SourceSpec::SlidingWindow {
+                    n: self.next() as usize,
+                    delta: self.next() as usize,
+                    p: self.float(),
+                    seed: self.next(),
+                    window: self.below(1 << 30) as usize,
+                }
+            }
+            _ => {}
         }
         let family = match self.below(11) {
             0 => GraphFamily::Gnp,
@@ -194,7 +216,7 @@ impl Gen {
     }
 
     fn adversary(&mut self) -> AdversarySpec {
-        match self.below(6) {
+        match self.below(7) {
             0 => AdversarySpec::Monochromatic,
             1 => AdversarySpec::Random,
             2 => AdversarySpec::CliqueBuilder,
@@ -202,6 +224,7 @@ impl Gen {
                 buffer: (self.below(2) == 0).then(|| self.next() as usize),
             },
             4 => AdversarySpec::LevelBoundary,
+            5 => AdversarySpec::Oscillation,
             _ => {
                 // Replay order is part of the data: keep it un-sorted.
                 let edges: Vec<Edge> = (0..self.below(20))

@@ -56,6 +56,31 @@ impl Graph {
         true
     }
 
+    /// Removes an edge if present. Returns whether it was present.
+    ///
+    /// Remaining neighbors keep their relative adjacency order, so a
+    /// graph built by sorted insertion stays canonically ordered across
+    /// turnstile churn (the dynamic suites compare such graphs byte for
+    /// byte).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn remove_edge(&mut self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        assert!((v as usize) < self.n(), "edge {e} out of range for n = {}", self.n());
+        let Some(i) = self.adj[u as usize].iter().position(|&x| x == v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(i);
+        let j = self.adj[v as usize]
+            .iter()
+            .position(|&x| x == u)
+            .expect("adjacency lists out of sync");
+        self.adj[v as usize].remove(j);
+        self.m -= 1;
+        true
+    }
+
     /// Removes every edge incident to the vertices in `touched`, keeping
     /// the adjacency-list allocations for reuse.
     ///
@@ -274,6 +299,24 @@ mod tests {
         let g = triangle();
         let expect = 3.0 / 3.0; // 3 vertices × 1/(2+1)
         assert!((g.caro_wei_bound() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_edge_preserves_adjacency_order() {
+        let mut g = Graph::from_edges(
+            5,
+            [Edge::new(0, 1), Edge::new(0, 2), Edge::new(0, 3), Edge::new(0, 4)],
+        );
+        assert!(g.remove_edge(Edge::new(0, 2)));
+        assert!(!g.remove_edge(Edge::new(0, 2)), "already gone");
+        assert_eq!(g.m(), 3);
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(0), &[1, 3, 4], "surviving order intact");
+        // Re-adding appends at the end, matching fresh sorted insertion
+        // of the same live set only when churn is tail-only — callers
+        // needing canonical order rebuild via from_edges.
+        assert!(g.add_edge(Edge::new(0, 2)));
+        assert_eq!(g.m(), 4);
     }
 
     #[test]

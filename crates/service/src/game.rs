@@ -116,6 +116,7 @@ pub fn run_game_via_service<A: Adversary + ?Sized>(
 
     Ok(GameReport {
         rounds,
+        deletions: 0,
         improper_outputs: improper,
         first_failure_round: first_failure,
         max_colors,

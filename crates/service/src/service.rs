@@ -7,7 +7,9 @@
 //! ```text
 //! {"cmd":"open","session":"a","n":100,"delta":8,"colorer":"robust","seed":7}
 //! {"cmd":"push","session":"a","edge":"0-1"}
+//! {"cmd":"push","session":"a","edge":"0-1","sign":"delete"}
 //! {"cmd":"push_batch","session":"a","edges":"1-2 2-3 3-4"}
+//! {"cmd":"push_batch","session":"a","edges":"+1-2 -1-2 +2-3"}
 //! {"cmd":"observe","session":"a"}
 //! {"cmd":"checkpoint","session":"a"}
 //! {"cmd":"stats","session":"a"}
@@ -25,6 +27,15 @@
 //! ([`sc_engine::wire::decode_edges`]), validated against the session's
 //! `n`. Unknown keys and unknown commands are errors, never silently
 //! ignored.
+//!
+//! **Turnstile streams**: `push` takes an optional `"sign"` field
+//! (`"insert"`, the default, or `"delete"`), and `push_batch` accepts
+//! signed tokens (`"+u-v"` / `"-u-v"`; bare `u-v` means insert —
+//! [`sc_stream::decode_signed_list`]). A batch is applied
+//! **atomically**: if any token is invalid — a deletion of a
+//! never-inserted edge, or any deletion through an insert-only colorer
+//! — the whole command errors (naming the offending edge) and the
+//! session state is unchanged.
 //!
 //! `snapshot` serializes a session's entire state — colorer state blob,
 //! pending tail, checkpoint history, engine config, and the spec
@@ -63,7 +74,7 @@ use sc_engine::flatjson::{encode_object, parse_object, FlatObject, Scalar};
 use sc_engine::shard::ShardJob;
 use sc_engine::{wire, ColorerSpec, Runner};
 use sc_graph::Coloring;
-use sc_stream::{Checkpoint, EngineConfig, Session, SessionSnapshot};
+use sc_stream::{Checkpoint, DynamicSupport, EngineConfig, Session, SessionSnapshot};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -804,21 +815,37 @@ fn apply_push(
     cmd: &str,
 ) -> Result<FlatObject, String> {
     let tenant = slot.as_mut().ok_or("unknown session (open it first)")?;
-    let edges = if cmd == "push" {
-        check_keys(obj, &["cmd", "session", "edge"])?;
+    let tokens = if cmd == "push" {
+        check_keys(obj, &["cmd", "session", "edge", "sign"])?;
         let edges = wire::decode_edges(str_field(obj, "edge")?, Some(tenant.n))?;
         if edges.len() != 1 {
             return Err(format!("push takes exactly one edge, got {}", edges.len()));
         }
-        edges
+        let sign = match obj.get("sign") {
+            None => sc_stream::Sign::Insert,
+            Some(v) => match v.as_str() {
+                Some("insert") => sc_stream::Sign::Insert,
+                Some("delete") => sc_stream::Sign::Delete,
+                Some(other) => {
+                    return Err(format!(
+                        "field \"sign\" must be \"insert\" or \"delete\", got {other:?}"
+                    ))
+                }
+                None => return Err("field \"sign\" must be a string".into()),
+            },
+        };
+        vec![sc_stream::SignedEdge { edge: edges[0], sign }]
     } else {
         check_keys(obj, &["cmd", "session", "edges"])?;
-        wire::decode_edges(str_field(obj, "edges")?, Some(tenant.n))?
+        sc_stream::decode_signed_list(str_field(obj, "edges")?, tenant.n)?
     };
-    tenant.session.push_slice(&edges);
+    // Atomic: the session validates the whole batch (support
+    // multiplicities, insert-only colorers) before staging anything, so
+    // an Err here leaves the tenant byte-identical to before the command.
+    tenant.session.push_signed_slice(&tokens)?;
     let mut response = FlatObject::new();
     response.insert("len".into(), Scalar::Uint(tenant.session.len() as u64));
-    response.insert("pushed".into(), Scalar::Uint(edges.len() as u64));
+    response.insert("pushed".into(), Scalar::Uint(tokens.len() as u64));
     Ok(response)
 }
 
@@ -933,10 +960,15 @@ fn encode_snapshot_blob(tenant: &Tenant) -> Result<String, String> {
     obj.insert("engine".into(), Scalar::Str(snap.config.wire_encode()));
     obj.insert("algo".into(), Scalar::Str(tenant.session.algo().to_string()));
     obj.insert("state".into(), Scalar::Str(snap.colorer_state));
-    obj.insert("pending".into(), Scalar::Str(wire::encode_edges(snap.pending.iter().copied())));
+    obj.insert("pending".into(), Scalar::Str(sc_stream::encode_signed_list(&snap.pending)));
     obj.insert("ingested".into(), Scalar::Uint(snap.ingested as u64));
     obj.insert("chunks".into(), Scalar::Uint(snap.chunks as u64));
     obj.insert("checkpoints".into(), Scalar::Str(encode_checkpoints(&snap.checkpoints)));
+    // The live-edge multiset travels only for dynamic colorers, so
+    // insert-only snapshot blobs keep their settled vocabulary.
+    if let Some(support) = &snap.support {
+        obj.insert("support".into(), Scalar::Str(support.encode()));
+    }
     Ok(encode_object(&obj))
 }
 
@@ -987,6 +1019,7 @@ fn decode_snapshot_blob(blob: &str) -> Result<Tenant, String> {
         "ingested",
         "chunks",
         "checkpoints",
+        "support",
     ] {
         canonical.insert(key.into(), Scalar::Bool(true));
     }
@@ -998,18 +1031,31 @@ fn decode_snapshot_blob(blob: &str) -> Result<Tenant, String> {
     if algo != colorer.name() {
         return Err(format!("snapshot: algo {algo:?} is not {:?}", colorer.name()));
     }
-    let pending = wire::decode_edges(str_field(&obj, "pending").map_err(fail)?, Some(n))
+    let pending = sc_stream::decode_signed_list(str_field(&obj, "pending").map_err(fail)?, n)
         .map_err(|e| format!("snapshot: pending: {e}"))?;
     let ingested = usize_field(&obj, "ingested").map_err(fail)?;
     let chunks = usize_field(&obj, "chunks").map_err(fail)?;
     let checkpoints = decode_checkpoints(str_field(&obj, "checkpoints").map_err(fail)?, n)
         .map_err(|e| format!("snapshot: checkpoints: {e}"))?;
+    // Optional: present exactly for dynamic colorers (Session::restore
+    // rejects a mismatch, naming the colorer).
+    let support = match obj.get("support") {
+        Some(s) => {
+            let text = s.as_str().ok_or("snapshot: field \"support\" must be a string")?;
+            Some(
+                DynamicSupport::decode(text, n)
+                    .map_err(|e| format!("snapshot: support: {e}"))?,
+            )
+        }
+        None => None,
+    };
     let snapshot = SessionSnapshot {
         config,
         pending,
         ingested,
         chunks,
         checkpoints,
+        support,
         colorer_state: str_field(&obj, "state").map_err(fail)?.to_string(),
     };
     let session = Session::restore(colorer, snapshot).map_err(|e| format!("snapshot: {e}"))?;
@@ -1263,6 +1309,65 @@ mod tests {
         assert!(service.respond("").is_none());
         assert!(service.respond("   ").is_none());
         assert!(service.respond("# comment").is_none());
+    }
+
+    #[test]
+    fn signed_push_errors_name_the_offender_and_leave_state_intact() {
+        let mut service = Service::new();
+        service
+            .respond(r#"{"cmd":"open","session":"d","n":12,"delta":3,"colorer":"dynamic-sr"}"#)
+            .unwrap();
+        service.respond(r#"{"cmd":"open","session":"s","n":12,"delta":3,"colorer":"robust"}"#).unwrap();
+        for session in ["d", "s"] {
+            let line = format!(r#"{{"cmd":"push","session":"{session}","edge":"0-1"}}"#);
+            assert!(service.respond(&line).unwrap().contains("\"ok\":true"));
+        }
+        let before_d = service.respond(r#"{"cmd":"observe","session":"d"}"#).unwrap();
+        let before_s = service.respond(r#"{"cmd":"observe","session":"s"}"#).unwrap();
+
+        for (line, needle) in [
+            // Turnstile misuse through both signed vocabularies: the
+            // error names the edge…
+            (
+                r#"{"cmd":"push","session":"d","edge":"4-5","sign":"delete"}"#,
+                "delete of edge (4, 5) which was never inserted",
+            ),
+            (
+                r#"{"cmd":"push_batch","session":"d","edges":"-7-8"}"#,
+                "delete of edge (7, 8) which was never inserted",
+            ),
+            // …a deletion aimed at an insert-only colorer names the
+            // colorer…
+            (
+                r#"{"cmd":"push","session":"s","edge":"0-1","sign":"delete"}"#,
+                "insert-only colorer cannot delete edge (0, 1)",
+            ),
+            // …and a malformed sign field names the field and the value.
+            (
+                r#"{"cmd":"push","session":"d","edge":"0-1","sign":"sideways"}"#,
+                r#"field \"sign\" must be \"insert\" or \"delete\", got \"sideways\""#,
+            ),
+            (
+                r#"{"cmd":"push","session":"d","edge":"0-1","sign":7}"#,
+                r#"field \"sign\" must be a string"#,
+            ),
+            // A valid deletion buried in a bad batch must not apply:
+            // signed batches are atomic.
+            (
+                r#"{"cmd":"push_batch","session":"d","edges":"-0-1 -0-1"}"#,
+                "delete of edge (0, 1) which was never inserted",
+            ),
+        ] {
+            let response = service.respond(line).unwrap();
+            assert!(
+                response.contains("\"ok\":false") && response.contains(needle),
+                "{line} -> {response}"
+            );
+        }
+
+        // Every rejected line left the tenant byte-identical.
+        assert_eq!(service.respond(r#"{"cmd":"observe","session":"d"}"#).unwrap(), before_d);
+        assert_eq!(service.respond(r#"{"cmd":"observe","session":"s"}"#).unwrap(), before_s);
     }
 
     #[test]

@@ -49,12 +49,16 @@ fn openable_colorers() -> Vec<(&'static str, ColorerSpec)> {
         ("bg18", ColorerSpec::Bg18 { buckets: None }),
         ("ps", ColorerSpec::PaletteSparsification { lists: Some(6) }),
         ("store-all", ColorerSpec::StoreAll),
+        ("dynamic", ColorerSpec::DynamicSr { sparsity: None }),
         ("trivial", ColorerSpec::Trivial),
     ]
 }
 
 /// Builds one session's full command-line sequence: open, a mix of
 /// push / push_batch / observe / checkpoint / stats, then finish.
+/// Dynamic colorers additionally get turnstile traffic: previously
+/// inserted edges are retracted through both signed vocabularies
+/// (`"sign":"delete"` on `push`, `-u-v` tokens on `push_batch`).
 fn session_script(
     name: &str,
     spec: &ColorerSpec,
@@ -64,6 +68,8 @@ fn session_script(
 ) -> Vec<String> {
     let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
     let edges: Vec<_> = generators::shuffled_edges(&g, seed ^ 0xFEED);
+    let dynamic = matches!(spec, ColorerSpec::DynamicSr { .. });
+    let mut deletable: Vec<sc_graph::Edge> = Vec::new();
     let mut rng = Gen::new(seed ^ 0x5E55);
     let mut open = sc_engine::flatjson::FlatObject::new();
     open.insert("cmd".into(), sc_engine::flatjson::Scalar::Str("open".into()));
@@ -75,6 +81,24 @@ fn session_script(
     let mut lines = vec![sc_engine::flatjson::encode_object(&open)];
     let mut i = 0;
     while i < edges.len() {
+        if dynamic && !deletable.is_empty() && rng.below(4) == 0 {
+            let j = rng.below(deletable.len() as u64) as usize;
+            let e = deletable.swap_remove(j);
+            if rng.below(2) == 0 {
+                lines.push(format!(
+                    r#"{{"cmd":"push","session":"{name}","edge":"{}-{}","sign":"delete"}}"#,
+                    e.u(),
+                    e.v()
+                ));
+            } else {
+                lines.push(format!(
+                    r#"{{"cmd":"push_batch","session":"{name}","edges":"-{}-{}"}}"#,
+                    e.u(),
+                    e.v()
+                ));
+            }
+            continue;
+        }
         match rng.below(5) {
             0 => {
                 lines.push(format!(
@@ -82,15 +106,18 @@ fn session_script(
                     edges[i].u(),
                     edges[i].v()
                 ));
+                deletable.push(edges[i]);
                 i += 1;
             }
             1 | 2 => {
                 let k = 1 + rng.below(7) as usize;
-                let batch = wire::encode_edges(edges[i..(i + k).min(edges.len())].iter().copied());
+                let end = (i + k).min(edges.len());
+                let batch = wire::encode_edges(edges[i..end].iter().copied());
                 lines.push(format!(
                     r#"{{"cmd":"push_batch","session":"{name}","edges":"{batch}"}}"#
                 ));
-                i = (i + k).min(edges.len());
+                deletable.extend(edges[i..end].iter().copied());
+                i = end;
             }
             3 => lines.push(format!(r#"{{"cmd":"observe","session":"{name}"}}"#)),
             _ => lines.push(format!(r#"{{"cmd":"{}","session":"{name}"}}"#, {

@@ -63,6 +63,7 @@ fn openable_colorers() -> Vec<(&'static str, ColorerSpec)> {
         ("bg18", ColorerSpec::Bg18 { buckets: None }),
         ("ps", ColorerSpec::PaletteSparsification { lists: Some(6) }),
         ("store-all", ColorerSpec::StoreAll),
+        ("dynamic", ColorerSpec::DynamicSr { sparsity: None }),
         ("trivial", ColorerSpec::Trivial),
     ]
 }
@@ -104,13 +105,34 @@ fn open_line(
 
 /// Everything after the open: a random mix of the law's commands
 /// (push / push_batch / observe / checkpoint), then observe + finish.
-fn tail_script(name: &str, n: usize, delta: usize, seed: u64) -> Vec<String> {
+/// When `dynamic`, previously inserted edges are also retracted through
+/// both signed vocabularies, so snapshots get cut among live deletions.
+fn tail_script(name: &str, n: usize, delta: usize, seed: u64, dynamic: bool) -> Vec<String> {
     let g = generators::gnp_with_max_degree(n, delta, 0.5, seed);
     let edges: Vec<_> = generators::shuffled_edges(&g, seed ^ 0xFEED);
+    let mut deletable: Vec<sc_graph::Edge> = Vec::new();
     let mut rng = Gen::new(seed ^ 0x5E55);
     let mut lines = Vec::new();
     let mut i = 0;
     while i < edges.len() {
+        if dynamic && !deletable.is_empty() && rng.below(4) == 0 {
+            let j = rng.below(deletable.len() as u64) as usize;
+            let e = deletable.swap_remove(j);
+            if rng.below(2) == 0 {
+                lines.push(format!(
+                    r#"{{"cmd":"push","session":"{name}","edge":"{}-{}","sign":"delete"}}"#,
+                    e.u(),
+                    e.v()
+                ));
+            } else {
+                lines.push(format!(
+                    r#"{{"cmd":"push_batch","session":"{name}","edges":"-{}-{}"}}"#,
+                    e.u(),
+                    e.v()
+                ));
+            }
+            continue;
+        }
         match rng.below(5) {
             0 => {
                 lines.push(format!(
@@ -118,15 +140,18 @@ fn tail_script(name: &str, n: usize, delta: usize, seed: u64) -> Vec<String> {
                     edges[i].u(),
                     edges[i].v()
                 ));
+                deletable.push(edges[i]);
                 i += 1;
             }
             1 | 2 => {
                 let k = 1 + rng.below(7) as usize;
-                let batch = wire::encode_edges(edges[i..(i + k).min(edges.len())].iter().copied());
+                let end = (i + k).min(edges.len());
+                let batch = wire::encode_edges(edges[i..end].iter().copied());
                 lines.push(format!(
                     r#"{{"cmd":"push_batch","session":"{name}","edges":"{batch}"}}"#
                 ));
-                i = (i + k).min(edges.len());
+                deletable.extend(edges[i..end].iter().copied());
+                i = end;
             }
             3 => lines.push(format!(r#"{{"cmd":"observe","session":"{name}"}}"#)),
             _ => lines.push(format!(r#"{{"cmd":"checkpoint","session":"{name}"}}"#)),
@@ -176,7 +201,8 @@ proptest! {
             let session_seed = rng.next();
             let engine = &configs[rng.below(configs.len() as u64) as usize];
             let mut lines = vec![open_line(name, &spec, n, delta, session_seed, engine)];
-            lines.extend(tail_script(name, n, delta, session_seed));
+            let dynamic = matches!(spec, ColorerSpec::DynamicSr { .. });
+            lines.extend(tail_script(name, n, delta, session_seed, dynamic));
 
             // Uninterrupted reference.
             let mut reference = Service::new();
@@ -212,14 +238,16 @@ proptest! {
 /// every restored response is byte-exact.
 mod game {
     use super::*;
-    use sc_adversary::{Adversary, MonochromaticAttacker};
+    use sc_adversary::{Adversary, MonochromaticAttacker, OscillationAttacker};
     use sc_graph::Graph;
     use sc_service::service::parse_coloring;
 
     /// Plays `rounds` of the game, snapshotting to a fresh host after
     /// `snap_at` rounds (`None` = never), and returns every raw
     /// response line the client saw (snapshot/restore excluded — they
-    /// are the transport, not the transcript).
+    /// are the transport, not the transcript). With `oscillating`, the
+    /// attacker is the deletion-aware [`OscillationAttacker`] and
+    /// deletions travel as `"sign":"delete"` pushes.
     fn game_transcript(
         victim: &ColorerSpec,
         n: usize,
@@ -227,6 +255,7 @@ mod game {
         rounds: usize,
         seed: u64,
         snap_at: Option<usize>,
+        oscillating: bool,
     ) -> Vec<String> {
         let mut service = Service::new();
         let name = "game";
@@ -239,7 +268,11 @@ mod game {
         };
 
         drive(&mut service, &open_line(name, victim, n, delta, seed, &engine), &mut transcript);
-        let mut attacker = MonochromaticAttacker::new(n, delta, seed);
+        let mut attacker: Box<dyn Adversary> = if oscillating {
+            Box::new(OscillationAttacker::new(n, delta, seed))
+        } else {
+            Box::new(MonochromaticAttacker::new(n, delta, seed))
+        };
         let mut graph = Graph::empty(n);
         let observe = format!(r#"{{"cmd":"observe","session":"{name}"}}"#);
         drive(&mut service, &observe, &mut transcript);
@@ -250,10 +283,19 @@ mod game {
                 let text = obj.get("coloring").and_then(Scalar::as_str).unwrap();
                 parse_coloring(text, n).unwrap()
             };
-            let Some(e) = attacker.next_edge(&coloring, &graph) else { break };
-            graph.add_edge(e);
-            let push =
-                format!(r#"{{"cmd":"push","session":"{name}","edge":"{}-{}"}}"#, e.u(), e.v());
+            let Some(t) = attacker.next_token(&coloring, &graph) else { break };
+            let e = t.edge;
+            let push = if t.is_insert() {
+                graph.add_edge(e);
+                format!(r#"{{"cmd":"push","session":"{name}","edge":"{}-{}"}}"#, e.u(), e.v())
+            } else {
+                graph.remove_edge(e);
+                format!(
+                    r#"{{"cmd":"push","session":"{name}","edge":"{}-{}","sign":"delete"}}"#,
+                    e.u(),
+                    e.v()
+                )
+            };
             drive(&mut service, &push, &mut transcript);
             drive(&mut service, &observe, &mut transcript);
 
@@ -270,14 +312,17 @@ mod game {
     #[test]
     fn snapshot_during_the_adaptive_game_changes_nothing() {
         let (n, delta, rounds, seed) = (40, 5, 60, 11);
-        for victim in [
-            ColorerSpec::Robust { beta: None },
-            ColorerSpec::Cgs22,
-            ColorerSpec::PaletteSparsification { lists: Some(4) },
+        for (victim, oscillating) in [
+            (ColorerSpec::Robust { beta: None }, false),
+            (ColorerSpec::Cgs22, false),
+            (ColorerSpec::PaletteSparsification { lists: Some(4) }, false),
+            (ColorerSpec::DynamicSr { sparsity: None }, true),
         ] {
-            let uninterrupted = game_transcript(&victim, n, delta, rounds, seed, None);
+            let uninterrupted =
+                game_transcript(&victim, n, delta, rounds, seed, None, oscillating);
             for snap_at in [1, rounds / 2, rounds] {
-                let interrupted = game_transcript(&victim, n, delta, rounds, seed, Some(snap_at));
+                let interrupted =
+                    game_transcript(&victim, n, delta, rounds, seed, Some(snap_at), oscillating);
                 assert_eq!(
                     interrupted, uninterrupted,
                     "{victim:?} diverged after mid-game snapshot at round {snap_at}"

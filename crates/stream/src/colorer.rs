@@ -8,6 +8,7 @@
 //! experiment harness both speak it.
 
 use crate::query_cache::CacheStats;
+use crate::token::{Sign, SignedEdge};
 use sc_graph::Coloring;
 use sc_graph::Edge;
 
@@ -31,6 +32,62 @@ pub trait StreamingColorer {
         for &e in edges {
             self.process(e);
         }
+    }
+
+    /// Whether this colorer accepts edge **deletions** (the dynamic /
+    /// turnstile model). The default is `false`: every insert-only
+    /// colorer in the workspace keeps its exact contract, and the engine
+    /// rejects deletion tokens aimed at it *before* they reach
+    /// [`process_signed`] (the error names the colorer and the edge).
+    ///
+    /// [`process_signed`]: StreamingColorer::process_signed
+    fn supports_deletions(&self) -> bool {
+        false
+    }
+
+    /// Processes one signed token. For insertions the default delegates
+    /// to [`process`]; for deletions it errors, naming this colorer and
+    /// the offending edge — dynamic colorers override both this and
+    /// [`supports_deletions`].
+    ///
+    /// # Errors
+    /// The default errors on every deletion. Implementations that
+    /// support deletions should only error on stream violations the
+    /// engine could not pre-validate.
+    ///
+    /// [`process`]: StreamingColorer::process
+    fn process_signed(&mut self, t: SignedEdge) -> Result<(), String> {
+        match t.sign {
+            Sign::Insert => {
+                self.process(t.edge);
+                Ok(())
+            }
+            Sign::Delete => Err(format!(
+                "{}: insert-only colorer cannot delete edge {}",
+                self.name(),
+                t.edge
+            )),
+        }
+    }
+
+    /// Processes a chunk of signed tokens; must be observationally
+    /// identical to calling [`process_signed`] on each token in order,
+    /// for every chunking (the signed extension of the
+    /// [`process_batch`] law). The default loops; dynamic colorers
+    /// override it to amortize per-token work.
+    ///
+    /// # Errors
+    /// Propagates the first failing token's error; tokens before it have
+    /// been applied (the *engine* pre-validates whole batches so this is
+    /// unreachable on well-formed sessions).
+    ///
+    /// [`process_signed`]: StreamingColorer::process_signed
+    /// [`process_batch`]: StreamingColorer::process_batch
+    fn process_signed_batch(&mut self, tokens: &[SignedEdge]) -> Result<(), String> {
+        for &t in tokens {
+            self.process_signed(t)?;
+        }
+        Ok(())
     }
 
     /// Returns a coloring of all edges processed so far.
@@ -123,6 +180,15 @@ impl<C: StreamingColorer + ?Sized> StreamingColorer for Box<C> {
     fn process_batch(&mut self, edges: &[Edge]) {
         (**self).process_batch(edges)
     }
+    fn supports_deletions(&self) -> bool {
+        (**self).supports_deletions()
+    }
+    fn process_signed(&mut self, t: SignedEdge) -> Result<(), String> {
+        (**self).process_signed(t)
+    }
+    fn process_signed_batch(&mut self, tokens: &[SignedEdge]) -> Result<(), String> {
+        (**self).process_signed_batch(tokens)
+    }
     fn query(&mut self) -> Coloring {
         (**self).query()
     }
@@ -202,6 +268,24 @@ mod tests {
         assert_eq!(boxed.name(), "store-all");
         assert!(boxed.peak_space_bits() > 0);
         assert!(boxed.query_cache_stats().is_none());
+    }
+
+    #[test]
+    fn default_signed_path_accepts_inserts_and_names_delete_offenders() {
+        let mut boxed: BoxedColorer = Box::new(StoreAll { n: 6, edges: vec![] });
+        assert!(!boxed.supports_deletions(), "insert-only by default");
+        boxed.process_signed(SignedEdge::insert(Edge::new(0, 1))).unwrap();
+        boxed
+            .process_signed_batch(&[
+                SignedEdge::insert(Edge::new(1, 2)),
+                SignedEdge::insert(Edge::new(2, 3)),
+            ])
+            .unwrap();
+        let err = boxed.process_signed(SignedEdge::delete(Edge::new(0, 1))).unwrap_err();
+        assert!(
+            err.contains("store-all") && err.contains("(0, 1)") && err.contains("insert-only"),
+            "error must name the colorer and the edge: {err}"
+        );
     }
 
     #[test]

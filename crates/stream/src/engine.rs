@@ -26,6 +26,8 @@
 
 use crate::colorer::StreamingColorer;
 use crate::source::{PassCounter, StreamSource};
+use crate::support::DynamicSupport;
+use crate::token::{Sign, SignedEdge};
 use sc_graph::{Coloring, Edge};
 use std::time::{Duration, Instant};
 
@@ -217,7 +219,8 @@ impl QuerySchedule {
 /// A mid-stream observation: the coloring and accounting after a prefix.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
-    /// Number of edges ingested when the query ran.
+    /// Number of tokens ingested when the query ran (for turnstile
+    /// streams, deletions count as tokens too).
     pub prefix_len: usize,
     /// The colorer's answer for the graph-so-far.
     pub coloring: Coloring,
@@ -230,9 +233,10 @@ pub struct Checkpoint {
 /// The outcome of one engine run.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
-    /// Total edges ingested.
+    /// Total tokens ingested (edges; plus deletions on signed runs).
     pub edges: usize,
-    /// `process_batch` calls made (chunks, after checkpoint splitting).
+    /// Colorer feed calls made (chunks, after checkpoint and sign-run
+    /// splitting).
     pub chunks: usize,
     /// Passes started on the source (1 for a slice run).
     pub passes: u64,
@@ -276,8 +280,35 @@ impl StreamEngine {
         session.finish(start)
     }
 
+    /// Feeds a **signed** (turnstile) token stream through `colorer`,
+    /// with the same chunking and checkpointing as [`StreamEngine::run`].
+    ///
+    /// # Errors
+    /// Rejects the stream at the first malformed token, naming the
+    /// offender: a deletion aimed at an insert-only colorer names the
+    /// colorer and the edge; a deletion of a never-inserted edge names
+    /// the edge (see [`DynamicSupport`]). Checkpoint `prefix_len`s count
+    /// *tokens* (insertions and deletions alike).
+    pub fn run_signed<C: StreamingColorer + ?Sized>(
+        &self,
+        colorer: &mut C,
+        tokens: &[SignedEdge],
+    ) -> Result<EngineReport, String> {
+        let start = Instant::now();
+        let mut session = EngineSession::new(colorer, self.config.clone());
+        session.push_signed_slice(tokens)?;
+        Ok(session.finish(start))
+    }
+
     /// Like [`StreamEngine::run`] but reading one pass from a
     /// [`StreamSource`], counting it, and skipping non-edge tokens.
+    /// Signed edge tokens are routed through the turnstile path.
+    ///
+    /// # Panics
+    /// On a malformed turnstile stream (a deletion aimed at an
+    /// insert-only colorer, or of a never-inserted edge): sources are
+    /// trusted producers, so a bad token is a harness bug, not a
+    /// recoverable condition.
     pub fn run_source<C, S>(&self, colorer: &mut C, source: &S) -> EngineReport
     where
         C: StreamingColorer + ?Sized,
@@ -288,8 +319,10 @@ impl StreamEngine {
         let mut session = EngineSession::new(colorer, self.config.clone());
         // The session's own pending buffer does the chunk assembly.
         for item in counted.pass() {
-            let Some(e) = item.as_edge() else { continue };
-            session.push(e);
+            let Some(t) = item.as_signed() else { continue };
+            session
+                .push_signed(t)
+                .unwrap_or_else(|e| panic!("run_source: malformed turnstile stream: {e}"));
         }
         let mut report = session.finish(start);
         report.passes = counted.passes();
@@ -305,16 +338,25 @@ impl StreamEngine {
 #[derive(Debug, Clone)]
 struct SessionState {
     config: EngineConfig,
-    /// Edges accepted but not yet fed to the colorer.
-    pending: Vec<Edge>,
-    /// Edges fed to the colorer so far.
+    /// Tokens accepted but not yet fed to the colorer. Insert-only
+    /// pushes stage plain-insert tokens, so the two push vocabularies
+    /// share one buffer and one chunking discipline.
+    pending: Vec<SignedEdge>,
+    /// Tokens fed to the colorer so far.
     ingested: usize,
     chunks: usize,
     checkpoints: Vec<Checkpoint>,
+    /// The live-edge multiset referee, maintained only for colorers
+    /// that [`StreamingColorer::supports_deletions`]. Validates every
+    /// signed batch *before* staging (deleting a never-inserted edge is
+    /// rejected atomically, naming the edge) and travels with
+    /// snapshots. Harness bookkeeping: never charged to the colorer's
+    /// space meter.
+    support: Option<DynamicSupport>,
 }
 
 impl SessionState {
-    fn new(config: EngineConfig) -> Self {
+    fn new(config: EngineConfig, track_support: bool) -> Self {
         let cap = config.chunk_size.max(1);
         Self {
             config,
@@ -322,6 +364,7 @@ impl SessionState {
             ingested: 0,
             chunks: 0,
             checkpoints: Vec::new(),
+            support: track_support.then(DynamicSupport::new),
         }
     }
 
@@ -329,17 +372,59 @@ impl SessionState {
         self.ingested + self.pending.len()
     }
 
-    /// Accepts a slice of edges. Complete chunks are fed through
-    /// immediately; a sub-chunk tail stays staged for later pushes.
+    /// Accepts a slice of edge insertions. Complete chunks are fed
+    /// through immediately; a sub-chunk tail stays staged for later
+    /// pushes.
     fn push_slice<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C, edges: &[Edge]) {
-        self.pending.extend_from_slice(edges);
+        if let Some(support) = &mut self.support {
+            for &e in edges {
+                support.apply(SignedEdge::insert(e)).expect("insertions never underflow");
+            }
+        }
+        self.pending.extend(edges.iter().copied().map(SignedEdge::insert));
+        self.settle(colorer);
+    }
+
+    /// Accepts a slice of signed tokens, validating it **atomically**
+    /// before staging anything: on error the session is unchanged.
+    ///
+    /// # Errors
+    /// A deletion aimed at an insert-only colorer names the colorer and
+    /// the edge; a deletion of a never-inserted edge names the edge
+    /// (via [`DynamicSupport::apply_all`]).
+    fn push_signed_slice<C: StreamingColorer + ?Sized>(
+        &mut self,
+        colorer: &mut C,
+        tokens: &[SignedEdge],
+    ) -> Result<(), String> {
+        match &mut self.support {
+            Some(support) => support.apply_all(tokens)?,
+            None => {
+                if let Some(t) = tokens.iter().find(|t| !t.is_insert()) {
+                    return Err(format!(
+                        "{}: insert-only colorer cannot delete edge {} \
+                         (turnstile streams need a dynamic colorer)",
+                        colorer.name(),
+                        t.edge
+                    ));
+                }
+            }
+        }
+        self.pending.extend_from_slice(tokens);
+        self.settle(colorer);
+        Ok(())
+    }
+
+    /// Post-staging bookkeeping shared by both push vocabularies: run
+    /// covered checkpoints, then feed complete chunks through.
+    fn settle<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) {
         self.drain_schedule(colorer);
         let chunk = self.config.chunk_size.max(1);
         let complete = (self.pending.len() / chunk) * chunk;
         self.flush_first(colorer, complete);
     }
 
-    /// Runs every checkpoint whose prefix is covered by accepted edges.
+    /// Runs every checkpoint whose prefix is covered by accepted tokens.
     fn drain_schedule<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C) {
         while let Some(next) = self.config.schedule.next_after(self.ingested) {
             if next > self.len() {
@@ -351,19 +436,48 @@ impl SessionState {
         }
     }
 
-    /// Feeds the first `take` pending edges to the colorer, in
-    /// chunk-size batches.
+    /// Feeds the first `take` pending tokens to the colorer, in
+    /// chunk-size batches. Within each chunk, maximal same-sign runs are
+    /// fed together: insertion runs go through the classic
+    /// [`StreamingColorer::process_batch`] (so insert-only streams keep
+    /// their exact call pattern and every existing fast path), deletion
+    /// runs through [`StreamingColorer::process_signed_batch`].
     fn flush_first<C: StreamingColorer + ?Sized>(&mut self, colorer: &mut C, take: usize) {
         if take == 0 {
             return;
         }
         let chunk = self.config.chunk_size.max(1);
+        let mut scratch: Vec<Edge> = Vec::new();
         let mut fed = 0;
         while fed < take {
             let k = chunk.min(take - fed);
-            colorer.process_batch(&self.pending[fed..fed + k]);
+            let slice = &self.pending[fed..fed + k];
+            let mut i = 0;
+            while i < k {
+                let sign = slice[i].sign;
+                let mut j = i + 1;
+                while j < k && slice[j].sign == sign {
+                    j += 1;
+                }
+                match sign {
+                    Sign::Insert => {
+                        scratch.clear();
+                        scratch.extend(slice[i..j].iter().map(|t| t.edge));
+                        colorer.process_batch(&scratch);
+                    }
+                    Sign::Delete => {
+                        // Every staged deletion was pre-validated against
+                        // the support, so a rejection here is a colorer
+                        // contract violation, not a stream error.
+                        if let Err(e) = colorer.process_signed_batch(&slice[i..j]) {
+                            panic!("engine: pre-validated deletion batch rejected: {e}");
+                        }
+                    }
+                }
+                self.chunks += 1;
+                i = j;
+            }
             fed += k;
-            self.chunks += 1;
         }
         self.pending.drain(..take);
         self.ingested += take;
@@ -425,19 +539,27 @@ pub struct EngineSession<'a, C: StreamingColorer + ?Sized> {
 }
 
 impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
-    /// Opens a session over `colorer`.
+    /// Opens a session over `colorer`. Sessions over colorers that
+    /// [`StreamingColorer::supports_deletions`] additionally maintain a
+    /// [`DynamicSupport`] referee for the signed push vocabulary.
     pub fn new(colorer: &'a mut C, config: EngineConfig) -> Self {
-        Self { colorer, state: SessionState::new(config) }
+        let track = colorer.supports_deletions();
+        Self { colorer, state: SessionState::new(config, track) }
     }
 
-    /// Edges accepted so far (including any still pending).
+    /// Tokens accepted so far (including any still pending).
     pub fn len(&self) -> usize {
         self.state.len()
     }
 
-    /// Whether no edges have been accepted.
+    /// Whether no tokens have been accepted.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The live-edge multiset, for deletion-supporting colorers.
+    pub fn support(&self) -> Option<&DynamicSupport> {
+        self.state.support.as_ref()
     }
 
     /// Accepts one edge, flushing/checkpointing per the configuration.
@@ -451,7 +573,26 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
         self.state.push_slice(self.colorer, edges);
     }
 
-    /// Feeds all pending edges to the colorer.
+    /// Accepts one signed token (see [`EngineSession::push_signed_slice`]).
+    ///
+    /// # Errors
+    /// As [`EngineSession::push_signed_slice`]; the session is unchanged
+    /// on error.
+    pub fn push_signed(&mut self, t: SignedEdge) -> Result<(), String> {
+        self.push_signed_slice(std::slice::from_ref(&t))
+    }
+
+    /// Accepts a slice of signed tokens, validated **atomically** before
+    /// staging: either every token is accepted or none is.
+    ///
+    /// # Errors
+    /// A deletion aimed at an insert-only colorer names the colorer and
+    /// the edge; a deletion of a never-inserted edge names the edge.
+    pub fn push_signed_slice(&mut self, tokens: &[SignedEdge]) -> Result<(), String> {
+        self.state.push_signed_slice(self.colorer, tokens)
+    }
+
+    /// Feeds all pending tokens to the colorer.
     pub fn flush(&mut self) {
         self.state.flush(self.colorer);
     }
@@ -494,14 +635,17 @@ impl<'a, C: StreamingColorer + ?Sized> EngineSession<'a, C> {
 pub struct SessionSnapshot {
     /// The engine configuration in force.
     pub config: EngineConfig,
-    /// Edges accepted but not yet fed to the colorer.
-    pub pending: Vec<Edge>,
-    /// Edges fed to the colorer so far.
+    /// Tokens accepted but not yet fed to the colorer.
+    pub pending: Vec<SignedEdge>,
+    /// Tokens fed to the colorer so far.
     pub ingested: usize,
-    /// `process_batch` calls made so far.
+    /// Colorer feed calls (`process_batch` / signed batch) made so far.
     pub chunks: usize,
     /// Checkpoints recorded so far, prefix order.
     pub checkpoints: Vec<Checkpoint>,
+    /// The live-edge multiset referee, present exactly when the colorer
+    /// [`StreamingColorer::supports_deletions`].
+    pub support: Option<DynamicSupport>,
     /// The colorer's [`StreamingColorer::encode_state`] blob.
     pub colorer_state: String,
 }
@@ -546,8 +690,12 @@ pub struct Session {
 
 impl Session {
     /// Opens a session owning `colorer`, anchoring the elapsed clock now.
+    /// Sessions over colorers that
+    /// [`StreamingColorer::supports_deletions`] additionally maintain a
+    /// [`DynamicSupport`] referee for the signed push vocabulary.
     pub fn new(colorer: crate::colorer::BoxedColorer, config: EngineConfig) -> Self {
-        Self { colorer, state: SessionState::new(config), started: Instant::now() }
+        let track = colorer.supports_deletions();
+        Self { colorer, state: SessionState::new(config, track), started: Instant::now() }
     }
 
     /// The configuration in force.
@@ -560,22 +708,27 @@ impl Session {
         self.colorer.name()
     }
 
-    /// Edges accepted so far (including any still pending).
+    /// Tokens accepted so far (including any still pending).
     pub fn len(&self) -> usize {
         self.state.len()
     }
 
-    /// Whether no edges have been accepted.
+    /// Whether no tokens have been accepted.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Edges accepted but not yet fed to the colorer (a sub-chunk tail).
+    /// Tokens accepted but not yet fed to the colorer (a sub-chunk tail).
     pub fn pending(&self) -> usize {
         self.state.pending.len()
     }
 
-    /// `process_batch` calls made so far.
+    /// The live-edge multiset, for deletion-supporting colorers.
+    pub fn support(&self) -> Option<&DynamicSupport> {
+        self.state.support.as_ref()
+    }
+
+    /// Colorer feed calls (`process_batch` / signed batch) made so far.
     pub fn chunks(&self) -> usize {
         self.state.chunks
     }
@@ -611,7 +764,26 @@ impl Session {
         self.state.push_slice(&mut self.colorer, edges);
     }
 
-    /// Feeds all pending edges to the colorer.
+    /// Accepts one signed token (see [`Session::push_signed_slice`]).
+    ///
+    /// # Errors
+    /// As [`Session::push_signed_slice`]; the session is unchanged on
+    /// error.
+    pub fn push_signed(&mut self, t: SignedEdge) -> Result<(), String> {
+        self.push_signed_slice(std::slice::from_ref(&t))
+    }
+
+    /// Accepts a slice of signed tokens, validated **atomically** before
+    /// staging: either every token is accepted or none is.
+    ///
+    /// # Errors
+    /// A deletion aimed at an insert-only colorer names the colorer and
+    /// the edge; a deletion of a never-inserted edge names the edge.
+    pub fn push_signed_slice(&mut self, tokens: &[SignedEdge]) -> Result<(), String> {
+        self.state.push_signed_slice(&mut self.colorer, tokens)
+    }
+
+    /// Feeds all pending tokens to the colorer.
     pub fn flush(&mut self) {
         self.state.flush(&mut self.colorer);
     }
@@ -651,6 +823,7 @@ impl Session {
             ingested: self.state.ingested,
             chunks: self.state.chunks,
             checkpoints: self.state.checkpoints.clone(),
+            support: self.state.support.clone(),
             colorer_state: self.colorer.encode_state()?,
         })
     }
@@ -668,6 +841,23 @@ impl Session {
         mut colorer: crate::colorer::BoxedColorer,
         snapshot: SessionSnapshot,
     ) -> Result<Self, String> {
+        let support = match (colorer.supports_deletions(), snapshot.support) {
+            (true, Some(s)) => Some(s),
+            (true, None) => {
+                return Err(format!(
+                    "{}: snapshot is missing the dynamic support a \
+                     deletion-supporting colorer requires",
+                    colorer.name()
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(format!(
+                    "{}: snapshot carries a dynamic support but the colorer is insert-only",
+                    colorer.name()
+                ))
+            }
+            (false, None) => None,
+        };
         colorer.decode_state(&snapshot.colorer_state)?;
         Ok(Self {
             colorer,
@@ -677,6 +867,7 @@ impl Session {
                 ingested: snapshot.ingested,
                 chunks: snapshot.chunks,
                 checkpoints: snapshot.checkpoints,
+                support,
             },
             started: Instant::now(),
         })
@@ -989,5 +1180,202 @@ mod tests {
         assert_eq!(report.chunks, 0);
         assert!(report.checkpoints.is_empty());
         assert!(report.final_coloring.is_total());
+    }
+
+    /// A toy deletion-supporting colorer: stores the live multiset
+    /// verbatim (the dynamic analogue of [`StoreAll`]).
+    struct DynStore {
+        n: usize,
+        live: DynamicSupport,
+    }
+
+    impl DynStore {
+        fn new(n: usize) -> Self {
+            Self { n, live: DynamicSupport::new() }
+        }
+    }
+
+    impl StreamingColorer for DynStore {
+        fn process(&mut self, e: Edge) {
+            self.live.apply(SignedEdge::insert(e)).expect("insertions never underflow");
+        }
+        fn supports_deletions(&self) -> bool {
+            true
+        }
+        fn process_signed(&mut self, t: SignedEdge) -> Result<(), String> {
+            self.live.apply(t)
+        }
+        fn query(&mut self) -> Coloring {
+            let g = Graph::from_edges(self.n, self.live.live_edges());
+            let mut c = Coloring::empty(self.n);
+            sc_graph::greedy_complete(&g, &mut c);
+            c
+        }
+        fn peak_space_bits(&self) -> u64 {
+            1
+        }
+        fn encode_state(&self) -> Result<String, String> {
+            let mut w = crate::state::StateWriter::new();
+            w.field("algo", self.name()).field("live", self.live.encode());
+            Ok(w.finish())
+        }
+        fn decode_state(&mut self, state: &str) -> Result<(), String> {
+            let mut r = crate::state::StateReader::new(state);
+            let algo = r.expect("algo")?;
+            if algo != self.name() {
+                return Err(format!("dyn-toy: state is for {algo:?}"));
+            }
+            self.live = DynamicSupport::decode(r.expect("live")?, self.n)?;
+            r.done()
+        }
+        fn name(&self) -> &'static str {
+            "dyn-toy"
+        }
+    }
+
+    /// A small churny token stream over `n` vertices: inserts a gnp
+    /// graph's edges and deletes every third one again mid-stream.
+    fn churn_tokens(n: usize, seed: u64) -> (Graph, Vec<SignedEdge>) {
+        let g = generators::gnp_with_max_degree(n, 6, 0.4, seed);
+        let edges = generators::shuffled_edges(&g, seed);
+        let mut tokens = Vec::new();
+        let mut deleted = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            tokens.push(SignedEdge::insert(e));
+            if i % 3 == 2 {
+                tokens.push(SignedEdge::delete(e));
+                deleted.push(e);
+            }
+        }
+        let live = Graph::from_edges(n, edges.iter().copied().filter(|e| !deleted.contains(e)));
+        (live, tokens)
+    }
+
+    #[test]
+    fn signed_runs_are_chunking_invariant_and_color_the_live_graph() {
+        let (live, tokens) = churn_tokens(40, 21);
+        let mut baseline = DynStore::new(40);
+        for &t in &tokens {
+            baseline.process_signed(t).unwrap();
+        }
+        let expect = baseline.query();
+        assert!(expect.is_proper_total(&live));
+        for chunk in [1usize, 3, 8, 64, 1000] {
+            let mut c = DynStore::new(40);
+            let report = StreamEngine::new(EngineConfig::batched(chunk))
+                .run_signed(&mut c, &tokens)
+                .unwrap();
+            assert_eq!(report.final_coloring, expect, "chunk={chunk}");
+            assert_eq!(report.edges, tokens.len(), "prefixes count tokens");
+            assert!(report.final_coloring.is_proper_total(&live));
+        }
+    }
+
+    #[test]
+    fn signed_push_rejects_underflow_atomically() {
+        let mut c = DynStore::new(10);
+        let mut session = EngineSession::new(&mut c, EngineConfig::batched(4));
+        session.push_signed(SignedEdge::insert(Edge::new(0, 1))).unwrap();
+        let before_len = session.len();
+        let err = session
+            .push_signed_slice(&[
+                SignedEdge::insert(Edge::new(1, 2)),
+                SignedEdge::delete(Edge::new(5, 6)),
+            ])
+            .unwrap_err();
+        assert!(err.contains("(5, 6)") && err.contains("never inserted"), "{err}");
+        assert_eq!(session.len(), before_len, "failed batch must not stage anything");
+        assert_eq!(session.support().unwrap().distinct(), 1);
+        // A legal delete (after its insert) goes through.
+        session
+            .push_signed_slice(&[
+                SignedEdge::insert(Edge::new(1, 2)),
+                SignedEdge::delete(Edge::new(0, 1)),
+            ])
+            .unwrap();
+        assert_eq!(session.support().unwrap().live_edges().collect::<Vec<_>>(), vec![
+            Edge::new(1, 2)
+        ]);
+    }
+
+    #[test]
+    fn signed_push_names_insert_only_offenders() {
+        let mut c = StoreAll::new(10);
+        let mut session = EngineSession::new(&mut c, EngineConfig::per_edge());
+        assert!(session.support().is_none(), "insert-only sessions carry no support");
+        session.push_signed(SignedEdge::insert(Edge::new(0, 1))).unwrap();
+        let err = session.push_signed(SignedEdge::delete(Edge::new(0, 1))).unwrap_err();
+        assert!(
+            err.contains("store-all") && err.contains("(0, 1)") && err.contains("insert-only"),
+            "error must name the colorer and the edge: {err}"
+        );
+        assert_eq!(session.len(), 1, "rejected delete must not be staged");
+    }
+
+    #[test]
+    fn signed_snapshot_restores_mid_stream_exactly() {
+        let (_, tokens) = churn_tokens(30, 22);
+        let cfg = EngineConfig::batched(7).with_schedule(QuerySchedule::EveryEdges(5));
+        // Uninterrupted reference.
+        let mut reference = Session::new(Box::new(DynStore::new(30)), cfg.clone());
+        reference.push_signed_slice(&tokens).unwrap();
+        let expect = reference.finish();
+
+        // Snapshot at an awkward cut (mid-chunk), restore, resume.
+        let cut = tokens.len() / 2 + 1;
+        let mut first = Session::new(Box::new(DynStore::new(30)), cfg);
+        first.push_signed_slice(&tokens[..cut]).unwrap();
+        let snap = first.snapshot().unwrap();
+        assert!(snap.support.is_some(), "dynamic sessions snapshot their support");
+        let mut resumed = Session::restore(Box::new(DynStore::new(30)), snap).unwrap();
+        resumed.push_signed_slice(&tokens[cut..]).unwrap();
+        let got = resumed.finish();
+
+        assert_eq!(got.final_coloring, expect.final_coloring);
+        assert_eq!(got.edges, expect.edges);
+        assert_eq!(got.chunks, expect.chunks);
+        let a: Vec<usize> = expect.checkpoints.iter().map(|c| c.prefix_len).collect();
+        let b: Vec<usize> = got.checkpoints[..].iter().map(|c| c.prefix_len).collect();
+        assert_eq!(a[a.len() - b.len()..], b[..], "resumed session replays the schedule tail");
+    }
+
+    #[test]
+    fn restore_rejects_support_mismatches() {
+        let mut dynamic = Session::new(Box::new(DynStore::new(8)), EngineConfig::default());
+        dynamic.push_signed(SignedEdge::insert(Edge::new(0, 1))).unwrap();
+        let mut snap = dynamic.snapshot().unwrap();
+        snap.support = None;
+        let err = match Session::restore(Box::new(DynStore::new(8)), snap) {
+            Ok(_) => panic!("support-less snapshot must not restore a dynamic colorer"),
+            Err(e) => e,
+        };
+        assert!(err.contains("missing the dynamic support"), "{err}");
+    }
+
+    #[test]
+    fn run_source_routes_deletion_tokens() {
+        use crate::source::StreamSource;
+        struct TinyChurn;
+        impl StreamSource for TinyChurn {
+            fn pass(&self) -> Box<dyn Iterator<Item = crate::StreamItem> + '_> {
+                Box::new(
+                    [
+                        crate::StreamItem::Edge(Edge::new(0, 1)),
+                        crate::StreamItem::Edge(Edge::new(1, 2)),
+                        crate::StreamItem::Deletion(Edge::new(0, 1)),
+                    ]
+                    .into_iter(),
+                )
+            }
+            fn len(&self) -> usize {
+                3
+            }
+        }
+        let mut c = DynStore::new(3);
+        let report = StreamEngine::default().run_source(&mut c, &TinyChurn);
+        assert_eq!(report.edges, 3, "all three tokens count");
+        let live = Graph::from_edges(3, [Edge::new(1, 2)]);
+        assert!(report.final_coloring.is_proper_total(&live));
+        assert_eq!(c.live.live_edges().collect::<Vec<_>>(), vec![Edge::new(1, 2)]);
     }
 }

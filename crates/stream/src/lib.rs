@@ -20,6 +20,9 @@
 //! * [`QueryCache`] — epoch-keyed reuse of query artifacts, powering the
 //!   incremental query path
 //!   ([`StreamingColorer::query_incremental`]; see [`query_cache`]).
+//! * [`SignedEdge`] / [`DynamicSupport`] — the dynamic (turnstile) model:
+//!   signed edge tokens and the engine-side multiplicity referee that
+//!   rejects deletions of never-inserted edges loudly (see [`support`]).
 //!
 //! **Ownership contract** (see ROADMAP.md, "which layer owns what"):
 //! the engine owns chunking, pass counting, and checkpointed
@@ -38,6 +41,7 @@ pub mod query_cache;
 pub mod source;
 pub mod space;
 pub mod state;
+pub mod support;
 pub mod token;
 pub mod trace;
 
@@ -51,7 +55,9 @@ pub use query_cache::{CacheState, CacheStats, QueryCache};
 pub use source::{PassCounter, StoredStream, StreamSource};
 pub use space::{color_bits, counter_bits, edge_bits, vertex_bits, SpaceMeter};
 pub use state::{
-    decode_edge_list, decode_u64_list, encode_edge_list, encode_u64_list, StateReader, StateWriter,
+    decode_edge_list, decode_signed_list, decode_u64_list, encode_edge_list, encode_signed_list,
+    encode_u64_list, StateReader, StateWriter,
 };
-pub use token::StreamItem;
+pub use support::DynamicSupport;
+pub use token::{Sign, SignedEdge, StreamItem};
 pub use trace::{TraceReport, TracingSource};

@@ -19,6 +19,7 @@
 //! truncated or typo'd blobs fail loudly instead of restoring a
 //! half-session.
 
+use crate::token::{Sign, SignedEdge};
 use sc_graph::Edge;
 
 /// Builds a canonical state string field by field.
@@ -159,6 +160,47 @@ pub fn decode_edge_list(text: &str, n: usize) -> Result<Vec<Edge>, String> {
         .collect()
 }
 
+/// Encodes signed tokens as `"+0-1 -0-1"` (space-separated, each `u-v`
+/// pair prefixed by its sign glyph; empty string for none) — the signed
+/// extension of [`encode_edge_list`], shared by the engine snapshot and
+/// the service wire vocabularies.
+pub fn encode_signed_list(tokens: &[SignedEdge]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push(t.sign.glyph());
+        out.push_str(&format!("{}-{}", t.edge.u(), t.edge.v()));
+    }
+    out
+}
+
+/// Decodes an [`encode_signed_list`] string, validating every endpoint
+/// against `n`. A bare `u-v` token (no glyph) is an insertion, so every
+/// [`encode_edge_list`] string also decodes here.
+pub fn decode_signed_list(text: &str, n: usize) -> Result<Vec<SignedEdge>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(' ')
+        .map(|tok| {
+            let (sign, pair) = match tok.strip_prefix('+') {
+                Some(rest) => (Sign::Insert, rest),
+                None => match tok.strip_prefix('-') {
+                    Some(rest) => (Sign::Delete, rest),
+                    None => (Sign::Insert, tok),
+                },
+            };
+            let edges = decode_edge_list(pair, n).map_err(|e| format!("token {tok:?}: {e}"))?;
+            let [edge] = edges[..] else {
+                return Err(format!("token {tok:?} is not a single signed edge"));
+            };
+            Ok(SignedEdge { edge, sign })
+        })
+        .collect()
+}
+
 /// Encodes counters as `"0,3,1"` (`,`-joined; empty string for none).
 pub fn encode_u64_list(values: &[u64]) -> String {
     values.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
@@ -213,6 +255,27 @@ mod tests {
         r.expect("algo").unwrap();
         let err = r.done().unwrap_err();
         assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn signed_lists_round_trip_and_validate() {
+        let tokens = vec![
+            SignedEdge::insert(Edge::new(0, 1)),
+            SignedEdge::delete(Edge::new(0, 1)),
+            SignedEdge::insert(Edge::new(2, 5)),
+        ];
+        let text = encode_signed_list(&tokens);
+        assert_eq!(text, "+0-1 -0-1 +2-5");
+        assert_eq!(decode_signed_list(&text, 6).unwrap(), tokens);
+        // Bare edge lists decode as insertions (backward vocabulary).
+        assert_eq!(
+            decode_signed_list("0-1 2-5", 6).unwrap(),
+            vec![SignedEdge::insert(Edge::new(0, 1)), SignedEdge::insert(Edge::new(2, 5))]
+        );
+        assert_eq!(decode_signed_list("", 6).unwrap(), Vec::new());
+        assert!(decode_signed_list("+0-9", 6).is_err(), "range check applies");
+        assert!(decode_signed_list("-0-x", 6).is_err());
+        assert!(decode_signed_list("~0-1", 6).is_err(), "unknown glyph is not a sign");
     }
 
     #[test]

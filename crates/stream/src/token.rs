@@ -4,24 +4,128 @@
 //! `G` and `(x, L_x)` pairs" — so a token is either an edge or a color
 //! list. Plain edge streams (Theorems 1, 3, 4) simply never contain
 //! [`StreamItem::ColorList`] tokens.
+//!
+//! The **dynamic (turnstile) model** — the natural adversarial playground
+//! of the robust-coloring line (Chakrabarti–Ghosh–Stoeckl 2021) — adds
+//! *signed* edge tokens: an edge may be deleted again after insertion.
+//! [`StreamItem::Deletion`] is that third token kind, and [`SignedEdge`]
+//! is the `(edge, sign)` pair the dynamic engine paths traffic in.
+//! Insert-only consumers keep using [`StreamItem::as_edge`], which sees
+//! insertions only, so every existing law is untouched.
 
 use sc_graph::{Color, Edge, VertexId};
 
-/// One token of a (possibly list-annotated) graph stream.
+/// The direction of a signed edge token: `+e` or `−e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// The edge enters the graph (multiplicity `+1`).
+    Insert,
+    /// The edge leaves the graph (multiplicity `−1`). Deleting an edge
+    /// whose multiplicity is zero is a *stream error*: the engine
+    /// rejects it loudly, naming the edge (see
+    /// [`DynamicSupport`](crate::DynamicSupport)).
+    Delete,
+}
+
+impl Sign {
+    /// `+1` for insert, `−1` for delete (the turnstile increment).
+    #[inline]
+    pub fn unit(self) -> i64 {
+        match self {
+            Sign::Insert => 1,
+            Sign::Delete => -1,
+        }
+    }
+
+    /// The wire glyph: `"+"` / `"-"`.
+    #[inline]
+    pub fn glyph(self) -> char {
+        match self {
+            Sign::Insert => '+',
+            Sign::Delete => '-',
+        }
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.glyph())
+    }
+}
+
+/// One turnstile token: an edge together with its [`Sign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignedEdge {
+    /// The (normalized) edge.
+    pub edge: Edge,
+    /// Insert or delete.
+    pub sign: Sign,
+}
+
+impl SignedEdge {
+    /// An insertion token.
+    #[inline]
+    pub fn insert(edge: Edge) -> Self {
+        Self { edge, sign: Sign::Insert }
+    }
+
+    /// A deletion token.
+    #[inline]
+    pub fn delete(edge: Edge) -> Self {
+        Self { edge, sign: Sign::Delete }
+    }
+
+    /// Whether this token is an insertion.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        self.sign == Sign::Insert
+    }
+}
+
+impl std::fmt::Display for SignedEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.sign, self.edge)
+    }
+}
+
+impl From<Edge> for SignedEdge {
+    #[inline]
+    fn from(e: Edge) -> Self {
+        SignedEdge::insert(e)
+    }
+}
+
+/// One token of a (possibly list-annotated, possibly turnstile) graph
+/// stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamItem {
     /// An edge insertion.
     Edge(Edge),
+    /// An edge deletion (turnstile streams only).
+    Deletion(Edge),
     /// The allowed-color list `L_x` for vertex `x`.
     ColorList(VertexId, Vec<Color>),
 }
 
 impl StreamItem {
-    /// The edge, if this token is one.
+    /// The edge, if this token is an **insertion**. Deletions answer
+    /// `None` here: insert-only consumers written against this accessor
+    /// never see a deletion as an insertion by accident (the engine's
+    /// signed path routes deletions explicitly).
     #[inline]
     pub fn as_edge(&self) -> Option<Edge> {
         match self {
             StreamItem::Edge(e) => Some(*e),
+            StreamItem::Deletion(_) | StreamItem::ColorList(..) => None,
+        }
+    }
+
+    /// The signed form, if this token is an edge token of either sign.
+    #[inline]
+    pub fn as_signed(&self) -> Option<SignedEdge> {
+        match self {
+            StreamItem::Edge(e) => Some(SignedEdge::insert(*e)),
+            StreamItem::Deletion(e) => Some(SignedEdge::delete(*e)),
             StreamItem::ColorList(..) => None,
         }
     }
@@ -30,7 +134,7 @@ impl StreamItem {
     #[inline]
     pub fn as_color_list(&self) -> Option<(VertexId, &[Color])> {
         match self {
-            StreamItem::Edge(_) => None,
+            StreamItem::Edge(_) | StreamItem::Deletion(_) => None,
             StreamItem::ColorList(x, l) => Some((*x, l)),
         }
     }
@@ -40,6 +144,16 @@ impl From<Edge> for StreamItem {
     #[inline]
     fn from(e: Edge) -> Self {
         StreamItem::Edge(e)
+    }
+}
+
+impl From<SignedEdge> for StreamItem {
+    #[inline]
+    fn from(t: SignedEdge) -> Self {
+        match t.sign {
+            Sign::Insert => StreamItem::Edge(t.edge),
+            Sign::Delete => StreamItem::Deletion(t.edge),
+        }
     }
 }
 
@@ -55,6 +169,7 @@ mod tests {
 
         let l = StreamItem::ColorList(3, vec![1, 4, 9]);
         assert!(l.as_edge().is_none());
+        assert!(l.as_signed().is_none());
         let (x, colors) = l.as_color_list().unwrap();
         assert_eq!(x, 3);
         assert_eq!(colors, &[1, 4, 9]);
@@ -64,5 +179,29 @@ mod tests {
     fn from_edge() {
         let item: StreamItem = Edge::new(5, 2).into();
         assert_eq!(item, StreamItem::Edge(Edge::new(2, 5)));
+    }
+
+    #[test]
+    fn deletions_are_not_insertions() {
+        let d = StreamItem::Deletion(Edge::new(0, 4));
+        assert_eq!(d.as_edge(), None, "as_edge sees insertions only");
+        assert_eq!(d.as_signed(), Some(SignedEdge::delete(Edge::new(0, 4))));
+        assert!(d.as_color_list().is_none());
+    }
+
+    #[test]
+    fn signed_round_trips_through_items() {
+        for t in [SignedEdge::insert(Edge::new(1, 2)), SignedEdge::delete(Edge::new(3, 4))] {
+            let item: StreamItem = t.into();
+            assert_eq!(item.as_signed(), Some(t));
+        }
+    }
+
+    #[test]
+    fn sign_units_and_display() {
+        assert_eq!(Sign::Insert.unit(), 1);
+        assert_eq!(Sign::Delete.unit(), -1);
+        assert_eq!(SignedEdge::insert(Edge::new(0, 1)).to_string(), "+(0, 1)");
+        assert_eq!(SignedEdge::delete(Edge::new(0, 1)).to_string(), "-(0, 1)");
     }
 }

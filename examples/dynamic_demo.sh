@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# A turnstile (insert/delete) session against a live `serve --reactor`
+# listener: a churny stream — edges inserted, a third of them retracted,
+# some oscillated — pushed over raw TCP through both signed
+# vocabularies (`"sign":"delete"` on push, `±u-v` tokens on
+# push_batch), with the coloring observed after the deletions and
+# verified proper for the *live* graph client-side. Needs bash for
+# /dev/tcp (the raw protocol client).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin streamcolor
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+target/release/streamcolor serve --listen 127.0.0.1:0 --reactor --accept 1 > "$LOG" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    grep -q 'listening on' "$LOG" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$LOG")
+[ -n "$ADDR" ] || { echo "server never listened" >&2; exit 1; }
+echo "reactor listening on $ADDR"
+
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+ask() { # REQUEST_LINE — prints the one response line
+    printf '%s\n' "$1" >&3
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+}
+
+echo
+echo "== open a dynamic (sparse-recovery) session and churn it =="
+ask '{"cmd":"open","session":"churn","n":12,"delta":4,"colorer":"dynamic-sr","seed":11}'
+# Build a path, then churn: retract 2-3 and 0-1, oscillate 4-5
+# (delete + re-insert), extend the live graph past the retractions.
+ask '{"cmd":"push_batch","session":"churn","edges":"0-1 1-2 2-3 3-4 4-5"}'
+ask '{"cmd":"push","session":"churn","edge":"2-3","sign":"delete"}'
+ask '{"cmd":"push_batch","session":"churn","edges":"-0-1 -4-5 +4-5 +5-6 +6-7"}'
+echo
+echo "== the coloring after deletions covers exactly the live graph =="
+OBSERVE=$(ask '{"cmd":"observe","session":"churn"}')
+echo "$OBSERVE"
+
+# Live edges after the churn above: 1-2, 3-4, 4-5, 5-6, 6-7.
+COLORING=$(printf '%s' "$OBSERVE" | sed 's/.*"coloring":"\([^"]*\)".*/\1/')
+IFS=',' read -r -a COLOR <<< "$COLORING"
+for e in "1 2" "3 4" "4 5" "5 6" "6 7"; do
+    set -- $e
+    if [ "${COLOR[$1]}" = "${COLOR[$2]}" ]; then
+        echo "IMPROPER: live edge $1-$2 is monochromatic (${COLOR[$1]})" >&2
+        exit 1
+    fi
+    echo "live edge $1-$2: colors ${COLOR[$1]} vs ${COLOR[$2]} — proper"
+done
+
+echo
+echo "== deleting a never-inserted edge errors loudly, state untouched =="
+ask '{"cmd":"push","session":"churn","edge":"9-10","sign":"delete"}'
+AGAIN=$(ask '{"cmd":"observe","session":"churn"}')
+[ "$OBSERVE" = "$AGAIN" ] || { echo "rejected delete perturbed the session" >&2; exit 1; }
+echo "observe re-answers byte-identically after the rejected delete"
+
+ask '{"cmd":"finish","session":"churn"}' > /dev/null
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+echo
+echo "turnstile demo complete: coloring stayed proper across deletions"
